@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks of the consistency checkers: the exact search
+//! on small histories and the scalable certificate checker on protocol-scale
+//! histories.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use regular_core::checker::certificate::{check_witness, WitnessModel};
+use regular_core::checker::models::{check, Model};
+use regular_core::history::{History, HistoryBuilder};
+use regular_core::op::{OpKind, OpResult};
+use regular_core::types::{Key, OpId, ProcessId, ServiceId, Timestamp, Value};
+
+/// The Figure 2 history plus a few more operations: a representative input for
+/// the exact search.
+fn small_history() -> History {
+    let mut b = HistoryBuilder::new();
+    b.write(1, 1, 1, 0, 100);
+    b.read(2, 1, 1, 10, 20);
+    b.read(3, 1, 0, 30, 40);
+    b.write(2, 2, 2, 50, 60);
+    b.read(1, 2, 2, 70, 80);
+    b.read(3, 2, 2, 90, 95);
+    b.build()
+}
+
+/// A synthetic linearizable history of `n` operations with a matching witness,
+/// shaped like the protocol harness output (sequential writes and reads).
+fn large_history(n: usize) -> (History, Vec<OpId>) {
+    let mut history = History::new();
+    let mut witness = Vec::with_capacity(n);
+    let mut last_value = vec![Value::NULL; 16];
+    let mut now = 0u64;
+    for i in 0..n {
+        let key = Key((i % 16) as u64);
+        let process = ProcessId((i % 8) as u32);
+        now += 10;
+        let invoke = Timestamp(now);
+        now += 10;
+        let response = Timestamp(now);
+        let id = if i % 3 == 0 {
+            let value = Value(1 + i as u64);
+            last_value[key.0 as usize] = value;
+            history.add_complete(
+                process,
+                ServiceId::KV,
+                OpKind::Write { key, value },
+                invoke,
+                response,
+                OpResult::Ack,
+            )
+        } else {
+            history.add_complete(
+                process,
+                ServiceId::KV,
+                OpKind::Read { key },
+                invoke,
+                response,
+                OpResult::Value(last_value[key.0 as usize]),
+            )
+        };
+        witness.push(id);
+    }
+    (history, witness)
+}
+
+fn bench_checkers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkers");
+    group.sample_size(20);
+
+    let small = small_history();
+    group.bench_function("exact_search_rsc_6_ops", |b| {
+        b.iter(|| check(&small, Model::RegularSequentialConsistency).unwrap())
+    });
+    group.bench_function("exact_search_linearizability_6_ops", |b| {
+        b.iter(|| check(&small, Model::Linearizability).unwrap())
+    });
+
+    for &n in &[1_000usize, 10_000] {
+        let (history, witness) = large_history(n);
+        group.bench_function(format!("certificate_real_time_{n}_ops"), |b| {
+            b.iter_batched(
+                || witness.clone(),
+                |w| check_witness(&history, &w, WitnessModel::RealTime).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("certificate_regular_{n}_ops"), |b| {
+            b.iter_batched(
+                || witness.clone(),
+                |w| check_witness(&history, &w, WitnessModel::Regular).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkers);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benchmark of the simulated Gryff / Gryff-RSC protocol and of the
+//! witness assembly + certificate verification pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use regular_gryff::prelude::*;
+use regular_sim::net::LatencyMatrix;
+use regular_sim::time::{SimDuration, SimTime};
+
+fn run(mode: Mode) -> GryffRunResult {
+    let clients = (0..8)
+        .map(|i| GryffClientSpec {
+            region: i % 5,
+            sessions: 2,
+            think_time: SimDuration::ZERO,
+            workload: Box::new(ConflictWorkload::ycsb(0.5, 0.25, i as u64)) as Box<dyn GryffWorkload>,
+        })
+        .collect();
+    run_gryff(GryffClusterSpec {
+        config: GryffConfig::wan(mode),
+        net: LatencyMatrix::gryff_wan(),
+        seed: 1,
+        clients,
+        stop_issuing_at: SimTime::from_secs(10),
+        drain: SimDuration::from_secs(5),
+        measure_from: SimTime::from_secs(1),
+    })
+}
+
+fn bench_gryff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gryff_protocol");
+    group.sample_size(10);
+    group.bench_function("simulate_10s_gryff", |b| b.iter(|| run(Mode::Gryff)));
+    group.bench_function("simulate_10s_gryff_rsc", |b| b.iter(|| run(Mode::GryffRsc)));
+    group.bench_function("assemble_and_verify_rsc_run", |b| {
+        let result = run(Mode::GryffRsc);
+        b.iter(|| verify_run(&result).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gryff);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benchmark of the simulated Spanner / Spanner-RSS protocol: how
+//! fast the simulator executes a fixed slice of cluster time, and the relative
+//! cost of the two read-only transaction protocols.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use regular_sim::net::LatencyMatrix;
+use regular_sim::time::{SimDuration, SimTime};
+use regular_spanner::prelude::*;
+
+fn run(mode: Mode) -> RunResult {
+    let clients = (0..3)
+        .map(|region| ClientSpec {
+            region,
+            driver: Driver::ClosedLoop { sessions: 4, think_time: SimDuration::ZERO },
+            workload: Box::new(UniformWorkload { num_keys: 1_000, ro_fraction: 0.5, keys_per_txn: 2 }),
+        })
+        .collect();
+    run_cluster(ClusterSpec {
+        config: SpannerConfig::wan(mode),
+        net: LatencyMatrix::spanner_wan(),
+        seed: 1,
+        clients,
+        stop_issuing_at: SimTime::from_secs(10),
+        drain: SimDuration::from_secs(5),
+        measure_from: SimTime::from_secs(1),
+    })
+}
+
+fn bench_spanner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spanner_protocol");
+    group.sample_size(10);
+    group.bench_function("simulate_10s_spanner", |b| b.iter(|| run(Mode::Spanner)));
+    group.bench_function("simulate_10s_spanner_rss", |b| b.iter(|| run(Mode::SpannerRss)));
+    group.bench_function("verify_rss_run", |b| {
+        let result = run(Mode::SpannerRss);
+        b.iter(|| verify_run(&result).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spanner);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Ablation: the cost of Gryff-RSC's dependency piggybacking versus the
+//! baseline's synchronous write-back phase.
+//!
+//! For a sweep of conflict rates this reports, per variant, how many reads
+//! disagreed at their quorum, how that disagreement was resolved (second
+//! round trip for Gryff, piggybacked dependency for Gryff-RSC), and the
+//! resulting p99 read latency — quantifying that the piggybacking mechanism
+//! removes the second round trip without adding message overhead.
+//!
+//! Usage: `cargo run --release -p regular-bench --bin ablation_gryff [--quick]`
+
+use regular_bench::{fmt_ms, run_gryff_ycsb, GryffRunParams};
+use regular_gryff::prelude::Mode;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let duration = if quick { 20 } else { 60 };
+
+    println!("== Ablation: write-back round trips vs piggybacked dependencies (write ratio 0.5) ==\n");
+    println!(
+        "{:>10} | {:>10} {:>12} {:>12} {:>10} | {:>10} {:>12} {:>12} {:>10}",
+        "conflict",
+        "gryff",
+        "slow reads",
+        "msgs",
+        "p99 ms",
+        "rsc",
+        "deps piggy",
+        "msgs",
+        "p99 ms"
+    );
+    for &conflict in &[0.02, 0.10, 0.25, 0.50] {
+        let params = GryffRunParams {
+            write_ratio: 0.5,
+            conflict_rate: conflict,
+            duration_secs: duration,
+            ..GryffRunParams::default()
+        };
+        let baseline = run_gryff_ycsb(Mode::Gryff, &params);
+        let rsc = run_gryff_ycsb(Mode::GryffRsc, &params);
+        let mut b = baseline.read_latencies.clone();
+        let mut r = rsc.read_latencies.clone();
+        println!(
+            "{:>9.0}% | {:>10} {:>12} {:>12} {:>10} | {:>10} {:>12} {:>12} {:>10}",
+            conflict * 100.0,
+            baseline.client_stats.reads,
+            baseline.client_stats.slow_reads,
+            baseline.messages,
+            fmt_ms(b.percentile(99.0)),
+            rsc.client_stats.reads,
+            rsc.client_stats.deps_piggybacked,
+            rsc.messages,
+            fmt_ms(r.percentile(99.0)),
+        );
+    }
+}

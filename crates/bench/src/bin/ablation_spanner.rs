@@ -1,0 +1,52 @@
+//! Ablation: how much of Spanner-RSS's tail-latency improvement comes from the
+//! earliest-end-time (`t_ee`) fast path, and how the TrueTime uncertainty ε
+//! affects both systems.
+//!
+//! * Part 1 disables the `t_ee` skip (read-only transactions then wait for
+//!   every conflicting prepared transaction, like the baseline) while keeping
+//!   the rest of the Spanner-RSS machinery.
+//! * Part 2 sweeps ε ∈ {0, 5, 10, 25} ms: larger ε lengthens commit wait and
+//!   therefore the window in which read-only transactions can block.
+//!
+//! Usage: `cargo run --release -p regular-bench --bin ablation_spanner [--quick]`
+
+use regular_bench::{print_tail_row, run_spanner_retwis, RetwisRunParams};
+use regular_sim::time::SimDuration;
+use regular_spanner::prelude::Mode;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let duration = if quick { 30 } else { 120 };
+
+    println!("== Ablation 1: Spanner-RSS with and without the t_ee fast path (skew 0.9) ==\n");
+    let base = RetwisRunParams {
+        skew: 0.9,
+        arrival_rate: 3.0,
+        duration_secs: duration,
+        ..RetwisRunParams::default()
+    };
+    let baseline = run_spanner_retwis(Mode::Spanner, &base);
+    let full = run_spanner_retwis(Mode::SpannerRss, &base);
+    let no_tee = run_spanner_retwis(
+        Mode::SpannerRss,
+        &RetwisRunParams { disable_tee_skip: true, ..base.clone() },
+    );
+    print_tail_row("Spanner (baseline)      RO", &baseline.ro_latencies);
+    print_tail_row("Spanner-RSS (full)      RO", &full.ro_latencies);
+    print_tail_row("Spanner-RSS (no t_ee)   RO", &no_tee.ro_latencies);
+    println!();
+
+    println!("== Ablation 2: TrueTime uncertainty sweep (skew 0.7) ==\n");
+    for eps_ms in [0u64, 5, 10, 25] {
+        let params = RetwisRunParams {
+            skew: 0.7,
+            duration_secs: duration,
+            truetime_epsilon: SimDuration::from_millis(eps_ms),
+            ..RetwisRunParams::default()
+        };
+        let baseline = run_spanner_retwis(Mode::Spanner, &params);
+        let rss = run_spanner_retwis(Mode::SpannerRss, &params);
+        print_tail_row(&format!("eps={eps_ms:>2}ms Spanner     RO"), &baseline.ro_latencies);
+        print_tail_row(&format!("eps={eps_ms:>2}ms Spanner-RSS RO"), &rss.ro_latencies);
+    }
+}

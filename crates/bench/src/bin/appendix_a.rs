@@ -1,0 +1,130 @@
+//! Appendix A: the schedules of Figures 9–16 checked against RSS, RSC, and
+//! their proximal consistency models.
+//!
+//! Usage: `cargo run -p regular-bench --bin appendix_a`
+
+use regular_core::checker::models::{satisfies, Model};
+use regular_core::checker::proximal::{check_proximal, ProximalModel};
+use regular_core::history::{History, HistoryBuilder};
+
+fn figure_9() -> History {
+    let mut b = HistoryBuilder::new();
+    b.rw_txn(2, &[], &[(1, 1)], 0, 10);
+    b.rw_txn(3, &[], &[(2, 1)], 20, 30);
+    b.ro_txn(1, &[(1, 0), (2, 1)], 5, 40);
+    b.build()
+}
+
+fn figure_10() -> History {
+    let mut b = HistoryBuilder::new();
+    b.rw_txn(2, &[], &[(1, 1)], 0, 100);
+    b.ro_txn(1, &[(1, 1)], 10, 20);
+    b.ro_txn(3, &[(1, 0)], 30, 40);
+    b.build()
+}
+
+fn figure_11() -> History {
+    let mut b = HistoryBuilder::new();
+    b.rw_txn(3, &[], &[(1, 1), (2, 1)], 0, 5);
+    b.rw_txn(1, &[(1, 1), (2, 1)], &[(1, 2)], 10, 20);
+    b.rw_txn(2, &[(1, 1), (2, 1)], &[(2, 2)], 10, 20);
+    b.build()
+}
+
+fn figure_13() -> History {
+    let mut b = HistoryBuilder::new();
+    b.write(1, 1, 1, 0, 10);
+    b.read(2, 1, 0, 20, 30);
+    b.build()
+}
+
+fn figure_14() -> History {
+    let mut b = HistoryBuilder::new();
+    b.write(2, 1, 2, 5, 60);
+    b.read(3, 1, 2, 8, 15);
+    b.write(1, 1, 1, 20, 30);
+    b.read(4, 1, 1, 35, 45);
+    b.read(4, 1, 2, 46, 55);
+    b.build()
+}
+
+fn figure_15() -> History {
+    let mut b = HistoryBuilder::new();
+    b.write(1, 1, 1, 0, 100);
+    b.write(2, 2, 1, 0, 100);
+    b.read(3, 1, 1, 20, 25);
+    b.read(3, 2, 0, 26, 30);
+    b.read(4, 2, 1, 20, 25);
+    b.read(4, 1, 0, 26, 30);
+    b.build()
+}
+
+fn figure_16() -> History {
+    let mut b = HistoryBuilder::new();
+    b.write(1, 1, 1, 0, 10);
+    b.write(3, 1, 2, 0, 10);
+    b.read(2, 1, 1, 20, 30);
+    b.read(4, 1, 2, 20, 30);
+    b.build()
+}
+
+fn main() {
+    let figures: Vec<(&str, History)> = vec![
+        ("Figure 9", figure_9()),
+        ("Figure 10", figure_10()),
+        ("Figure 11", figure_11()),
+        ("Figure 13", figure_13()),
+        ("Figure 14", figure_14()),
+        ("Figure 15", figure_15()),
+        ("Figure 16", figure_16()),
+    ];
+    let core_models = [
+        Model::StrictSerializability,
+        Model::RegularSequentialSerializability,
+        Model::RegularSequentialConsistency,
+        Model::ProcessOrderedSerializability,
+        Model::SequentialConsistency,
+    ];
+    let proximal = [
+        ProximalModel::Crdb,
+        ProximalModel::StrongSnapshotIsolation,
+        ProximalModel::OscU,
+        ProximalModel::VvRegularity,
+        ProximalModel::RealTimeCausal,
+        ProximalModel::MwrWeak,
+        ProximalModel::MwrWriteOrder,
+        ProximalModel::MwrReadsFrom,
+        ProximalModel::MwrNoInversion,
+    ];
+
+    println!("== Appendix A: allowed (+) / disallowed (-) schedules per consistency model ==\n");
+    print!("{:<22}", "model");
+    for (name, _) in &figures {
+        print!("{name:>11}");
+    }
+    println!();
+    println!("{}", "-".repeat(22 + figures.len() * 11));
+    for model in core_models {
+        print!("{:<22}", model.name());
+        for (_, h) in &figures {
+            print!("{:>11}", if satisfies(h, model) { "+" } else { "-" });
+        }
+        println!();
+    }
+    for model in proximal {
+        print!("{:<22}", model.name());
+        for (_, h) in &figures {
+            let allowed = check_proximal(h, model).expect("appendix histories are small");
+            print!("{:>11}", if allowed { "+" } else { "-" });
+        }
+        println!();
+    }
+    println!("\nKey verdicts from the paper:");
+    println!("  Fig 9  : allowed by CRDB, disallowed by RSS");
+    println!("  Fig 10 : allowed by RSS, disallowed by CRDB");
+    println!("  Fig 11 : write skew — allowed by strong SI, disallowed by RSS");
+    println!("  Fig 13 : allowed by OSC(U), disallowed by RSC");
+    println!("  Fig 14 : allowed by RSC and VV regularity, disallowed by OSC(U) and MWR-RF");
+    println!("  Fig 15 : allowed by MWR-WO and MWR-NI, disallowed by RSC");
+    println!("  Fig 16 : allowed by MWR-RF and MWR-NI, disallowed by RSC");
+}

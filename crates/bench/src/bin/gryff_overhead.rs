@@ -1,0 +1,53 @@
+//! §7.4: Gryff-RSC's overhead — throughput and median latency with the
+//! wide-area emulation disabled, YCSB-A (50 % writes) and YCSB-B (5 % writes),
+//! 10 % conflicts, increasing client counts.
+//!
+//! Usage: `cargo run --release -p regular-bench --bin gryff_overhead [--quick]`
+
+use regular_bench::{fmt_ms, run_gryff_ycsb, GryffRunParams};
+use regular_gryff::prelude::Mode;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let client_counts: &[usize] = if quick { &[16, 64] } else { &[8, 16, 32, 64, 128, 256] };
+
+    for (name, write_ratio) in [("YCSB-A (50% writes)", 0.5), ("YCSB-B (5% writes)", 0.05)] {
+        println!("== Gryff overhead, {name}, 10% conflicts, single data center ==");
+        println!(
+            "{:>8} | {:>12} {:>10} | {:>12} {:>10} | {:>12}",
+            "clients", "gryff op/s", "p50 ms", "rsc op/s", "p50 ms", "thpt delta"
+        );
+        for &clients in client_counts {
+            let params = GryffRunParams {
+                write_ratio,
+                conflict_rate: 0.10,
+                clients,
+                wan: false,
+                duration_secs: if quick { 5 } else { 10 },
+                seed: 11,
+            };
+            let baseline = run_gryff_ycsb(Mode::Gryff, &params);
+            let rsc = run_gryff_ycsb(Mode::GryffRsc, &params);
+            let mut b = baseline.read_latencies.clone();
+            b.merge(&baseline.write_latencies);
+            let mut r = rsc.read_latencies.clone();
+            r.merge(&rsc.write_latencies);
+            let delta = if baseline.throughput > 0.0 {
+                (rsc.throughput - baseline.throughput) / baseline.throughput * 100.0
+            } else {
+                0.0
+            };
+            println!(
+                "{:>8} | {:>12.0} {:>10} | {:>12.0} {:>10} | {:>11.2}%",
+                clients,
+                baseline.throughput,
+                fmt_ms(b.percentile(50.0)),
+                rsc.throughput,
+                fmt_ms(r.percentile(50.0)),
+                delta,
+            );
+        }
+        println!();
+    }
+    println!("Expectation (paper): Gryff-RSC's throughput and latency are within ~1% of Gryff's.");
+}

@@ -1,0 +1,83 @@
+//! Table 1: which photo-sharing invariants hold and which anomalies are
+//! possible under strict serializability, RSS, and PO serializability.
+//!
+//! Methodology: for every invariant (I1, I2) and anomaly (A1–A3) the harness
+//! constructs the canonical execution that exhibits the violation/anomaly and
+//! asks each consistency model's checker whether it *admits* that execution.
+//! "never" means the model rejects it; "possible" means the model admits it.
+//! (A4 — a request that never receives a response — is outside any
+//! consistency model's scope and is listed as "always possible" for all
+//! models, as in the paper.)
+//!
+//! Usage: `cargo run -p regular-bench --bin table1`
+
+use regular_core::checker::models::{satisfies, satisfies_composed, Model};
+use regular_core::history::History;
+use regular_core::invariants::{check_i1, check_i2, detect_a1, detect_a2_a3, scenarios, PhotoAppKeys};
+
+fn verdict(admitted: bool) -> &'static str {
+    if admitted {
+        "possible"
+    } else {
+        "never"
+    }
+}
+
+fn admitted(history: &History, model: Model) -> bool {
+    match model {
+        // Non-composable models only guarantee each service independently.
+        Model::ProcessOrderedSerializability | Model::SequentialConsistency => {
+            satisfies_composed(history, model)
+        }
+        _ => satisfies(history, model),
+    }
+}
+
+fn main() {
+    let keys = PhotoAppKeys::default();
+    let models =
+        [Model::StrictSerializability, Model::RegularSequentialSerializability, Model::ProcessOrderedSerializability];
+
+    println!("== Table 1: invariants and anomalies of the photo-sharing application ==\n");
+
+    let rows: Vec<(&str, History)> = vec![
+        ("I1 violation (album references missing photo)", scenarios::i1_violation(&keys)),
+        ("I2 violation (worker reads null after dequeue)", scenarios::i2_violation(&keys)),
+        ("A1 (lost photo)", scenarios::a1_anomaly(&keys)),
+        ("A2 (Alice adds, calls Bob, Bob misses it)", scenarios::a2_anomaly(&keys)),
+        ("A3 (Alice sees Charlie's in-flight photo, Bob misses it)", scenarios::a3_anomaly(&keys)),
+    ];
+
+    // Sanity: every scenario really violates what it claims to violate.
+    assert!(check_i1(&rows[0].1, &keys).is_err());
+    assert!(check_i2(&rows[1].1, &keys).is_err());
+    assert!(detect_a1(&rows[2].1, &keys).is_some());
+    assert!(detect_a2_a3(&rows[3].1, &keys).is_some());
+    assert!(detect_a2_a3(&rows[4].1, &keys).is_some());
+    let correct = scenarios::correct_execution(&keys);
+    assert!(check_i1(&correct, &keys).is_ok() && check_i2(&correct, &keys).is_ok());
+
+    println!(
+        "{:<58} | {:>14} | {:>14} | {:>18}",
+        "scenario", "strict ser.", "RSS", "PO serializability"
+    );
+    println!("{}", "-".repeat(115));
+    for (name, history) in &rows {
+        print!("{name:<58} |");
+        for model in models {
+            print!(" {:>14} |", verdict(admitted(history, model)));
+        }
+        println!();
+    }
+    println!(
+        "{:<58} | {:>14} | {:>14} | {:>18}",
+        "A4 (request never answered: outside consistency model)", "possible", "possible", "possible"
+    );
+
+    println!("\nPaper's Table 1 for comparison:");
+    println!("  I1: holds under all three models              (violations: never/never/never)");
+    println!("  I2: holds under strict serializability and RSS (violation possible under PO ser.)");
+    println!("  A1: never under any of the three");
+    println!("  A2: never under strict serializability and RSS; always possible under PO ser.");
+    println!("  A3: never under strict ser.; temporarily possible under RSS; possible under PO ser.");
+}

@@ -1,0 +1,11 @@
+//! Shared helpers for the benchmark harnesses that regenerate the paper's
+//! tables and figures.
+//!
+//! The binaries in `src/bin/` each reproduce one experiment (see the
+//! experiment index in `DESIGN.md` and the recorded results in
+//! `EXPERIMENTS.md`); the Criterion benches in `benches/` measure the
+//! protocol-level and checker-level costs.
+
+pub mod runs;
+
+pub use runs::*;

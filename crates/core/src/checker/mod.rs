@@ -1,0 +1,28 @@
+//! Consistency checkers.
+//!
+//! Two complementary families:
+//!
+//! * [`search`] + [`models`]: exact, search-based checkers that decide whether
+//!   a (small) history satisfies a consistency model by looking for a legal
+//!   sequence. Used for the Table 1 / Appendix A comparisons and for property
+//!   tests of the definitions themselves.
+//! * [`certificate`]: scalable witness checkers. The protocol implementations
+//!   (Spanner-RSS, Gryff-RSC, and their baselines) emit a serialization
+//!   witness (commit timestamps / carstamps); the certificate checker
+//!   validates the witness against the model's constraints in near-linear
+//!   time, which lets the integration tests verify histories with tens of
+//!   thousands of operations.
+//! * [`proximal`]: checkers for the neighbouring consistency models discussed
+//!   in Appendix A (CRDB, strong snapshot isolation, OSC(U), VV-regularity,
+//!   real-time causal, and the Shao et al. multi-writer regularity family).
+
+pub mod assemble;
+pub mod certificate;
+pub mod models;
+pub mod proximal;
+pub mod search;
+
+pub use assemble::{assemble_witness, AssembleError};
+pub use certificate::{check_witness, WitnessModel, WitnessViolation};
+pub use models::{check, CheckOutcome, Model};
+pub use search::{find_sequence, Constraints};

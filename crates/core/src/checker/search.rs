@@ -1,0 +1,298 @@
+//! Exact sequence search under precedence constraints.
+//!
+//! All of the paper's consistency definitions have the same shape: *there
+//! exists a sequence `S` in the service's specification that is equivalent to
+//! the completed history and respects a set of precedence constraints* (real
+//! time for strict serializability/linearizability, causality plus the
+//! "regular" write constraint for RSS/RSC, process order for PO
+//! serializability/sequential consistency). This module implements the shared
+//! existential search: a backtracking topological enumeration with spec replay
+//! and memoization on (scheduled-set, state) pairs.
+//!
+//! The search is exponential in the worst case (the problem is NP-hard), so it
+//! is intended for the small histories used in Table 1, Appendix A, and the
+//! property tests — not for full protocol runs, which use the certificate
+//! checkers instead.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+use crate::history::History;
+use crate::spec::SpecState;
+use crate::types::OpId;
+
+/// Maximum history size the search accepts (the scheduled-set is a `u128`
+/// bitmask).
+pub const MAX_SEARCH_OPS: usize = 128;
+
+/// Precedence constraints: `a` must appear before `b` whenever both are in the
+/// candidate sequence.
+#[derive(Debug, Clone, Default)]
+pub struct Constraints {
+    edges: Vec<(OpId, OpId)>,
+}
+
+impl Constraints {
+    /// Creates an empty constraint set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a constraint set from explicit edges.
+    pub fn from_edges(edges: Vec<(OpId, OpId)>) -> Self {
+        let mut c = Constraints { edges };
+        c.edges.sort();
+        c.edges.dedup();
+        c.edges.retain(|(a, b)| a != b);
+        c
+    }
+
+    /// Adds an edge `a → b`.
+    pub fn add(&mut self, a: OpId, b: OpId) {
+        if a != b {
+            self.edges.push((a, b));
+        }
+    }
+
+    /// Merges another constraint set into this one.
+    pub fn extend(&mut self, other: &Constraints) {
+        self.edges.extend_from_slice(&other.edges);
+        self.edges.sort();
+        self.edges.dedup();
+    }
+
+    /// The constraint edges.
+    pub fn edges(&self) -> &[(OpId, OpId)] {
+        &self.edges
+    }
+
+    /// True if the constraints (restricted to `included`) contain a cycle, in
+    /// which case no sequence can satisfy them.
+    pub fn has_cycle(&self, included: &[OpId]) -> bool {
+        let set: HashSet<OpId> = included.iter().copied().collect();
+        // Kahn's algorithm on the restricted graph.
+        let mut indegree: HashMap<OpId, usize> = included.iter().map(|&o| (o, 0)).collect();
+        let mut adj: HashMap<OpId, Vec<OpId>> = HashMap::new();
+        for &(a, b) in &self.edges {
+            if set.contains(&a) && set.contains(&b) {
+                *indegree.get_mut(&b).expect("b is included") += 1;
+                adj.entry(a).or_default().push(b);
+            }
+        }
+        let mut queue: Vec<OpId> = indegree.iter().filter(|(_, &d)| d == 0).map(|(&o, _)| o).collect();
+        let mut visited = 0;
+        while let Some(o) = queue.pop() {
+            visited += 1;
+            if let Some(next) = adj.get(&o) {
+                for &b in next {
+                    let d = indegree.get_mut(&b).expect("b is included");
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push(b);
+                    }
+                }
+            }
+        }
+        visited != included.len()
+    }
+}
+
+/// Searches for a legal sequence containing every operation in `required` and
+/// any subset of `optional` (incomplete mutating operations whose effects may
+/// or may not have taken place), respecting `constraints` and the sequential
+/// specification.
+///
+/// Returns a witness sequence if one exists, `None` otherwise, or an error if
+/// the history is too large for the exact search.
+pub fn find_sequence(
+    history: &History,
+    required: &[OpId],
+    optional: &[OpId],
+    constraints: &Constraints,
+) -> Result<Option<Vec<OpId>>, SearchError> {
+    if history.len() > MAX_SEARCH_OPS {
+        return Err(SearchError::TooLarge { ops: history.len() });
+    }
+    // Try subsets of the optional operations, smallest first (the common case
+    // is that pending writes need not be included).
+    let optional = &optional[..optional.len().min(12)];
+    let subsets = 1usize << optional.len();
+    for subset in 0..subsets {
+        let mut included: Vec<OpId> = required.to_vec();
+        for (i, &op) in optional.iter().enumerate() {
+            if subset & (1 << i) != 0 {
+                included.push(op);
+            }
+        }
+        if constraints.has_cycle(&included) {
+            continue;
+        }
+        if let Some(seq) = search_included(history, &included, constraints) {
+            return Ok(Some(seq));
+        }
+    }
+    Ok(None)
+}
+
+/// Errors from the exact search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchError {
+    /// The history exceeds [`MAX_SEARCH_OPS`]; use the certificate checker.
+    TooLarge {
+        /// Number of operations in the history.
+        ops: usize,
+    },
+}
+
+fn search_included(history: &History, included: &[OpId], constraints: &Constraints) -> Option<Vec<OpId>> {
+    let n = included.len();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    // Map op -> local index.
+    let mut local: HashMap<OpId, usize> = HashMap::new();
+    for (i, &op) in included.iter().enumerate() {
+        local.insert(op, i);
+    }
+    // preds[i] = bitmask of local indices that must precede i.
+    let mut preds = vec![0u128; n];
+    for &(a, b) in constraints.edges() {
+        if let (Some(&ia), Some(&ib)) = (local.get(&a), local.get(&b)) {
+            preds[ib] |= 1 << ia;
+        }
+    }
+    let mut seq = Vec::with_capacity(n);
+    let mut seen: HashSet<(u128, u64)> = HashSet::new();
+    if backtrack(history, included, &preds, 0, &SpecState::new(), &mut seq, &mut seen) {
+        Some(seq)
+    } else {
+        None
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+
+fn backtrack(
+    history: &History,
+    included: &[OpId],
+    preds: &[u128],
+    placed_mask: u128,
+    state: &SpecState,
+    seq: &mut Vec<OpId>,
+    seen: &mut HashSet<(u128, u64)>,
+) -> bool {
+    let n = included.len();
+    if seq.len() == n {
+        return true;
+    }
+    if !seen.insert((placed_mask, state.fingerprint())) {
+        return false;
+    }
+    for i in 0..n {
+        let bit = 1u128 << i;
+        if placed_mask & bit != 0 {
+            continue;
+        }
+        if preds[i] & !placed_mask != 0 {
+            continue;
+        }
+        let op = history.op(included[i]);
+        let mut next_state = state.clone();
+        let produced = next_state.apply(op.service, &op.kind);
+        if let Some(recorded) = &op.result {
+            let matches = match &op.kind {
+                crate::op::OpKind::Write { .. }
+                | crate::op::OpKind::Enqueue { .. }
+                | crate::op::OpKind::Fence => true,
+                _ => &produced == recorded,
+            };
+            if !matches {
+                continue;
+            }
+        }
+        seq.push(included[i]);
+        if backtrack(history, included, preds, placed_mask | bit, &next_state, seq, seen) {
+            return true;
+        }
+        seq.pop();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HistoryBuilder;
+    use crate::order::CausalOrder;
+
+    #[test]
+    fn constraints_cycle_detection() {
+        let a = OpId(0);
+        let b = OpId(1);
+        let c = OpId(2);
+        let cons = Constraints::from_edges(vec![(a, b), (b, c), (c, a)]);
+        assert!(cons.has_cycle(&[a, b, c]));
+        assert!(!cons.has_cycle(&[a, b]));
+        let acyclic = Constraints::from_edges(vec![(a, b), (b, c)]);
+        assert!(!acyclic.has_cycle(&[a, b, c]));
+    }
+
+    #[test]
+    fn finds_order_for_simple_history() {
+        let mut b = HistoryBuilder::new();
+        let w = b.write(1, 1, 5, 0, 2);
+        let r = b.read(2, 1, 5, 3, 4);
+        let h = b.build();
+        let cons = Constraints::from_edges(CausalOrder::new(&h).direct_edges().to_vec());
+        let seq = find_sequence(&h, &h.complete_ids(), &[], &cons).unwrap().unwrap();
+        assert_eq!(seq, vec![w, r]);
+    }
+
+    #[test]
+    fn detects_unsatisfiable_history() {
+        let mut b = HistoryBuilder::new();
+        // Read of a value nobody wrote.
+        let _r = b.read(1, 1, 99, 0, 2);
+        let h = b.build();
+        let cons = Constraints::new();
+        assert_eq!(find_sequence(&h, &h.complete_ids(), &[], &cons).unwrap(), None);
+    }
+
+    #[test]
+    fn optional_pending_write_can_justify_read() {
+        let mut b = HistoryBuilder::new();
+        let pw = b.pending_write(1, 1, 9, 0);
+        let r = b.read(2, 1, 9, 10, 12);
+        let h = b.build();
+        let cons = Constraints::new();
+        let seq = find_sequence(&h, &[r], &[pw], &cons).unwrap().unwrap();
+        assert_eq!(seq, vec![pw, r]);
+    }
+
+    #[test]
+    fn constraints_can_make_history_unsatisfiable() {
+        let mut b = HistoryBuilder::new();
+        let w = b.write(1, 1, 5, 0, 2);
+        let r = b.read(2, 1, 0, 3, 4); // reads null
+        let h = b.build();
+        // Force the write before the read: then the read of null is invalid.
+        let cons = Constraints::from_edges(vec![(w, r)]);
+        assert_eq!(find_sequence(&h, &h.complete_ids(), &[], &cons).unwrap(), None);
+        // Without the constraint the read can be ordered first.
+        let free = Constraints::new();
+        assert!(find_sequence(&h, &h.complete_ids(), &[], &free).unwrap().is_some());
+    }
+
+    #[test]
+    fn rejects_oversized_history() {
+        let mut b = HistoryBuilder::new();
+        for i in 0..130 {
+            b.write(1, 1, i + 1, i * 10, i * 10 + 5);
+        }
+        let h = b.build();
+        assert!(matches!(
+            find_sequence(&h, &h.complete_ids(), &[], &Constraints::new()),
+            Err(SearchError::TooLarge { .. })
+        ));
+    }
+}

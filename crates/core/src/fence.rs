@@ -1,0 +1,112 @@
+//! Real-time fences (Section 4.1).
+//!
+//! A set of RSS (RSC) services must together appear to execute transactions
+//! (operations) in one global order. Because RSS relaxes real-time ordering
+//! for causally unrelated operations, naively switching between services can
+//! expose cycles across services. The paper's fix is a per-service *real-time
+//! fence*: every transaction that causally precedes the fence is serialized
+//! before every transaction that follows the fence in real time. If a client
+//! issues a fence at its previous service before its first transaction at a
+//! different service, the composition is RSS (Appendix C.4).
+//!
+//! This module defines the service-side abstraction ([`FencedService`]) that
+//! the `regular-librss` crate builds its composition meta-library on, along
+//! with bookkeeping shared by the Spanner-RSS and Gryff-RSC fence
+//! implementations.
+
+/// A service that can execute a real-time fence on behalf of a client.
+///
+/// The fence guarantee: every transaction (operation) that causally precedes
+/// the fence at this service is serialized before any transaction that follows
+/// the fence in real time, regardless of which client issues it.
+pub trait FencedService {
+    /// A unique, stable name identifying the service (used as the registry key
+    /// by `libRSS`).
+    fn service_name(&self) -> &str;
+
+    /// Executes a real-time fence for the calling client and blocks (logically)
+    /// until its guarantee holds.
+    fn fence(&mut self);
+}
+
+/// Statistics about fence executions, useful for quantifying the composition
+/// overhead in benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FenceStats {
+    /// Number of fences actually executed.
+    pub executed: u64,
+    /// Number of transaction starts that did not require a fence (same service
+    /// as the previous transaction).
+    pub elided: u64,
+}
+
+impl FenceStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an executed fence.
+    pub fn record_executed(&mut self) {
+        self.executed += 1;
+    }
+
+    /// Records an elided (unnecessary) fence.
+    pub fn record_elided(&mut self) {
+        self.elided += 1;
+    }
+
+    /// Fraction of transaction starts that required a fence.
+    pub fn fence_rate(&self) -> f64 {
+        let total = self.executed + self.elided;
+        if total == 0 {
+            0.0
+        } else {
+            self.executed as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy {
+        name: String,
+        fences: u32,
+    }
+
+    impl FencedService for Dummy {
+        fn service_name(&self) -> &str {
+            &self.name
+        }
+        fn fence(&mut self) {
+            self.fences += 1;
+        }
+    }
+
+    #[test]
+    fn fenced_service_trait_object() {
+        let mut svc = Dummy { name: "kv".to_string(), fences: 0 };
+        {
+            let dyn_svc: &mut dyn FencedService = &mut svc;
+            assert_eq!(dyn_svc.service_name(), "kv");
+            dyn_svc.fence();
+            dyn_svc.fence();
+        }
+        assert_eq!(svc.fences, 2);
+    }
+
+    #[test]
+    fn fence_stats() {
+        let mut s = FenceStats::new();
+        assert_eq!(s.fence_rate(), 0.0);
+        s.record_executed();
+        s.record_elided();
+        s.record_elided();
+        s.record_elided();
+        assert_eq!(s.executed, 1);
+        assert_eq!(s.elided, 3);
+        assert!((s.fence_rate() - 0.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,505 @@
+//! Execution histories: the observable record of an application's interaction
+//! with a set of services.
+//!
+//! A [`History`] corresponds to the paper's notion of an execution restricted
+//! to what matters for checking consistency: each operation's invocation and
+//! response actions (with real-time instants from the omniscient clock), the
+//! issuing process, the target service, and the message-passing interactions
+//! between processes. The per-process sub-execution, the real-time order, and
+//! the causal order are all derived from this record (see [`crate::order`]).
+
+use serde::{Deserialize, Serialize};
+
+use crate::op::{OpKind, OpResult};
+use crate::types::{Key, OpId, ProcessId, ServiceId, Timestamp, Value};
+
+/// One recorded operation: invocation, optional response, and metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpRecord {
+    /// Dense identifier (index into the history).
+    pub id: OpId,
+    /// The process that issued the operation.
+    pub process: ProcessId,
+    /// The service the operation targets.
+    pub service: ServiceId,
+    /// The operation kind and arguments.
+    pub kind: OpKind,
+    /// Real-time instant of the invocation action.
+    pub invoke: Timestamp,
+    /// Real-time instant of the response action; `None` if the operation never
+    /// completed (e.g. the process stopped while waiting).
+    pub response: Option<Timestamp>,
+    /// The returned result; `None` iff the operation is incomplete.
+    pub result: Option<OpResult>,
+}
+
+impl OpRecord {
+    /// True if the operation completed (has a response).
+    pub fn is_complete(&self) -> bool {
+        self.response.is_some()
+    }
+
+    /// The value this operation observed for `key`, if any.
+    pub fn observed_value(&self, key: Key) -> Option<Value> {
+        self.result.as_ref().and_then(|r| r.value_for(key, &self.kind))
+    }
+}
+
+/// A message-passing interaction between two processes (out-of-band of the
+/// services), used to derive causal edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageEdge {
+    /// Sending process.
+    pub from: ProcessId,
+    /// Instant of the send action at the sender.
+    pub sent_at: Timestamp,
+    /// Receiving process.
+    pub to: ProcessId,
+    /// Instant of the receive action at the receiver.
+    pub received_at: Timestamp,
+}
+
+/// Problems detected by [`History::validate`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HistoryError {
+    /// An operation's response precedes its invocation.
+    ResponseBeforeInvoke(OpId),
+    /// Two operations of the same process overlap in time (processes have at
+    /// most one outstanding invocation).
+    OverlappingOps(OpId, OpId),
+    /// A complete operation has no result, or an incomplete one has a result.
+    ResultMismatch(OpId),
+    /// A message is received before it is sent.
+    MessageBeforeSend(usize),
+}
+
+/// An execution history over a (possibly composite) service.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct History {
+    ops: Vec<OpRecord>,
+    messages: Vec<MessageEdge>,
+    /// Out-of-band communication invisible to the application and its services
+    /// (e.g. Alice phoning Bob). These edges are *not* part of the causal
+    /// order services must respect; they exist so anomaly detectors can judge
+    /// executions from the users' point of view (Section 2.3).
+    external: Vec<MessageEdge>,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a complete operation and returns its id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_complete(
+        &mut self,
+        process: ProcessId,
+        service: ServiceId,
+        kind: OpKind,
+        invoke: Timestamp,
+        response: Timestamp,
+        result: OpResult,
+    ) -> OpId {
+        let id = OpId(self.ops.len() as u32);
+        self.ops.push(OpRecord {
+            id,
+            process,
+            service,
+            kind,
+            invoke,
+            response: Some(response),
+            result: Some(result),
+        });
+        id
+    }
+
+    /// Records an operation whose response was never observed.
+    pub fn add_incomplete(
+        &mut self,
+        process: ProcessId,
+        service: ServiceId,
+        kind: OpKind,
+        invoke: Timestamp,
+    ) -> OpId {
+        let id = OpId(self.ops.len() as u32);
+        self.ops.push(OpRecord { id, process, service, kind, invoke, response: None, result: None });
+        id
+    }
+
+    /// Records a message between two application processes. Such messages are
+    /// part of the causal order (Section 3.3, "message passing").
+    pub fn add_message(&mut self, from: ProcessId, sent_at: Timestamp, to: ProcessId, received_at: Timestamp) {
+        self.messages.push(MessageEdge { from, sent_at, to, received_at });
+    }
+
+    /// Records communication that happens entirely outside the application
+    /// (e.g. a phone call between users). It is ignored by the causal order
+    /// but available to anomaly detectors.
+    pub fn add_external_communication(
+        &mut self,
+        from: ProcessId,
+        sent_at: Timestamp,
+        to: ProcessId,
+        received_at: Timestamp,
+    ) {
+        self.external.push(MessageEdge { from, sent_at, to, received_at });
+    }
+
+    /// All operations, in insertion order.
+    pub fn ops(&self) -> &[OpRecord] {
+        &self.ops
+    }
+
+    /// The operation with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn op(&self, id: OpId) -> &OpRecord {
+        &self.ops[id.index()]
+    }
+
+    /// Number of operations in the history.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the history contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// All application-level message edges (part of the causal order).
+    pub fn messages(&self) -> &[MessageEdge] {
+        &self.messages
+    }
+
+    /// All external (out-of-band, user-level) communication edges.
+    pub fn external_communications(&self) -> &[MessageEdge] {
+        &self.external
+    }
+
+    /// The sub-history containing only this service's operations (with fresh,
+    /// dense operation ids) and all message edges. Used to check composed
+    /// non-composable models: a set of independently consistent services.
+    pub fn project_service(&self, service: ServiceId) -> History {
+        let mut h = History::new();
+        for op in &self.ops {
+            if op.service != service {
+                continue;
+            }
+            match (&op.response, &op.result) {
+                (Some(resp), Some(result)) => {
+                    h.add_complete(op.process, op.service, op.kind.clone(), op.invoke, *resp, result.clone());
+                }
+                _ => {
+                    h.add_incomplete(op.process, op.service, op.kind.clone(), op.invoke);
+                }
+            }
+        }
+        h.messages = self.messages.clone();
+        h.external = self.external.clone();
+        h
+    }
+
+    /// Ids of all complete operations.
+    pub fn complete_ids(&self) -> Vec<OpId> {
+        self.ops.iter().filter(|o| o.is_complete()).map(|o| o.id).collect()
+    }
+
+    /// Ids of all incomplete operations.
+    pub fn incomplete_ids(&self) -> Vec<OpId> {
+        self.ops.iter().filter(|o| !o.is_complete()).map(|o| o.id).collect()
+    }
+
+    /// Ids of incomplete *mutating* operations — the ones whose effects may or
+    /// may not be visible (the "extend with zero or more responses" clause in
+    /// the RSS/RSC definitions).
+    pub fn pending_mutations(&self) -> Vec<OpId> {
+        self.ops
+            .iter()
+            .filter(|o| !o.is_complete() && o.kind.is_mutating())
+            .map(|o| o.id)
+            .collect()
+    }
+
+    /// The distinct processes appearing in the history, sorted.
+    pub fn processes(&self) -> Vec<ProcessId> {
+        let mut ps: Vec<ProcessId> = self.ops.iter().map(|o| o.process).collect();
+        ps.sort();
+        ps.dedup();
+        ps
+    }
+
+    /// The distinct services appearing in the history, sorted.
+    pub fn services(&self) -> Vec<ServiceId> {
+        let mut ss: Vec<ServiceId> = self.ops.iter().map(|o| o.service).collect();
+        ss.sort();
+        ss.dedup();
+        ss
+    }
+
+    /// Operations of `process`, ordered by invocation time (the process's
+    /// sub-execution restricted to service interactions).
+    pub fn ops_of_process(&self, process: ProcessId) -> Vec<OpId> {
+        let mut ids: Vec<OpId> =
+            self.ops.iter().filter(|o| o.process == process).map(|o| o.id).collect();
+        ids.sort_by_key(|id| (self.op(*id).invoke, *id));
+        ids
+    }
+
+    /// Checks structural well-formedness (Section 3.1): responses follow
+    /// invocations, a process has at most one outstanding operation, results
+    /// are present exactly for complete operations, and messages are sent
+    /// before they are received.
+    pub fn validate(&self) -> Result<(), HistoryError> {
+        for op in &self.ops {
+            if let Some(resp) = op.response {
+                if resp < op.invoke {
+                    return Err(HistoryError::ResponseBeforeInvoke(op.id));
+                }
+                if op.result.is_none() {
+                    return Err(HistoryError::ResultMismatch(op.id));
+                }
+            } else if op.result.is_some() {
+                return Err(HistoryError::ResultMismatch(op.id));
+            }
+        }
+        for p in self.processes() {
+            let ids = self.ops_of_process(p);
+            for pair in ids.windows(2) {
+                let (a, b) = (self.op(pair[0]), self.op(pair[1]));
+                // `a` must respond (or never respond but then it must be the
+                // final op) before `b` is invoked.
+                match a.response {
+                    Some(resp) if resp <= b.invoke => {}
+                    _ => return Err(HistoryError::OverlappingOps(a.id, b.id)),
+                }
+            }
+        }
+        for (i, m) in self.messages.iter().chain(self.external.iter()).enumerate() {
+            if m.received_at < m.sent_at {
+                return Err(HistoryError::MessageBeforeSend(i));
+            }
+        }
+        Ok(())
+    }
+
+    /// The read-only operations that conflict with mutating operation `w`
+    /// (the paper's C(w)): read-only operations on the same service reading a
+    /// key that `w` writes.
+    pub fn conflicting_read_only(&self, w: OpId) -> Vec<OpId> {
+        let wrec = self.op(w);
+        let written = wrec.kind.written_keys();
+        self.ops
+            .iter()
+            .filter(|o| {
+                o.id != w
+                    && o.service == wrec.service
+                    && o.kind.is_read_only()
+                    && o.kind.read_keys().iter().any(|k| written.contains(k))
+            })
+            .map(|o| o.id)
+            .collect()
+    }
+}
+
+/// A small fluent builder for hand-constructing histories in tests and in the
+/// Appendix A comparison harness, with explicit invocation/response instants.
+#[derive(Debug, Default)]
+pub struct HistoryBuilder {
+    history: History,
+}
+
+impl HistoryBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a complete write `key := value` on the default service.
+    pub fn write(&mut self, p: u32, key: u64, value: u64, invoke: u64, response: u64) -> OpId {
+        self.history.add_complete(
+            ProcessId(p),
+            ServiceId::KV,
+            OpKind::Write { key: Key(key), value: Value(value) },
+            Timestamp(invoke),
+            Timestamp(response),
+            OpResult::Ack,
+        )
+    }
+
+    /// Adds a complete read of `key` returning `value`.
+    pub fn read(&mut self, p: u32, key: u64, value: u64, invoke: u64, response: u64) -> OpId {
+        self.history.add_complete(
+            ProcessId(p),
+            ServiceId::KV,
+            OpKind::Read { key: Key(key) },
+            Timestamp(invoke),
+            Timestamp(response),
+            OpResult::Value(Value(value)),
+        )
+    }
+
+    /// Adds an incomplete write (invoked, never responded).
+    pub fn pending_write(&mut self, p: u32, key: u64, value: u64, invoke: u64) -> OpId {
+        self.history.add_incomplete(
+            ProcessId(p),
+            ServiceId::KV,
+            OpKind::Write { key: Key(key), value: Value(value) },
+            Timestamp(invoke),
+        )
+    }
+
+    /// Adds a complete read-write transaction.
+    pub fn rw_txn(
+        &mut self,
+        p: u32,
+        reads: &[(u64, u64)],
+        writes: &[(u64, u64)],
+        invoke: u64,
+        response: u64,
+    ) -> OpId {
+        self.history.add_complete(
+            ProcessId(p),
+            ServiceId::KV,
+            OpKind::RwTxn {
+                read_keys: reads.iter().map(|&(k, _)| Key(k)).collect(),
+                writes: writes.iter().map(|&(k, v)| (Key(k), Value(v))).collect(),
+            },
+            Timestamp(invoke),
+            Timestamp(response),
+            OpResult::Values(reads.iter().map(|&(k, v)| (Key(k), Value(v))).collect()),
+        )
+    }
+
+    /// Adds a complete read-only transaction.
+    pub fn ro_txn(&mut self, p: u32, reads: &[(u64, u64)], invoke: u64, response: u64) -> OpId {
+        self.history.add_complete(
+            ProcessId(p),
+            ServiceId::KV,
+            OpKind::RoTxn { keys: reads.iter().map(|&(k, _)| Key(k)).collect() },
+            Timestamp(invoke),
+            Timestamp(response),
+            OpResult::Values(reads.iter().map(|&(k, v)| (Key(k), Value(v))).collect()),
+        )
+    }
+
+    /// Adds an out-of-band message between processes.
+    pub fn message(&mut self, from: u32, sent_at: u64, to: u32, received_at: u64) -> &mut Self {
+        self.history.add_message(ProcessId(from), Timestamp(sent_at), ProcessId(to), Timestamp(received_at));
+        self
+    }
+
+    /// Finishes the builder, returning the history.
+    pub fn build(self) -> History {
+        self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_accessors() {
+        let mut b = HistoryBuilder::new();
+        let w = b.write(1, 1, 10, 0, 5);
+        let r = b.read(2, 1, 10, 6, 8);
+        let pw = b.pending_write(3, 2, 7, 9);
+        b.message(1, 5, 2, 6);
+        let h = b.build();
+
+        assert_eq!(h.len(), 3);
+        assert!(!h.is_empty());
+        assert_eq!(h.complete_ids(), vec![w, r]);
+        assert_eq!(h.incomplete_ids(), vec![pw]);
+        assert_eq!(h.pending_mutations(), vec![pw]);
+        assert_eq!(h.processes(), vec![ProcessId(1), ProcessId(2), ProcessId(3)]);
+        assert_eq!(h.services(), vec![ServiceId::KV]);
+        assert_eq!(h.messages().len(), 1);
+        assert_eq!(h.op(w).observed_value(Key(1)), None);
+        assert_eq!(h.op(r).observed_value(Key(1)), Some(Value(10)));
+        assert!(h.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_response_before_invoke() {
+        let mut h = History::new();
+        h.add_complete(
+            ProcessId(1),
+            ServiceId::KV,
+            OpKind::Read { key: Key(1) },
+            Timestamp(10),
+            Timestamp(5),
+            OpResult::Value(Value::NULL),
+        );
+        assert_eq!(h.validate(), Err(HistoryError::ResponseBeforeInvoke(OpId(0))));
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_ops_in_one_process() {
+        let mut b = HistoryBuilder::new();
+        b.write(1, 1, 10, 0, 10);
+        b.read(1, 1, 10, 5, 20);
+        let h = b.build();
+        assert!(matches!(h.validate(), Err(HistoryError::OverlappingOps(_, _))));
+    }
+
+    #[test]
+    fn validate_rejects_message_received_before_sent() {
+        let mut b = HistoryBuilder::new();
+        b.write(1, 1, 10, 0, 1);
+        b.message(1, 10, 2, 5);
+        let h = b.build();
+        assert_eq!(h.validate(), Err(HistoryError::MessageBeforeSend(0)));
+    }
+
+    #[test]
+    fn incomplete_final_op_is_well_formed() {
+        let mut b = HistoryBuilder::new();
+        b.write(1, 1, 10, 0, 5);
+        b.pending_write(1, 2, 20, 6);
+        let h = b.build();
+        assert!(h.validate().is_ok());
+    }
+
+    #[test]
+    fn conflicting_read_only_set() {
+        let mut b = HistoryBuilder::new();
+        let w = b.rw_txn(1, &[], &[(1, 10), (2, 20)], 0, 5);
+        let r1 = b.ro_txn(2, &[(1, 10)], 6, 8);
+        let _r2 = b.ro_txn(2, &[(3, 0)], 9, 10);
+        let r3 = b.read(3, 2, 20, 6, 8);
+        let h = b.build();
+        let conflicts = h.conflicting_read_only(w);
+        assert!(conflicts.contains(&r1));
+        assert!(conflicts.contains(&r3));
+        assert_eq!(conflicts.len(), 2);
+    }
+
+    #[test]
+    fn ops_of_process_sorted_by_invocation() {
+        let mut h = History::new();
+        // Inserted out of order on purpose.
+        let b = h.add_complete(
+            ProcessId(1),
+            ServiceId::KV,
+            OpKind::Read { key: Key(1) },
+            Timestamp(10),
+            Timestamp(12),
+            OpResult::Value(Value::NULL),
+        );
+        let a = h.add_complete(
+            ProcessId(1),
+            ServiceId::KV,
+            OpKind::Read { key: Key(1) },
+            Timestamp(1),
+            Timestamp(3),
+            OpResult::Value(Value::NULL),
+        );
+        assert_eq!(h.ops_of_process(ProcessId(1)), vec![a, b]);
+    }
+}

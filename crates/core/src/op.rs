@@ -1,0 +1,251 @@
+//! Operations: the invocations application processes issue on services.
+//!
+//! The paper's formal model covers both non-transactional services (reads,
+//! writes, read-modify-writes on a key-value store; enqueues and dequeues on a
+//! messaging service) and transactional services (read-only and read-write
+//! transactions). [`OpKind`] captures all of them so a single history type can
+//! describe executions against a composite service.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{Key, Value};
+
+/// The kind (and arguments) of an operation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Non-transactional read of a single key.
+    Read { key: Key },
+    /// Non-transactional write of a single key.
+    Write { key: Key, value: Value },
+    /// Atomic read-modify-write: writes `value` and returns the prior value.
+    Rmw { key: Key, value: Value },
+    /// Read-only transaction over a set of keys.
+    RoTxn { keys: Vec<Key> },
+    /// Read-write transaction: reads `read_keys`, then writes `writes`.
+    RwTxn { read_keys: Vec<Key>, writes: Vec<(Key, Value)> },
+    /// Enqueue a value onto a FIFO queue (messaging service).
+    Enqueue { queue: Key, value: Value },
+    /// Dequeue the head of a FIFO queue; returns [`Value::NULL`] when empty.
+    Dequeue { queue: Key },
+    /// A real-time fence (Section 4.1); has no return value.
+    Fence,
+}
+
+/// The result carried by an operation's response.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpResult {
+    /// A single value: `Read` and `Dequeue` results, or the *prior* value for `Rmw`.
+    Value(Value),
+    /// Per-key values read by a transaction (`RoTxn` and `RwTxn`).
+    Values(Vec<(Key, Value)>),
+    /// Acknowledgement with no data (`Write`, `Enqueue`, `Fence`).
+    Ack,
+}
+
+impl OpKind {
+    /// True if the operation mutates service state (is a "write" in the sense
+    /// of the RSS/RSC definitions' set `W`).
+    pub fn is_mutating(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Write { .. } | OpKind::Rmw { .. } | OpKind::RwTxn { .. } | OpKind::Enqueue { .. }
+        )
+    }
+
+    /// True if the operation is purely read-only (a candidate member of a
+    /// conflict set `C(w)`).
+    pub fn is_read_only(&self) -> bool {
+        matches!(self, OpKind::Read { .. } | OpKind::RoTxn { .. } | OpKind::Dequeue { .. })
+    }
+
+    /// True if the operation is transactional (RSS rather than RSC territory).
+    pub fn is_transactional(&self) -> bool {
+        matches!(self, OpKind::RoTxn { .. } | OpKind::RwTxn { .. })
+    }
+
+    /// True if this is a real-time fence.
+    pub fn is_fence(&self) -> bool {
+        matches!(self, OpKind::Fence)
+    }
+
+    /// Keys written by this operation (for queues, the queue key).
+    pub fn written_keys(&self) -> Vec<Key> {
+        match self {
+            OpKind::Write { key, .. } | OpKind::Rmw { key, .. } => vec![*key],
+            OpKind::RwTxn { writes, .. } => writes.iter().map(|(k, _)| *k).collect(),
+            OpKind::Enqueue { queue, .. } => vec![*queue],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Keys read by this operation (for dequeues, the queue key). `Rmw` and
+    /// `RwTxn` read as well as write.
+    pub fn read_keys(&self) -> Vec<Key> {
+        match self {
+            OpKind::Read { key } | OpKind::Rmw { key, .. } => vec![*key],
+            OpKind::RoTxn { keys } => keys.clone(),
+            OpKind::RwTxn { read_keys, .. } => read_keys.clone(),
+            OpKind::Dequeue { queue } => vec![*queue],
+            _ => Vec::new(),
+        }
+    }
+
+    /// All keys accessed (read or written) by this operation.
+    pub fn accessed_keys(&self) -> Vec<Key> {
+        let mut keys = self.read_keys();
+        for k in self.written_keys() {
+            if !keys.contains(&k) {
+                keys.push(k);
+            }
+        }
+        keys
+    }
+
+    /// The values this operation writes, as `(key, value)` pairs.
+    pub fn written_values(&self) -> Vec<(Key, Value)> {
+        match self {
+            OpKind::Write { key, value } | OpKind::Rmw { key, value } => vec![(*key, *value)],
+            OpKind::RwTxn { writes, .. } => writes.clone(),
+            OpKind::Enqueue { queue, value } => vec![(*queue, *value)],
+            _ => Vec::new(),
+        }
+    }
+
+    /// True if this operation *conflicts* with `other`: they access a common
+    /// key and at least one of them writes it (the paper's conflict relation,
+    /// Section 3.3, generalized to both transactional and non-transactional
+    /// operations).
+    pub fn conflicts_with(&self, other: &OpKind) -> bool {
+        let my_writes = self.written_keys();
+        let my_reads = self.accessed_keys();
+        let their_writes = other.written_keys();
+        let their_reads = other.accessed_keys();
+        my_writes.iter().any(|k| their_reads.contains(k))
+            || their_writes.iter().any(|k| my_reads.contains(k))
+    }
+}
+
+impl OpResult {
+    /// The value read for `key`, if this result contains one.
+    pub fn value_for(&self, key: Key, kind: &OpKind) -> Option<Value> {
+        match self {
+            OpResult::Value(v) => match kind {
+                OpKind::Read { key: k } | OpKind::Rmw { key: k, .. } | OpKind::Dequeue { queue: k } => {
+                    if *k == key {
+                        Some(*v)
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            },
+            OpResult::Values(vs) => vs.iter().find(|(k, _)| *k == key).map(|(_, v)| *v),
+            OpResult::Ack => None,
+        }
+    }
+
+    /// All `(key, value)` pairs observed by this result.
+    pub fn observed(&self, kind: &OpKind) -> Vec<(Key, Value)> {
+        match self {
+            OpResult::Value(v) => match kind {
+                OpKind::Read { key } | OpKind::Rmw { key, .. } => vec![(*key, *v)],
+                OpKind::Dequeue { queue } => vec![(*queue, *v)],
+                _ => Vec::new(),
+            },
+            OpResult::Values(vs) => vs.clone(),
+            OpResult::Ack => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rw(reads: &[u64], writes: &[(u64, u64)]) -> OpKind {
+        OpKind::RwTxn {
+            read_keys: reads.iter().map(|&k| Key(k)).collect(),
+            writes: writes.iter().map(|&(k, v)| (Key(k), Value(v))).collect(),
+        }
+    }
+
+    #[test]
+    fn mutating_classification() {
+        assert!(OpKind::Write { key: Key(1), value: Value(2) }.is_mutating());
+        assert!(OpKind::Rmw { key: Key(1), value: Value(2) }.is_mutating());
+        assert!(rw(&[1], &[(2, 3)]).is_mutating());
+        assert!(OpKind::Enqueue { queue: Key(1), value: Value(2) }.is_mutating());
+        assert!(!OpKind::Read { key: Key(1) }.is_mutating());
+        assert!(!OpKind::RoTxn { keys: vec![Key(1)] }.is_mutating());
+        assert!(!OpKind::Dequeue { queue: Key(1) }.is_mutating());
+        assert!(!OpKind::Fence.is_mutating());
+    }
+
+    #[test]
+    fn read_only_classification() {
+        assert!(OpKind::Read { key: Key(1) }.is_read_only());
+        assert!(OpKind::RoTxn { keys: vec![Key(1)] }.is_read_only());
+        assert!(OpKind::Dequeue { queue: Key(1) }.is_read_only());
+        assert!(!OpKind::Write { key: Key(1), value: Value(2) }.is_read_only());
+        assert!(!OpKind::Fence.is_read_only());
+    }
+
+    #[test]
+    fn transactional_classification() {
+        assert!(OpKind::RoTxn { keys: vec![] }.is_transactional());
+        assert!(rw(&[], &[]).is_transactional());
+        assert!(!OpKind::Read { key: Key(1) }.is_transactional());
+        assert!(OpKind::Fence.is_fence());
+    }
+
+    #[test]
+    fn key_sets() {
+        let op = rw(&[1, 2], &[(2, 9), (3, 9)]);
+        assert_eq!(op.read_keys(), vec![Key(1), Key(2)]);
+        assert_eq!(op.written_keys(), vec![Key(2), Key(3)]);
+        let accessed = op.accessed_keys();
+        assert!(accessed.contains(&Key(1)) && accessed.contains(&Key(2)) && accessed.contains(&Key(3)));
+        assert_eq!(accessed.len(), 3);
+        assert_eq!(op.written_values(), vec![(Key(2), Value(9)), (Key(3), Value(9))]);
+    }
+
+    #[test]
+    fn rmw_reads_and_writes() {
+        let op = OpKind::Rmw { key: Key(4), value: Value(10) };
+        assert_eq!(op.read_keys(), vec![Key(4)]);
+        assert_eq!(op.written_keys(), vec![Key(4)]);
+    }
+
+    #[test]
+    fn conflict_relation() {
+        let w = OpKind::Write { key: Key(1), value: Value(5) };
+        let r_same = OpKind::Read { key: Key(1) };
+        let r_other = OpKind::Read { key: Key(2) };
+        let w_other = OpKind::Write { key: Key(2), value: Value(5) };
+        assert!(w.conflicts_with(&r_same));
+        assert!(r_same.conflicts_with(&w));
+        assert!(!w.conflicts_with(&r_other));
+        assert!(!w.conflicts_with(&w_other));
+        assert!(!r_same.conflicts_with(&r_same), "two reads never conflict");
+        let rw1 = rw(&[1], &[(2, 1)]);
+        let rw2 = rw(&[2], &[(3, 1)]);
+        assert!(rw1.conflicts_with(&rw2), "rw1 writes a key rw2 reads");
+    }
+
+    #[test]
+    fn result_lookup() {
+        let kind = OpKind::RoTxn { keys: vec![Key(1), Key(2)] };
+        let res = OpResult::Values(vec![(Key(1), Value(7)), (Key(2), Value::NULL)]);
+        assert_eq!(res.value_for(Key(1), &kind), Some(Value(7)));
+        assert_eq!(res.value_for(Key(2), &kind), Some(Value::NULL));
+        assert_eq!(res.value_for(Key(3), &kind), None);
+        assert_eq!(res.observed(&kind).len(), 2);
+
+        let kind = OpKind::Read { key: Key(9) };
+        let res = OpResult::Value(Value(3));
+        assert_eq!(res.value_for(Key(9), &kind), Some(Value(3)));
+        assert_eq!(res.value_for(Key(8), &kind), None);
+        assert_eq!(OpResult::Ack.value_for(Key(9), &kind), None);
+        assert!(OpResult::Ack.observed(&kind).is_empty());
+    }
+}

@@ -1,0 +1,249 @@
+//! Sequential specifications and sequence replay.
+//!
+//! A service's *specification* (Section 3.2) is the set of correct sequential
+//! behaviours. For the services used throughout the paper and this repository
+//! it is:
+//!
+//! * **Key-value store** (transactional or not): a read returns the value of
+//!   the most recent preceding write to the same key, or null if none.
+//!   Read-modify-writes return the prior value and install the new one.
+//!   Read-write transactions read and then atomically write.
+//! * **FIFO messaging service**: dequeues return enqueued values in order,
+//!   or null when the queue is empty.
+//!
+//! A composite service is the interleaving of its constituents' specifications:
+//! each operation targets exactly one service, so replaying a sequence simply
+//! keeps separate state per [`ServiceId`].
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::history::History;
+use crate::op::{OpKind, OpResult};
+use crate::types::{Key, OpId, ServiceId, Value};
+
+/// A violation found while replaying a candidate sequence against the spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecViolation {
+    /// The operation whose recorded result disagrees with the replay.
+    pub op: OpId,
+    /// What the sequential replay would have returned.
+    pub expected: OpResult,
+    /// What the history recorded.
+    pub actual: OpResult,
+}
+
+/// In-memory sequential state of a composite service.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpecState {
+    kv: HashMap<(ServiceId, Key), Value>,
+    queues: HashMap<(ServiceId, Key), VecDeque<Value>>,
+}
+
+impl SpecState {
+    /// Creates the empty (initial) state: every key absent, every queue empty.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the current value of a key (null if absent).
+    pub fn get(&self, service: ServiceId, key: Key) -> Value {
+        self.kv.get(&(service, key)).copied().unwrap_or(Value::NULL)
+    }
+
+    /// A deterministic fingerprint of the state, used by the search checker to
+    /// prune repeated (scheduled-set, state) pairs. Equal states always hash
+    /// equal; collisions between different states only cost extra pruning of
+    /// work that would have failed anyway, because the fingerprint is always
+    /// combined with the exact scheduled-set mask.
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut kv: Vec<(u32, u64, u64)> =
+            self.kv.iter().map(|(&(s, k), &v)| (s.0, k.0, v.0)).collect();
+        kv.sort_unstable();
+        let mut queues: Vec<(u32, u64, Vec<u64>)> = self
+            .queues
+            .iter()
+            .map(|(&(s, k), q)| (s.0, k.0, q.iter().map(|v| v.0).collect()))
+            .collect();
+        queues.sort_unstable();
+        let mut hasher = DefaultHasher::new();
+        kv.hash(&mut hasher);
+        queues.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    /// Applies `kind` to the state, returning the result the operation would
+    /// produce in a sequential execution.
+    pub fn apply(&mut self, service: ServiceId, kind: &OpKind) -> OpResult {
+        match kind {
+            OpKind::Read { key } => OpResult::Value(self.get(service, *key)),
+            OpKind::Write { key, value } => {
+                self.kv.insert((service, *key), *value);
+                OpResult::Ack
+            }
+            OpKind::Rmw { key, value } => {
+                let prior = self.get(service, *key);
+                self.kv.insert((service, *key), *value);
+                OpResult::Value(prior)
+            }
+            OpKind::RoTxn { keys } => {
+                OpResult::Values(keys.iter().map(|k| (*k, self.get(service, *k))).collect())
+            }
+            OpKind::RwTxn { read_keys, writes } => {
+                let reads = read_keys.iter().map(|k| (*k, self.get(service, *k))).collect();
+                for (k, v) in writes {
+                    self.kv.insert((service, *k), *v);
+                }
+                OpResult::Values(reads)
+            }
+            OpKind::Enqueue { queue, value } => {
+                self.queues.entry((service, *queue)).or_default().push_back(*value);
+                OpResult::Ack
+            }
+            OpKind::Dequeue { queue } => {
+                let v = self
+                    .queues
+                    .get_mut(&(service, *queue))
+                    .and_then(|q| q.pop_front())
+                    .unwrap_or(Value::NULL);
+                OpResult::Value(v)
+            }
+            OpKind::Fence => OpResult::Ack,
+        }
+    }
+}
+
+/// Replays `order` (a candidate legal sequence `S ∈ 𝔖`) against the
+/// specification and checks every *complete* operation's recorded result.
+///
+/// Incomplete operations included in the order take effect but have no result
+/// to check (they model the "extend with zero or more responses" clause of the
+/// consistency definitions).
+pub fn check_sequence(history: &History, order: &[OpId]) -> Result<(), SpecViolation> {
+    let mut state = SpecState::new();
+    for &id in order {
+        let op = history.op(id);
+        let produced = state.apply(op.service, &op.kind);
+        if let Some(recorded) = &op.result {
+            if !results_compatible(&op.kind, &produced, recorded) {
+                return Err(SpecViolation { op: id, expected: produced, actual: recorded.clone() });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Result comparison: results must be identical, except that acknowledgement
+/// payloads are ignored for mutating operations that return no data.
+fn results_compatible(kind: &OpKind, expected: &OpResult, actual: &OpResult) -> bool {
+    match kind {
+        OpKind::Write { .. } | OpKind::Enqueue { .. } | OpKind::Fence => true,
+        _ => expected == actual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HistoryBuilder;
+    use crate::types::{ProcessId, Timestamp};
+
+    #[test]
+    fn kv_spec_basics() {
+        let mut s = SpecState::new();
+        let svc = ServiceId::KV;
+        assert_eq!(s.apply(svc, &OpKind::Read { key: Key(1) }), OpResult::Value(Value::NULL));
+        assert_eq!(s.apply(svc, &OpKind::Write { key: Key(1), value: Value(5) }), OpResult::Ack);
+        assert_eq!(s.apply(svc, &OpKind::Read { key: Key(1) }), OpResult::Value(Value(5)));
+        assert_eq!(
+            s.apply(svc, &OpKind::Rmw { key: Key(1), value: Value(9) }),
+            OpResult::Value(Value(5))
+        );
+        assert_eq!(s.get(svc, Key(1)), Value(9));
+    }
+
+    #[test]
+    fn txn_spec_reads_then_writes() {
+        let mut s = SpecState::new();
+        let svc = ServiceId::KV;
+        s.apply(svc, &OpKind::Write { key: Key(1), value: Value(1) });
+        let r = s.apply(
+            svc,
+            &OpKind::RwTxn {
+                read_keys: vec![Key(1), Key(2)],
+                writes: vec![(Key(2), Value(7))],
+            },
+        );
+        assert_eq!(r, OpResult::Values(vec![(Key(1), Value(1)), (Key(2), Value::NULL)]));
+        let r = s.apply(svc, &OpKind::RoTxn { keys: vec![Key(2)] });
+        assert_eq!(r, OpResult::Values(vec![(Key(2), Value(7))]));
+    }
+
+    #[test]
+    fn queue_spec_fifo() {
+        let mut s = SpecState::new();
+        let svc = ServiceId::QUEUE;
+        assert_eq!(s.apply(svc, &OpKind::Dequeue { queue: Key(0) }), OpResult::Value(Value::NULL));
+        s.apply(svc, &OpKind::Enqueue { queue: Key(0), value: Value(1) });
+        s.apply(svc, &OpKind::Enqueue { queue: Key(0), value: Value(2) });
+        assert_eq!(s.apply(svc, &OpKind::Dequeue { queue: Key(0) }), OpResult::Value(Value(1)));
+        assert_eq!(s.apply(svc, &OpKind::Dequeue { queue: Key(0) }), OpResult::Value(Value(2)));
+        assert_eq!(s.apply(svc, &OpKind::Dequeue { queue: Key(0) }), OpResult::Value(Value::NULL));
+    }
+
+    #[test]
+    fn services_are_independent() {
+        let mut s = SpecState::new();
+        s.apply(ServiceId(0), &OpKind::Write { key: Key(1), value: Value(5) });
+        assert_eq!(s.get(ServiceId(1), Key(1)), Value::NULL);
+        assert_eq!(s.get(ServiceId(0), Key(1)), Value(5));
+    }
+
+    #[test]
+    fn check_sequence_accepts_valid_order() {
+        let mut b = HistoryBuilder::new();
+        let w = b.write(1, 1, 42, 0, 5);
+        let r = b.read(2, 1, 42, 6, 9);
+        let h = b.build();
+        assert!(check_sequence(&h, &[w, r]).is_ok());
+    }
+
+    #[test]
+    fn check_sequence_rejects_invalid_order() {
+        let mut b = HistoryBuilder::new();
+        let w = b.write(1, 1, 42, 0, 5);
+        let r = b.read(2, 1, 42, 6, 9);
+        let h = b.build();
+        // Reading 42 before it is written contradicts the spec.
+        let err = check_sequence(&h, &[r, w]).unwrap_err();
+        assert_eq!(err.op, r);
+        assert_eq!(err.expected, OpResult::Value(Value::NULL));
+    }
+
+    #[test]
+    fn check_sequence_ignores_incomplete_results() {
+        let mut b = HistoryBuilder::new();
+        let pw = b.pending_write(1, 1, 7, 0);
+        let r = b.read(2, 1, 7, 10, 12);
+        let h = b.build();
+        // Including the pending write makes the read legal.
+        assert!(check_sequence(&h, &[pw, r]).is_ok());
+        // Excluding it does not.
+        assert!(check_sequence(&h, &[r]).is_err());
+    }
+
+    #[test]
+    fn fence_is_a_no_op_in_the_spec() {
+        let mut h = History::new();
+        let f = h.add_complete(
+            ProcessId(1),
+            ServiceId::KV,
+            OpKind::Fence,
+            Timestamp(0),
+            Timestamp(1),
+            OpResult::Ack,
+        );
+        assert!(check_sequence(&h, &[f]).is_ok());
+    }
+}

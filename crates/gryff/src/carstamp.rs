@@ -1,0 +1,60 @@
+//! Carstamps: Gryff's consensus-after-register timestamps.
+//!
+//! Every write and read-modify-write is tagged with a carstamp denoting its
+//! position in the per-key total order; reads adopt the carstamp of the value
+//! they return. Carstamps are totally ordered, and a writer picks one strictly
+//! larger than every carstamp reported by its first-phase quorum, which is the
+//! property the correctness argument (Appendix D.2, Lemma D.6 onward) builds
+//! on.
+
+use serde::{Deserialize, Serialize};
+
+/// A carstamp: a logical count plus the writer's identifier for tie-breaking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Carstamp {
+    /// Logical counter (dominant component).
+    pub count: u64,
+    /// Identifier of the writer (client node or rmw coordinator).
+    pub writer: u64,
+}
+
+impl Carstamp {
+    /// The carstamp of the initial (absent) value.
+    pub const ZERO: Carstamp = Carstamp { count: 0, writer: 0 };
+
+    /// A carstamp strictly larger than `self`, owned by `writer`.
+    pub fn next(self, writer: u64) -> Carstamp {
+        Carstamp { count: self.count + 1, writer }
+    }
+
+    /// True for the initial carstamp.
+    pub fn is_zero(self) -> bool {
+        self == Carstamp::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_by_count_then_writer() {
+        let a = Carstamp { count: 1, writer: 5 };
+        let b = Carstamp { count: 2, writer: 1 };
+        let c = Carstamp { count: 2, writer: 3 };
+        assert!(a < b);
+        assert!(b < c);
+        assert!(Carstamp::ZERO < a);
+    }
+
+    #[test]
+    fn next_is_strictly_larger() {
+        let a = Carstamp { count: 7, writer: 2 };
+        let n = a.next(9);
+        assert!(n > a);
+        assert_eq!(n.count, 8);
+        assert_eq!(n.writer, 9);
+        assert!(!n.is_zero());
+        assert!(Carstamp::ZERO.is_zero());
+    }
+}

@@ -1,0 +1,477 @@
+//! The Gryff / Gryff-RSC client: reads, writes, read-modify-writes, and
+//! real-time fences.
+//!
+//! * **Reads** (baseline): a read phase against a quorum; if the quorum
+//!   disagrees, a write-back phase propagates the newest value before the read
+//!   returns (two round trips).
+//! * **Reads** (Gryff-RSC): always one round trip; when the quorum disagrees
+//!   the observed value becomes a *dependency* piggybacked on the client's
+//!   next operation (Algorithm 3).
+//! * **Writes**: carstamp collection then propagation (two round trips).
+//! * **Read-modify-writes**: forwarded to the key's coordinator replica.
+//! * **Fences** (Gryff-RSC): write back the pending dependency to a quorum so
+//!   all future reads — by any client — observe it (Section 7.1).
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use regular_core::types::Value;
+use regular_sim::engine::{Context, NodeId};
+use regular_sim::time::{SimDuration, SimTime};
+
+use crate::carstamp::Carstamp;
+use crate::config::Mode;
+use crate::messages::{Dep, GryffMsg, OpRef};
+use crate::workload::{GryffWorkload, OpRequest};
+
+/// Client configuration shared by all client nodes of a deployment.
+#[derive(Debug, Clone)]
+pub struct GryffClientConfig {
+    /// Protocol variant.
+    pub mode: Mode,
+    /// Node ids of the replicas (0..num_replicas by construction).
+    pub replicas: Vec<NodeId>,
+    /// Majority quorum size.
+    pub quorum: usize,
+    /// Number of concurrent closed-loop sessions driven by this node.
+    pub sessions: usize,
+    /// Think time between a session's operations.
+    pub think_time: SimDuration,
+    /// Stop issuing new operations after this instant.
+    pub stop_issuing_at: SimTime,
+}
+
+/// One completed operation, as recorded for metrics and conformance checking.
+#[derive(Debug, Clone)]
+pub struct CompletedOp {
+    /// What kind of operation this was.
+    pub kind: OpRequest,
+    /// Value returned (read result, or prior value for rmw; null for writes).
+    pub read_value: Value,
+    /// Value written (writes and rmws).
+    pub written_value: Value,
+    /// Carstamp associated with the operation (read: carstamp of the returned
+    /// value; write/rmw: carstamp of the installed value).
+    pub carstamp: Carstamp,
+    /// Invocation instant.
+    pub invoke: SimTime,
+    /// Completion instant.
+    pub finish: SimTime,
+    /// Number of wide-area round trips the operation needed.
+    pub rounds: u8,
+    /// Issuing session.
+    pub session: u64,
+}
+
+/// Aggregate client statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GryffClientStats {
+    /// Completed reads.
+    pub reads: u64,
+    /// Reads that needed the write-back (second) round.
+    pub slow_reads: u64,
+    /// Completed writes.
+    pub writes: u64,
+    /// Completed read-modify-writes.
+    pub rmws: u64,
+    /// Completed fences.
+    pub fences: u64,
+    /// Dependencies piggybacked onto later operations (Gryff-RSC).
+    pub deps_piggybacked: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpPhase {
+    ReadRound,
+    ReadWriteBack,
+    WriteRound1,
+    WriteRound2,
+    RmwWait,
+    FenceRound,
+}
+
+#[derive(Debug)]
+struct ActiveOp {
+    session: u64,
+    request: OpRequest,
+    invoke: SimTime,
+    phase: OpPhase,
+    replies: usize,
+    /// Maximum (carstamp, value) observed in the current round.
+    max: (Carstamp, Value),
+    /// Whether the first-round quorum disagreed.
+    disagreement: bool,
+    /// Value to write (writes and rmws).
+    write_value: Value,
+    /// Carstamp chosen for the write.
+    chosen: Carstamp,
+    /// Whether a dependency was attached to this operation's first round.
+    carried_dep: bool,
+    rounds: u8,
+}
+
+enum TimerAction {
+    StartOp { session: u64 },
+}
+
+/// The Gryff client node.
+pub struct GryffClient {
+    cfg: GryffClientConfig,
+    workload: Box<dyn GryffWorkload>,
+    ops: HashMap<u64, ActiveOp>,
+    next_seq: u64,
+    value_counter: u64,
+    /// The pending dependency (Gryff-RSC): the last read observation not yet
+    /// known to be at a quorum.
+    dep: Option<Dep>,
+    timers: HashMap<u64, TimerAction>,
+    next_timer: u64,
+    /// All completed operations.
+    pub completed: Vec<CompletedOp>,
+    /// Aggregate statistics.
+    pub stats: GryffClientStats,
+}
+
+impl GryffClient {
+    /// Creates a client with the given configuration and workload.
+    pub fn new(cfg: GryffClientConfig, workload: Box<dyn GryffWorkload>) -> Self {
+        GryffClient {
+            cfg,
+            workload,
+            ops: HashMap::new(),
+            next_seq: 0,
+            value_counter: 0,
+            dep: None,
+            timers: HashMap::new(),
+            next_timer: 0,
+            completed: Vec::new(),
+            stats: GryffClientStats::default(),
+        }
+    }
+
+    fn set_timer(&mut self, ctx: &mut Context<GryffMsg>, delay: SimDuration, action: TimerAction) {
+        let tag = self.next_timer;
+        self.next_timer += 1;
+        self.timers.insert(tag, action);
+        ctx.set_timer(delay, tag);
+    }
+
+    fn fresh_value(&mut self, ctx: &Context<GryffMsg>) -> Value {
+        self.value_counter += 1;
+        Value(((ctx.node_id() as u64 + 1) << 40) | self.value_counter)
+    }
+
+    /// Takes the pending dependency for piggybacking (Gryff-RSC only).
+    fn take_dep_for_piggyback(&mut self) -> Option<Dep> {
+        if self.cfg.mode == Mode::GryffRsc {
+            if self.dep.is_some() {
+                self.stats.deps_piggybacked += 1;
+            }
+            self.dep
+        } else {
+            None
+        }
+    }
+
+    fn start_op(&mut self, ctx: &mut Context<GryffMsg>, session: u64) {
+        if ctx.now() >= self.cfg.stop_issuing_at {
+            return;
+        }
+        let request = self.workload.next_op(ctx.rng());
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let op_ref = OpRef { node: ctx.node_id(), seq };
+        let mut op = ActiveOp {
+            session,
+            request: request.clone(),
+            invoke: ctx.now(),
+            phase: OpPhase::ReadRound,
+            replies: 0,
+            max: (Carstamp::ZERO, Value::NULL),
+            disagreement: false,
+            write_value: Value::NULL,
+            chosen: Carstamp::ZERO,
+            carried_dep: false,
+            rounds: 1,
+        };
+        match request {
+            OpRequest::Read { key } => {
+                let dep = self.take_dep_for_piggyback();
+                op.carried_dep = dep.is_some();
+                op.phase = OpPhase::ReadRound;
+                for &r in &self.cfg.replicas {
+                    ctx.send(r, GryffMsg::Read1 { op: op_ref, key, dep });
+                }
+            }
+            OpRequest::Write { key } => {
+                let dep = self.take_dep_for_piggyback();
+                op.carried_dep = dep.is_some();
+                op.write_value = self.fresh_value(ctx);
+                op.phase = OpPhase::WriteRound1;
+                for &r in &self.cfg.replicas {
+                    ctx.send(r, GryffMsg::Write1 { op: op_ref, key, dep });
+                }
+            }
+            OpRequest::Rmw { key } => {
+                let dep = self.take_dep_for_piggyback();
+                op.carried_dep = dep.is_some();
+                op.write_value = self.fresh_value(ctx);
+                op.phase = OpPhase::RmwWait;
+                let coordinator = self.cfg.replicas[(key.0 % self.cfg.replicas.len() as u64) as usize];
+                ctx.send(coordinator, GryffMsg::Rmw { op: op_ref, key, new_value: op.write_value, dep });
+            }
+            OpRequest::Fence => {
+                match (self.cfg.mode, self.dep) {
+                    (Mode::GryffRsc, Some(d)) => {
+                        // Write the pending observation back to a quorum so
+                        // every future read observes it.
+                        op.phase = OpPhase::FenceRound;
+                        op.max = (d.cs, d.value);
+                        for &r in &self.cfg.replicas {
+                            ctx.send(r, GryffMsg::Write2 { op: op_ref, key: d.key, value: d.value, cs: d.cs });
+                        }
+                    }
+                    _ => {
+                        // Nothing to propagate (or already linearizable):
+                        // complete immediately.
+                        self.stats.fences += 1;
+                        self.completed.push(CompletedOp {
+                            kind: OpRequest::Fence,
+                            read_value: Value::NULL,
+                            written_value: Value::NULL,
+                            carstamp: Carstamp::ZERO,
+                            invoke: ctx.now(),
+                            finish: ctx.now(),
+                            rounds: 0,
+                            session,
+                        });
+                        self.schedule_next(ctx, session);
+                        return;
+                    }
+                }
+            }
+        }
+        self.ops.insert(seq, op);
+    }
+
+    fn schedule_next(&mut self, ctx: &mut Context<GryffMsg>, session: u64) {
+        let think = self.cfg.think_time;
+        self.set_timer(ctx, think, TimerAction::StartOp { session });
+    }
+
+    fn finish_op(&mut self, ctx: &mut Context<GryffMsg>, seq: u64, read_value: Value, carstamp: Carstamp) {
+        let op = self.ops.remove(&seq).expect("operation exists");
+        match op.request {
+            OpRequest::Read { .. } => {
+                self.stats.reads += 1;
+                if op.rounds > 1 {
+                    self.stats.slow_reads += 1;
+                }
+            }
+            OpRequest::Write { .. } => self.stats.writes += 1,
+            OpRequest::Rmw { .. } => self.stats.rmws += 1,
+            OpRequest::Fence => self.stats.fences += 1,
+        }
+        self.completed.push(CompletedOp {
+            kind: op.request.clone(),
+            read_value,
+            written_value: op.write_value,
+            carstamp,
+            invoke: op.invoke,
+            finish: ctx.now(),
+            rounds: op.rounds,
+            session: op.session,
+        });
+        self.schedule_next(ctx, op.session);
+    }
+}
+
+impl regular_sim::engine::Node<GryffMsg> for GryffClient {
+    fn on_start(&mut self, ctx: &mut Context<GryffMsg>) {
+        for session in 0..self.cfg.sessions as u64 {
+            let jitter = SimDuration::from_micros(ctx.rng().gen_range(0..1_000));
+            self.set_timer(ctx, jitter, TimerAction::StartOp { session });
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<GryffMsg>, tag: u64) {
+        let Some(TimerAction::StartOp { session }) = self.timers.remove(&tag) else { return };
+        self.start_op(ctx, session);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<GryffMsg>, _from: NodeId, msg: GryffMsg) {
+        match msg {
+            GryffMsg::Read1Reply { op, value, cs } => {
+                let seq = op.seq;
+                let Some(active) = self.ops.get_mut(&seq) else { return };
+                if active.phase != OpPhase::ReadRound {
+                    return;
+                }
+                active.replies += 1;
+                if active.replies == 1 {
+                    active.max = (cs, value);
+                } else {
+                    if cs != active.max.0 {
+                        active.disagreement = true;
+                    }
+                    if (cs, value) > active.max {
+                        active.max = (cs, value);
+                    }
+                }
+                if active.replies < self.cfg.quorum {
+                    return;
+                }
+                // Quorum reached: the piggybacked dependency (if any) is now at
+                // a quorum and can be cleared.
+                let key = match active.request {
+                    OpRequest::Read { key } => key,
+                    _ => return,
+                };
+                let (cs, value) = active.max;
+                let disagreement = active.disagreement;
+                if active.carried_dep {
+                    self.dep = None;
+                }
+                match self.cfg.mode {
+                    Mode::Gryff => {
+                        if disagreement {
+                            // Write-back phase: propagate the newest value
+                            // before returning (linearizability).
+                            let active = self.ops.get_mut(&seq).expect("operation exists");
+                            active.phase = OpPhase::ReadWriteBack;
+                            active.replies = 0;
+                            active.rounds = 2;
+                            let op_ref = OpRef { node: ctx.node_id(), seq };
+                            for &r in &self.cfg.replicas {
+                                ctx.send(r, GryffMsg::Write2 { op: op_ref, key, value, cs });
+                            }
+                        } else {
+                            self.finish_op(ctx, seq, value, cs);
+                        }
+                    }
+                    Mode::GryffRsc => {
+                        if disagreement {
+                            // Remember the observation as a dependency for the
+                            // next operation instead of writing it back now.
+                            self.dep = Some(Dep { key, value, cs });
+                        }
+                        self.finish_op(ctx, seq, value, cs);
+                    }
+                }
+            }
+            GryffMsg::Write2Reply { op } => {
+                let seq = op.seq;
+                let Some(active) = self.ops.get_mut(&seq) else { return };
+                match active.phase {
+                    OpPhase::ReadWriteBack => {
+                        active.replies += 1;
+                        if active.replies >= self.cfg.quorum {
+                            let (cs, value) = active.max;
+                            self.finish_op(ctx, seq, value, cs);
+                        }
+                    }
+                    OpPhase::WriteRound2 => {
+                        active.replies += 1;
+                        if active.replies >= self.cfg.quorum {
+                            let cs = active.chosen;
+                            self.finish_op(ctx, seq, Value::NULL, cs);
+                        }
+                    }
+                    OpPhase::FenceRound => {
+                        active.replies += 1;
+                        if active.replies >= self.cfg.quorum {
+                            // The dependency is now at a quorum.
+                            self.dep = None;
+                            let cs = active.max.0;
+                            self.finish_op(ctx, seq, Value::NULL, cs);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            GryffMsg::Write1Reply { op, cs } => {
+                let seq = op.seq;
+                let Some(active) = self.ops.get_mut(&seq) else { return };
+                if active.phase != OpPhase::WriteRound1 {
+                    return;
+                }
+                active.replies += 1;
+                if cs > active.max.0 {
+                    active.max.0 = cs;
+                }
+                if active.replies < self.cfg.quorum {
+                    return;
+                }
+                // The piggybacked dependency (if any) is now at a quorum.
+                if active.carried_dep {
+                    self.dep = None;
+                }
+                let key = match active.request {
+                    OpRequest::Write { key } => key,
+                    _ => return,
+                };
+                let active = self.ops.get_mut(&seq).expect("operation exists");
+                // The carstamp writer id must be unique per session (sessions
+                // on one client node issue writes concurrently and could
+                // otherwise collide on the same count).
+                let writer = ctx.node_id() as u64 * 1_000 + active.session;
+                active.chosen = active.max.0.next(writer);
+                active.phase = OpPhase::WriteRound2;
+                active.replies = 0;
+                active.rounds = 2;
+                let op_ref = OpRef { node: ctx.node_id(), seq };
+                let (value, cs) = (active.write_value, active.chosen);
+                for &r in &self.cfg.replicas {
+                    ctx.send(r, GryffMsg::Write2 { op: op_ref, key, value, cs });
+                }
+            }
+            GryffMsg::RmwReply { op, old_value, cs } => {
+                let seq = op.seq;
+                let Some(active) = self.ops.get_mut(&seq) else { return };
+                if active.phase != OpPhase::RmwWait {
+                    return;
+                }
+                // The dependency travelled with the rmw and is now at a quorum
+                // (the coordinator's read phase carried it).
+                if active.carried_dep {
+                    self.dep = None;
+                }
+                self.stats.deps_piggybacked += 0;
+                self.finish_op(ctx, seq, old_value, cs);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regular_core::types::Key;
+
+    #[test]
+    fn fresh_values_are_unique_and_non_null() {
+        // The value encoding must never collide with NULL and must be unique
+        // per client.
+        let v1 = Value(((7u64 + 1) << 40) | 1);
+        let v2 = Value(((7u64 + 1) << 40) | 2);
+        assert_ne!(v1, Value::NULL);
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn completed_op_records_rounds() {
+        let op = CompletedOp {
+            kind: OpRequest::Read { key: Key(1) },
+            read_value: Value(3),
+            written_value: Value::NULL,
+            carstamp: Carstamp { count: 1, writer: 2 },
+            invoke: SimTime::from_millis(0),
+            finish: SimTime::from_millis(72),
+            rounds: 1,
+            session: 0,
+        };
+        assert_eq!(op.rounds, 1);
+        assert_eq!(op.finish.since(op.invoke), SimDuration::from_millis(72));
+    }
+}

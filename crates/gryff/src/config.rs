@@ -1,0 +1,100 @@
+//! Configuration of a simulated Gryff / Gryff-RSC deployment.
+
+use regular_sim::time::SimDuration;
+
+/// Which read protocol the deployment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// The linearizable baseline: reads take a second (write-back) round trip
+    /// whenever the first-round quorum disagrees.
+    Gryff,
+    /// The RSC variant: reads always finish in one round; the observed value
+    /// is piggybacked onto the client's next operation (Section 7, Appendix B).
+    GryffRsc,
+}
+
+/// Static configuration of a deployment.
+#[derive(Debug, Clone)]
+pub struct GryffConfig {
+    /// Protocol variant.
+    pub mode: Mode,
+    /// Number of replicas (the paper uses five, one per region).
+    pub num_replicas: usize,
+    /// Region of each replica.
+    pub replica_regions: Vec<usize>,
+    /// Per-event CPU cost at replicas.
+    pub replica_service_time: SimDuration,
+    /// Per-event CPU cost at clients.
+    pub client_service_time: SimDuration,
+}
+
+impl GryffConfig {
+    /// The five-region wide-area configuration of Section 7.2 (one replica in
+    /// each of CA, VA, IR, OR, JP).
+    pub fn wan(mode: Mode) -> Self {
+        GryffConfig {
+            mode,
+            num_replicas: 5,
+            replica_regions: vec![0, 1, 2, 3, 4],
+            replica_service_time: SimDuration::from_micros(20),
+            client_service_time: SimDuration::from_micros(2),
+        }
+    }
+
+    /// A single-data-center configuration used by the overhead experiment
+    /// (§7.4): five replicas, sub-millisecond latency.
+    pub fn single_dc(mode: Mode) -> Self {
+        GryffConfig {
+            mode,
+            num_replicas: 5,
+            replica_regions: vec![0; 5],
+            replica_service_time: SimDuration::from_micros(20),
+            client_service_time: SimDuration::from_micros(2),
+        }
+    }
+
+    /// Size of a majority quorum.
+    pub fn quorum(&self) -> usize {
+        self.num_replicas / 2 + 1
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_replicas == 0 {
+            return Err("num_replicas must be positive".to_string());
+        }
+        if self.replica_regions.len() != self.num_replicas {
+            return Err("replica_regions must have one entry per replica".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wan_config_matches_paper() {
+        let cfg = GryffConfig::wan(Mode::GryffRsc);
+        assert_eq!(cfg.num_replicas, 5);
+        assert_eq!(cfg.quorum(), 3);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_malformed_configs() {
+        let mut cfg = GryffConfig::wan(Mode::Gryff);
+        cfg.replica_regions.pop();
+        assert!(cfg.validate().is_err());
+        cfg.num_replicas = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn single_dc_quorum() {
+        let cfg = GryffConfig::single_dc(Mode::Gryff);
+        assert_eq!(cfg.quorum(), 3);
+        assert!(cfg.validate().is_ok());
+    }
+}

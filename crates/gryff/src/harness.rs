@@ -1,0 +1,426 @@
+//! Deployment assembly, execution, and result extraction for Gryff/Gryff-RSC.
+//!
+//! Mirrors `regular_spanner::harness`: builds the replica and client nodes,
+//! runs the simulation, and converts the recorded operations into latency
+//! distributions, a [`regular_core::History`], and a serialization witness.
+//! The witness is assembled from the per-key carstamp order plus each
+//! session's process order, extended with the model's real-time constraints —
+//! the relation `<ψ` of the paper's Appendix D.2 proof.
+
+use std::collections::HashMap;
+
+use regular_core::checker::assemble::assemble_witness;
+use regular_core::checker::certificate::{check_witness, WitnessModel, WitnessViolation};
+use regular_core::history::History;
+use regular_core::op::{OpKind, OpResult};
+use regular_core::types::{OpId, ProcessId, ServiceId, Timestamp, Value};
+use regular_sim::engine::{Context, Engine, EngineConfig, Node, NodeId};
+use regular_sim::metrics::LatencyRecorder;
+use regular_sim::net::LatencyMatrix;
+use regular_sim::time::{SimDuration, SimTime};
+
+use crate::carstamp::Carstamp;
+use crate::client::{CompletedOp, GryffClient, GryffClientConfig, GryffClientStats};
+use crate::config::{GryffConfig, Mode};
+use crate::messages::GryffMsg;
+use crate::replica::{GryffReplica, ReplicaStats};
+use crate::workload::{GryffWorkload, OpRequest};
+
+/// A node of the simulated deployment.
+pub enum GryffNode {
+    /// A storage replica.
+    Replica(GryffReplica),
+    /// A client node.
+    Client(GryffClient),
+}
+
+impl Node<GryffMsg> for GryffNode {
+    fn on_start(&mut self, ctx: &mut Context<GryffMsg>) {
+        match self {
+            GryffNode::Replica(r) => r.on_start(ctx),
+            GryffNode::Client(c) => c.on_start(ctx),
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Context<GryffMsg>, from: NodeId, msg: GryffMsg) {
+        match self {
+            GryffNode::Replica(r) => r.on_message(ctx, from, msg),
+            GryffNode::Client(c) => c.on_message(ctx, from, msg),
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<GryffMsg>, tag: u64) {
+        match self {
+            GryffNode::Replica(r) => r.on_timer(ctx, tag),
+            GryffNode::Client(c) => c.on_timer(ctx, tag),
+        }
+    }
+}
+
+/// Specification of one client node.
+pub struct GryffClientSpec {
+    /// Region the client runs in.
+    pub region: usize,
+    /// Number of closed-loop sessions it drives.
+    pub sessions: usize,
+    /// Think time between operations.
+    pub think_time: SimDuration,
+    /// Workload generator.
+    pub workload: Box<dyn GryffWorkload>,
+}
+
+/// Specification of a deployment run.
+pub struct GryffClusterSpec {
+    /// Protocol and topology configuration.
+    pub config: GryffConfig,
+    /// Network model.
+    pub net: LatencyMatrix,
+    /// Random seed.
+    pub seed: u64,
+    /// Client nodes.
+    pub clients: Vec<GryffClientSpec>,
+    /// Clients stop issuing new operations at this instant.
+    pub stop_issuing_at: SimTime,
+    /// Extra time to let in-flight operations drain.
+    pub drain: SimDuration,
+    /// Measurements only cover completions at or after this instant.
+    pub measure_from: SimTime,
+}
+
+/// The outcome of a run.
+pub struct GryffRunResult {
+    /// Protocol variant that was run.
+    pub mode: Mode,
+    /// Read latencies (measurement window only).
+    pub read_latencies: LatencyRecorder,
+    /// Write latencies (measurement window only).
+    pub write_latencies: LatencyRecorder,
+    /// Read-modify-write latencies (measurement window only).
+    pub rmw_latencies: LatencyRecorder,
+    /// Completed operations per client node (all, including warm-up).
+    pub completed: Vec<(NodeId, Vec<CompletedOp>)>,
+    /// Aggregate throughput over the measurement window (op/s).
+    pub throughput: f64,
+    /// Aggregated client statistics.
+    pub client_stats: GryffClientStats,
+    /// Per-replica statistics.
+    pub replica_stats: Vec<ReplicaStats>,
+    /// Simulated completion time.
+    pub finished_at: SimTime,
+    /// Total messages delivered.
+    pub messages: u64,
+}
+
+/// Builds and runs a deployment.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+pub fn run_gryff(spec: GryffClusterSpec) -> GryffRunResult {
+    let GryffClusterSpec { config, net, seed, clients, stop_issuing_at, drain, measure_from } = spec;
+    config.validate().expect("invalid Gryff configuration");
+    let engine_cfg = EngineConfig {
+        default_service_time: config.replica_service_time,
+        max_time: stop_issuing_at + drain,
+        truetime_epsilon: SimDuration::ZERO,
+    };
+    let mut engine: Engine<GryffMsg, GryffNode> = Engine::new(engine_cfg, net.clone(), seed);
+
+    let mut replica_ids = Vec::new();
+    for i in 0..config.num_replicas {
+        let id = engine.add_node_with(
+            GryffNode::Replica(GryffReplica::new(&config, i)),
+            config.replica_regions[i],
+            config.replica_service_time,
+        );
+        replica_ids.push(id);
+    }
+    let mut client_ids = Vec::new();
+    for c in clients {
+        let cfg = GryffClientConfig {
+            mode: config.mode,
+            replicas: replica_ids.clone(),
+            quorum: config.quorum(),
+            sessions: c.sessions,
+            think_time: c.think_time,
+            stop_issuing_at,
+        };
+        let id = engine.add_node_with(
+            GryffNode::Client(GryffClient::new(cfg, c.workload)),
+            c.region,
+            config.client_service_time,
+        );
+        client_ids.push(id);
+    }
+
+    let finished_at = engine.run();
+
+    let mut read = LatencyRecorder::new();
+    let mut write = LatencyRecorder::new();
+    let mut rmw = LatencyRecorder::new();
+    let mut completed = Vec::new();
+    let mut stats = GryffClientStats::default();
+    let mut window_count = 0u64;
+    for &id in &client_ids {
+        if let GryffNode::Client(c) = engine.node(id) {
+            for op in &c.completed {
+                if op.finish >= measure_from {
+                    let latency = op.finish.since(op.invoke);
+                    match op.kind {
+                        OpRequest::Read { .. } => read.record(latency),
+                        OpRequest::Write { .. } => write.record(latency),
+                        OpRequest::Rmw { .. } => rmw.record(latency),
+                        OpRequest::Fence => {}
+                    }
+                    if op.finish < stop_issuing_at {
+                        window_count += 1;
+                    }
+                }
+            }
+            stats.reads += c.stats.reads;
+            stats.slow_reads += c.stats.slow_reads;
+            stats.writes += c.stats.writes;
+            stats.rmws += c.stats.rmws;
+            stats.fences += c.stats.fences;
+            stats.deps_piggybacked += c.stats.deps_piggybacked;
+            completed.push((id, c.completed.clone()));
+        }
+    }
+    let mut replica_stats = Vec::new();
+    for &id in &replica_ids {
+        if let GryffNode::Replica(r) = engine.node(id) {
+            replica_stats.push(r.stats);
+        }
+    }
+    let window = stop_issuing_at.since(measure_from).as_micros();
+    let throughput =
+        if window == 0 { 0.0 } else { window_count as f64 * 1_000_000.0 / window as f64 };
+    GryffRunResult {
+        mode: config.mode,
+        read_latencies: read,
+        write_latencies: write,
+        rmw_latencies: rmw,
+        completed,
+        throughput,
+        client_stats: stats,
+        replica_stats,
+        finished_at,
+        messages: engine.delivered_messages(),
+    }
+}
+
+/// Builds the history and the per-key/process-order constraint edges of a run.
+pub fn build_history(result: &GryffRunResult) -> (History, Vec<(OpId, OpId)>) {
+    let mut history = History::new();
+    let mut process_of: HashMap<(NodeId, u64), ProcessId> = HashMap::new();
+    // Per (key): list of (carstamp, rank, finish, op id) for chain edges.
+    let mut per_key: HashMap<u64, Vec<(Carstamp, u8, u64, OpId)>> = HashMap::new();
+    let mut per_process: HashMap<ProcessId, Vec<(u64, OpId)>> = HashMap::new();
+    for (client, ops) in &result.completed {
+        for op in ops {
+            let next_pid = ProcessId((process_of.len() + 1) as u32);
+            let pid = *process_of.entry((*client, op.session)).or_insert(next_pid);
+            let (kind, opres, key, rank) = match op.kind {
+                OpRequest::Read { key } => {
+                    (OpKind::Read { key }, OpResult::Value(op.read_value), Some(key), 1)
+                }
+                OpRequest::Write { key } => (
+                    OpKind::Write { key, value: op.written_value },
+                    OpResult::Ack,
+                    Some(key),
+                    0,
+                ),
+                OpRequest::Rmw { key } => (
+                    OpKind::Rmw { key, value: op.written_value },
+                    OpResult::Value(op.read_value),
+                    Some(key),
+                    0,
+                ),
+                OpRequest::Fence => (OpKind::Fence, OpResult::Ack, None, 0),
+            };
+            let id = history.add_complete(
+                pid,
+                ServiceId::KV,
+                kind,
+                Timestamp(op.invoke.as_micros()),
+                Timestamp(op.finish.as_micros()),
+                opres,
+            );
+            if let Some(k) = key {
+                per_key.entry(k.0).or_default().push((op.carstamp, rank, op.finish.as_micros(), id));
+            }
+            per_process.entry(pid).or_default().push((op.invoke.as_micros(), id));
+        }
+    }
+    let mut edges = Vec::new();
+    for (_, mut items) in per_key {
+        items.sort_unstable();
+        for w in items.windows(2) {
+            edges.push((w[0].3, w[1].3));
+        }
+    }
+    for (_, mut items) in per_process {
+        items.sort_unstable();
+        for w in items.windows(2) {
+            edges.push((w[0].1, w[1].1));
+        }
+    }
+    (history, edges)
+}
+
+/// Verifies that a run satisfies its consistency model: linearizability for
+/// the Gryff baseline, RSC for Gryff-RSC.
+pub fn verify_run(result: &GryffRunResult) -> Result<(), GryffVerificationError> {
+    let (history, edges) = build_history(result);
+    let model = match result.mode {
+        Mode::Gryff => WitnessModel::RealTime,
+        Mode::GryffRsc => WitnessModel::Regular,
+    };
+    let witness = assemble_witness(&history, &edges, model)
+        .map_err(|e| GryffVerificationError::Cyclic(e.unordered))?;
+    check_witness(&history, &witness, model).map_err(GryffVerificationError::Witness)
+}
+
+/// Why verification failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GryffVerificationError {
+    /// The combined ordering constraints are cyclic (no serialization exists).
+    Cyclic(usize),
+    /// The assembled witness was rejected by the certificate checker.
+    Witness(WitnessViolation),
+}
+
+/// A convenience summary of a read latency distribution used by the Figure 7
+/// harness.
+pub fn read_value_summary(result: &GryffRunResult) -> (u64, u64) {
+    let fast = result.client_stats.reads - result.client_stats.slow_reads;
+    (fast, result.client_stats.slow_reads)
+}
+
+/// Helper asserting that every read observed a value that some write actually
+/// wrote (or null), independent of the full witness check.
+pub fn all_reads_explainable(result: &GryffRunResult) -> bool {
+    let mut written: std::collections::HashSet<Value> = std::collections::HashSet::new();
+    for (_, ops) in &result.completed {
+        for op in ops {
+            if !matches!(op.kind, OpRequest::Read { .. } | OpRequest::Fence) {
+                written.insert(op.written_value);
+            }
+        }
+    }
+    result.completed.iter().all(|(_, ops)| {
+        ops.iter().all(|op| {
+            !matches!(op.kind, OpRequest::Read { .. })
+                || op.read_value.is_null()
+                || written.contains(&op.read_value)
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::ConflictWorkload;
+
+    fn run(mode: Mode, seed: u64, write_ratio: f64, conflict: f64) -> GryffRunResult {
+        let config = GryffConfig::wan(mode);
+        let net = LatencyMatrix::gryff_wan();
+        let clients = (0..5)
+            .map(|i| GryffClientSpec {
+                region: i % 5,
+                sessions: 3,
+                think_time: SimDuration::ZERO,
+                workload: Box::new(ConflictWorkload::ycsb(write_ratio, conflict, i as u64))
+                    as Box<dyn GryffWorkload>,
+            })
+            .collect();
+        run_gryff(GryffClusterSpec {
+            config,
+            net,
+            seed,
+            clients,
+            stop_issuing_at: SimTime::from_secs(30),
+            drain: SimDuration::from_secs(10),
+            measure_from: SimTime::from_secs(3),
+        })
+    }
+
+    #[test]
+    fn baseline_is_linearizable() {
+        let result = run(Mode::Gryff, 1, 0.5, 0.5);
+        assert!(result.client_stats.reads > 100);
+        assert!(result.client_stats.writes > 100);
+        assert!(all_reads_explainable(&result));
+        verify_run(&result).expect("Gryff must be linearizable");
+    }
+
+    #[test]
+    fn rsc_variant_satisfies_rsc() {
+        let result = run(Mode::GryffRsc, 1, 0.5, 0.5);
+        assert!(result.client_stats.reads > 100);
+        assert!(all_reads_explainable(&result));
+        verify_run(&result).expect("Gryff-RSC must satisfy RSC");
+    }
+
+    #[test]
+    fn rsc_reads_always_take_one_round() {
+        let result = run(Mode::GryffRsc, 3, 0.5, 0.5);
+        assert_eq!(result.client_stats.slow_reads, 0, "Gryff-RSC reads never take a second round");
+        assert!(result.client_stats.deps_piggybacked > 0, "dependencies should be exercised");
+    }
+
+    #[test]
+    fn baseline_reads_sometimes_take_two_rounds_under_conflict() {
+        let result = run(Mode::Gryff, 3, 0.5, 0.9);
+        assert!(result.client_stats.slow_reads > 0, "high conflict should force write-backs");
+        let mut slow = result.read_latencies.clone();
+        // A two-round read from the worst-placed region exceeds 300 ms; the
+        // maximum read latency should reflect the second round trip.
+        assert!(slow.max().unwrap() > SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn rsc_p99_read_latency_not_worse_than_baseline() {
+        let baseline = run(Mode::Gryff, 5, 0.5, 0.25);
+        let rsc = run(Mode::GryffRsc, 5, 0.5, 0.25);
+        let mut b = baseline.read_latencies.clone();
+        let mut r = rsc.read_latencies.clone();
+        let pb = b.percentile(99.0).unwrap();
+        let pr = r.percentile(99.0).unwrap();
+        assert!(pr <= pb, "Gryff-RSC p99 read latency ({pr}) must not exceed Gryff's ({pb})");
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = run(Mode::GryffRsc, 9, 0.3, 0.1);
+        let b = run(Mode::GryffRsc, 9, 0.3, 0.1);
+        assert_eq!(a.client_stats.reads, b.client_stats.reads);
+        assert_eq!(a.messages, b.messages);
+    }
+
+    #[test]
+    fn rmws_are_atomic_on_dedicated_keys() {
+        let config = GryffConfig::wan(Mode::Gryff);
+        let net = LatencyMatrix::gryff_wan();
+        let clients = (0..3)
+            .map(|i| GryffClientSpec {
+                region: i % 5,
+                sessions: 2,
+                think_time: SimDuration::ZERO,
+                workload: Box::new(ConflictWorkload {
+                    rmw_ratio: 1.0,
+                    ..ConflictWorkload::ycsb(0.0, 0.0, i as u64)
+                }) as Box<dyn GryffWorkload>,
+            })
+            .collect();
+        let result = run_gryff(GryffClusterSpec {
+            config,
+            net,
+            seed: 4,
+            clients,
+            stop_issuing_at: SimTime::from_secs(20),
+            drain: SimDuration::from_secs(10),
+            measure_from: SimTime::from_secs(2),
+        });
+        assert!(result.client_stats.rmws > 50);
+        verify_run(&result).expect("rmw-only workload must be linearizable");
+    }
+}

@@ -1,0 +1,135 @@
+//! Wire messages of the simulated Gryff / Gryff-RSC protocols.
+
+use regular_core::types::{Key, Value};
+use regular_sim::engine::NodeId;
+
+use crate::carstamp::Carstamp;
+
+/// Identifier of an operation: the issuing node (client, or rmw coordinator
+/// for its internal phases) and a per-node sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpRef {
+    /// Issuing node.
+    pub node: NodeId,
+    /// Per-node sequence number.
+    pub seq: u64,
+}
+
+/// A read observation that still needs to reach a quorum: the causal
+/// dependency Gryff-RSC piggybacks on the client's next operation
+/// (Algorithms 3–5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dep {
+    /// Key of the observed value.
+    pub key: Key,
+    /// The observed value.
+    pub value: Value,
+    /// Its carstamp.
+    pub cs: Carstamp,
+}
+
+/// Messages exchanged between clients and replicas (and among replicas for
+/// read-modify-writes).
+#[derive(Debug, Clone)]
+pub enum GryffMsg {
+    /// Read phase of a client read.
+    Read1 {
+        /// Operation reference.
+        op: OpRef,
+        /// Key being read.
+        key: Key,
+        /// Piggybacked dependency (Gryff-RSC only).
+        dep: Option<Dep>,
+    },
+    /// Reply to [`GryffMsg::Read1`].
+    Read1Reply {
+        /// Operation reference.
+        op: OpRef,
+        /// Current value at the replica.
+        value: Value,
+        /// Its carstamp.
+        cs: Carstamp,
+    },
+    /// First phase of a write: collect carstamps.
+    Write1 {
+        /// Operation reference.
+        op: OpRef,
+        /// Key being written.
+        key: Key,
+        /// Piggybacked dependency (Gryff-RSC only).
+        dep: Option<Dep>,
+    },
+    /// Reply to [`GryffMsg::Write1`].
+    Write1Reply {
+        /// Operation reference.
+        op: OpRef,
+        /// The replica's current carstamp for the key.
+        cs: Carstamp,
+    },
+    /// Second phase of a write (also used for the baseline read's write-back
+    /// phase and for real-time fences): propagate a value and carstamp.
+    Write2 {
+        /// Operation reference.
+        op: OpRef,
+        /// Key being written.
+        key: Key,
+        /// Value to install.
+        value: Value,
+        /// Carstamp to install it at.
+        cs: Carstamp,
+    },
+    /// Reply to [`GryffMsg::Write2`].
+    Write2Reply {
+        /// Operation reference.
+        op: OpRef,
+    },
+    /// Client-to-coordinator read-modify-write request. The new value is
+    /// chosen by the client (kept opaque here); the reply carries the prior
+    /// value.
+    Rmw {
+        /// Operation reference (client side).
+        op: OpRef,
+        /// Key to modify.
+        key: Key,
+        /// New value to install.
+        new_value: Value,
+        /// Piggybacked dependency (Gryff-RSC only).
+        dep: Option<Dep>,
+    },
+    /// Coordinator-to-client reply for a read-modify-write.
+    RmwReply {
+        /// Operation reference (client side).
+        op: OpRef,
+        /// The value the modification was applied to.
+        old_value: Value,
+        /// Carstamp of the installed new value.
+        cs: Carstamp,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_ref_identity() {
+        let a = OpRef { node: 1, seq: 2 };
+        let b = OpRef { node: 1, seq: 2 };
+        let c = OpRef { node: 1, seq: 3 };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn messages_clone() {
+        let m = GryffMsg::Read1 {
+            op: OpRef { node: 3, seq: 1 },
+            key: Key(4),
+            dep: Some(Dep { key: Key(4), value: Value(9), cs: Carstamp { count: 2, writer: 1 } }),
+        };
+        match m.clone() {
+            GryffMsg::Read1 { dep: Some(d), .. } => assert_eq!(d.value, Value(9)),
+            _ => panic!("clone changed the variant"),
+        }
+    }
+}

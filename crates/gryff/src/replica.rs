@@ -1,0 +1,263 @@
+//! The Gryff replica: shared-register storage plus read-modify-write
+//! coordination.
+//!
+//! Replicas store, per key, the current value and its carstamp, and apply
+//! updates only when the incoming carstamp is larger (the register
+//! "write-if-newer" rule). Read-modify-writes are serialized per key at a
+//! deterministic coordinator replica (`key mod num_replicas`), which runs a
+//! read phase and a write phase against a quorum — a simplification of
+//! Gryff's EPaxos-based consensus path that preserves per-key atomicity of
+//! rmws (see DESIGN.md).
+
+use std::collections::{HashMap, VecDeque};
+
+use regular_core::types::{Key, Value};
+use regular_sim::engine::{Context, NodeId};
+
+use crate::carstamp::Carstamp;
+use crate::config::GryffConfig;
+use crate::messages::{Dep, GryffMsg, OpRef};
+
+/// Counters exposed for the evaluation harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplicaStats {
+    /// Read-phase requests served.
+    pub reads_served: u64,
+    /// Write-phase (second round) applications.
+    pub writes_applied: u64,
+    /// Piggybacked dependencies applied before processing a request.
+    pub deps_applied: u64,
+    /// Read-modify-writes coordinated by this replica.
+    pub rmws_coordinated: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RmwPhase {
+    Read,
+    Write,
+}
+
+#[derive(Debug)]
+struct RmwCoordination {
+    client: NodeId,
+    client_op: OpRef,
+    key: Key,
+    new_value: Value,
+    phase: RmwPhase,
+    replies: usize,
+    max: (Carstamp, Value),
+    chosen: Carstamp,
+}
+
+/// A Gryff replica node.
+pub struct GryffReplica {
+    index: usize,
+    quorum: usize,
+    num_replicas: usize,
+    store: HashMap<Key, (Value, Carstamp)>,
+    /// In-flight rmw coordinations, keyed by internal sequence number.
+    rmws: HashMap<u64, RmwCoordination>,
+    next_internal: u64,
+    /// Per-key queue of rmws waiting their turn (the head is active).
+    rmw_queue: HashMap<Key, VecDeque<u64>>,
+    /// Statistics for the harness.
+    pub stats: ReplicaStats,
+}
+
+impl GryffReplica {
+    /// Creates a replica with the given index.
+    pub fn new(cfg: &GryffConfig, index: usize) -> Self {
+        GryffReplica {
+            index,
+            quorum: cfg.quorum(),
+            num_replicas: cfg.num_replicas,
+            store: HashMap::new(),
+            rmws: HashMap::new(),
+            next_internal: 0,
+            rmw_queue: HashMap::new(),
+            stats: ReplicaStats::default(),
+        }
+    }
+
+    /// This replica's index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Current value and carstamp for a key.
+    pub fn get(&self, key: Key) -> (Value, Carstamp) {
+        self.store.get(&key).copied().unwrap_or((Value::NULL, Carstamp::ZERO))
+    }
+
+    fn apply(&mut self, key: Key, value: Value, cs: Carstamp) {
+        let current = self.get(key).1;
+        if cs > current {
+            self.store.insert(key, (value, cs));
+        }
+    }
+
+    fn apply_dep(&mut self, dep: Option<Dep>) {
+        if let Some(d) = dep {
+            self.apply(d.key, d.value, d.cs);
+            self.stats.deps_applied += 1;
+        }
+    }
+
+    fn start_next_rmw(&mut self, ctx: &mut Context<GryffMsg>, key: Key) {
+        let Some(queue) = self.rmw_queue.get(&key) else { return };
+        let Some(&internal) = queue.front() else { return };
+        let op = OpRef { node: ctx.node_id(), seq: internal };
+        let key = self.rmws[&internal].key;
+        // Read phase against all replicas (including ourselves via loopback).
+        // Replica node ids are 0..num_replicas by construction (replicas are
+        // added to the engine first).
+        for p in 0..self.num_replicas {
+            ctx.send(p, GryffMsg::Read1 { op, key, dep: None });
+        }
+    }
+
+    fn handle_rmw_reply_read(&mut self, ctx: &mut Context<GryffMsg>, internal: u64, value: Value, cs: Carstamp) {
+        let writer = ctx.node_id() as u64 + 1_000;
+        let ready = {
+            let Some(coord) = self.rmws.get_mut(&internal) else { return };
+            if coord.phase != RmwPhase::Read {
+                return;
+            }
+            coord.replies += 1;
+            if (cs, value) > coord.max {
+                coord.max = (cs, value);
+            }
+            coord.replies >= self.quorum
+        };
+        if !ready {
+            return;
+        }
+        // Move to the write phase: install the new value at max + 1.
+        let (op, key, new_value, chosen) = {
+            let coord = self.rmws.get_mut(&internal).expect("coordination exists");
+            coord.phase = RmwPhase::Write;
+            coord.replies = 0;
+            coord.chosen = coord.max.0.next(writer);
+            (OpRef { node: ctx.node_id(), seq: internal }, coord.key, coord.new_value, coord.chosen)
+        };
+        for p in 0..self.num_replicas {
+            ctx.send(p, GryffMsg::Write2 { op, key, value: new_value, cs: chosen });
+        }
+    }
+
+    fn handle_rmw_reply_write(&mut self, ctx: &mut Context<GryffMsg>, internal: u64) {
+        let done = {
+            let Some(coord) = self.rmws.get_mut(&internal) else { return };
+            if coord.phase != RmwPhase::Write {
+                return;
+            }
+            coord.replies += 1;
+            coord.replies >= self.quorum
+        };
+        if !done {
+            return;
+        }
+        let coord = self.rmws.remove(&internal).expect("coordination exists");
+        self.stats.rmws_coordinated += 1;
+        ctx.send(
+            coord.client,
+            GryffMsg::RmwReply { op: coord.client_op, old_value: coord.max.1, cs: coord.chosen },
+        );
+        // Start the next queued rmw for this key, if any.
+        if let Some(queue) = self.rmw_queue.get_mut(&coord.key) {
+            queue.pop_front();
+            if queue.is_empty() {
+                self.rmw_queue.remove(&coord.key);
+            } else {
+                self.start_next_rmw(ctx, coord.key);
+            }
+        }
+    }
+}
+
+impl regular_sim::engine::Node<GryffMsg> for GryffReplica {
+    fn on_message(&mut self, ctx: &mut Context<GryffMsg>, from: NodeId, msg: GryffMsg) {
+        match msg {
+            GryffMsg::Read1 { op, key, dep } => {
+                self.apply_dep(dep);
+                self.stats.reads_served += 1;
+                let (value, cs) = self.get(key);
+                ctx.send(from, GryffMsg::Read1Reply { op, value, cs });
+            }
+            GryffMsg::Write1 { op, key, dep } => {
+                self.apply_dep(dep);
+                let (_, cs) = self.get(key);
+                ctx.send(from, GryffMsg::Write1Reply { op, cs });
+            }
+            GryffMsg::Write2 { op, key, value, cs } => {
+                self.apply(key, value, cs);
+                self.stats.writes_applied += 1;
+                ctx.send(from, GryffMsg::Write2Reply { op });
+            }
+            GryffMsg::Rmw { op, key, new_value, dep } => {
+                self.apply_dep(dep);
+                let internal = self.next_internal;
+                self.next_internal += 1;
+                self.rmws.insert(
+                    internal,
+                    RmwCoordination {
+                        client: from,
+                        client_op: op,
+                        key,
+                        new_value,
+                        phase: RmwPhase::Read,
+                        replies: 0,
+                        max: (Carstamp::ZERO, Value::NULL),
+                        chosen: Carstamp::ZERO,
+                    },
+                );
+                let queue = self.rmw_queue.entry(key).or_default();
+                queue.push_back(internal);
+                if queue.len() == 1 {
+                    self.start_next_rmw(ctx, key);
+                }
+            }
+            // Replies to this replica acting as an rmw coordinator.
+            GryffMsg::Read1Reply { op, value, cs } => {
+                if op.node == ctx.node_id() {
+                    self.handle_rmw_reply_read(ctx, op.seq, value, cs);
+                }
+            }
+            GryffMsg::Write2Reply { op } => {
+                if op.node == ctx.node_id() {
+                    self.handle_rmw_reply_write(ctx, op.seq);
+                }
+            }
+            GryffMsg::Write1Reply { .. } | GryffMsg::RmwReply { .. } => {
+                // Client-bound messages; replicas ignore them.
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Mode;
+
+    #[test]
+    fn apply_respects_carstamp_order() {
+        let cfg = GryffConfig::wan(Mode::Gryff);
+        let mut r = GryffReplica::new(&cfg, 0);
+        assert_eq!(r.get(Key(1)), (Value::NULL, Carstamp::ZERO));
+        r.apply(Key(1), Value(10), Carstamp { count: 2, writer: 1 });
+        r.apply(Key(1), Value(20), Carstamp { count: 1, writer: 9 });
+        assert_eq!(r.get(Key(1)).0, Value(10), "older carstamp must not overwrite newer");
+        r.apply(Key(1), Value(30), Carstamp { count: 3, writer: 0 });
+        assert_eq!(r.get(Key(1)).0, Value(30));
+    }
+
+    #[test]
+    fn replica_metadata() {
+        let cfg = GryffConfig::wan(Mode::Gryff);
+        let r = GryffReplica::new(&cfg, 2);
+        assert_eq!(r.num_replicas, 5);
+        assert_eq!(r.quorum, 3);
+        assert_eq!(r.index(), 2);
+    }
+}

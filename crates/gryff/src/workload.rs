@@ -1,0 +1,199 @@
+//! Workloads for the Gryff / Gryff-RSC clients.
+//!
+//! The paper's Section 7 evaluation drives Gryff with YCSB: reads and writes
+//! only, a configurable write ratio, and a configurable *conflict rate* — the
+//! probability that an operation targets a key shared with other clients
+//! (2 %, 10 %, and 25 % in Figure 7). [`ConflictWorkload`] reproduces that
+//! model: with probability `conflict_rate` the operation goes to a small
+//! shared hot set, otherwise to a per-client private region, so roughly
+//! `conflict_rate` of operations can race with other clients.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use regular_core::types::Key;
+
+/// One operation to issue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpRequest {
+    /// Read a key.
+    Read {
+        /// Key to read.
+        key: Key,
+    },
+    /// Write a key (the client assigns a fresh unique value).
+    Write {
+        /// Key to write.
+        key: Key,
+    },
+    /// Atomically read-modify-write a key.
+    Rmw {
+        /// Key to modify.
+        key: Key,
+    },
+    /// A real-time fence (Gryff-RSC composition; a no-op for the baseline).
+    Fence,
+}
+
+/// A source of operations for one client node.
+pub trait GryffWorkload: 'static {
+    /// Produces the next operation.
+    fn next_op(&mut self, rng: &mut SmallRng) -> OpRequest;
+}
+
+/// The YCSB-style read/write workload with a conflict rate (Section 7.2).
+#[derive(Debug, Clone)]
+pub struct ConflictWorkload {
+    /// Fraction of operations that are writes.
+    pub write_ratio: f64,
+    /// Fraction of operations that target the shared (conflict-prone) keys.
+    pub conflict_rate: f64,
+    /// Number of shared keys.
+    pub shared_keys: u64,
+    /// Number of private keys per client.
+    pub private_keys: u64,
+    /// This client's identifier (selects its private key range).
+    pub client_id: u64,
+    /// Fraction of operations that are read-modify-writes on a dedicated
+    /// counter range (0 for the Figure 7 workloads).
+    pub rmw_ratio: f64,
+}
+
+impl ConflictWorkload {
+    /// The Figure 7 configuration: given write ratio and conflict rate, no rmws.
+    pub fn ycsb(write_ratio: f64, conflict_rate: f64, client_id: u64) -> Self {
+        ConflictWorkload {
+            write_ratio,
+            conflict_rate,
+            shared_keys: 1,
+            private_keys: 1_000,
+            client_id,
+            rmw_ratio: 0.0,
+        }
+    }
+
+    fn pick_key(&self, rng: &mut SmallRng) -> Key {
+        if rng.gen_bool(self.conflict_rate) {
+            Key(rng.gen_range(0..self.shared_keys))
+        } else {
+            // Private keys live far above the shared range, partitioned per client.
+            Key(1_000_000 + self.client_id * self.private_keys + rng.gen_range(0..self.private_keys))
+        }
+    }
+}
+
+impl GryffWorkload for ConflictWorkload {
+    fn next_op(&mut self, rng: &mut SmallRng) -> OpRequest {
+        if self.rmw_ratio > 0.0 && rng.gen_bool(self.rmw_ratio) {
+            // Rmws target a dedicated counter range shared by all clients so
+            // they exercise the consensus path without racing plain writes.
+            return OpRequest::Rmw { key: Key(900_000 + rng.gen_range(0..self.shared_keys.max(1))) };
+        }
+        let key = self.pick_key(rng);
+        if rng.gen_bool(self.write_ratio) {
+            OpRequest::Write { key }
+        } else {
+            OpRequest::Read { key }
+        }
+    }
+}
+
+/// A scripted workload replaying a fixed operation list (tests and examples).
+#[derive(Debug, Clone)]
+pub struct ScriptedGryffWorkload {
+    ops: Vec<OpRequest>,
+    next: usize,
+}
+
+impl ScriptedGryffWorkload {
+    /// Creates a scripted workload.
+    pub fn new(ops: Vec<OpRequest>) -> Self {
+        ScriptedGryffWorkload { ops, next: 0 }
+    }
+}
+
+impl GryffWorkload for ScriptedGryffWorkload {
+    fn next_op(&mut self, _rng: &mut SmallRng) -> OpRequest {
+        let op = self.ops.get(self.next).cloned().unwrap_or(OpRequest::Read { key: Key(0) });
+        self.next += 1;
+        op
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conflict_rate_and_write_ratio_are_respected() {
+        let mut w = ConflictWorkload::ycsb(0.5, 0.25, 3);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut writes = 0;
+        let mut shared = 0;
+        let n = 4_000;
+        for _ in 0..n {
+            match w.next_op(&mut rng) {
+                OpRequest::Write { key } => {
+                    writes += 1;
+                    if key.0 < 1_000 {
+                        shared += 1;
+                    }
+                }
+                OpRequest::Read { key } => {
+                    if key.0 < 1_000 {
+                        shared += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let write_frac = writes as f64 / n as f64;
+        let shared_frac = shared as f64 / n as f64;
+        assert!((0.45..0.55).contains(&write_frac), "write fraction {write_frac}");
+        assert!((0.20..0.30).contains(&shared_frac), "conflict fraction {shared_frac}");
+    }
+
+    #[test]
+    fn private_keys_are_disjoint_across_clients() {
+        let mut a = ConflictWorkload::ycsb(0.0, 0.0, 1);
+        let mut b = ConflictWorkload::ycsb(0.0, 0.0, 2);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let ka = match a.next_op(&mut rng) {
+                OpRequest::Read { key } => key,
+                _ => unreachable!("write ratio is zero"),
+            };
+            let kb = match b.next_op(&mut rng) {
+                OpRequest::Read { key } => key,
+                _ => unreachable!("write ratio is zero"),
+            };
+            assert!(ka.0 / 1_000 != kb.0 / 1_000 || ka.0 < 1_000_000 || kb.0 < 1_000_000);
+        }
+    }
+
+    #[test]
+    fn rmw_ratio_produces_rmws_on_dedicated_keys() {
+        let mut w = ConflictWorkload { rmw_ratio: 1.0, ..ConflictWorkload::ycsb(0.5, 0.1, 0) };
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..50 {
+            match w.next_op(&mut rng) {
+                OpRequest::Rmw { key } => assert!((900_000..1_000_000).contains(&key.0)),
+                other => panic!("expected rmw, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn scripted_workload_replays() {
+        let mut w = ScriptedGryffWorkload::new(vec![
+            OpRequest::Write { key: Key(1) },
+            OpRequest::Fence,
+            OpRequest::Read { key: Key(1) },
+        ]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(w.next_op(&mut rng), OpRequest::Write { key: Key(1) });
+        assert_eq!(w.next_op(&mut rng), OpRequest::Fence);
+        assert_eq!(w.next_op(&mut rng), OpRequest::Read { key: Key(1) });
+        assert_eq!(w.next_op(&mut rng), OpRequest::Read { key: Key(0) });
+    }
+}

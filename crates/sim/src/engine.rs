@@ -1,0 +1,518 @@
+//! The discrete-event engine driving protocol nodes.
+//!
+//! Protocols (Spanner, Spanner-RSS, Gryff, Gryff-RSC) are written as
+//! deterministic state machines implementing [`Node`]. Nodes react to
+//! delivered messages and expired timers through a [`Context`] that lets them
+//! send messages, set timers, read the simulated clock, query TrueTime, and
+//! draw random numbers from the engine's seeded generator.
+//!
+//! # Time model
+//!
+//! * Message delivery latency is one-way WAN latency between the sender's and
+//!   receiver's regions (plus jitter), sampled from the engine's
+//!   [`LatencyMatrix`], plus any extra delay requested by the sender.
+//! * Each node has a *service time*: the CPU cost of handling one event. If a
+//!   message arrives while the node is still busy, its processing is delayed
+//!   until the node frees up. This produces queueing, which is what makes the
+//!   throughput/latency experiments (Figure 6, §7.4) saturate realistically.
+//! * Events scheduled for the same instant are processed in scheduling order,
+//!   which keeps runs bit-for-bit deterministic for a fixed seed.
+
+use std::cmp::Ordering;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::net::{LatencyMatrix, Region};
+use crate::time::{SimDuration, SimTime};
+use crate::truetime::{TrueTime, TtInterval};
+
+/// Index of a node within the engine.
+pub type NodeId = usize;
+
+/// A protocol participant driven by the engine.
+///
+/// All methods receive a [`Context`] used to interact with the simulated
+/// world. Implementations must be deterministic given the context's RNG.
+pub trait Node<M>: 'static {
+    /// Called once when the simulation starts, before any message delivery.
+    fn on_start(&mut self, _ctx: &mut Context<M>) {}
+
+    /// Called when a message from `from` is delivered to this node.
+    fn on_message(&mut self, ctx: &mut Context<M>, from: NodeId, msg: M);
+
+    /// Called when a timer previously set with [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Context<M>, _tag: u64) {}
+}
+
+/// Engine-wide configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// CPU cost of handling one event at a node, unless overridden per node.
+    pub default_service_time: SimDuration,
+    /// Hard stop: events scheduled after this instant are not processed.
+    pub max_time: SimTime,
+    /// TrueTime uncertainty bound ε for all nodes.
+    pub truetime_epsilon: SimDuration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            default_service_time: SimDuration::from_micros(10),
+            max_time: SimTime::from_secs(3_600),
+            truetime_epsilon: SimDuration::ZERO,
+        }
+    }
+}
+
+enum EventKind<M> {
+    Start { node: NodeId },
+    Message { from: NodeId, to: NodeId, msg: M },
+    Timer { node: NodeId, tag: u64 },
+}
+
+struct EventEntry<M> {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for EventEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for EventEntry<M> {}
+impl<M> PartialOrd for EventEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for EventEntry<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The node-facing handle into the simulation.
+pub struct Context<'a, M> {
+    now: SimTime,
+    node_id: NodeId,
+    rng: &'a mut SmallRng,
+    truetime: &'a mut TrueTime,
+    /// Messages to send: (destination, extra delay, message).
+    outbox: Vec<(NodeId, SimDuration, M)>,
+    /// Timers to set: (delay, tag).
+    timers: Vec<(SimDuration, u64)>,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The identifier of the node being invoked.
+    pub fn node_id(&self) -> NodeId {
+        self.node_id
+    }
+
+    /// Sends `msg` to node `to` with network latency only.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.outbox.push((to, SimDuration::ZERO, msg));
+    }
+
+    /// Sends `msg` to node `to`, adding `extra` delay on top of the network
+    /// latency (used, e.g., to model replication to a majority).
+    pub fn send_after(&mut self, to: NodeId, extra: SimDuration, msg: M) {
+        self.outbox.push((to, extra, msg));
+    }
+
+    /// Schedules [`Node::on_timer`] to fire on this node after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) {
+        self.timers.push((delay, tag));
+    }
+
+    /// Reads this node's TrueTime clock.
+    pub fn truetime_now(&mut self) -> TtInterval {
+        self.truetime.now(self.now)
+    }
+
+    /// The TrueTime uncertainty bound ε.
+    pub fn truetime_epsilon(&self) -> SimDuration {
+        self.truetime.epsilon()
+    }
+
+    /// The engine's deterministic random number generator.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+}
+
+/// The discrete-event engine.
+///
+/// `M` is the protocol's message type; `N` is the node type (typically an enum
+/// over the protocol's roles so the harness can inspect nodes after the run).
+pub struct Engine<M, N> {
+    cfg: EngineConfig,
+    net: LatencyMatrix,
+    nodes: Vec<N>,
+    regions: Vec<Region>,
+    service_times: Vec<SimDuration>,
+    truetimes: Vec<TrueTime>,
+    busy_until: Vec<SimTime>,
+    queue: BinaryHeap<Reverse<EventEntry<M>>>,
+    now: SimTime,
+    seq: u64,
+    rng: SmallRng,
+    started: bool,
+    delivered_messages: u64,
+    processed_events: u64,
+    seed: u64,
+}
+
+impl<M: 'static, N: Node<M>> Engine<M, N> {
+    /// Creates an engine with the given configuration, network model, and
+    /// random seed.
+    pub fn new(cfg: EngineConfig, net: LatencyMatrix, seed: u64) -> Self {
+        Engine {
+            cfg,
+            net,
+            nodes: Vec::new(),
+            regions: Vec::new(),
+            service_times: Vec::new(),
+            truetimes: Vec::new(),
+            busy_until: Vec::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            rng: SmallRng::seed_from_u64(seed),
+            started: false,
+            delivered_messages: 0,
+            processed_events: 0,
+            seed,
+        }
+    }
+
+    /// Adds a node placed in `region`, returning its [`NodeId`].
+    pub fn add_node(&mut self, node: N, region: usize) -> NodeId {
+        self.add_node_with(node, region, self.cfg.default_service_time)
+    }
+
+    /// Adds a node with an explicit per-event service time.
+    pub fn add_node_with(&mut self, node: N, region: usize, service_time: SimDuration) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(node);
+        self.regions.push(Region(region));
+        self.service_times.push(service_time);
+        self.truetimes
+            .push(TrueTime::new(self.cfg.truetime_epsilon, self.seed.wrapping_add(id as u64 * 77)));
+        self.busy_until.push(SimTime::ZERO);
+        id
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable access to a node (typically after the run, to read metrics).
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id]
+    }
+
+    /// Mutable access to a node.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id]
+    }
+
+    /// Iterates over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = &N> {
+        self.nodes.iter()
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The region a node was placed in.
+    pub fn region_of(&self, id: NodeId) -> Region {
+        self.regions[id]
+    }
+
+    /// The network model.
+    pub fn network(&self) -> &LatencyMatrix {
+        &self.net
+    }
+
+    /// Total messages delivered so far.
+    pub fn delivered_messages(&self) -> u64 {
+        self.delivered_messages
+    }
+
+    /// Total events (start, message, timer) processed so far.
+    pub fn processed_events(&self) -> u64 {
+        self.processed_events
+    }
+
+    fn push_event(&mut self, time: SimTime, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(EventEntry { time, seq, kind }));
+    }
+
+    fn schedule_start_events(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for node in 0..self.nodes.len() {
+            self.push_event(SimTime::ZERO, EventKind::Start { node });
+        }
+    }
+
+    /// Runs until the event queue is empty or [`EngineConfig::max_time`] is
+    /// reached. Returns the final simulated time.
+    pub fn run(&mut self) -> SimTime {
+        self.run_until(self.cfg.max_time)
+    }
+
+    /// Runs until the event queue is empty or the given deadline is reached.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        self.schedule_start_events();
+        while let Some(Reverse(entry)) = self.queue.peek() {
+            if entry.time > deadline {
+                break;
+            }
+            let Reverse(entry) = self.queue.pop().expect("peeked entry must exist");
+            let node_id = match &entry.kind {
+                EventKind::Start { node } => *node,
+                EventKind::Message { to, .. } => *to,
+                EventKind::Timer { node, .. } => *node,
+            };
+            // Model CPU contention: if the target node is still busy, push the
+            // event back to when the node frees up.
+            let busy = self.busy_until[node_id];
+            if busy > entry.time {
+                self.push_event(busy, entry.kind);
+                // Advance time to the event we deferred from, keeping `now`
+                // monotone for observers.
+                self.now = self.now.max(entry.time);
+                continue;
+            }
+            self.now = self.now.max(entry.time);
+            self.busy_until[node_id] = self.now + self.service_times[node_id];
+            self.processed_events += 1;
+
+            let mut ctx = Context {
+                now: self.now,
+                node_id,
+                rng: &mut self.rng,
+                truetime: &mut self.truetimes[node_id],
+                outbox: Vec::new(),
+                timers: Vec::new(),
+            };
+            match entry.kind {
+                EventKind::Start { .. } => self.nodes[node_id].on_start(&mut ctx),
+                EventKind::Message { from, msg, .. } => {
+                    self.delivered_messages += 1;
+                    self.nodes[node_id].on_message(&mut ctx, from, msg);
+                }
+                EventKind::Timer { tag, .. } => self.nodes[node_id].on_timer(&mut ctx, tag),
+            }
+            let Context { outbox, timers, .. } = ctx;
+            for (to, extra, msg) in outbox {
+                let latency =
+                    self.net.sample_one_way(self.regions[node_id], self.regions[to], &mut self.rng);
+                let at = self.now + latency + extra;
+                self.push_event(at, EventKind::Message { from: node_id, to, msg });
+            }
+            for (delay, tag) in timers {
+                let at = self.now + delay;
+                self.push_event(at, EventKind::Timer { node: node_id, tag });
+            }
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    #[derive(Default)]
+    struct PingNode {
+        sent: u32,
+        received_pongs: Vec<u32>,
+        pong_times: Vec<SimTime>,
+    }
+
+    #[derive(Default)]
+    struct EchoNode {
+        received_pings: Vec<u32>,
+    }
+
+    enum TestNode {
+        Ping(PingNode),
+        Echo(EchoNode),
+    }
+
+    impl Node<Msg> for TestNode {
+        fn on_start(&mut self, ctx: &mut Context<Msg>) {
+            if let TestNode::Ping(p) = self {
+                p.sent = 1;
+                ctx.send(1, Msg::Ping(1));
+                ctx.set_timer(SimDuration::from_millis(500), 7);
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
+            match (self, msg) {
+                (TestNode::Echo(e), Msg::Ping(n)) => {
+                    e.received_pings.push(n);
+                    ctx.send(from, Msg::Pong(n));
+                }
+                (TestNode::Ping(p), Msg::Pong(n)) => {
+                    p.received_pongs.push(n);
+                    p.pong_times.push(ctx.now());
+                    if n < 3 {
+                        p.sent += 1;
+                        ctx.send(from, Msg::Ping(n + 1));
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        fn on_timer(&mut self, _ctx: &mut Context<Msg>, tag: u64) {
+            if let TestNode::Ping(p) = self {
+                assert_eq!(tag, 7);
+                p.received_pongs.push(1000);
+            }
+        }
+    }
+
+    fn build_engine(seed: u64) -> Engine<Msg, TestNode> {
+        let cfg = EngineConfig {
+            default_service_time: SimDuration::from_micros(10),
+            max_time: SimTime::from_secs(10),
+            truetime_epsilon: SimDuration::from_millis(5),
+        };
+        let net = LatencyMatrix::spanner_wan();
+        let mut engine = Engine::new(cfg, net, seed);
+        engine.add_node(TestNode::Ping(PingNode::default()), 0);
+        engine.add_node(TestNode::Echo(EchoNode::default()), 1);
+        engine
+    }
+
+    #[test]
+    fn ping_pong_round_trips_match_wan_latency() {
+        let mut engine = build_engine(1);
+        engine.run();
+        let ping = match engine.node(0) {
+            TestNode::Ping(p) => p,
+            _ => panic!("node 0 must be the ping node"),
+        };
+        // Three pongs plus the timer marker.
+        assert_eq!(ping.received_pongs.iter().filter(|&&n| n < 1000).count(), 3);
+        assert!(ping.received_pongs.contains(&1000));
+        // First pong arrives no earlier than one CA-VA round trip (62 ms).
+        assert!(ping.pong_times[0] >= SimTime::from_millis(62));
+        // And within a couple ms of it (jitter + service time).
+        assert!(ping.pong_times[0] <= SimTime::from_millis(65));
+        let echo = match engine.node(1) {
+            TestNode::Echo(e) => e,
+            _ => panic!("node 1 must be the echo node"),
+        };
+        assert_eq!(echo.received_pings, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = build_engine(99);
+        let mut b = build_engine(99);
+        a.run();
+        b.run();
+        let (pa, pb) = match (a.node(0), b.node(0)) {
+            (TestNode::Ping(x), TestNode::Ping(y)) => (x, y),
+            _ => panic!("node 0 must be the ping node"),
+        };
+        assert_eq!(pa.pong_times, pb.pong_times);
+        assert_eq!(a.processed_events(), b.processed_events());
+    }
+
+    #[test]
+    fn different_seeds_change_jitter() {
+        let mut a = build_engine(1);
+        let mut b = build_engine(2);
+        a.run();
+        b.run();
+        let (pa, pb) = match (a.node(0), b.node(0)) {
+            (TestNode::Ping(x), TestNode::Ping(y)) => (x, y),
+            _ => panic!("node 0 must be the ping node"),
+        };
+        // Jitter is sampled from the seeded RNG, so times should differ.
+        assert_ne!(pa.pong_times, pb.pong_times);
+    }
+
+    #[test]
+    fn run_until_stops_early() {
+        let mut engine = build_engine(1);
+        engine.run_until(SimTime::from_millis(10));
+        let ping = match engine.node(0) {
+            TestNode::Ping(p) => p,
+            _ => panic!("node 0 must be the ping node"),
+        };
+        // No pong can arrive within 10 ms over a 62 ms RTT.
+        assert!(ping.received_pongs.is_empty());
+        assert!(engine.now() <= SimTime::from_millis(10));
+    }
+
+    /// A node that floods itself with timers to exercise the busy/service-time
+    /// queueing path.
+    struct BusyNode {
+        handled: u64,
+        last_handled_at: SimTime,
+    }
+
+    impl Node<Msg> for BusyNode {
+        fn on_start(&mut self, ctx: &mut Context<Msg>) {
+            // Schedule 100 timers at the same instant.
+            for _ in 0..100 {
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Context<Msg>, _from: NodeId, _msg: Msg) {}
+        fn on_timer(&mut self, ctx: &mut Context<Msg>, _tag: u64) {
+            self.handled += 1;
+            self.last_handled_at = ctx.now();
+        }
+    }
+
+    #[test]
+    fn service_time_serializes_event_handling() {
+        let cfg = EngineConfig {
+            default_service_time: SimDuration::from_micros(100),
+            max_time: SimTime::from_secs(10),
+            truetime_epsilon: SimDuration::ZERO,
+        };
+        let net = LatencyMatrix::single_region(SimDuration::from_micros(50));
+        let mut engine: Engine<Msg, BusyNode> = Engine::new(cfg, net, 5);
+        engine.add_node(BusyNode { handled: 0, last_handled_at: SimTime::ZERO }, 0);
+        engine.run();
+        let node = engine.node(0);
+        assert_eq!(node.handled, 100);
+        // 100 events at 100 µs each cannot all finish before ~1 ms + 99 * 100 µs.
+        assert!(node.last_handled_at >= SimTime::from_micros(1_000 + 99 * 100));
+    }
+}

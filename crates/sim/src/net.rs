@@ -1,0 +1,275 @@
+//! Wide-area network model: regions and round-trip latency matrices.
+//!
+//! The paper's evaluations use two wide-area configurations:
+//!
+//! * **Spanner / Spanner-RSS (Section 6)**: three regions — California,
+//!   Virginia, Ireland — with round-trip times CA–VA = 62 ms, CA–IR = 136 ms,
+//!   VA–IR = 68 ms.
+//! * **Gryff / Gryff-RSC (Table 2)**: five regions — California, Virginia,
+//!   Ireland, Oregon, Japan — with the round-trip matrix reproduced by
+//!   [`LatencyMatrix::gryff_wan`].
+//!
+//! One-way message latency between two regions is half the round-trip time
+//! plus optional random jitter.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// A geographic region (data center) hosting simulation nodes.
+///
+/// Regions are small integer identifiers into a [`LatencyMatrix`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Region(pub usize);
+
+/// Well-known regions used by the paper's experiments.
+pub mod regions {
+    use super::Region;
+
+    /// California (us-west).
+    pub const CALIFORNIA: Region = Region(0);
+    /// Virginia (us-east).
+    pub const VIRGINIA: Region = Region(1);
+    /// Ireland (eu-west).
+    pub const IRELAND: Region = Region(2);
+    /// Oregon (us-northwest); Gryff experiments only.
+    pub const OREGON: Region = Region(3);
+    /// Japan (ap-northeast); Gryff experiments only.
+    pub const JAPAN: Region = Region(4);
+}
+
+/// A symmetric matrix of round-trip times between regions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyMatrix {
+    /// `rtt[i][j]` is the round-trip time between regions `i` and `j`.
+    rtt: Vec<Vec<SimDuration>>,
+    /// Maximum uniform jitter added to each one-way delivery.
+    jitter: SimDuration,
+}
+
+impl LatencyMatrix {
+    /// Builds a matrix from round-trip times given in milliseconds.
+    ///
+    /// `rtt_ms[i][j]` must equal `rtt_ms[j][i]`; the diagonal is the
+    /// intra-region round-trip time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn from_rtt_ms(rtt_ms: &[&[f64]], jitter: SimDuration) -> Self {
+        let n = rtt_ms.len();
+        let mut rtt = vec![vec![SimDuration::ZERO; n]; n];
+        for (i, row) in rtt_ms.iter().enumerate() {
+            assert_eq!(row.len(), n, "latency matrix must be square");
+            for (j, ms) in row.iter().enumerate() {
+                rtt[i][j] = SimDuration::from_millis_f64(*ms);
+            }
+        }
+        LatencyMatrix { rtt, jitter }
+    }
+
+    /// A single region where every message takes `one_way` to deliver.
+    pub fn single_region(one_way: SimDuration) -> Self {
+        LatencyMatrix {
+            rtt: vec![vec![one_way * 2]],
+            jitter: SimDuration::ZERO,
+        }
+    }
+
+    /// The three-region EC2 configuration of the Spanner evaluation (§6):
+    /// CA–VA = 62 ms, CA–IR = 136 ms, VA–IR = 68 ms; 0.2 ms within a region.
+    pub fn spanner_wan() -> Self {
+        Self::from_rtt_ms(
+            &[
+                &[0.2, 62.0, 136.0],
+                &[62.0, 0.2, 68.0],
+                &[136.0, 68.0, 0.2],
+            ],
+            SimDuration::from_micros(200),
+        )
+    }
+
+    /// The five-region CloudLab configuration of the Gryff evaluation (Table 2).
+    ///
+    /// Order: CA, VA, IR, OR, JP.
+    pub fn gryff_wan() -> Self {
+        Self::from_rtt_ms(
+            &[
+                &[0.2, 72.0, 151.0, 59.0, 113.0],
+                &[72.0, 0.2, 88.0, 93.0, 162.0],
+                &[151.0, 88.0, 0.2, 145.0, 220.0],
+                &[59.0, 93.0, 145.0, 0.2, 121.0],
+                &[113.0, 162.0, 220.0, 121.0, 0.2],
+            ],
+            SimDuration::from_micros(200),
+        )
+    }
+
+    /// A single data center with sub-millisecond latency, used by the overhead
+    /// experiments (§6.2 and §7.4): inter-machine latency below 200 µs.
+    pub fn single_dc() -> Self {
+        LatencyMatrix {
+            rtt: vec![vec![SimDuration::from_micros(150)]],
+            jitter: SimDuration::from_micros(20),
+        }
+    }
+
+    /// Number of regions in the matrix.
+    pub fn num_regions(&self) -> usize {
+        self.rtt.len()
+    }
+
+    /// Round-trip time between two regions (without jitter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either region is out of range.
+    pub fn rtt(&self, a: Region, b: Region) -> SimDuration {
+        self.rtt[a.0][b.0]
+    }
+
+    /// One-way latency between two regions (without jitter).
+    pub fn one_way(&self, a: Region, b: Region) -> SimDuration {
+        self.rtt(a, b) / 2
+    }
+
+    /// Samples the one-way delivery latency between two regions, adding
+    /// uniform jitter in `[0, jitter]`.
+    pub fn sample_one_way<R: Rng>(&self, a: Region, b: Region, rng: &mut R) -> SimDuration {
+        let base = self.one_way(a, b);
+        if self.jitter.is_zero() {
+            base
+        } else {
+            base + SimDuration::from_micros(rng.gen_range(0..=self.jitter.as_micros()))
+        }
+    }
+
+    /// Replaces the jitter bound, returning the modified matrix.
+    pub fn with_jitter(mut self, jitter: SimDuration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// The region nearest to `from` other than itself (minimum RTT); used to
+    /// model replication to the closest majority.
+    pub fn nearest_peer(&self, from: Region) -> Option<Region> {
+        (0..self.num_regions())
+            .filter(|&i| i != from.0)
+            .min_by_key(|&i| self.rtt[from.0][i])
+            .map(Region)
+    }
+
+    /// The minimum round-trip time from `from` to any of `peers`.
+    pub fn min_rtt_to(&self, from: Region, peers: &[Region]) -> Option<SimDuration> {
+        peers
+            .iter()
+            .filter(|r| **r != from)
+            .map(|r| self.rtt(from, *r))
+            .min()
+    }
+
+    /// The RTT from `from` to the `k`-th closest of `peers` (0-indexed,
+    /// excluding `from` itself). Used to model waiting for a quorum of
+    /// replies: with `q` remote acknowledgements required, the wait is the
+    /// RTT to the `(q-1)`-th closest peer.
+    pub fn kth_closest_rtt(&self, from: Region, peers: &[Region], k: usize) -> Option<SimDuration> {
+        let mut rtts: Vec<SimDuration> = peers
+            .iter()
+            .filter(|r| **r != from)
+            .map(|r| self.rtt(from, *r))
+            .collect();
+        rtts.sort();
+        rtts.get(k).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn spanner_wan_matches_paper() {
+        let m = LatencyMatrix::spanner_wan();
+        assert_eq!(m.num_regions(), 3);
+        assert_eq!(m.rtt(regions::CALIFORNIA, regions::VIRGINIA).as_millis(), 62);
+        assert_eq!(m.rtt(regions::CALIFORNIA, regions::IRELAND).as_millis(), 136);
+        assert_eq!(m.rtt(regions::VIRGINIA, regions::IRELAND).as_millis(), 68);
+    }
+
+    #[test]
+    fn gryff_wan_matches_table_2() {
+        let m = LatencyMatrix::gryff_wan();
+        assert_eq!(m.num_regions(), 5);
+        assert_eq!(m.rtt(regions::CALIFORNIA, regions::VIRGINIA).as_millis(), 72);
+        assert_eq!(m.rtt(regions::CALIFORNIA, regions::IRELAND).as_millis(), 151);
+        assert_eq!(m.rtt(regions::VIRGINIA, regions::IRELAND).as_millis(), 88);
+        assert_eq!(m.rtt(regions::CALIFORNIA, regions::OREGON).as_millis(), 59);
+        assert_eq!(m.rtt(regions::VIRGINIA, regions::OREGON).as_millis(), 93);
+        assert_eq!(m.rtt(regions::IRELAND, regions::OREGON).as_millis(), 145);
+        assert_eq!(m.rtt(regions::CALIFORNIA, regions::JAPAN).as_millis(), 113);
+        assert_eq!(m.rtt(regions::VIRGINIA, regions::JAPAN).as_millis(), 162);
+        assert_eq!(m.rtt(regions::IRELAND, regions::JAPAN).as_millis(), 220);
+        assert_eq!(m.rtt(regions::OREGON, regions::JAPAN).as_millis(), 121);
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        for m in [LatencyMatrix::spanner_wan(), LatencyMatrix::gryff_wan()] {
+            for i in 0..m.num_regions() {
+                for j in 0..m.num_regions() {
+                    assert_eq!(m.rtt(Region(i), Region(j)), m.rtt(Region(j), Region(i)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_way_is_half_rtt() {
+        let m = LatencyMatrix::spanner_wan();
+        assert_eq!(m.one_way(regions::CALIFORNIA, regions::VIRGINIA).as_millis(), 31);
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let m = LatencyMatrix::spanner_wan().with_jitter(SimDuration::from_millis(1));
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let d = m.sample_one_way(regions::CALIFORNIA, regions::VIRGINIA, &mut rng);
+            assert!(d >= SimDuration::from_millis(31));
+            assert!(d <= SimDuration::from_millis(32));
+        }
+    }
+
+    #[test]
+    fn nearest_peer_and_quorum_rtt() {
+        let m = LatencyMatrix::spanner_wan();
+        // California's nearest peer is Virginia (62 ms < 136 ms).
+        assert_eq!(m.nearest_peer(regions::CALIFORNIA), Some(regions::VIRGINIA));
+        let peers = [regions::CALIFORNIA, regions::VIRGINIA, regions::IRELAND];
+        assert_eq!(
+            m.min_rtt_to(regions::CALIFORNIA, &peers),
+            Some(SimDuration::from_millis(62))
+        );
+        // Majority of 3 replicas needs 1 remote ack: the closest peer.
+        assert_eq!(
+            m.kth_closest_rtt(regions::CALIFORNIA, &peers, 0),
+            Some(SimDuration::from_millis(62))
+        );
+        assert_eq!(
+            m.kth_closest_rtt(regions::CALIFORNIA, &peers, 1),
+            Some(SimDuration::from_millis(136))
+        );
+        assert_eq!(m.kth_closest_rtt(regions::CALIFORNIA, &peers, 2), None);
+    }
+
+    #[test]
+    fn single_region_and_dc() {
+        let m = LatencyMatrix::single_region(SimDuration::from_millis(1));
+        assert_eq!(m.one_way(Region(0), Region(0)), SimDuration::from_millis(1));
+        let dc = LatencyMatrix::single_dc();
+        assert!(dc.rtt(Region(0), Region(0)) < SimDuration::from_millis(1));
+    }
+}

@@ -1,0 +1,770 @@
+//! The client (load generator) node: read-write transactions via two-phase
+//! commit, and the read-only transaction protocols of Spanner (blocking) and
+//! Spanner-RSS (Algorithm 1).
+//!
+//! A single client node drives many logical *sessions* — the unit the paper
+//! uses for the partly-open workload model (Section 6): sessions arrive
+//! according to a Poisson process, issue transactions back-to-back, and leave
+//! with probability `1 - p` after each transaction. Each session carries its
+//! own minimum read timestamp `t_min`, capturing its causal past.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::Rng;
+use regular_core::types::{Key, Value};
+use regular_sim::engine::{Context, NodeId};
+use regular_sim::net::{LatencyMatrix, Region};
+use regular_sim::time::{SimDuration, SimTime};
+
+use crate::config::Mode;
+use crate::messages::{PreparedInfo, SpannerMsg, Ts, TxnId};
+use crate::workload::{SpannerWorkload, TxnRequest};
+
+/// How a client node generates load.
+#[derive(Debug, Clone)]
+pub enum Driver {
+    /// A fixed number of closed-loop sessions issuing transactions
+    /// back-to-back with the given think time (Figure 6 and the overhead
+    /// experiments).
+    ClosedLoop {
+        /// Number of concurrent sessions.
+        sessions: usize,
+        /// Think time between transactions.
+        think_time: SimDuration,
+    },
+    /// The partly-open model of Section 6: sessions arrive at `arrival_rate`
+    /// per second, continue with probability `stay_probability` after each
+    /// transaction, and think for `think_time` in between.
+    PartlyOpen {
+        /// Session arrival rate (sessions per second) at this node.
+        arrival_rate: f64,
+        /// Probability a session issues another transaction.
+        stay_probability: f64,
+        /// Think time between a session's transactions.
+        think_time: SimDuration,
+    },
+}
+
+/// Static client configuration (shared by every client node of a cluster).
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Protocol variant.
+    pub mode: Mode,
+    /// Load-generation model.
+    pub driver: Driver,
+    /// Region this client runs in.
+    pub region: usize,
+    /// Node id of each shard leader, indexed by shard.
+    pub shard_nodes: Vec<NodeId>,
+    /// Region of each shard leader, indexed by shard.
+    pub shard_regions: Vec<usize>,
+    /// Replication delay of each shard, indexed by shard.
+    pub replication_delays: Vec<SimDuration>,
+    /// The network model, used to estimate the earliest end time `t_ee`.
+    pub net: LatencyMatrix,
+    /// TrueTime uncertainty bound (for the `t_ee` estimate).
+    pub truetime_epsilon: SimDuration,
+    /// Stop issuing new transactions after this instant (the run then drains).
+    pub stop_issuing_at: SimTime,
+    /// Abort-and-retry timeout for the commit phase.
+    pub commit_timeout: SimDuration,
+    /// Back-off before retrying an aborted transaction.
+    pub retry_backoff: SimDuration,
+}
+
+/// A finished transaction, as recorded for metrics and conformance checking.
+#[derive(Debug, Clone)]
+pub struct CompletedTxn {
+    /// True for read-only transactions.
+    pub is_ro: bool,
+    /// Keys read by a read-only transaction (empty for read-write).
+    pub read_keys: Vec<Key>,
+    /// Values observed by a read-only transaction.
+    pub read_results: Vec<(Key, Value)>,
+    /// Writes installed by a read-write transaction.
+    pub writes: Vec<(Key, Value)>,
+    /// Invocation instant (first attempt).
+    pub invoke: SimTime,
+    /// Completion instant.
+    pub finish: SimTime,
+    /// Serialization timestamp: the commit timestamp for read-write
+    /// transactions, `max(t_snap, t_min at start)` for Spanner-RSS read-only
+    /// transactions, and `t_read` for baseline read-only transactions.
+    pub timestamp: Ts,
+    /// The session that issued the transaction.
+    pub session: u64,
+    /// Number of attempts (1 = committed on the first try).
+    pub attempts: u32,
+    /// True if the client had already given up on this attempt (commit
+    /// timeout) when the commit acknowledgement arrived. Orphaned commits are
+    /// part of the execution history (their writes are visible) but are
+    /// excluded from latency measurements and are not ordered after the
+    /// session's subsequent transactions.
+    pub orphan: bool,
+}
+
+/// Aggregate client statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientStats {
+    /// Completed read-write transactions.
+    pub rw_completed: u64,
+    /// Completed read-only transactions.
+    pub ro_completed: u64,
+    /// Read-write attempts that aborted (timeout) and were retried.
+    pub aborted_attempts: u64,
+    /// Read-only transactions that had to wait for slow replies (Spanner-RSS).
+    pub ro_waited_slow: u64,
+}
+
+#[derive(Debug)]
+struct Session {
+    t_min: Ts,
+}
+
+#[derive(Debug)]
+enum Phase {
+    Execute { pending: HashSet<NodeId> },
+    Committing,
+    RoFast { pending: HashSet<NodeId> },
+    RoSlow,
+}
+
+#[derive(Debug)]
+struct AbandonedTxn {
+    session: u64,
+    invoke: SimTime,
+    attempts: u32,
+    writes: Vec<(Key, Value)>,
+}
+
+#[derive(Debug)]
+struct ActiveTxn {
+    session: u64,
+    request: TxnRequest,
+    invoke: SimTime,
+    phase: Phase,
+    attempts: u32,
+    // Read-write state.
+    writes_by_shard: Vec<(NodeId, Vec<(Key, Value)>)>,
+    coordinator: NodeId,
+    t_ee: Ts,
+    commit_timer: Option<u64>,
+    // Read-only state.
+    t_read: Ts,
+    t_min_at_start: Ts,
+    versions: HashMap<Key, Vec<(Ts, Value)>>,
+    skipped: HashMap<TxnId, Ts>,
+    resolved_early: HashSet<TxnId>,
+    t_snap: Ts,
+}
+
+enum TimerAction {
+    StartTxn { session: u64 },
+    RetryTxn { seq: u64 },
+    SessionArrival,
+    CommitTimeout { seq: u64 },
+    FinishRw { seq: u64, t_commit: Ts },
+}
+
+/// The client node.
+pub struct ClientNode {
+    cfg: ClientConfig,
+    workload: Box<dyn SpannerWorkload>,
+    sessions: HashMap<u64, Session>,
+    next_session: u64,
+    txns: HashMap<u64, ActiveTxn>,
+    abandoned: HashMap<u64, AbandonedTxn>,
+    next_seq: u64,
+    value_counter: u64,
+    timers: HashMap<u64, TimerAction>,
+    next_timer: u64,
+    /// All transactions completed by this node.
+    pub completed: Vec<CompletedTxn>,
+    /// Aggregate statistics.
+    pub stats: ClientStats,
+}
+
+impl ClientNode {
+    /// Creates a client node with the given configuration and workload.
+    pub fn new(cfg: ClientConfig, workload: Box<dyn SpannerWorkload>) -> Self {
+        ClientNode {
+            cfg,
+            workload,
+            sessions: HashMap::new(),
+            next_session: 0,
+            txns: HashMap::new(),
+            abandoned: HashMap::new(),
+            next_seq: 0,
+            value_counter: 0,
+            timers: HashMap::new(),
+            next_timer: 0,
+            completed: Vec::new(),
+            stats: ClientStats::default(),
+        }
+    }
+
+    fn set_timer(&mut self, ctx: &mut Context<SpannerMsg>, delay: SimDuration, action: TimerAction) -> u64 {
+        let tag = self.next_timer;
+        self.next_timer += 1;
+        self.timers.insert(tag, action);
+        ctx.set_timer(delay, tag);
+        tag
+    }
+
+    fn shard_of(&self, key: Key) -> usize {
+        (key.0 % self.cfg.shard_nodes.len() as u64) as usize
+    }
+
+    fn shards_for(&self, keys: &[Key]) -> Vec<usize> {
+        let mut shards: Vec<usize> = keys.iter().map(|k| self.shard_of(*k)).collect();
+        shards.sort_unstable();
+        shards.dedup();
+        shards
+    }
+
+    fn fresh_value(&mut self, ctx: &Context<SpannerMsg>) -> Value {
+        self.value_counter += 1;
+        Value(((ctx.node_id() as u64 + 1) << 40) | self.value_counter)
+    }
+
+    /// Estimated minimum commit latency (in microseconds) when using
+    /// `coordinator` for a transaction spanning `participants`.
+    fn estimate_commit_latency(&self, coordinator: usize, participants: &[usize]) -> u64 {
+        let client = Region(self.cfg.region);
+        let coord_region = Region(self.cfg.shard_regions[coordinator]);
+        let one_way_client = self.cfg.net.one_way(client, coord_region).as_micros();
+        let prepare = participants
+            .iter()
+            .map(|&p| {
+                let pr = Region(self.cfg.shard_regions[p]);
+                let net = if p == coordinator {
+                    0
+                } else {
+                    2 * self.cfg.net.one_way(coord_region, pr).as_micros()
+                };
+                net + self.cfg.replication_delays[p].as_micros()
+            })
+            .max()
+            .unwrap_or(0);
+        let commit = self.cfg.replication_delays[coordinator].as_micros()
+            + 2 * self.cfg.truetime_epsilon.as_micros();
+        2 * one_way_client + prepare + commit
+    }
+
+    fn pick_coordinator(&self, participants: &[usize]) -> (usize, u64) {
+        participants
+            .iter()
+            .map(|&c| (c, self.estimate_commit_latency(c, participants)))
+            .min_by_key(|&(_, est)| est)
+            .expect("transactions access at least one shard")
+    }
+
+    fn start_txn(&mut self, ctx: &mut Context<SpannerMsg>, session: u64) {
+        if ctx.now() >= self.cfg.stop_issuing_at {
+            self.sessions.remove(&session);
+            return;
+        }
+        if !self.sessions.contains_key(&session) {
+            return;
+        }
+        let request = self.workload.next_request(ctx.rng());
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let txn = ActiveTxn {
+            session,
+            request,
+            invoke: ctx.now(),
+            phase: Phase::Execute { pending: HashSet::new() },
+            attempts: 1,
+            writes_by_shard: Vec::new(),
+            coordinator: 0,
+            t_ee: 0,
+            commit_timer: None,
+            t_read: 0,
+            t_min_at_start: 0,
+            versions: HashMap::new(),
+            skipped: HashMap::new(),
+            resolved_early: HashSet::new(),
+            t_snap: 0,
+        };
+        self.txns.insert(seq, txn);
+        self.issue(ctx, seq);
+    }
+
+    /// Issues (or re-issues, after an abort) the transaction `seq`.
+    fn issue(&mut self, ctx: &mut Context<SpannerMsg>, seq: u64) {
+        let (request, session) = {
+            let t = &self.txns[&seq];
+            (t.request.clone(), t.session)
+        };
+        let txn_id = TxnId { client: ctx.node_id(), seq };
+        match &request {
+            TxnRequest::ReadWrite { keys } => {
+                let shards = self.shards_for(keys);
+                let pending: HashSet<NodeId> =
+                    shards.iter().map(|&s| self.cfg.shard_nodes[s]).collect();
+                for &s in &shards {
+                    let shard_keys: Vec<Key> =
+                        keys.iter().filter(|k| self.shard_of(**k) == s).copied().collect();
+                    ctx.send(self.cfg.shard_nodes[s], SpannerMsg::ExecRead { txn: txn_id, keys: shard_keys });
+                }
+                let t = self.txns.get_mut(&seq).expect("transaction exists");
+                t.phase = Phase::Execute { pending };
+            }
+            TxnRequest::ReadOnly { keys } => {
+                let t_read = ctx.truetime_now().latest.as_micros();
+                let t_min = match self.cfg.mode {
+                    Mode::Spanner => 0,
+                    Mode::SpannerRss => self.sessions.get(&session).map(|s| s.t_min).unwrap_or(0),
+                };
+                let shards = self.shards_for(keys);
+                let pending: HashSet<NodeId> =
+                    shards.iter().map(|&s| self.cfg.shard_nodes[s]).collect();
+                for &s in &shards {
+                    let shard_keys: Vec<Key> =
+                        keys.iter().filter(|k| self.shard_of(**k) == s).copied().collect();
+                    ctx.send(
+                        self.cfg.shard_nodes[s],
+                        SpannerMsg::RoCommit { txn: txn_id, keys: shard_keys, t_read, t_min },
+                    );
+                }
+                let t = self.txns.get_mut(&seq).expect("transaction exists");
+                t.t_read = t_read;
+                t.t_min_at_start = t_min;
+                t.phase = Phase::RoFast { pending };
+            }
+        }
+    }
+
+    fn begin_commit(&mut self, ctx: &mut Context<SpannerMsg>, seq: u64) {
+        let keys: Vec<Key> = self.txns[&seq].request.keys().to_vec();
+        let shards = self.shards_for(&keys);
+        let (coordinator, est) = self.pick_coordinator(&shards);
+        let t_ee = ctx.truetime_now().earliest.as_micros() + est;
+        // Assign fresh, globally unique values to every written key and group
+        // the writes by participant shard.
+        let mut assigned: Vec<(NodeId, Vec<(Key, Value)>)> = Vec::new();
+        for &s in &shards {
+            let shard_keys: Vec<Key> =
+                keys.iter().filter(|k| self.shard_of(**k) == s).copied().collect();
+            let mut vs = Vec::with_capacity(shard_keys.len());
+            for k in shard_keys {
+                let v = self.fresh_value(ctx);
+                vs.push((k, v));
+            }
+            assigned.push((self.cfg.shard_nodes[s], vs));
+        }
+        let txn_id = TxnId { client: ctx.node_id(), seq };
+        let coord_node = self.cfg.shard_nodes[coordinator];
+        ctx.send(
+            coord_node,
+            SpannerMsg::CommitRequest { txn: txn_id, writes_by_shard: assigned.clone(), t_ee },
+        );
+        let timeout = self.cfg.commit_timeout;
+        let tag = self.set_timer(ctx, timeout, TimerAction::CommitTimeout { seq });
+        let t = self.txns.get_mut(&seq).expect("transaction exists");
+        t.phase = Phase::Committing;
+        t.writes_by_shard = assigned;
+        t.coordinator = coord_node;
+        t.t_ee = t_ee;
+        t.commit_timer = Some(tag);
+    }
+
+    fn finish_txn(&mut self, ctx: &mut Context<SpannerMsg>, seq: u64, record: CompletedTxn) {
+        let txn = self.txns.remove(&seq).expect("transaction exists");
+        if record.is_ro {
+            self.stats.ro_completed += 1;
+        } else {
+            self.stats.rw_completed += 1;
+        }
+        self.completed.push(record);
+        self.continue_session(ctx, txn.session);
+    }
+
+    fn continue_session(&mut self, ctx: &mut Context<SpannerMsg>, session: u64) {
+        if !self.sessions.contains_key(&session) {
+            return;
+        }
+        match self.cfg.driver.clone() {
+            Driver::ClosedLoop { think_time, .. } => {
+                self.set_timer(ctx, think_time, TimerAction::StartTxn { session });
+            }
+            Driver::PartlyOpen { stay_probability, think_time, .. } => {
+                if ctx.rng().gen_bool(stay_probability) {
+                    self.set_timer(ctx, think_time, TimerAction::StartTxn { session });
+                } else {
+                    self.sessions.remove(&session);
+                }
+            }
+        }
+    }
+
+    // ----- Read-only completion logic (Algorithm 1) -----
+
+    fn ro_calculate_snapshot(&self, seq: u64) -> Ts {
+        let txn = &self.txns[&seq];
+        let mut t_snap = 0;
+        for key in txn.request.keys() {
+            let earliest = txn
+                .versions
+                .get(key)
+                .and_then(|vs| vs.iter().map(|(ts, _)| *ts).min())
+                .unwrap_or(0);
+            t_snap = t_snap.max(earliest);
+        }
+        t_snap
+    }
+
+    fn ro_try_finish(&mut self, ctx: &mut Context<SpannerMsg>, seq: u64) {
+        let (t_snap, ready) = {
+            let txn = &self.txns[&seq];
+            let t_snap = if txn.t_snap == 0 { self.ro_calculate_snapshot(seq) } else { txn.t_snap };
+            let min_prepared = txn.skipped.values().copied().min();
+            let ready = match min_prepared {
+                None => true,
+                Some(tp) => tp > t_snap,
+            };
+            (t_snap, ready)
+        };
+        {
+            let txn = self.txns.get_mut(&seq).expect("transaction exists");
+            txn.t_snap = t_snap;
+        }
+        if !ready {
+            let txn = self.txns.get_mut(&seq).expect("transaction exists");
+            if !matches!(txn.phase, Phase::RoSlow) {
+                txn.phase = Phase::RoSlow;
+                self.stats.ro_waited_slow += 1;
+            }
+            return;
+        }
+        // Assemble the result: for each key, the latest version at or before
+        // the snapshot timestamp.
+        let (record, session, t_snap) = {
+            let txn = &self.txns[&seq];
+            let keys = txn.request.keys().to_vec();
+            let mut results = Vec::new();
+            for key in &keys {
+                let v = txn
+                    .versions
+                    .get(key)
+                    .and_then(|vs| {
+                        vs.iter().filter(|(ts, _)| *ts <= t_snap).max_by_key(|(ts, _)| *ts).copied()
+                    })
+                    .map(|(_, v)| v)
+                    .unwrap_or(Value::NULL);
+                results.push((*key, v));
+            }
+            let timestamp = match self.cfg.mode {
+                Mode::Spanner => txn.t_read,
+                Mode::SpannerRss => t_snap.max(txn.t_min_at_start),
+            };
+            (
+                CompletedTxn {
+                    is_ro: true,
+                    read_keys: keys,
+                    read_results: results,
+                    writes: Vec::new(),
+                    invoke: txn.invoke,
+                    finish: ctx.now(),
+                    timestamp,
+                    session: txn.session,
+                    attempts: txn.attempts,
+                    orphan: false,
+                },
+                txn.session,
+                t_snap,
+            )
+        };
+        if let Some(s) = self.sessions.get_mut(&session) {
+            s.t_min = s.t_min.max(t_snap);
+        }
+        self.finish_txn(ctx, seq, record);
+    }
+}
+
+impl regular_sim::engine::Node<SpannerMsg> for ClientNode {
+    fn on_start(&mut self, ctx: &mut Context<SpannerMsg>) {
+        match self.cfg.driver.clone() {
+            Driver::ClosedLoop { sessions, .. } => {
+                for _ in 0..sessions {
+                    let id = self.next_session;
+                    self.next_session += 1;
+                    self.sessions.insert(id, Session { t_min: 0 });
+                    // Stagger session starts slightly to avoid a thundering herd
+                    // at time zero.
+                    let jitter = SimDuration::from_micros(ctx.rng().gen_range(0..1_000));
+                    self.set_timer(ctx, jitter, TimerAction::StartTxn { session: id });
+                }
+            }
+            Driver::PartlyOpen { arrival_rate, .. } => {
+                if arrival_rate > 0.0 {
+                    let delay = exponential_delay(ctx, arrival_rate);
+                    self.set_timer(ctx, delay, TimerAction::SessionArrival);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<SpannerMsg>, tag: u64) {
+        let Some(action) = self.timers.remove(&tag) else { return };
+        match action {
+            TimerAction::StartTxn { session } => self.start_txn(ctx, session),
+            TimerAction::RetryTxn { seq } => self.issue(ctx, seq),
+            TimerAction::SessionArrival => {
+                if ctx.now() < self.cfg.stop_issuing_at {
+                    let id = self.next_session;
+                    self.next_session += 1;
+                    self.sessions.insert(id, Session { t_min: 0 });
+                    self.start_txn(ctx, id);
+                    if let Driver::PartlyOpen { arrival_rate, .. } = self.cfg.driver {
+                        let delay = exponential_delay(ctx, arrival_rate);
+                        self.set_timer(ctx, delay, TimerAction::SessionArrival);
+                    }
+                }
+            }
+            TimerAction::CommitTimeout { seq } => {
+                let Some(txn) = self.txns.get(&seq) else { return };
+                if !matches!(txn.phase, Phase::Committing) {
+                    return;
+                }
+                self.stats.aborted_attempts += 1;
+                let coordinator = txn.coordinator;
+                let old_id = TxnId { client: ctx.node_id(), seq };
+                ctx.send(coordinator, SpannerMsg::AbortRequest { txn: old_id });
+                // Move the attempt to the abandoned set: if the commit still
+                // lands, its writes become part of the history as an orphan.
+                let old = self.txns.remove(&seq).expect("transaction exists");
+                self.abandoned.insert(
+                    seq,
+                    AbandonedTxn {
+                        session: old.session,
+                        invoke: old.invoke,
+                        attempts: old.attempts,
+                        writes: old.writes_by_shard.iter().flat_map(|(_, w)| w.clone()).collect(),
+                    },
+                );
+                // Re-issue under a fresh sequence number so stale replies are
+                // not confused with the new attempt.
+                let new_seq = self.next_seq;
+                self.next_seq += 1;
+                self.txns.insert(
+                    new_seq,
+                    ActiveTxn {
+                        session: old.session,
+                        request: old.request,
+                        invoke: old.invoke,
+                        phase: Phase::Execute { pending: HashSet::new() },
+                        attempts: old.attempts + 1,
+                        writes_by_shard: Vec::new(),
+                        coordinator: 0,
+                        t_ee: 0,
+                        commit_timer: None,
+                        t_read: 0,
+                        t_min_at_start: 0,
+                        versions: HashMap::new(),
+                        skipped: HashMap::new(),
+                        resolved_early: HashSet::new(),
+                        t_snap: 0,
+                    },
+                );
+                let backoff = self.cfg.retry_backoff;
+                self.set_timer(ctx, backoff, TimerAction::RetryTxn { seq: new_seq });
+            }
+            TimerAction::FinishRw { seq, t_commit } => {
+                let Some(txn) = self.txns.get(&seq) else { return };
+                let record = CompletedTxn {
+                    is_ro: false,
+                    read_keys: Vec::new(),
+                    read_results: Vec::new(),
+                    writes: txn.writes_by_shard.iter().flat_map(|(_, w)| w.clone()).collect(),
+                    invoke: txn.invoke,
+                    finish: ctx.now(),
+                    timestamp: t_commit,
+                    session: txn.session,
+                    attempts: txn.attempts,
+                    orphan: false,
+                };
+                if let Some(s) = self.sessions.get_mut(&txn.session) {
+                    s.t_min = s.t_min.max(t_commit);
+                }
+                self.finish_txn(ctx, seq, record);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<SpannerMsg>, from: NodeId, msg: SpannerMsg) {
+        match msg {
+            SpannerMsg::ExecReadReply { txn, .. } => {
+                let seq = txn.seq;
+                let ready = {
+                    let Some(t) = self.txns.get_mut(&seq) else { return };
+                    match &mut t.phase {
+                        Phase::Execute { pending } => {
+                            pending.remove(&from);
+                            pending.is_empty()
+                        }
+                        _ => false,
+                    }
+                };
+                if ready {
+                    self.begin_commit(ctx, seq);
+                }
+            }
+            SpannerMsg::CommitReply { txn, commit, t_commit } => {
+                let seq = txn.seq;
+                if let Some(orphan) = self.abandoned.remove(&seq) {
+                    // The client had already given up on this attempt; if the
+                    // commit landed anyway, record its (visible) writes.
+                    if commit {
+                        self.completed.push(CompletedTxn {
+                            is_ro: false,
+                            read_keys: Vec::new(),
+                            read_results: Vec::new(),
+                            writes: orphan.writes,
+                            invoke: orphan.invoke,
+                            finish: ctx.now(),
+                            timestamp: t_commit,
+                            session: orphan.session,
+                            attempts: orphan.attempts,
+                            orphan: true,
+                        });
+                    }
+                    return;
+                }
+                let Some(t) = self.txns.get_mut(&seq) else {
+                    return;
+                };
+                if !matches!(t.phase, Phase::Committing) {
+                    return;
+                }
+                if let Some(tag) = t.commit_timer.take() {
+                    self.timers.remove(&tag);
+                }
+                if commit {
+                    let t_ee = t.t_ee;
+                    // Ensure the earliest end time really is in the past
+                    // before reporting completion (Section 5).
+                    let now_earliest = ctx.truetime_now().earliest.as_micros();
+                    let delay = if t_ee >= now_earliest {
+                        SimDuration::from_micros(t_ee - now_earliest + 1)
+                    } else {
+                        SimDuration::ZERO
+                    };
+                    self.set_timer(ctx, delay, TimerAction::FinishRw { seq, t_commit });
+                } else {
+                    // Aborted by the coordinator; retry after a back-off.
+                    let t = self.txns.get_mut(&seq).expect("transaction exists");
+                    t.attempts += 1;
+                    t.phase = Phase::Execute { pending: HashSet::new() };
+                    self.stats.aborted_attempts += 1;
+                    let backoff = self.cfg.retry_backoff;
+                    self.set_timer(ctx, backoff, TimerAction::RetryTxn { seq });
+                }
+            }
+            SpannerMsg::RoReply { txn, values, .. } => {
+                let seq = txn.seq;
+                let ready = {
+                    let Some(t) = self.txns.get_mut(&seq) else { return };
+                    for (k, ts, v) in values {
+                        t.versions.entry(k).or_default().push((ts, v));
+                    }
+                    match &mut t.phase {
+                        Phase::RoFast { pending } => {
+                            pending.remove(&from);
+                            pending.is_empty()
+                        }
+                        _ => false,
+                    }
+                };
+                if ready {
+                    self.ro_try_finish(ctx, seq);
+                }
+            }
+            SpannerMsg::RoFastReply { txn, skipped, values, .. } => {
+                let seq = txn.seq;
+                let ready = {
+                    let Some(t) = self.txns.get_mut(&seq) else { return };
+                    for (k, ts, v) in values {
+                        t.versions.entry(k).or_default().push((ts, v));
+                    }
+                    for PreparedInfo { txn: id, t_prepare } in skipped {
+                        if !t.resolved_early.contains(&id) {
+                            t.skipped.insert(id, t_prepare);
+                        }
+                    }
+                    match &mut t.phase {
+                        Phase::RoFast { pending } => {
+                            pending.remove(&from);
+                            pending.is_empty()
+                        }
+                        _ => false,
+                    }
+                };
+                if ready {
+                    self.ro_try_finish(ctx, seq);
+                }
+            }
+            SpannerMsg::RoSlowReply { txn, resolved, committed, t_commit, values, .. } => {
+                let seq = txn.seq;
+                let evaluate = {
+                    let Some(t) = self.txns.get_mut(&seq) else { return };
+                    if t.skipped.remove(&resolved).is_none() {
+                        t.resolved_early.insert(resolved);
+                    }
+                    if committed {
+                        for (k, ts, v) in values {
+                            let _ = t_commit;
+                            t.versions.entry(k).or_default().push((ts, v));
+                        }
+                    }
+                    matches!(t.phase, Phase::RoSlow)
+                };
+                if evaluate {
+                    self.ro_try_finish(ctx, seq);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Draws an exponentially distributed inter-arrival delay for the given rate
+/// (events per second).
+fn exponential_delay(ctx: &mut Context<SpannerMsg>, rate_per_sec: f64) -> SimDuration {
+    let u: f64 = ctx.rng().gen_range(1e-12..1.0);
+    let secs = -u.ln() / rate_per_sec;
+    SimDuration::from_micros((secs * 1_000_000.0) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_request_accessors() {
+        let rw = TxnRequest::ReadWrite { keys: vec![Key(1), Key(2)] };
+        let ro = TxnRequest::ReadOnly { keys: vec![Key(3)] };
+        assert!(!rw.is_read_only());
+        assert!(ro.is_read_only());
+        assert_eq!(rw.keys().len(), 2);
+    }
+
+    #[test]
+    fn completed_txn_is_cloneable() {
+        let c = CompletedTxn {
+            is_ro: true,
+            read_keys: vec![Key(1)],
+            read_results: vec![(Key(1), Value(5))],
+            writes: vec![],
+            invoke: SimTime::from_millis(1),
+            finish: SimTime::from_millis(2),
+            timestamp: 100,
+            session: 0,
+            attempts: 1,
+            orphan: false,
+        };
+        let d = c.clone();
+        assert_eq!(d.read_results[0].1, Value(5));
+    }
+}

@@ -1,0 +1,358 @@
+//! Cluster assembly, execution, and result extraction.
+//!
+//! The harness builds a simulated cluster (shard leaders plus client/load
+//! generator nodes), runs it, and turns the raw per-node records into the
+//! artifacts the evaluation and the conformance tests need: latency
+//! distributions, throughput, a [`regular_core::History`], and a serialization
+//! witness derived from the protocol's timestamps (commit timestamps and
+//! snapshot timestamps), mirroring the construction in the paper's proof of
+//! correctness (Appendix D.1).
+
+use regular_core::history::History;
+use regular_core::op::{OpKind, OpResult};
+use regular_core::types::{OpId, ProcessId, ServiceId, Timestamp};
+use regular_core::checker::certificate::{check_witness, WitnessModel, WitnessViolation};
+use regular_sim::engine::{Context, Engine, EngineConfig, Node, NodeId};
+use regular_sim::metrics::LatencyRecorder;
+use regular_sim::net::LatencyMatrix;
+use regular_sim::time::{SimDuration, SimTime};
+
+use crate::client::{ClientConfig, ClientNode, ClientStats, CompletedTxn, Driver};
+use crate::config::{Mode, SpannerConfig};
+use crate::messages::SpannerMsg;
+use crate::shard::{ShardNode, ShardStats};
+use crate::workload::SpannerWorkload;
+
+/// A node of the simulated cluster.
+pub enum SpannerNode {
+    /// A shard leader.
+    Shard(ShardNode),
+    /// A client / load generator.
+    Client(ClientNode),
+}
+
+impl Node<SpannerMsg> for SpannerNode {
+    fn on_start(&mut self, ctx: &mut Context<SpannerMsg>) {
+        match self {
+            SpannerNode::Shard(s) => s.on_start(ctx),
+            SpannerNode::Client(c) => c.on_start(ctx),
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Context<SpannerMsg>, from: NodeId, msg: SpannerMsg) {
+        match self {
+            SpannerNode::Shard(s) => s.on_message(ctx, from, msg),
+            SpannerNode::Client(c) => c.on_message(ctx, from, msg),
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<SpannerMsg>, tag: u64) {
+        match self {
+            SpannerNode::Shard(s) => s.on_timer(ctx, tag),
+            SpannerNode::Client(c) => c.on_timer(ctx, tag),
+        }
+    }
+}
+
+/// Specification of one client (load generator) node.
+pub struct ClientSpec {
+    /// Region the node runs in.
+    pub region: usize,
+    /// Load-generation model.
+    pub driver: Driver,
+    /// Workload generator.
+    pub workload: Box<dyn SpannerWorkload>,
+}
+
+/// Specification of a full cluster run.
+pub struct ClusterSpec {
+    /// Protocol and topology configuration.
+    pub config: SpannerConfig,
+    /// Wide-area network model.
+    pub net: LatencyMatrix,
+    /// Random seed (runs are deterministic for a given seed).
+    pub seed: u64,
+    /// Client nodes.
+    pub clients: Vec<ClientSpec>,
+    /// Clients stop issuing new transactions at this instant.
+    pub stop_issuing_at: SimTime,
+    /// Extra time to let in-flight transactions drain.
+    pub drain: SimDuration,
+    /// Latency/throughput measurements only cover completions at or after
+    /// this instant (warm-up exclusion).
+    pub measure_from: SimTime,
+}
+
+/// The outcome of a cluster run.
+pub struct RunResult {
+    /// Protocol variant that was run.
+    pub mode: Mode,
+    /// Read-write transaction latencies (measurement window only).
+    pub rw_latencies: LatencyRecorder,
+    /// Read-only transaction latencies (measurement window only).
+    pub ro_latencies: LatencyRecorder,
+    /// Completed transactions per client node (all, including warm-up).
+    pub completed: Vec<(NodeId, Vec<CompletedTxn>)>,
+    /// Aggregate throughput over the measurement window (txn/s).
+    pub throughput: f64,
+    /// Aggregated client statistics.
+    pub client_stats: ClientStats,
+    /// Per-shard statistics.
+    pub shard_stats: Vec<ShardStats>,
+    /// Simulated time when the run finished.
+    pub finished_at: SimTime,
+    /// Total messages delivered.
+    pub messages: u64,
+}
+
+/// Builds and runs a cluster, returning the collected results.
+///
+/// # Panics
+///
+/// Panics if the configuration is structurally invalid (see
+/// [`SpannerConfig::validate`]).
+pub fn run_cluster(spec: ClusterSpec) -> RunResult {
+    let ClusterSpec { config, net, seed, clients, stop_issuing_at, drain, measure_from } = spec;
+    config.validate().expect("invalid Spanner configuration");
+    let engine_cfg = EngineConfig {
+        default_service_time: config.shard_service_time,
+        max_time: stop_issuing_at + drain,
+        truetime_epsilon: config.truetime_epsilon,
+    };
+    let mut engine: Engine<SpannerMsg, SpannerNode> = Engine::new(engine_cfg, net.clone(), seed);
+
+    // Shards first (node ids 0..num_shards).
+    let mut shard_nodes = Vec::new();
+    let mut replication_delays = Vec::new();
+    for shard in 0..config.num_shards {
+        let delay = config.replication_delay(shard, &net);
+        replication_delays.push(delay);
+        let node = SpannerNode::Shard(ShardNode::new(&config, shard, delay));
+        let id = engine.add_node_with(node, config.leader_regions[shard], config.shard_service_time);
+        shard_nodes.push(id);
+    }
+    // Then clients.
+    let mut client_ids = Vec::new();
+    for c in clients {
+        let client_cfg = ClientConfig {
+            mode: config.mode,
+            driver: c.driver,
+            region: c.region,
+            shard_nodes: shard_nodes.clone(),
+            shard_regions: config.leader_regions.clone(),
+            replication_delays: replication_delays.clone(),
+            net: net.clone(),
+            truetime_epsilon: config.truetime_epsilon,
+            stop_issuing_at,
+            commit_timeout: config.commit_timeout,
+            retry_backoff: config.retry_backoff,
+        };
+        let node = SpannerNode::Client(ClientNode::new(client_cfg, c.workload));
+        let id = engine.add_node_with(node, c.region, config.client_service_time);
+        client_ids.push(id);
+    }
+
+    let finished_at = engine.run();
+
+    // Collect results.
+    let mut rw = LatencyRecorder::new();
+    let mut ro = LatencyRecorder::new();
+    let mut completed = Vec::new();
+    let mut client_stats = ClientStats::default();
+    let mut window_count = 0u64;
+    for &id in &client_ids {
+        if let SpannerNode::Client(c) = engine.node(id) {
+            for txn in &c.completed {
+                if txn.finish >= measure_from && !txn.orphan {
+                    let latency = txn.finish.since(txn.invoke);
+                    if txn.is_ro {
+                        ro.record(latency);
+                    } else {
+                        rw.record(latency);
+                    }
+                    if txn.finish < stop_issuing_at {
+                        window_count += 1;
+                    }
+                }
+            }
+            client_stats.rw_completed += c.stats.rw_completed;
+            client_stats.ro_completed += c.stats.ro_completed;
+            client_stats.aborted_attempts += c.stats.aborted_attempts;
+            client_stats.ro_waited_slow += c.stats.ro_waited_slow;
+            completed.push((id, c.completed.clone()));
+        }
+    }
+    let mut shard_stats = Vec::new();
+    for &id in &shard_nodes {
+        if let SpannerNode::Shard(s) = engine.node(id) {
+            shard_stats.push(s.stats);
+        }
+    }
+    let window = stop_issuing_at.since(measure_from).as_micros();
+    let throughput =
+        if window == 0 { 0.0 } else { window_count as f64 * 1_000_000.0 / window as f64 };
+    RunResult {
+        mode: config.mode,
+        rw_latencies: rw,
+        ro_latencies: ro,
+        completed,
+        throughput,
+        client_stats,
+        shard_stats,
+        finished_at,
+        messages: engine.delivered_messages(),
+    }
+}
+
+/// Builds a [`History`] and a serialization witness from a run.
+///
+/// Each (client node, session) pair becomes one application process; the
+/// witness orders transactions by their protocol timestamp (commit timestamp
+/// for read-write transactions, snapshot/read timestamp for read-only ones),
+/// with read-write transactions first among equals — exactly the order used in
+/// the paper's correctness proof.
+pub fn build_history(result: &RunResult) -> (History, Vec<OpId>) {
+    let mut history = History::new();
+    // Deterministic process numbering.
+    let mut process_of = std::collections::HashMap::new();
+    let mut witness_keys: Vec<(u64, u8, u64, OpId)> = Vec::new();
+    let mut orphan_pid = 1_000_000u32;
+    for (client, txns) in &result.completed {
+        for txn in txns {
+            let pid = if txn.orphan {
+                // An orphaned commit is not ordered within its session (the
+                // client had already moved on), so it gets its own process.
+                orphan_pid += 1;
+                ProcessId(orphan_pid)
+            } else {
+                let next_pid = ProcessId((process_of.len() + 1) as u32);
+                *process_of.entry((*client, txn.session)).or_insert(next_pid)
+            };
+            let (kind, opres) = if txn.is_ro {
+                (
+                    OpKind::RoTxn { keys: txn.read_keys.clone() },
+                    OpResult::Values(txn.read_results.clone()),
+                )
+            } else {
+                (
+                    OpKind::RwTxn { read_keys: Vec::new(), writes: txn.writes.clone() },
+                    OpResult::Values(Vec::new()),
+                )
+            };
+            let id = history.add_complete(
+                pid,
+                ServiceId::KV,
+                kind,
+                Timestamp(txn.invoke.as_micros()),
+                Timestamp(txn.finish.as_micros()),
+                opres,
+            );
+            let rank = if txn.is_ro { 1 } else { 0 };
+            witness_keys.push((txn.timestamp, rank, txn.finish.as_micros(), id));
+        }
+    }
+    witness_keys.sort_unstable();
+    let witness = witness_keys.into_iter().map(|(_, _, _, id)| id).collect();
+    (history, witness)
+}
+
+/// Verifies that a run satisfies its consistency model: strict serializability
+/// for the Spanner baseline, RSS for Spanner-RSS.
+pub fn verify_run(result: &RunResult) -> Result<(), WitnessViolation> {
+    let (history, witness) = build_history(result);
+    let model = match result.mode {
+        Mode::Spanner => WitnessModel::RealTime,
+        Mode::SpannerRss => WitnessModel::Regular,
+    };
+    check_witness(&history, &witness, model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::UniformWorkload;
+
+    fn small_cluster(mode: Mode, seed: u64, skewless_keys: u64) -> RunResult {
+        let config = SpannerConfig::wan(mode);
+        let net = LatencyMatrix::spanner_wan();
+        let clients = (0..3)
+            .map(|i| ClientSpec {
+                region: i % 3,
+                driver: Driver::ClosedLoop {
+                    sessions: 4,
+                    think_time: SimDuration::ZERO,
+                },
+                workload: Box::new(UniformWorkload {
+                    num_keys: skewless_keys,
+                    ro_fraction: 0.5,
+                    keys_per_txn: 2,
+                }) as Box<dyn SpannerWorkload>,
+            })
+            .collect();
+        run_cluster(ClusterSpec {
+            config,
+            net,
+            seed,
+            clients,
+            stop_issuing_at: SimTime::from_secs(20),
+            drain: SimDuration::from_secs(5),
+            measure_from: SimTime::from_secs(2),
+        })
+    }
+
+    #[test]
+    fn baseline_cluster_makes_progress_and_is_strictly_serializable() {
+        let result = small_cluster(Mode::Spanner, 7, 1000);
+        assert!(result.client_stats.rw_completed > 50, "read-write transactions should complete");
+        assert!(result.client_stats.ro_completed > 50, "read-only transactions should complete");
+        assert!(result.throughput > 0.0);
+        verify_run(&result).expect("Spanner must be strictly serializable");
+    }
+
+    #[test]
+    fn rss_cluster_makes_progress_and_satisfies_rss() {
+        let result = small_cluster(Mode::SpannerRss, 7, 1000);
+        assert!(result.client_stats.rw_completed > 50);
+        assert!(result.client_stats.ro_completed > 50);
+        verify_run(&result).expect("Spanner-RSS must satisfy RSS");
+    }
+
+    #[test]
+    fn contended_rss_run_satisfies_rss() {
+        // A tiny key space maximizes conflicts between read-only and prepared
+        // read-write transactions, exercising the skip + slow-reply paths.
+        let result = small_cluster(Mode::SpannerRss, 11, 20);
+        assert!(result.client_stats.ro_completed > 50);
+        verify_run(&result).expect("Spanner-RSS must satisfy RSS under contention");
+        let skipped: u64 = result.shard_stats.iter().map(|s| s.ro_skipped_prepared).sum();
+        assert!(skipped > 0, "the contended run should exercise the skip path");
+    }
+
+    #[test]
+    fn contended_baseline_run_is_strictly_serializable() {
+        let result = small_cluster(Mode::Spanner, 11, 20);
+        assert!(result.client_stats.ro_completed > 50);
+        verify_run(&result).expect("Spanner must be strictly serializable under contention");
+        let blocked: u64 = result.shard_stats.iter().map(|s| s.ro_blocked).sum();
+        assert!(blocked > 0, "the contended run should exercise the blocking path");
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_a_seed() {
+        let a = small_cluster(Mode::SpannerRss, 3, 100);
+        let b = small_cluster(Mode::SpannerRss, 3, 100);
+        assert_eq!(a.client_stats.rw_completed, b.client_stats.rw_completed);
+        assert_eq!(a.client_stats.ro_completed, b.client_stats.ro_completed);
+        assert_eq!(a.messages, b.messages);
+        let mut x = a.ro_latencies.clone();
+        let mut y = b.ro_latencies.clone();
+        assert_eq!(x.percentile(99.0), y.percentile(99.0));
+    }
+
+    #[test]
+    fn rw_latency_reflects_wide_area_round_trips() {
+        let result = small_cluster(Mode::Spanner, 5, 1000);
+        let mut rw = result.rw_latencies.clone();
+        // A read-write transaction needs at least one cross-region round trip
+        // (execute) plus commit: well above 60 ms in this topology.
+        assert!(rw.percentile(50.0).unwrap() >= SimDuration::from_millis(60));
+    }
+}

@@ -1,0 +1,192 @@
+//! Wire messages of the simulated Spanner / Spanner-RSS protocols.
+
+use regular_core::types::{Key, Value};
+use regular_sim::engine::NodeId;
+
+/// Timestamps used by the protocol (TrueTime-derived, in simulated
+/// microseconds).
+pub type Ts = u64;
+
+/// A globally unique transaction identifier: (client node, per-client
+/// sequence number). The sequence number is also used as the wound-wait
+/// priority in configurations that enable it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId {
+    /// The client (load generator) node that issued the transaction.
+    pub client: NodeId,
+    /// Per-client sequence number.
+    pub seq: u64,
+}
+
+/// A prepared-but-uncommitted read-write transaction, as tracked by a shard
+/// and reported to RSS read-only transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreparedInfo {
+    /// The transaction's identifier.
+    pub txn: TxnId,
+    /// Its prepare timestamp at this shard.
+    pub t_prepare: Ts,
+}
+
+/// Messages exchanged between clients and shard leaders.
+#[derive(Debug, Clone)]
+pub enum SpannerMsg {
+    // ----- Read-write transactions: execute phase -----
+    /// Client reads the current values of `keys` at a shard (execute phase).
+    ExecRead {
+        /// Issuing transaction.
+        txn: TxnId,
+        /// Keys to read on this shard.
+        keys: Vec<Key>,
+    },
+    /// Shard reply to [`SpannerMsg::ExecRead`].
+    ExecReadReply {
+        /// Issuing transaction.
+        txn: TxnId,
+        /// Values read.
+        values: Vec<(Key, Value)>,
+    },
+
+    // ----- Read-write transactions: two-phase commit -----
+    /// Client asks `coordinator` to commit the transaction; carries the full
+    /// write set partitioned by shard and the client's earliest end time.
+    CommitRequest {
+        /// Issuing transaction.
+        txn: TxnId,
+        /// Write set per shard: `(shard node, writes)`.
+        writes_by_shard: Vec<(NodeId, Vec<(Key, Value)>)>,
+        /// Earliest possible client-side end time (Spanner-RSS only; ignored
+        /// by the baseline).
+        t_ee: Ts,
+    },
+    /// Coordinator asks a participant to prepare.
+    Prepare {
+        /// Transaction being prepared.
+        txn: TxnId,
+        /// Writes on the participant shard.
+        writes: Vec<(Key, Value)>,
+        /// Earliest possible client-side end time.
+        t_ee: Ts,
+        /// Coordinator shard node.
+        coordinator: NodeId,
+    },
+    /// Participant has prepared (locks held, prepare record replicated).
+    PrepareOk {
+        /// Transaction.
+        txn: TxnId,
+        /// Responding participant.
+        shard: NodeId,
+        /// Chosen prepare timestamp.
+        t_prepare: Ts,
+    },
+    /// Coordinator's decision, sent to participants.
+    CommitDecision {
+        /// Transaction.
+        txn: TxnId,
+        /// True to commit, false to abort.
+        commit: bool,
+        /// Commit timestamp (meaningful when `commit` is true).
+        t_commit: Ts,
+    },
+    /// Coordinator's reply to the client.
+    CommitReply {
+        /// Transaction.
+        txn: TxnId,
+        /// True if the transaction committed.
+        commit: bool,
+        /// Commit timestamp.
+        t_commit: Ts,
+    },
+    /// Client-initiated abort (commit timeout); releases locks and any
+    /// prepared state for the transaction.
+    AbortRequest {
+        /// Transaction to abort.
+        txn: TxnId,
+    },
+
+    // ----- Read-only transactions -----
+    /// Read-only transaction request (both variants). `t_min` is meaningful
+    /// only for Spanner-RSS.
+    RoCommit {
+        /// Issuing transaction.
+        txn: TxnId,
+        /// Keys to read on this shard.
+        keys: Vec<Key>,
+        /// Read timestamp (`TT.now().latest` at the client).
+        t_read: Ts,
+        /// Minimum read timestamp capturing the client's causal past.
+        t_min: Ts,
+    },
+    /// Baseline Spanner reply: sent only once all conflicting prepared
+    /// transactions with `t_p ≤ t_read` have resolved.
+    RoReply {
+        /// Transaction.
+        txn: TxnId,
+        /// Responding shard.
+        shard: NodeId,
+        /// For each requested key, the latest version at or before `t_read`.
+        values: Vec<(Key, Ts, Value)>,
+    },
+    /// Spanner-RSS fast reply (Algorithm 2, line 10).
+    RoFastReply {
+        /// Transaction.
+        txn: TxnId,
+        /// Responding shard.
+        shard: NodeId,
+        /// Conflicting transactions that were skipped: still prepared, with
+        /// `t_p ≤ t_read`, not required by `t_min` or `t_ee`.
+        skipped: Vec<PreparedInfo>,
+        /// For each requested key, the latest version at or before `t_read`.
+        values: Vec<(Key, Ts, Value)>,
+    },
+    /// Spanner-RSS slow reply (Algorithm 2, lines 13-17): the outcome of one
+    /// previously skipped transaction.
+    RoSlowReply {
+        /// The read-only transaction this reply belongs to.
+        txn: TxnId,
+        /// Responding shard.
+        shard: NodeId,
+        /// The skipped read-write transaction that has now resolved.
+        resolved: TxnId,
+        /// True if it committed.
+        committed: bool,
+        /// Its commit timestamp (when committed).
+        t_commit: Ts,
+        /// The values it wrote to the keys requested by the read-only
+        /// transaction (when committed).
+        values: Vec<(Key, Ts, Value)>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_id_ordering_is_by_client_then_seq() {
+        let a = TxnId { client: 1, seq: 5 };
+        let b = TxnId { client: 1, seq: 6 };
+        let c = TxnId { client: 2, seq: 0 };
+        assert!(a < b);
+        assert!(b < c);
+        assert_eq!(a, TxnId { client: 1, seq: 5 });
+    }
+
+    #[test]
+    fn messages_are_cloneable() {
+        let m = SpannerMsg::RoCommit {
+            txn: TxnId { client: 3, seq: 1 },
+            keys: vec![Key(1), Key(2)],
+            t_read: 100,
+            t_min: 50,
+        };
+        let m2 = m.clone();
+        match m2 {
+            SpannerMsg::RoCommit { keys, t_read, .. } => {
+                assert_eq!(keys.len(), 2);
+                assert_eq!(t_read, 100);
+            }
+            _ => panic!("clone changed the variant"),
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! The shard leader node: two-phase commit participant/coordinator and the
+//! read-only transaction server (Algorithm 2).
+//!
+//! Each shard is simulated as its leader; replication of prepare and commit
+//! records to a majority is modeled as a fixed delay (the round-trip time to
+//! the nearest replica), and the Paxos safe time is advanced eagerly as the
+//! leader-lease optimization in the paper permits.
+
+use std::collections::{HashMap, HashSet};
+
+use regular_core::types::{Key, Value};
+use regular_sim::engine::{Context, NodeId};
+use regular_sim::time::SimDuration;
+
+use crate::config::{Mode, SpannerConfig};
+use crate::locks::LockTable;
+use crate::messages::{PreparedInfo, SpannerMsg, Ts, TxnId};
+use crate::storage::MvccStore;
+
+/// A prepared-but-undecided read-write transaction at this shard.
+#[derive(Debug, Clone)]
+struct PreparedTxn {
+    writes: Vec<(Key, Value)>,
+    t_prepare: Ts,
+    t_ee: Ts,
+}
+
+/// A prepare request still waiting for its write locks.
+#[derive(Debug, Clone)]
+struct PendingPrepare {
+    writes: Vec<(Key, Value)>,
+    t_ee: Ts,
+    coordinator: NodeId,
+}
+
+/// Coordinator-side state of a two-phase commit this shard is driving.
+#[derive(Debug, Clone)]
+struct CoordState {
+    client: NodeId,
+    participants: Vec<NodeId>,
+    awaiting: HashSet<NodeId>,
+    max_prepare: Ts,
+    aborted: bool,
+}
+
+/// A baseline read-only transaction blocked on conflicting prepared
+/// transactions (Spanner) or a Spanner-RSS read-only transaction blocked on
+/// its must-observe set `B` (Algorithm 2, line 7).
+#[derive(Debug, Clone)]
+struct BlockedRo {
+    client: NodeId,
+    txn: TxnId,
+    keys: Vec<Key>,
+    t_read: Ts,
+    blockers: HashSet<TxnId>,
+}
+
+/// A Spanner-RSS read-only transaction for which this shard still owes slow
+/// replies about skipped prepared transactions (Algorithm 2, lines 11-18).
+#[derive(Debug, Clone)]
+struct RssWatcher {
+    client: NodeId,
+    txn: TxnId,
+    keys: Vec<Key>,
+    pending: HashSet<TxnId>,
+}
+
+/// Counters exposed for the evaluation harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardStats {
+    /// Read-only requests answered without blocking.
+    pub ro_immediate: u64,
+    /// Read-only requests that had to block (baseline) or wait for their `B`
+    /// set (Spanner-RSS).
+    pub ro_blocked: u64,
+    /// Prepared transactions skipped by Spanner-RSS fast replies.
+    pub ro_skipped_prepared: u64,
+    /// Slow replies sent (Spanner-RSS only).
+    pub ro_slow_replies: u64,
+    /// Transactions prepared.
+    pub prepares: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transactions aborted.
+    pub aborts: u64,
+}
+
+/// The shard leader node.
+pub struct ShardNode {
+    mode: Mode,
+    disable_tee_skip: bool,
+    shard_index: usize,
+    replication_delay: SimDuration,
+    store: MvccStore,
+    locks: LockTable,
+    prepared: HashMap<TxnId, PreparedTxn>,
+    pending_prepares: HashMap<TxnId, PendingPrepare>,
+    coordinating: HashMap<TxnId, CoordState>,
+    blocked_ros: Vec<BlockedRo>,
+    rss_watchers: Vec<RssWatcher>,
+    /// Floor for prepare and commit timestamps chosen at this shard; also
+    /// plays the role of the Paxos safe time.
+    max_ts: Ts,
+    /// Commit-wait timers: tag -> transaction.
+    timers: HashMap<u64, TxnId>,
+    next_timer: u64,
+    /// Statistics for the harness.
+    pub stats: ShardStats,
+}
+
+impl ShardNode {
+    /// Creates a shard leader for `shard_index` under the given configuration.
+    pub fn new(cfg: &SpannerConfig, shard_index: usize, replication_delay: SimDuration) -> Self {
+        ShardNode {
+            mode: cfg.mode,
+            disable_tee_skip: cfg.disable_tee_skip,
+            shard_index,
+            replication_delay,
+            store: MvccStore::new(),
+            locks: LockTable::new(),
+            prepared: HashMap::new(),
+            pending_prepares: HashMap::new(),
+            coordinating: HashMap::new(),
+            blocked_ros: Vec::new(),
+            rss_watchers: Vec::new(),
+            max_ts: 0,
+            timers: HashMap::new(),
+            next_timer: 0,
+            stats: ShardStats::default(),
+        }
+    }
+
+    /// The shard index this leader serves.
+    pub fn shard_index(&self) -> usize {
+        self.shard_index
+    }
+
+    /// Read access to the multi-version store (for tests and harnesses).
+    pub fn store(&self) -> &MvccStore {
+        &self.store
+    }
+
+    fn read_values(&self, keys: &[Key], t_read: Ts) -> Vec<(Key, Ts, Value)> {
+        keys.iter()
+            .map(|k| {
+                let (ts, v) = self.store.read_at(*k, t_read);
+                (*k, ts, v)
+            })
+            .collect()
+    }
+
+    fn conflicting_prepared(&self, keys: &[Key], t_read: Ts) -> Vec<(TxnId, Ts, Ts)> {
+        self.prepared
+            .iter()
+            .filter(|(_, p)| {
+                p.t_prepare <= t_read && p.writes.iter().any(|(k, _)| keys.contains(k))
+            })
+            .map(|(id, p)| (*id, p.t_prepare, p.t_ee))
+            .collect()
+    }
+
+    fn finish_prepare(
+        &mut self,
+        ctx: &mut Context<SpannerMsg>,
+        txn: TxnId,
+        writes: Vec<(Key, Value)>,
+        t_ee: Ts,
+        coordinator: NodeId,
+    ) {
+        let tt = ctx.truetime_now();
+        let t_prepare = (self.max_ts + 1).max(tt.latest.as_micros());
+        self.max_ts = t_prepare;
+        self.prepared.insert(txn, PreparedTxn { writes, t_prepare, t_ee });
+        self.stats.prepares += 1;
+        // The prepare record is durable at a majority after one replication
+        // round trip; only then may the participant vote yes.
+        ctx.send_after(
+            coordinator,
+            self.replication_delay,
+            SpannerMsg::PrepareOk { txn, shard: ctx.node_id(), t_prepare },
+        );
+    }
+
+    fn handle_prepare(
+        &mut self,
+        ctx: &mut Context<SpannerMsg>,
+        txn: TxnId,
+        writes: Vec<(Key, Value)>,
+        t_ee: Ts,
+        coordinator: NodeId,
+    ) {
+        let keys: Vec<Key> = writes.iter().map(|(k, _)| *k).collect();
+        if self.locks.acquire(txn, &keys) {
+            self.finish_prepare(ctx, txn, writes, t_ee, coordinator);
+        } else {
+            self.pending_prepares.insert(txn, PendingPrepare { writes, t_ee, coordinator });
+        }
+    }
+
+    /// Applies a commit/abort decision locally: installs writes, releases
+    /// locks, wakes queued prepares, and resolves read-only transactions that
+    /// were blocked on (or watching) this transaction.
+    fn apply_decision(&mut self, ctx: &mut Context<SpannerMsg>, txn: TxnId, commit: bool, t_commit: Ts) {
+        let prepared = self.prepared.remove(&txn);
+        let pending = self.pending_prepares.remove(&txn);
+        let written: Vec<(Key, Value)> = match (&prepared, commit) {
+            (Some(p), true) => {
+                for (k, v) in &p.writes {
+                    self.store.apply(*k, t_commit, *v);
+                }
+                self.max_ts = self.max_ts.max(t_commit);
+                self.stats.commits += 1;
+                p.writes.clone()
+            }
+            _ => {
+                if prepared.is_some() || pending.is_some() {
+                    self.stats.aborts += 1;
+                }
+                Vec::new()
+            }
+        };
+        let _ = written;
+        // Release locks and grant queued prepares.
+        let granted = self.locks.release(txn);
+        for g in granted {
+            if let Some(p) = self.pending_prepares.remove(&g) {
+                self.finish_prepare(ctx, g, p.writes, p.t_ee, p.coordinator);
+            }
+        }
+        // Wake blocked read-only transactions.
+        let mut ready = Vec::new();
+        for (i, b) in self.blocked_ros.iter_mut().enumerate() {
+            if b.blockers.remove(&txn) && b.blockers.is_empty() {
+                ready.push(i);
+            }
+        }
+        for i in ready.into_iter().rev() {
+            let b = self.blocked_ros.remove(i);
+            self.answer_ro(ctx, b.client, b.txn, &b.keys, b.t_read);
+        }
+        // Send slow replies for RSS watchers.
+        let mut done = Vec::new();
+        for (i, w) in self.rss_watchers.iter_mut().enumerate() {
+            if w.pending.remove(&txn) {
+                let values = if commit {
+                    let relevant: Vec<(Key, Ts, Value)> = prepared
+                        .as_ref()
+                        .map(|p| {
+                            p.writes
+                                .iter()
+                                .filter(|(k, _)| w.keys.contains(k))
+                                .map(|(k, v)| (*k, t_commit, *v))
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    relevant
+                } else {
+                    Vec::new()
+                };
+                self.stats.ro_slow_replies += 1;
+                ctx.send(
+                    w.client,
+                    SpannerMsg::RoSlowReply {
+                        txn: w.txn,
+                        shard: ctx.node_id(),
+                        resolved: txn,
+                        committed: commit,
+                        t_commit,
+                        values,
+                    },
+                );
+                if w.pending.is_empty() {
+                    done.push(i);
+                }
+            }
+        }
+        for i in done.into_iter().rev() {
+            self.rss_watchers.remove(i);
+        }
+    }
+
+    /// Answers a read-only request whose blocking requirement has been met:
+    /// baseline replies with the snapshot at `t_read`; Spanner-RSS sends a
+    /// fast reply listing any still-prepared conflicting transactions it
+    /// skipped and registers a watcher for their outcomes.
+    fn answer_ro(&mut self, ctx: &mut Context<SpannerMsg>, client: NodeId, txn: TxnId, keys: &[Key], t_read: Ts) {
+        let values = self.read_values(keys, t_read);
+        match self.mode {
+            Mode::Spanner => {
+                ctx.send(client, SpannerMsg::RoReply { txn, shard: ctx.node_id(), values });
+            }
+            Mode::SpannerRss => {
+                let skipped: Vec<PreparedInfo> = self
+                    .conflicting_prepared(keys, t_read)
+                    .into_iter()
+                    .map(|(id, t_prepare, _)| PreparedInfo { txn: id, t_prepare })
+                    .collect();
+                self.stats.ro_skipped_prepared += skipped.len() as u64;
+                if !skipped.is_empty() {
+                    self.rss_watchers.push(RssWatcher {
+                        client,
+                        txn,
+                        keys: keys.to_vec(),
+                        pending: skipped.iter().map(|p| p.txn).collect(),
+                    });
+                }
+                ctx.send(client, SpannerMsg::RoFastReply { txn, shard: ctx.node_id(), skipped, values });
+            }
+        }
+    }
+
+    fn handle_ro(
+        &mut self,
+        ctx: &mut Context<SpannerMsg>,
+        from: NodeId,
+        txn: TxnId,
+        keys: Vec<Key>,
+        t_read: Ts,
+        t_min: Ts,
+    ) {
+        // Advance the safe time so every later prepare gets a timestamp above
+        // t_read; this is what lets the reply remain valid at t_read.
+        self.max_ts = self.max_ts.max(t_read);
+        let conflicting = self.conflicting_prepared(&keys, t_read);
+        let blockers: HashSet<TxnId> = match self.mode {
+            // Baseline: block on every conflicting prepared transaction.
+            Mode::Spanner => conflicting.iter().map(|(id, _, _)| *id).collect(),
+            // Spanner-RSS: block only on the must-observe set B
+            // (t_p ≤ t_min, or the transaction could have finished before the
+            // read-only transaction started: t_ee ≤ t_read).
+            Mode::SpannerRss => conflicting
+                .iter()
+                .filter(|(_, t_p, t_ee)| {
+                    self.disable_tee_skip || *t_p <= t_min || *t_ee <= t_read
+                })
+                .map(|(id, _, _)| *id)
+                .collect(),
+        };
+        if blockers.is_empty() {
+            self.stats.ro_immediate += 1;
+            self.answer_ro(ctx, from, txn, &keys, t_read);
+        } else {
+            self.stats.ro_blocked += 1;
+            self.blocked_ros.push(BlockedRo { client: from, txn, keys, t_read, blockers });
+        }
+    }
+}
+
+impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
+    fn on_message(&mut self, ctx: &mut Context<SpannerMsg>, from: NodeId, msg: SpannerMsg) {
+        match msg {
+            SpannerMsg::ExecRead { txn, keys } => {
+                let values = keys
+                    .iter()
+                    .map(|k| {
+                        let (_, v) = self.store.read_at(*k, Ts::MAX);
+                        (*k, v)
+                    })
+                    .collect();
+                ctx.send(from, SpannerMsg::ExecReadReply { txn, values });
+            }
+            SpannerMsg::CommitRequest { txn, writes_by_shard, t_ee } => {
+                let participants: Vec<NodeId> = writes_by_shard.iter().map(|(n, _)| *n).collect();
+                self.coordinating.insert(
+                    txn,
+                    CoordState {
+                        client: from,
+                        participants: participants.clone(),
+                        awaiting: participants.iter().copied().collect(),
+                        max_prepare: 0,
+                        aborted: false,
+                    },
+                );
+                for (node, writes) in writes_by_shard {
+                    ctx.send(node, SpannerMsg::Prepare { txn, writes, t_ee, coordinator: ctx.node_id() });
+                }
+            }
+            SpannerMsg::Prepare { txn, writes, t_ee, coordinator } => {
+                self.handle_prepare(ctx, txn, writes, t_ee, coordinator);
+            }
+            SpannerMsg::PrepareOk { txn, shard, t_prepare } => {
+                let Some(state) = self.coordinating.get_mut(&txn) else { return };
+                state.awaiting.remove(&shard);
+                state.max_prepare = state.max_prepare.max(t_prepare);
+                if state.awaiting.is_empty() && !state.aborted {
+                    let tt = ctx.truetime_now();
+                    let t_commit = state.max_prepare.max(self.max_ts + 1).max(tt.latest.as_micros());
+                    self.max_ts = self.max_ts.max(t_commit);
+                    // The commit record must be replicated, then commit wait
+                    // must elapse before the outcome is released.
+                    let commit_wait = regular_sim::time::SimTime::from_micros(t_commit)
+                        .since(tt.earliest)
+                        + SimDuration::from_micros(1);
+                    let delay = self.replication_delay + commit_wait;
+                    let tag = self.next_timer;
+                    self.next_timer += 1;
+                    self.timers.insert(tag, txn);
+                    // Stash the commit timestamp in max_prepare for the timer.
+                    state.max_prepare = t_commit;
+                    ctx.set_timer(delay, tag);
+                }
+            }
+            SpannerMsg::CommitDecision { txn, commit, t_commit } => {
+                self.apply_decision(ctx, txn, commit, t_commit);
+            }
+            SpannerMsg::CommitReply { .. } | SpannerMsg::ExecReadReply { .. } => {
+                // Client-bound messages; a shard never receives them.
+            }
+            SpannerMsg::AbortRequest { txn } => {
+                if let Some(state) = self.coordinating.get_mut(&txn) {
+                    if !state.aborted {
+                        state.aborted = true;
+                        let participants = state.participants.clone();
+                        let client = state.client;
+                        for p in participants {
+                            ctx.send(p, SpannerMsg::CommitDecision { txn, commit: false, t_commit: 0 });
+                        }
+                        ctx.send(client, SpannerMsg::CommitReply { txn, commit: false, t_commit: 0 });
+                    }
+                } else {
+                    // Not the coordinator (or already decided): drop any local
+                    // prepared state.
+                    self.apply_decision(ctx, txn, false, 0);
+                }
+            }
+            SpannerMsg::RoCommit { txn, keys, t_read, t_min } => {
+                self.handle_ro(ctx, from, txn, keys, t_read, t_min);
+            }
+            SpannerMsg::RoReply { .. } | SpannerMsg::RoFastReply { .. } | SpannerMsg::RoSlowReply { .. } => {
+                // Client-bound messages; a shard never receives them.
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<SpannerMsg>, tag: u64) {
+        let Some(txn) = self.timers.remove(&tag) else { return };
+        let Some(state) = self.coordinating.remove(&txn) else { return };
+        if state.aborted {
+            return;
+        }
+        let t_commit = state.max_prepare;
+        for p in &state.participants {
+            ctx.send(*p, SpannerMsg::CommitDecision { txn, commit: true, t_commit });
+        }
+        ctx.send(state.client, SpannerMsg::CommitReply { txn, commit: true, t_commit });
+    }
+}

@@ -1,0 +1,144 @@
+//! Workload abstraction for the Spanner client nodes.
+//!
+//! The evaluation harness (the `regular-bench` crate) plugs in the Retwis and
+//! uniform workload generators from `regular-workloads`; this module defines
+//! the interface the client nodes consume plus two simple built-in generators
+//! used by the protocol's own tests.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use regular_core::types::Key;
+
+/// One transaction to issue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnRequest {
+    /// A read-write transaction writing the given keys (reads the same keys
+    /// during its execute phase).
+    ReadWrite {
+        /// Keys written.
+        keys: Vec<Key>,
+    },
+    /// A read-only transaction over the given keys.
+    ReadOnly {
+        /// Keys read.
+        keys: Vec<Key>,
+    },
+}
+
+impl TxnRequest {
+    /// The keys accessed by the request.
+    pub fn keys(&self) -> &[Key] {
+        match self {
+            TxnRequest::ReadWrite { keys } | TxnRequest::ReadOnly { keys } => keys,
+        }
+    }
+
+    /// True for read-only requests.
+    pub fn is_read_only(&self) -> bool {
+        matches!(self, TxnRequest::ReadOnly { .. })
+    }
+}
+
+/// A source of transaction requests for one client node.
+pub trait SpannerWorkload: 'static {
+    /// Produces the next transaction request.
+    fn next_request(&mut self, rng: &mut SmallRng) -> TxnRequest;
+}
+
+/// A simple uniform workload: `ro_fraction` read-only transactions over
+/// `keys_per_txn` uniformly random keys, the rest read-write.
+#[derive(Debug, Clone)]
+pub struct UniformWorkload {
+    /// Size of the key space.
+    pub num_keys: u64,
+    /// Fraction of read-only transactions in `[0, 1]`.
+    pub ro_fraction: f64,
+    /// Keys accessed per transaction.
+    pub keys_per_txn: usize,
+}
+
+impl SpannerWorkload for UniformWorkload {
+    fn next_request(&mut self, rng: &mut SmallRng) -> TxnRequest {
+        let mut keys = Vec::with_capacity(self.keys_per_txn);
+        while keys.len() < self.keys_per_txn {
+            let k = Key(rng.gen_range(0..self.num_keys));
+            if !keys.contains(&k) {
+                keys.push(k);
+            }
+        }
+        if rng.gen_bool(self.ro_fraction) {
+            TxnRequest::ReadOnly { keys }
+        } else {
+            TxnRequest::ReadWrite { keys }
+        }
+    }
+}
+
+/// A scripted workload replaying a fixed list of requests (used by the
+/// Figure 4 scenario and by tests); afterwards it repeats the last request
+/// type as read-only no-ops on key 0 — callers should size `stop_after` so
+/// this never happens.
+#[derive(Debug, Clone)]
+pub struct ScriptedWorkload {
+    requests: Vec<TxnRequest>,
+    next: usize,
+}
+
+impl ScriptedWorkload {
+    /// Creates a scripted workload from a fixed request list.
+    pub fn new(requests: Vec<TxnRequest>) -> Self {
+        ScriptedWorkload { requests, next: 0 }
+    }
+}
+
+impl SpannerWorkload for ScriptedWorkload {
+    fn next_request(&mut self, _rng: &mut SmallRng) -> TxnRequest {
+        let req = self
+            .requests
+            .get(self.next)
+            .cloned()
+            .unwrap_or(TxnRequest::ReadOnly { keys: vec![Key(0)] });
+        self.next += 1;
+        req
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_workload_respects_parameters() {
+        let mut w = UniformWorkload { num_keys: 100, ro_fraction: 0.5, keys_per_txn: 3 };
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut ro = 0;
+        for _ in 0..1000 {
+            let req = w.next_request(&mut rng);
+            assert_eq!(req.keys().len(), 3);
+            assert!(req.keys().iter().all(|k| k.0 < 100));
+            // Keys within a transaction are distinct.
+            let mut sorted = req.keys().to_vec();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3);
+            if req.is_read_only() {
+                ro += 1;
+            }
+        }
+        assert!((400..600).contains(&ro), "read-only fraction should be near 50%, got {ro}");
+    }
+
+    #[test]
+    fn scripted_workload_replays_in_order() {
+        let mut w = ScriptedWorkload::new(vec![
+            TxnRequest::ReadWrite { keys: vec![Key(1)] },
+            TxnRequest::ReadOnly { keys: vec![Key(2)] },
+        ]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(w.next_request(&mut rng), TxnRequest::ReadWrite { keys: vec![Key(1)] });
+        assert_eq!(w.next_request(&mut rng), TxnRequest::ReadOnly { keys: vec![Key(2)] });
+        // Exhausted scripts degrade to harmless read-only requests.
+        assert!(w.next_request(&mut rng).is_read_only());
+    }
+}

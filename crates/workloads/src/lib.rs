@@ -1,0 +1,17 @@
+//! Workload generators for the paper's evaluation.
+//!
+//! * [`zipf`] — the rejection-inversion Zipfian sampler the paper cites for
+//!   key selection (skew 0.5–0.9 in Figure 5).
+//! * [`retwis`] — the Retwis transaction mix (5 % add-user, 15 %
+//!   follow/unfollow, 30 % post-tweet, 50 % load-timeline) used for the
+//!   Spanner experiments.
+//! * The YCSB-style read/write workload with a configurable conflict rate used
+//!   by the Gryff experiments lives with the Gryff client
+//!   (`regular_gryff::workload::ConflictWorkload`) because its key-partitioning
+//!   scheme is specific to that harness.
+
+pub mod retwis;
+pub mod zipf;
+
+pub use retwis::{GeneratedTxn, Retwis, RetwisKind};
+pub use zipf::Zipf;

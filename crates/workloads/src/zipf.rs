@@ -1,0 +1,157 @@
+//! Zipfian key sampling via rejection inversion (Hörmann & Derflinger, 1996).
+//!
+//! The Spanner evaluation (Section 6) draws keys from a Zipfian distribution
+//! with skew between 0.5 and 0.9 over ten million keys; this is the same
+//! sampler the paper cites. Skew 0 degenerates to the uniform distribution.
+
+use rand::Rng;
+
+/// A Zipfian sampler over `0..n` with exponent `theta` (the "skew").
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    // Precomputed constants of the rejection-inversion method.
+    h_x1: f64,
+    h_n: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over the key space `0..n` with skew `theta ≥ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta < 0`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "key space must be non-empty");
+        assert!(theta >= 0.0, "skew must be non-negative");
+        let mut z = Zipf { n, theta, h_x1: 0.0, h_n: 0.0, s: 0.0 };
+        if theta > 0.0 && (theta - 1.0).abs() > 1e-9 {
+            z.h_x1 = z.h(1.5) - 1.0;
+            z.h_n = z.h(n as f64 + 0.5);
+            z.s = 2.0 - z.h_inv(z.h(2.5) - 2f64.powf(-theta));
+        }
+        z
+    }
+
+    /// The key-space size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    fn h(&self, x: f64) -> f64 {
+        // Integral of x^-theta (theta != 1).
+        (x.powf(1.0 - self.theta) - 1.0) / (1.0 - self.theta)
+    }
+
+    fn h_inv(&self, x: f64) -> f64 {
+        (1.0 + x * (1.0 - self.theta)).powf(1.0 / (1.0 - self.theta))
+    }
+
+    /// Samples a key in `0..n` (0 is the hottest key).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        if self.theta == 0.0 {
+            return rng.gen_range(0..self.n);
+        }
+        if (self.theta - 1.0).abs() <= 1e-9 {
+            // theta == 1: fall back to simple inverse-harmonic sampling.
+            return self.sample_harmonic(rng);
+        }
+        loop {
+            let u = self.h_n + rng.gen::<f64>() * (self.h_x1 - self.h_n);
+            let x = self.h_inv(u);
+            let k = (x + 0.5).floor();
+            if k - x <= self.s {
+                return (k as u64).clamp(1, self.n) - 1;
+            }
+            if u >= self.h(k + 0.5) - k.powf(-self.theta) {
+                return (k as u64).clamp(1, self.n) - 1;
+            }
+        }
+    }
+
+    fn sample_harmonic<R: Rng>(&self, rng: &mut R) -> u64 {
+        // For theta == 1 the CDF is H(k)/H(n); invert by bisection over the
+        // continuous approximation ln(k).
+        let h_n = (self.n as f64).ln() + 0.5772156649;
+        let target = rng.gen::<f64>() * h_n;
+        let k = target.exp().clamp(1.0, self.n as f64);
+        k as u64 - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn frequencies(theta: f64, n: u64, samples: usize) -> Vec<u64> {
+        let z = Zipf::new(n, theta);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..samples {
+            let k = z.sample(&mut rng);
+            assert!(k < n, "sample out of range");
+            counts[k as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let counts = frequencies(0.0, 10, 100_000);
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "uniform bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn skewed_distributions_favor_low_keys() {
+        for theta in [0.5, 0.7, 0.9, 0.99] {
+            let counts = frequencies(theta, 1_000, 200_000);
+            assert!(counts[0] > counts[10], "skew {theta}: key 0 hotter than key 10");
+            assert!(counts[0] > counts[500] * 2, "skew {theta}: strong head");
+            // Higher skew concentrates more mass on the head.
+        }
+        let low = frequencies(0.5, 1_000, 200_000);
+        let high = frequencies(0.9, 1_000, 200_000);
+        assert!(high[0] > low[0], "higher skew puts more mass on the hottest key");
+    }
+
+    #[test]
+    fn theta_one_is_supported() {
+        let counts = frequencies(1.0, 100, 50_000);
+        assert!(counts[0] > counts[50]);
+        assert_eq!(counts.iter().sum::<u64>(), 50_000);
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let z = Zipf::new(500, 0.7);
+        assert_eq!(z.n(), 500);
+        assert!((z.theta() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "key space must be non-empty")]
+    fn rejects_empty_key_space() {
+        let _ = Zipf::new(0, 0.5);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let z = Zipf::new(1_000, 0.9);
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! `regular-seq`: a reproduction of *"Regular Sequential Serializability and
+//! Regular Sequential Consistency"* (SOSP 2021).
+//!
+//! This facade crate re-exports the workspace members so examples, integration
+//! tests, and downstream users can depend on a single crate:
+//!
+//! * [`core`] (`regular-core`) — the consistency models themselves: histories,
+//!   causal/real-time orders, checkers for RSS, RSC, and their neighbours, the
+//!   Lemma 1 transformation, and the photo-sharing invariants of Table 1.
+//! * [`sim`] (`regular-sim`) — the deterministic discrete-event simulator the
+//!   protocol evaluations run on.
+//! * [`spanner`] (`regular-spanner`) — Spanner and Spanner-RSS (Section 5).
+//! * [`gryff`] (`regular-gryff`) — Gryff and Gryff-RSC (Section 7).
+//! * [`librss`] (`regular-librss`) — the libRSS composition meta-library
+//!   (Section 4).
+//! * [`workloads`] (`regular-workloads`) — Retwis and Zipfian workload
+//!   generators (Section 6).
+//!
+//! # Quick start
+//!
+//! ```
+//! use regular_seq::core::checker::models::{satisfies, Model};
+//! use regular_seq::core::history::HistoryBuilder;
+//!
+//! // A read concurrent with a write returns the new value; a later,
+//! // causally unrelated read still returns the old one. RSC allows this
+//! // (only causally *later* reads are constrained); linearizability does not.
+//! let mut history = HistoryBuilder::new();
+//! history.write(1, 1, 1, 0, 100);
+//! history.read(2, 1, 1, 10, 20);
+//! history.read(3, 1, 0, 30, 40);
+//! let history = history.build();
+//!
+//! assert!(satisfies(&history, Model::RegularSequentialConsistency));
+//! assert!(!satisfies(&history, Model::Linearizability));
+//! ```
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and the
+//! `regular-bench` crate for the harnesses that regenerate every table and
+//! figure of the paper's evaluation.
+
+pub use regular_core as core;
+pub use regular_gryff as gryff;
+pub use regular_librss as librss;
+pub use regular_sim as sim;
+pub use regular_spanner as spanner;
+pub use regular_workloads as workloads;

@@ -1,0 +1,113 @@
+//! Integration tests for Table 1 (the photo-sharing application) and the
+//! libRSS composition protocol of Section 4.
+
+use regular_seq::core::checker::models::{satisfies, satisfies_composed, Model};
+use regular_seq::core::invariants::{check_i1, check_i2, detect_a1, detect_a2_a3, scenarios, PhotoAppKeys};
+use regular_seq::librss::{CausalContext, LibRss};
+
+#[test]
+fn table_1_verdicts_match_the_paper() {
+    let keys = PhotoAppKeys::default();
+
+    // Scenario sanity: each one really exhibits its violation/anomaly.
+    assert!(check_i1(&scenarios::i1_violation(&keys), &keys).is_err());
+    assert!(check_i2(&scenarios::i2_violation(&keys), &keys).is_err());
+    assert!(detect_a1(&scenarios::a1_anomaly(&keys), &keys).is_some());
+    assert!(detect_a2_a3(&scenarios::a2_anomaly(&keys), &keys).is_some());
+    assert!(detect_a2_a3(&scenarios::a3_anomaly(&keys), &keys).is_some());
+
+    // I1: never violated under any of the three models.
+    let i1 = scenarios::i1_violation(&keys);
+    assert!(!satisfies(&i1, Model::StrictSerializability));
+    assert!(!satisfies(&i1, Model::RegularSequentialSerializability));
+    assert!(!satisfies_composed(&i1, Model::ProcessOrderedSerializability));
+
+    // I2: violated only when the services are composed without a composable
+    // guarantee (PO serializability).
+    let i2 = scenarios::i2_violation(&keys);
+    assert!(!satisfies(&i2, Model::StrictSerializability));
+    assert!(!satisfies(&i2, Model::RegularSequentialSerializability));
+    assert!(satisfies_composed(&i2, Model::ProcessOrderedSerializability));
+
+    // A1: never under all three.
+    let a1 = scenarios::a1_anomaly(&keys);
+    assert!(!satisfies(&a1, Model::StrictSerializability));
+    assert!(!satisfies(&a1, Model::RegularSequentialSerializability));
+    assert!(!satisfies_composed(&a1, Model::ProcessOrderedSerializability));
+
+    // A2: never under strict serializability and RSS; possible under PO.
+    let a2 = scenarios::a2_anomaly(&keys);
+    assert!(!satisfies(&a2, Model::StrictSerializability));
+    assert!(!satisfies(&a2, Model::RegularSequentialSerializability));
+    assert!(satisfies_composed(&a2, Model::ProcessOrderedSerializability));
+
+    // A3: never under strict serializability; temporarily possible under RSS.
+    let a3 = scenarios::a3_anomaly(&keys);
+    assert!(!satisfies(&a3, Model::StrictSerializability));
+    assert!(satisfies(&a3, Model::RegularSequentialSerializability));
+    assert!(satisfies_composed(&a3, Model::ProcessOrderedSerializability));
+
+    // The correct execution passes every invariant and anomaly detector.
+    let good = scenarios::correct_execution(&keys);
+    assert!(check_i1(&good, &keys).is_ok());
+    assert!(check_i2(&good, &keys).is_ok());
+    assert!(detect_a1(&good, &keys).is_none());
+    assert!(detect_a2_a3(&good, &keys).is_none());
+    assert!(satisfies(&good, Model::RegularSequentialSerializability));
+}
+
+#[test]
+fn librss_fences_exactly_on_service_switches() {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    let kv_fences = Arc::new(AtomicU32::new(0));
+    let mq_fences = Arc::new(AtomicU32::new(0));
+    let mut lib = LibRss::new();
+    let k = kv_fences.clone();
+    lib.register_service("kv", move || {
+        k.fetch_add(1, Ordering::SeqCst);
+    });
+    let m = mq_fences.clone();
+    lib.register_service("mq", move || {
+        m.fetch_add(1, Ordering::SeqCst);
+    });
+
+    // The photo-sharing web server's pattern: add-photo (kv), enqueue (mq),
+    // then the next request's add-photo (kv) again.
+    for _ in 0..10 {
+        lib.start_transaction("kv").unwrap();
+        lib.start_transaction("mq").unwrap();
+    }
+    assert_eq!(kv_fences.load(Ordering::SeqCst), 10);
+    assert_eq!(mq_fences.load(Ordering::SeqCst), 9);
+    let stats = lib.stats();
+    assert_eq!(stats.executed, 19);
+    assert_eq!(stats.elided, 1);
+}
+
+#[test]
+fn causal_context_propagates_between_processes() {
+    let mut web_server_1 = LibRss::new();
+    web_server_1.register_service("kv", || {});
+    web_server_1.register_service("mq", || {});
+    web_server_1.start_transaction("kv").unwrap();
+
+    // The response to the browser carries the causal context; a different web
+    // server handling the browser's next request imports it.
+    let ctx: CausalContext = web_server_1.export_context(1234);
+    assert_eq!(ctx.min_timestamp, 1234);
+
+    let mut web_server_2 = LibRss::new();
+    let fenced = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+    let f = fenced.clone();
+    web_server_2.register_service("kv", move || {
+        f.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    });
+    web_server_2.register_service("mq", || {});
+    web_server_2.import_context(&ctx);
+    // First transaction at a *different* service: the imported kv context
+    // forces a kv fence so the browser's causal past is ordered first.
+    web_server_2.start_transaction("mq").unwrap();
+    assert_eq!(fenced.load(std::sync::atomic::Ordering::SeqCst), 1);
+}

@@ -1,0 +1,157 @@
+//! Property-based integration tests of the paper's central claim
+//! (invariant-equivalence, Theorem 2 / Corollaries C.7 and C.8) and of the
+//! relationships between the consistency models.
+
+use proptest::prelude::*;
+use regular_seq::core::checker::models::{check, satisfies, Model};
+use regular_seq::core::checker::proximal::{check_proximal, ProximalModel};
+use regular_seq::core::history::History;
+use regular_seq::core::op::{OpKind, OpResult};
+use regular_seq::core::spec::SpecState;
+use regular_seq::core::transform::transform;
+use regular_seq::core::types::{Key, ProcessId, ServiceId, Timestamp, Value};
+
+/// Generates a random *sequentially executed* history: operations run one at a
+/// time against the spec (so it is strictly serializable / linearizable by
+/// construction), issued round-robin by a few processes.
+fn sequential_history(ops: Vec<(u8, u8, bool)>) -> History {
+    let mut history = History::new();
+    let mut state = SpecState::new();
+    let mut now = 0u64;
+    for (i, (process, key, is_write)) in ops.into_iter().enumerate() {
+        let process = ProcessId((process % 3) as u32 + 1);
+        let key = Key((key % 4) as u64 + 1);
+        let kind = if is_write {
+            OpKind::Write { key, value: Value(1_000 + i as u64) }
+        } else {
+            OpKind::Read { key }
+        };
+        let result = state.apply(ServiceId::KV, &kind);
+        let result = match (&kind, result) {
+            (OpKind::Write { .. }, _) => OpResult::Ack,
+            (_, r) => r,
+        };
+        now += 10;
+        let invoke = Timestamp(now);
+        now += 10;
+        let response = Timestamp(now);
+        history.add_complete(process, ServiceId::KV, kind, invoke, response, result);
+    }
+    history
+}
+
+/// Generates a random history with overlapping operations where reads return
+/// the value of *some* previously started write to the same key (or null) —
+/// not necessarily consistent with any model. Used to check that the model
+/// hierarchy (SS ⊆ RSS ⊆ PO-ser, and SS ⊆ CRDB etc.) holds on arbitrary
+/// inputs, whether or not they are satisfiable.
+fn loose_history(ops: Vec<(u8, u8, bool, u8, u8)>) -> History {
+    let mut history = History::new();
+    let mut writes_so_far: Vec<(Key, Value)> = Vec::new();
+    let mut now = 0u64;
+    // Keep each process's operations non-overlapping (well-formed histories:
+    // a process has at most one outstanding operation).
+    let mut process_free_at = [0u64; 4];
+    for (i, (process, key, is_write, overlap, pick)) in ops.into_iter().enumerate() {
+        let process_index = (process % 3) as usize + 1;
+        let process = ProcessId(process_index as u32);
+        let key = Key((key % 3) as u64 + 1);
+        now += 10;
+        let invoke_us = now.max(process_free_at[process_index] + 1);
+        let invoke = Timestamp(invoke_us);
+        let response = Timestamp(invoke_us + 5 + (overlap as u64 % 3) * 20);
+        process_free_at[process_index] = response.0;
+        if is_write {
+            let value = Value(1_000 + i as u64);
+            writes_so_far.push((key, value));
+            history.add_complete(
+                process,
+                ServiceId::KV,
+                OpKind::Write { key, value },
+                invoke,
+                response,
+                OpResult::Ack,
+            );
+        } else {
+            let candidates: Vec<Value> = writes_so_far
+                .iter()
+                .filter(|(k, _)| *k == key)
+                .map(|(_, v)| *v)
+                .collect();
+            let value = if candidates.is_empty() {
+                Value::NULL
+            } else if (pick as usize) % (candidates.len() + 1) == candidates.len() {
+                Value::NULL
+            } else {
+                candidates[(pick as usize) % candidates.len()]
+            };
+            history.add_complete(
+                process,
+                ServiceId::KV,
+                OpKind::Read { key },
+                invoke,
+                response,
+                OpResult::Value(value),
+            );
+        }
+    }
+    history
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sequential executions satisfy every model in the hierarchy.
+    #[test]
+    fn sequential_histories_satisfy_everything(ops in prop::collection::vec((0u8..3, 0u8..4, any::<bool>()), 1..9)) {
+        let h = sequential_history(ops);
+        prop_assert!(satisfies(&h, Model::Linearizability));
+        prop_assert!(satisfies(&h, Model::StrictSerializability));
+        prop_assert!(satisfies(&h, Model::RegularSequentialConsistency));
+        prop_assert!(satisfies(&h, Model::RegularSequentialSerializability));
+        prop_assert!(satisfies(&h, Model::SequentialConsistency));
+        prop_assert!(satisfies(&h, Model::ProcessOrderedSerializability));
+        for model in [ProximalModel::Crdb, ProximalModel::OscU, ProximalModel::VvRegularity,
+                      ProximalModel::RealTimeCausal, ProximalModel::MwrWeak] {
+            prop_assert!(check_proximal(&h, model).unwrap(), "{} rejected a sequential history", model.name());
+        }
+    }
+
+    /// The model hierarchy: linearizability ⇒ RSC ⇒ sequential consistency,
+    /// and the same for the transactional side.
+    #[test]
+    fn model_hierarchy_holds(ops in prop::collection::vec((0u8..3, 0u8..3, any::<bool>(), 0u8..3, any::<u8>()), 1..8)) {
+        let h = loose_history(ops);
+        if satisfies(&h, Model::Linearizability) {
+            prop_assert!(satisfies(&h, Model::RegularSequentialConsistency));
+            prop_assert!(satisfies(&h, Model::StrictSerializability));
+            prop_assert!(check_proximal(&h, ProximalModel::VvRegularity).unwrap());
+            prop_assert!(check_proximal(&h, ProximalModel::OscU).unwrap());
+            prop_assert!(check_proximal(&h, ProximalModel::Crdb).unwrap());
+        }
+        if satisfies(&h, Model::RegularSequentialConsistency) {
+            prop_assert!(satisfies(&h, Model::SequentialConsistency));
+            prop_assert!(check_proximal(&h, ProximalModel::RealTimeCausal).unwrap());
+        }
+        if satisfies(&h, Model::RegularSequentialSerializability) {
+            prop_assert!(satisfies(&h, Model::ProcessOrderedSerializability));
+        }
+    }
+
+    /// Lemma 1 (mechanized): every RSC-satisfying history can be transformed
+    /// into an equivalent execution whose service interactions are sequential
+    /// and in the witness order, without reordering any process's actions.
+    #[test]
+    fn lemma_1_transformation_properties(ops in prop::collection::vec((0u8..3, 0u8..3, any::<bool>(), 0u8..3, any::<u8>()), 1..8)) {
+        let h = loose_history(ops);
+        if let Ok(outcome) = check(&h, Model::RegularSequentialConsistency) {
+            if outcome.satisfied {
+                let witness = outcome.witness.unwrap();
+                let t = transform(&h, &witness);
+                prop_assert!(t.per_process_order_preserved());
+                prop_assert!(t.respects_witness(&witness));
+                prop_assert!(t.service_interactions_sequential());
+            }
+        }
+    }
+}
