@@ -3,9 +3,10 @@
 //! histories.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use regular_core::checker::certificate::{check_witness, WitnessModel};
-use regular_core::checker::models::{check, Model};
-use regular_core::history::{History, HistoryBuilder};
+use regular_core::checker::certificate::{check_witness, check_witness_with, WitnessModel};
+use regular_core::checker::models::{check, constraints_for, Model};
+use regular_core::checker::search::{find_sequence, find_sequence_reference};
+use regular_core::history::{History, HistoryBuilder, HistoryIndex};
 use regular_core::op::{OpKind, OpResult};
 use regular_core::types::{Key, OpId, ProcessId, ServiceId, Timestamp, Value};
 
@@ -27,7 +28,7 @@ fn small_history() -> History {
 fn large_history(n: usize) -> (History, Vec<OpId>) {
     let mut history = History::new();
     let mut witness = Vec::with_capacity(n);
-    let mut last_value = vec![Value::NULL; 16];
+    let mut last_value = [Value::NULL; 16];
     let mut now = 0u64;
     for i in 0..n {
         let key = Key((i % 16) as u64);
@@ -62,6 +63,26 @@ fn large_history(n: usize) -> (History, Vec<OpId>) {
     (history, witness)
 }
 
+/// A denser exact-search input: 12 operations across 3 processes with two
+/// pending writes, so the optional-subset loop and the memoized backtracking
+/// both do real work.
+fn subset_history() -> History {
+    let mut b = HistoryBuilder::new();
+    b.write(1, 1, 1, 0, 100);
+    b.read(2, 1, 1, 10, 20);
+    b.read(3, 1, 0, 30, 40);
+    b.write(2, 2, 2, 50, 60);
+    b.read(1, 2, 2, 70, 80);
+    b.read(3, 2, 2, 90, 95);
+    b.pending_write(1, 3, 3, 96);
+    b.read(2, 3, 3, 100, 110);
+    b.pending_write(3, 4, 4, 111);
+    b.read(2, 4, 0, 120, 130);
+    b.write(1, 5, 5, 140, 150);
+    b.read(3, 5, 5, 160, 170);
+    b.build()
+}
+
 fn bench_checkers(c: &mut Criterion) {
     let mut group = c.benchmark_group("checkers");
     group.sample_size(20);
@@ -72,6 +93,19 @@ fn bench_checkers(c: &mut Criterion) {
     });
     group.bench_function("exact_search_linearizability_6_ops", |b| {
         b.iter(|| check(&small, Model::Linearizability).unwrap())
+    });
+
+    // The optimized search against the retained reference implementation on
+    // the same constraint set (the in-repo naive-search baseline).
+    let subsets = subset_history();
+    let cons = constraints_for(&subsets, Model::RegularSequentialConsistency);
+    let required = subsets.complete_ids();
+    let optional = subsets.pending_mutations();
+    group.bench_function("exact_search_rsc_12_ops_pending_writes", |b| {
+        b.iter(|| find_sequence(&subsets, &required, &optional, &cons).unwrap())
+    });
+    group.bench_function("exact_search_reference_rsc_12_ops_pending_writes", |b| {
+        b.iter(|| find_sequence_reference(&subsets, &required, &optional, &cons).unwrap())
     });
 
     for &n in &[1_000usize, 10_000] {
@@ -87,6 +121,16 @@ fn bench_checkers(c: &mut Criterion) {
             b.iter_batched(
                 || witness.clone(),
                 |w| check_witness(&history, &w, WitnessModel::Regular).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+        // Amortized path: the index is built once per history and shared
+        // across witness validations.
+        let index = HistoryIndex::new(&history);
+        group.bench_function(format!("certificate_regular_{n}_ops_prebuilt_index"), |b| {
+            b.iter_batched(
+                || witness.clone(),
+                |w| check_witness_with(&history, &index, &w, WitnessModel::Regular).unwrap(),
                 BatchSize::SmallInput,
             )
         });

@@ -12,7 +12,8 @@ fn run(mode: Mode) -> GryffRunResult {
             region: i % 5,
             sessions: 2,
             think_time: SimDuration::ZERO,
-            workload: Box::new(ConflictWorkload::ycsb(0.5, 0.25, i as u64)) as Box<dyn GryffWorkload>,
+            workload: Box::new(ConflictWorkload::ycsb(0.5, 0.25, i as u64))
+                as Box<dyn GryffWorkload>,
         })
         .collect();
     run_gryff(GryffClusterSpec {

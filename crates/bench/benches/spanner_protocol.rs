@@ -12,7 +12,11 @@ fn run(mode: Mode) -> RunResult {
         .map(|region| ClientSpec {
             region,
             driver: Driver::ClosedLoop { sessions: 4, think_time: SimDuration::ZERO },
-            workload: Box::new(UniformWorkload { num_keys: 1_000, ro_fraction: 0.5, keys_per_txn: 2 }),
+            workload: Box::new(UniformWorkload {
+                num_keys: 1_000,
+                ro_fraction: 0.5,
+                keys_per_txn: 2,
+            }),
         })
         .collect();
     run_cluster(ClusterSpec {

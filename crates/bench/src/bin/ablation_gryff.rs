@@ -16,18 +16,12 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let duration = if quick { 20 } else { 60 };
 
-    println!("== Ablation: write-back round trips vs piggybacked dependencies (write ratio 0.5) ==\n");
+    println!(
+        "== Ablation: write-back round trips vs piggybacked dependencies (write ratio 0.5) ==\n"
+    );
     println!(
         "{:>10} | {:>10} {:>12} {:>12} {:>10} | {:>10} {:>12} {:>12} {:>10}",
-        "conflict",
-        "gryff",
-        "slow reads",
-        "msgs",
-        "p99 ms",
-        "rsc",
-        "deps piggy",
-        "msgs",
-        "p99 ms"
+        "conflict", "gryff", "slow reads", "msgs", "p99 ms", "rsc", "deps piggy", "msgs", "p99 ms"
     );
     for &conflict in &[0.02, 0.10, 0.25, 0.50] {
         let params = GryffRunParams {

@@ -3,7 +3,9 @@
 //!
 //! Usage: `cargo run --release -p regular-bench --bin fig5 [--quick]`
 
-use regular_bench::{print_cdf, print_tail_row, reduction_pct, run_spanner_retwis, RetwisRunParams};
+use regular_bench::{
+    print_cdf, print_tail_row, reduction_pct, run_spanner_retwis, RetwisRunParams,
+};
 use regular_spanner::prelude::Mode;
 
 fn main() {
@@ -48,7 +50,10 @@ fn main() {
         println!(
             "    blocked ROs: Spanner={blocked}, Spanner-RSS={blocked_rss}; prepared txns skipped by RSS={skipped}"
         );
-        println!("    throughput: Spanner={:.0} txn/s, Spanner-RSS={:.0} txn/s", baseline.throughput, rss.throughput);
+        println!(
+            "    throughput: Spanner={:.0} txn/s, Spanner-RSS={:.0} txn/s",
+            baseline.throughput, rss.throughput
+        );
         print_cdf(&format!("Spanner RO skew {skew}"), &baseline.ro_latencies, &fractions);
         print_cdf(&format!("Spanner-RSS RO skew {skew}"), &rss.ro_latencies, &fractions);
         println!();

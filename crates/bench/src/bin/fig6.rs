@@ -42,6 +42,8 @@ fn main() {
             fmt_ms(r.percentile(99.0)),
         );
     }
-    println!("\nExpectation (paper): the two curves coincide — Spanner-RSS does not reduce maximum");
+    println!(
+        "\nExpectation (paper): the two curves coincide — Spanner-RSS does not reduce maximum"
+    );
     println!("throughput and its latency stays within a few milliseconds of Spanner's.");
 }

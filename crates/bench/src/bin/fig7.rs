@@ -19,7 +19,8 @@ fn main() {
     println!("== Table 2: emulated round-trip latencies (ms) ==");
     let net = LatencyMatrix::gryff_wan();
     let names = ["CA", "VA", "IR", "OR", "JP"];
-    let all = [regions::CALIFORNIA, regions::VIRGINIA, regions::IRELAND, regions::OREGON, regions::JAPAN];
+    let all =
+        [regions::CALIFORNIA, regions::VIRGINIA, regions::IRELAND, regions::OREGON, regions::JAPAN];
     print!("{:>4}", "");
     for n in names {
         print!("{n:>8}");
@@ -38,7 +39,13 @@ fn main() {
         println!("\n--- conflict rate {:.0}% ---", conflict * 100.0);
         println!(
             "{:>11} | {:>12} {:>12} {:>10} | {:>12} {:>12} | {:>10}",
-            "write ratio", "gryff p99", "gryff p99.9", "slow reads", "rsc p99", "rsc p99.9", "p99 cut"
+            "write ratio",
+            "gryff p99",
+            "gryff p99.9",
+            "slow reads",
+            "rsc p99",
+            "rsc p99.9",
+            "p99 cut"
         );
         for &wr in write_ratios {
             let params = GryffRunParams {
@@ -63,7 +70,9 @@ fn main() {
             );
         }
     }
-    println!("\nExpectation (paper): with 2% conflicts both systems sit at the one-round-trip p99;");
+    println!(
+        "\nExpectation (paper): with 2% conflicts both systems sit at the one-round-trip p99;"
+    );
     println!("at 10% and 25% conflicts Gryff's p99 grows with the write ratio (slow-path reads)");
     println!("while Gryff-RSC stays at the one-round-trip latency — roughly a 40% p99 reduction,");
     println!("and about 50% at p99.9.");

@@ -13,7 +13,9 @@
 
 use regular_core::checker::models::{satisfies, satisfies_composed, Model};
 use regular_core::history::History;
-use regular_core::invariants::{check_i1, check_i2, detect_a1, detect_a2_a3, scenarios, PhotoAppKeys};
+use regular_core::invariants::{
+    check_i1, check_i2, detect_a1, detect_a2_a3, scenarios, PhotoAppKeys,
+};
 
 fn verdict(admitted: bool) -> &'static str {
     if admitted {
@@ -35,8 +37,11 @@ fn admitted(history: &History, model: Model) -> bool {
 
 fn main() {
     let keys = PhotoAppKeys::default();
-    let models =
-        [Model::StrictSerializability, Model::RegularSequentialSerializability, Model::ProcessOrderedSerializability];
+    let models = [
+        Model::StrictSerializability,
+        Model::RegularSequentialSerializability,
+        Model::ProcessOrderedSerializability,
+    ];
 
     println!("== Table 1: invariants and anomalies of the photo-sharing application ==\n");
 
@@ -71,7 +76,10 @@ fn main() {
     }
     println!(
         "{:<58} | {:>14} | {:>14} | {:>18}",
-        "A4 (request never answered: outside consistency model)", "possible", "possible", "possible"
+        "A4 (request never answered: outside consistency model)",
+        "possible",
+        "possible",
+        "possible"
     );
 
     println!("\nPaper's Table 1 for comparison:");
@@ -79,5 +87,7 @@ fn main() {
     println!("  I2: holds under strict serializability and RSS (violation possible under PO ser.)");
     println!("  A1: never under any of the three");
     println!("  A2: never under strict serializability and RSS; always possible under PO ser.");
-    println!("  A3: never under strict ser.; temporarily possible under RSS; possible under PO ser.");
+    println!(
+        "  A3: never under strict ser.; temporarily possible under RSS; possible under PO ser."
+    );
 }

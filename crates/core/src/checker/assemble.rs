@@ -51,7 +51,12 @@ struct Graph {
 
 impl Graph {
     fn new() -> Self {
-        Graph { nodes: Vec::new(), priority: Vec::new(), adjacency: Vec::new(), indegree: Vec::new() }
+        Graph {
+            nodes: Vec::new(),
+            priority: Vec::new(),
+            adjacency: Vec::new(),
+            indegree: Vec::new(),
+        }
     }
 
     fn add_node(&mut self, kind: NodeKind, priority: u64) -> usize {
@@ -214,8 +219,8 @@ pub fn assemble_witness(
     let n = graph.nodes.len();
     let mut indegree = graph.indegree.clone();
     let mut heap: BinaryHeap<std::cmp::Reverse<(u64, usize)>> = BinaryHeap::new();
-    for i in 0..n {
-        if indegree[i] == 0 {
+    for (i, &degree) in indegree.iter().enumerate() {
+        if degree == 0 {
             heap.push(std::cmp::Reverse((graph.priority[i], i)));
         }
     }

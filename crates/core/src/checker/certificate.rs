@@ -17,13 +17,20 @@
 //! This is the machinery the cross-crate integration tests use to establish
 //! that Spanner ⊨ strict serializability, Spanner-RSS ⊨ RSS, Gryff ⊨
 //! linearizability, and Gryff-RSC ⊨ RSC on real simulated runs.
+//!
+//! # Hot-path structure
+//!
+//! Everything runs over the [`HistoryIndex`] arena view: witness positions
+//! live in a dense `Vec` indexed by op id, the spec replay uses the indexed
+//! state (no per-op allocation, no hashing), and the per-key grouping behind
+//! the sweeps uses the index's interned dense key ids instead of
+//! `HashMap<(ServiceId, Key), _>`. The only remaining per-check allocations
+//! are the grouped source/target vectors themselves.
 
-use std::collections::HashMap;
-
-use crate::history::History;
-use crate::order::{message_edges, process_order_edges, reads_from_edges};
-use crate::spec::{check_sequence, SpecViolation};
-use crate::types::{Key, OpId, ServiceId, Timestamp};
+use crate::history::{History, HistoryIndex};
+use crate::order::message_edges;
+use crate::spec::{check_sequence, IndexedSpecState, SpecViolation};
+use crate::types::OpId;
 
 /// Which constraint family the witness must respect.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +80,9 @@ pub enum WitnessViolation {
     },
 }
 
+/// Position sentinel: the operation does not appear in the witness.
+const ABSENT: u32 = u32::MAX;
+
 /// Checks that `witness` certifies `history` under `model`.
 ///
 /// The witness must contain every completed operation exactly once and may
@@ -83,91 +93,162 @@ pub fn check_witness(
     witness: &[OpId],
     model: WitnessModel,
 ) -> Result<(), WitnessViolation> {
-    let positions = validate_membership(history, witness)?;
-    check_sequence(history, witness).map_err(WitnessViolation::Spec)?;
+    let index = HistoryIndex::new(history);
+    check_witness_with(history, &index, witness, model)
+}
+
+/// [`check_witness`] over a prebuilt [`HistoryIndex`], letting callers that
+/// validate several witnesses of one history share the index.
+pub fn check_witness_with(
+    history: &History,
+    index: &HistoryIndex,
+    witness: &[OpId],
+    model: WitnessModel,
+) -> Result<(), WitnessViolation> {
+    let positions = validate_membership(index, witness)?;
+    replay_witness(history, index, witness)?;
 
     // Process order holds for every model (it is subsumed by real time for
     // complete ops, but checking it directly also covers included incomplete
     // operations).
-    for (a, b) in process_order_edges(history) {
+    for (a, b) in index.process_order_pairs() {
         check_edge(&positions, a, b, OrderKind::ProcessOrder)?;
     }
 
     match model {
         WitnessModel::ProcessOrder => {}
         WitnessModel::Regular => {
-            for (a, b) in reads_from_edges(history) {
-                check_edge(&positions, a, b, OrderKind::Causal)?;
+            check_reads_from_edges(index, &positions)?;
+            if !history.messages().is_empty() {
+                for (a, b) in message_edges(history) {
+                    check_edge(&positions, a, b, OrderKind::Causal)?;
+                }
             }
-            for (a, b) in message_edges(history) {
-                check_edge(&positions, a, b, OrderKind::Causal)?;
-            }
-            check_regular_write_constraint(history, &positions)?;
+            check_regular_write_constraint(index, &positions)?;
         }
         WitnessModel::RealTime => {
-            check_real_time_all(history, &positions)?;
+            check_real_time_all(index, &positions)?;
         }
     }
     Ok(())
 }
 
 fn validate_membership(
-    history: &History,
+    index: &HistoryIndex,
     witness: &[OpId],
-) -> Result<HashMap<OpId, usize>, WitnessViolation> {
-    let mut positions: HashMap<OpId, usize> = HashMap::with_capacity(witness.len());
+) -> Result<Vec<u32>, WitnessViolation> {
+    let mut positions = vec![ABSENT; index.len()];
     for (pos, &id) in witness.iter().enumerate() {
-        if id.index() >= history.len() {
+        if id.index() >= index.len() {
             return Err(WitnessViolation::UnknownOp(id));
         }
-        if positions.insert(id, pos).is_some() {
+        if positions[id.index()] != ABSENT {
             return Err(WitnessViolation::DuplicateOp(id));
         }
+        positions[id.index()] = pos as u32;
     }
-    for op in history.ops() {
-        if op.is_complete() && !positions.contains_key(&op.id) {
-            return Err(WitnessViolation::MissingCompleteOp(op.id));
+    for &id in index.complete_ids() {
+        if positions[id.index()] == ABSENT {
+            return Err(WitnessViolation::MissingCompleteOp(id));
         }
     }
     Ok(positions)
 }
 
+/// Replays the witness against the sequential specification using the indexed
+/// state (allocation-free per op). On failure, the map-based
+/// [`check_sequence`] re-derives the full [`SpecViolation`] diagnostic on the
+/// cold path.
+fn replay_witness(
+    history: &History,
+    index: &HistoryIndex,
+    witness: &[OpId],
+) -> Result<(), WitnessViolation> {
+    let mut state = IndexedSpecState::new(index.num_dense_keys());
+    for &id in witness {
+        if !state.apply_checked(index, id.index()) {
+            let err =
+                check_sequence(history, witness).expect_err("indexed replay found a violation");
+            return Err(WitnessViolation::Spec(err));
+        }
+    }
+    Ok(())
+}
+
+#[inline]
 fn check_edge(
-    positions: &HashMap<OpId, usize>,
+    positions: &[u32],
     a: OpId,
     b: OpId,
     kind: OrderKind,
 ) -> Result<(), WitnessViolation> {
-    match (positions.get(&a), positions.get(&b)) {
-        (Some(pa), Some(pb)) if pa >= pb => {
-            Err(WitnessViolation::OrderViolation { kind, first: a, second: b })
-        }
-        _ => Ok(()),
+    let (pa, pb) = (positions[a.index()], positions[b.index()]);
+    if pa != ABSENT && pb != ABSENT && pa >= pb {
+        return Err(WitnessViolation::OrderViolation { kind, first: a, second: b });
     }
+    Ok(())
+}
+
+/// Checks the reads-from edges: every read of a non-null value must follow
+/// (in the witness) some write of that value to the same key. Writers are
+/// grouped per dense key id and sorted by value once, so each observation is
+/// a binary search — no `HashMap<(service, key, value), _>` construction.
+fn check_reads_from_edges(index: &HistoryIndex, positions: &[u32]) -> Result<(), WitnessViolation> {
+    // (value, writer) per dense key id.
+    let mut writers: Vec<Vec<(u64, u32)>> = vec![Vec::new(); index.num_dense_keys()];
+    for op in 0..index.len() {
+        let keys = index.write_key_ids(op);
+        let vals = index.write_values(op);
+        for (k, v) in keys.iter().zip(vals) {
+            if *v != 0 {
+                writers[*k as usize].push((*v, op as u32));
+            }
+        }
+    }
+    for list in &mut writers {
+        list.sort_unstable();
+    }
+    for op in 0..index.len() {
+        if !index.has_result(op) || index.has_unsat_result(op) {
+            continue;
+        }
+        let keys = index.read_key_ids(op);
+        let obs = index.read_observations(op);
+        for (k, v) in keys.iter().zip(obs) {
+            if *v == 0 {
+                continue;
+            }
+            let list = &writers[*k as usize];
+            let start = list.partition_point(|&(val, _)| val < *v);
+            for &(val, w) in &list[start..] {
+                if val != *v {
+                    break;
+                }
+                if w as usize != op {
+                    check_edge(positions, OpId(w), OpId(op as u32), OrderKind::Causal)?;
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Checks `resp(a) < inv(b) ⇒ pos(a) < pos(b)` for all pairs, in
 /// `O(n log n)` via a sweep: walk operations by invocation time while keeping
 /// the maximum witness position among operations that have already responded.
-fn check_real_time_all(
-    history: &History,
-    positions: &HashMap<OpId, usize>,
-) -> Result<(), WitnessViolation> {
-    let sources: Vec<(Timestamp, usize, OpId)> = history
-        .ops()
-        .iter()
-        .filter_map(|o| {
-            let resp = o.response?;
-            let pos = positions.get(&o.id)?;
-            Some((resp, *pos, o.id))
-        })
-        .collect();
-    let targets: Vec<(Timestamp, usize, OpId)> = history
-        .ops()
-        .iter()
-        .filter_map(|o| positions.get(&o.id).map(|pos| (o.invoke, *pos, o.id)))
-        .collect();
-    sweep(sources, targets, OrderKind::RealTime)
+fn check_real_time_all(index: &HistoryIndex, positions: &[u32]) -> Result<(), WitnessViolation> {
+    let mut sources: Vec<(u64, u32, u32)> = Vec::with_capacity(index.len());
+    let mut targets: Vec<(u64, u32, u32)> = Vec::with_capacity(index.len());
+    for (op, &pos) in positions.iter().enumerate() {
+        if pos == ABSENT {
+            continue;
+        }
+        if let Some(resp) = index.response_us(op) {
+            sources.push((resp, pos, op as u32));
+        }
+        targets.push((index.invoke_us(op), pos, op as u32));
+    }
+    sweep(&mut sources, &mut targets, OrderKind::RealTime)
 }
 
 /// Checks clause (3) of the RSS/RSC definitions:
@@ -176,65 +257,64 @@ fn check_real_time_all(
 /// * completed mutating operations precede every conflicting read-only
 ///   operation that follows them in real time.
 fn check_regular_write_constraint(
-    history: &History,
-    positions: &HashMap<OpId, usize>,
+    index: &HistoryIndex,
+    positions: &[u32],
 ) -> Result<(), WitnessViolation> {
     // Global write-write constraint.
-    let write_sources: Vec<(Timestamp, usize, OpId)> = history
-        .ops()
-        .iter()
-        .filter(|o| o.kind.is_mutating())
-        .filter_map(|o| {
-            let resp = o.response?;
-            let pos = positions.get(&o.id)?;
-            Some((resp, *pos, o.id))
-        })
-        .collect();
-    let write_targets: Vec<(Timestamp, usize, OpId)> = history
-        .ops()
-        .iter()
-        .filter(|o| o.kind.is_mutating())
-        .filter_map(|o| positions.get(&o.id).map(|pos| (o.invoke, *pos, o.id)))
-        .collect();
-    sweep(write_sources, write_targets, OrderKind::RegularWrite)?;
+    let mut write_sources: Vec<(u64, u32, u32)> = Vec::new();
+    let mut write_targets: Vec<(u64, u32, u32)> = Vec::new();
+    for (op, &pos) in positions.iter().enumerate() {
+        if !index.is_mutating(op) || pos == ABSENT {
+            continue;
+        }
+        if let Some(resp) = index.response_us(op) {
+            write_sources.push((resp, pos, op as u32));
+        }
+        write_targets.push((index.invoke_us(op), pos, op as u32));
+    }
+    sweep(&mut write_sources, &mut write_targets, OrderKind::RegularWrite)?;
 
-    // Per-(service, key) write-read constraint.
-    let mut writers: HashMap<(ServiceId, Key), Vec<(Timestamp, usize, OpId)>> = HashMap::new();
-    let mut readers: HashMap<(ServiceId, Key), Vec<(Timestamp, usize, OpId)>> = HashMap::new();
-    for o in history.ops() {
-        let Some(&pos) = positions.get(&o.id) else { continue };
-        if o.kind.is_mutating() {
-            if let Some(resp) = o.response {
-                for k in o.kind.written_keys() {
-                    writers.entry((o.service, k)).or_default().push((resp, pos, o.id));
+    // Per-(service, key) write-read constraint, grouped by dense key id.
+    let num_keys = index.num_dense_keys();
+    let mut writers: Vec<Vec<(u64, u32, u32)>> = vec![Vec::new(); num_keys];
+    let mut readers: Vec<Vec<(u64, u32, u32)>> = vec![Vec::new(); num_keys];
+    for (op, &pos) in positions.iter().enumerate() {
+        if pos == ABSENT {
+            continue;
+        }
+        if index.is_mutating(op) {
+            if let Some(resp) = index.response_us(op) {
+                for k in index.write_key_ids(op) {
+                    writers[*k as usize].push((resp, pos, op as u32));
                 }
             }
-        } else if o.kind.is_read_only() {
-            for k in o.kind.read_keys() {
-                readers.entry((o.service, k)).or_default().push((o.invoke, pos, o.id));
+        } else if index.is_read_only(op) {
+            for k in index.read_key_ids(op) {
+                readers[*k as usize].push((index.invoke_us(op), pos, op as u32));
             }
         }
     }
-    for (key, sources) in writers {
-        if let Some(targets) = readers.get(&key) {
-            sweep(sources, targets.clone(), OrderKind::RegularWrite)?;
+    for (sources, targets) in writers.iter_mut().zip(readers.iter_mut()) {
+        if !sources.is_empty() && !targets.is_empty() {
+            sweep(sources, targets, OrderKind::RegularWrite)?;
         }
     }
     Ok(())
 }
 
 /// Core sweep: for every source `a` and target `b` with
-/// `a.time < b.time` (strictly), require `pos(a) < pos(b)`.
+/// `a.time < b.time` (strictly), require `pos(a) < pos(b)`. Sorts the two
+/// lists in place (no clones).
 fn sweep(
-    mut sources: Vec<(Timestamp, usize, OpId)>,
-    mut targets: Vec<(Timestamp, usize, OpId)>,
+    sources: &mut [(u64, u32, u32)],
+    targets: &mut [(u64, u32, u32)],
     kind: OrderKind,
 ) -> Result<(), WitnessViolation> {
-    sources.sort_unstable_by_key(|&(t, pos, id)| (t, pos, id));
-    targets.sort_unstable_by_key(|&(t, pos, id)| (t, pos, id));
-    let mut max_pos: Option<(usize, OpId)> = None;
+    sources.sort_unstable();
+    targets.sort_unstable();
+    let mut max_pos: Option<(u32, u32)> = None;
     let mut si = 0;
-    for &(t_inv, pos_b, id_b) in &targets {
+    for &(t_inv, pos_b, id_b) in targets.iter() {
         while si < sources.len() && sources[si].0 < t_inv {
             let (_, pos_a, id_a) = sources[si];
             if max_pos.map(|(p, _)| pos_a > p).unwrap_or(true) {
@@ -244,7 +324,11 @@ fn sweep(
         }
         if let Some((p, id_a)) = max_pos {
             if p > pos_b && id_a != id_b {
-                return Err(WitnessViolation::OrderViolation { kind, first: id_a, second: id_b });
+                return Err(WitnessViolation::OrderViolation {
+                    kind,
+                    first: OpId(id_a),
+                    second: OpId(id_b),
+                });
             }
         }
     }
@@ -274,10 +358,7 @@ mod tests {
         let h = b.build();
         // Ordering the read first satisfies the spec but violates real time.
         let err = check_witness(&h, &[r, w], WitnessModel::RealTime).unwrap_err();
-        assert!(matches!(
-            err,
-            WitnessViolation::OrderViolation { kind: OrderKind::RealTime, .. }
-        ));
+        assert!(matches!(err, WitnessViolation::OrderViolation { kind: OrderKind::RealTime, .. }));
         // The regular model also rejects it (write-read conflict on key 1).
         let err = check_witness(&h, &[r, w], WitnessModel::Regular).unwrap_err();
         assert!(matches!(
@@ -392,5 +473,22 @@ mod tests {
             Err(WitnessViolation::OrderViolation { kind: OrderKind::RegularWrite, .. })
         ));
         assert_eq!(check_witness(&h, &[w1, w2], WitnessModel::Regular), Ok(()));
+    }
+
+    #[test]
+    fn reads_from_reordering_rejected_without_hashmaps() {
+        // Two writers of distinct values to one key; the reader saw the second
+        // writer's value but the witness orders the reader first.
+        let mut b = HistoryBuilder::new();
+        let w1 = b.write(1, 1, 1, 0, 100);
+        let w2 = b.write(2, 1, 2, 0, 100);
+        let r = b.read(3, 1, 2, 0, 100);
+        let h = b.build();
+        assert!(matches!(
+            check_witness(&h, &[r, w1, w2], WitnessModel::Regular),
+            Err(WitnessViolation::OrderViolation { kind: OrderKind::Causal, .. })
+                | Err(WitnessViolation::Spec(_))
+        ));
+        assert_eq!(check_witness(&h, &[w1, w2, r], WitnessModel::Regular), Ok(()));
     }
 }

@@ -25,4 +25,6 @@ pub mod search;
 pub use assemble::{assemble_witness, AssembleError};
 pub use certificate::{check_witness, WitnessModel, WitnessViolation};
 pub use models::{check, CheckOutcome, Model};
-pub use search::{find_sequence, Constraints};
+pub use search::{
+    find_sequence, find_sequence_reference, find_sequence_with, ConstraintGraph, Constraints,
+};

@@ -12,9 +12,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::checker::search::{find_sequence, Constraints, SearchError};
-use crate::history::History;
-use crate::order::{process_order_edges, real_time_precedes, CausalOrder};
+use crate::checker::search::{find_sequence_with, Constraints, SearchError};
+use crate::history::{History, HistoryIndex};
+use crate::order::CausalOrder;
 use crate::types::OpId;
 
 /// A consistency model checkable by the exact search.
@@ -81,14 +81,19 @@ impl CheckOutcome {
 /// Real-time constraint edges between *all* pairs of operations (strict
 /// serializability / linearizability).
 pub fn real_time_edges(history: &History) -> Vec<(OpId, OpId)> {
+    real_time_edges_indexed(&HistoryIndex::new(history))
+}
+
+fn real_time_edges_indexed(index: &HistoryIndex) -> Vec<(OpId, OpId)> {
+    let n = index.len();
     let mut edges = Vec::new();
-    for a in history.ops() {
-        if !a.is_complete() {
+    for a in 0..n {
+        if !index.is_complete(a) {
             continue;
         }
-        for b in history.ops() {
-            if a.id != b.id && real_time_precedes(history, a.id, b.id) {
-                edges.push((a.id, b.id));
+        for b in 0..n {
+            if a != b && index.real_time_precedes(a, b) {
+                edges.push((OpId(a as u32), OpId(b as u32)));
             }
         }
     }
@@ -100,19 +105,26 @@ pub fn real_time_edges(history: &History) -> Vec<(OpId, OpId)> {
 /// either a conflicting read-only operation or itself mutating, if `w`
 /// finishes before `t` starts then `w` must precede `t` in the sequence.
 pub fn regular_write_edges(history: &History) -> Vec<(OpId, OpId)> {
+    regular_write_edges_indexed(&HistoryIndex::new(history))
+}
+
+fn regular_write_edges_indexed(index: &HistoryIndex) -> Vec<(OpId, OpId)> {
+    let n = index.len();
     let mut edges = Vec::new();
-    for w in history.ops() {
-        if !w.kind.is_mutating() || !w.is_complete() {
+    for w in 0..n {
+        if !index.is_mutating(w) || !index.is_complete(w) {
             continue;
         }
-        let conflicts = history.conflicting_read_only(w.id);
-        for t in history.ops() {
-            if t.id == w.id {
+        let written = index.write_key_ids(w);
+        for t in 0..n {
+            if t == w || !index.real_time_precedes(w, t) {
                 continue;
             }
-            let in_scope = t.kind.is_mutating() || conflicts.contains(&t.id);
-            if in_scope && real_time_precedes(history, w.id, t.id) {
-                edges.push((w.id, t.id));
+            let conflicting_read = index.is_read_only(t)
+                && index.service_raw(t) == index.service_raw(w)
+                && index.read_key_ids(t).iter().any(|k| written.contains(k));
+            if index.is_mutating(t) || conflicting_read {
+                edges.push((OpId(w as u32), OpId(t as u32)));
             }
         }
     }
@@ -121,17 +133,22 @@ pub fn regular_write_edges(history: &History) -> Vec<(OpId, OpId)> {
 
 /// Builds the constraint set for a model over a history.
 pub fn constraints_for(history: &History, model: Model) -> Constraints {
+    constraints_for_with(history, &HistoryIndex::new(history), model)
+}
+
+/// [`constraints_for`] over a prebuilt index (shared with the search).
+pub fn constraints_for_with(history: &History, index: &HistoryIndex, model: Model) -> Constraints {
     match model {
         Model::StrictSerializability | Model::Linearizability => {
-            Constraints::from_edges(real_time_edges(history))
+            Constraints::from_edges(real_time_edges_indexed(index))
         }
         Model::RegularSequentialSerializability | Model::RegularSequentialConsistency => {
             let mut edges = CausalOrder::new(history).direct_edges().to_vec();
-            edges.extend(regular_write_edges(history));
+            edges.extend(regular_write_edges_indexed(index));
             Constraints::from_edges(edges)
         }
         Model::ProcessOrderedSerializability | Model::SequentialConsistency => {
-            Constraints::from_edges(process_order_edges(history))
+            Constraints::from_edges(index.process_order_pairs().collect())
         }
     }
 }
@@ -143,10 +160,11 @@ pub fn constraints_for(history: &History, model: Model) -> Constraints {
 /// Returns [`SearchError::TooLarge`] if the history exceeds the exact-search
 /// size limit; use the certificate checkers for protocol-scale histories.
 pub fn check(history: &History, model: Model) -> Result<CheckOutcome, SearchError> {
-    let constraints = constraints_for(history, model);
-    let required = history.complete_ids();
-    let optional = history.pending_mutations();
-    match find_sequence(history, &required, &optional, &constraints)? {
+    let index = HistoryIndex::new(history);
+    let constraints = constraints_for_with(history, &index, model);
+    let required = index.complete_ids();
+    let optional = index.pending_mutations();
+    match find_sequence_with(&index, required, optional, &constraints)? {
         Some(witness) => Ok(CheckOutcome::satisfied(witness)),
         None => Ok(CheckOutcome::violated()),
     }

@@ -35,9 +35,9 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use crate::checker::search::{find_sequence, Constraints, SearchError, MAX_SEARCH_OPS};
-use crate::history::History;
-use crate::order::{process_order_edges, real_time_precedes, CausalOrder};
+use crate::checker::search::{find_sequence_with, Constraints, SearchError, MAX_SEARCH_OPS};
+use crate::history::{History, HistoryIndex};
+use crate::order::{real_time_precedes, CausalOrder};
 use crate::types::{Key, OpId, Value};
 
 /// The proximal models of Appendix A.
@@ -91,11 +91,12 @@ pub fn check_proximal(history: &History, model: ProximalModel) -> Result<bool, S
     if history.len() > MAX_SEARCH_OPS {
         return Err(SearchError::TooLarge { ops: history.len() });
     }
+    let index = HistoryIndex::new(history);
     match model {
-        ProximalModel::Crdb => check_total_order(history, crdb_constraints(history)),
-        ProximalModel::OscU => check_total_order(history, osc_u_constraints(history)),
-        ProximalModel::VvRegularity => check_total_order(history, vv_constraints(history)),
-        ProximalModel::RealTimeCausal => check_real_time_causal(history),
+        ProximalModel::Crdb => check_total_order(&index, crdb_constraints(&index)),
+        ProximalModel::OscU => check_total_order(&index, osc_u_constraints(&index)),
+        ProximalModel::VvRegularity => check_total_order(&index, vv_constraints(&index)),
+        ProximalModel::RealTimeCausal => check_real_time_causal(history, &index),
         ProximalModel::StrongSnapshotIsolation => Ok(check_strong_si(history)),
         ProximalModel::MwrWeak => Ok(check_mwr(history, MwrVariant::Weak)),
         ProximalModel::MwrWriteOrder => Ok(check_mwr(history, MwrVariant::WriteOrder)),
@@ -104,26 +105,28 @@ pub fn check_proximal(history: &History, model: ProximalModel) -> Result<bool, S
     }
 }
 
-fn check_total_order(history: &History, constraints: Constraints) -> Result<bool, SearchError> {
-    let required = history.complete_ids();
-    let optional = history.pending_mutations();
-    Ok(find_sequence(history, &required, &optional, &constraints)?.is_some())
+fn check_total_order(index: &HistoryIndex, constraints: Constraints) -> Result<bool, SearchError> {
+    let required = index.complete_ids();
+    let optional = index.pending_mutations();
+    Ok(find_sequence_with(index, required, optional, &constraints)?.is_some())
 }
 
 /// CRDB: process order + real-time order between operations sharing a key.
-fn crdb_constraints(history: &History) -> Constraints {
-    let mut edges = process_order_edges(history);
-    for a in history.ops() {
-        if !a.is_complete() {
+fn crdb_constraints(index: &HistoryIndex) -> Constraints {
+    let mut edges: Vec<(OpId, OpId)> = index.process_order_pairs().collect();
+    let accessed = |i: usize| index.read_key_ids(i).iter().chain(index.write_key_ids(i));
+    for a in 0..index.len() {
+        if !index.is_complete(a) {
             continue;
         }
-        let a_keys = a.kind.accessed_keys();
-        for b in history.ops() {
-            if a.id == b.id || !real_time_precedes(history, a.id, b.id) {
+        for b in 0..index.len() {
+            if a == b || !index.real_time_precedes(a, b) {
                 continue;
             }
-            if a.service == b.service && b.kind.accessed_keys().iter().any(|k| a_keys.contains(k)) {
-                edges.push((a.id, b.id));
+            // Dense key ids already encode the service, so a shared key id
+            // implies a shared service.
+            if accessed(a).any(|k| accessed(b).any(|k2| k2 == k)) {
+                edges.push((OpId(a as u32), OpId(b as u32)));
             }
         }
     }
@@ -132,15 +135,15 @@ fn crdb_constraints(history: &History) -> Constraints {
 
 /// OSC(U): process order + everything that precedes a write in real time is
 /// ordered before that write.
-fn osc_u_constraints(history: &History) -> Constraints {
-    let mut edges = process_order_edges(history);
-    for a in history.ops() {
-        if !a.is_complete() {
+fn osc_u_constraints(index: &HistoryIndex) -> Constraints {
+    let mut edges: Vec<(OpId, OpId)> = index.process_order_pairs().collect();
+    for a in 0..index.len() {
+        if !index.is_complete(a) {
             continue;
         }
-        for b in history.ops() {
-            if a.id != b.id && b.kind.is_mutating() && real_time_precedes(history, a.id, b.id) {
-                edges.push((a.id, b.id));
+        for b in 0..index.len() {
+            if a != b && index.is_mutating(b) && index.real_time_precedes(a, b) {
+                edges.push((OpId(a as u32), OpId(b as u32)));
             }
         }
     }
@@ -149,15 +152,15 @@ fn osc_u_constraints(history: &History) -> Constraints {
 
 /// VV regularity: everything that follows a completed write in real time is
 /// ordered after it; no process-order requirement.
-fn vv_constraints(history: &History) -> Constraints {
+fn vv_constraints(index: &HistoryIndex) -> Constraints {
     let mut edges = Vec::new();
-    for w in history.ops() {
-        if !w.kind.is_mutating() || !w.is_complete() {
+    for w in 0..index.len() {
+        if !index.is_mutating(w) || !index.is_complete(w) {
             continue;
         }
-        for o in history.ops() {
-            if w.id != o.id && real_time_precedes(history, w.id, o.id) {
-                edges.push((w.id, o.id));
+        for o in 0..index.len() {
+            if w != o && index.real_time_precedes(w, o) {
+                edges.push((OpId(w as u32), OpId(o as u32)));
             }
         }
     }
@@ -167,21 +170,18 @@ fn vv_constraints(history: &History) -> Constraints {
 /// Real-time causal: for every process, a serialization of all writes plus the
 /// process's own read-only operations, respecting causality and the real-time
 /// order of writes.
-fn check_real_time_causal(history: &History) -> Result<bool, SearchError> {
+fn check_real_time_causal(history: &History, index: &HistoryIndex) -> Result<bool, SearchError> {
     let causal = CausalOrder::new(history);
     let closure = causal.closure();
-    let writes: Vec<OpId> = history
-        .ops()
-        .iter()
-        .filter(|o| o.kind.is_mutating() && o.is_complete())
-        .map(|o| o.id)
+    let writes: Vec<OpId> = (0..index.len())
+        .filter(|&o| index.is_mutating(o) && index.is_complete(o))
+        .map(|o| OpId(o as u32))
         .collect();
-    let pending: Vec<OpId> = history.pending_mutations();
-    for p in history.processes() {
+    let pending = index.pending_mutations();
+    for (_, process_ops) in index.ops_by_process() {
         let mut included: Vec<OpId> = writes.clone();
-        for id in history.ops_of_process(p) {
-            let op = history.op(id);
-            if op.kind.is_read_only() && op.is_complete() {
+        for &id in process_ops {
+            if index.is_read_only(id.index()) && index.is_complete(id.index()) {
                 included.push(id);
             }
         }
@@ -199,13 +199,13 @@ fn check_real_time_causal(history: &History) -> Result<bool, SearchError> {
         }
         for &a in &writes {
             for &b in &writes {
-                if a != b && real_time_precedes(history, a, b) {
+                if a != b && index.real_time_precedes(a.index(), b.index()) {
                     edges.push((a, b));
                 }
             }
         }
         let constraints = Constraints::from_edges(edges);
-        if find_sequence(history, &included, &pending, &constraints)?.is_none() {
+        if find_sequence_with(index, &included, pending, &constraints)?.is_none() {
             return Ok(false);
         }
     }
@@ -329,14 +329,22 @@ fn si_search(
                         .written_values()
                         .iter()
                         .map(|(k, _)| {
-                            ((op.service.0, *k), state.committed_values.get(&(op.service.0, *k)).copied())
+                            (
+                                (op.service.0, *k),
+                                state.committed_values.get(&(op.service.0, *k)).copied(),
+                            )
                         })
                         .collect();
                     let saved_indices: Vec<((u32, Key), Option<usize>)> = op
                         .kind
                         .written_keys()
                         .iter()
-                        .map(|k| ((op.service.0, *k), state.last_commit_index.get(&(op.service.0, *k)).copied()))
+                        .map(|k| {
+                            (
+                                (op.service.0, *k),
+                                state.last_commit_index.get(&(op.service.0, *k)).copied(),
+                            )
+                        })
                         .collect();
                     for (k, v) in op.kind.written_values() {
                         state.committed_values.insert((op.service.0, k), v);
@@ -422,16 +430,22 @@ fn check_mwr(history: &History, variant: MwrVariant) -> bool {
     }
     match variant {
         MwrVariant::Weak | MwrVariant::ReadsFrom => true,
-        MwrVariant::WriteOrder => {
-            choose_compatible(history, &reads, &per_read, 0, &mut Vec::new(), &|h, reads, choice| {
-                write_order_agreement(h, reads, choice)
-            })
-        }
-        MwrVariant::NoInversion => {
-            choose_compatible(history, &reads, &per_read, 0, &mut Vec::new(), &|h, reads, choice| {
-                no_inversion_agreement(h, reads, choice)
-            })
-        }
+        MwrVariant::WriteOrder => choose_compatible(
+            history,
+            &reads,
+            &per_read,
+            0,
+            &mut Vec::new(),
+            &|h, reads, choice| write_order_agreement(h, reads, choice),
+        ),
+        MwrVariant::NoInversion => choose_compatible(
+            history,
+            &reads,
+            &per_read,
+            0,
+            &mut Vec::new(),
+            &|h, reads, choice| no_inversion_agreement(h, reads, choice),
+        ),
     }
 }
 
@@ -451,12 +465,11 @@ fn derived_write_order(history: &History, writes: &[OpId]) -> Vec<(OpId, OpId)> 
         reach[w.index()][r.index()] = true;
     }
     for k in 0..n {
-        for i in 0..n {
-            if reach[i][k] {
-                for j in 0..n {
-                    if reach[k][j] {
-                        reach[i][j] = true;
-                    }
+        let row_k = reach[k].clone();
+        for row in reach.iter_mut() {
+            if row[k] {
+                for (cell, &via_k) in row.iter_mut().zip(&row_k) {
+                    *cell |= via_k;
                 }
             }
         }
@@ -485,7 +498,10 @@ fn valid_serializations(
     permute_writes(history, writes, extra_ww, &mut order, &mut |write_order| {
         for pos in 0..=write_order.len() {
             if serialization_is_valid(history, write_order, pos, r) {
-                result.push(ReadSerialization { write_order: write_order.to_vec(), read_position: pos });
+                result.push(ReadSerialization {
+                    write_order: write_order.to_vec(),
+                    read_position: pos,
+                });
             }
         }
     });
@@ -512,7 +528,8 @@ fn permute_writes(
         let rt_ok = writes.iter().all(|&other| {
             other == w || !real_time_precedes(history, other, w) || order.contains(&other)
         });
-        let extra_ok = extra_ww.iter().all(|&(a, b)| b != w || order.contains(&a) || !writes.contains(&a));
+        let extra_ok =
+            extra_ww.iter().all(|&(a, b)| b != w || order.contains(&a) || !writes.contains(&a));
         if !rt_ok || !extra_ok {
             continue;
         }
@@ -522,7 +539,12 @@ fn permute_writes(
     }
 }
 
-fn serialization_is_valid(history: &History, write_order: &[OpId], read_pos: usize, r: OpId) -> bool {
+fn serialization_is_valid(
+    history: &History,
+    write_order: &[OpId],
+    read_pos: usize,
+    r: OpId,
+) -> bool {
     let read = history.op(r);
     // Real-time constraints between the read and the writes.
     for (i, &w) in write_order.iter().enumerate() {
@@ -540,13 +562,7 @@ fn serialization_is_valid(history: &History, write_order: &[OpId], read_pos: usi
             .iter()
             .rev()
             .find_map(|&w| {
-                history
-                    .op(w)
-                    .kind
-                    .written_values()
-                    .iter()
-                    .find(|(k, _)| *k == key)
-                    .map(|(_, v)| *v)
+                history.op(w).kind.written_values().iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
             })
             .unwrap_or(Value::NULL);
         if let Some(observed) = read.observed_value(key) {
@@ -558,13 +574,16 @@ fn serialization_is_valid(history: &History, write_order: &[OpId], read_pos: usi
     true
 }
 
+/// Agreement predicate over the chosen per-read serializations.
+type AgreementFn = dyn Fn(&History, &[OpId], &[ReadSerialization]) -> bool;
+
 fn choose_compatible(
     history: &History,
     reads: &[OpId],
     per_read: &[Vec<ReadSerialization>],
     index: usize,
     chosen: &mut Vec<ReadSerialization>,
-    agree: &dyn Fn(&History, &[OpId], &[ReadSerialization]) -> bool,
+    agree: &AgreementFn,
 ) -> bool {
     if index == per_read.len() {
         return agree(history, reads, chosen);

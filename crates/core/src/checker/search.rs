@@ -13,20 +13,52 @@
 //! is intended for the small histories used in Table 1, Appendix A, and the
 //! property tests — not for full protocol runs, which use the certificate
 //! checkers instead.
+//!
+//! # Hot-path structure
+//!
+//! The search runs over *local indices* (positions in the `required` ++
+//! `optional` list), never over `OpId`-keyed maps:
+//!
+//! * [`Constraints`] is an edge list with a sorted/deduplicated invariant;
+//!   it is compiled once per [`find_sequence`] call into a
+//!   [`ConstraintGraph`] of per-node predecessor/successor bitmasks.
+//! * Cycle checks per optional-subset are bitmask Kahn peels on the compiled
+//!   graph — no hash maps, no sorting, no allocation in the subset loop.
+//! * The backtracking step threads one mutable
+//!   [`IndexedSpecState`](crate::spec::IndexedSpecState) with an undo log
+//!   instead of cloning the state per node, and the memo table is keyed on
+//!   `(placed-mask, state fingerprint)` in an
+//!   [`FxHash`](crate::hashing::FxHasher)-hashed set with an O(1)
+//!   incrementally-maintained fingerprint.
+//!
+//! [`find_sequence_reference`] retains the straightforward clone-per-step
+//! implementation; the property tests assert the two agree on randomized
+//! histories.
 
 use std::collections::HashMap;
 use std::collections::HashSet;
 
-use crate::history::History;
-use crate::spec::SpecState;
+use crate::hashing::FxSeenSet;
+use crate::history::{History, HistoryIndex};
+use crate::spec::{IndexedSpecState, SpecState};
 use crate::types::OpId;
 
 /// Maximum history size the search accepts (the scheduled-set is a `u128`
 /// bitmask).
 pub const MAX_SEARCH_OPS: usize = 128;
 
+/// Maximum number of optional (pending mutating) operations whose subsets are
+/// enumerated.
+const MAX_OPTIONAL_OPS: usize = 12;
+
 /// Precedence constraints: `a` must appear before `b` whenever both are in the
 /// candidate sequence.
+///
+/// Invariant: the edge list is always sorted, deduplicated, and free of
+/// self-loops — [`Constraints::add`], [`Constraints::extend`], and
+/// [`Constraints::from_edges`] all maintain it, so consumers of
+/// [`Constraints::edges`] never see duplicates and compilation into a
+/// [`ConstraintGraph`] never re-sorts.
 #[derive(Debug, Clone, Default)]
 pub struct Constraints {
     edges: Vec<(OpId, OpId)>,
@@ -41,60 +73,165 @@ impl Constraints {
     /// Builds a constraint set from explicit edges.
     pub fn from_edges(edges: Vec<(OpId, OpId)>) -> Self {
         let mut c = Constraints { edges };
-        c.edges.sort();
+        c.edges.sort_unstable();
         c.edges.dedup();
         c.edges.retain(|(a, b)| a != b);
         c
     }
 
-    /// Adds an edge `a → b`.
+    /// Adds an edge `a → b`, keeping the sorted/deduplicated invariant.
     pub fn add(&mut self, a: OpId, b: OpId) {
-        if a != b {
-            self.edges.push((a, b));
+        if a == b {
+            return;
+        }
+        if let Err(pos) = self.edges.binary_search(&(a, b)) {
+            self.edges.insert(pos, (a, b));
         }
     }
 
-    /// Merges another constraint set into this one.
+    /// Merges another constraint set into this one (a sorted-list merge; no
+    /// full re-sort).
     pub fn extend(&mut self, other: &Constraints) {
-        self.edges.extend_from_slice(&other.edges);
-        self.edges.sort();
-        self.edges.dedup();
+        if other.edges.is_empty() {
+            return;
+        }
+        if self.edges.is_empty() {
+            self.edges = other.edges.clone();
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.edges.len() + other.edges.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.edges.len() && j < other.edges.len() {
+            let next = match self.edges[i].cmp(&other.edges[j]) {
+                std::cmp::Ordering::Less => {
+                    i += 1;
+                    self.edges[i - 1]
+                }
+                std::cmp::Ordering::Greater => {
+                    j += 1;
+                    other.edges[j - 1]
+                }
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                    self.edges[i - 1]
+                }
+            };
+            merged.push(next);
+        }
+        merged.extend_from_slice(&self.edges[i..]);
+        merged.extend_from_slice(&other.edges[j..]);
+        self.edges = merged;
     }
 
-    /// The constraint edges.
+    /// The constraint edges (sorted, deduplicated, no self-loops).
     pub fn edges(&self) -> &[(OpId, OpId)] {
         &self.edges
     }
 
     /// True if the constraints (restricted to `included`) contain a cycle, in
     /// which case no sequence can satisfy them.
+    ///
+    /// Not on the hot path (the search uses
+    /// [`ConstraintGraph::has_cycle_masked`]); delegates to the reference
+    /// Kahn implementation so the repo carries one general-purpose cycle
+    /// check.
     pub fn has_cycle(&self, included: &[OpId]) -> bool {
-        let set: HashSet<OpId> = included.iter().copied().collect();
-        // Kahn's algorithm on the restricted graph.
-        let mut indegree: HashMap<OpId, usize> = included.iter().map(|&o| (o, 0)).collect();
-        let mut adj: HashMap<OpId, Vec<OpId>> = HashMap::new();
-        for &(a, b) in &self.edges {
-            if set.contains(&a) && set.contains(&b) {
-                *indegree.get_mut(&b).expect("b is included") += 1;
-                adj.entry(a).or_default().push(b);
+        reference_has_cycle(self, included)
+    }
+}
+
+/// A constraint set compiled to per-node predecessor bitmasks over the local
+/// indices of one search (positions in `required` ++ `optional`).
+///
+/// Built once per [`find_sequence`] call; all per-subset and per-step work is
+/// pure bit arithmetic on it.
+#[derive(Debug, Clone)]
+pub struct ConstraintGraph {
+    /// Number of local nodes (≤ [`MAX_SEARCH_OPS`]).
+    n: usize,
+    /// `preds[i]`: bitmask of local nodes that must precede node `i`.
+    preds: Vec<u128>,
+}
+
+impl ConstraintGraph {
+    /// Compiles `constraints` over the nodes `ids` (edge endpoints not in
+    /// `ids` — including op ids outside the history entirely — are
+    /// irrelevant to this search and dropped, matching
+    /// [`Constraints::has_cycle`]). `history_len` bounds the op-id space for
+    /// the direct-indexed lookup table.
+    pub fn compile(constraints: &Constraints, ids: &[OpId], history_len: usize) -> Self {
+        debug_assert!(ids.len() <= MAX_SEARCH_OPS);
+        let n = ids.len();
+        let mut local = vec![u32::MAX; history_len];
+        for (li, id) in ids.iter().enumerate() {
+            debug_assert_eq!(local[id.index()], u32::MAX, "duplicate op in search set");
+            local[id.index()] = li as u32;
+        }
+        let lookup = |id: OpId| local.get(id.index()).copied().unwrap_or(u32::MAX);
+        let mut preds = vec![0u128; n];
+        for &(a, b) in constraints.edges() {
+            let (la, lb) = (lookup(a), lookup(b));
+            if la != u32::MAX && lb != u32::MAX {
+                preds[lb as usize] |= 1u128 << la;
             }
         }
-        let mut queue: Vec<OpId> = indegree.iter().filter(|(_, &d)| d == 0).map(|(&o, _)| o).collect();
-        let mut visited = 0;
-        while let Some(o) = queue.pop() {
-            visited += 1;
-            if let Some(next) = adj.get(&o) {
-                for &b in next {
-                    let d = indegree.get_mut(&b).expect("b is included");
-                    *d -= 1;
-                    if *d == 0 {
-                        queue.push(b);
-                    }
+        ConstraintGraph { n, preds }
+    }
+
+    /// Number of local nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Predecessor mask of node `i`.
+    #[inline]
+    pub fn preds(&self, i: usize) -> u128 {
+        self.preds[i]
+    }
+
+    /// True if the graph restricted to `active` contains a cycle: a bitmask
+    /// Kahn peel (repeatedly remove nodes with no unremoved predecessors)
+    /// with no allocation.
+    pub fn has_cycle_masked(&self, active: u128) -> bool {
+        let mut remaining = active;
+        loop {
+            let mut peeled = 0u128;
+            let mut scan = remaining;
+            while scan != 0 {
+                let i = scan.trailing_zeros() as usize;
+                let bit = 1u128 << i;
+                scan &= scan - 1;
+                if self.preds[i] & remaining == 0 {
+                    peeled |= bit;
                 }
             }
+            if peeled == 0 {
+                return remaining != 0;
+            }
+            remaining &= !peeled;
+            if remaining == 0 {
+                return false;
+            }
         }
-        visited != included.len()
     }
+}
+
+/// Errors from the exact search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchError {
+    /// The history exceeds [`MAX_SEARCH_OPS`]; use the certificate checker.
+    TooLarge {
+        /// Number of operations in the history.
+        ops: usize,
+    },
 }
 
 /// Searches for a legal sequence containing every operation in `required` and
@@ -113,9 +250,134 @@ pub fn find_sequence(
     if history.len() > MAX_SEARCH_OPS {
         return Err(SearchError::TooLarge { ops: history.len() });
     }
+    let index = HistoryIndex::new(history);
+    find_sequence_with(&index, required, optional, constraints)
+}
+
+/// [`find_sequence`] over a prebuilt [`HistoryIndex`], letting callers that
+/// run several searches on one history (the model checkers) share the index.
+pub fn find_sequence_with(
+    index: &HistoryIndex,
+    required: &[OpId],
+    optional: &[OpId],
+    constraints: &Constraints,
+) -> Result<Option<Vec<OpId>>, SearchError> {
+    if index.len() > MAX_SEARCH_OPS {
+        return Err(SearchError::TooLarge { ops: index.len() });
+    }
     // Try subsets of the optional operations, smallest first (the common case
     // is that pending writes need not be included).
-    let optional = &optional[..optional.len().min(12)];
+    let optional = &optional[..optional.len().min(MAX_OPTIONAL_OPS)];
+    let mut ids = Vec::with_capacity(required.len() + optional.len());
+    ids.extend_from_slice(required);
+    ids.extend_from_slice(optional);
+    if ids.len() > MAX_SEARCH_OPS {
+        // Only reachable when `required` and `optional` overlap or repeat;
+        // the scheduled-set mask cannot represent more than 128 local nodes.
+        return Err(SearchError::TooLarge { ops: ids.len() });
+    }
+    let graph = ConstraintGraph::compile(constraints, &ids, index.len());
+
+    let required_mask = if required.is_empty() { 0 } else { u128::MAX >> (128 - required.len()) };
+    let mut searcher = Searcher {
+        index,
+        graph: &graph,
+        ids: &ids,
+        state: IndexedSpecState::new(index.num_dense_keys()),
+        seen: FxSeenSet::default(),
+        seq: Vec::with_capacity(ids.len()),
+    };
+    let subsets = 1usize << optional.len();
+    for subset in 0..subsets {
+        // `subset > 0` implies `optional` is non-empty, which (with the
+        // length check above) bounds the shift below 128.
+        let active = if subset == 0 {
+            required_mask
+        } else {
+            required_mask | ((subset as u128) << required.len())
+        };
+        if graph.has_cycle_masked(active) {
+            continue;
+        }
+        if searcher.search(active) {
+            return Ok(Some(searcher.seq));
+        }
+    }
+    Ok(None)
+}
+
+/// One search over a fixed local-index space; holds the mutable state reused
+/// across optional-subsets.
+struct Searcher<'a> {
+    index: &'a HistoryIndex,
+    graph: &'a ConstraintGraph,
+    ids: &'a [OpId],
+    state: IndexedSpecState,
+    seen: FxSeenSet,
+    seq: Vec<OpId>,
+}
+
+impl Searcher<'_> {
+    /// Searches for a topological order of `active` that replays legally.
+    fn search(&mut self, active: u128) -> bool {
+        debug_assert_eq!(self.state.checkpoint(), 0, "state is pristine between subsets");
+        self.seen.clear();
+        self.seq.clear();
+        let found = self.backtrack(active, 0);
+        // `seq` keeps the witness on success; the state is always reset for
+        // the next subset.
+        self.state.rollback(0);
+        found
+    }
+
+    fn backtrack(&mut self, active: u128, placed: u128) -> bool {
+        if placed == active {
+            return true;
+        }
+        if !self.seen.insert((placed, self.state.fingerprint())) {
+            return false;
+        }
+        let mut candidates = active & !placed;
+        while candidates != 0 {
+            let i = candidates.trailing_zeros() as usize;
+            let bit = 1u128 << i;
+            candidates &= candidates - 1;
+            if self.graph.preds(i) & active & !placed != 0 {
+                continue;
+            }
+            let op = self.ids[i].index();
+            let cp = self.state.checkpoint();
+            if !self.state.apply_checked(self.index, op) {
+                continue;
+            }
+            self.seq.push(self.ids[i]);
+            if self.backtrack(active, placed | bit) {
+                return true;
+            }
+            self.seq.pop();
+            self.state.rollback(cp);
+        }
+        false
+    }
+}
+
+/// The straightforward reference implementation of [`find_sequence`]: hash
+/// maps keyed by `OpId`, a cloned [`SpecState`] per step, and a rebuilt
+/// Kahn's-algorithm cycle check per optional subset.
+///
+/// Retained (not cfg-gated) so the property tests can assert the optimized
+/// search agrees with it on randomized histories, and as executable
+/// documentation of the definitions.
+pub fn find_sequence_reference(
+    history: &History,
+    required: &[OpId],
+    optional: &[OpId],
+    constraints: &Constraints,
+) -> Result<Option<Vec<OpId>>, SearchError> {
+    if history.len() > MAX_SEARCH_OPS {
+        return Err(SearchError::TooLarge { ops: history.len() });
+    }
+    let optional = &optional[..optional.len().min(MAX_OPTIONAL_OPS)];
     let subsets = 1usize << optional.len();
     for subset in 0..subsets {
         let mut included: Vec<OpId> = required.to_vec();
@@ -124,37 +386,56 @@ pub fn find_sequence(
                 included.push(op);
             }
         }
-        if constraints.has_cycle(&included) {
+        if reference_has_cycle(constraints, &included) {
             continue;
         }
-        if let Some(seq) = search_included(history, &included, constraints) {
+        if let Some(seq) = reference_search_included(history, &included, constraints) {
             return Ok(Some(seq));
         }
     }
     Ok(None)
 }
 
-/// Errors from the exact search.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SearchError {
-    /// The history exceeds [`MAX_SEARCH_OPS`]; use the certificate checker.
-    TooLarge {
-        /// Number of operations in the history.
-        ops: usize,
-    },
+fn reference_has_cycle(constraints: &Constraints, included: &[OpId]) -> bool {
+    let set: HashSet<OpId> = included.iter().copied().collect();
+    let mut indegree: HashMap<OpId, usize> = included.iter().map(|&o| (o, 0)).collect();
+    let mut adj: HashMap<OpId, Vec<OpId>> = HashMap::new();
+    for &(a, b) in constraints.edges() {
+        if set.contains(&a) && set.contains(&b) {
+            *indegree.get_mut(&b).expect("b is included") += 1;
+            adj.entry(a).or_default().push(b);
+        }
+    }
+    let mut queue: Vec<OpId> = indegree.iter().filter(|(_, &d)| d == 0).map(|(&o, _)| o).collect();
+    let mut visited = 0;
+    while let Some(o) = queue.pop() {
+        visited += 1;
+        if let Some(next) = adj.get(&o) {
+            for &b in next {
+                let d = indegree.get_mut(&b).expect("b is included");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(b);
+                }
+            }
+        }
+    }
+    visited != included.len()
 }
 
-fn search_included(history: &History, included: &[OpId], constraints: &Constraints) -> Option<Vec<OpId>> {
+fn reference_search_included(
+    history: &History,
+    included: &[OpId],
+    constraints: &Constraints,
+) -> Option<Vec<OpId>> {
     let n = included.len();
     if n == 0 {
         return Some(Vec::new());
     }
-    // Map op -> local index.
     let mut local: HashMap<OpId, usize> = HashMap::new();
     for (i, &op) in included.iter().enumerate() {
         local.insert(op, i);
     }
-    // preds[i] = bitmask of local indices that must precede i.
     let mut preds = vec![0u128; n];
     for &(a, b) in constraints.edges() {
         if let (Some(&ia), Some(&ib)) = (local.get(&a), local.get(&b)) {
@@ -163,16 +444,14 @@ fn search_included(history: &History, included: &[OpId], constraints: &Constrain
     }
     let mut seq = Vec::with_capacity(n);
     let mut seen: HashSet<(u128, u64)> = HashSet::new();
-    if backtrack(history, included, &preds, 0, &SpecState::new(), &mut seq, &mut seen) {
+    if reference_backtrack(history, included, &preds, 0, &SpecState::new(), &mut seq, &mut seen) {
         Some(seq)
     } else {
         None
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-
-fn backtrack(
+fn reference_backtrack(
     history: &History,
     included: &[OpId],
     preds: &[u128],
@@ -211,7 +490,8 @@ fn backtrack(
             }
         }
         seq.push(included[i]);
-        if backtrack(history, included, preds, placed_mask | bit, &next_state, seq, seen) {
+        if reference_backtrack(history, included, preds, placed_mask | bit, &next_state, seq, seen)
+        {
             return true;
         }
         seq.pop();
@@ -235,6 +515,42 @@ mod tests {
         assert!(!cons.has_cycle(&[a, b]));
         let acyclic = Constraints::from_edges(vec![(a, b), (b, c)]);
         assert!(!acyclic.has_cycle(&[a, b, c]));
+    }
+
+    #[test]
+    fn add_keeps_edges_sorted_and_deduplicated() {
+        let mut cons = Constraints::new();
+        cons.add(OpId(2), OpId(3));
+        cons.add(OpId(0), OpId(1));
+        cons.add(OpId(2), OpId(3));
+        cons.add(OpId(1), OpId(1)); // self-loop dropped
+        assert_eq!(cons.edges(), &[(OpId(0), OpId(1)), (OpId(2), OpId(3))]);
+    }
+
+    #[test]
+    fn extend_merges_without_duplicates() {
+        let mut a = Constraints::from_edges(vec![(OpId(0), OpId(1)), (OpId(4), OpId(5))]);
+        let b = Constraints::from_edges(vec![(OpId(0), OpId(1)), (OpId(2), OpId(3))]);
+        a.extend(&b);
+        assert_eq!(a.edges(), &[(OpId(0), OpId(1)), (OpId(2), OpId(3)), (OpId(4), OpId(5))]);
+        let mut empty = Constraints::new();
+        empty.extend(&a);
+        assert_eq!(empty.edges(), a.edges());
+    }
+
+    #[test]
+    fn constraint_graph_masked_cycles() {
+        let edges = Constraints::from_edges(vec![
+            (OpId(0), OpId(1)),
+            (OpId(1), OpId(2)),
+            (OpId(2), OpId(0)),
+        ]);
+        let ids = [OpId(0), OpId(1), OpId(2)];
+        let graph = ConstraintGraph::compile(&edges, &ids, 3);
+        assert!(graph.has_cycle_masked(0b111));
+        assert!(!graph.has_cycle_masked(0b011), "dropping one node breaks the cycle");
+        assert!(!graph.has_cycle_masked(0));
+        assert_eq!(graph.preds(1), 0b001);
     }
 
     #[test]
@@ -284,6 +600,34 @@ mod tests {
     }
 
     #[test]
+    fn tolerates_constraint_edges_outside_the_history() {
+        // Out-of-range op ids in the constraint set must be dropped, not
+        // panic — matching `Constraints::has_cycle` and the reference path.
+        let mut b = HistoryBuilder::new();
+        let w = b.write(1, 1, 5, 0, 2);
+        let r = b.read(2, 1, 5, 3, 4);
+        let h = b.build();
+        let cons = Constraints::from_edges(vec![(OpId(200), w), (w, OpId(300)), (w, r)]);
+        let fast = find_sequence(&h, &h.complete_ids(), &[], &cons).unwrap();
+        let slow = find_sequence_reference(&h, &h.complete_ids(), &[], &cons).unwrap();
+        assert_eq!(fast, slow);
+        assert_eq!(fast, Some(vec![w, r]));
+    }
+
+    #[test]
+    fn handles_history_at_exactly_max_search_ops() {
+        // 128 required ops is allowed by the size guard; the scheduled-set
+        // mask must not overflow while enumerating subsets.
+        let mut b = HistoryBuilder::new();
+        for i in 0..128u64 {
+            b.write(1, 1, i + 1, i * 10, i * 10 + 5);
+        }
+        let h = b.build();
+        let seq = find_sequence(&h, &h.complete_ids(), &[], &Constraints::new()).unwrap();
+        assert_eq!(seq.map(|s| s.len()), Some(128));
+    }
+
+    #[test]
     fn rejects_oversized_history() {
         let mut b = HistoryBuilder::new();
         for i in 0..130 {
@@ -294,5 +638,70 @@ mod tests {
             find_sequence(&h, &h.complete_ids(), &[], &Constraints::new()),
             Err(SearchError::TooLarge { .. })
         ));
+        assert!(matches!(
+            find_sequence_reference(&h, &h.complete_ids(), &[], &Constraints::new()),
+            Err(SearchError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn queue_histories_replay_with_undo() {
+        use crate::op::{OpKind, OpResult};
+        use crate::types::{Key, ProcessId, ServiceId, Timestamp, Value};
+        let mut h = History::new();
+        let e1 = h.add_complete(
+            ProcessId(1),
+            ServiceId::QUEUE,
+            OpKind::Enqueue { queue: Key(1), value: Value(10) },
+            Timestamp(0),
+            Timestamp(1),
+            OpResult::Ack,
+        );
+        let e2 = h.add_complete(
+            ProcessId(1),
+            ServiceId::QUEUE,
+            OpKind::Enqueue { queue: Key(1), value: Value(20) },
+            Timestamp(2),
+            Timestamp(3),
+            OpResult::Ack,
+        );
+        let d1 = h.add_complete(
+            ProcessId(2),
+            ServiceId::QUEUE,
+            OpKind::Dequeue { queue: Key(1) },
+            Timestamp(4),
+            Timestamp(5),
+            OpResult::Value(Value(10)),
+        );
+        let d2 = h.add_complete(
+            ProcessId(2),
+            ServiceId::QUEUE,
+            OpKind::Dequeue { queue: Key(1) },
+            Timestamp(6),
+            Timestamp(7),
+            OpResult::Value(Value(20)),
+        );
+        let cons = Constraints::new();
+        let seq = find_sequence(&h, &h.complete_ids(), &[], &cons).unwrap().unwrap();
+        // FIFO forces the full order.
+        assert_eq!(seq, vec![e1, e2, d1, d2]);
+    }
+
+    #[test]
+    fn optimized_and_reference_agree_on_small_histories() {
+        // A handful of hand-picked shapes; the exhaustive randomized check
+        // lives in tests/properties.rs.
+        let mut b = HistoryBuilder::new();
+        b.write(1, 1, 1, 0, 100);
+        b.read(2, 1, 1, 10, 20);
+        b.read(3, 1, 0, 30, 40);
+        b.pending_write(2, 2, 9, 50);
+        let h = b.build();
+        let cons = Constraints::from_edges(CausalOrder::new(&h).direct_edges().to_vec());
+        let required = h.complete_ids();
+        let optional = h.pending_mutations();
+        let fast = find_sequence(&h, &required, &optional, &cons).unwrap();
+        let slow = find_sequence_reference(&h, &required, &optional, &cons).unwrap();
+        assert_eq!(fast.is_some(), slow.is_some());
     }
 }

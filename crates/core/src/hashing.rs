@@ -1,0 +1,114 @@
+//! Small, fast, non-cryptographic hashing used by the checker hot paths.
+//!
+//! The exact-search memo table and the incremental spec-state fingerprint
+//! both need a hasher that is cheap per lookup; `std`'s default SipHash is
+//! measurably slower there. This module provides an FxHash-style
+//! multiply-xor hasher (the rustc / `rustc-hash` construction) plus a
+//! splitmix64 finalizer for fingerprint mixing, so the workspace needs no
+//! external hashing crate.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash construction: fold words in with rotate-xor-multiply.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_word(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add_word(n as u64);
+        self.add_word((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_word(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]-backed maps and sets.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A prehashed `HashSet` replacement keyed by `(u128, u64)` pairs, used for
+/// the search memo table.
+pub type FxSeenSet = std::collections::HashSet<(u128, u64), FxBuildHasher>;
+
+/// splitmix64 finalizer: a strong 64-bit mixer for fingerprint terms.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mixes a `(slot, payload)` pair into one fingerprint term. XORing terms
+/// built this way gives an order-independent, incrementally updatable set
+/// fingerprint.
+#[inline]
+pub fn mix_slot(slot: u64, payload: u64) -> u64 {
+    mix64(slot.wrapping_mul(0xA24B_AED4_963E_E407) ^ payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn hasher_is_deterministic_and_spreads() {
+        let build = FxBuildHasher::default();
+        let h = |v: (u128, u64)| build.hash_one(v);
+        assert_eq!(h((1, 2)), h((1, 2)));
+        assert_ne!(h((1, 2)), h((2, 1)));
+        assert_ne!(h((0, 0)), h((0, 1)));
+    }
+
+    #[test]
+    fn mix_terms_cancel_under_xor() {
+        let a = mix_slot(3, 40);
+        let b = mix_slot(7, 9);
+        assert_eq!(a ^ b ^ a, b, "equal terms cancel");
+        assert_ne!(mix_slot(3, 40), mix_slot(40, 3));
+    }
+}

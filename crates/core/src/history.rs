@@ -124,13 +124,27 @@ impl History {
         invoke: Timestamp,
     ) -> OpId {
         let id = OpId(self.ops.len() as u32);
-        self.ops.push(OpRecord { id, process, service, kind, invoke, response: None, result: None });
+        self.ops.push(OpRecord {
+            id,
+            process,
+            service,
+            kind,
+            invoke,
+            response: None,
+            result: None,
+        });
         id
     }
 
     /// Records a message between two application processes. Such messages are
     /// part of the causal order (Section 3.3, "message passing").
-    pub fn add_message(&mut self, from: ProcessId, sent_at: Timestamp, to: ProcessId, received_at: Timestamp) {
+    pub fn add_message(
+        &mut self,
+        from: ProcessId,
+        sent_at: Timestamp,
+        to: ProcessId,
+        received_at: Timestamp,
+    ) {
         self.messages.push(MessageEdge { from, sent_at, to, received_at });
     }
 
@@ -192,7 +206,14 @@ impl History {
             }
             match (&op.response, &op.result) {
                 (Some(resp), Some(result)) => {
-                    h.add_complete(op.process, op.service, op.kind.clone(), op.invoke, *resp, result.clone());
+                    h.add_complete(
+                        op.process,
+                        op.service,
+                        op.kind.clone(),
+                        op.invoke,
+                        *resp,
+                        result.clone(),
+                    );
                 }
                 _ => {
                     h.add_incomplete(op.process, op.service, op.kind.clone(), op.invoke);
@@ -218,11 +239,7 @@ impl History {
     /// may not be visible (the "extend with zero or more responses" clause in
     /// the RSS/RSC definitions).
     pub fn pending_mutations(&self) -> Vec<OpId> {
-        self.ops
-            .iter()
-            .filter(|o| !o.is_complete() && o.kind.is_mutating())
-            .map(|o| o.id)
-            .collect()
+        self.ops.iter().filter(|o| !o.is_complete() && o.kind.is_mutating()).map(|o| o.id).collect()
     }
 
     /// The distinct processes appearing in the history, sorted.
@@ -303,6 +320,394 @@ impl History {
             })
             .map(|o| o.id)
             .collect()
+    }
+}
+
+/// Discriminant of an operation kind, exposed by [`HistoryIndex`] so the hot
+/// checker loops can dispatch without touching the heap-carrying [`OpKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum KindTag {
+    /// `OpKind::Read`.
+    Read = 0,
+    /// `OpKind::Write`.
+    Write = 1,
+    /// `OpKind::Rmw`.
+    Rmw = 2,
+    /// `OpKind::RoTxn`.
+    RoTxn = 3,
+    /// `OpKind::RwTxn`.
+    RwTxn = 4,
+    /// `OpKind::Enqueue`.
+    Enqueue = 5,
+    /// `OpKind::Dequeue`.
+    Dequeue = 6,
+    /// `OpKind::Fence`.
+    Fence = 7,
+}
+
+/// Response instant used by [`HistoryIndex`] for incomplete operations.
+const NO_RESPONSE: u64 = u64::MAX;
+
+mod flags {
+    pub const MUTATING: u8 = 1 << 0;
+    pub const READ_ONLY: u8 = 1 << 1;
+    pub const COMPLETE: u8 = 1 << 2;
+    pub const HAS_RESULT: u8 = 1 << 3;
+    /// The recorded result's shape can never equal the shape a sequential
+    /// replay produces (e.g. a `Read` whose result is a `Values` list), so
+    /// the operation can never legally appear in a witness.
+    pub const UNSAT_RESULT: u8 = 1 << 4;
+}
+
+/// A dense, arena-backed index over a [`History`], built once per check.
+///
+/// Every checker used to re-derive the same facts inside its inner loops —
+/// `OpKind::written_keys` allocates a fresh `Vec` per call,
+/// `History::ops_of_process` re-sorts per call, and per-key grouping went
+/// through `HashMap<(ServiceId, Key), _>`. The index computes all of it in
+/// one pass:
+///
+/// * contiguous op indices (op ids are already dense) with O(1) scalar
+///   lookups for kind, interval, process, and service,
+/// * flattened read-/write-key arenas holding *dense key ids* (an interned
+///   `(service, key)` table), so per-key grouping is an array index,
+/// * recorded observed values aligned with the read-key arena, so replay
+///   checks need no `OpResult` reconstruction,
+/// * per-process operation lists sorted once.
+///
+/// Shared by the exact search ([`crate::checker::search`]), the model
+/// constraint builders ([`crate::checker::models`],
+/// [`crate::checker::proximal`]), and the certificate checker
+/// ([`crate::checker::certificate`]).
+#[derive(Debug, Clone)]
+pub struct HistoryIndex {
+    num_ops: usize,
+    invoke: Vec<u64>,
+    response: Vec<u64>,
+    service: Vec<u32>,
+    kind_tag: Vec<KindTag>,
+    flags: Vec<u8>,
+    read_key_off: Vec<u32>,
+    read_key_ids: Vec<u32>,
+    read_obs: Vec<u64>,
+    write_key_off: Vec<u32>,
+    write_key_ids: Vec<u32>,
+    write_vals: Vec<u64>,
+    key_table: Vec<(ServiceId, Key)>,
+    complete: Vec<OpId>,
+    pending_mutations: Vec<OpId>,
+    ops_by_process: Vec<(ProcessId, Vec<OpId>)>,
+}
+
+impl HistoryIndex {
+    /// Builds the index in one pass over the history.
+    pub fn new(history: &History) -> Self {
+        use crate::hashing::FxBuildHasher;
+        use std::collections::HashMap;
+
+        let n = history.len();
+        let mut index = HistoryIndex {
+            num_ops: n,
+            invoke: Vec::with_capacity(n),
+            response: Vec::with_capacity(n),
+            service: Vec::with_capacity(n),
+            kind_tag: Vec::with_capacity(n),
+            flags: Vec::with_capacity(n),
+            read_key_off: Vec::with_capacity(n + 1),
+            read_key_ids: Vec::new(),
+            read_obs: Vec::new(),
+            write_key_off: Vec::with_capacity(n + 1),
+            write_key_ids: Vec::new(),
+            write_vals: Vec::new(),
+            key_table: Vec::new(),
+            complete: Vec::new(),
+            pending_mutations: Vec::new(),
+            ops_by_process: Vec::new(),
+        };
+        let mut key_lookup: HashMap<(u32, u64), u32, FxBuildHasher> = HashMap::default();
+        let mut intern = |svc: ServiceId, key: Key, table: &mut Vec<(ServiceId, Key)>| -> u32 {
+            *key_lookup.entry((svc.0, key.0)).or_insert_with(|| {
+                table.push((svc, key));
+                (table.len() - 1) as u32
+            })
+        };
+
+        index.read_key_off.push(0);
+        index.write_key_off.push(0);
+        let mut process_slots: HashMap<ProcessId, usize, FxBuildHasher> = HashMap::default();
+        for op in history.ops() {
+            index.invoke.push(op.invoke.as_micros());
+            index.response.push(op.response.map_or(NO_RESPONSE, Timestamp::as_micros));
+            index.service.push(op.service.0);
+
+            let mut f = 0u8;
+            if op.kind.is_mutating() {
+                f |= flags::MUTATING;
+            }
+            if op.kind.is_read_only() {
+                f |= flags::READ_ONLY;
+            }
+            if op.is_complete() {
+                f |= flags::COMPLETE;
+                index.complete.push(op.id);
+            } else if op.kind.is_mutating() {
+                index.pending_mutations.push(op.id);
+            }
+            if op.result.is_some() {
+                f |= flags::HAS_RESULT;
+            }
+
+            let tag = match &op.kind {
+                OpKind::Read { .. } => KindTag::Read,
+                OpKind::Write { .. } => KindTag::Write,
+                OpKind::Rmw { .. } => KindTag::Rmw,
+                OpKind::RoTxn { .. } => KindTag::RoTxn,
+                OpKind::RwTxn { .. } => KindTag::RwTxn,
+                OpKind::Enqueue { .. } => KindTag::Enqueue,
+                OpKind::Dequeue { .. } => KindTag::Dequeue,
+                OpKind::Fence => KindTag::Fence,
+            };
+            index.kind_tag.push(tag);
+
+            // Read-/write-key arenas, with recorded observations (if any)
+            // aligned positionally per read key. A result whose shape cannot
+            // match a sequential replay marks the op unsatisfiable instead;
+            // for `Values` results the shape check guarantees
+            // `vs[j].0 == read_keys[j]`, so positional indexing is identical
+            // to whole-result equality even with duplicate keys. The kinds
+            // are matched inline so the build allocates nothing per op.
+            let usable_result = match &op.result {
+                Some(result) => {
+                    if result_shape_matches(&op.kind, result) {
+                        op.result.as_ref()
+                    } else {
+                        f |= flags::UNSAT_RESULT;
+                        None
+                    }
+                }
+                None => None,
+            };
+            let single_obs = match usable_result {
+                Some(OpResult::Value(v)) => v.0,
+                _ => Value::NULL.0,
+            };
+            let txn_obs = |j: usize| match usable_result {
+                Some(OpResult::Values(vs)) => vs[j].1 .0,
+                _ => Value::NULL.0,
+            };
+            match &op.kind {
+                OpKind::Read { key } | OpKind::Dequeue { queue: key } => {
+                    let id = intern(op.service, *key, &mut index.key_table);
+                    index.read_key_ids.push(id);
+                    index.read_obs.push(single_obs);
+                }
+                OpKind::Write { key, value } | OpKind::Enqueue { queue: key, value } => {
+                    let id = intern(op.service, *key, &mut index.key_table);
+                    index.write_key_ids.push(id);
+                    index.write_vals.push(value.0);
+                }
+                OpKind::Rmw { key, value } => {
+                    let id = intern(op.service, *key, &mut index.key_table);
+                    index.read_key_ids.push(id);
+                    index.read_obs.push(single_obs);
+                    index.write_key_ids.push(id);
+                    index.write_vals.push(value.0);
+                }
+                OpKind::RoTxn { keys } => {
+                    for (j, k) in keys.iter().enumerate() {
+                        let id = intern(op.service, *k, &mut index.key_table);
+                        index.read_key_ids.push(id);
+                        index.read_obs.push(txn_obs(j));
+                    }
+                }
+                OpKind::RwTxn { read_keys, writes } => {
+                    for (j, k) in read_keys.iter().enumerate() {
+                        let id = intern(op.service, *k, &mut index.key_table);
+                        index.read_key_ids.push(id);
+                        index.read_obs.push(txn_obs(j));
+                    }
+                    for (k, v) in writes {
+                        let id = intern(op.service, *k, &mut index.key_table);
+                        index.write_key_ids.push(id);
+                        index.write_vals.push(v.0);
+                    }
+                }
+                OpKind::Fence => {}
+            }
+            index.read_key_off.push(index.read_key_ids.len() as u32);
+            index.write_key_off.push(index.write_key_ids.len() as u32);
+
+            index.flags.push(f);
+
+            let slot = *process_slots.entry(op.process).or_insert_with(|| {
+                index.ops_by_process.push((op.process, Vec::new()));
+                index.ops_by_process.len() - 1
+            });
+            index.ops_by_process[slot].1.push(op.id);
+        }
+        index.ops_by_process.sort_by_key(|(p, _)| *p);
+        for (_, ids) in &mut index.ops_by_process {
+            ids.sort_by_key(|id| (index.invoke[id.index()], *id));
+        }
+        index
+    }
+
+    /// Number of operations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.num_ops
+    }
+
+    /// True if the history has no operations.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.num_ops == 0
+    }
+
+    /// The operation-kind discriminant.
+    #[inline]
+    pub fn kind_tag(&self, i: usize) -> KindTag {
+        self.kind_tag[i]
+    }
+
+    /// True if the operation mutates service state.
+    #[inline]
+    pub fn is_mutating(&self, i: usize) -> bool {
+        self.flags[i] & flags::MUTATING != 0
+    }
+
+    /// True if the operation is read-only.
+    #[inline]
+    pub fn is_read_only(&self, i: usize) -> bool {
+        self.flags[i] & flags::READ_ONLY != 0
+    }
+
+    /// True if the operation completed.
+    #[inline]
+    pub fn is_complete(&self, i: usize) -> bool {
+        self.flags[i] & flags::COMPLETE != 0
+    }
+
+    /// True if the operation has a recorded result to check against.
+    #[inline]
+    pub fn has_result(&self, i: usize) -> bool {
+        self.flags[i] & flags::HAS_RESULT != 0
+    }
+
+    /// True if the recorded result's shape can never match a replay (the
+    /// operation can never legally be placed in a sequence).
+    #[inline]
+    pub fn has_unsat_result(&self, i: usize) -> bool {
+        self.flags[i] & flags::UNSAT_RESULT != 0
+    }
+
+    /// Invocation instant in microseconds.
+    #[inline]
+    pub fn invoke_us(&self, i: usize) -> u64 {
+        self.invoke[i]
+    }
+
+    /// Response instant in microseconds, or `None` if incomplete.
+    #[inline]
+    pub fn response_us(&self, i: usize) -> Option<u64> {
+        let r = self.response[i];
+        (r != NO_RESPONSE).then_some(r)
+    }
+
+    /// True if op `a` precedes op `b` in real time.
+    #[inline]
+    pub fn real_time_precedes(&self, a: usize, b: usize) -> bool {
+        self.response[a] != NO_RESPONSE && self.response[a] < self.invoke[b]
+    }
+
+    /// Raw service id the operation targets.
+    #[inline]
+    pub fn service_raw(&self, i: usize) -> u32 {
+        self.service[i]
+    }
+
+    /// Dense key ids this operation reads (queue key for dequeues).
+    #[inline]
+    pub fn read_key_ids(&self, i: usize) -> &[u32] {
+        &self.read_key_ids[self.read_key_off[i] as usize..self.read_key_off[i + 1] as usize]
+    }
+
+    /// Recorded observed values aligned with [`HistoryIndex::read_key_ids`];
+    /// meaningful only when [`HistoryIndex::has_result`] holds and the op is
+    /// not [`HistoryIndex::has_unsat_result`].
+    #[inline]
+    pub fn read_observations(&self, i: usize) -> &[u64] {
+        &self.read_obs[self.read_key_off[i] as usize..self.read_key_off[i + 1] as usize]
+    }
+
+    /// Dense key ids this operation writes (queue key for enqueues).
+    #[inline]
+    pub fn write_key_ids(&self, i: usize) -> &[u32] {
+        &self.write_key_ids[self.write_key_off[i] as usize..self.write_key_off[i + 1] as usize]
+    }
+
+    /// Values written, aligned with [`HistoryIndex::write_key_ids`].
+    #[inline]
+    pub fn write_values(&self, i: usize) -> &[u64] {
+        &self.write_vals[self.write_key_off[i] as usize..self.write_key_off[i + 1] as usize]
+    }
+
+    /// Number of distinct `(service, key)` pairs in the history.
+    #[inline]
+    pub fn num_dense_keys(&self) -> usize {
+        self.key_table.len()
+    }
+
+    /// Ids of all complete operations, in insertion order.
+    #[inline]
+    pub fn complete_ids(&self) -> &[OpId] {
+        &self.complete
+    }
+
+    /// Ids of incomplete mutating operations, in insertion order.
+    #[inline]
+    pub fn pending_mutations(&self) -> &[OpId] {
+        &self.pending_mutations
+    }
+
+    /// Per-process operation lists, sorted by process id; each list is sorted
+    /// by `(invoke, id)`.
+    #[inline]
+    pub fn ops_by_process(&self) -> &[(ProcessId, Vec<OpId>)] {
+        &self.ops_by_process
+    }
+
+    /// Direct process-order pairs: for every process, each pair of
+    /// consecutive operations (the full process order is the transitive
+    /// closure). The shared source for every checker's process-order
+    /// constraint.
+    pub fn process_order_pairs(&self) -> impl Iterator<Item = (OpId, OpId)> + '_ {
+        self.ops_by_process.iter().flat_map(|(_, ids)| ids.windows(2).map(|w| (w[0], w[1])))
+    }
+}
+
+/// True if `result`'s shape is the one a sequential replay of `kind` would
+/// produce (replay checks compare per key only when this holds).
+fn result_shape_matches(kind: &OpKind, result: &OpResult) -> bool {
+    match kind {
+        OpKind::Write { .. } | OpKind::Enqueue { .. } | OpKind::Fence => true,
+        OpKind::Read { .. } | OpKind::Rmw { .. } | OpKind::Dequeue { .. } => {
+            matches!(result, OpResult::Value(_))
+        }
+        OpKind::RoTxn { keys } => match result {
+            OpResult::Values(vs) => {
+                vs.len() == keys.len() && vs.iter().zip(keys).all(|((k, _), key)| k == key)
+            }
+            _ => false,
+        },
+        OpKind::RwTxn { read_keys, .. } => match result {
+            OpResult::Values(vs) => {
+                vs.len() == read_keys.len()
+                    && vs.iter().zip(read_keys).all(|((k, _), key)| k == key)
+            }
+            _ => false,
+        },
     }
 }
 
@@ -389,7 +794,12 @@ impl HistoryBuilder {
 
     /// Adds an out-of-band message between processes.
     pub fn message(&mut self, from: u32, sent_at: u64, to: u32, received_at: u64) -> &mut Self {
-        self.history.add_message(ProcessId(from), Timestamp(sent_at), ProcessId(to), Timestamp(received_at));
+        self.history.add_message(
+            ProcessId(from),
+            Timestamp(sent_at),
+            ProcessId(to),
+            Timestamp(received_at),
+        );
         self
     }
 

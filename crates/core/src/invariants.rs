@@ -118,7 +118,8 @@ pub fn check_i1(history: &History, keys: &PhotoAppKeys) -> Result<(), InvariantV
             // Later reads of the photo by the same process.
             for later_id in history.ops_of_process(op.process) {
                 let later = history.op(later_id);
-                if later.invoke < op.invoke || later.id == op.id || later.service != keys.kv_service {
+                if later.invoke < op.invoke || later.id == op.id || later.service != keys.kv_service
+                {
                     continue;
                 }
                 if let Some(photo_value) = later.observed_value(keys.photo(i)) {
@@ -288,7 +289,10 @@ pub mod scenarios {
             keys.kv_service,
             OpKind::RwTxn {
                 read_keys: vec![keys.album],
-                writes: vec![(keys.photo(photo), keys.photo_data(photo)), (keys.album, keys.album_value(&all))],
+                writes: vec![
+                    (keys.photo(photo), keys.photo_data(photo)),
+                    (keys.album, keys.album_value(&all)),
+                ],
             },
             Timestamp(invoke),
             Timestamp(response),
@@ -307,7 +311,10 @@ pub mod scenarios {
             OpKind::RoTxn { keys: vec![keys.album, keys.photo(1)] },
             Timestamp(20),
             Timestamp(30),
-            OpResult::Values(vec![(keys.album, keys.album_value(&[1])), (keys.photo(1), Value::NULL)]),
+            OpResult::Values(vec![
+                (keys.album, keys.album_value(&[1])),
+                (keys.photo(1), Value::NULL),
+            ]),
         );
         h
     }
@@ -392,7 +399,10 @@ pub mod scenarios {
             keys.kv_service,
             OpKind::RwTxn {
                 read_keys: vec![keys.album],
-                writes: vec![(keys.photo(1), keys.photo_data(1)), (keys.album, keys.album_value(&[1]))],
+                writes: vec![
+                    (keys.photo(1), keys.photo_data(1)),
+                    (keys.album, keys.album_value(&[1])),
+                ],
             },
             Timestamp(0),
         );

@@ -48,6 +48,7 @@
 
 pub mod checker;
 pub mod fence;
+pub mod hashing;
 pub mod history;
 pub mod invariants;
 pub mod op;
@@ -60,7 +61,7 @@ pub use checker::certificate::{check_witness, WitnessModel, WitnessViolation};
 pub use checker::models::{check, satisfies, CheckOutcome, Model};
 pub use checker::proximal::{check_proximal, ProximalModel};
 pub use fence::FencedService;
-pub use history::{History, HistoryBuilder, MessageEdge, OpRecord};
+pub use history::{History, HistoryBuilder, HistoryIndex, MessageEdge, OpRecord};
 pub use op::{OpKind, OpResult};
 pub use order::CausalOrder;
 pub use transform::{transform, TransformedExecution};

@@ -48,7 +48,10 @@ impl OpKind {
     pub fn is_mutating(&self) -> bool {
         matches!(
             self,
-            OpKind::Write { .. } | OpKind::Rmw { .. } | OpKind::RwTxn { .. } | OpKind::Enqueue { .. }
+            OpKind::Write { .. }
+                | OpKind::Rmw { .. }
+                | OpKind::RwTxn { .. }
+                | OpKind::Enqueue { .. }
         )
     }
 
@@ -130,7 +133,9 @@ impl OpResult {
     pub fn value_for(&self, key: Key, kind: &OpKind) -> Option<Value> {
         match self {
             OpResult::Value(v) => match kind {
-                OpKind::Read { key: k } | OpKind::Rmw { key: k, .. } | OpKind::Dequeue { queue: k } => {
+                OpKind::Read { key: k }
+                | OpKind::Rmw { key: k, .. }
+                | OpKind::Dequeue { queue: k } => {
                     if *k == key {
                         Some(*v)
                     } else {
@@ -204,7 +209,9 @@ mod tests {
         assert_eq!(op.read_keys(), vec![Key(1), Key(2)]);
         assert_eq!(op.written_keys(), vec![Key(2), Key(3)]);
         let accessed = op.accessed_keys();
-        assert!(accessed.contains(&Key(1)) && accessed.contains(&Key(2)) && accessed.contains(&Key(3)));
+        assert!(
+            accessed.contains(&Key(1)) && accessed.contains(&Key(2)) && accessed.contains(&Key(3))
+        );
         assert_eq!(accessed.len(), 3);
         assert_eq!(op.written_values(), vec![(Key(2), Value(9)), (Key(3), Value(9))]);
     }

@@ -172,12 +172,11 @@ impl CausalOrder {
         }
         // Floyd–Warshall style closure; n is small here.
         for k in 0..self.n {
-            for i in 0..self.n {
-                if reach[i][k] {
-                    for j in 0..self.n {
-                        if reach[k][j] {
-                            reach[i][j] = true;
-                        }
+            let row_k = reach[k].clone();
+            for row in reach.iter_mut() {
+                if row[k] {
+                    for (cell, &via_k) in row.iter_mut().zip(&row_k) {
+                        *cell |= via_k;
                     }
                 }
             }

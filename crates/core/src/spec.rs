@@ -114,6 +114,222 @@ impl SpecState {
     }
 }
 
+/// Entry in the [`IndexedSpecState`] undo log.
+#[derive(Debug, Clone, Copy)]
+enum UndoEntry {
+    /// A key-value slot changed; restore the old value.
+    Kv { slot: u32, old: u64 },
+    /// A value was pushed to the back of a queue; pop it.
+    QueuePush { slot: u32 },
+    /// A value was popped from the front of a queue; push it back.
+    QueuePop { slot: u32, value: u64 },
+}
+
+/// Sequential service state over the dense key ids of a
+/// [`crate::history::HistoryIndex`]: flat arrays instead of hash maps, an
+/// incrementally maintained fingerprint, and an undo log so the exact search
+/// can backtrack without cloning.
+///
+/// This is the hot-path twin of [`SpecState`]; the public replay API
+/// ([`check_sequence`]) keeps the map-based implementation because it works
+/// without an index.
+#[derive(Debug, Clone)]
+pub struct IndexedSpecState {
+    kv: Vec<u64>,
+    queues: Vec<std::collections::VecDeque<u64>>,
+    /// Monotonic count of pops per queue, giving every queue element a stable
+    /// absolute position for the fingerprint.
+    queue_heads: Vec<u64>,
+    fingerprint: u64,
+    undo_log: Vec<UndoEntry>,
+}
+
+impl IndexedSpecState {
+    /// The empty initial state for a history with `num_keys` dense keys.
+    pub fn new(num_keys: usize) -> Self {
+        IndexedSpecState {
+            kv: vec![Value::NULL.0; num_keys],
+            queues: vec![std::collections::VecDeque::new(); num_keys],
+            queue_heads: vec![0; num_keys],
+            fingerprint: 0,
+            undo_log: Vec::new(),
+        }
+    }
+
+    /// The current fingerprint. Maintained incrementally: O(1) to read.
+    ///
+    /// Equal states always have equal fingerprints for the key-value part;
+    /// queue fingerprints additionally mix in absolute element positions,
+    /// which are a function of how many dequeues have been applied (for a
+    /// fixed scheduled-set mask that count is fixed, so the memo key stays
+    /// sound).
+    #[inline]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// A checkpoint to [`IndexedSpecState::rollback`] to.
+    #[inline]
+    pub fn checkpoint(&self) -> usize {
+        self.undo_log.len()
+    }
+
+    /// Rolls the state back to a previous checkpoint.
+    pub fn rollback(&mut self, checkpoint: usize) {
+        while self.undo_log.len() > checkpoint {
+            match self.undo_log.pop().expect("log is non-empty") {
+                UndoEntry::Kv { slot, old } => self.set_kv(slot, old),
+                UndoEntry::QueuePush { slot } => {
+                    let s = slot as usize;
+                    let v = self.queues[s].pop_back().expect("undo of recorded push");
+                    let pos = self.queue_heads[s] + self.queues[s].len() as u64;
+                    self.fingerprint ^= queue_term(slot, pos, v);
+                }
+                UndoEntry::QueuePop { slot, value } => {
+                    let s = slot as usize;
+                    self.queues[s].push_front(value);
+                    self.queue_heads[s] -= 1;
+                    self.fingerprint ^= queue_term(slot, self.queue_heads[s], value);
+                }
+            }
+        }
+    }
+
+    /// Current value of a key slot.
+    #[inline]
+    pub fn get(&self, slot: u32) -> u64 {
+        self.kv[slot as usize]
+    }
+
+    #[inline]
+    fn set_kv(&mut self, slot: u32, value: u64) {
+        let old = std::mem::replace(&mut self.kv[slot as usize], value);
+        if old != value {
+            self.fingerprint ^= kv_term(slot, old) ^ kv_term(slot, value);
+        }
+    }
+
+    /// Writes `value` to a key slot, recording the undo entry.
+    #[inline]
+    pub fn write(&mut self, slot: u32, value: u64) {
+        let old = self.kv[slot as usize];
+        self.undo_log.push(UndoEntry::Kv { slot, old });
+        self.set_kv(slot, value);
+    }
+
+    /// Enqueues `value` on a queue slot, recording the undo entry.
+    pub fn enqueue(&mut self, slot: u32, value: u64) {
+        let s = slot as usize;
+        let pos = self.queue_heads[s] + self.queues[s].len() as u64;
+        self.queues[s].push_back(value);
+        self.fingerprint ^= queue_term(slot, pos, value);
+        self.undo_log.push(UndoEntry::QueuePush { slot });
+    }
+
+    /// Dequeues from a queue slot (null if empty), recording the undo entry.
+    pub fn dequeue(&mut self, slot: u32) -> u64 {
+        let s = slot as usize;
+        match self.queues[s].pop_front() {
+            Some(v) => {
+                self.fingerprint ^= queue_term(slot, self.queue_heads[s], v);
+                self.queue_heads[s] += 1;
+                self.undo_log.push(UndoEntry::QueuePop { slot, value: v });
+                v
+            }
+            None => Value::NULL.0,
+        }
+    }
+
+    /// Applies operation `i` of `index` and checks its recorded result.
+    ///
+    /// Returns `true` if the operation is compatible with the current state
+    /// (its effects are applied); returns `false` *with the state unchanged*
+    /// if the recorded result contradicts the replay.
+    pub fn apply_checked(&mut self, index: &crate::history::HistoryIndex, i: usize) -> bool {
+        use crate::history::KindTag;
+
+        if index.has_unsat_result(i) {
+            return false;
+        }
+        let check = index.has_result(i);
+        match index.kind_tag(i) {
+            KindTag::Fence => true,
+            KindTag::Read | KindTag::RoTxn => {
+                if check {
+                    let keys = index.read_key_ids(i);
+                    let obs = index.read_observations(i);
+                    for (k, o) in keys.iter().zip(obs) {
+                        if self.get(*k) != *o {
+                            return false;
+                        }
+                    }
+                }
+                true
+            }
+            KindTag::Write => {
+                let keys = index.write_key_ids(i);
+                let vals = index.write_values(i);
+                self.write(keys[0], vals[0]);
+                true
+            }
+            KindTag::Rmw => {
+                if check {
+                    let obs = index.read_observations(i);
+                    if self.get(index.read_key_ids(i)[0]) != obs[0] {
+                        return false;
+                    }
+                }
+                let keys = index.write_key_ids(i);
+                let vals = index.write_values(i);
+                self.write(keys[0], vals[0]);
+                true
+            }
+            KindTag::RwTxn => {
+                if check {
+                    let keys = index.read_key_ids(i);
+                    let obs = index.read_observations(i);
+                    for (k, o) in keys.iter().zip(obs) {
+                        if self.get(*k) != *o {
+                            return false;
+                        }
+                    }
+                }
+                let keys = index.write_key_ids(i);
+                let vals = index.write_values(i);
+                for (k, v) in keys.iter().zip(vals) {
+                    self.write(*k, *v);
+                }
+                true
+            }
+            KindTag::Enqueue => {
+                let keys = index.write_key_ids(i);
+                let vals = index.write_values(i);
+                self.enqueue(keys[0], vals[0]);
+                true
+            }
+            KindTag::Dequeue => {
+                let cp = self.checkpoint();
+                let popped = self.dequeue(index.read_key_ids(i)[0]);
+                if check && popped != index.read_observations(i)[0] {
+                    self.rollback(cp);
+                    return false;
+                }
+                true
+            }
+        }
+    }
+}
+
+#[inline]
+fn kv_term(slot: u32, value: u64) -> u64 {
+    crate::hashing::mix_slot(slot as u64, value)
+}
+
+#[inline]
+fn queue_term(slot: u32, pos: u64, value: u64) -> u64 {
+    crate::hashing::mix_slot((slot as u64) | (pos << 32), value.rotate_left(17))
+}
+
 /// Replays `order` (a candidate legal sequence `S ∈ 𝔖`) against the
 /// specification and checks every *complete* operation's recorded result.
 ///
@@ -170,10 +386,7 @@ mod tests {
         s.apply(svc, &OpKind::Write { key: Key(1), value: Value(1) });
         let r = s.apply(
             svc,
-            &OpKind::RwTxn {
-                read_keys: vec![Key(1), Key(2)],
-                writes: vec![(Key(2), Value(7))],
-            },
+            &OpKind::RwTxn { read_keys: vec![Key(1), Key(2)], writes: vec![(Key(2), Value(7))] },
         );
         assert_eq!(r, OpResult::Values(vec![(Key(1), Value(1)), (Key(2), Value::NULL)]));
         let r = s.apply(svc, &OpKind::RoTxn { keys: vec![Key(2)] });

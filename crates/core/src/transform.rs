@@ -57,14 +57,34 @@ pub struct TransformedExecution {
 fn action_schedule(history: &History) -> Vec<ActionInfo> {
     let mut actions = Vec::new();
     for op in history.ops() {
-        actions.push(ActionInfo { action: Action::Invoke(op.id), process: op.process, time: op.invoke, tie: 2 });
+        actions.push(ActionInfo {
+            action: Action::Invoke(op.id),
+            process: op.process,
+            time: op.invoke,
+            tie: 2,
+        });
         if let Some(resp) = op.response {
-            actions.push(ActionInfo { action: Action::Respond(op.id), process: op.process, time: resp, tie: 0 });
+            actions.push(ActionInfo {
+                action: Action::Respond(op.id),
+                process: op.process,
+                time: resp,
+                tie: 0,
+            });
         }
     }
     for (i, m) in history.messages().iter().enumerate() {
-        actions.push(ActionInfo { action: Action::Send(i), process: m.from, time: m.sent_at, tie: 1 });
-        actions.push(ActionInfo { action: Action::Receive(i), process: m.to, time: m.received_at, tie: 0 });
+        actions.push(ActionInfo {
+            action: Action::Send(i),
+            process: m.from,
+            time: m.sent_at,
+            tie: 1,
+        });
+        actions.push(ActionInfo {
+            action: Action::Receive(i),
+            process: m.to,
+            time: m.received_at,
+            tie: 0,
+        });
     }
     actions.sort_by_key(|a| (a.time, a.tie));
     actions

@@ -67,7 +67,9 @@ impl Value {
 ///
 /// Application processes cannot observe this clock; it exists only in the
 /// formal model (and in the simulator harness recording histories).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Timestamp(pub u64);
 
 impl Timestamp {

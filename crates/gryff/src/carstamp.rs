@@ -10,7 +10,9 @@
 use serde::{Deserialize, Serialize};
 
 /// A carstamp: a logical count plus the writer's identifier for tie-breaking.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Carstamp {
     /// Logical counter (dominant component).
     pub count: u64,

@@ -217,8 +217,12 @@ impl GryffClient {
                 op.carried_dep = dep.is_some();
                 op.write_value = self.fresh_value(ctx);
                 op.phase = OpPhase::RmwWait;
-                let coordinator = self.cfg.replicas[(key.0 % self.cfg.replicas.len() as u64) as usize];
-                ctx.send(coordinator, GryffMsg::Rmw { op: op_ref, key, new_value: op.write_value, dep });
+                let coordinator =
+                    self.cfg.replicas[(key.0 % self.cfg.replicas.len() as u64) as usize];
+                ctx.send(
+                    coordinator,
+                    GryffMsg::Rmw { op: op_ref, key, new_value: op.write_value, dep },
+                );
             }
             OpRequest::Fence => {
                 match (self.cfg.mode, self.dep) {
@@ -228,7 +232,15 @@ impl GryffClient {
                         op.phase = OpPhase::FenceRound;
                         op.max = (d.cs, d.value);
                         for &r in &self.cfg.replicas {
-                            ctx.send(r, GryffMsg::Write2 { op: op_ref, key: d.key, value: d.value, cs: d.cs });
+                            ctx.send(
+                                r,
+                                GryffMsg::Write2 {
+                                    op: op_ref,
+                                    key: d.key,
+                                    value: d.value,
+                                    cs: d.cs,
+                                },
+                            );
                         }
                     }
                     _ => {
@@ -259,7 +271,13 @@ impl GryffClient {
         self.set_timer(ctx, think, TimerAction::StartOp { session });
     }
 
-    fn finish_op(&mut self, ctx: &mut Context<GryffMsg>, seq: u64, read_value: Value, carstamp: Carstamp) {
+    fn finish_op(
+        &mut self,
+        ctx: &mut Context<GryffMsg>,
+        seq: u64,
+        read_value: Value,
+        carstamp: Carstamp,
+    ) {
         let op = self.ops.remove(&seq).expect("operation exists");
         match op.request {
             OpRequest::Read { .. } => {

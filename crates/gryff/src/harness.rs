@@ -115,7 +115,8 @@ pub struct GryffRunResult {
 ///
 /// Panics if the configuration is invalid.
 pub fn run_gryff(spec: GryffClusterSpec) -> GryffRunResult {
-    let GryffClusterSpec { config, net, seed, clients, stop_issuing_at, drain, measure_from } = spec;
+    let GryffClusterSpec { config, net, seed, clients, stop_issuing_at, drain, measure_from } =
+        spec;
     config.validate().expect("invalid Gryff configuration");
     let engine_cfg = EngineConfig {
         default_service_time: config.replica_service_time,
@@ -222,12 +223,9 @@ pub fn build_history(result: &GryffRunResult) -> (History, Vec<(OpId, OpId)>) {
                 OpRequest::Read { key } => {
                     (OpKind::Read { key }, OpResult::Value(op.read_value), Some(key), 1)
                 }
-                OpRequest::Write { key } => (
-                    OpKind::Write { key, value: op.written_value },
-                    OpResult::Ack,
-                    Some(key),
-                    0,
-                ),
+                OpRequest::Write { key } => {
+                    (OpKind::Write { key, value: op.written_value }, OpResult::Ack, Some(key), 0)
+                }
                 OpRequest::Rmw { key } => (
                     OpKind::Rmw { key, value: op.written_value },
                     OpResult::Value(op.read_value),
@@ -245,7 +243,12 @@ pub fn build_history(result: &GryffRunResult) -> (History, Vec<(OpId, OpId)>) {
                 opres,
             );
             if let Some(k) = key {
-                per_key.entry(k.0).or_default().push((op.carstamp, rank, op.finish.as_micros(), id));
+                per_key.entry(k.0).or_default().push((
+                    op.carstamp,
+                    rank,
+                    op.finish.as_micros(),
+                    id,
+                ));
             }
             per_process.entry(pid).or_default().push((op.invoke.as_micros(), id));
         }

@@ -116,7 +116,13 @@ impl GryffReplica {
         }
     }
 
-    fn handle_rmw_reply_read(&mut self, ctx: &mut Context<GryffMsg>, internal: u64, value: Value, cs: Carstamp) {
+    fn handle_rmw_reply_read(
+        &mut self,
+        ctx: &mut Context<GryffMsg>,
+        internal: u64,
+        value: Value,
+        cs: Carstamp,
+    ) {
         let writer = ctx.node_id() as u64 + 1_000;
         let ready = {
             let Some(coord) = self.rmws.get_mut(&internal) else { return };

@@ -76,7 +76,9 @@ impl ConflictWorkload {
             Key(rng.gen_range(0..self.shared_keys))
         } else {
             // Private keys live far above the shared range, partitioned per client.
-            Key(1_000_000 + self.client_id * self.private_keys + rng.gen_range(0..self.private_keys))
+            Key(1_000_000
+                + self.client_id * self.private_keys
+                + rng.gen_range(0..self.private_keys))
         }
     }
 }
@@ -86,7 +88,9 @@ impl GryffWorkload for ConflictWorkload {
         if self.rmw_ratio > 0.0 && rng.gen_bool(self.rmw_ratio) {
             // Rmws target a dedicated counter range shared by all clients so
             // they exercise the consensus path without racing plain writes.
-            return OpRequest::Rmw { key: Key(900_000 + rng.gen_range(0..self.shared_keys.max(1))) };
+            return OpRequest::Rmw {
+                key: Key(900_000 + rng.gen_range(0..self.shared_keys.max(1))),
+            };
         }
         let key = self.pick_key(rng);
         if rng.gen_bool(self.write_ratio) {
@@ -139,10 +143,8 @@ mod tests {
                         shared += 1;
                     }
                 }
-                OpRequest::Read { key } => {
-                    if key.0 < 1_000 {
-                        shared += 1;
-                    }
+                OpRequest::Read { key } if key.0 < 1_000 => {
+                    shared += 1;
                 }
                 _ => {}
             }

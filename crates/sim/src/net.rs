@@ -71,21 +71,14 @@ impl LatencyMatrix {
 
     /// A single region where every message takes `one_way` to deliver.
     pub fn single_region(one_way: SimDuration) -> Self {
-        LatencyMatrix {
-            rtt: vec![vec![one_way * 2]],
-            jitter: SimDuration::ZERO,
-        }
+        LatencyMatrix { rtt: vec![vec![one_way * 2]], jitter: SimDuration::ZERO }
     }
 
     /// The three-region EC2 configuration of the Spanner evaluation (§6):
     /// CA–VA = 62 ms, CA–IR = 136 ms, VA–IR = 68 ms; 0.2 ms within a region.
     pub fn spanner_wan() -> Self {
         Self::from_rtt_ms(
-            &[
-                &[0.2, 62.0, 136.0],
-                &[62.0, 0.2, 68.0],
-                &[136.0, 68.0, 0.2],
-            ],
+            &[&[0.2, 62.0, 136.0], &[62.0, 0.2, 68.0], &[136.0, 68.0, 0.2]],
             SimDuration::from_micros(200),
         )
     }
@@ -162,11 +155,7 @@ impl LatencyMatrix {
 
     /// The minimum round-trip time from `from` to any of `peers`.
     pub fn min_rtt_to(&self, from: Region, peers: &[Region]) -> Option<SimDuration> {
-        peers
-            .iter()
-            .filter(|r| **r != from)
-            .map(|r| self.rtt(from, *r))
-            .min()
+        peers.iter().filter(|r| **r != from).map(|r| self.rtt(from, *r)).min()
     }
 
     /// The RTT from `from` to the `k`-th closest of `peers` (0-indexed,
@@ -174,11 +163,8 @@ impl LatencyMatrix {
     /// replies: with `q` remote acknowledgements required, the wait is the
     /// RTT to the `(q-1)`-th closest peer.
     pub fn kth_closest_rtt(&self, from: Region, peers: &[Region], k: usize) -> Option<SimDuration> {
-        let mut rtts: Vec<SimDuration> = peers
-            .iter()
-            .filter(|r| **r != from)
-            .map(|r| self.rtt(from, *r))
-            .collect();
+        let mut rtts: Vec<SimDuration> =
+            peers.iter().filter(|r| **r != from).map(|r| self.rtt(from, *r)).collect();
         rtts.sort();
         rtts.get(k).copied()
     }
@@ -249,10 +235,7 @@ mod tests {
         // California's nearest peer is Virginia (62 ms < 136 ms).
         assert_eq!(m.nearest_peer(regions::CALIFORNIA), Some(regions::VIRGINIA));
         let peers = [regions::CALIFORNIA, regions::VIRGINIA, regions::IRELAND];
-        assert_eq!(
-            m.min_rtt_to(regions::CALIFORNIA, &peers),
-            Some(SimDuration::from_millis(62))
-        );
+        assert_eq!(m.min_rtt_to(regions::CALIFORNIA, &peers), Some(SimDuration::from_millis(62)));
         // Majority of 3 replicas needs 1 remote ack: the closest peer.
         assert_eq!(
             m.kth_closest_rtt(regions::CALIFORNIA, &peers, 0),

@@ -203,7 +203,12 @@ impl ClientNode {
         }
     }
 
-    fn set_timer(&mut self, ctx: &mut Context<SpannerMsg>, delay: SimDuration, action: TimerAction) -> u64 {
+    fn set_timer(
+        &mut self,
+        ctx: &mut Context<SpannerMsg>,
+        delay: SimDuration,
+        action: TimerAction,
+    ) -> u64 {
         let tag = self.next_timer;
         self.next_timer += 1;
         self.timers.insert(tag, action);
@@ -306,7 +311,10 @@ impl ClientNode {
                 for &s in &shards {
                     let shard_keys: Vec<Key> =
                         keys.iter().filter(|k| self.shard_of(**k) == s).copied().collect();
-                    ctx.send(self.cfg.shard_nodes[s], SpannerMsg::ExecRead { txn: txn_id, keys: shard_keys });
+                    ctx.send(
+                        self.cfg.shard_nodes[s],
+                        SpannerMsg::ExecRead { txn: txn_id, keys: shard_keys },
+                    );
                 }
                 let t = self.txns.get_mut(&seq).expect("transaction exists");
                 t.phase = Phase::Execute { pending };

@@ -8,10 +8,10 @@
 //! snapshot timestamps), mirroring the construction in the paper's proof of
 //! correctness (Appendix D.1).
 
+use regular_core::checker::certificate::{check_witness, WitnessModel, WitnessViolation};
 use regular_core::history::History;
 use regular_core::op::{OpKind, OpResult};
 use regular_core::types::{OpId, ProcessId, ServiceId, Timestamp};
-use regular_core::checker::certificate::{check_witness, WitnessModel, WitnessViolation};
 use regular_sim::engine::{Context, Engine, EngineConfig, Node, NodeId};
 use regular_sim::metrics::LatencyRecorder;
 use regular_sim::net::LatencyMatrix;
@@ -126,7 +126,8 @@ pub fn run_cluster(spec: ClusterSpec) -> RunResult {
         let delay = config.replication_delay(shard, &net);
         replication_delays.push(delay);
         let node = SpannerNode::Shard(ShardNode::new(&config, shard, delay));
-        let id = engine.add_node_with(node, config.leader_regions[shard], config.shard_service_time);
+        let id =
+            engine.add_node_with(node, config.leader_regions[shard], config.shard_service_time);
         shard_nodes.push(id);
     }
     // Then clients.
@@ -276,10 +277,7 @@ mod tests {
         let clients = (0..3)
             .map(|i| ClientSpec {
                 region: i % 3,
-                driver: Driver::ClosedLoop {
-                    sessions: 4,
-                    think_time: SimDuration::ZERO,
-                },
+                driver: Driver::ClosedLoop { sessions: 4, think_time: SimDuration::ZERO },
                 workload: Box::new(UniformWorkload {
                     num_keys: skewless_keys,
                     ro_fraction: 0.5,

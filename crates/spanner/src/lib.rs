@@ -49,7 +49,9 @@ pub mod workload;
 pub mod prelude {
     pub use crate::client::{ClientConfig, ClientNode, ClientStats, CompletedTxn, Driver};
     pub use crate::config::{Mode, SpannerConfig};
-    pub use crate::harness::{build_history, run_cluster, verify_run, ClientSpec, ClusterSpec, RunResult};
+    pub use crate::harness::{
+        build_history, run_cluster, verify_run, ClientSpec, ClusterSpec, RunResult,
+    };
     pub use crate::messages::{SpannerMsg, TxnId};
     pub use crate::workload::{ScriptedWorkload, SpannerWorkload, TxnRequest, UniformWorkload};
 }

@@ -200,7 +200,13 @@ impl ShardNode {
     /// Applies a commit/abort decision locally: installs writes, releases
     /// locks, wakes queued prepares, and resolves read-only transactions that
     /// were blocked on (or watching) this transaction.
-    fn apply_decision(&mut self, ctx: &mut Context<SpannerMsg>, txn: TxnId, commit: bool, t_commit: Ts) {
+    fn apply_decision(
+        &mut self,
+        ctx: &mut Context<SpannerMsg>,
+        txn: TxnId,
+        commit: bool,
+        t_commit: Ts,
+    ) {
         let prepared = self.prepared.remove(&txn);
         let pending = self.pending_prepares.remove(&txn);
         let written: Vec<(Key, Value)> = match (&prepared, commit) {
@@ -283,7 +289,14 @@ impl ShardNode {
     /// baseline replies with the snapshot at `t_read`; Spanner-RSS sends a
     /// fast reply listing any still-prepared conflicting transactions it
     /// skipped and registers a watcher for their outcomes.
-    fn answer_ro(&mut self, ctx: &mut Context<SpannerMsg>, client: NodeId, txn: TxnId, keys: &[Key], t_read: Ts) {
+    fn answer_ro(
+        &mut self,
+        ctx: &mut Context<SpannerMsg>,
+        client: NodeId,
+        txn: TxnId,
+        keys: &[Key],
+        t_read: Ts,
+    ) {
         let values = self.read_values(keys, t_read);
         match self.mode {
             Mode::Spanner => {
@@ -304,7 +317,10 @@ impl ShardNode {
                         pending: skipped.iter().map(|p| p.txn).collect(),
                     });
                 }
-                ctx.send(client, SpannerMsg::RoFastReply { txn, shard: ctx.node_id(), skipped, values });
+                ctx.send(
+                    client,
+                    SpannerMsg::RoFastReply { txn, shard: ctx.node_id(), skipped, values },
+                );
             }
         }
     }
@@ -330,9 +346,7 @@ impl ShardNode {
             // read-only transaction started: t_ee ≤ t_read).
             Mode::SpannerRss => conflicting
                 .iter()
-                .filter(|(_, t_p, t_ee)| {
-                    self.disable_tee_skip || *t_p <= t_min || *t_ee <= t_read
-                })
+                .filter(|(_, t_p, t_ee)| self.disable_tee_skip || *t_p <= t_min || *t_ee <= t_read)
                 .map(|(id, _, _)| *id)
                 .collect(),
         };
@@ -372,7 +386,10 @@ impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
                     },
                 );
                 for (node, writes) in writes_by_shard {
-                    ctx.send(node, SpannerMsg::Prepare { txn, writes, t_ee, coordinator: ctx.node_id() });
+                    ctx.send(
+                        node,
+                        SpannerMsg::Prepare { txn, writes, t_ee, coordinator: ctx.node_id() },
+                    );
                 }
             }
             SpannerMsg::Prepare { txn, writes, t_ee, coordinator } => {
@@ -384,7 +401,8 @@ impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
                 state.max_prepare = state.max_prepare.max(t_prepare);
                 if state.awaiting.is_empty() && !state.aborted {
                     let tt = ctx.truetime_now();
-                    let t_commit = state.max_prepare.max(self.max_ts + 1).max(tt.latest.as_micros());
+                    let t_commit =
+                        state.max_prepare.max(self.max_ts + 1).max(tt.latest.as_micros());
                     self.max_ts = self.max_ts.max(t_commit);
                     // The commit record must be replicated, then commit wait
                     // must elapse before the outcome is released.
@@ -413,9 +431,15 @@ impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
                         let participants = state.participants.clone();
                         let client = state.client;
                         for p in participants {
-                            ctx.send(p, SpannerMsg::CommitDecision { txn, commit: false, t_commit: 0 });
+                            ctx.send(
+                                p,
+                                SpannerMsg::CommitDecision { txn, commit: false, t_commit: 0 },
+                            );
                         }
-                        ctx.send(client, SpannerMsg::CommitReply { txn, commit: false, t_commit: 0 });
+                        ctx.send(
+                            client,
+                            SpannerMsg::CommitReply { txn, commit: false, t_commit: 0 },
+                        );
                     }
                 } else {
                     // Not the coordinator (or already decided): drop any local
@@ -426,7 +450,9 @@ impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
             SpannerMsg::RoCommit { txn, keys, t_read, t_min } => {
                 self.handle_ro(ctx, from, txn, keys, t_read, t_min);
             }
-            SpannerMsg::RoReply { .. } | SpannerMsg::RoFastReply { .. } | SpannerMsg::RoSlowReply { .. } => {
+            SpannerMsg::RoReply { .. }
+            | SpannerMsg::RoFastReply { .. }
+            | SpannerMsg::RoSlowReply { .. } => {
                 // Client-bound messages; a shard never receives them.
             }
         }

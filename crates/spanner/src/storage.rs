@@ -43,12 +43,9 @@ impl MvccStore {
     pub fn read_at(&self, key: Key, ts: Ts) -> (Ts, Value) {
         match self.versions.get(&key) {
             None => (0, Value::NULL),
-            Some(chain) => chain
-                .iter()
-                .rev()
-                .find(|(t, _)| *t <= ts)
-                .copied()
-                .unwrap_or((0, Value::NULL)),
+            Some(chain) => {
+                chain.iter().rev().find(|(t, _)| *t <= ts).copied().unwrap_or((0, Value::NULL))
+            }
         }
     }
 

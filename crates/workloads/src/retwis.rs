@@ -83,7 +83,11 @@ impl Retwis {
     pub fn next_txn(&self, rng: &mut SmallRng) -> GeneratedTxn {
         let roll: f64 = rng.gen();
         if roll < 0.05 {
-            GeneratedTxn { read_only: false, keys: self.distinct_keys(rng, 1), kind: RetwisKind::AddUser }
+            GeneratedTxn {
+                read_only: false,
+                keys: self.distinct_keys(rng, 1),
+                kind: RetwisKind::AddUser,
+            }
         } else if roll < 0.20 {
             GeneratedTxn {
                 read_only: false,
@@ -91,7 +95,11 @@ impl Retwis {
                 kind: RetwisKind::FollowUnfollow,
             }
         } else if roll < 0.50 {
-            GeneratedTxn { read_only: false, keys: self.distinct_keys(rng, 3), kind: RetwisKind::PostTweet }
+            GeneratedTxn {
+                read_only: false,
+                keys: self.distinct_keys(rng, 3),
+                kind: RetwisKind::PostTweet,
+            }
         } else {
             let n = rng.gen_range(1..=10);
             GeneratedTxn {

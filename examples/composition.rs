@@ -44,7 +44,12 @@ fn read(h: &mut History, p: u32, svc: ServiceId, key: Key, value: u64, at: (u64,
 fn in_flight_write(h: &mut History, p: u32, svc: ServiceId, key: Key, value: u64, start: u64) {
     // The writer has not received its acknowledgement yet: the operation is
     // incomplete, so RSS does not (yet) force every later read to observe it.
-    h.add_incomplete(ProcessId(p), svc, OpKind::Write { key, value: Value(value) }, Timestamp(start));
+    h.add_incomplete(
+        ProcessId(p),
+        svc,
+        OpKind::Write { key, value: Value(value) },
+        Timestamp(start),
+    );
 }
 
 /// The unfenced execution of Section 4.1: the two service-hopping readers
@@ -114,6 +119,10 @@ fn main() {
     librss.start_transaction("service-b").unwrap();
     librss.start_transaction("service-a").unwrap();
     let stats = librss.stats();
-    println!("libRSS inserted {} fences across {} transaction starts;", stats.executed, stats.executed + stats.elided);
+    println!(
+        "libRSS inserted {} fences across {} transaction starts;",
+        stats.executed,
+        stats.executed + stats.elided
+    );
     println!("applications never call the fence themselves (Figure 3's interface).");
 }

@@ -16,7 +16,10 @@ fn main() {
     let keys = PhotoAppKeys::default();
 
     println!("Photo-sharing application (Section 2.2)");
-    println!("  album key = {:?}, photo base = {:?}, request queue = {:?}\n", keys.album, keys.photo_base, keys.queue);
+    println!(
+        "  album key = {:?}, photo base = {:?}, request queue = {:?}\n",
+        keys.album, keys.photo_base, keys.queue
+    );
 
     // A correct execution: add a photo, enqueue the processing request, the
     // worker dequeues it and reads the photo.
@@ -34,9 +37,18 @@ fn main() {
         "I1-violating execution (operation {} sees photo {} referenced but null):",
         violation.observer, violation.photo
     );
-    println!("  admitted by strict serializability? {}", satisfies(&bad_i1, Model::StrictSerializability));
-    println!("  admitted by RSS?                    {}", satisfies(&bad_i1, Model::RegularSequentialSerializability));
-    println!("  admitted by PO serializability?     {}\n", satisfies(&bad_i1, Model::ProcessOrderedSerializability));
+    println!(
+        "  admitted by strict serializability? {}",
+        satisfies(&bad_i1, Model::StrictSerializability)
+    );
+    println!(
+        "  admitted by RSS?                    {}",
+        satisfies(&bad_i1, Model::RegularSequentialSerializability)
+    );
+    println!(
+        "  admitted by PO serializability?     {}\n",
+        satisfies(&bad_i1, Model::ProcessOrderedSerializability)
+    );
 
     // Invariant I2: the worker never reads null for a photo it was asked to
     // process. This one needs *composition* across the key-value store and the
@@ -44,13 +56,21 @@ fn main() {
     let bad_i2 = scenarios::i2_violation(&keys);
     assert!(check_i2(&bad_i2, &keys).is_err());
     println!("I2-violating execution (worker dequeues the request but reads null):");
-    println!("  admitted by strict serializability?           {}", satisfies(&bad_i2, Model::StrictSerializability));
-    println!("  admitted by RSS (composed through fences)?    {}", satisfies(&bad_i2, Model::RegularSequentialSerializability));
+    println!(
+        "  admitted by strict serializability?           {}",
+        satisfies(&bad_i2, Model::StrictSerializability)
+    );
+    println!(
+        "  admitted by RSS (composed through fences)?    {}",
+        satisfies(&bad_i2, Model::RegularSequentialSerializability)
+    );
     println!(
         "  admitted by independently PO-serializable services? {}",
         satisfies_composed(&bad_i2, Model::ProcessOrderedSerializability)
     );
-    println!("  -> I2 relies on a composable consistency model; PO serializability is not composable.\n");
+    println!(
+        "  -> I2 relies on a composable consistency model; PO serializability is not composable.\n"
+    );
 
     // Anomaly A3: Alice sees Charlie's still-in-flight photo, phones Bob, and
     // Bob's read misses it. RSS admits this *temporarily* (the phone call is
@@ -58,9 +78,18 @@ fn main() {
     let a3 = scenarios::a3_anomaly(&keys);
     let anomaly = detect_a2_a3(&a3, &keys).unwrap();
     println!("Anomaly {} (user-visible, not an invariant violation):", anomaly.anomaly);
-    println!("  admitted by strict serializability? {}", satisfies(&a3, Model::StrictSerializability));
-    println!("  admitted by RSS?                    {} (only while Charlie's add is still in flight)", satisfies(&a3, Model::RegularSequentialSerializability));
-    println!("  admitted by PO serializability?     {}", satisfies(&a3, Model::ProcessOrderedSerializability));
+    println!(
+        "  admitted by strict serializability? {}",
+        satisfies(&a3, Model::StrictSerializability)
+    );
+    println!(
+        "  admitted by RSS?                    {} (only while Charlie's add is still in flight)",
+        satisfies(&a3, Model::RegularSequentialSerializability)
+    );
+    println!(
+        "  admitted by PO serializability?     {}",
+        satisfies(&a3, Model::ProcessOrderedSerializability)
+    );
     println!("\nThis is the paper's Table 1: RSS preserves every invariant strict serializability");
     println!("preserves, and only relaxes real-time ordering for operations that are causally");
     println!("unrelated and still concurrent with an in-flight write.");

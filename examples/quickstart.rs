@@ -47,7 +47,10 @@ fn main() {
     assert!(transformed.per_process_order_preserved());
     assert!(transformed.service_interactions_sequential());
     println!("\nLemma 1: transformed into an equivalent sequential execution,");
-    println!("         preserving every process's local order ({} actions).", transformed.schedule().len());
+    println!(
+        "         preserving every process's local order ({} actions).",
+        transformed.schedule().len()
+    );
 
     // ------------------------------------------------------------------
     // Step 3: run a small Spanner-RSS cluster and verify the whole execution.

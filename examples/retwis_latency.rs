@@ -34,7 +34,8 @@ fn run(mode: Mode) -> RunResult {
                 stay_probability: 0.9,
                 think_time: SimDuration::ZERO,
             },
-            workload: Box::new(RetwisWorkload(Retwis::new(200_000, 0.7))) as Box<dyn SpannerWorkload>,
+            workload: Box::new(RetwisWorkload(Retwis::new(200_000, 0.7)))
+                as Box<dyn SpannerWorkload>,
         })
         .collect();
     run_cluster(ClusterSpec {

@@ -2,7 +2,9 @@
 //! libRSS composition protocol of Section 4.
 
 use regular_seq::core::checker::models::{satisfies, satisfies_composed, Model};
-use regular_seq::core::invariants::{check_i1, check_i2, detect_a1, detect_a2_a3, scenarios, PhotoAppKeys};
+use regular_seq::core::invariants::{
+    check_i1, check_i2, detect_a1, detect_a2_a3, scenarios, PhotoAppKeys,
+};
 use regular_seq::librss::{CausalContext, LibRss};
 
 #[test]

@@ -77,7 +77,8 @@ fn lagging_replica_does_not_break_consistency() {
             region: i % 5,
             sessions: 2,
             think_time: SimDuration::ZERO,
-            workload: Box::new(ConflictWorkload::ycsb(0.5, 0.4, i as u64)) as Box<dyn GryffWorkload>,
+            workload: Box::new(ConflictWorkload::ycsb(0.5, 0.4, i as u64))
+                as Box<dyn GryffWorkload>,
         })
         .collect();
     // Make one client hammer the shared key to maximize disagreement windows.

@@ -73,14 +73,11 @@ fn loose_history(ops: Vec<(u8, u8, bool, u8, u8)>) -> History {
                 OpResult::Ack,
             );
         } else {
-            let candidates: Vec<Value> = writes_so_far
-                .iter()
-                .filter(|(k, _)| *k == key)
-                .map(|(_, v)| *v)
-                .collect();
-            let value = if candidates.is_empty() {
-                Value::NULL
-            } else if (pick as usize) % (candidates.len() + 1) == candidates.len() {
+            let candidates: Vec<Value> =
+                writes_so_far.iter().filter(|(k, _)| *k == key).map(|(_, v)| *v).collect();
+            let value = if candidates.is_empty()
+                || (pick as usize) % (candidates.len() + 1) == candidates.len()
+            {
                 Value::NULL
             } else {
                 candidates[(pick as usize) % candidates.len()]

@@ -1,0 +1,271 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, benchmark groups, `Bencher::iter`,
+//! and `Bencher::iter_batched` — on top of a plain wall-clock harness:
+//! each benchmark is warmed up, then timed over `sample_size` samples, and
+//! the per-iteration median/mean are printed. `--test` (the CI smoke mode)
+//! runs every benchmark body exactly once. Statistical machinery (outlier
+//! analysis, HTML reports) is intentionally absent.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion's optimization barrier.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; the stub treats all variants alike
+/// (setup runs outside the timed section for every batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One invocation per batch.
+    PerIteration,
+}
+
+/// A named benchmark id (`BenchmarkId::new("f", 10)`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing driver handed to each benchmark closure.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    iters_per_sample: u64,
+    test_mode: bool,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, called in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        let n = self.iters_per_sample;
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed() / n as u32);
+    }
+
+    /// Times `routine` over inputs produced (outside the timed section) by
+    /// `setup`.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let n = self.iters_per_sample;
+        let mut total = Duration::ZERO;
+        for _ in 0..n {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.samples.push(total / n as u32);
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// The top-level harness state.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { filter: None, test_mode: false, default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Builds the harness from the process arguments (`--test` for the smoke
+    /// mode; the first free-standing argument is a substring filter).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                // Flags cargo/criterion callers commonly pass; ignored.
+                "--bench" | "--noplot" | "--quiet" | "-n" => {}
+                s if s.starts_with("--") => {}
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+
+    /// Benchmarks a single function outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        self.run_one(None, &id.into().id, sample_size, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        group: Option<&str>,
+        name: &str,
+        sample_size: usize,
+        mut f: F,
+    ) {
+        let full_name = match group {
+            Some(g) => format!("{g}/{name}"),
+            None => name.to_string(),
+        };
+        if let Some(filter) = &self.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            let mut samples = Vec::new();
+            let mut bencher =
+                Bencher { samples: &mut samples, iters_per_sample: 1, test_mode: true };
+            f(&mut bencher);
+            println!("{full_name}: test ok");
+            return;
+        }
+        // Calibrate: grow the per-sample iteration count until one sample
+        // takes ≥ ~2ms (or a single iteration is already slower than that).
+        let mut iters = 1u64;
+        loop {
+            let mut samples = Vec::new();
+            let mut bencher =
+                Bencher { samples: &mut samples, iters_per_sample: iters, test_mode: false };
+            f(&mut bencher);
+            let per_iter = samples.first().copied().unwrap_or(Duration::ZERO);
+            if per_iter * iters as u32 >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        let mut samples = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            let mut bencher =
+                Bencher { samples: &mut samples, iters_per_sample: iters, test_mode: false };
+            f(&mut bencher);
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len().max(1) as u32;
+        println!(
+            "{full_name}: median {} / mean {} per iter ({} samples x {} iters)",
+            format_duration(median),
+            format_duration(mean),
+            samples.len(),
+            iters
+        );
+    }
+
+    /// Prints the trailing summary (no-op in the stub).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Benchmarks one function within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let sample_size = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        let name = self.name.clone();
+        self.criterion.run_one(Some(&name), &id.into().id, sample_size, f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so that
+//! histories and protocol messages can be persisted once a real registry is
+//! available, but no code path serializes anything yet (there are no
+//! `T: Serialize` bounds anywhere). The derives therefore expand to nothing;
+//! swapping in the real crate via `[workspace.dependencies]` requires no
+//! source change.
+
+use proc_macro::TokenStream;
+
+/// Marker derive; expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Marker derive; expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
