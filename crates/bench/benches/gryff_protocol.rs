@@ -6,14 +6,13 @@ use regular_gryff::prelude::*;
 use regular_sim::net::LatencyMatrix;
 use regular_sim::time::{SimDuration, SimTime};
 
-fn run(mode: Mode) -> GryffRunResult {
+fn run(mode: Mode, batch: usize) -> GryffRunResult {
     let clients = (0..8)
         .map(|i| GryffClientSpec {
             region: i % 5,
-            sessions: 2,
-            think_time: SimDuration::ZERO,
+            sessions: SessionConfig::closed_loop(2, SimDuration::ZERO).with_batch(batch),
             workload: Box::new(ConflictWorkload::ycsb(0.5, 0.25, i as u64))
-                as Box<dyn GryffWorkload>,
+                as Box<dyn SessionWorkload>,
         })
         .collect();
     run_gryff(GryffClusterSpec {
@@ -30,10 +29,11 @@ fn run(mode: Mode) -> GryffRunResult {
 fn bench_gryff(c: &mut Criterion) {
     let mut group = c.benchmark_group("gryff_protocol");
     group.sample_size(10);
-    group.bench_function("simulate_10s_gryff", |b| b.iter(|| run(Mode::Gryff)));
-    group.bench_function("simulate_10s_gryff_rsc", |b| b.iter(|| run(Mode::GryffRsc)));
+    group.bench_function("simulate_10s_gryff", |b| b.iter(|| run(Mode::Gryff, 1)));
+    group.bench_function("simulate_10s_gryff_rsc", |b| b.iter(|| run(Mode::GryffRsc, 1)));
+    group.bench_function("simulate_10s_gryff_rsc_batch16", |b| b.iter(|| run(Mode::GryffRsc, 16)));
     group.bench_function("assemble_and_verify_rsc_run", |b| {
-        let result = run(Mode::GryffRsc);
+        let result = run(Mode::GryffRsc, 1);
         b.iter(|| verify_run(&result).unwrap())
     });
     group.finish();

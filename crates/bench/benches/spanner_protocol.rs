@@ -7,11 +7,11 @@ use regular_sim::net::LatencyMatrix;
 use regular_sim::time::{SimDuration, SimTime};
 use regular_spanner::prelude::*;
 
-fn run(mode: Mode) -> RunResult {
+fn run(mode: Mode, batch: usize) -> RunResult {
     let clients = (0..3)
         .map(|region| ClientSpec {
             region,
-            driver: Driver::ClosedLoop { sessions: 4, think_time: SimDuration::ZERO },
+            sessions: SessionConfig::closed_loop(4, SimDuration::ZERO).with_batch(batch),
             workload: Box::new(UniformWorkload {
                 num_keys: 1_000,
                 ro_fraction: 0.5,
@@ -33,10 +33,17 @@ fn run(mode: Mode) -> RunResult {
 fn bench_spanner(c: &mut Criterion) {
     let mut group = c.benchmark_group("spanner_protocol");
     group.sample_size(10);
-    group.bench_function("simulate_10s_spanner", |b| b.iter(|| run(Mode::Spanner)));
-    group.bench_function("simulate_10s_spanner_rss", |b| b.iter(|| run(Mode::SpannerRss)));
+    group.bench_function("simulate_10s_spanner", |b| b.iter(|| run(Mode::Spanner, 1)));
+    group.bench_function("simulate_10s_spanner_rss", |b| b.iter(|| run(Mode::SpannerRss, 1)));
+    group.bench_function("simulate_10s_spanner_rss_batch16", |b| {
+        b.iter(|| run(Mode::SpannerRss, 16))
+    });
     group.bench_function("verify_rss_run", |b| {
-        let result = run(Mode::SpannerRss);
+        let result = run(Mode::SpannerRss, 1);
+        b.iter(|| verify_run(&result).unwrap())
+    });
+    group.bench_function("verify_rss_run_batch16", |b| {
+        let result = run(Mode::SpannerRss, 16);
         b.iter(|| verify_run(&result).unwrap())
     });
     group.finish();

@@ -22,20 +22,20 @@ fn run(mode: Mode) -> RunResult {
         // The writer (C_W): read-write transactions spanning shards 0 and 1.
         ClientSpec {
             region: 0,
-            driver: Driver::ClosedLoop { sessions: 1, think_time: SimDuration::ZERO },
+            sessions: SessionConfig::closed_loop(1, SimDuration::ZERO),
             workload: Box::new(UniformWorkload { num_keys: 2, ro_fraction: 0.0, keys_per_txn: 2 }),
         },
         // The reader (C_R2): read-only transactions on the same two keys.
         ClientSpec {
             region: 1,
-            driver: Driver::ClosedLoop { sessions: 1, think_time: SimDuration::from_millis(20) },
+            sessions: SessionConfig::closed_loop(1, SimDuration::from_millis(20)),
             workload: Box::new(UniformWorkload { num_keys: 2, ro_fraction: 1.0, keys_per_txn: 1 }),
         },
         // A second reader (C_R1) close to the coordinator shard, which observes
         // the write early and (under strict serializability) forces others to.
         ClientSpec {
             region: 0,
-            driver: Driver::ClosedLoop { sessions: 1, think_time: SimDuration::from_millis(15) },
+            sessions: SessionConfig::closed_loop(1, SimDuration::from_millis(15)),
             workload: Box::new(UniformWorkload { num_keys: 2, ro_fraction: 1.0, keys_per_txn: 1 }),
         },
     ];

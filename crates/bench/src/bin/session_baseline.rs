@@ -1,0 +1,66 @@
+//! Batched-session protocol baselines.
+//!
+//! Runs Spanner-RSS and Gryff-RSC with closed-loop sessions at pipelining
+//! depths 1, 4, and 16 and reports throughput plus p50/p99 latency. These are
+//! the numbers recorded in BENCHMARKS.md (batched sessions are what let the
+//! protocol benches exercise realistic load; batch 1 reproduces the paper's
+//! one-outstanding-operation sessions).
+//!
+//! Usage: `cargo run --release -p regular-bench --bin session_baseline`
+
+use regular_bench::{fmt_ms, run_gryff_ycsb_batched, run_spanner_overhead_batched, GryffRunParams};
+use regular_gryff::prelude as gryff;
+use regular_spanner::prelude as spanner;
+
+fn main() {
+    const BATCHES: [usize; 3] = [1, 4, 16];
+    println!("== Batched-session protocol baselines ==");
+    println!(
+        "\nSpanner-RSS, single-DC 8 shards, 32 closed-loop sessions, uniform 50% RO\n\
+         (10 simulated seconds, seed 7; `run_spanner_overhead_batched`)\n"
+    );
+    println!(
+        "{:>6} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "batch", "txn/s", "ro_p50", "ro_p99", "rw_p50", "rw_p99"
+    );
+    for batch in BATCHES {
+        let r = run_spanner_overhead_batched(spanner::Mode::SpannerRss, 32, batch, 7);
+        spanner::verify_run(&r).expect("every baseline run must satisfy RSS");
+        let mut ro = r.ro_latencies.clone();
+        let mut rw = r.rw_latencies.clone();
+        println!(
+            "{:>6} {:>12.0} {:>10} {:>10} {:>10} {:>10}",
+            batch,
+            r.throughput,
+            fmt_ms(ro.percentile(50.0)),
+            fmt_ms(ro.percentile(99.0)),
+            fmt_ms(rw.percentile(50.0)),
+            fmt_ms(rw.percentile(99.0)),
+        );
+    }
+    println!(
+        "\nGryff-RSC, 5-region WAN, 16 closed-loop clients, YCSB 50% writes / 10% conflicts\n\
+         (60 simulated seconds, seed 42; `run_gryff_ycsb_batched`)\n"
+    );
+    println!(
+        "{:>6} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "batch", "op/s", "rd_p50", "rd_p99", "wr_p50", "wr_p99"
+    );
+    for batch in BATCHES {
+        let params = GryffRunParams { duration_secs: 60, ..GryffRunParams::default() };
+        let r = run_gryff_ycsb_batched(gryff::Mode::GryffRsc, &params, batch);
+        gryff::verify_run(&r).expect("every baseline run must satisfy RSC");
+        let mut rd = r.read_latencies.clone();
+        let mut wr = r.write_latencies.clone();
+        println!(
+            "{:>6} {:>12.0} {:>10} {:>10} {:>10} {:>10}",
+            batch,
+            r.throughput,
+            fmt_ms(rd.percentile(50.0)),
+            fmt_ms(rd.percentile(99.0)),
+            fmt_ms(wr.percentile(50.0)),
+            fmt_ms(wr.percentile(99.0)),
+        );
+    }
+    println!("\nAll runs passed their consistency certificates (RSS / RSC).");
+}

@@ -8,13 +8,14 @@
 
 use rand::rngs::SmallRng;
 use regular_gryff::prelude as gryff;
+use regular_session::{SessionConfig, SessionOp, SessionWorkload};
 use regular_sim::metrics::LatencyRecorder;
 use regular_sim::net::LatencyMatrix;
 use regular_sim::time::{SimDuration, SimTime};
 use regular_spanner::prelude as spanner;
 use regular_workloads::Retwis;
 
-/// Adapts the Retwis generator to the Spanner client's workload interface.
+/// Adapts the Retwis generator to the protocol-agnostic session interface.
 pub struct RetwisAdapter {
     retwis: Retwis,
 }
@@ -26,14 +27,14 @@ impl RetwisAdapter {
     }
 }
 
-impl spanner::SpannerWorkload for RetwisAdapter {
-    fn next_request(&mut self, rng: &mut SmallRng) -> spanner::TxnRequest {
+impl SessionWorkload for RetwisAdapter {
+    fn next_op(&mut self, rng: &mut SmallRng) -> SessionOp {
         let txn = self.retwis.next_txn(rng);
         let keys = txn.keys.iter().map(|&k| regular_core::types::Key(k)).collect();
         if txn.read_only {
-            spanner::TxnRequest::ReadOnly { keys }
+            SessionOp::RoTxn { keys }
         } else {
-            spanner::TxnRequest::ReadWrite { keys }
+            SessionOp::RwTxn { keys }
         }
     }
 }
@@ -84,13 +85,13 @@ pub fn run_spanner_retwis(mode: spanner::Mode, params: &RetwisRunParams) -> span
     let clients = (0..3)
         .map(|region| spanner::ClientSpec {
             region,
-            driver: spanner::Driver::PartlyOpen {
-                arrival_rate: params.arrival_rate,
-                stay_probability: params.stay_probability,
-                think_time: SimDuration::ZERO,
-            },
+            sessions: SessionConfig::partly_open(
+                params.arrival_rate,
+                params.stay_probability,
+                SimDuration::ZERO,
+            ),
             workload: Box::new(RetwisAdapter::new(params.num_keys, params.skew))
-                as Box<dyn spanner::SpannerWorkload>,
+                as Box<dyn SessionWorkload>,
         })
         .collect();
     spanner::run_cluster(spanner::ClusterSpec {
@@ -111,21 +112,32 @@ pub fn run_spanner_overhead(
     total_sessions: usize,
     seed: u64,
 ) -> spanner::RunResult {
+    run_spanner_overhead_batched(mode, total_sessions, 1, seed)
+}
+
+/// [`run_spanner_overhead`] with an explicit per-session pipelining depth.
+pub fn run_spanner_overhead_batched(
+    mode: spanner::Mode,
+    total_sessions: usize,
+    batch: usize,
+    seed: u64,
+) -> spanner::RunResult {
     let config = spanner::SpannerConfig::single_dc(mode, 8);
     let net = LatencyMatrix::single_dc();
     let nodes = 4;
     let clients = (0..nodes)
         .map(|_| spanner::ClientSpec {
             region: 0,
-            driver: spanner::Driver::ClosedLoop {
-                sessions: (total_sessions / nodes).max(1),
-                think_time: SimDuration::ZERO,
-            },
+            sessions: SessionConfig::closed_loop(
+                (total_sessions / nodes).max(1),
+                SimDuration::ZERO,
+            )
+            .with_batch(batch),
             workload: Box::new(spanner::UniformWorkload {
                 num_keys: 1_000_000,
                 ro_fraction: 0.5,
                 keys_per_txn: 3,
-            }) as Box<dyn spanner::SpannerWorkload>,
+            }) as Box<dyn SessionWorkload>,
         })
         .collect();
     spanner::run_cluster(spanner::ClusterSpec {
@@ -171,6 +183,15 @@ impl Default for GryffRunParams {
 
 /// Runs the Figure 7 / §7.4 configuration.
 pub fn run_gryff_ycsb(mode: gryff::Mode, params: &GryffRunParams) -> gryff::GryffRunResult {
+    run_gryff_ycsb_batched(mode, params, 1)
+}
+
+/// [`run_gryff_ycsb`] with an explicit per-session pipelining depth.
+pub fn run_gryff_ycsb_batched(
+    mode: gryff::Mode,
+    params: &GryffRunParams,
+    batch: usize,
+) -> gryff::GryffRunResult {
     let (config, net, regions) = if params.wan {
         (gryff::GryffConfig::wan(mode), LatencyMatrix::gryff_wan(), 5)
     } else {
@@ -179,13 +200,12 @@ pub fn run_gryff_ycsb(mode: gryff::Mode, params: &GryffRunParams) -> gryff::Gryf
     let clients = (0..params.clients)
         .map(|i| gryff::GryffClientSpec {
             region: i % regions,
-            sessions: 1,
-            think_time: SimDuration::ZERO,
+            sessions: SessionConfig::closed_loop(1, SimDuration::ZERO).with_batch(batch),
             workload: Box::new(gryff::ConflictWorkload::ycsb(
                 params.write_ratio,
                 params.conflict_rate,
                 i as u64,
-            )) as Box<dyn gryff::GryffWorkload>,
+            )) as Box<dyn SessionWorkload>,
         })
         .collect();
     gryff::run_gryff(gryff::GryffClusterSpec {
@@ -251,14 +271,17 @@ mod tests {
     #[test]
     fn retwis_adapter_produces_valid_requests() {
         use rand::SeedableRng;
-        use spanner::SpannerWorkload;
         let mut adapter = RetwisAdapter::new(1_000, 0.7);
         let mut rng = SmallRng::seed_from_u64(1);
         let mut ro = 0;
         for _ in 0..200 {
-            let req = adapter.next_request(&mut rng);
-            assert!(!req.keys().is_empty());
-            if req.is_read_only() {
+            let (keys, read_only) = match adapter.next_op(&mut rng) {
+                SessionOp::RoTxn { keys } => (keys, true),
+                SessionOp::RwTxn { keys } => (keys, false),
+                other => panic!("unexpected op {other:?}"),
+            };
+            assert!(!keys.is_empty());
+            if read_only {
                 ro += 1;
             }
         }

@@ -25,7 +25,7 @@
 //! * Cycle checks per optional-subset are bitmask Kahn peels on the compiled
 //!   graph — no hash maps, no sorting, no allocation in the subset loop.
 //! * The backtracking step threads one mutable
-//!   [`IndexedSpecState`](crate::spec::IndexedSpecState) with an undo log
+//!   [`IndexedSpecState`] with an undo log
 //!   instead of cloning the state per node, and the memo table is keyed on
 //!   `(placed-mask, state fingerprint)` in an
 //!   [`FxHash`](crate::hashing::FxHasher)-hashed set with an O(1)

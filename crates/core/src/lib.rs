@@ -21,7 +21,7 @@
 //!   serializability, linearizability, PO serializability, and sequential
 //!   consistency; scalable witness (certificate) checkers used on protocol
 //!   runs; and checkers for the proximal models of Appendix A.
-//! * [`transform`] — the Lemma 1 construction turning an RSS execution into an
+//! * [`mod@transform`] — the Lemma 1 construction turning an RSS execution into an
 //!   equivalent strictly serializable one.
 //! * [`invariants`] — the photo-sharing application, invariants I1/I2, and
 //!   anomaly detectors A1–A3 (Table 1).

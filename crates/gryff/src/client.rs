@@ -1,5 +1,5 @@
-//! The Gryff / Gryff-RSC client: reads, writes, read-modify-writes, and
-//! real-time fences.
+//! The Gryff / Gryff-RSC client protocol core: reads, writes,
+//! read-modify-writes, and real-time fences.
 //!
 //! * **Reads** (baseline): a read phase against a quorum; if the quorum
 //!   disagrees, a write-back phase propagates the newest value before the read
@@ -11,18 +11,25 @@
 //! * **Read-modify-writes**: forwarded to the key's coordinator replica.
 //! * **Fences** (Gryff-RSC): write back the pending dependency to a quorum so
 //!   all future reads — by any client — observe it (Section 7.1).
+//!
+//! The core implements [`regular_session::Service`]: session arrival, pacing,
+//! and batching live in the protocol-agnostic
+//! [`regular_session::SessionRunner`]. Gryff is a non-transactional store, so
+//! single-key transactions are served as plain operations and multi-key
+//! transactions are rejected.
 
 use std::collections::HashMap;
 
-use rand::Rng;
-use regular_core::types::Value;
+use regular_core::op::{OpKind, OpResult};
+use regular_core::types::{ServiceId, Value};
+use regular_session::{CompletedRecord, LaneId, Service, SessionOp, WitnessHint};
 use regular_sim::engine::{Context, NodeId};
-use regular_sim::time::{SimDuration, SimTime};
+use regular_sim::time::SimTime;
 
 use crate::carstamp::Carstamp;
 use crate::config::Mode;
 use crate::messages::{Dep, GryffMsg, OpRef};
-use crate::workload::{GryffWorkload, OpRequest};
+use crate::workload::OpRequest;
 
 /// Client configuration shared by all client nodes of a deployment.
 #[derive(Debug, Clone)]
@@ -33,34 +40,6 @@ pub struct GryffClientConfig {
     pub replicas: Vec<NodeId>,
     /// Majority quorum size.
     pub quorum: usize,
-    /// Number of concurrent closed-loop sessions driven by this node.
-    pub sessions: usize,
-    /// Think time between a session's operations.
-    pub think_time: SimDuration,
-    /// Stop issuing new operations after this instant.
-    pub stop_issuing_at: SimTime,
-}
-
-/// One completed operation, as recorded for metrics and conformance checking.
-#[derive(Debug, Clone)]
-pub struct CompletedOp {
-    /// What kind of operation this was.
-    pub kind: OpRequest,
-    /// Value returned (read result, or prior value for rmw; null for writes).
-    pub read_value: Value,
-    /// Value written (writes and rmws).
-    pub written_value: Value,
-    /// Carstamp associated with the operation (read: carstamp of the returned
-    /// value; write/rmw: carstamp of the installed value).
-    pub carstamp: Carstamp,
-    /// Invocation instant.
-    pub invoke: SimTime,
-    /// Completion instant.
-    pub finish: SimTime,
-    /// Number of wide-area round trips the operation needed.
-    pub rounds: u8,
-    /// Issuing session.
-    pub session: u64,
 }
 
 /// Aggregate client statistics.
@@ -92,7 +71,7 @@ enum OpPhase {
 
 #[derive(Debug)]
 struct ActiveOp {
-    session: u64,
+    lane: LaneId,
     request: OpRequest,
     invoke: SimTime,
     phase: OpPhase,
@@ -110,50 +89,42 @@ struct ActiveOp {
     rounds: u8,
 }
 
-enum TimerAction {
-    StartOp { session: u64 },
-}
-
-/// The Gryff client node.
-pub struct GryffClient {
+/// The Gryff client protocol core (a [`regular_session::Service`]).
+pub struct GryffService {
     cfg: GryffClientConfig,
-    workload: Box<dyn GryffWorkload>,
+    service: ServiceId,
     ops: HashMap<u64, ActiveOp>,
     next_seq: u64,
     value_counter: u64,
     /// The pending dependency (Gryff-RSC): the last read observation not yet
-    /// known to be at a quorum.
+    /// known to be at a quorum. Shared by all of this node's sessions, as in
+    /// the paper's per-process dependency.
     dep: Option<Dep>,
-    timers: HashMap<u64, TimerAction>,
-    next_timer: u64,
-    /// All completed operations.
-    pub completed: Vec<CompletedOp>,
+    completed: Vec<CompletedRecord>,
     /// Aggregate statistics.
     pub stats: GryffClientStats,
 }
 
-impl GryffClient {
-    /// Creates a client with the given configuration and workload.
-    pub fn new(cfg: GryffClientConfig, workload: Box<dyn GryffWorkload>) -> Self {
-        GryffClient {
+impl GryffService {
+    /// Creates a client protocol core with the given configuration.
+    pub fn new(cfg: GryffClientConfig) -> Self {
+        GryffService {
             cfg,
-            workload,
+            service: ServiceId::KV,
             ops: HashMap::new(),
             next_seq: 0,
             value_counter: 0,
             dep: None,
-            timers: HashMap::new(),
-            next_timer: 0,
             completed: Vec::new(),
             stats: GryffClientStats::default(),
         }
     }
 
-    fn set_timer(&mut self, ctx: &mut Context<GryffMsg>, delay: SimDuration, action: TimerAction) {
-        let tag = self.next_timer;
-        self.next_timer += 1;
-        self.timers.insert(tag, action);
-        ctx.set_timer(delay, tag);
+    /// Sets the service id recorded on this core's operations (defaults to
+    /// [`ServiceId::KV`]); composed deployments give each store its own id.
+    pub fn with_service_id(mut self, service: ServiceId) -> Self {
+        self.service = service;
+        self
     }
 
     fn fresh_value(&mut self, ctx: &Context<GryffMsg>) -> Value {
@@ -173,16 +144,101 @@ impl GryffClient {
         }
     }
 
-    fn start_op(&mut self, ctx: &mut Context<GryffMsg>, session: u64) {
-        if ctx.now() >= self.cfg.stop_issuing_at {
-            return;
+    /// The carstamp writer id: unique per concurrently writing lane.
+    fn writer_id(&self, ctx: &Context<GryffMsg>, lane: LaneId) -> u64 {
+        // Lanes of one node issue writes concurrently and must not collide on
+        // the same carstamp count, so the id packs (node, session, slot) into
+        // disjoint bit ranges. The asserts make an out-of-range configuration
+        // fail loudly instead of silently corrupting the per-key write order.
+        debug_assert!((lane.slot as u64) < (1 << 12), "pipeline slots fit in 12 bits");
+        debug_assert!(lane.session < (1 << 28), "session ids fit in 28 bits");
+        debug_assert!((ctx.node_id() as u64) < (1 << 24), "node ids fit in 24 bits");
+        ((ctx.node_id() as u64) << 40) | (lane.session << 12) | lane.slot as u64
+    }
+
+    fn finish_op(
+        &mut self,
+        ctx: &mut Context<GryffMsg>,
+        seq: u64,
+        read_value: Value,
+        carstamp: Carstamp,
+    ) {
+        let op = self.ops.remove(&seq).expect("operation exists");
+        let (kind, result) = match op.request {
+            OpRequest::Read { key } => {
+                self.stats.reads += 1;
+                if op.rounds > 1 {
+                    self.stats.slow_reads += 1;
+                }
+                (OpKind::Read { key }, OpResult::Value(read_value))
+            }
+            OpRequest::Write { key } => {
+                self.stats.writes += 1;
+                (OpKind::Write { key, value: op.write_value }, OpResult::Ack)
+            }
+            OpRequest::Rmw { key } => {
+                self.stats.rmws += 1;
+                (OpKind::Rmw { key, value: op.write_value }, OpResult::Value(read_value))
+            }
+            OpRequest::Fence => {
+                self.stats.fences += 1;
+                (OpKind::Fence, OpResult::Ack)
+            }
+        };
+        let witness = match kind {
+            // Fences carry no per-key ordering metadata.
+            OpKind::Fence => WitnessHint::None,
+            _ => WitnessHint::Carstamp { count: carstamp.count, writer: carstamp.writer },
+        };
+        self.completed.push(CompletedRecord {
+            service: self.service,
+            kind,
+            result,
+            invoke: op.invoke,
+            finish: ctx.now(),
+            session: op.lane.session,
+            slot: op.lane.slot,
+            attempts: 1,
+            rounds: op.rounds,
+            orphan: false,
+            witness,
+        });
+    }
+}
+
+impl Service for GryffService {
+    type Msg = GryffMsg;
+
+    fn service_id(&self) -> ServiceId {
+        self.service
+    }
+
+    fn name(&self) -> &str {
+        match self.cfg.mode {
+            Mode::Gryff => "gryff",
+            Mode::GryffRsc => "gryff-rsc",
         }
-        let request = self.workload.next_op(ctx.rng());
+    }
+
+    fn submit(&mut self, ctx: &mut Context<GryffMsg>, lane: LaneId, op: SessionOp) {
+        let request = match op {
+            SessionOp::Read { key } => OpRequest::Read { key },
+            SessionOp::Write { key } => OpRequest::Write { key },
+            SessionOp::Rmw { key } => OpRequest::Rmw { key },
+            SessionOp::Fence => OpRequest::Fence,
+            // A non-transactional store serves single-key transactions as
+            // plain operations.
+            SessionOp::RoTxn { keys } if keys.len() == 1 => OpRequest::Read { key: keys[0] },
+            SessionOp::RwTxn { keys } if keys.len() == 1 => OpRequest::Write { key: keys[0] },
+            SessionOp::RoTxn { .. } | SessionOp::RwTxn { .. } => {
+                panic!("Gryff is non-transactional: multi-key transactions are unsupported")
+            }
+        };
         let seq = self.next_seq;
         self.next_seq += 1;
         let op_ref = OpRef { node: ctx.node_id(), seq };
-        let mut op = ActiveOp {
-            session,
+        let mut active = ActiveOp {
+            lane,
             request: request.clone(),
             invoke: ctx.now(),
             phase: OpPhase::ReadRound,
@@ -197,31 +253,31 @@ impl GryffClient {
         match request {
             OpRequest::Read { key } => {
                 let dep = self.take_dep_for_piggyback();
-                op.carried_dep = dep.is_some();
-                op.phase = OpPhase::ReadRound;
+                active.carried_dep = dep.is_some();
+                active.phase = OpPhase::ReadRound;
                 for &r in &self.cfg.replicas {
                     ctx.send(r, GryffMsg::Read1 { op: op_ref, key, dep });
                 }
             }
             OpRequest::Write { key } => {
                 let dep = self.take_dep_for_piggyback();
-                op.carried_dep = dep.is_some();
-                op.write_value = self.fresh_value(ctx);
-                op.phase = OpPhase::WriteRound1;
+                active.carried_dep = dep.is_some();
+                active.write_value = self.fresh_value(ctx);
+                active.phase = OpPhase::WriteRound1;
                 for &r in &self.cfg.replicas {
                     ctx.send(r, GryffMsg::Write1 { op: op_ref, key, dep });
                 }
             }
             OpRequest::Rmw { key } => {
                 let dep = self.take_dep_for_piggyback();
-                op.carried_dep = dep.is_some();
-                op.write_value = self.fresh_value(ctx);
-                op.phase = OpPhase::RmwWait;
+                active.carried_dep = dep.is_some();
+                active.write_value = self.fresh_value(ctx);
+                active.phase = OpPhase::RmwWait;
                 let coordinator =
                     self.cfg.replicas[(key.0 % self.cfg.replicas.len() as u64) as usize];
                 ctx.send(
                     coordinator,
-                    GryffMsg::Rmw { op: op_ref, key, new_value: op.write_value, dep },
+                    GryffMsg::Rmw { op: op_ref, key, new_value: active.write_value, dep },
                 );
             }
             OpRequest::Fence => {
@@ -229,8 +285,8 @@ impl GryffClient {
                     (Mode::GryffRsc, Some(d)) => {
                         // Write the pending observation back to a quorum so
                         // every future read observes it.
-                        op.phase = OpPhase::FenceRound;
-                        op.max = (d.cs, d.value);
+                        active.phase = OpPhase::FenceRound;
+                        active.max = (d.cs, d.value);
                         for &r in &self.cfg.replicas {
                             ctx.send(
                                 r,
@@ -247,74 +303,25 @@ impl GryffClient {
                         // Nothing to propagate (or already linearizable):
                         // complete immediately.
                         self.stats.fences += 1;
-                        self.completed.push(CompletedOp {
-                            kind: OpRequest::Fence,
-                            read_value: Value::NULL,
-                            written_value: Value::NULL,
-                            carstamp: Carstamp::ZERO,
+                        self.completed.push(CompletedRecord {
+                            service: self.service,
+                            kind: OpKind::Fence,
+                            result: OpResult::Ack,
                             invoke: ctx.now(),
                             finish: ctx.now(),
+                            session: lane.session,
+                            slot: lane.slot,
+                            attempts: 1,
                             rounds: 0,
-                            session,
+                            orphan: false,
+                            witness: WitnessHint::None,
                         });
-                        self.schedule_next(ctx, session);
                         return;
                     }
                 }
             }
         }
-        self.ops.insert(seq, op);
-    }
-
-    fn schedule_next(&mut self, ctx: &mut Context<GryffMsg>, session: u64) {
-        let think = self.cfg.think_time;
-        self.set_timer(ctx, think, TimerAction::StartOp { session });
-    }
-
-    fn finish_op(
-        &mut self,
-        ctx: &mut Context<GryffMsg>,
-        seq: u64,
-        read_value: Value,
-        carstamp: Carstamp,
-    ) {
-        let op = self.ops.remove(&seq).expect("operation exists");
-        match op.request {
-            OpRequest::Read { .. } => {
-                self.stats.reads += 1;
-                if op.rounds > 1 {
-                    self.stats.slow_reads += 1;
-                }
-            }
-            OpRequest::Write { .. } => self.stats.writes += 1,
-            OpRequest::Rmw { .. } => self.stats.rmws += 1,
-            OpRequest::Fence => self.stats.fences += 1,
-        }
-        self.completed.push(CompletedOp {
-            kind: op.request.clone(),
-            read_value,
-            written_value: op.write_value,
-            carstamp,
-            invoke: op.invoke,
-            finish: ctx.now(),
-            rounds: op.rounds,
-            session: op.session,
-        });
-        self.schedule_next(ctx, op.session);
-    }
-}
-
-impl regular_sim::engine::Node<GryffMsg> for GryffClient {
-    fn on_start(&mut self, ctx: &mut Context<GryffMsg>) {
-        for session in 0..self.cfg.sessions as u64 {
-            let jitter = SimDuration::from_micros(ctx.rng().gen_range(0..1_000));
-            self.set_timer(ctx, jitter, TimerAction::StartOp { session });
-        }
-    }
-
-    fn on_timer(&mut self, ctx: &mut Context<GryffMsg>, tag: u64) {
-        let Some(TimerAction::StartOp { session }) = self.timers.remove(&tag) else { return };
-        self.start_op(ctx, session);
+        self.ops.insert(seq, active);
     }
 
     fn on_message(&mut self, ctx: &mut Context<GryffMsg>, _from: NodeId, msg: GryffMsg) {
@@ -428,11 +435,9 @@ impl regular_sim::engine::Node<GryffMsg> for GryffClient {
                     OpRequest::Write { key } => key,
                     _ => return,
                 };
+                let lane = self.ops[&seq].lane;
+                let writer = self.writer_id(ctx, lane);
                 let active = self.ops.get_mut(&seq).expect("operation exists");
-                // The carstamp writer id must be unique per session (sessions
-                // on one client node issue writes concurrently and could
-                // otherwise collide on the same count).
-                let writer = ctx.node_id() as u64 * 1_000 + active.session;
                 active.chosen = active.max.0.next(writer);
                 active.phase = OpPhase::WriteRound2;
                 active.replies = 0;
@@ -454,11 +459,14 @@ impl regular_sim::engine::Node<GryffMsg> for GryffClient {
                 if active.carried_dep {
                     self.dep = None;
                 }
-                self.stats.deps_piggybacked += 0;
                 self.finish_op(ctx, seq, old_value, cs);
             }
             _ => {}
         }
+    }
+
+    fn drain_completed(&mut self) -> Vec<CompletedRecord> {
+        std::mem::take(&mut self.completed)
     }
 }
 
@@ -466,6 +474,7 @@ impl regular_sim::engine::Node<GryffMsg> for GryffClient {
 mod tests {
     use super::*;
     use regular_core::types::Key;
+    use regular_sim::time::SimDuration;
 
     #[test]
     fn fresh_values_are_unique_and_non_null() {
@@ -478,18 +487,22 @@ mod tests {
     }
 
     #[test]
-    fn completed_op_records_rounds() {
-        let op = CompletedOp {
-            kind: OpRequest::Read { key: Key(1) },
-            read_value: Value(3),
-            written_value: Value::NULL,
-            carstamp: Carstamp { count: 1, writer: 2 },
+    fn completed_record_keeps_rounds_and_carstamps() {
+        let rec = CompletedRecord {
+            service: ServiceId::KV,
+            kind: OpKind::Read { key: Key(1) },
+            result: OpResult::Value(Value(3)),
             invoke: SimTime::from_millis(0),
             finish: SimTime::from_millis(72),
-            rounds: 1,
             session: 0,
+            slot: 0,
+            attempts: 1,
+            rounds: 1,
+            orphan: false,
+            witness: WitnessHint::Carstamp { count: 1, writer: 2 },
         };
-        assert_eq!(op.rounds, 1);
-        assert_eq!(op.finish.since(op.invoke), SimDuration::from_millis(72));
+        assert_eq!(rec.rounds, 1);
+        assert_eq!(rec.latency(), SimDuration::from_millis(72));
+        assert!(matches!(rec.witness, WitnessHint::Carstamp { count: 1, writer: 2 }));
     }
 }

@@ -1,37 +1,42 @@
 //! Deployment assembly, execution, and result extraction for Gryff/Gryff-RSC.
 //!
-//! Mirrors `regular_spanner::harness`: builds the replica and client nodes,
-//! runs the simulation, and converts the recorded operations into latency
-//! distributions, a [`regular_core::History`], and a serialization witness.
-//! The witness is assembled from the per-key carstamp order plus each
-//! session's process order, extended with the model's real-time constraints —
-//! the relation `<ψ` of the paper's Appendix D.2 proof.
-
-use std::collections::HashMap;
+//! Mirrors `regular_spanner::harness`: builds the replica and client nodes
+//! ([`regular_session::SessionRunner`]s over the [`GryffService`] protocol
+//! core), runs the simulation, and converts the recorded operations into
+//! latency distributions, a [`regular_core::History`] (via the shared
+//! [`regular_session::HistoryRecorder`]), and a serialization witness. The
+//! witness is assembled from the per-key carstamp order plus each lane's
+//! process order, extended with the model's real-time constraints — the
+//! relation `<ψ` of the paper's Appendix D.2 proof.
 
 use regular_core::checker::assemble::assemble_witness;
 use regular_core::checker::certificate::{check_witness, WitnessModel, WitnessViolation};
 use regular_core::history::History;
-use regular_core::op::{OpKind, OpResult};
-use regular_core::types::{OpId, ProcessId, ServiceId, Timestamp, Value};
+use regular_core::op::OpKind;
+use regular_core::types::{OpId, Value};
+use regular_session::{
+    CompletedRecord, HistoryRecorder, SessionConfig, SessionRunner, SessionWorkload, WitnessHint,
+};
 use regular_sim::engine::{Context, Engine, EngineConfig, Node, NodeId};
 use regular_sim::metrics::LatencyRecorder;
 use regular_sim::net::LatencyMatrix;
 use regular_sim::time::{SimDuration, SimTime};
 
 use crate::carstamp::Carstamp;
-use crate::client::{CompletedOp, GryffClient, GryffClientConfig, GryffClientStats};
+use crate::client::{GryffClientConfig, GryffClientStats, GryffService};
 use crate::config::{GryffConfig, Mode};
 use crate::messages::GryffMsg;
 use crate::replica::{GryffReplica, ReplicaStats};
-use crate::workload::{GryffWorkload, OpRequest};
+
+/// A client node: the protocol-agnostic session runner over the Gryff core.
+pub type GryffClient = SessionRunner<GryffService>;
 
 /// A node of the simulated deployment.
 pub enum GryffNode {
     /// A storage replica.
     Replica(GryffReplica),
     /// A client node.
-    Client(GryffClient),
+    Client(Box<GryffClient>),
 }
 
 impl Node<GryffMsg> for GryffNode {
@@ -59,12 +64,10 @@ impl Node<GryffMsg> for GryffNode {
 pub struct GryffClientSpec {
     /// Region the client runs in.
     pub region: usize,
-    /// Number of closed-loop sessions it drives.
-    pub sessions: usize,
-    /// Think time between operations.
-    pub think_time: SimDuration,
+    /// Session arrival/pacing/batching model.
+    pub sessions: SessionConfig,
     /// Workload generator.
-    pub workload: Box<dyn GryffWorkload>,
+    pub workload: Box<dyn SessionWorkload>,
 }
 
 /// Specification of a deployment run.
@@ -96,7 +99,7 @@ pub struct GryffRunResult {
     /// Read-modify-write latencies (measurement window only).
     pub rmw_latencies: LatencyRecorder,
     /// Completed operations per client node (all, including warm-up).
-    pub completed: Vec<(NodeId, Vec<CompletedOp>)>,
+    pub completed: Vec<(NodeId, Vec<CompletedRecord>)>,
     /// Aggregate throughput over the measurement window (op/s).
     pub throughput: f64,
     /// Aggregated client statistics.
@@ -107,6 +110,11 @@ pub struct GryffRunResult {
     pub finished_at: SimTime,
     /// Total messages delivered.
     pub messages: u64,
+}
+
+/// Builds the [`GryffClientConfig`] every client node of a deployment shares.
+pub fn client_config(config: &GryffConfig, replicas: Vec<NodeId>) -> GryffClientConfig {
+    GryffClientConfig { mode: config.mode, replicas, quorum: config.quorum() }
 }
 
 /// Builds and runs a deployment.
@@ -136,16 +144,11 @@ pub fn run_gryff(spec: GryffClusterSpec) -> GryffRunResult {
     }
     let mut client_ids = Vec::new();
     for c in clients {
-        let cfg = GryffClientConfig {
-            mode: config.mode,
-            replicas: replica_ids.clone(),
-            quorum: config.quorum(),
-            sessions: c.sessions,
-            think_time: c.think_time,
-            stop_issuing_at,
-        };
+        let cfg = client_config(&config, replica_ids.clone());
+        let runner =
+            SessionRunner::new(GryffService::new(cfg), c.sessions, stop_issuing_at, c.workload);
         let id = engine.add_node_with(
-            GryffNode::Client(GryffClient::new(cfg, c.workload)),
+            GryffNode::Client(Box::new(runner)),
             c.region,
             config.client_service_time,
         );
@@ -164,24 +167,25 @@ pub fn run_gryff(spec: GryffClusterSpec) -> GryffRunResult {
         if let GryffNode::Client(c) = engine.node(id) {
             for op in &c.completed {
                 if op.finish >= measure_from {
-                    let latency = op.finish.since(op.invoke);
+                    let latency = op.latency();
                     match op.kind {
-                        OpRequest::Read { .. } => read.record(latency),
-                        OpRequest::Write { .. } => write.record(latency),
-                        OpRequest::Rmw { .. } => rmw.record(latency),
-                        OpRequest::Fence => {}
+                        OpKind::Read { .. } => read.record(latency),
+                        OpKind::Write { .. } => write.record(latency),
+                        OpKind::Rmw { .. } => rmw.record(latency),
+                        _ => {}
                     }
                     if op.finish < stop_issuing_at {
                         window_count += 1;
                     }
                 }
             }
-            stats.reads += c.stats.reads;
-            stats.slow_reads += c.stats.slow_reads;
-            stats.writes += c.stats.writes;
-            stats.rmws += c.stats.rmws;
-            stats.fences += c.stats.fences;
-            stats.deps_piggybacked += c.stats.deps_piggybacked;
+            let s = &c.service.stats;
+            stats.reads += s.reads;
+            stats.slow_reads += s.slow_reads;
+            stats.writes += s.writes;
+            stats.rmws += s.rmws;
+            stats.fences += s.fences;
+            stats.deps_piggybacked += s.deps_piggybacked;
             completed.push((id, c.completed.clone()));
         }
     }
@@ -208,50 +212,40 @@ pub fn run_gryff(spec: GryffClusterSpec) -> GryffRunResult {
     }
 }
 
+/// Appends a client's records to the shared recorder and collects the
+/// per-key `(carstamp, rank, finish, op)` chain entries (writes before reads
+/// among carstamp ties) into `per_key`.
+pub fn record_with_carstamp_chains(
+    recorder: &mut HistoryRecorder,
+    client: u64,
+    records: &[CompletedRecord],
+    per_key: &mut std::collections::HashMap<u64, Vec<(Carstamp, u8, u64, OpId)>>,
+) {
+    for op in records {
+        let id = recorder.record(client, op);
+        let (key, rank) = match &op.kind {
+            OpKind::Read { key } => (Some(*key), 1),
+            OpKind::Write { key, .. } | OpKind::Rmw { key, .. } => (Some(*key), 0),
+            _ => (None, 0),
+        };
+        if let (Some(k), WitnessHint::Carstamp { count, writer }) = (key, op.witness) {
+            per_key.entry(k.0).or_default().push((
+                Carstamp { count, writer },
+                rank,
+                op.finish.as_micros(),
+                id,
+            ));
+        }
+    }
+}
+
 /// Builds the history and the per-key/process-order constraint edges of a run.
 pub fn build_history(result: &GryffRunResult) -> (History, Vec<(OpId, OpId)>) {
-    let mut history = History::new();
-    let mut process_of: HashMap<(NodeId, u64), ProcessId> = HashMap::new();
-    // Per (key): list of (carstamp, rank, finish, op id) for chain edges.
-    let mut per_key: HashMap<u64, Vec<(Carstamp, u8, u64, OpId)>> = HashMap::new();
-    let mut per_process: HashMap<ProcessId, Vec<(u64, OpId)>> = HashMap::new();
+    let mut recorder = HistoryRecorder::new();
+    let mut per_key: std::collections::HashMap<u64, Vec<(Carstamp, u8, u64, OpId)>> =
+        std::collections::HashMap::new();
     for (client, ops) in &result.completed {
-        for op in ops {
-            let next_pid = ProcessId((process_of.len() + 1) as u32);
-            let pid = *process_of.entry((*client, op.session)).or_insert(next_pid);
-            let (kind, opres, key, rank) = match op.kind {
-                OpRequest::Read { key } => {
-                    (OpKind::Read { key }, OpResult::Value(op.read_value), Some(key), 1)
-                }
-                OpRequest::Write { key } => {
-                    (OpKind::Write { key, value: op.written_value }, OpResult::Ack, Some(key), 0)
-                }
-                OpRequest::Rmw { key } => (
-                    OpKind::Rmw { key, value: op.written_value },
-                    OpResult::Value(op.read_value),
-                    Some(key),
-                    0,
-                ),
-                OpRequest::Fence => (OpKind::Fence, OpResult::Ack, None, 0),
-            };
-            let id = history.add_complete(
-                pid,
-                ServiceId::KV,
-                kind,
-                Timestamp(op.invoke.as_micros()),
-                Timestamp(op.finish.as_micros()),
-                opres,
-            );
-            if let Some(k) = key {
-                per_key.entry(k.0).or_default().push((
-                    op.carstamp,
-                    rank,
-                    op.finish.as_micros(),
-                    id,
-                ));
-            }
-            per_process.entry(pid).or_default().push((op.invoke.as_micros(), id));
-        }
+        record_with_carstamp_chains(&mut recorder, *client as u64, ops, &mut per_key);
     }
     let mut edges = Vec::new();
     for (_, mut items) in per_key {
@@ -260,13 +254,8 @@ pub fn build_history(result: &GryffRunResult) -> (History, Vec<(OpId, OpId)>) {
             edges.push((w[0].3, w[1].3));
         }
     }
-    for (_, mut items) in per_process {
-        items.sort_unstable();
-        for w in items.windows(2) {
-            edges.push((w[0].1, w[1].1));
-        }
-    }
-    (history, edges)
+    edges.extend(recorder.process_order_edges());
+    (recorder.into_history(), edges)
 }
 
 /// Verifies that a run satisfies its consistency model: linearizability for
@@ -304,16 +293,17 @@ pub fn all_reads_explainable(result: &GryffRunResult) -> bool {
     let mut written: std::collections::HashSet<Value> = std::collections::HashSet::new();
     for (_, ops) in &result.completed {
         for op in ops {
-            if !matches!(op.kind, OpRequest::Read { .. } | OpRequest::Fence) {
-                written.insert(op.written_value);
+            for (_, v) in op.kind.written_values() {
+                written.insert(v);
             }
         }
     }
     result.completed.iter().all(|(_, ops)| {
-        ops.iter().all(|op| {
-            !matches!(op.kind, OpRequest::Read { .. })
-                || op.read_value.is_null()
-                || written.contains(&op.read_value)
+        ops.iter().all(|op| match (&op.kind, &op.result) {
+            (OpKind::Read { .. }, regular_core::op::OpResult::Value(v)) => {
+                v.is_null() || written.contains(v)
+            }
+            _ => true,
         })
     })
 }
@@ -324,15 +314,24 @@ mod tests {
     use crate::workload::ConflictWorkload;
 
     fn run(mode: Mode, seed: u64, write_ratio: f64, conflict: f64) -> GryffRunResult {
+        run_batched(mode, seed, write_ratio, conflict, 1)
+    }
+
+    fn run_batched(
+        mode: Mode,
+        seed: u64,
+        write_ratio: f64,
+        conflict: f64,
+        batch: usize,
+    ) -> GryffRunResult {
         let config = GryffConfig::wan(mode);
         let net = LatencyMatrix::gryff_wan();
         let clients = (0..5)
             .map(|i| GryffClientSpec {
                 region: i % 5,
-                sessions: 3,
-                think_time: SimDuration::ZERO,
+                sessions: SessionConfig::closed_loop(3, SimDuration::ZERO).with_batch(batch),
                 workload: Box::new(ConflictWorkload::ycsb(write_ratio, conflict, i as u64))
-                    as Box<dyn GryffWorkload>,
+                    as Box<dyn SessionWorkload>,
             })
             .collect();
         run_gryff(GryffClusterSpec {
@@ -400,18 +399,34 @@ mod tests {
     }
 
     #[test]
+    fn batched_sessions_pipeline_and_stay_consistent() {
+        let serial = run_batched(Mode::GryffRsc, 21, 0.5, 0.25, 1);
+        let batched = run_batched(Mode::GryffRsc, 21, 0.5, 0.25, 8);
+        let total = |r: &GryffRunResult| r.client_stats.reads + r.client_stats.writes;
+        assert!(
+            total(&batched) > 3 * total(&serial),
+            "batch 8 should complete several times the closed-loop throughput \
+             (batched {} vs serial {})",
+            total(&batched),
+            total(&serial)
+        );
+        verify_run(&batched).expect("batched Gryff-RSC must still satisfy RSC");
+        let (history, _) = build_history(&batched);
+        history.validate().expect("pipelined lanes keep the history well-formed");
+    }
+
+    #[test]
     fn rmws_are_atomic_on_dedicated_keys() {
         let config = GryffConfig::wan(Mode::Gryff);
         let net = LatencyMatrix::gryff_wan();
         let clients = (0..3)
             .map(|i| GryffClientSpec {
                 region: i % 5,
-                sessions: 2,
-                think_time: SimDuration::ZERO,
+                sessions: SessionConfig::closed_loop(2, SimDuration::ZERO),
                 workload: Box::new(ConflictWorkload {
                     rmw_ratio: 1.0,
                     ..ConflictWorkload::ycsb(0.0, 0.0, i as u64)
-                }) as Box<dyn GryffWorkload>,
+                }) as Box<dyn SessionWorkload>,
             })
             .collect();
         let result = run_gryff(GryffClusterSpec {

@@ -7,6 +7,14 @@
 //! always complete in a single quorum round trip by piggybacking the read's
 //! write-back onto the client's next operation.
 //!
+//! Clients are built on the protocol-agnostic session layer
+//! (`regular-session`): the protocol core ([`client::GryffService`])
+//! implements [`regular_session::Service`], and the harness drives it with
+//! [`regular_session::SessionRunner`]s configured through
+//! [`regular_session::SessionConfig`] — the same interface Spanner uses, so a
+//! composed deployment can run both stores in one simulation (see the
+//! `multi_service` integration test).
+//!
 //! # Example
 //!
 //! ```
@@ -19,8 +27,7 @@
 //!     seed: 1,
 //!     clients: vec![GryffClientSpec {
 //!         region: 0,
-//!         sessions: 2,
-//!         think_time: SimDuration::ZERO,
+//!         sessions: SessionConfig::closed_loop(2, SimDuration::ZERO),
 //!         workload: Box::new(ConflictWorkload::ycsb(0.5, 0.1, 0)),
 //!     }],
 //!     stop_issuing_at: SimTime::from_secs(5),
@@ -42,14 +49,18 @@ pub mod workload;
 /// Convenient re-exports for harnesses, examples, and benches.
 pub mod prelude {
     pub use crate::carstamp::Carstamp;
-    pub use crate::client::{CompletedOp, GryffClient, GryffClientConfig, GryffClientStats};
+    pub use crate::client::{GryffClientConfig, GryffClientStats, GryffService};
     pub use crate::config::{GryffConfig, Mode};
     pub use crate::harness::{
-        all_reads_explainable, build_history, run_gryff, verify_run, GryffClientSpec,
-        GryffClusterSpec, GryffRunResult,
+        all_reads_explainable, build_history, client_config, read_value_summary,
+        record_with_carstamp_chains, run_gryff, verify_run, GryffClient, GryffClientSpec,
+        GryffClusterSpec, GryffNode, GryffRunResult,
     };
     pub use crate::messages::{Dep, GryffMsg, OpRef};
-    pub use crate::workload::{ConflictWorkload, GryffWorkload, OpRequest, ScriptedGryffWorkload};
+    pub use crate::workload::{ConflictWorkload, OpRequest};
+    pub use regular_session::{
+        ScriptedSessionWorkload, SessionConfig, SessionDriver, SessionOp, SessionWorkload,
+    };
 }
 
 pub use prelude::*;

@@ -7,12 +7,17 @@
 //! model: with probability `conflict_rate` the operation goes to a small
 //! shared hot set, otherwise to a per-client private region, so roughly
 //! `conflict_rate` of operations can race with other clients.
+//!
+//! Clients consume the protocol-agnostic
+//! [`regular_session::SessionWorkload`] interface; [`OpRequest`] is the
+//! protocol core's internal representation of one in-flight operation.
 
 use rand::rngs::SmallRng;
 use rand::Rng;
 use regular_core::types::Key;
+use regular_session::{SessionOp, SessionWorkload};
 
-/// One operation to issue.
+/// One operation in flight at the protocol core.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OpRequest {
     /// Read a key.
@@ -32,12 +37,6 @@ pub enum OpRequest {
     },
     /// A real-time fence (Gryff-RSC composition; a no-op for the baseline).
     Fence,
-}
-
-/// A source of operations for one client node.
-pub trait GryffWorkload: 'static {
-    /// Produces the next operation.
-    fn next_op(&mut self, rng: &mut SmallRng) -> OpRequest;
 }
 
 /// The YCSB-style read/write workload with a conflict rate (Section 7.2).
@@ -83,43 +82,21 @@ impl ConflictWorkload {
     }
 }
 
-impl GryffWorkload for ConflictWorkload {
-    fn next_op(&mut self, rng: &mut SmallRng) -> OpRequest {
+impl SessionWorkload for ConflictWorkload {
+    fn next_op(&mut self, rng: &mut SmallRng) -> SessionOp {
         if self.rmw_ratio > 0.0 && rng.gen_bool(self.rmw_ratio) {
             // Rmws target a dedicated counter range shared by all clients so
             // they exercise the consensus path without racing plain writes.
-            return OpRequest::Rmw {
+            return SessionOp::Rmw {
                 key: Key(900_000 + rng.gen_range(0..self.shared_keys.max(1))),
             };
         }
         let key = self.pick_key(rng);
         if rng.gen_bool(self.write_ratio) {
-            OpRequest::Write { key }
+            SessionOp::Write { key }
         } else {
-            OpRequest::Read { key }
+            SessionOp::Read { key }
         }
-    }
-}
-
-/// A scripted workload replaying a fixed operation list (tests and examples).
-#[derive(Debug, Clone)]
-pub struct ScriptedGryffWorkload {
-    ops: Vec<OpRequest>,
-    next: usize,
-}
-
-impl ScriptedGryffWorkload {
-    /// Creates a scripted workload.
-    pub fn new(ops: Vec<OpRequest>) -> Self {
-        ScriptedGryffWorkload { ops, next: 0 }
-    }
-}
-
-impl GryffWorkload for ScriptedGryffWorkload {
-    fn next_op(&mut self, _rng: &mut SmallRng) -> OpRequest {
-        let op = self.ops.get(self.next).cloned().unwrap_or(OpRequest::Read { key: Key(0) });
-        self.next += 1;
-        op
     }
 }
 
@@ -127,6 +104,7 @@ impl GryffWorkload for ScriptedGryffWorkload {
 mod tests {
     use super::*;
     use rand::SeedableRng;
+    use regular_session::ScriptedSessionWorkload;
 
     #[test]
     fn conflict_rate_and_write_ratio_are_respected() {
@@ -137,13 +115,13 @@ mod tests {
         let n = 4_000;
         for _ in 0..n {
             match w.next_op(&mut rng) {
-                OpRequest::Write { key } => {
+                SessionOp::Write { key } => {
                     writes += 1;
                     if key.0 < 1_000 {
                         shared += 1;
                     }
                 }
-                OpRequest::Read { key } if key.0 < 1_000 => {
+                SessionOp::Read { key } if key.0 < 1_000 => {
                     shared += 1;
                 }
                 _ => {}
@@ -162,11 +140,11 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(5);
         for _ in 0..100 {
             let ka = match a.next_op(&mut rng) {
-                OpRequest::Read { key } => key,
+                SessionOp::Read { key } => key,
                 _ => unreachable!("write ratio is zero"),
             };
             let kb = match b.next_op(&mut rng) {
-                OpRequest::Read { key } => key,
+                SessionOp::Read { key } => key,
                 _ => unreachable!("write ratio is zero"),
             };
             assert!(ka.0 / 1_000 != kb.0 / 1_000 || ka.0 < 1_000_000 || kb.0 < 1_000_000);
@@ -179,23 +157,23 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(9);
         for _ in 0..50 {
             match w.next_op(&mut rng) {
-                OpRequest::Rmw { key } => assert!((900_000..1_000_000).contains(&key.0)),
+                SessionOp::Rmw { key } => assert!((900_000..1_000_000).contains(&key.0)),
                 other => panic!("expected rmw, got {other:?}"),
             }
         }
     }
 
     #[test]
-    fn scripted_workload_replays() {
-        let mut w = ScriptedGryffWorkload::new(vec![
-            OpRequest::Write { key: Key(1) },
-            OpRequest::Fence,
-            OpRequest::Read { key: Key(1) },
+    fn scripted_session_workload_serves_gryff_ops() {
+        let mut w = ScriptedSessionWorkload::new(vec![
+            SessionOp::Write { key: Key(1) },
+            SessionOp::Fence,
+            SessionOp::Read { key: Key(1) },
         ]);
         let mut rng = SmallRng::seed_from_u64(1);
-        assert_eq!(w.next_op(&mut rng), OpRequest::Write { key: Key(1) });
-        assert_eq!(w.next_op(&mut rng), OpRequest::Fence);
-        assert_eq!(w.next_op(&mut rng), OpRequest::Read { key: Key(1) });
-        assert_eq!(w.next_op(&mut rng), OpRequest::Read { key: Key(0) });
+        assert_eq!(w.next_op(&mut rng), SessionOp::Write { key: Key(1) });
+        assert_eq!(w.next_op(&mut rng), SessionOp::Fence);
+        assert_eq!(w.next_op(&mut rng), SessionOp::Read { key: Key(1) });
+        assert_eq!(w.next_op(&mut rng), SessionOp::Read { key: Key(0) });
     }
 }

@@ -8,12 +8,24 @@
 //! invokes the previous service's fence exactly when the client switches
 //! services. No application changes are required.
 //!
+//! Service names are interned to dense [`ServiceIdx`] ids at registration, so
+//! the transaction-start hot path performs no allocation: the last service is
+//! tracked as an index, and callers that hold on to the [`ServiceIdx`]
+//! returned by [`LibRss::register_service`] can use
+//! [`LibRss::start_transaction_at`] to skip the name lookup entirely.
+//!
 //! The crate also provides the causal-context propagation helper of
 //! Section 4.2: when application processes interact out of band (e.g. a Web
 //! server responding to a browser that then talks to a different server), the
 //! serialized [`CausalContext`] carries the minimum-read-timestamp metadata and
 //! the name of the last service so the receiving process's `libRSS` instance
 //! can continue enforcing causality.
+//!
+//! For simulated deployments where a fence is an asynchronous protocol
+//! operation rather than a synchronous callback, [`planner::FencePlanner`]
+//! exposes the same decision logic (fence the previous service exactly on a
+//! service switch) in a pure form; the `regular-session` crate's composed
+//! session runner drives it.
 //!
 //! # Example
 //!
@@ -41,18 +53,38 @@ use std::collections::HashMap;
 use parking_lot::Mutex;
 use regular_core::fence::{FenceStats, FencedService};
 
+pub mod planner;
+
+pub use planner::FencePlanner;
+
+/// Dense identifier of a registered service, assigned by
+/// [`LibRss::register_service`] in registration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ServiceIdx(pub usize);
+
 /// Errors returned by the meta-library.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LibRssError {
-    /// `start_transaction` named a service that was never registered.
+    /// `start_transaction` named a service that was never registered (or was
+    /// unregistered).
     UnknownService(String),
+}
+
+/// One registered service: its name and fence callback. Unregistered slots
+/// keep their name (indices stay stable) but lose the callback.
+struct ServiceSlot {
+    name: String,
+    fence: Option<Box<dyn FnMut() + Send>>,
 }
 
 /// The per-process composition meta-library (Figure 3).
 #[derive(Default)]
 pub struct LibRss {
-    services: HashMap<String, Box<dyn FnMut() + Send>>,
-    last_service: Option<String>,
+    slots: Vec<ServiceSlot>,
+    /// Name → dense index; entries are removed on unregistration.
+    lookup: HashMap<String, usize>,
+    /// The service the last transaction was started at, as a dense index.
+    last_service: Option<usize>,
     stats: FenceStats,
 }
 
@@ -62,63 +94,105 @@ impl LibRss {
         Self::default()
     }
 
-    /// `RegisterService(name, fence_f)`: registers a service's fence callback.
+    /// `RegisterService(name, fence_f)`: registers a service's fence callback
+    /// and returns its dense id. Re-registering a name replaces the callback
+    /// and keeps the id.
     pub fn register_service(
         &mut self,
         name: impl Into<String>,
         fence: impl FnMut() + Send + 'static,
-    ) -> &mut Self {
+    ) -> ServiceIdx {
         let name = name.into();
-        self.services.insert(name, Box::new(fence));
-        self
+        if let Some(&idx) = self.lookup.get(&name) {
+            self.slots[idx].fence = Some(Box::new(fence));
+            return ServiceIdx(idx);
+        }
+        let idx = self.slots.len();
+        self.lookup.insert(name.clone(), idx);
+        self.slots.push(ServiceSlot { name, fence: Some(Box::new(fence)) });
+        ServiceIdx(idx)
     }
 
     /// Registers a [`FencedService`] implementation by wrapping it in the
     /// callback form (the service is moved into the registry).
-    pub fn register_fenced_service<S: FencedService + Send + 'static>(&mut self, mut service: S) {
+    pub fn register_fenced_service<S: FencedService + Send + 'static>(
+        &mut self,
+        mut service: S,
+    ) -> ServiceIdx {
         let name = service.service_name().to_string();
-        self.register_service(name, move || service.fence());
+        self.register_service(name, move || service.fence())
     }
 
     /// `UnregisterService(name)`: removes a service from the registry.
     pub fn unregister_service(&mut self, name: &str) -> bool {
-        let removed = self.services.remove(name).is_some();
-        if self.last_service.as_deref() == Some(name) {
+        let Some(idx) = self.lookup.remove(name) else { return false };
+        self.slots[idx].fence = None;
+        if self.last_service == Some(idx) {
             self.last_service = None;
         }
-        removed
+        true
+    }
+
+    /// Resolves a service name to its dense id, if registered.
+    pub fn service_idx(&self, name: &str) -> Option<ServiceIdx> {
+        self.lookup.get(name).copied().map(ServiceIdx)
     }
 
     /// `StartTransaction(name)`: must be called by a service's client library
     /// before starting a transaction. If the previous transaction went to a
     /// different service, that service's real-time fence is invoked first.
     pub fn start_transaction(&mut self, name: &str) -> Result<(), LibRssError> {
-        if !self.services.contains_key(name) {
-            return Err(LibRssError::UnknownService(name.to_string()));
+        match self.lookup.get(name).copied() {
+            Some(idx) => {
+                self.start_at(idx);
+                Ok(())
+            }
+            None => Err(LibRssError::UnknownService(name.to_string())),
         }
-        match self.last_service.clone() {
-            Some(prev) if prev != name => {
-                if let Some(fence) = self.services.get_mut(&prev) {
+    }
+
+    /// [`LibRss::start_transaction`] by dense id, skipping the name lookup —
+    /// the allocation- and hash-free hot path for callers that kept the id
+    /// returned by [`LibRss::register_service`].
+    pub fn start_transaction_at(&mut self, service: ServiceIdx) -> Result<(), LibRssError> {
+        let idx = service.0;
+        if idx >= self.slots.len() || self.slots[idx].fence.is_none() {
+            let name =
+                self.slots.get(idx).map(|s| s.name.clone()).unwrap_or_else(|| format!("#{idx}"));
+            return Err(LibRssError::UnknownService(name));
+        }
+        self.start_at(idx);
+        Ok(())
+    }
+
+    fn start_at(&mut self, idx: usize) {
+        match self.last_service {
+            Some(prev) if prev != idx => {
+                if let Some(fence) = self.slots[prev].fence.as_mut() {
                     fence();
                     self.stats.record_executed();
+                } else {
+                    // The previous service was unregistered; there is nothing
+                    // left to fence.
+                    self.stats.record_elided();
                 }
             }
             _ => self.stats.record_elided(),
         }
-        self.last_service = Some(name.to_string());
-        Ok(())
+        self.last_service = Some(idx);
     }
 
     /// The registered service names, sorted.
     pub fn services(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.services.keys().cloned().collect();
+        let mut names: Vec<String> =
+            self.slots.iter().filter(|s| s.fence.is_some()).map(|s| s.name.clone()).collect();
         names.sort();
         names
     }
 
     /// The service the last transaction was started at.
     pub fn last_service(&self) -> Option<&str> {
-        self.last_service.as_deref()
+        self.last_service.map(|idx| self.slots[idx].name.as_str())
     }
 
     /// Fence statistics (how many transaction starts required a fence).
@@ -128,15 +202,15 @@ impl LibRss {
 
     /// Exports the causal context to send to another process (Section 4.2).
     pub fn export_context(&self, min_timestamp: u64) -> CausalContext {
-        CausalContext { last_service: self.last_service.clone(), min_timestamp }
+        CausalContext { last_service: self.last_service().map(str::to_string), min_timestamp }
     }
 
     /// Imports a causal context received from another process: the next
     /// transaction will fence the sender's last service if it differs.
     pub fn import_context(&mut self, ctx: &CausalContext) {
         if let Some(svc) = &ctx.last_service {
-            if self.services.contains_key(svc) {
-                self.last_service = Some(svc.clone());
+            if let Some(&idx) = self.lookup.get(svc) {
+                self.last_service = Some(idx);
             }
         }
     }
@@ -153,7 +227,8 @@ pub struct CausalContext {
     pub min_timestamp: u64,
 }
 
-/// A thread-safe wrapper for sharing one registry between application threads.
+/// A thread-safe wrapper for sharing one registry between application threads,
+/// exposing the full Section 4.1/4.2 workflow.
 #[derive(Default)]
 pub struct SharedLibRss {
     inner: Mutex<LibRss>,
@@ -166,13 +241,51 @@ impl SharedLibRss {
     }
 
     /// See [`LibRss::register_service`].
-    pub fn register_service(&self, name: impl Into<String>, fence: impl FnMut() + Send + 'static) {
-        self.inner.lock().register_service(name, fence);
+    pub fn register_service(
+        &self,
+        name: impl Into<String>,
+        fence: impl FnMut() + Send + 'static,
+    ) -> ServiceIdx {
+        self.inner.lock().register_service(name, fence)
+    }
+
+    /// See [`LibRss::register_fenced_service`].
+    pub fn register_fenced_service<S: FencedService + Send + 'static>(
+        &self,
+        service: S,
+    ) -> ServiceIdx {
+        self.inner.lock().register_fenced_service(service)
+    }
+
+    /// See [`LibRss::unregister_service`].
+    pub fn unregister_service(&self, name: &str) -> bool {
+        self.inner.lock().unregister_service(name)
     }
 
     /// See [`LibRss::start_transaction`].
     pub fn start_transaction(&self, name: &str) -> Result<(), LibRssError> {
         self.inner.lock().start_transaction(name)
+    }
+
+    /// See [`LibRss::start_transaction_at`].
+    pub fn start_transaction_at(&self, service: ServiceIdx) -> Result<(), LibRssError> {
+        self.inner.lock().start_transaction_at(service)
+    }
+
+    /// See [`LibRss::export_context`].
+    pub fn export_context(&self, min_timestamp: u64) -> CausalContext {
+        self.inner.lock().export_context(min_timestamp)
+    }
+
+    /// See [`LibRss::import_context`].
+    pub fn import_context(&self, ctx: &CausalContext) {
+        self.inner.lock().import_context(ctx)
+    }
+
+    /// See [`LibRss::last_service`]. Returns an owned name because the lock is
+    /// released before returning.
+    pub fn last_service(&self) -> Option<String> {
+        self.inner.lock().last_service().map(str::to_string)
     }
 
     /// See [`LibRss::stats`].
@@ -218,6 +331,28 @@ mod tests {
     }
 
     #[test]
+    fn dense_ids_skip_the_name_lookup() {
+        let (mut lib, kv, _) = counting_registry();
+        let kv_idx = lib.service_idx("kv").unwrap();
+        let queue_idx = lib.service_idx("queue").unwrap();
+        assert_eq!(kv_idx, ServiceIdx(0));
+        assert_eq!(queue_idx, ServiceIdx(1));
+        lib.start_transaction_at(kv_idx).unwrap();
+        lib.start_transaction_at(queue_idx).unwrap();
+        assert_eq!(kv.load(Ordering::SeqCst), 1);
+        assert_eq!(lib.last_service(), Some("queue"));
+        assert!(lib.start_transaction_at(ServiceIdx(99)).is_err());
+    }
+
+    #[test]
+    fn reregistering_a_name_keeps_its_id() {
+        let (mut lib, _, _) = counting_registry();
+        let again = lib.register_service("kv", || {});
+        assert_eq!(again, ServiceIdx(0));
+        assert_eq!(lib.services(), vec!["kv".to_string(), "queue".to_string()]);
+    }
+
+    #[test]
     fn unknown_service_is_rejected() {
         let (mut lib, _, _) = counting_registry();
         assert_eq!(
@@ -234,6 +369,17 @@ mod tests {
         assert!(!lib.unregister_service("kv"));
         assert_eq!(lib.services(), vec!["queue".to_string()]);
         assert!(lib.start_transaction("kv").is_err());
+    }
+
+    #[test]
+    fn unregistered_previous_service_is_not_fenced() {
+        let (mut lib, kv, _) = counting_registry();
+        lib.start_transaction("kv").unwrap();
+        assert!(lib.unregister_service("kv"));
+        // The switch to the queue has nothing left to fence; it must not panic
+        // or invoke the dropped callback.
+        lib.start_transaction("queue").unwrap();
+        assert_eq!(kv.load(Ordering::SeqCst), 0);
     }
 
     #[test]
@@ -314,5 +460,29 @@ mod tests {
         let stats = shared.stats();
         assert_eq!(stats.executed + stats.elided, 800);
         assert!(count.load(Ordering::SeqCst) > 0);
+    }
+
+    #[test]
+    fn shared_registry_full_workflow_passthroughs() {
+        let sender = SharedLibRss::new();
+        sender.register_service("kv", || {});
+        sender.register_service("queue", || {});
+        sender.start_transaction("kv").unwrap();
+        assert_eq!(sender.last_service().as_deref(), Some("kv"));
+        let ctx = sender.export_context(7);
+
+        let fenced = Arc::new(AtomicU32::new(0));
+        let receiver = SharedLibRss::new();
+        let f = fenced.clone();
+        receiver.register_service("kv", move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        receiver.register_service("queue", || {});
+        receiver.import_context(&ctx);
+        receiver.start_transaction("queue").unwrap();
+        assert_eq!(fenced.load(Ordering::SeqCst), 1, "imported context forces the kv fence");
+
+        assert!(receiver.unregister_service("kv"));
+        assert!(receiver.start_transaction("kv").is_err());
     }
 }

@@ -1,0 +1,84 @@
+//! Session load-generation configuration.
+
+use regular_sim::time::SimDuration;
+
+/// How a client node's sessions arrive and pace themselves.
+#[derive(Debug, Clone)]
+pub enum SessionDriver {
+    /// A fixed number of closed-loop sessions issuing batches back-to-back
+    /// with the given think time (Figure 6 and the overhead experiments).
+    ClosedLoop {
+        /// Number of concurrent sessions.
+        sessions: usize,
+        /// Think time between a session's batches.
+        think_time: SimDuration,
+    },
+    /// The partly-open model of Section 6: sessions arrive at `arrival_rate`
+    /// per second, continue with probability `stay_probability` after each
+    /// batch, and think for `think_time` in between.
+    PartlyOpen {
+        /// Session arrival rate (sessions per second) at this node.
+        arrival_rate: f64,
+        /// Probability a session issues another batch.
+        stay_probability: f64,
+        /// Think time between a session's batches.
+        think_time: SimDuration,
+    },
+}
+
+/// Static configuration of the sessions a client node drives.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Arrival/pacing model.
+    pub driver: SessionDriver,
+    /// Operations issued per session turn without waiting (pipelining depth).
+    /// `1` reproduces the paper's one-outstanding-operation sessions.
+    pub batch: usize,
+}
+
+impl SessionConfig {
+    /// A closed-loop configuration with batch 1.
+    pub fn closed_loop(sessions: usize, think_time: SimDuration) -> Self {
+        SessionConfig { driver: SessionDriver::ClosedLoop { sessions, think_time }, batch: 1 }
+    }
+
+    /// A partly-open configuration with batch 1.
+    pub fn partly_open(arrival_rate: f64, stay_probability: f64, think_time: SimDuration) -> Self {
+        SessionConfig {
+            driver: SessionDriver::PartlyOpen { arrival_rate, stay_probability, think_time },
+            batch: 1,
+        }
+    }
+
+    /// Sets the pipelining depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        assert!(batch >= 1, "batch must be at least 1");
+        self.batch = batch;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_set_fields() {
+        let c = SessionConfig::closed_loop(4, SimDuration::from_millis(5)).with_batch(16);
+        assert_eq!(c.batch, 16);
+        assert!(matches!(c.driver, SessionDriver::ClosedLoop { sessions: 4, .. }));
+        let p = SessionConfig::partly_open(2.0, 0.9, SimDuration::ZERO);
+        assert_eq!(p.batch, 1);
+        assert!(matches!(p.driver, SessionDriver::PartlyOpen { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be at least 1")]
+    fn zero_batch_is_rejected() {
+        let _ = SessionConfig::closed_loop(1, SimDuration::ZERO).with_batch(0);
+    }
+}

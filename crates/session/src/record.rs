@@ -1,0 +1,255 @@
+//! Completed-operation records and the shared history recorder.
+//!
+//! Every protocol client used to keep its own completion struct
+//! (`CompletedTxn`, `CompletedOp`) and every harness its own conversion to
+//! [`regular_core::History`]. The session layer unifies both: services emit
+//! [`CompletedRecord`]s carrying the *core* operation kind and result
+//! directly, and [`HistoryRecorder`] performs the one remaining conversion —
+//! assigning application processes to `(client, session, slot)` lanes and
+//! appending to the history — identically for every protocol.
+
+use std::collections::HashMap;
+
+use regular_core::history::History;
+use regular_core::op::{OpKind, OpResult};
+use regular_core::types::{OpId, ProcessId, ServiceId, Timestamp};
+use regular_sim::time::{SimDuration, SimTime};
+
+/// Identifies one pipeline slot of one session: the unit that behaves as a
+/// sequential application process. With `batch = 1` every session has exactly
+/// one lane (slot 0), reproducing the paper's session-per-process model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LaneId {
+    /// The issuing session.
+    pub session: u64,
+    /// The pipeline slot within the session's batch.
+    pub slot: u32,
+}
+
+impl LaneId {
+    /// A dense `u64` key uniquely identifying this lane, for per-process
+    /// bookkeeping keyed by plain integers (e.g.
+    /// [`regular_librss::FencePlanner`]).
+    pub fn key(self) -> u64 {
+        debug_assert!(self.session < 1 << 32, "session ids stay within 32 bits");
+        (self.session << 32) | u64::from(self.slot)
+    }
+}
+
+/// Protocol ordering metadata attached to a completion, used by the harnesses
+/// to derive serialization witnesses without protocol-specific structs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WitnessHint {
+    /// No ordering metadata (e.g. fences in ordering-by-edges protocols).
+    None,
+    /// A globally comparable serialization timestamp (Spanner's commit and
+    /// snapshot timestamps).
+    Timestamp {
+        /// The serialization timestamp in TrueTime microseconds.
+        ts: u64,
+    },
+    /// A per-key carstamp (Gryff): totally ordered within a key only.
+    Carstamp {
+        /// Carstamp counter.
+        count: u64,
+        /// Writer id breaking counter ties.
+        writer: u64,
+    },
+}
+
+/// One completed session operation, as reported by a [`crate::Service`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletedRecord {
+    /// The service the operation executed at.
+    pub service: ServiceId,
+    /// The operation, in the consistency core's vocabulary.
+    pub kind: OpKind,
+    /// The returned result.
+    pub result: OpResult,
+    /// Invocation instant (first attempt).
+    pub invoke: SimTime,
+    /// Completion instant.
+    pub finish: SimTime,
+    /// The issuing session.
+    pub session: u64,
+    /// The issuing pipeline slot within the session.
+    pub slot: u32,
+    /// Number of protocol attempts (1 = first try).
+    pub attempts: u32,
+    /// Wide-area round trips the operation needed (protocols that track it).
+    pub rounds: u8,
+    /// True if the client had already given up on this operation when it
+    /// completed. Orphaned completions are part of the execution history
+    /// (their effects are visible) but are excluded from latency measurements
+    /// and are not ordered within their session.
+    pub orphan: bool,
+    /// Protocol ordering metadata for witness assembly.
+    pub witness: WitnessHint,
+}
+
+impl CompletedRecord {
+    /// The operation's latency.
+    pub fn latency(&self) -> SimDuration {
+        self.finish.since(self.invoke)
+    }
+
+    /// The serialization timestamp, if the protocol provided one.
+    pub fn witness_ts(&self) -> Option<u64> {
+        match self.witness {
+            WitnessHint::Timestamp { ts } => Some(ts),
+            _ => None,
+        }
+    }
+}
+
+/// Builds a [`History`] from completed records, assigning one
+/// [`ProcessId`] per `(client, session, slot)` lane and a fresh process to
+/// every orphaned completion (the client had already moved on, so the
+/// operation is not ordered within its session).
+#[derive(Debug, Default)]
+pub struct HistoryRecorder {
+    history: History,
+    process_of: HashMap<(u64, u64, u32), ProcessId>,
+    /// Per-process `(invoke_us, op)` lists, in process-creation order, for
+    /// [`HistoryRecorder::process_order_edges`].
+    per_process: Vec<Vec<(u64, OpId)>>,
+    orphan_pid: u32,
+}
+
+/// Orphan processes are numbered from here, far above any lane process.
+const ORPHAN_PID_BASE: u32 = 1_000_000;
+
+impl HistoryRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        HistoryRecorder {
+            history: History::new(),
+            process_of: HashMap::new(),
+            per_process: Vec::new(),
+            orphan_pid: ORPHAN_PID_BASE,
+        }
+    }
+
+    /// Records one completion from client node `client` and returns its op id.
+    pub fn record(&mut self, client: u64, rec: &CompletedRecord) -> OpId {
+        let pid = if rec.orphan {
+            self.orphan_pid += 1;
+            ProcessId(self.orphan_pid)
+        } else {
+            let next_pid = ProcessId((self.process_of.len() + 1) as u32);
+            *self.process_of.entry((client, rec.session, rec.slot)).or_insert(next_pid)
+        };
+        let id = self.history.add_complete(
+            pid,
+            rec.service,
+            rec.kind.clone(),
+            Timestamp(rec.invoke.as_micros()),
+            Timestamp(rec.finish.as_micros()),
+            rec.result.clone(),
+        );
+        if !rec.orphan {
+            let slot = pid.0 as usize - 1;
+            if self.per_process.len() <= slot {
+                self.per_process.resize(slot + 1, Vec::new());
+            }
+            self.per_process[slot].push((rec.invoke.as_micros(), id));
+        }
+        id
+    }
+
+    /// The history recorded so far.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Consecutive-operation edges of every lane process, ordered by
+    /// invocation time: the process-order constraints used by edge-based
+    /// witness assembly ([`regular_core::checker::assemble::assemble_witness`]).
+    pub fn process_order_edges(&self) -> Vec<(OpId, OpId)> {
+        let mut edges = Vec::new();
+        for ops in &self.per_process {
+            let mut items = ops.clone();
+            items.sort_unstable();
+            for w in items.windows(2) {
+                edges.push((w[0].1, w[1].1));
+            }
+        }
+        edges
+    }
+
+    /// Finishes recording, returning the history.
+    pub fn into_history(self) -> History {
+        self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regular_core::types::{Key, Value};
+
+    fn write_rec(session: u64, slot: u32, key: u64, at: u64, orphan: bool) -> CompletedRecord {
+        CompletedRecord {
+            service: ServiceId::KV,
+            kind: OpKind::Write { key: Key(key), value: Value(at + 1) },
+            result: OpResult::Ack,
+            invoke: SimTime::from_micros(at),
+            finish: SimTime::from_micros(at + 10),
+            session,
+            slot,
+            attempts: 1,
+            rounds: 1,
+            orphan,
+            witness: WitnessHint::Timestamp { ts: at },
+        }
+    }
+
+    #[test]
+    fn lanes_become_processes_in_first_seen_order() {
+        let mut r = HistoryRecorder::new();
+        let a = r.record(0, &write_rec(0, 0, 1, 0, false));
+        let b = r.record(0, &write_rec(1, 0, 1, 20, false));
+        let c = r.record(0, &write_rec(0, 0, 1, 40, false));
+        let d = r.record(1, &write_rec(0, 0, 1, 60, false));
+        let h = r.into_history();
+        assert_eq!(h.op(a).process, ProcessId(1));
+        assert_eq!(h.op(b).process, ProcessId(2));
+        assert_eq!(h.op(c).process, ProcessId(1), "same lane, same process");
+        assert_eq!(h.op(d).process, ProcessId(3), "another client is another process");
+    }
+
+    #[test]
+    fn slots_are_distinct_processes() {
+        let mut r = HistoryRecorder::new();
+        let a = r.record(0, &write_rec(0, 0, 1, 0, false));
+        let b = r.record(0, &write_rec(0, 1, 1, 0, false));
+        let h = r.into_history();
+        assert_ne!(h.op(a).process, h.op(b).process);
+        // Concurrent slots must not trip the one-outstanding-op validation.
+        assert!(h.validate().is_ok());
+    }
+
+    #[test]
+    fn orphans_get_fresh_high_processes() {
+        let mut r = HistoryRecorder::new();
+        r.record(0, &write_rec(0, 0, 1, 0, false));
+        let o1 = r.record(0, &write_rec(0, 0, 1, 5, true));
+        let o2 = r.record(0, &write_rec(0, 0, 1, 6, true));
+        let h = r.history();
+        assert_eq!(h.op(o1).process, ProcessId(ORPHAN_PID_BASE + 1));
+        assert_eq!(h.op(o2).process, ProcessId(ORPHAN_PID_BASE + 2));
+    }
+
+    #[test]
+    fn process_order_edges_follow_invocation_order() {
+        let mut r = HistoryRecorder::new();
+        let a = r.record(0, &write_rec(0, 0, 1, 0, false));
+        let b = r.record(0, &write_rec(0, 0, 2, 20, false));
+        let c = r.record(0, &write_rec(1, 0, 3, 10, false));
+        let orphan = r.record(0, &write_rec(0, 0, 4, 30, true));
+        let edges = r.process_order_edges();
+        assert!(edges.contains(&(a, b)));
+        assert!(!edges.iter().any(|(x, y)| *x == c || *y == c), "single-op lane has no edges");
+        assert!(!edges.iter().any(|(x, y)| *x == orphan || *y == orphan));
+    }
+}

@@ -1,0 +1,373 @@
+//! Session runners: the simulation nodes that drive services with sessions.
+//!
+//! [`SessionRunner`] drives a single service — the building block the
+//! Spanner-RSS and Gryff-RSC harnesses assemble client nodes from.
+//! [`ComposedRunner`] drives *several* services behind one wire type, with
+//! `libRSS` fence planning ([`regular_librss::FencePlanner`]) inserting a
+//! real-time fence at the previous service whenever a session switches
+//! services (Section 4.1, Figure 3).
+
+use std::collections::HashMap;
+
+use regular_core::fence::FenceStats;
+use regular_librss::FencePlanner;
+use regular_sim::engine::{Context, Node, NodeId};
+use regular_sim::time::{SimDuration, SimTime};
+
+use crate::config::SessionConfig;
+use crate::op::{MultiServiceWorkload, SessionOp, SessionWorkload};
+use crate::record::{CompletedRecord, LaneId};
+use crate::scheduler::{SessionScheduler, Wake};
+use crate::service::{runner_tag, Service};
+
+/// Aggregate counters a runner keeps about its sessions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionStats {
+    /// Batches issued.
+    pub batches: u64,
+    /// Non-orphan operations completed.
+    pub ops_completed: u64,
+}
+
+/// A simulation node driving one [`Service`] with configured sessions.
+pub struct SessionRunner<S: Service> {
+    /// The protocol service front-end (public so harnesses can read its
+    /// protocol-specific statistics after the run).
+    pub service: S,
+    scheduler: SessionScheduler,
+    workload: Box<dyn SessionWorkload>,
+    timers: HashMap<u64, Wake>,
+    next_timer: u64,
+    outstanding: HashMap<u64, usize>,
+    /// All completions, including warm-up and orphans, in completion order.
+    pub completed: Vec<CompletedRecord>,
+    /// Aggregate session statistics.
+    pub stats: SessionStats,
+}
+
+impl<S: Service> SessionRunner<S> {
+    /// Creates a runner issuing batches until `stop_issuing_at`.
+    pub fn new(
+        service: S,
+        sessions: SessionConfig,
+        stop_issuing_at: SimTime,
+        workload: Box<dyn SessionWorkload>,
+    ) -> Self {
+        SessionRunner {
+            service,
+            scheduler: SessionScheduler::new(sessions, stop_issuing_at),
+            workload,
+            timers: HashMap::new(),
+            next_timer: 0,
+            outstanding: HashMap::new(),
+            completed: Vec::new(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    fn arm(&mut self, ctx: &mut Context<S::Msg>, delay: SimDuration, wake: Wake) {
+        let tag = runner_tag(&mut self.next_timer);
+        self.timers.insert(tag, wake);
+        ctx.set_timer(delay, tag);
+    }
+
+    fn issue_batch(&mut self, ctx: &mut Context<S::Msg>, session: u64) {
+        let batch = self.scheduler.batch();
+        self.outstanding.insert(session, batch);
+        self.stats.batches += 1;
+        for slot in 0..batch {
+            let op = self.workload.next_op(ctx.rng());
+            self.service.submit(ctx, LaneId { session, slot: slot as u32 }, op);
+        }
+    }
+
+    /// Collects completions; when a session's batch fully completes, asks the
+    /// scheduler how the session continues. Loops because a submission issued
+    /// from a completion (none today, but cheap to be safe) may itself
+    /// complete synchronously.
+    fn drain(&mut self, ctx: &mut Context<S::Msg>) {
+        loop {
+            let records = self.service.drain_completed();
+            if records.is_empty() {
+                return;
+            }
+            for rec in records {
+                if !rec.orphan {
+                    self.stats.ops_completed += 1;
+                    if let Some(n) = self.outstanding.get_mut(&rec.session) {
+                        *n -= 1;
+                        if *n == 0 {
+                            self.outstanding.remove(&rec.session);
+                            let timers =
+                                self.scheduler.on_batch_complete(ctx.now(), ctx.rng(), rec.session);
+                            for (delay, wake) in timers {
+                                self.arm(ctx, delay, wake);
+                            }
+                            if !self.scheduler.is_active(rec.session) {
+                                self.service.end_session(rec.session);
+                            }
+                        }
+                    }
+                }
+                self.completed.push(rec);
+            }
+        }
+    }
+}
+
+impl<S: Service> Node<S::Msg> for SessionRunner<S> {
+    fn on_start(&mut self, ctx: &mut Context<S::Msg>) {
+        self.service.on_start(ctx);
+        let timers = self.scheduler.on_start(ctx.rng());
+        for (delay, wake) in timers {
+            self.arm(ctx, delay, wake);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<S::Msg>, from: NodeId, msg: S::Msg) {
+        self.service.on_message(ctx, from, msg);
+        self.drain(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<S::Msg>, tag: u64) {
+        if tag & 1 == 1 {
+            self.service.on_timer(ctx, tag);
+        } else {
+            let Some(wake) = self.timers.remove(&tag) else { return };
+            let (issue, timers) = self.scheduler.on_wake(ctx.now(), ctx.rng(), wake);
+            for (delay, next) in timers {
+                self.arm(ctx, delay, next);
+            }
+            for session in issue {
+                self.issue_batch(ctx, session);
+            }
+            // The stop-issuing cutoff retires sessions at wake time.
+            if let Wake::Issue { session } = wake {
+                if !self.scheduler.is_active(session) && !self.outstanding.contains_key(&session) {
+                    self.service.end_session(session);
+                }
+            }
+        }
+        self.drain(ctx);
+    }
+}
+
+/// A simulation node whose sessions hop between several services (all lifted
+/// to one wire type `M`, typically via [`crate::MappedService`]), fencing the
+/// previous service on every switch exactly as `libRSS` prescribes.
+///
+/// # One service per protocol
+///
+/// Incoming wire messages are offered to every service; each service accepts
+/// the variants its protocol understands and ignores the rest. That routing
+/// is only unambiguous when **at most one service speaks each protocol
+/// message type**: two instances of the same protocol would both accept the
+/// same replies (their operation identifiers carry no store discriminator)
+/// and silently corrupt each other's in-flight state. [`ComposedRunner::new`]
+/// enforces the cheap proxy of that rule — distinct
+/// [`Service::service_id`]s — and composing two same-protocol stores
+/// additionally requires a wire type whose conversions separate them.
+pub struct ComposedRunner<M: 'static> {
+    services: Vec<Box<dyn Service<Msg = M>>>,
+    planner: FencePlanner,
+    scheduler: SessionScheduler,
+    workload: Box<dyn MultiServiceWorkload>,
+    timers: HashMap<u64, Wake>,
+    next_timer: u64,
+    outstanding: HashMap<u64, usize>,
+    /// Operations waiting for their preceding auto-fence, keyed by lane.
+    pending_after_fence: HashMap<LaneId, (usize, SessionOp)>,
+    /// All completions from every service, including auto-fences, annotated
+    /// with the index of the service that produced them.
+    pub completed: Vec<(usize, CompletedRecord)>,
+    /// Aggregate session statistics.
+    pub stats: SessionStats,
+}
+
+impl<M: 'static> ComposedRunner<M> {
+    /// Creates a composed runner over the given services.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `services` is empty or two services share a
+    /// [`Service::service_id`] (see the type-level docs: one service per
+    /// protocol).
+    pub fn new(
+        services: Vec<Box<dyn Service<Msg = M>>>,
+        sessions: SessionConfig,
+        stop_issuing_at: SimTime,
+        workload: Box<dyn MultiServiceWorkload>,
+    ) -> Self {
+        assert!(!services.is_empty(), "a composed runner needs at least one service");
+        let mut ids: Vec<_> = services.iter().map(|s| s.service_id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(
+            ids.len(),
+            services.len(),
+            "composed services must have distinct service ids (one store per protocol)"
+        );
+        ComposedRunner {
+            services,
+            planner: FencePlanner::new(),
+            scheduler: SessionScheduler::new(sessions, stop_issuing_at),
+            workload,
+            timers: HashMap::new(),
+            next_timer: 0,
+            outstanding: HashMap::new(),
+            pending_after_fence: HashMap::new(),
+            completed: Vec::new(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Fence statistics from the `libRSS` planner: how many operation starts
+    /// required a fence at the previous service.
+    pub fn fence_stats(&self) -> FenceStats {
+        self.planner.stats()
+    }
+
+    /// The services driven by this runner.
+    pub fn services(&self) -> &[Box<dyn Service<Msg = M>>] {
+        &self.services
+    }
+
+    fn arm(&mut self, ctx: &mut Context<M>, delay: SimDuration, wake: Wake) {
+        let tag = runner_tag(&mut self.next_timer);
+        self.timers.insert(tag, wake);
+        ctx.set_timer(delay, tag);
+    }
+
+    fn issue_batch(&mut self, ctx: &mut Context<M>, session: u64) {
+        let batch = self.scheduler.batch();
+        self.outstanding.insert(session, batch);
+        self.stats.batches += 1;
+        for slot in 0..batch {
+            let lane = LaneId { session, slot: slot as u32 };
+            let (target, op) = self.workload.next_targeted_op(ctx.rng(), lane);
+            assert!(target < self.services.len(), "workload targeted unknown service {target}");
+            // libRSS: fence the previous service before the first operation at
+            // a different one (Figure 3). The fence runs first; the operation
+            // is parked until the fence's completion drains back. The planner
+            // is keyed per LANE: each pipeline slot is its own application
+            // process, so its service-switch history — and therefore its
+            // fences — must be its own.
+            match self.planner.on_transaction(lane.key(), target) {
+                Some(prev) => {
+                    self.pending_after_fence.insert(lane, (target, op));
+                    self.services[prev].submit(ctx, lane, SessionOp::Fence);
+                }
+                None => self.services[target].submit(ctx, lane, op),
+            }
+        }
+    }
+
+    /// Drops the per-session state of a departed session: every lane's fence
+    /// history in the planner and the services' per-session protocol state.
+    fn end_session(&mut self, session: u64) {
+        for slot in 0..self.scheduler.batch() {
+            self.planner.end_session(LaneId { session, slot: slot as u32 }.key());
+        }
+        for s in &mut self.services {
+            s.end_session(session);
+        }
+    }
+
+    /// Collects completions from every service. Auto-fence completions
+    /// release the parked operation instead of finishing the slot, so the
+    /// loop keeps draining until quiescence (a fence can complete
+    /// synchronously, e.g. Gryff-RSC with no pending dependency).
+    fn drain(&mut self, ctx: &mut Context<M>) {
+        loop {
+            let mut progressed = false;
+            for idx in 0..self.services.len() {
+                for rec in self.services[idx].drain_completed() {
+                    progressed = true;
+                    let lane = LaneId { session: rec.session, slot: rec.slot };
+                    let release = if rec.kind.is_fence() && !rec.orphan {
+                        self.pending_after_fence.remove(&lane)
+                    } else {
+                        None
+                    };
+                    let finishes_slot = release.is_none() && !rec.orphan;
+                    self.completed.push((idx, rec));
+                    if let Some((target, op)) = release {
+                        self.services[target].submit(ctx, lane, op);
+                        continue;
+                    }
+                    if finishes_slot {
+                        self.stats.ops_completed += 1;
+                        if let Some(n) = self.outstanding.get_mut(&lane.session) {
+                            *n -= 1;
+                            if *n == 0 {
+                                self.outstanding.remove(&lane.session);
+                                let timers = self.scheduler.on_batch_complete(
+                                    ctx.now(),
+                                    ctx.rng(),
+                                    lane.session,
+                                );
+                                for (delay, wake) in timers {
+                                    self.arm(ctx, delay, wake);
+                                }
+                                if !self.scheduler.is_active(lane.session) {
+                                    self.end_session(lane.session);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !progressed {
+                return;
+            }
+        }
+    }
+}
+
+impl<M: Clone + 'static> Node<M> for ComposedRunner<M> {
+    fn on_start(&mut self, ctx: &mut Context<M>) {
+        for s in &mut self.services {
+            s.on_start(ctx);
+        }
+        let timers = self.scheduler.on_start(ctx.rng());
+        for (delay, wake) in timers {
+            self.arm(ctx, delay, wake);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<M>, from: NodeId, msg: M) {
+        // Exactly one service understands a given wire message (it narrows
+        // via TryInto and ignores the other protocols' variants), so offering
+        // a clone to each service delivers it precisely once.
+        for s in &mut self.services {
+            s.on_message(ctx, from, msg.clone());
+        }
+        self.drain(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<M>, tag: u64) {
+        if tag & 1 == 1 {
+            // Service-owned timer: each service accepts only tags in its own
+            // namespace (see `MappedService::with_tag_namespace`).
+            for s in &mut self.services {
+                s.on_timer(ctx, tag);
+            }
+        } else {
+            let Some(wake) = self.timers.remove(&tag) else { return };
+            let (issue, timers) = self.scheduler.on_wake(ctx.now(), ctx.rng(), wake);
+            for (delay, next) in timers {
+                self.arm(ctx, delay, next);
+            }
+            for session in issue {
+                self.issue_batch(ctx, session);
+            }
+            // The stop-issuing cutoff retires sessions at wake time.
+            if let Wake::Issue { session } = wake {
+                if !self.scheduler.is_active(session) && !self.outstanding.contains_key(&session) {
+                    self.end_session(session);
+                }
+            }
+        }
+        self.drain(ctx);
+    }
+}

@@ -1,0 +1,223 @@
+//! The session lifecycle state machine shared by every client node.
+//!
+//! Both protocol crates used to hand-roll the same logic (staggered
+//! closed-loop starts, Poisson arrivals, stay-probability departures,
+//! stop-issuing cutoffs). The scheduler centralizes it: runners translate the
+//! returned `(delay, Wake)` pairs into engine timers and call back on firing.
+
+use std::collections::HashSet;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use regular_sim::time::{SimDuration, SimTime};
+
+use crate::config::{SessionConfig, SessionDriver};
+
+/// What a scheduler-armed timer means when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// A session's think time expired: issue its next batch.
+    Issue {
+        /// The session to issue for.
+        session: u64,
+    },
+    /// The next partly-open session arrives.
+    Arrival,
+}
+
+/// Drives session arrivals, departures, and pacing for one client node.
+#[derive(Debug)]
+pub struct SessionScheduler {
+    cfg: SessionConfig,
+    stop_issuing_at: SimTime,
+    active: HashSet<u64>,
+    next_session: u64,
+}
+
+impl SessionScheduler {
+    /// Creates a scheduler that stops issuing new batches at
+    /// `stop_issuing_at` (in-flight operations drain normally).
+    pub fn new(cfg: SessionConfig, stop_issuing_at: SimTime) -> Self {
+        SessionScheduler { cfg, stop_issuing_at, active: HashSet::new(), next_session: 0 }
+    }
+
+    /// The configured pipelining depth.
+    pub fn batch(&self) -> usize {
+        self.cfg.batch
+    }
+
+    /// Number of currently active sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.active.len()
+    }
+
+    /// True while `session` may still issue batches.
+    pub fn is_active(&self, session: u64) -> bool {
+        self.active.contains(&session)
+    }
+
+    fn spawn_session(&mut self) -> u64 {
+        let id = self.next_session;
+        self.next_session += 1;
+        self.active.insert(id);
+        id
+    }
+
+    /// Timers to arm when the simulation starts.
+    pub fn on_start(&mut self, rng: &mut SmallRng) -> Vec<(SimDuration, Wake)> {
+        match self.cfg.driver {
+            SessionDriver::ClosedLoop { sessions, .. } => (0..sessions)
+                .map(|_| {
+                    let id = self.spawn_session();
+                    // Stagger session starts slightly to avoid a thundering
+                    // herd at time zero.
+                    let jitter = SimDuration::from_micros(rng.gen_range(0..1_000));
+                    (jitter, Wake::Issue { session: id })
+                })
+                .collect(),
+            SessionDriver::PartlyOpen { arrival_rate, .. } => {
+                if arrival_rate > 0.0 {
+                    vec![(exponential_delay(rng, arrival_rate), Wake::Arrival)]
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+
+    /// Handles a fired timer. Returns the sessions that must issue a batch
+    /// *now* and any new timers to arm.
+    pub fn on_wake(
+        &mut self,
+        now: SimTime,
+        rng: &mut SmallRng,
+        wake: Wake,
+    ) -> (Vec<u64>, Vec<(SimDuration, Wake)>) {
+        match wake {
+            Wake::Issue { session } => {
+                if now >= self.stop_issuing_at || !self.active.contains(&session) {
+                    self.active.remove(&session);
+                    (Vec::new(), Vec::new())
+                } else {
+                    (vec![session], Vec::new())
+                }
+            }
+            Wake::Arrival => {
+                if now >= self.stop_issuing_at {
+                    return (Vec::new(), Vec::new());
+                }
+                let id = self.spawn_session();
+                let timers = match self.cfg.driver {
+                    SessionDriver::PartlyOpen { arrival_rate, .. } => {
+                        vec![(exponential_delay(rng, arrival_rate), Wake::Arrival)]
+                    }
+                    SessionDriver::ClosedLoop { .. } => Vec::new(),
+                };
+                (vec![id], timers)
+            }
+        }
+    }
+
+    /// Handles a session completing its whole batch: decides whether the
+    /// session continues (after thinking) or departs.
+    pub fn on_batch_complete(
+        &mut self,
+        _now: SimTime,
+        rng: &mut SmallRng,
+        session: u64,
+    ) -> Vec<(SimDuration, Wake)> {
+        if !self.active.contains(&session) {
+            return Vec::new();
+        }
+        match self.cfg.driver {
+            SessionDriver::ClosedLoop { think_time, .. } => {
+                vec![(think_time, Wake::Issue { session })]
+            }
+            SessionDriver::PartlyOpen { stay_probability, think_time, .. } => {
+                if rng.gen_bool(stay_probability) {
+                    vec![(think_time, Wake::Issue { session })]
+                } else {
+                    self.active.remove(&session);
+                    Vec::new()
+                }
+            }
+        }
+    }
+}
+
+/// Draws an exponentially distributed inter-arrival delay for the given rate
+/// (events per second).
+fn exponential_delay(rng: &mut SmallRng, rate_per_sec: f64) -> SimDuration {
+    let u: f64 = rng.gen_range(1e-12..1.0);
+    let secs = -u.ln() / rate_per_sec;
+    SimDuration::from_micros((secs * 1_000_000.0) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn closed_loop_spawns_all_sessions_with_jitter() {
+        let mut s = SessionScheduler::new(
+            SessionConfig::closed_loop(3, SimDuration::ZERO),
+            SimTime::from_secs(10),
+        );
+        let mut r = rng();
+        let timers = s.on_start(&mut r);
+        assert_eq!(timers.len(), 3);
+        assert_eq!(s.active_sessions(), 3);
+        assert!(timers.iter().all(|(d, _)| *d < SimDuration::from_millis(1)));
+        let (issue, more) = s.on_wake(SimTime::from_millis(1), &mut r, timers[0].1);
+        assert_eq!(issue.len(), 1);
+        assert!(more.is_empty());
+        // After the batch completes, the session thinks then re-issues.
+        let next = s.on_batch_complete(SimTime::from_millis(2), &mut r, issue[0]);
+        assert_eq!(next.len(), 1);
+    }
+
+    #[test]
+    fn stop_issuing_retires_sessions() {
+        let mut s = SessionScheduler::new(
+            SessionConfig::closed_loop(1, SimDuration::ZERO),
+            SimTime::from_secs(1),
+        );
+        let mut r = rng();
+        let timers = s.on_start(&mut r);
+        let (issue, _) = s.on_wake(SimTime::from_secs(2), &mut r, timers[0].1);
+        assert!(issue.is_empty(), "no batches after the cutoff");
+        assert_eq!(s.active_sessions(), 0);
+    }
+
+    #[test]
+    fn partly_open_arrivals_spawn_and_reschedule() {
+        let mut s = SessionScheduler::new(
+            SessionConfig::partly_open(10.0, 0.0, SimDuration::ZERO),
+            SimTime::from_secs(10),
+        );
+        let mut r = rng();
+        let timers = s.on_start(&mut r);
+        assert_eq!(timers.len(), 1);
+        let (issue, more) = s.on_wake(SimTime::from_millis(5), &mut r, Wake::Arrival);
+        assert_eq!(issue.len(), 1);
+        assert_eq!(more.len(), 1, "the next arrival is scheduled");
+        // stay_probability 0: the session leaves after one batch.
+        let next = s.on_batch_complete(SimTime::from_millis(6), &mut r, issue[0]);
+        assert!(next.is_empty());
+        assert_eq!(s.active_sessions(), 0);
+    }
+
+    #[test]
+    fn zero_arrival_rate_schedules_nothing() {
+        let mut s = SessionScheduler::new(
+            SessionConfig::partly_open(0.0, 0.9, SimDuration::ZERO),
+            SimTime::from_secs(10),
+        );
+        assert!(s.on_start(&mut rng()).is_empty());
+    }
+}

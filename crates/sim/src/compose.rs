@@ -1,0 +1,194 @@
+//! Multi-protocol simulations: run nodes written for one message type inside
+//! an engine whose wire type is an enum over several protocols.
+//!
+//! The engine is generic over a single message type `M`. To simulate two
+//! protocols side by side (e.g. a Spanner-RSS store and a Gryff-RSC store in
+//! one composite deployment, Section 4 of the paper), the harness defines a
+//! combined message enum and lifts each protocol's nodes into it with
+//! [`Embedded`]:
+//!
+//! * outgoing messages are converted with `P: Into<M>`,
+//! * incoming messages are narrowed with `M: TryInto<P>`; messages of another
+//!   protocol are ignored (routing them to the wrong node is a harness bug,
+//!   not a protocol event).
+//!
+//! Timers, the simulated clock, TrueTime, and the engine RNG are shared
+//! transparently via [`Context::with_protocol`].
+
+use std::marker::PhantomData;
+
+use crate::engine::{Context, Node, NodeId};
+
+/// Adapts a `Node<P>` into a `Node<M>` for a combined message enum `M`.
+pub struct Embedded<N, P> {
+    /// The wrapped protocol node.
+    pub inner: N,
+    _protocol: PhantomData<fn() -> P>,
+}
+
+impl<N, P> Embedded<N, P> {
+    /// Wraps a protocol node for use in a combined simulation.
+    pub fn new(inner: N) -> Self {
+        Embedded { inner, _protocol: PhantomData }
+    }
+}
+
+impl<M, P, N> Node<M> for Embedded<N, P>
+where
+    M: TryInto<P> + 'static,
+    P: Into<M> + 'static,
+    N: Node<P>,
+{
+    fn on_start(&mut self, ctx: &mut Context<M>) {
+        let inner = &mut self.inner;
+        ctx.with_protocol(|c| inner.on_start(c));
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<M>, from: NodeId, msg: M) {
+        if let Ok(p) = msg.try_into() {
+            let inner = &mut self.inner;
+            ctx.with_protocol(|c| inner.on_message(c, from, p));
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<M>, tag: u64) {
+        let inner = &mut self.inner;
+        ctx.with_protocol(|c| inner.on_timer(c, tag));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineConfig};
+    use crate::net::LatencyMatrix;
+    use crate::time::SimDuration;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct PingMsg(u32);
+    #[derive(Clone, Debug, PartialEq)]
+    struct TockMsg(u32);
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Combined {
+        Ping(PingMsg),
+        Tock(TockMsg),
+    }
+    impl From<PingMsg> for Combined {
+        fn from(m: PingMsg) -> Self {
+            Combined::Ping(m)
+        }
+    }
+    impl From<TockMsg> for Combined {
+        fn from(m: TockMsg) -> Self {
+            Combined::Tock(m)
+        }
+    }
+    impl TryFrom<Combined> for PingMsg {
+        type Error = ();
+        fn try_from(m: Combined) -> Result<Self, ()> {
+            match m {
+                Combined::Ping(p) => Ok(p),
+                _ => Err(()),
+            }
+        }
+    }
+    impl TryFrom<Combined> for TockMsg {
+        type Error = ();
+        fn try_from(m: Combined) -> Result<Self, ()> {
+            match m {
+                Combined::Tock(t) => Ok(t),
+                _ => Err(()),
+            }
+        }
+    }
+
+    /// Echoes pings back, incremented.
+    #[derive(Default)]
+    struct PingNode {
+        got: Vec<u32>,
+        timer_fired: bool,
+    }
+    impl Node<PingMsg> for PingNode {
+        fn on_start(&mut self, ctx: &mut Context<PingMsg>) {
+            if ctx.node_id() == 0 {
+                ctx.send(1, PingMsg(1));
+                ctx.set_timer(SimDuration::from_millis(1), 9);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<PingMsg>, from: NodeId, msg: PingMsg) {
+            self.got.push(msg.0);
+            if msg.0 < 3 {
+                ctx.send(from, PingMsg(msg.0 + 1));
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<PingMsg>, tag: u64) {
+            assert_eq!(tag, 9);
+            self.timer_fired = true;
+        }
+    }
+
+    /// A node of the other protocol, sharing the simulation.
+    #[derive(Default)]
+    struct TockNode {
+        got: Vec<u32>,
+    }
+    impl Node<TockMsg> for TockNode {
+        fn on_start(&mut self, ctx: &mut Context<TockMsg>) {
+            ctx.send(ctx.node_id(), TockMsg(7));
+        }
+        fn on_message(&mut self, _ctx: &mut Context<TockMsg>, _from: NodeId, msg: TockMsg) {
+            self.got.push(msg.0);
+        }
+    }
+
+    enum AnyNode {
+        Ping(Embedded<PingNode, PingMsg>),
+        Tock(Embedded<TockNode, TockMsg>),
+    }
+    impl Node<Combined> for AnyNode {
+        fn on_start(&mut self, ctx: &mut Context<Combined>) {
+            match self {
+                AnyNode::Ping(n) => n.on_start(ctx),
+                AnyNode::Tock(n) => n.on_start(ctx),
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<Combined>, from: NodeId, msg: Combined) {
+            match self {
+                AnyNode::Ping(n) => n.on_message(ctx, from, msg),
+                AnyNode::Tock(n) => n.on_message(ctx, from, msg),
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Context<Combined>, tag: u64) {
+            match self {
+                AnyNode::Ping(n) => n.on_timer(ctx, tag),
+                AnyNode::Tock(n) => n.on_timer(ctx, tag),
+            }
+        }
+    }
+
+    #[test]
+    fn two_protocols_share_one_simulation() {
+        let net = LatencyMatrix::single_region(SimDuration::from_millis(1));
+        let mut engine: Engine<Combined, AnyNode> = Engine::new(EngineConfig::default(), net, 11);
+        engine.add_node(AnyNode::Ping(Embedded::new(PingNode::default())), 0);
+        engine.add_node(AnyNode::Ping(Embedded::new(PingNode::default())), 0);
+        engine.add_node(AnyNode::Tock(Embedded::new(TockNode::default())), 0);
+        engine.run();
+        match engine.node(1) {
+            AnyNode::Ping(n) => assert_eq!(n.inner.got, vec![1, 3]),
+            _ => panic!("node 1 is a ping node"),
+        }
+        match engine.node(0) {
+            AnyNode::Ping(n) => {
+                assert_eq!(n.inner.got, vec![2]);
+                assert!(n.inner.timer_fired, "timers reach the embedded node");
+            }
+            _ => panic!("node 0 is a ping node"),
+        }
+        match engine.node(2) {
+            AnyNode::Tock(n) => assert_eq!(n.inner.got, vec![7]),
+            _ => panic!("node 2 is a tock node"),
+        }
+    }
+}

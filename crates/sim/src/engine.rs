@@ -150,6 +150,54 @@ impl<'a, M> Context<'a, M> {
     pub fn rng(&mut self) -> &mut SmallRng {
         self.rng
     }
+
+    /// Runs `f` with a context typed for an *embedded* protocol whose message
+    /// type `P` can be lifted into this simulation's message type `M`.
+    ///
+    /// This is the substrate for multi-protocol simulations (see
+    /// [`crate::compose`]): a node written against `Context<P>` can run
+    /// unchanged inside an engine whose wire type is an enum over several
+    /// protocols. Messages the inner node sends are converted with
+    /// `P::into()`; timers and the clock/TrueTime/RNG state are shared with
+    /// the outer context.
+    pub fn with_protocol<P, R>(&mut self, f: impl FnOnce(&mut Context<'_, P>) -> R) -> R
+    where
+        P: Into<M>,
+    {
+        self.with_protocol_tagged(|t| t, f)
+    }
+
+    /// [`Context::with_protocol`] with a timer-tag transform applied to every
+    /// timer the inner protocol sets. Hosts that embed *several* protocol
+    /// state machines in one node use it to keep their timer namespaces
+    /// disjoint (the host applies the inverse transform before delivering
+    /// `on_timer`).
+    pub fn with_protocol_tagged<P, R>(
+        &mut self,
+        map_tag: impl Fn(u64) -> u64,
+        f: impl FnOnce(&mut Context<'_, P>) -> R,
+    ) -> R
+    where
+        P: Into<M>,
+    {
+        let mut inner: Context<'_, P> = Context {
+            now: self.now,
+            node_id: self.node_id,
+            rng: &mut *self.rng,
+            truetime: &mut *self.truetime,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+        };
+        let r = f(&mut inner);
+        let Context { outbox, timers, .. } = inner;
+        for (to, extra, msg) in outbox {
+            self.outbox.push((to, extra, msg.into()));
+        }
+        for (delay, tag) in timers {
+            self.timers.push((delay, map_tag(tag)));
+        }
+        r
+    }
 }
 
 /// The discrete-event engine.

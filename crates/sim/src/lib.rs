@@ -59,12 +59,14 @@
 //! assert_eq!(engine.node(0).pongs, 1);
 //! ```
 
+pub mod compose;
 pub mod engine;
 pub mod metrics;
 pub mod net;
 pub mod time;
 pub mod truetime;
 
+pub use compose::Embedded;
 pub use engine::{Context, Engine, EngineConfig, Node, NodeId};
 pub use metrics::{LatencyRecorder, ThroughputRecorder};
 pub use net::{LatencyMatrix, Region};

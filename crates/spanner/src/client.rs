@@ -1,57 +1,44 @@
-//! The client (load generator) node: read-write transactions via two-phase
-//! commit, and the read-only transaction protocols of Spanner (blocking) and
-//! Spanner-RSS (Algorithm 1).
+//! The Spanner client protocol core: read-write transactions via two-phase
+//! commit, the read-only transaction protocols of Spanner (blocking) and
+//! Spanner-RSS (Algorithm 1), and a TrueTime-based real-time fence.
 //!
-//! A single client node drives many logical *sessions* — the unit the paper
-//! uses for the partly-open workload model (Section 6): sessions arrive
-//! according to a Poisson process, issue transactions back-to-back, and leave
-//! with probability `1 - p` after each transaction. Each session carries its
-//! own minimum read timestamp `t_min`, capturing its causal past.
+//! The core implements [`regular_session::Service`]: session arrival, pacing,
+//! and batching live in the protocol-agnostic
+//! [`regular_session::SessionRunner`]; this module only executes operations.
+//! Each *session* still owns the protocol state the paper attaches to it —
+//! the minimum read timestamp `t_min` capturing its causal past — shared by
+//! all of the session's pipeline slots.
+//!
+//! # Operation mapping
+//!
+//! Spanner is a transactional store, so the non-transactional session
+//! operations are served as single-key transactions: `Read` as a read-only
+//! transaction, `Write`/`Rmw` as a read-write transaction. `Fence` is a
+//! client-side TrueTime barrier: it picks `t_f = TT.now().latest`, waits
+//! until `t_f` has definitely passed (`TT.now().earliest > t_f`, the commit
+//! wait argument), and raises the session's `t_min` to `t_f`, so every
+//! transaction the session subsequently issues — at this or, via `libRSS`,
+//! another service — is serialized after everything that committed before the
+//! fence.
 
 use std::collections::{HashMap, HashSet};
 
-use rand::Rng;
-use regular_core::types::{Key, Value};
+use regular_core::op::{OpKind, OpResult};
+use regular_core::types::{Key, ServiceId, Value};
+use regular_session::{service_tag, CompletedRecord, LaneId, Service, SessionOp, WitnessHint};
 use regular_sim::engine::{Context, NodeId};
 use regular_sim::net::{LatencyMatrix, Region};
 use regular_sim::time::{SimDuration, SimTime};
 
 use crate::config::Mode;
 use crate::messages::{PreparedInfo, SpannerMsg, Ts, TxnId};
-use crate::workload::{SpannerWorkload, TxnRequest};
-
-/// How a client node generates load.
-#[derive(Debug, Clone)]
-pub enum Driver {
-    /// A fixed number of closed-loop sessions issuing transactions
-    /// back-to-back with the given think time (Figure 6 and the overhead
-    /// experiments).
-    ClosedLoop {
-        /// Number of concurrent sessions.
-        sessions: usize,
-        /// Think time between transactions.
-        think_time: SimDuration,
-    },
-    /// The partly-open model of Section 6: sessions arrive at `arrival_rate`
-    /// per second, continue with probability `stay_probability` after each
-    /// transaction, and think for `think_time` in between.
-    PartlyOpen {
-        /// Session arrival rate (sessions per second) at this node.
-        arrival_rate: f64,
-        /// Probability a session issues another transaction.
-        stay_probability: f64,
-        /// Think time between a session's transactions.
-        think_time: SimDuration,
-    },
-}
+use crate::workload::TxnRequest;
 
 /// Static client configuration (shared by every client node of a cluster).
 #[derive(Debug, Clone)]
 pub struct ClientConfig {
     /// Protocol variant.
     pub mode: Mode,
-    /// Load-generation model.
-    pub driver: Driver,
     /// Region this client runs in.
     pub region: usize,
     /// Node id of each shard leader, indexed by shard.
@@ -64,43 +51,10 @@ pub struct ClientConfig {
     pub net: LatencyMatrix,
     /// TrueTime uncertainty bound (for the `t_ee` estimate).
     pub truetime_epsilon: SimDuration,
-    /// Stop issuing new transactions after this instant (the run then drains).
-    pub stop_issuing_at: SimTime,
     /// Abort-and-retry timeout for the commit phase.
     pub commit_timeout: SimDuration,
     /// Back-off before retrying an aborted transaction.
     pub retry_backoff: SimDuration,
-}
-
-/// A finished transaction, as recorded for metrics and conformance checking.
-#[derive(Debug, Clone)]
-pub struct CompletedTxn {
-    /// True for read-only transactions.
-    pub is_ro: bool,
-    /// Keys read by a read-only transaction (empty for read-write).
-    pub read_keys: Vec<Key>,
-    /// Values observed by a read-only transaction.
-    pub read_results: Vec<(Key, Value)>,
-    /// Writes installed by a read-write transaction.
-    pub writes: Vec<(Key, Value)>,
-    /// Invocation instant (first attempt).
-    pub invoke: SimTime,
-    /// Completion instant.
-    pub finish: SimTime,
-    /// Serialization timestamp: the commit timestamp for read-write
-    /// transactions, `max(t_snap, t_min at start)` for Spanner-RSS read-only
-    /// transactions, and `t_read` for baseline read-only transactions.
-    pub timestamp: Ts,
-    /// The session that issued the transaction.
-    pub session: u64,
-    /// Number of attempts (1 = committed on the first try).
-    pub attempts: u32,
-    /// True if the client had already given up on this attempt (commit
-    /// timeout) when the commit acknowledgement arrived. Orphaned commits are
-    /// part of the execution history (their writes are visible) but are
-    /// excluded from latency measurements and are not ordered after the
-    /// session's subsequent transactions.
-    pub orphan: bool,
 }
 
 /// Aggregate client statistics.
@@ -110,6 +64,8 @@ pub struct ClientStats {
     pub rw_completed: u64,
     /// Completed read-only transactions.
     pub ro_completed: u64,
+    /// Completed fences.
+    pub fences: u64,
     /// Read-write attempts that aborted (timeout) and were retried.
     pub aborted_attempts: u64,
     /// Read-only transactions that had to wait for slow replies (Spanner-RSS).
@@ -123,15 +79,21 @@ struct Session {
 
 #[derive(Debug)]
 enum Phase {
-    Execute { pending: HashSet<NodeId> },
+    Execute {
+        pending: HashSet<NodeId>,
+    },
     Committing,
-    RoFast { pending: HashSet<NodeId> },
+    RoFast {
+        pending: HashSet<NodeId>,
+    },
     RoSlow,
+    /// A fence waiting out its TrueTime barrier.
+    Fence,
 }
 
 #[derive(Debug)]
 struct AbandonedTxn {
-    session: u64,
+    lane: LaneId,
     invoke: SimTime,
     attempts: u32,
     writes: Vec<(Key, Value)>,
@@ -139,7 +101,7 @@ struct AbandonedTxn {
 
 #[derive(Debug)]
 struct ActiveTxn {
-    session: u64,
+    lane: LaneId,
     request: TxnRequest,
     invoke: SimTime,
     phase: Phase,
@@ -159,39 +121,36 @@ struct ActiveTxn {
 }
 
 enum TimerAction {
-    StartTxn { session: u64 },
     RetryTxn { seq: u64 },
-    SessionArrival,
     CommitTimeout { seq: u64 },
     FinishRw { seq: u64, t_commit: Ts },
+    FinishFence { seq: u64 },
 }
 
-/// The client node.
-pub struct ClientNode {
+/// The Spanner / Spanner-RSS client protocol core (a
+/// [`regular_session::Service`]).
+pub struct SpannerService {
     cfg: ClientConfig,
-    workload: Box<dyn SpannerWorkload>,
+    service: ServiceId,
     sessions: HashMap<u64, Session>,
-    next_session: u64,
     txns: HashMap<u64, ActiveTxn>,
     abandoned: HashMap<u64, AbandonedTxn>,
     next_seq: u64,
     value_counter: u64,
     timers: HashMap<u64, TimerAction>,
     next_timer: u64,
-    /// All transactions completed by this node.
-    pub completed: Vec<CompletedTxn>,
+    completed: Vec<CompletedRecord>,
     /// Aggregate statistics.
     pub stats: ClientStats,
 }
 
-impl ClientNode {
-    /// Creates a client node with the given configuration and workload.
-    pub fn new(cfg: ClientConfig, workload: Box<dyn SpannerWorkload>) -> Self {
-        ClientNode {
+impl SpannerService {
+    /// Creates a client protocol core with the given configuration.
+    pub fn new(cfg: ClientConfig) -> Self {
+        SpannerService {
             cfg,
-            workload,
+            service: ServiceId::KV,
             sessions: HashMap::new(),
-            next_session: 0,
             txns: HashMap::new(),
             abandoned: HashMap::new(),
             next_seq: 0,
@@ -203,14 +162,20 @@ impl ClientNode {
         }
     }
 
+    /// Sets the service id recorded on this core's operations (defaults to
+    /// [`ServiceId::KV`]); composed deployments give each store its own id.
+    pub fn with_service_id(mut self, service: ServiceId) -> Self {
+        self.service = service;
+        self
+    }
+
     fn set_timer(
         &mut self,
         ctx: &mut Context<SpannerMsg>,
         delay: SimDuration,
         action: TimerAction,
     ) -> u64 {
-        let tag = self.next_timer;
-        self.next_timer += 1;
+        let tag = service_tag(&mut self.next_timer);
         self.timers.insert(tag, action);
         ctx.set_timer(delay, tag);
         tag
@@ -230,6 +195,15 @@ impl ClientNode {
     fn fresh_value(&mut self, ctx: &Context<SpannerMsg>) -> Value {
         self.value_counter += 1;
         Value(((ctx.node_id() as u64 + 1) << 40) | self.value_counter)
+    }
+
+    fn t_min_of(&self, session: u64) -> Ts {
+        self.sessions.get(&session).map(|s| s.t_min).unwrap_or(0)
+    }
+
+    fn raise_t_min(&mut self, session: u64, to: Ts) {
+        let s = self.sessions.entry(session).or_insert(Session { t_min: 0 });
+        s.t_min = s.t_min.max(to);
     }
 
     /// Estimated minimum commit latency (in microseconds) when using
@@ -264,43 +238,11 @@ impl ClientNode {
             .expect("transactions access at least one shard")
     }
 
-    fn start_txn(&mut self, ctx: &mut Context<SpannerMsg>, session: u64) {
-        if ctx.now() >= self.cfg.stop_issuing_at {
-            self.sessions.remove(&session);
-            return;
-        }
-        if !self.sessions.contains_key(&session) {
-            return;
-        }
-        let request = self.workload.next_request(ctx.rng());
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        let txn = ActiveTxn {
-            session,
-            request,
-            invoke: ctx.now(),
-            phase: Phase::Execute { pending: HashSet::new() },
-            attempts: 1,
-            writes_by_shard: Vec::new(),
-            coordinator: 0,
-            t_ee: 0,
-            commit_timer: None,
-            t_read: 0,
-            t_min_at_start: 0,
-            versions: HashMap::new(),
-            skipped: HashMap::new(),
-            resolved_early: HashSet::new(),
-            t_snap: 0,
-        };
-        self.txns.insert(seq, txn);
-        self.issue(ctx, seq);
-    }
-
     /// Issues (or re-issues, after an abort) the transaction `seq`.
     fn issue(&mut self, ctx: &mut Context<SpannerMsg>, seq: u64) {
         let (request, session) = {
             let t = &self.txns[&seq];
-            (t.request.clone(), t.session)
+            (t.request.clone(), t.lane.session)
         };
         let txn_id = TxnId { client: ctx.node_id(), seq };
         match &request {
@@ -323,7 +265,7 @@ impl ClientNode {
                 let t_read = ctx.truetime_now().latest.as_micros();
                 let t_min = match self.cfg.mode {
                     Mode::Spanner => 0,
-                    Mode::SpannerRss => self.sessions.get(&session).map(|s| s.t_min).unwrap_or(0),
+                    Mode::SpannerRss => self.t_min_of(session),
                 };
                 let shards = self.shards_for(keys);
                 let pending: HashSet<NodeId> =
@@ -378,33 +320,16 @@ impl ClientNode {
         t.commit_timer = Some(tag);
     }
 
-    fn finish_txn(&mut self, ctx: &mut Context<SpannerMsg>, seq: u64, record: CompletedTxn) {
-        let txn = self.txns.remove(&seq).expect("transaction exists");
-        if record.is_ro {
+    fn finish_txn(&mut self, seq: u64, record: CompletedRecord) {
+        self.txns.remove(&seq).expect("transaction exists");
+        if record.kind.is_read_only() {
             self.stats.ro_completed += 1;
+        } else if record.kind.is_fence() {
+            self.stats.fences += 1;
         } else {
             self.stats.rw_completed += 1;
         }
         self.completed.push(record);
-        self.continue_session(ctx, txn.session);
-    }
-
-    fn continue_session(&mut self, ctx: &mut Context<SpannerMsg>, session: u64) {
-        if !self.sessions.contains_key(&session) {
-            return;
-        }
-        match self.cfg.driver.clone() {
-            Driver::ClosedLoop { think_time, .. } => {
-                self.set_timer(ctx, think_time, TimerAction::StartTxn { session });
-            }
-            Driver::PartlyOpen { stay_probability, think_time, .. } => {
-                if ctx.rng().gen_bool(stay_probability) {
-                    self.set_timer(ctx, think_time, TimerAction::StartTxn { session });
-                } else {
-                    self.sessions.remove(&session);
-                }
-            }
-        }
     }
 
     // ----- Read-only completion logic (Algorithm 1) -----
@@ -468,69 +393,116 @@ impl ClientNode {
                 Mode::SpannerRss => t_snap.max(txn.t_min_at_start),
             };
             (
-                CompletedTxn {
-                    is_ro: true,
-                    read_keys: keys,
-                    read_results: results,
-                    writes: Vec::new(),
+                CompletedRecord {
+                    service: self.service,
+                    kind: OpKind::RoTxn { keys },
+                    result: OpResult::Values(results),
                     invoke: txn.invoke,
                     finish: ctx.now(),
-                    timestamp,
-                    session: txn.session,
+                    session: txn.lane.session,
+                    slot: txn.lane.slot,
                     attempts: txn.attempts,
+                    rounds: 1,
                     orphan: false,
+                    witness: WitnessHint::Timestamp { ts: timestamp },
                 },
-                txn.session,
+                txn.lane.session,
                 t_snap,
             )
         };
-        if let Some(s) = self.sessions.get_mut(&session) {
-            s.t_min = s.t_min.max(t_snap);
-        }
-        self.finish_txn(ctx, seq, record);
+        self.raise_t_min(session, t_snap);
+        self.finish_txn(seq, record);
     }
 }
 
-impl regular_sim::engine::Node<SpannerMsg> for ClientNode {
-    fn on_start(&mut self, ctx: &mut Context<SpannerMsg>) {
-        match self.cfg.driver.clone() {
-            Driver::ClosedLoop { sessions, .. } => {
-                for _ in 0..sessions {
-                    let id = self.next_session;
-                    self.next_session += 1;
-                    self.sessions.insert(id, Session { t_min: 0 });
-                    // Stagger session starts slightly to avoid a thundering herd
-                    // at time zero.
-                    let jitter = SimDuration::from_micros(ctx.rng().gen_range(0..1_000));
-                    self.set_timer(ctx, jitter, TimerAction::StartTxn { session: id });
-                }
-            }
-            Driver::PartlyOpen { arrival_rate, .. } => {
-                if arrival_rate > 0.0 {
-                    let delay = exponential_delay(ctx, arrival_rate);
-                    self.set_timer(ctx, delay, TimerAction::SessionArrival);
-                }
-            }
+impl Service for SpannerService {
+    type Msg = SpannerMsg;
+
+    fn service_id(&self) -> ServiceId {
+        self.service
+    }
+
+    fn name(&self) -> &str {
+        match self.cfg.mode {
+            Mode::Spanner => "spanner",
+            Mode::SpannerRss => "spanner-rss",
         }
+    }
+
+    fn submit(&mut self, ctx: &mut Context<SpannerMsg>, lane: LaneId, op: SessionOp) {
+        self.sessions.entry(lane.session).or_insert(Session { t_min: 0 });
+        let request = match op {
+            SessionOp::RoTxn { keys } => TxnRequest::ReadOnly { keys },
+            SessionOp::Read { key } => TxnRequest::ReadOnly { keys: vec![key] },
+            SessionOp::RwTxn { keys } => TxnRequest::ReadWrite { keys },
+            // A transactional store serves single-key mutations as
+            // single-key read-write transactions.
+            SessionOp::Write { key } | SessionOp::Rmw { key } => {
+                TxnRequest::ReadWrite { keys: vec![key] }
+            }
+            SessionOp::Fence => {
+                // TrueTime barrier: pick t_f = TT.now().latest and wait until
+                // it has definitely passed; afterwards the session's t_min
+                // covers everything serialized before the fence.
+                let now = ctx.truetime_now();
+                let t_f = now.latest.as_micros();
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.txns.insert(
+                    seq,
+                    ActiveTxn {
+                        lane,
+                        request: TxnRequest::ReadOnly { keys: Vec::new() },
+                        invoke: ctx.now(),
+                        phase: Phase::Fence,
+                        attempts: 1,
+                        writes_by_shard: Vec::new(),
+                        coordinator: 0,
+                        t_ee: 0,
+                        commit_timer: None,
+                        t_read: t_f,
+                        t_min_at_start: 0,
+                        versions: HashMap::new(),
+                        skipped: HashMap::new(),
+                        resolved_early: HashSet::new(),
+                        t_snap: 0,
+                    },
+                );
+                let wait =
+                    SimDuration::from_micros(t_f.saturating_sub(now.earliest.as_micros()) + 1);
+                self.set_timer(ctx, wait, TimerAction::FinishFence { seq });
+                return;
+            }
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.txns.insert(
+            seq,
+            ActiveTxn {
+                lane,
+                request,
+                invoke: ctx.now(),
+                phase: Phase::Execute { pending: HashSet::new() },
+                attempts: 1,
+                writes_by_shard: Vec::new(),
+                coordinator: 0,
+                t_ee: 0,
+                commit_timer: None,
+                t_read: 0,
+                t_min_at_start: 0,
+                versions: HashMap::new(),
+                skipped: HashMap::new(),
+                resolved_early: HashSet::new(),
+                t_snap: 0,
+            },
+        );
+        self.issue(ctx, seq);
     }
 
     fn on_timer(&mut self, ctx: &mut Context<SpannerMsg>, tag: u64) {
         let Some(action) = self.timers.remove(&tag) else { return };
         match action {
-            TimerAction::StartTxn { session } => self.start_txn(ctx, session),
             TimerAction::RetryTxn { seq } => self.issue(ctx, seq),
-            TimerAction::SessionArrival => {
-                if ctx.now() < self.cfg.stop_issuing_at {
-                    let id = self.next_session;
-                    self.next_session += 1;
-                    self.sessions.insert(id, Session { t_min: 0 });
-                    self.start_txn(ctx, id);
-                    if let Driver::PartlyOpen { arrival_rate, .. } = self.cfg.driver {
-                        let delay = exponential_delay(ctx, arrival_rate);
-                        self.set_timer(ctx, delay, TimerAction::SessionArrival);
-                    }
-                }
-            }
             TimerAction::CommitTimeout { seq } => {
                 let Some(txn) = self.txns.get(&seq) else { return };
                 if !matches!(txn.phase, Phase::Committing) {
@@ -546,7 +518,7 @@ impl regular_sim::engine::Node<SpannerMsg> for ClientNode {
                 self.abandoned.insert(
                     seq,
                     AbandonedTxn {
-                        session: old.session,
+                        lane: old.lane,
                         invoke: old.invoke,
                         attempts: old.attempts,
                         writes: old.writes_by_shard.iter().flat_map(|(_, w)| w.clone()).collect(),
@@ -559,7 +531,7 @@ impl regular_sim::engine::Node<SpannerMsg> for ClientNode {
                 self.txns.insert(
                     new_seq,
                     ActiveTxn {
-                        session: old.session,
+                        lane: old.lane,
                         request: old.request,
                         invoke: old.invoke,
                         phase: Phase::Execute { pending: HashSet::new() },
@@ -581,24 +553,58 @@ impl regular_sim::engine::Node<SpannerMsg> for ClientNode {
             }
             TimerAction::FinishRw { seq, t_commit } => {
                 let Some(txn) = self.txns.get(&seq) else { return };
-                let record = CompletedTxn {
-                    is_ro: false,
-                    read_keys: Vec::new(),
-                    read_results: Vec::new(),
-                    writes: txn.writes_by_shard.iter().flat_map(|(_, w)| w.clone()).collect(),
+                let record = CompletedRecord {
+                    service: self.service,
+                    kind: OpKind::RwTxn {
+                        read_keys: Vec::new(),
+                        writes: txn.writes_by_shard.iter().flat_map(|(_, w)| w.clone()).collect(),
+                    },
+                    result: OpResult::Values(Vec::new()),
                     invoke: txn.invoke,
                     finish: ctx.now(),
-                    timestamp: t_commit,
-                    session: txn.session,
+                    session: txn.lane.session,
+                    slot: txn.lane.slot,
                     attempts: txn.attempts,
+                    rounds: 1,
                     orphan: false,
+                    witness: WitnessHint::Timestamp { ts: t_commit },
                 };
-                if let Some(s) = self.sessions.get_mut(&txn.session) {
-                    s.t_min = s.t_min.max(t_commit);
+                let session = txn.lane.session;
+                self.raise_t_min(session, t_commit);
+                self.finish_txn(seq, record);
+            }
+            TimerAction::FinishFence { seq } => {
+                let Some(txn) = self.txns.get(&seq) else { return };
+                if !matches!(txn.phase, Phase::Fence) {
+                    return;
                 }
-                self.finish_txn(ctx, seq, record);
+                let t_f = txn.t_read;
+                let record = CompletedRecord {
+                    service: self.service,
+                    kind: OpKind::Fence,
+                    result: OpResult::Ack,
+                    invoke: txn.invoke,
+                    finish: ctx.now(),
+                    session: txn.lane.session,
+                    slot: txn.lane.slot,
+                    attempts: 1,
+                    rounds: 0,
+                    orphan: false,
+                    witness: WitnessHint::Timestamp { ts: t_f },
+                };
+                let session = txn.lane.session;
+                self.raise_t_min(session, t_f);
+                self.finish_txn(seq, record);
             }
         }
+    }
+
+    fn end_session(&mut self, session: u64) {
+        // The session issues no further transactions, so its causal floor
+        // (t_min) is no longer needed. Long partly-open runs spawn a fresh
+        // session per arrival; dropping the entry keeps the map bounded by
+        // the number of *live* sessions.
+        self.sessions.remove(&session);
     }
 
     fn on_message(&mut self, ctx: &mut Context<SpannerMsg>, from: NodeId, msg: SpannerMsg) {
@@ -625,17 +631,18 @@ impl regular_sim::engine::Node<SpannerMsg> for ClientNode {
                     // The client had already given up on this attempt; if the
                     // commit landed anyway, record its (visible) writes.
                     if commit {
-                        self.completed.push(CompletedTxn {
-                            is_ro: false,
-                            read_keys: Vec::new(),
-                            read_results: Vec::new(),
-                            writes: orphan.writes,
+                        self.completed.push(CompletedRecord {
+                            service: self.service,
+                            kind: OpKind::RwTxn { read_keys: Vec::new(), writes: orphan.writes },
+                            result: OpResult::Values(Vec::new()),
                             invoke: orphan.invoke,
                             finish: ctx.now(),
-                            timestamp: t_commit,
-                            session: orphan.session,
+                            session: orphan.lane.session,
+                            slot: orphan.lane.slot,
                             attempts: orphan.attempts,
+                            rounds: 1,
                             orphan: true,
+                            witness: WitnessHint::Timestamp { ts: t_commit },
                         });
                     }
                     return;
@@ -735,14 +742,10 @@ impl regular_sim::engine::Node<SpannerMsg> for ClientNode {
             _ => {}
         }
     }
-}
 
-/// Draws an exponentially distributed inter-arrival delay for the given rate
-/// (events per second).
-fn exponential_delay(ctx: &mut Context<SpannerMsg>, rate_per_sec: f64) -> SimDuration {
-    let u: f64 = ctx.rng().gen_range(1e-12..1.0);
-    let secs = -u.ln() / rate_per_sec;
-    SimDuration::from_micros((secs * 1_000_000.0) as u64)
+    fn drain_completed(&mut self) -> Vec<CompletedRecord> {
+        std::mem::take(&mut self.completed)
+    }
 }
 
 #[cfg(test)]
@@ -759,20 +762,23 @@ mod tests {
     }
 
     #[test]
-    fn completed_txn_is_cloneable() {
-        let c = CompletedTxn {
-            is_ro: true,
-            read_keys: vec![Key(1)],
-            read_results: vec![(Key(1), Value(5))],
-            writes: vec![],
+    fn completed_record_carries_core_kinds() {
+        let c = CompletedRecord {
+            service: ServiceId::KV,
+            kind: OpKind::RoTxn { keys: vec![Key(1)] },
+            result: OpResult::Values(vec![(Key(1), Value(5))]),
             invoke: SimTime::from_millis(1),
             finish: SimTime::from_millis(2),
-            timestamp: 100,
             session: 0,
+            slot: 0,
             attempts: 1,
+            rounds: 1,
             orphan: false,
+            witness: WitnessHint::Timestamp { ts: 100 },
         };
         let d = c.clone();
-        assert_eq!(d.read_results[0].1, Value(5));
+        assert!(d.kind.is_read_only());
+        assert_eq!(d.witness_ts(), Some(100));
+        assert_eq!(d.latency(), SimDuration::from_millis(1));
     }
 }

@@ -1,34 +1,40 @@
 //! Cluster assembly, execution, and result extraction.
 //!
-//! The harness builds a simulated cluster (shard leaders plus client/load
-//! generator nodes), runs it, and turns the raw per-node records into the
+//! The harness builds a simulated cluster (shard leaders plus client nodes —
+//! [`regular_session::SessionRunner`]s driving the [`SpannerService`] protocol
+//! core), runs it, and turns the recorded [`CompletedRecord`]s into the
 //! artifacts the evaluation and the conformance tests need: latency
-//! distributions, throughput, a [`regular_core::History`], and a serialization
-//! witness derived from the protocol's timestamps (commit timestamps and
-//! snapshot timestamps), mirroring the construction in the paper's proof of
+//! distributions, throughput, a [`regular_core::History`] (via the shared
+//! [`regular_session::HistoryRecorder`]), and a serialization witness derived
+//! from the protocol's timestamps (commit timestamps and snapshot
+//! timestamps), mirroring the construction in the paper's proof of
 //! correctness (Appendix D.1).
 
 use regular_core::checker::certificate::{check_witness, WitnessModel, WitnessViolation};
 use regular_core::history::History;
-use regular_core::op::{OpKind, OpResult};
-use regular_core::types::{OpId, ProcessId, ServiceId, Timestamp};
+use regular_core::types::OpId;
+use regular_session::{
+    CompletedRecord, HistoryRecorder, SessionConfig, SessionRunner, SessionWorkload,
+};
 use regular_sim::engine::{Context, Engine, EngineConfig, Node, NodeId};
 use regular_sim::metrics::LatencyRecorder;
 use regular_sim::net::LatencyMatrix;
 use regular_sim::time::{SimDuration, SimTime};
 
-use crate::client::{ClientConfig, ClientNode, ClientStats, CompletedTxn, Driver};
+use crate::client::{ClientConfig, ClientStats, SpannerService};
 use crate::config::{Mode, SpannerConfig};
 use crate::messages::SpannerMsg;
 use crate::shard::{ShardNode, ShardStats};
-use crate::workload::SpannerWorkload;
+
+/// A client node: the protocol-agnostic session runner over the Spanner core.
+pub type SpannerClient = SessionRunner<SpannerService>;
 
 /// A node of the simulated cluster.
 pub enum SpannerNode {
     /// A shard leader.
-    Shard(ShardNode),
+    Shard(Box<ShardNode>),
     /// A client / load generator.
-    Client(ClientNode),
+    Client(Box<SpannerClient>),
 }
 
 impl Node<SpannerMsg> for SpannerNode {
@@ -56,10 +62,10 @@ impl Node<SpannerMsg> for SpannerNode {
 pub struct ClientSpec {
     /// Region the node runs in.
     pub region: usize,
-    /// Load-generation model.
-    pub driver: Driver,
+    /// Session arrival/pacing/batching model.
+    pub sessions: SessionConfig,
     /// Workload generator.
-    pub workload: Box<dyn SpannerWorkload>,
+    pub workload: Box<dyn SessionWorkload>,
 }
 
 /// Specification of a full cluster run.
@@ -90,7 +96,7 @@ pub struct RunResult {
     /// Read-only transaction latencies (measurement window only).
     pub ro_latencies: LatencyRecorder,
     /// Completed transactions per client node (all, including warm-up).
-    pub completed: Vec<(NodeId, Vec<CompletedTxn>)>,
+    pub completed: Vec<(NodeId, Vec<CompletedRecord>)>,
     /// Aggregate throughput over the measurement window (txn/s).
     pub throughput: f64,
     /// Aggregated client statistics.
@@ -101,6 +107,27 @@ pub struct RunResult {
     pub finished_at: SimTime,
     /// Total messages delivered.
     pub messages: u64,
+}
+
+/// Builds the [`ClientConfig`] every client node of a cluster shares.
+pub fn client_config(
+    config: &SpannerConfig,
+    net: &LatencyMatrix,
+    region: usize,
+    shard_nodes: Vec<NodeId>,
+    replication_delays: Vec<SimDuration>,
+) -> ClientConfig {
+    ClientConfig {
+        mode: config.mode,
+        region,
+        shard_nodes,
+        shard_regions: config.leader_regions.clone(),
+        replication_delays,
+        net: net.clone(),
+        truetime_epsilon: config.truetime_epsilon,
+        commit_timeout: config.commit_timeout,
+        retry_backoff: config.retry_backoff,
+    }
 }
 
 /// Builds and runs a cluster, returning the collected results.
@@ -125,7 +152,7 @@ pub fn run_cluster(spec: ClusterSpec) -> RunResult {
     for shard in 0..config.num_shards {
         let delay = config.replication_delay(shard, &net);
         replication_delays.push(delay);
-        let node = SpannerNode::Shard(ShardNode::new(&config, shard, delay));
+        let node = SpannerNode::Shard(Box::new(ShardNode::new(&config, shard, delay)));
         let id =
             engine.add_node_with(node, config.leader_regions[shard], config.shard_service_time);
         shard_nodes.push(id);
@@ -133,21 +160,15 @@ pub fn run_cluster(spec: ClusterSpec) -> RunResult {
     // Then clients.
     let mut client_ids = Vec::new();
     for c in clients {
-        let client_cfg = ClientConfig {
-            mode: config.mode,
-            driver: c.driver,
-            region: c.region,
-            shard_nodes: shard_nodes.clone(),
-            shard_regions: config.leader_regions.clone(),
-            replication_delays: replication_delays.clone(),
-            net: net.clone(),
-            truetime_epsilon: config.truetime_epsilon,
-            stop_issuing_at,
-            commit_timeout: config.commit_timeout,
-            retry_backoff: config.retry_backoff,
-        };
-        let node = SpannerNode::Client(ClientNode::new(client_cfg, c.workload));
-        let id = engine.add_node_with(node, c.region, config.client_service_time);
+        let cfg =
+            client_config(&config, &net, c.region, shard_nodes.clone(), replication_delays.clone());
+        let runner =
+            SessionRunner::new(SpannerService::new(cfg), c.sessions, stop_issuing_at, c.workload);
+        let id = engine.add_node_with(
+            SpannerNode::Client(Box::new(runner)),
+            c.region,
+            config.client_service_time,
+        );
         client_ids.push(id);
     }
 
@@ -162,9 +183,9 @@ pub fn run_cluster(spec: ClusterSpec) -> RunResult {
     for &id in &client_ids {
         if let SpannerNode::Client(c) = engine.node(id) {
             for txn in &c.completed {
-                if txn.finish >= measure_from && !txn.orphan {
-                    let latency = txn.finish.since(txn.invoke);
-                    if txn.is_ro {
+                if txn.finish >= measure_from && !txn.orphan && !txn.kind.is_fence() {
+                    let latency = txn.latency();
+                    if txn.kind.is_read_only() {
                         ro.record(latency);
                     } else {
                         rw.record(latency);
@@ -174,10 +195,12 @@ pub fn run_cluster(spec: ClusterSpec) -> RunResult {
                     }
                 }
             }
-            client_stats.rw_completed += c.stats.rw_completed;
-            client_stats.ro_completed += c.stats.ro_completed;
-            client_stats.aborted_attempts += c.stats.aborted_attempts;
-            client_stats.ro_waited_slow += c.stats.ro_waited_slow;
+            let s = &c.service.stats;
+            client_stats.rw_completed += s.rw_completed;
+            client_stats.ro_completed += s.ro_completed;
+            client_stats.fences += s.fences;
+            client_stats.aborted_attempts += s.aborted_attempts;
+            client_stats.ro_waited_slow += s.ro_waited_slow;
             completed.push((id, c.completed.clone()));
         }
     }
@@ -203,56 +226,47 @@ pub fn run_cluster(spec: ClusterSpec) -> RunResult {
     }
 }
 
+/// Witness sort rank: read-write transactions and fences order first among
+/// timestamp ties, then read-only transactions. (Commit wait makes every
+/// pre-fence timestamp strictly smaller than the fence's `t_f`, while a
+/// session's post-fence read-only transaction may serialize at exactly `t_f`
+/// and must follow the fence.)
+fn witness_rank(rec: &CompletedRecord) -> u8 {
+    u8::from(rec.kind.is_read_only())
+}
+
+/// Appends a client's records to the shared recorder and returns the
+/// `(timestamp, rank, finish, op)` witness sort keys — the order used in the
+/// paper's correctness proof (commit timestamps for read-write transactions,
+/// snapshot timestamps for read-only ones, read-write first among equals).
+pub fn record_with_witness_keys(
+    recorder: &mut HistoryRecorder,
+    client: u64,
+    records: &[CompletedRecord],
+) -> Vec<(u64, u8, u64, OpId)> {
+    let mut keys = Vec::with_capacity(records.len());
+    for rec in records {
+        let id = recorder.record(client, rec);
+        let ts = rec.witness_ts().unwrap_or_else(|| rec.finish.as_micros());
+        keys.push((ts, witness_rank(rec), rec.finish.as_micros(), id));
+    }
+    keys
+}
+
 /// Builds a [`History`] and a serialization witness from a run.
 ///
-/// Each (client node, session) pair becomes one application process; the
-/// witness orders transactions by their protocol timestamp (commit timestamp
-/// for read-write transactions, snapshot/read timestamp for read-only ones),
-/// with read-write transactions first among equals — exactly the order used in
-/// the paper's correctness proof.
+/// Each `(client node, session, slot)` lane becomes one application process
+/// (via the shared [`HistoryRecorder`]); the witness orders transactions by
+/// their protocol timestamp.
 pub fn build_history(result: &RunResult) -> (History, Vec<OpId>) {
-    let mut history = History::new();
-    // Deterministic process numbering.
-    let mut process_of = std::collections::HashMap::new();
+    let mut recorder = HistoryRecorder::new();
     let mut witness_keys: Vec<(u64, u8, u64, OpId)> = Vec::new();
-    let mut orphan_pid = 1_000_000u32;
     for (client, txns) in &result.completed {
-        for txn in txns {
-            let pid = if txn.orphan {
-                // An orphaned commit is not ordered within its session (the
-                // client had already moved on), so it gets its own process.
-                orphan_pid += 1;
-                ProcessId(orphan_pid)
-            } else {
-                let next_pid = ProcessId((process_of.len() + 1) as u32);
-                *process_of.entry((*client, txn.session)).or_insert(next_pid)
-            };
-            let (kind, opres) = if txn.is_ro {
-                (
-                    OpKind::RoTxn { keys: txn.read_keys.clone() },
-                    OpResult::Values(txn.read_results.clone()),
-                )
-            } else {
-                (
-                    OpKind::RwTxn { read_keys: Vec::new(), writes: txn.writes.clone() },
-                    OpResult::Values(Vec::new()),
-                )
-            };
-            let id = history.add_complete(
-                pid,
-                ServiceId::KV,
-                kind,
-                Timestamp(txn.invoke.as_micros()),
-                Timestamp(txn.finish.as_micros()),
-                opres,
-            );
-            let rank = if txn.is_ro { 1 } else { 0 };
-            witness_keys.push((txn.timestamp, rank, txn.finish.as_micros(), id));
-        }
+        witness_keys.extend(record_with_witness_keys(&mut recorder, *client as u64, txns));
     }
     witness_keys.sort_unstable();
     let witness = witness_keys.into_iter().map(|(_, _, _, id)| id).collect();
-    (history, witness)
+    (recorder.into_history(), witness)
 }
 
 /// Verifies that a run satisfies its consistency model: strict serializability
@@ -272,17 +286,21 @@ mod tests {
     use crate::workload::UniformWorkload;
 
     fn small_cluster(mode: Mode, seed: u64, skewless_keys: u64) -> RunResult {
+        small_cluster_batched(mode, seed, skewless_keys, 1)
+    }
+
+    fn small_cluster_batched(mode: Mode, seed: u64, skewless_keys: u64, batch: usize) -> RunResult {
         let config = SpannerConfig::wan(mode);
         let net = LatencyMatrix::spanner_wan();
         let clients = (0..3)
             .map(|i| ClientSpec {
                 region: i % 3,
-                driver: Driver::ClosedLoop { sessions: 4, think_time: SimDuration::ZERO },
+                sessions: SessionConfig::closed_loop(4, SimDuration::ZERO).with_batch(batch),
                 workload: Box::new(UniformWorkload {
                     num_keys: skewless_keys,
                     ro_fraction: 0.5,
                     keys_per_txn: 2,
-                }) as Box<dyn SpannerWorkload>,
+                }) as Box<dyn SessionWorkload>,
             })
             .collect();
         run_cluster(ClusterSpec {
@@ -352,5 +370,29 @@ mod tests {
         // A read-write transaction needs at least one cross-region round trip
         // (execute) plus commit: well above 60 ms in this topology.
         assert!(rw.percentile(50.0).unwrap() >= SimDuration::from_millis(60));
+    }
+
+    #[test]
+    fn batched_sessions_pipeline_and_stay_consistent() {
+        let serial = small_cluster_batched(Mode::SpannerRss, 13, 500, 1);
+        let batched = small_cluster_batched(Mode::SpannerRss, 13, 500, 8);
+        let total = |r: &RunResult| r.client_stats.rw_completed + r.client_stats.ro_completed;
+        assert!(
+            total(&batched) > 3 * total(&serial),
+            "batch 8 should complete several times the closed-loop throughput \
+             (batched {} vs serial {})",
+            total(&batched),
+            total(&serial)
+        );
+        verify_run(&batched).expect("batched Spanner-RSS must still satisfy RSS");
+        // Lanes, not sessions, are the sequential processes.
+        let (history, _) = build_history(&batched);
+        history.validate().expect("pipelined lanes keep the history well-formed");
+    }
+
+    #[test]
+    fn batched_baseline_is_strictly_serializable() {
+        let result = small_cluster_batched(Mode::Spanner, 17, 500, 4);
+        verify_run(&result).expect("batched Spanner must stay strictly serializable");
     }
 }

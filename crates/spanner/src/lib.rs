@@ -7,6 +7,14 @@
 //! blocking on conflicting prepared read-write transactions by exploiting
 //! regular sequential serializability (Algorithms 1 and 2).
 //!
+//! Clients are built on the protocol-agnostic session layer
+//! (`regular-session`): the protocol core ([`client::SpannerService`])
+//! implements [`regular_session::Service`], and the harness drives it with
+//! [`regular_session::SessionRunner`]s configured through
+//! [`regular_session::SessionConfig`] — the same interface Gryff uses, so a
+//! composed deployment can run both stores in one simulation (see the
+//! `multi_service` integration test).
+//!
 //! The cluster is simulated: each shard is represented by its leader, Paxos
 //! replication is a configurable delay, and clients/load generators drive the
 //! workloads of the paper's evaluation (Retwis over a wide-area topology,
@@ -25,7 +33,7 @@
 //!     seed: 1,
 //!     clients: vec![ClientSpec {
 //!         region: 0,
-//!         driver: Driver::ClosedLoop { sessions: 2, think_time: SimDuration::ZERO },
+//!         sessions: SessionConfig::closed_loop(2, SimDuration::ZERO),
 //!         workload: Box::new(UniformWorkload { num_keys: 100, ro_fraction: 0.5, keys_per_txn: 2 }),
 //!     }],
 //!     stop_issuing_at: SimTime::from_secs(5),
@@ -47,13 +55,17 @@ pub mod workload;
 
 /// Convenient re-exports for harnesses, examples, and benches.
 pub mod prelude {
-    pub use crate::client::{ClientConfig, ClientNode, ClientStats, CompletedTxn, Driver};
+    pub use crate::client::{ClientConfig, ClientStats, SpannerService};
     pub use crate::config::{Mode, SpannerConfig};
     pub use crate::harness::{
-        build_history, run_cluster, verify_run, ClientSpec, ClusterSpec, RunResult,
+        build_history, client_config, record_with_witness_keys, run_cluster, verify_run,
+        ClientSpec, ClusterSpec, RunResult, SpannerClient, SpannerNode,
     };
     pub use crate::messages::{SpannerMsg, TxnId};
-    pub use crate::workload::{ScriptedWorkload, SpannerWorkload, TxnRequest, UniformWorkload};
+    pub use crate::workload::{TxnRequest, UniformWorkload};
+    pub use regular_session::{
+        ScriptedSessionWorkload, SessionConfig, SessionDriver, SessionOp, SessionWorkload,
+    };
 }
 
 pub use prelude::*;

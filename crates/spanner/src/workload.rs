@@ -1,15 +1,18 @@
-//! Workload abstraction for the Spanner client nodes.
+//! Transaction requests and built-in workloads for the Spanner client.
 //!
-//! The evaluation harness (the `regular-bench` crate) plugs in the Retwis and
-//! uniform workload generators from `regular-workloads`; this module defines
-//! the interface the client nodes consume plus two simple built-in generators
-//! used by the protocol's own tests.
+//! Clients consume the protocol-agnostic
+//! [`regular_session::SessionWorkload`] interface; this module defines the
+//! internal [`TxnRequest`] representation the protocol core executes, plus
+//! the uniform generator the protocol's own tests and the overhead
+//! experiments use. The Retwis generator lives in `regular-workloads`, and
+//! scripted workloads in `regular-session`.
 
 use rand::rngs::SmallRng;
 use rand::Rng;
 use regular_core::types::Key;
+use regular_session::{SessionOp, SessionWorkload};
 
-/// One transaction to issue.
+/// One transaction to execute (the protocol core's internal request form).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TxnRequest {
     /// A read-write transaction writing the given keys (reads the same keys
@@ -39,12 +42,6 @@ impl TxnRequest {
     }
 }
 
-/// A source of transaction requests for one client node.
-pub trait SpannerWorkload: 'static {
-    /// Produces the next transaction request.
-    fn next_request(&mut self, rng: &mut SmallRng) -> TxnRequest;
-}
-
 /// A simple uniform workload: `ro_fraction` read-only transactions over
 /// `keys_per_txn` uniformly random keys, the rest read-write.
 #[derive(Debug, Clone)]
@@ -57,8 +54,8 @@ pub struct UniformWorkload {
     pub keys_per_txn: usize,
 }
 
-impl SpannerWorkload for UniformWorkload {
-    fn next_request(&mut self, rng: &mut SmallRng) -> TxnRequest {
+impl SessionWorkload for UniformWorkload {
+    fn next_op(&mut self, rng: &mut SmallRng) -> SessionOp {
         let mut keys = Vec::with_capacity(self.keys_per_txn);
         while keys.len() < self.keys_per_txn {
             let k = Key(rng.gen_range(0..self.num_keys));
@@ -67,39 +64,10 @@ impl SpannerWorkload for UniformWorkload {
             }
         }
         if rng.gen_bool(self.ro_fraction) {
-            TxnRequest::ReadOnly { keys }
+            SessionOp::RoTxn { keys }
         } else {
-            TxnRequest::ReadWrite { keys }
+            SessionOp::RwTxn { keys }
         }
-    }
-}
-
-/// A scripted workload replaying a fixed list of requests (used by the
-/// Figure 4 scenario and by tests); afterwards it repeats the last request
-/// type as read-only no-ops on key 0 — callers should size `stop_after` so
-/// this never happens.
-#[derive(Debug, Clone)]
-pub struct ScriptedWorkload {
-    requests: Vec<TxnRequest>,
-    next: usize,
-}
-
-impl ScriptedWorkload {
-    /// Creates a scripted workload from a fixed request list.
-    pub fn new(requests: Vec<TxnRequest>) -> Self {
-        ScriptedWorkload { requests, next: 0 }
-    }
-}
-
-impl SpannerWorkload for ScriptedWorkload {
-    fn next_request(&mut self, _rng: &mut SmallRng) -> TxnRequest {
-        let req = self
-            .requests
-            .get(self.next)
-            .cloned()
-            .unwrap_or(TxnRequest::ReadOnly { keys: vec![Key(0)] });
-        self.next += 1;
-        req
     }
 }
 
@@ -114,31 +82,22 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let mut ro = 0;
         for _ in 0..1000 {
-            let req = w.next_request(&mut rng);
-            assert_eq!(req.keys().len(), 3);
-            assert!(req.keys().iter().all(|k| k.0 < 100));
+            let (keys, read_only) = match w.next_op(&mut rng) {
+                SessionOp::RoTxn { keys } => (keys, true),
+                SessionOp::RwTxn { keys } => (keys, false),
+                other => panic!("unexpected op {other:?}"),
+            };
+            assert_eq!(keys.len(), 3);
+            assert!(keys.iter().all(|k| k.0 < 100));
             // Keys within a transaction are distinct.
-            let mut sorted = req.keys().to_vec();
+            let mut sorted = keys.clone();
             sorted.sort();
             sorted.dedup();
             assert_eq!(sorted.len(), 3);
-            if req.is_read_only() {
+            if read_only {
                 ro += 1;
             }
         }
         assert!((400..600).contains(&ro), "read-only fraction should be near 50%, got {ro}");
-    }
-
-    #[test]
-    fn scripted_workload_replays_in_order() {
-        let mut w = ScriptedWorkload::new(vec![
-            TxnRequest::ReadWrite { keys: vec![Key(1)] },
-            TxnRequest::ReadOnly { keys: vec![Key(2)] },
-        ]);
-        let mut rng = SmallRng::seed_from_u64(1);
-        assert_eq!(w.next_request(&mut rng), TxnRequest::ReadWrite { keys: vec![Key(1)] });
-        assert_eq!(w.next_request(&mut rng), TxnRequest::ReadOnly { keys: vec![Key(2)] });
-        // Exhausted scripts degrade to harmless read-only requests.
-        assert!(w.next_request(&mut rng).is_read_only());
     }
 }

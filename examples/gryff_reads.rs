@@ -10,10 +10,9 @@ fn run(mode: Mode) -> GryffRunResult {
     let clients = (0..16)
         .map(|i| GryffClientSpec {
             region: i % 5,
-            sessions: 1,
-            think_time: SimDuration::ZERO,
+            sessions: SessionConfig::closed_loop(1, SimDuration::ZERO),
             workload: Box::new(ConflictWorkload::ycsb(0.5, 0.25, i as u64))
-                as Box<dyn GryffWorkload>,
+                as Box<dyn SessionWorkload>,
         })
         .collect();
     run_gryff(GryffClusterSpec {

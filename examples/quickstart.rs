@@ -1,7 +1,8 @@
 //! Quickstart: what RSS and RSC buy you, in three steps.
 //!
 //! 1. Check hand-written histories against the consistency models.
-//! 2. Run a small simulated Spanner-RSS cluster and verify the recorded
+//! 2. Run a small simulated Spanner-RSS cluster through the unified session
+//!    API — including pipelined (batched) sessions — and verify the recorded
 //!    execution really satisfies RSS.
 //! 3. Apply the Lemma 1 transformation to see why RSS preserves every
 //!    invariant that holds under strict serializability.
@@ -11,6 +12,7 @@
 use regular_seq::core::checker::models::{check, satisfies, Model};
 use regular_seq::core::history::HistoryBuilder;
 use regular_seq::core::transform::transform;
+use regular_seq::session::SessionConfig;
 use regular_seq::sim::{LatencyMatrix, SimDuration, SimTime};
 use regular_seq::spanner::prelude::*;
 
@@ -53,7 +55,11 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
-    // Step 3: run a small Spanner-RSS cluster and verify the whole execution.
+    // Step 3: run a small Spanner-RSS cluster through the session API and
+    // verify the whole execution. `SessionConfig` is protocol-agnostic: the
+    // same configuration drives the Gryff harness, and `.with_batch(4)`
+    // pipelines four transactions per session turn (each pipeline slot is its
+    // own application process in the recorded history).
     // ------------------------------------------------------------------
     let result = run_cluster(ClusterSpec {
         config: SpannerConfig::wan(Mode::SpannerRss),
@@ -61,14 +67,14 @@ fn main() {
         seed: 1,
         clients: vec![ClientSpec {
             region: 0,
-            driver: Driver::ClosedLoop { sessions: 4, think_time: SimDuration::ZERO },
+            sessions: SessionConfig::closed_loop(4, SimDuration::ZERO).with_batch(4),
             workload: Box::new(UniformWorkload { num_keys: 50, ro_fraction: 0.5, keys_per_txn: 2 }),
         }],
         stop_issuing_at: SimTime::from_secs(10),
         drain: SimDuration::from_secs(5),
         measure_from: SimTime::from_secs(1),
     });
-    println!("\nSimulated Spanner-RSS run:");
+    println!("\nSimulated Spanner-RSS run (4 sessions x batch 4):");
     println!("  committed read-write transactions: {}", result.client_stats.rw_completed);
     println!("  committed read-only  transactions: {}", result.client_stats.ro_completed);
     let mut ro = result.ro_latencies.clone();

@@ -10,17 +10,17 @@ use regular_seq::sim::{LatencyMatrix, SimDuration, SimTime};
 use regular_seq::spanner::prelude::*;
 use regular_seq::workloads::Retwis;
 
-/// Adapter from the Retwis generator to the Spanner workload interface.
+/// Adapter from the Retwis generator to the session workload interface.
 struct RetwisWorkload(Retwis);
 
-impl SpannerWorkload for RetwisWorkload {
-    fn next_request(&mut self, rng: &mut SmallRng) -> TxnRequest {
+impl SessionWorkload for RetwisWorkload {
+    fn next_op(&mut self, rng: &mut SmallRng) -> SessionOp {
         let txn = self.0.next_txn(rng);
         let keys = txn.keys.iter().map(|&k| Key(k)).collect();
         if txn.read_only {
-            TxnRequest::ReadOnly { keys }
+            SessionOp::RoTxn { keys }
         } else {
-            TxnRequest::ReadWrite { keys }
+            SessionOp::RwTxn { keys }
         }
     }
 }
@@ -29,13 +29,9 @@ fn run(mode: Mode) -> RunResult {
     let clients = (0..3)
         .map(|region| ClientSpec {
             region,
-            driver: Driver::PartlyOpen {
-                arrival_rate: 4.0,
-                stay_probability: 0.9,
-                think_time: SimDuration::ZERO,
-            },
+            sessions: SessionConfig::partly_open(4.0, 0.9, SimDuration::ZERO),
             workload: Box::new(RetwisWorkload(Retwis::new(200_000, 0.7)))
-                as Box<dyn SpannerWorkload>,
+                as Box<dyn SessionWorkload>,
         })
         .collect();
     run_cluster(ClusterSpec {

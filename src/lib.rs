@@ -8,7 +8,12 @@
 //!   causal/real-time orders, checkers for RSS, RSC, and their neighbours, the
 //!   Lemma 1 transformation, and the photo-sharing invariants of Table 1.
 //! * [`sim`] (`regular-sim`) — the deterministic discrete-event simulator the
-//!   protocol evaluations run on.
+//!   protocol evaluations run on, including multi-protocol composition
+//!   ([`sim::compose`]).
+//! * [`session`] (`regular-session`) — the protocol-agnostic session layer:
+//!   typed session operations, closed-loop/partly-open drivers with a
+//!   batching knob, the shared history recorder, and multi-service session
+//!   runners with automatic `libRSS` fencing.
 //! * [`spanner`] (`regular-spanner`) — Spanner and Spanner-RSS (Section 5).
 //! * [`gryff`] (`regular-gryff`) — Gryff and Gryff-RSC (Section 7).
 //! * [`librss`] (`regular-librss`) — the libRSS composition meta-library
@@ -16,7 +21,7 @@
 //! * [`workloads`] (`regular-workloads`) — Retwis and Zipfian workload
 //!   generators (Section 6).
 //!
-//! # Quick start
+//! # Quick start: checking histories
 //!
 //! ```
 //! use regular_seq::core::checker::models::{satisfies, Model};
@@ -35,13 +40,50 @@
 //! assert!(!satisfies(&history, Model::Linearizability));
 //! ```
 //!
-//! See the `examples/` directory for runnable end-to-end scenarios and the
-//! `regular-bench` crate for the harnesses that regenerate every table and
-//! figure of the paper's evaluation.
+//! # Quick start: driving a protocol through the session API
+//!
+//! Both protocol harnesses speak the same session interface: a
+//! [`session::SessionConfig`] chooses the load model (closed-loop or
+//! partly-open, with optional pipelining via `with_batch`), a
+//! [`session::SessionWorkload`] produces typed operations, and the recorded
+//! run is converted to a checkable history by the shared
+//! [`session::HistoryRecorder`].
+//!
+//! ```
+//! use regular_seq::session::SessionConfig;
+//! use regular_seq::sim::{LatencyMatrix, SimDuration, SimTime};
+//! use regular_seq::spanner::prelude::*;
+//!
+//! let result = run_cluster(ClusterSpec {
+//!     config: SpannerConfig::wan(Mode::SpannerRss),
+//!     net: LatencyMatrix::spanner_wan(),
+//!     seed: 1,
+//!     clients: vec![ClientSpec {
+//!         region: 0,
+//!         // Two sessions, each pipelining four transactions per turn.
+//!         sessions: SessionConfig::closed_loop(2, SimDuration::ZERO).with_batch(4),
+//!         workload: Box::new(UniformWorkload { num_keys: 100, ro_fraction: 0.5, keys_per_txn: 2 }),
+//!     }],
+//!     stop_issuing_at: SimTime::from_secs(5),
+//!     drain: SimDuration::from_secs(2),
+//!     measure_from: SimTime::from_secs(1),
+//! });
+//! assert!(result.client_stats.ro_completed > 0);
+//! verify_run(&result).expect("the recorded execution satisfies RSS");
+//! ```
+//!
+//! Because the session layer is protocol-agnostic, one simulation can run a
+//! Spanner-RSS store and a Gryff-RSC store side by side with `libRSS`
+//! inserting real-time fences on every service switch — see
+//! `tests/multi_service.rs` for the end-to-end scenario and the
+//! `examples/` directory for more runnable walkthroughs. The
+//! `regular-bench` crate regenerates every table and figure of the paper's
+//! evaluation.
 
 pub use regular_core as core;
 pub use regular_gryff as gryff;
 pub use regular_librss as librss;
+pub use regular_session as session;
 pub use regular_sim as sim;
 pub use regular_spanner as spanner;
 pub use regular_workloads as workloads;

@@ -8,10 +8,9 @@ fn ycsb_cluster(mode: Mode, write_ratio: f64, conflict: f64, seed: u64) -> Gryff
     let clients = (0..10)
         .map(|i| GryffClientSpec {
             region: i % 5,
-            sessions: 2,
-            think_time: SimDuration::ZERO,
+            sessions: SessionConfig::closed_loop(2, SimDuration::ZERO),
             workload: Box::new(ConflictWorkload::ycsb(write_ratio, conflict, i as u64))
-                as Box<dyn GryffWorkload>,
+                as Box<dyn SessionWorkload>,
         })
         .collect();
     run_gryff(GryffClusterSpec {
@@ -75,18 +74,16 @@ fn lagging_replica_does_not_break_consistency() {
     let mut clients: Vec<GryffClientSpec> = (0..8)
         .map(|i| GryffClientSpec {
             region: i % 5,
-            sessions: 2,
-            think_time: SimDuration::ZERO,
+            sessions: SessionConfig::closed_loop(2, SimDuration::ZERO),
             workload: Box::new(ConflictWorkload::ycsb(0.5, 0.4, i as u64))
-                as Box<dyn GryffWorkload>,
+                as Box<dyn SessionWorkload>,
         })
         .collect();
     // Make one client hammer the shared key to maximize disagreement windows.
     clients.push(GryffClientSpec {
         region: 0,
-        sessions: 1,
-        think_time: SimDuration::ZERO,
-        workload: Box::new(ConflictWorkload::ycsb(1.0, 1.0, 99)) as Box<dyn GryffWorkload>,
+        sessions: SessionConfig::closed_loop(1, SimDuration::ZERO),
+        workload: Box::new(ConflictWorkload::ycsb(1.0, 1.0, 99)) as Box<dyn SessionWorkload>,
     });
     let result = run_gryff(GryffClusterSpec {
         config,
@@ -106,12 +103,11 @@ fn rmw_workload_is_consistent() {
     let clients = (0..4)
         .map(|i| GryffClientSpec {
             region: i % 5,
-            sessions: 2,
-            think_time: SimDuration::ZERO,
+            sessions: SessionConfig::closed_loop(2, SimDuration::ZERO),
             workload: Box::new(ConflictWorkload {
                 rmw_ratio: 0.3,
                 ..ConflictWorkload::ycsb(0.4, 0.2, i as u64)
-            }) as Box<dyn GryffWorkload>,
+            }) as Box<dyn SessionWorkload>,
         })
         .collect();
     let result = run_gryff(GryffClusterSpec {

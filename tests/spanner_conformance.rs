@@ -10,14 +10,14 @@ use regular_seq::workloads::Retwis;
 
 struct RetwisWorkload(Retwis);
 
-impl SpannerWorkload for RetwisWorkload {
-    fn next_request(&mut self, rng: &mut SmallRng) -> TxnRequest {
+impl SessionWorkload for RetwisWorkload {
+    fn next_op(&mut self, rng: &mut SmallRng) -> SessionOp {
         let txn = self.0.next_txn(rng);
         let keys = txn.keys.iter().map(|&k| Key(k)).collect();
         if txn.read_only {
-            TxnRequest::ReadOnly { keys }
+            SessionOp::RoTxn { keys }
         } else {
-            TxnRequest::ReadWrite { keys }
+            SessionOp::RwTxn { keys }
         }
     }
 }
@@ -26,12 +26,8 @@ fn retwis_cluster(mode: Mode, skew: f64, seed: u64, keys: u64) -> RunResult {
     let clients = (0..3)
         .map(|region| ClientSpec {
             region,
-            driver: Driver::PartlyOpen {
-                arrival_rate: 4.0,
-                stay_probability: 0.9,
-                think_time: SimDuration::ZERO,
-            },
-            workload: Box::new(RetwisWorkload(Retwis::new(keys, skew))) as Box<dyn SpannerWorkload>,
+            sessions: SessionConfig::partly_open(4.0, 0.9, SimDuration::ZERO),
+            workload: Box::new(RetwisWorkload(Retwis::new(keys, skew))) as Box<dyn SessionWorkload>,
         })
         .collect();
     run_cluster(ClusterSpec {
@@ -126,9 +122,9 @@ fn clock_uncertainty_spike_preserves_rss() {
     let clients = (0..3)
         .map(|region| ClientSpec {
             region,
-            driver: Driver::ClosedLoop { sessions: 3, think_time: SimDuration::ZERO },
+            sessions: SessionConfig::closed_loop(3, SimDuration::ZERO),
             workload: Box::new(UniformWorkload { num_keys: 100, ro_fraction: 0.5, keys_per_txn: 2 })
-                as Box<dyn SpannerWorkload>,
+                as Box<dyn SessionWorkload>,
         })
         .collect();
     let result = run_cluster(ClusterSpec {
