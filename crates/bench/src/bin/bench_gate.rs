@@ -1,0 +1,143 @@
+//! CI throughput-regression gate over the session baselines.
+//!
+//! Compares a freshly generated `BENCH_baseline.json` (from
+//! `session_baseline`) against the checked-in reference
+//! `ci/bench_baseline_reference.json` and fails (exit 1) when any non-WAN
+//! configuration's throughput regressed by more than the threshold
+//! (default 25%). WAN configurations are warn-only — their tail-latency
+//! coupling makes small workload shifts look dramatic — and so are
+//! *improvements* beyond the threshold, which print a reminder to refresh
+//! the reference.
+//!
+//! Throughput here is simulated txn/s, deterministic for a fixed seed, so a
+//! trip of this gate means the protocol's behaviour changed, not that the
+//! runner was slow.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_gate [--current BENCH_baseline.json] \
+//!            [--reference ci/bench_baseline_reference.json] \
+//!            [--threshold 0.25]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use regular_sweep::Json;
+
+struct Entry {
+    name: String,
+    wan: bool,
+    throughput: f64,
+}
+
+fn load_entries(path: &PathBuf) -> Result<Vec<Entry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let json = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let schema = json.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != "regular-seq/session-baseline/v1" {
+        return Err(format!("{}: unexpected schema '{schema}'", path.display()));
+    }
+    json.get("configs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{}: missing configs", path.display()))?
+        .iter()
+        .map(|c| {
+            Ok(Entry {
+                name: c
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("config missing name")?
+                    .to_string(),
+                wan: c.get("wan").and_then(Json::as_bool).unwrap_or(false),
+                throughput: c
+                    .get("throughput")
+                    .and_then(Json::as_f64)
+                    .ok_or("config missing throughput")?,
+            })
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let mut current = PathBuf::from("BENCH_baseline.json");
+    let mut reference = PathBuf::from("ci/bench_baseline_reference.json");
+    let mut threshold = 0.25f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().expect("flag needs a value");
+        match arg.as_str() {
+            "--current" => current = PathBuf::from(value()),
+            "--reference" => reference = PathBuf::from(value()),
+            "--threshold" => threshold = value().parse().expect("bad --threshold"),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let (current_entries, reference_entries) =
+        match (load_entries(&current), load_entries(&reference)) {
+            (Ok(c), Ok(r)) => (c, r),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("bench_gate: {e}");
+                return ExitCode::from(2);
+            }
+        };
+
+    println!(
+        "== bench gate: {} vs {} (threshold {:.0}%) ==",
+        current.display(),
+        reference.display(),
+        threshold * 100.0
+    );
+    let mut failed = false;
+    for reference_entry in &reference_entries {
+        let Some(current_entry) = current_entries.iter().find(|c| c.name == reference_entry.name)
+        else {
+            eprintln!("FAIL  {}: missing from current baseline", reference_entry.name);
+            failed = true;
+            continue;
+        };
+        let delta = if reference_entry.throughput > 0.0 {
+            (current_entry.throughput - reference_entry.throughput) / reference_entry.throughput
+        } else {
+            0.0
+        };
+        let label = format!(
+            "{:<34} ref {:>10.0}/s  now {:>10.0}/s  {:>+7.1}%",
+            reference_entry.name,
+            reference_entry.throughput,
+            current_entry.throughput,
+            delta * 100.0
+        );
+        if delta < -threshold {
+            if reference_entry.wan {
+                println!("WARN  {label}  (WAN config: warn-only)");
+            } else {
+                eprintln!("FAIL  {label}");
+                failed = true;
+            }
+        } else if delta > threshold {
+            println!("WARN  {label}  (large improvement: refresh the reference)");
+        } else {
+            println!("ok    {label}");
+        }
+    }
+    for current_entry in &current_entries {
+        if !reference_entries.iter().any(|r| r.name == current_entry.name) {
+            println!(
+                "WARN  {}: not in the reference (add it to ci/bench_baseline_reference.json)",
+                current_entry.name
+            );
+        }
+    }
+    if failed {
+        eprintln!("bench gate FAILED: throughput regressed beyond the threshold");
+        return ExitCode::FAILURE;
+    }
+    println!("bench gate passed");
+    ExitCode::SUCCESS
+}

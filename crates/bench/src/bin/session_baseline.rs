@@ -6,13 +6,42 @@
 //! protocol benches exercise realistic load; batch 1 reproduces the paper's
 //! one-outstanding-operation sessions).
 //!
-//! Usage: `cargo run --release -p regular-bench --bin session_baseline`
+//! Besides the human-readable tables, the run is emitted as
+//! `BENCH_baseline.json` (`--out` overrides the path) for the CI regression
+//! gate: `bench_gate` compares it against the checked-in reference in
+//! `ci/bench_baseline_reference.json` and fails the build on >25% throughput
+//! regression. Throughput here is *simulated* txn/s — deterministic for a
+//! fixed seed — so the gate detects protocol-behaviour changes, not host
+//! noise; the WAN configurations are still warn-only (their tails make small
+//! workload shifts look dramatic).
+//!
+//! Usage: `cargo run --release -p regular-bench --bin session_baseline [-- --out PATH]`
 
 use regular_bench::{fmt_ms, run_gryff_ycsb_batched, run_spanner_overhead_batched, GryffRunParams};
 use regular_gryff::prelude as gryff;
 use regular_spanner::prelude as spanner;
+use regular_sweep::{write_json, Json};
+
+struct ConfigResult {
+    name: String,
+    wan: bool,
+    throughput: f64,
+}
 
 fn main() {
+    let mut out = std::path::PathBuf::from("BENCH_baseline.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = std::path::PathBuf::from(args.next().expect("--out needs a value")),
+            other => {
+                eprintln!("unknown argument '{other}' (supported: --out PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut configs: Vec<ConfigResult> = Vec::new();
     const BATCHES: [usize; 3] = [1, 4, 16];
     println!("== Batched-session protocol baselines ==");
     println!(
@@ -37,6 +66,11 @@ fn main() {
             fmt_ms(rw.percentile(50.0)),
             fmt_ms(rw.percentile(99.0)),
         );
+        configs.push(ConfigResult {
+            name: format!("spanner-rss-single-dc-batch-{batch}"),
+            wan: false,
+            throughput: r.throughput,
+        });
     }
     println!(
         "\nGryff-RSC, 5-region WAN, 16 closed-loop clients, YCSB 50% writes / 10% conflicts\n\
@@ -61,6 +95,37 @@ fn main() {
             fmt_ms(wr.percentile(50.0)),
             fmt_ms(wr.percentile(99.0)),
         );
+        configs.push(ConfigResult {
+            name: format!("gryff-rsc-wan-batch-{batch}"),
+            wan: true,
+            throughput: r.throughput,
+        });
     }
     println!("\nAll runs passed their consistency certificates (RSS / RSC).");
+
+    let json = Json::obj(vec![
+        ("schema", Json::str("regular-seq/session-baseline/v1")),
+        (
+            "configs",
+            Json::Arr(
+                configs
+                    .iter()
+                    .map(|c| {
+                        Json::obj(vec![
+                            ("name", Json::str(&c.name)),
+                            ("wan", Json::Bool(c.wan)),
+                            ("throughput", Json::f64((c.throughput * 100.0).round() / 100.0)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    match write_json(&out, &json) {
+        Ok(()) => println!("baseline JSON written to {}", out.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", out.display());
+            std::process::exit(2);
+        }
+    }
 }

@@ -23,7 +23,7 @@ pub mod proximal;
 pub mod search;
 
 pub use assemble::{assemble_witness, AssembleError};
-pub use certificate::{check_witness, WitnessModel, WitnessViolation};
+pub use certificate::{check_witness, check_witness_parallel, WitnessModel, WitnessViolation};
 pub use models::{check, CheckOutcome, Model};
 pub use search::{
     find_sequence, find_sequence_reference, find_sequence_with, ConstraintGraph, Constraints,

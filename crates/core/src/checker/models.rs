@@ -157,8 +157,9 @@ pub fn constraints_for_with(history: &History, index: &HistoryIndex, model: Mode
 ///
 /// # Errors
 ///
-/// Returns [`SearchError::TooLarge`] if the history exceeds the exact-search
-/// size limit; use the certificate checkers for protocol-scale histories.
+/// The `Result` is kept for signature stability; the exact search no longer
+/// has a size ceiling. It is still exponential in the worst case — use the
+/// certificate checkers for protocol-scale histories.
 pub fn check(history: &History, model: Model) -> Result<CheckOutcome, SearchError> {
     let index = HistoryIndex::new(history);
     let constraints = constraints_for_with(history, &index, model);

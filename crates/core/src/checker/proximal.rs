@@ -35,7 +35,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use crate::checker::search::{find_sequence_with, Constraints, SearchError, MAX_SEARCH_OPS};
+use crate::checker::search::{find_sequence_with, Constraints, SearchError};
 use crate::history::{History, HistoryIndex};
 use crate::order::{real_time_precedes, CausalOrder};
 use crate::types::{Key, OpId, Value};
@@ -84,13 +84,12 @@ impl ProximalModel {
 ///
 /// # Errors
 ///
-/// Returns [`SearchError::TooLarge`] for histories beyond the exact-search
-/// limit; these checkers are meant for the small hand-built schedules of the
-/// appendix comparisons and for property tests.
+/// The `Result` is kept for signature stability, but the search-based
+/// checkers no longer have a size ceiling (the scheduled-set is an
+/// [`crate::opset::OpSet`] bitset arena); these checkers are still meant for
+/// the small hand-built schedules of the appendix comparisons and for
+/// property tests — they are exponential in the worst case.
 pub fn check_proximal(history: &History, model: ProximalModel) -> Result<bool, SearchError> {
-    if history.len() > MAX_SEARCH_OPS {
-        return Err(SearchError::TooLarge { ops: history.len() });
-    }
     let index = HistoryIndex::new(history);
     match model {
         ProximalModel::Crdb => check_total_order(&index, crdb_constraints(&index)),

@@ -21,13 +21,21 @@
 //!
 //! * [`Constraints`] is an edge list with a sorted/deduplicated invariant;
 //!   it is compiled once per [`find_sequence`] call into a
-//!   [`ConstraintGraph`] of per-node predecessor/successor bitmasks.
-//! * Cycle checks per optional-subset are bitmask Kahn peels on the compiled
-//!   graph — no hash maps, no sorting, no allocation in the subset loop.
+//!   [`ConstraintGraph`] of per-node predecessor bitset rows.
+//! * Scheduled sets, candidate masks, and the memo key are bitsets over the
+//!   local indices, and there is no hard size ceiling anymore: histories up
+//!   to 128 ops run the monomorphized `u128` fast path (bit-for-bit the old
+//!   hot loop, so small searches pay nothing for the lifted ceiling), and
+//!   larger histories switch to the word-arena [`OpSet`] representation.
+//!   (The old `MAX_SEARCH_OPS` cap survives only in
+//!   [`find_sequence_reference`], whose masks are still plain `u128`.)
+//! * Cycle checks per optional-subset are bitset Kahn peels on the compiled
+//!   graph — no hash maps, no sorting, and no allocation in the subset loop
+//!   for ≤128-op histories.
 //! * The backtracking step threads one mutable
 //!   [`IndexedSpecState`] with an undo log
 //!   instead of cloning the state per node, and the memo table is keyed on
-//!   `(placed-mask, state fingerprint)` in an
+//!   `(placed-set, state fingerprint)` in an
 //!   [`FxHash`](crate::hashing::FxHasher)-hashed set with an O(1)
 //!   incrementally-maintained fingerprint.
 //!
@@ -40,11 +48,13 @@ use std::collections::HashSet;
 
 use crate::hashing::FxSeenSet;
 use crate::history::{History, HistoryIndex};
+use crate::opset::{words_for, OpSet};
 use crate::spec::{IndexedSpecState, SpecState};
 use crate::types::OpId;
 
-/// Maximum history size the search accepts (the scheduled-set is a `u128`
-/// bitmask).
+/// Maximum history size [`find_sequence_reference`] accepts (its
+/// scheduled-set is still a `u128` bitmask). The optimized search has no size
+/// ceiling: [`OpSet`] spills past 128 ops.
 pub const MAX_SEARCH_OPS: usize = 128;
 
 /// Maximum number of optional (pending mutating) operations whose subsets are
@@ -141,17 +151,21 @@ impl Constraints {
     }
 }
 
-/// A constraint set compiled to per-node predecessor bitmasks over the local
-/// indices of one search (positions in `required` ++ `optional`).
+/// A constraint set compiled to per-node predecessor bitset rows over the
+/// local indices of one search (positions in `required` ++ `optional`).
 ///
 /// Built once per [`find_sequence`] call; all per-subset and per-step work is
-/// pure bit arithmetic on it.
+/// pure word arithmetic on the row-major `preds` arena (`words_per_row`
+/// words per node — one or two words inline-sized for ≤128-op searches).
 #[derive(Debug, Clone)]
 pub struct ConstraintGraph {
-    /// Number of local nodes (≤ [`MAX_SEARCH_OPS`]).
+    /// Number of local nodes.
     n: usize,
-    /// `preds[i]`: bitmask of local nodes that must precede node `i`.
-    preds: Vec<u128>,
+    /// Words per predecessor row: `words_for(n)`.
+    wpr: usize,
+    /// Row-major predecessor bitsets: `preds[i*wpr..(i+1)*wpr]` is the set of
+    /// local nodes that must precede node `i`.
+    preds: Vec<u64>,
 }
 
 impl ConstraintGraph {
@@ -161,22 +175,23 @@ impl ConstraintGraph {
     /// [`Constraints::has_cycle`]). `history_len` bounds the op-id space for
     /// the direct-indexed lookup table.
     pub fn compile(constraints: &Constraints, ids: &[OpId], history_len: usize) -> Self {
-        debug_assert!(ids.len() <= MAX_SEARCH_OPS);
         let n = ids.len();
+        let wpr = words_for(n);
         let mut local = vec![u32::MAX; history_len];
         for (li, id) in ids.iter().enumerate() {
             debug_assert_eq!(local[id.index()], u32::MAX, "duplicate op in search set");
             local[id.index()] = li as u32;
         }
         let lookup = |id: OpId| local.get(id.index()).copied().unwrap_or(u32::MAX);
-        let mut preds = vec![0u128; n];
+        let mut preds = vec![0u64; n * wpr];
         for &(a, b) in constraints.edges() {
             let (la, lb) = (lookup(a), lookup(b));
             if la != u32::MAX && lb != u32::MAX {
-                preds[lb as usize] |= 1u128 << la;
+                let (la, lb) = (la as usize, lb as usize);
+                preds[lb * wpr + la / 64] |= 1u64 << (la % 64);
             }
         }
-        ConstraintGraph { n, preds }
+        ConstraintGraph { n, wpr, preds }
     }
 
     /// Number of local nodes.
@@ -191,16 +206,51 @@ impl ConstraintGraph {
         self.n == 0
     }
 
-    /// Predecessor mask of node `i`.
+    /// Words per predecessor row.
     #[inline]
-    pub fn preds(&self, i: usize) -> u128 {
-        self.preds[i]
+    pub fn words_per_row(&self) -> usize {
+        self.wpr
     }
 
-    /// True if the graph restricted to `active` contains a cycle: a bitmask
-    /// Kahn peel (repeatedly remove nodes with no unremoved predecessors)
-    /// with no allocation.
-    pub fn has_cycle_masked(&self, active: u128) -> bool {
+    /// Predecessor row of node `i` (least-significant word first).
+    #[inline]
+    pub fn preds_row(&self, i: usize) -> &[u64] {
+        &self.preds[i * self.wpr..(i + 1) * self.wpr]
+    }
+
+    /// True if `j` must precede `i`.
+    #[inline]
+    pub fn pred_contains(&self, i: usize, j: usize) -> bool {
+        self.preds_row(i)[j / 64] & (1u64 << (j % 64)) != 0
+    }
+
+    /// True if node `i` has a predecessor in `active` that is not in
+    /// `placed` — i.e. `i` is not yet schedulable.
+    #[inline]
+    pub fn preds_blocked(&self, i: usize, active: &OpSet, placed: &OpSet) -> bool {
+        self.preds_row(i)
+            .iter()
+            .enumerate()
+            .any(|(w, &row)| row & active.word(w) & !placed.word(w) != 0)
+    }
+
+    /// Predecessor row of node `i` as a single `u128`. Only meaningful on
+    /// the ≤128-node fast path (`words_per_row() <= 2`).
+    #[inline]
+    fn preds_u128(&self, i: usize) -> u128 {
+        debug_assert!(self.wpr <= 2);
+        let row = self.preds_row(i);
+        let lo = row[0] as u128;
+        if self.wpr == 2 {
+            lo | (row[1] as u128) << 64
+        } else {
+            lo
+        }
+    }
+
+    /// [`ConstraintGraph::has_cycle_masked`] on the `u128` fast path: the
+    /// flat-word Kahn peel the ≤128-op searches use.
+    fn has_cycle_u128(&self, active: u128) -> bool {
         let mut remaining = active;
         loop {
             let mut peeled = 0u128;
@@ -209,7 +259,7 @@ impl ConstraintGraph {
                 let i = scan.trailing_zeros() as usize;
                 let bit = 1u128 << i;
                 scan &= scan - 1;
-                if self.preds[i] & remaining == 0 {
+                if self.preds_u128(i) & remaining == 0 {
                     peeled |= bit;
                 }
             }
@@ -222,12 +272,60 @@ impl ConstraintGraph {
             }
         }
     }
+
+    /// True if the graph restricted to `active` contains a cycle: a bitset
+    /// Kahn peel (repeatedly remove nodes with no unremoved predecessors).
+    /// Allocation-free for inline-sized (≤128-op) searches.
+    pub fn has_cycle_masked(&self, active: &OpSet) -> bool {
+        let mut inline_buf = [0u64; 2];
+        let mut heap_buf: Vec<u64>;
+        let remaining: &mut [u64] = if self.wpr <= inline_buf.len() {
+            for (w, slot) in inline_buf.iter_mut().enumerate().take(self.wpr) {
+                *slot = active.word(w);
+            }
+            &mut inline_buf[..self.wpr]
+        } else {
+            heap_buf = (0..self.wpr).map(|w| active.word(w)).collect();
+            &mut heap_buf
+        };
+        self.cycle_on(remaining)
+    }
+
+    /// The Kahn peel over a mutable word buffer. Peeling eagerly within a
+    /// pass (instead of batching a round's peels) is still correct: a node is
+    /// removable exactly when it has no unremoved predecessors, and removal
+    /// order cannot create cycles.
+    fn cycle_on(&self, remaining: &mut [u64]) -> bool {
+        loop {
+            let mut peeled = false;
+            for w in 0..self.wpr {
+                let mut scan = remaining[w];
+                while scan != 0 {
+                    let b = scan.trailing_zeros() as usize;
+                    scan &= scan - 1;
+                    let row = self.preds_row(w * 64 + b);
+                    if row.iter().zip(remaining.iter()).all(|(&r, &m)| r & m == 0) {
+                        remaining[w] &= !(1u64 << b);
+                        peeled = true;
+                    }
+                }
+            }
+            if remaining.iter().all(|&m| m == 0) {
+                return false;
+            }
+            if !peeled {
+                return true;
+            }
+        }
+    }
 }
 
 /// Errors from the exact search.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SearchError {
-    /// The history exceeds [`MAX_SEARCH_OPS`]; use the certificate checker.
+    /// The history exceeds [`MAX_SEARCH_OPS`]. Only produced by
+    /// [`find_sequence_reference`] (whose masks are still `u128`); the
+    /// optimized search accepts any size.
     TooLarge {
         /// Number of operations in the history.
         ops: usize,
@@ -239,17 +337,16 @@ pub enum SearchError {
 /// or may not have taken place), respecting `constraints` and the sequential
 /// specification.
 ///
-/// Returns a witness sequence if one exists, `None` otherwise, or an error if
-/// the history is too large for the exact search.
+/// Returns a witness sequence if one exists, `None` otherwise. There is no
+/// size ceiling (the scheduled-set is an [`OpSet`] bitset arena), but the
+/// search is exponential in the worst case — protocol-scale histories belong
+/// to the certificate checkers.
 pub fn find_sequence(
     history: &History,
     required: &[OpId],
     optional: &[OpId],
     constraints: &Constraints,
 ) -> Result<Option<Vec<OpId>>, SearchError> {
-    if history.len() > MAX_SEARCH_OPS {
-        return Err(SearchError::TooLarge { ops: history.len() });
-    }
     let index = HistoryIndex::new(history);
     find_sequence_with(&index, required, optional, constraints)
 }
@@ -262,62 +359,123 @@ pub fn find_sequence_with(
     optional: &[OpId],
     constraints: &Constraints,
 ) -> Result<Option<Vec<OpId>>, SearchError> {
-    if index.len() > MAX_SEARCH_OPS {
-        return Err(SearchError::TooLarge { ops: index.len() });
-    }
     // Try subsets of the optional operations, smallest first (the common case
     // is that pending writes need not be included).
     let optional = &optional[..optional.len().min(MAX_OPTIONAL_OPS)];
     let mut ids = Vec::with_capacity(required.len() + optional.len());
     ids.extend_from_slice(required);
     ids.extend_from_slice(optional);
-    if ids.len() > MAX_SEARCH_OPS {
-        // Only reachable when `required` and `optional` overlap or repeat;
-        // the scheduled-set mask cannot represent more than 128 local nodes.
-        return Err(SearchError::TooLarge { ops: ids.len() });
-    }
+    let universe = ids.len();
     let graph = ConstraintGraph::compile(constraints, &ids, index.len());
 
-    let required_mask = if required.is_empty() { 0 } else { u128::MAX >> (128 - required.len()) };
-    let mut searcher = Searcher {
+    if universe <= OpSet::INLINE_BITS {
+        // Fast path: the whole old `u128` regime, monomorphized flat-word
+        // arithmetic with no per-word indirection.
+        return Ok(search_small(index, &graph, &ids, required.len(), optional.len()));
+    }
+    Ok(search_large(index, &graph, &ids, required.len(), optional.len()))
+}
+
+/// The low `n` bits of a `u128`. Safe at both edges: `n == 0` (the old
+/// `u128::MAX >> (128 - n)` idiom would shift by 128 and panic) and
+/// `n == 128`.
+#[inline]
+fn low_bits_u128(n: usize) -> u128 {
+    debug_assert!(n <= 128);
+    if n == 0 {
+        0
+    } else {
+        u128::MAX >> (128 - n)
+    }
+}
+
+/// The ≤128-op search: `u128` scheduled sets (the pre-`OpSet` hot path,
+/// kept monomorphized so small searches pay nothing for the lifted ceiling).
+fn search_small(
+    index: &HistoryIndex,
+    graph: &ConstraintGraph,
+    ids: &[OpId],
+    required: usize,
+    optional: usize,
+) -> Option<Vec<OpId>> {
+    let required_mask = low_bits_u128(required);
+    let mut searcher = SmallSearcher {
         index,
-        graph: &graph,
-        ids: &ids,
+        graph,
+        ids,
         state: IndexedSpecState::new(index.num_dense_keys()),
         seen: FxSeenSet::default(),
         seq: Vec::with_capacity(ids.len()),
     };
-    let subsets = 1usize << optional.len();
+    let subsets = 1usize << optional;
     for subset in 0..subsets {
-        // `subset > 0` implies `optional` is non-empty, which (with the
-        // length check above) bounds the shift below 128.
+        // `subset > 0` implies `optional > 0`, which keeps the shift below
+        // 128 (`required + optional == ids.len() <= 128`).
         let active = if subset == 0 {
             required_mask
         } else {
-            required_mask | ((subset as u128) << required.len())
+            required_mask | ((subset as u128) << required)
         };
-        if graph.has_cycle_masked(active) {
+        if graph.has_cycle_u128(active) {
             continue;
         }
         if searcher.search(active) {
-            return Ok(Some(searcher.seq));
+            return Some(searcher.seq);
         }
     }
-    Ok(None)
+    None
 }
 
-/// One search over a fixed local-index space; holds the mutable state reused
-/// across optional-subsets.
-struct Searcher<'a> {
+/// The >128-op search: [`OpSet`] scheduled sets of any width.
+fn search_large(
+    index: &HistoryIndex,
+    graph: &ConstraintGraph,
+    ids: &[OpId],
+    required: usize,
+    optional: usize,
+) -> Option<Vec<OpId>> {
+    let universe = ids.len();
+    let required_set = OpSet::first_n(universe, required);
+    let mut searcher = LargeSearcher {
+        index,
+        graph,
+        ids,
+        state: IndexedSpecState::new(index.num_dense_keys()),
+        seen: FxSeenSet::default(),
+        seq: Vec::with_capacity(universe),
+        active: OpSet::empty(universe),
+        placed: OpSet::empty(universe),
+        active_count: 0,
+    };
+    let subsets = 1usize << optional;
+    for subset in 0..subsets {
+        let mut active = required_set.clone();
+        if subset != 0 {
+            // `subset > 0` implies `optional` is non-empty, so the shifted
+            // bits stay inside the universe.
+            active.or_shifted(subset as u64, required);
+        }
+        if graph.has_cycle_masked(&active) {
+            continue;
+        }
+        if searcher.search(active) {
+            return Some(searcher.seq);
+        }
+    }
+    None
+}
+
+/// The ≤128-op searcher: scheduled sets are `u128` bitmasks.
+struct SmallSearcher<'a> {
     index: &'a HistoryIndex,
     graph: &'a ConstraintGraph,
     ids: &'a [OpId],
     state: IndexedSpecState,
-    seen: FxSeenSet,
+    seen: FxSeenSet<u128>,
     seq: Vec<OpId>,
 }
 
-impl Searcher<'_> {
+impl SmallSearcher<'_> {
     /// Searches for a topological order of `active` that replays legally.
     fn search(&mut self, active: u128) -> bool {
         debug_assert_eq!(self.state.checkpoint(), 0, "state is pristine between subsets");
@@ -342,7 +500,7 @@ impl Searcher<'_> {
             let i = candidates.trailing_zeros() as usize;
             let bit = 1u128 << i;
             candidates &= candidates - 1;
-            if self.graph.preds(i) & active & !placed != 0 {
+            if self.graph.preds_u128(i) & active & !placed != 0 {
                 continue;
             }
             let op = self.ids[i].index();
@@ -361,9 +519,84 @@ impl Searcher<'_> {
     }
 }
 
+/// The arbitrary-size searcher: scheduled sets are [`OpSet`]s; holds the
+/// mutable state reused across optional-subsets.
+struct LargeSearcher<'a> {
+    index: &'a HistoryIndex,
+    graph: &'a ConstraintGraph,
+    ids: &'a [OpId],
+    state: IndexedSpecState,
+    seen: FxSeenSet<OpSet>,
+    seq: Vec<OpId>,
+    active: OpSet,
+    placed: OpSet,
+    active_count: usize,
+}
+
+impl LargeSearcher<'_> {
+    /// Searches for a topological order of `active` that replays legally.
+    fn search(&mut self, active: OpSet) -> bool {
+        debug_assert_eq!(self.state.checkpoint(), 0, "state is pristine between subsets");
+        debug_assert!(self.placed.is_empty(), "placed set is pristine between subsets");
+        self.active_count = active.count();
+        self.active = active;
+        self.seen.clear();
+        self.seq.clear();
+        let found = self.backtrack(0);
+        // `seq` and `placed` keep the witness on success (the caller returns
+        // immediately); on failure backtracking has restored `placed` to
+        // empty. The state is always reset for the next subset.
+        self.state.rollback(0);
+        found
+    }
+
+    fn backtrack(&mut self, depth: usize) -> bool {
+        if depth == self.active_count {
+            return true;
+        }
+        if !self.seen.insert((self.placed.clone(), self.state.fingerprint())) {
+            return false;
+        }
+        // Candidates are recomputed from the live `placed` set after every
+        // recursive return (it is restored on the way out), with a `tried`
+        // mask excluding bits this frame already attempted — no per-frame
+        // snapshot allocation for any history size.
+        for w in 0..self.active.num_words() {
+            let mut tried = 0u64;
+            loop {
+                let cand = self.active.word(w) & !self.placed.word(w) & !tried;
+                if cand == 0 {
+                    break;
+                }
+                let b = cand.trailing_zeros() as usize;
+                tried |= 1u64 << b;
+                let i = w * 64 + b;
+                if self.graph.preds_blocked(i, &self.active, &self.placed) {
+                    continue;
+                }
+                let op = self.ids[i].index();
+                let cp = self.state.checkpoint();
+                if !self.state.apply_checked(self.index, op) {
+                    continue;
+                }
+                self.placed.insert(i);
+                self.seq.push(self.ids[i]);
+                if self.backtrack(depth + 1) {
+                    return true;
+                }
+                self.seq.pop();
+                self.placed.remove(i);
+                self.state.rollback(cp);
+            }
+        }
+        false
+    }
+}
+
 /// The straightforward reference implementation of [`find_sequence`]: hash
-/// maps keyed by `OpId`, a cloned [`SpecState`] per step, and a rebuilt
-/// Kahn's-algorithm cycle check per optional subset.
+/// maps keyed by `OpId`, a cloned [`SpecState`] per step, a rebuilt
+/// Kahn's-algorithm cycle check per optional subset, and `u128` scheduled-set
+/// masks (hence the [`MAX_SEARCH_OPS`] cap this implementation keeps).
 ///
 /// Retained (not cfg-gated) so the property tests can assert the optimized
 /// search agrees with it on randomized histories, and as executable
@@ -505,6 +738,14 @@ mod tests {
     use crate::history::HistoryBuilder;
     use crate::order::CausalOrder;
 
+    fn opset(universe: usize, bits: &[usize]) -> OpSet {
+        let mut s = OpSet::empty(universe);
+        for &b in bits {
+            s.insert(b);
+        }
+        s
+    }
+
     #[test]
     fn constraints_cycle_detection() {
         let a = OpId(0);
@@ -547,10 +788,30 @@ mod tests {
         ]);
         let ids = [OpId(0), OpId(1), OpId(2)];
         let graph = ConstraintGraph::compile(&edges, &ids, 3);
-        assert!(graph.has_cycle_masked(0b111));
-        assert!(!graph.has_cycle_masked(0b011), "dropping one node breaks the cycle");
-        assert!(!graph.has_cycle_masked(0));
-        assert_eq!(graph.preds(1), 0b001);
+        assert!(graph.has_cycle_masked(&opset(3, &[0, 1, 2])));
+        assert!(!graph.has_cycle_masked(&opset(3, &[0, 1])), "dropping one node breaks the cycle");
+        assert!(!graph.has_cycle_masked(&opset(3, &[])));
+        assert!(graph.pred_contains(1, 0));
+        assert!(!graph.pred_contains(0, 1));
+    }
+
+    #[test]
+    fn constraint_graph_cycles_beyond_128_ops() {
+        // A cycle whose nodes straddle the third word (indices 126..=130).
+        let n = 160;
+        let edges = Constraints::from_edges(vec![
+            (OpId(126), OpId(127)),
+            (OpId(127), OpId(128)),
+            (OpId(128), OpId(130)),
+            (OpId(130), OpId(126)),
+        ]);
+        let ids: Vec<OpId> = (0..n as u32).map(OpId).collect();
+        let graph = ConstraintGraph::compile(&edges, &ids, n);
+        assert_eq!(graph.words_per_row(), 3);
+        let all: Vec<usize> = (0..n).collect();
+        assert!(graph.has_cycle_masked(&opset(n, &all)));
+        let without: Vec<usize> = (0..n).filter(|&i| i != 128).collect();
+        assert!(!graph.has_cycle_masked(&opset(n, &without)));
     }
 
     #[test]
@@ -614,34 +875,63 @@ mod tests {
         assert_eq!(fast, Some(vec![w, r]));
     }
 
-    #[test]
-    fn handles_history_at_exactly_max_search_ops() {
-        // 128 required ops is allowed by the size guard; the scheduled-set
-        // mask must not overflow while enumerating subsets.
+    /// Builds a history of `n` sequential writes by one process and checks
+    /// that the search recovers the full order under causal constraints.
+    fn chain_of_writes(n: u64) -> (crate::history::History, Constraints) {
         let mut b = HistoryBuilder::new();
-        for i in 0..128u64 {
+        for i in 0..n {
             b.write(1, 1, i + 1, i * 10, i * 10 + 5);
         }
         let h = b.build();
-        let seq = find_sequence(&h, &h.complete_ids(), &[], &Constraints::new()).unwrap();
-        assert_eq!(seq.map(|s| s.len()), Some(128));
+        let cons = Constraints::from_edges(CausalOrder::new(&h).direct_edges().to_vec());
+        (h, cons)
     }
 
     #[test]
-    fn rejects_oversized_history() {
+    fn handles_histories_at_every_representation_boundary() {
+        // 64 (one-word boundary), 127/128 (the old u128 ceiling), and 129
+        // (the first spilled size, which the old path rejected outright).
+        for n in [64u64, 127, 128, 129] {
+            let (h, cons) = chain_of_writes(n);
+            let seq = find_sequence(&h, &h.complete_ids(), &[], &cons).unwrap();
+            assert_eq!(seq.map(|s| s.len()), Some(n as usize), "chain of {n} writes");
+        }
+    }
+
+    #[test]
+    fn searches_large_histories_the_old_path_rejected() {
+        // 130 ops: beyond the old `u128` ceiling. Mixed reads/writes so the
+        // spec replay is exercised, not just topological enumeration.
         let mut b = HistoryBuilder::new();
-        for i in 0..130 {
-            b.write(1, 1, i + 1, i * 10, i * 10 + 5);
+        for i in 0..65u64 {
+            b.write(1, 1, i + 1, i * 20, i * 20 + 5);
+            b.read(2, 1, i + 1, i * 20 + 10, i * 20 + 15);
         }
         let h = b.build();
+        assert_eq!(h.len(), 130);
+        let cons = Constraints::from_edges(CausalOrder::new(&h).direct_edges().to_vec());
+        let seq = find_sequence(&h, &h.complete_ids(), &[], &cons).unwrap().unwrap();
+        assert_eq!(seq.len(), 130);
+        // The reference implementation still caps at 128 ops.
         assert!(matches!(
-            find_sequence(&h, &h.complete_ids(), &[], &Constraints::new()),
-            Err(SearchError::TooLarge { .. })
+            find_sequence_reference(&h, &h.complete_ids(), &[], &cons),
+            Err(SearchError::TooLarge { ops: 130 })
         ));
-        assert!(matches!(
-            find_sequence_reference(&h, &h.complete_ids(), &[], &Constraints::new()),
-            Err(SearchError::TooLarge { .. })
-        ));
+    }
+
+    #[test]
+    fn unsatisfiable_large_history_is_rejected_not_errored() {
+        // The process-order chain keeps the (exponential) search tractable:
+        // the 130 writes are totally ordered, and the impossible read fails
+        // spec replay at each of its candidate positions.
+        let mut b = HistoryBuilder::new();
+        for i in 0..130u64 {
+            b.write(1, 1, i + 1, i * 10, i * 10 + 5);
+        }
+        b.read(2, 1, 999, 2000, 2010); // value nobody wrote
+        let h = b.build();
+        let cons = Constraints::from_edges(CausalOrder::new(&h).direct_edges().to_vec());
+        assert_eq!(find_sequence(&h, &h.complete_ids(), &[], &cons).unwrap(), None);
     }
 
     #[test]
@@ -685,6 +975,106 @@ mod tests {
         let seq = find_sequence(&h, &h.complete_ids(), &[], &cons).unwrap().unwrap();
         // FIFO forces the full order.
         assert_eq!(seq, vec![e1, e2, d1, d2]);
+    }
+
+    /// Tiny deterministic PRNG for the differential tests below (core has no
+    /// RNG dependency).
+    fn xorshift(s: &mut u64) -> u64 {
+        *s ^= *s << 13;
+        *s ^= *s >> 7;
+        *s ^= *s << 17;
+        *s
+    }
+
+    /// Runs both private searcher implementations on identical compiled
+    /// inputs and checks they agree on satisfiability; any witness either
+    /// produces must replay legally and respect the constraints.
+    fn assert_small_and_large_agree(h: &History, cons: &Constraints, label: &str) {
+        let index = HistoryIndex::new(h);
+        let required = h.complete_ids();
+        let optional: Vec<OpId> =
+            h.pending_mutations().into_iter().take(MAX_OPTIONAL_OPS).collect();
+        let mut ids = required.clone();
+        ids.extend_from_slice(&optional);
+        assert!(ids.len() <= 128, "the small path only covers 128 ops ({label})");
+        let graph = ConstraintGraph::compile(cons, &ids, index.len());
+        let small = search_small(&index, &graph, &ids, required.len(), optional.len());
+        let large = search_large(&index, &graph, &ids, required.len(), optional.len());
+        assert_eq!(
+            small.is_some(),
+            large.is_some(),
+            "small/large searchers disagree ({label}): small={small:?} large={large:?}"
+        );
+        for seq in [&small, &large].into_iter().flatten() {
+            assert!(crate::spec::check_sequence(h, seq).is_ok(), "illegal witness ({label})");
+            let pos = |id: OpId| seq.iter().position(|&x| x == id);
+            for &(a, b) in cons.edges() {
+                if let (Some(pa), Some(pb)) = (pos(a), pos(b)) {
+                    assert!(pa < pb, "constraint {a} -> {b} violated ({label})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_and_large_searchers_agree_on_randomized_histories() {
+        // The LargeSearcher's word-loop candidate enumeration and OpSet memo
+        // key must match the u128 fast path bit for bit. Random small
+        // histories (mixed reads/writes/pending, reads sometimes of
+        // impossible values) cover the one-word regime densely.
+        for seed in 1..=120u64 {
+            let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let n = 4 + xorshift(&mut s) % 7; // 4..=10 ops
+            let mut b = HistoryBuilder::new();
+            for i in 0..n {
+                let p = 1 + (xorshift(&mut s) % 3) as u32;
+                let key = 1 + xorshift(&mut s) % 2;
+                let t = i * 10;
+                match xorshift(&mut s) % 4 {
+                    0 | 1 => {
+                        b.write(p, key, 100 + i, t, t + 5);
+                    }
+                    2 => {
+                        // Read of null, an existing value, or an impossible one.
+                        let v = match xorshift(&mut s) % 3 {
+                            0 => 0,
+                            1 => 100 + xorshift(&mut s) % n.max(1),
+                            _ => 999,
+                        };
+                        b.read(p, key, v, t, t + 5);
+                    }
+                    _ => {
+                        b.pending_write(p, key, 500 + i, t);
+                    }
+                }
+            }
+            let h = b.build();
+            let cons = Constraints::from_edges(CausalOrder::new(&h).direct_edges().to_vec());
+            assert_small_and_large_agree(&h, &cons, &format!("random seed {seed}"));
+        }
+    }
+
+    #[test]
+    fn small_and_large_searchers_agree_across_word_boundaries() {
+        // Structured multi-chain histories at 70 and 100 ops: the OpSet path
+        // runs two-word candidate masks (word-boundary crossings after deep
+        // recursive returns) while staying tractable — three processes write
+        // independent keys, so the searchers interleave three chains.
+        for (n, impossible_read) in [(70u64, false), (70, true), (100, false), (100, true)] {
+            let mut b = HistoryBuilder::new();
+            for i in 0..n {
+                let p = 1 + (i % 3) as u32;
+                // One key per process: chains are independent.
+                b.write(p, p as u64, i + 1, i * 10, i * 10 + 5);
+            }
+            if impossible_read {
+                b.read(4, 1, 9_999, n * 10, n * 10 + 5);
+            }
+            let h = b.build();
+            let cons = Constraints::from_edges(CausalOrder::new(&h).direct_edges().to_vec());
+            let label = format!("{n} ops, impossible_read={impossible_read}");
+            assert_small_and_large_agree(&h, &cons, &label);
+        }
     }
 
     #[test]

@@ -69,9 +69,10 @@ impl Hasher for FxHasher {
 /// `BuildHasher` for [`FxHasher`]-backed maps and sets.
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
-/// A prehashed `HashSet` replacement keyed by `(u128, u64)` pairs, used for
-/// the search memo table.
-pub type FxSeenSet = std::collections::HashSet<(u128, u64), FxBuildHasher>;
+/// The search memo table: `(placed-set, state fingerprint)` keys hashed with
+/// [`FxHasher`]. `K` is the scheduled-set representation: `u128` on the
+/// ≤128-op fast path, [`crate::opset::OpSet`] beyond it.
+pub type FxSeenSet<K> = std::collections::HashSet<(K, u64), FxBuildHasher>;
 
 /// splitmix64 finalizer: a strong 64-bit mixer for fingerprint terms.
 #[inline]

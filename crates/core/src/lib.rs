@@ -52,12 +52,15 @@ pub mod hashing;
 pub mod history;
 pub mod invariants;
 pub mod op;
+pub mod opset;
 pub mod order;
 pub mod spec;
 pub mod transform;
 pub mod types;
 
-pub use checker::certificate::{check_witness, WitnessModel, WitnessViolation};
+pub use checker::certificate::{
+    check_witness, check_witness_parallel, WitnessModel, WitnessViolation,
+};
 pub use checker::models::{check, satisfies, CheckOutcome, Model};
 pub use checker::proximal::{check_proximal, ProximalModel};
 pub use fence::FencedService;

@@ -34,12 +34,23 @@ pub struct SessionConfig {
     /// Operations issued per session turn without waiting (pipelining depth).
     /// `1` reproduces the paper's one-outstanding-operation sessions.
     pub batch: usize,
+    /// Seed for a dedicated workload RNG. `None` (the default) draws
+    /// workload operations from the engine's seeded RNG, which is
+    /// deterministic for a fixed engine seed but couples the op stream to
+    /// event interleaving; a fixed seed here makes the node's operation
+    /// stream a pure function of `(workload, seed)` — what the conformance
+    /// sweeps key their seed corpus on.
+    pub workload_seed: Option<u64>,
 }
 
 impl SessionConfig {
     /// A closed-loop configuration with batch 1.
     pub fn closed_loop(sessions: usize, think_time: SimDuration) -> Self {
-        SessionConfig { driver: SessionDriver::ClosedLoop { sessions, think_time }, batch: 1 }
+        SessionConfig {
+            driver: SessionDriver::ClosedLoop { sessions, think_time },
+            batch: 1,
+            workload_seed: None,
+        }
     }
 
     /// A partly-open configuration with batch 1.
@@ -47,6 +58,7 @@ impl SessionConfig {
         SessionConfig {
             driver: SessionDriver::PartlyOpen { arrival_rate, stay_probability, think_time },
             batch: 1,
+            workload_seed: None,
         }
     }
 
@@ -58,6 +70,13 @@ impl SessionConfig {
     pub fn with_batch(mut self, batch: usize) -> Self {
         assert!(batch >= 1, "batch must be at least 1");
         self.batch = batch;
+        self
+    }
+
+    /// Gives the node's workload draws their own deterministic RNG stream,
+    /// decoupled from the engine's event interleaving.
+    pub fn with_workload_seed(mut self, seed: u64) -> Self {
+        self.workload_seed = Some(seed);
         self
     }
 }

@@ -9,6 +9,8 @@
 
 use std::collections::HashMap;
 
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use regular_core::fence::FenceStats;
 use regular_librss::FencePlanner;
 use regular_sim::engine::{Context, Node, NodeId};
@@ -36,6 +38,9 @@ pub struct SessionRunner<S: Service> {
     pub service: S,
     scheduler: SessionScheduler,
     workload: Box<dyn SessionWorkload>,
+    /// Dedicated workload RNG (see [`SessionConfig::workload_seed`]); `None`
+    /// draws from the engine RNG.
+    workload_rng: Option<SmallRng>,
     timers: HashMap<u64, Wake>,
     next_timer: u64,
     outstanding: HashMap<u64, usize>,
@@ -55,6 +60,7 @@ impl<S: Service> SessionRunner<S> {
     ) -> Self {
         SessionRunner {
             service,
+            workload_rng: sessions.workload_seed.map(SmallRng::seed_from_u64),
             scheduler: SessionScheduler::new(sessions, stop_issuing_at),
             workload,
             timers: HashMap::new(),
@@ -76,7 +82,10 @@ impl<S: Service> SessionRunner<S> {
         self.outstanding.insert(session, batch);
         self.stats.batches += 1;
         for slot in 0..batch {
-            let op = self.workload.next_op(ctx.rng());
+            let op = match &mut self.workload_rng {
+                Some(rng) => self.workload.next_op(rng),
+                None => self.workload.next_op(ctx.rng()),
+            };
             self.service.submit(ctx, LaneId { session, slot: slot as u32 }, op);
         }
     }
@@ -172,6 +181,9 @@ pub struct ComposedRunner<M: 'static> {
     planner: FencePlanner,
     scheduler: SessionScheduler,
     workload: Box<dyn MultiServiceWorkload>,
+    /// Dedicated workload RNG (see [`SessionConfig::workload_seed`]); `None`
+    /// draws from the engine RNG.
+    workload_rng: Option<SmallRng>,
     timers: HashMap<u64, Wake>,
     next_timer: u64,
     outstanding: HashMap<u64, usize>,
@@ -210,6 +222,7 @@ impl<M: 'static> ComposedRunner<M> {
         ComposedRunner {
             services,
             planner: FencePlanner::new(),
+            workload_rng: sessions.workload_seed.map(SmallRng::seed_from_u64),
             scheduler: SessionScheduler::new(sessions, stop_issuing_at),
             workload,
             timers: HashMap::new(),
@@ -244,7 +257,10 @@ impl<M: 'static> ComposedRunner<M> {
         self.stats.batches += 1;
         for slot in 0..batch {
             let lane = LaneId { session, slot: slot as u32 };
-            let (target, op) = self.workload.next_targeted_op(ctx.rng(), lane);
+            let (target, op) = match &mut self.workload_rng {
+                Some(rng) => self.workload.next_targeted_op(rng, lane),
+                None => self.workload.next_targeted_op(ctx.rng(), lane),
+            };
             assert!(target < self.services.len(), "workload targeted unknown service {target}");
             // libRSS: fence the previous service before the first operation at
             // a different one (Figure 3). The fence runs first; the operation

@@ -1,0 +1,429 @@
+//! The composed multi-service deployment as a reusable scenario.
+//!
+//! One simulation runs a Spanner-RSS store (3 shards) and a Gryff-RSC store
+//! (5 replicas) side by side; composed app nodes drive sessions that hop
+//! between the stores through the unified `Service` API, with `libRSS`
+//! inserting a real-time fence at the previous service on every switch. The
+//! combined history — both services, one process space — is certified
+//! against the RSS (Regular) witness model, which is exactly the paper's
+//! Figure 3 composition guarantee.
+//!
+//! This module was extracted from the `multi_service` integration test so
+//! the conformance sweep can fan it across seeds; the test now drives this
+//! code (one implementation, certified both places).
+
+use std::collections::HashMap;
+
+use regular_core::checker::assemble::assemble_witness;
+use regular_core::checker::certificate::{check_witness_parallel, WitnessModel};
+use regular_core::history::{History, HistoryIndex};
+use regular_core::op::{OpKind, OpResult};
+use regular_core::types::{OpId, ServiceId};
+use regular_gryff::prelude::{GryffConfig, GryffService};
+use regular_gryff::replica::GryffReplica;
+use regular_gryff::workload::ConflictWorkload;
+use regular_gryff::{Carstamp, GryffMsg};
+use regular_session::{
+    CompletedRecord, ComposedRunner, HistoryRecorder, MappedService, MultiServiceWorkload,
+    RoundRobinWorkload, Service, SessionConfig, SessionWorkload, WitnessHint,
+};
+use regular_sim::compose::Embedded;
+use regular_sim::engine::{Context, Engine, EngineConfig, Node, NodeId};
+use regular_sim::net::LatencyMatrix;
+use regular_sim::time::{SimDuration, SimTime};
+use regular_spanner::prelude::{
+    Mode as SpannerMode, SpannerConfig, SpannerService, UniformWorkload,
+};
+use regular_spanner::shard::ShardNode;
+use regular_spanner::SpannerMsg;
+
+/// Service id of the Spanner-RSS store in the combined history.
+pub const SPANNER_SERVICE: ServiceId = ServiceId(0);
+/// Service id of the Gryff-RSC store in the combined history.
+pub const GRYFF_SERVICE: ServiceId = ServiceId(1);
+
+/// The combined wire type of the composite deployment.
+#[derive(Clone)]
+pub enum DuoMsg {
+    /// A Spanner protocol message.
+    Spanner(SpannerMsg),
+    /// A Gryff protocol message.
+    Gryff(GryffMsg),
+}
+
+impl From<SpannerMsg> for DuoMsg {
+    fn from(m: SpannerMsg) -> Self {
+        DuoMsg::Spanner(m)
+    }
+}
+impl From<GryffMsg> for DuoMsg {
+    fn from(m: GryffMsg) -> Self {
+        DuoMsg::Gryff(m)
+    }
+}
+impl TryFrom<DuoMsg> for SpannerMsg {
+    type Error = ();
+    fn try_from(m: DuoMsg) -> Result<Self, ()> {
+        match m {
+            DuoMsg::Spanner(s) => Ok(s),
+            DuoMsg::Gryff(_) => Err(()),
+        }
+    }
+}
+impl TryFrom<DuoMsg> for GryffMsg {
+    type Error = ();
+    fn try_from(m: DuoMsg) -> Result<Self, ()> {
+        match m {
+            DuoMsg::Gryff(g) => Ok(g),
+            DuoMsg::Spanner(_) => Err(()),
+        }
+    }
+}
+
+/// A node of the composite deployment.
+enum DuoNode {
+    SpannerShard(Embedded<ShardNode, SpannerMsg>),
+    GryffReplica(Embedded<GryffReplica, GryffMsg>),
+    App(ComposedRunner<DuoMsg>),
+}
+
+impl Node<DuoMsg> for DuoNode {
+    fn on_start(&mut self, ctx: &mut Context<DuoMsg>) {
+        match self {
+            DuoNode::SpannerShard(n) => n.on_start(ctx),
+            DuoNode::GryffReplica(n) => n.on_start(ctx),
+            DuoNode::App(n) => n.on_start(ctx),
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Context<DuoMsg>, from: NodeId, msg: DuoMsg) {
+        match self {
+            DuoNode::SpannerShard(n) => n.on_message(ctx, from, msg),
+            DuoNode::GryffReplica(n) => n.on_message(ctx, from, msg),
+            DuoNode::App(n) => n.on_message(ctx, from, msg),
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<DuoMsg>, tag: u64) {
+        match self {
+            DuoNode::SpannerShard(n) => n.on_timer(ctx, tag),
+            DuoNode::GryffReplica(n) => n.on_timer(ctx, tag),
+            DuoNode::App(n) => n.on_timer(ctx, tag),
+        }
+    }
+}
+
+/// One app node's results: node id, completions annotated with the producing
+/// service index, and the number of auto-fences `libRSS` executed.
+pub type AppResult = (NodeId, Vec<(usize, CompletedRecord)>, u64);
+
+/// Parameters of a composed run.
+#[derive(Debug, Clone)]
+pub struct ComposedRunConfig {
+    /// Number of composed app nodes.
+    pub num_apps: usize,
+    /// Operations a session issues at one store before hopping to the next.
+    pub ops_per_service: usize,
+    /// Session pipelining depth.
+    pub batch: usize,
+    /// Simulated seconds of load generation.
+    pub duration_secs: u64,
+    /// Extra simulated seconds to drain in-flight operations.
+    pub drain_secs: u64,
+}
+
+impl Default for ComposedRunConfig {
+    fn default() -> Self {
+        ComposedRunConfig {
+            num_apps: 3,
+            ops_per_service: 3,
+            batch: 1,
+            duration_secs: 20,
+            drain_secs: 10,
+        }
+    }
+}
+
+/// The raw output of a composed run.
+pub struct ComposedOutcome {
+    /// Per-app completions.
+    pub apps: Vec<AppResult>,
+}
+
+impl ComposedOutcome {
+    /// Completed operations at the Spanner store (fences excluded).
+    pub fn spanner_ops(&self) -> u64 {
+        self.count(|svc, rec| svc == 0 && !rec.kind.is_fence())
+    }
+
+    /// Completed operations at the Gryff store (fences excluded).
+    pub fn gryff_ops(&self) -> u64 {
+        self.count(|svc, rec| svc != 0 && !rec.kind.is_fence())
+    }
+
+    /// Fence operations that completed (at either store).
+    pub fn fences(&self) -> u64 {
+        self.count(|_, rec| rec.kind.is_fence())
+    }
+
+    /// Auto-fences the `libRSS` planners executed across all apps.
+    pub fn auto_fences(&self) -> u64 {
+        self.apps.iter().map(|(_, _, f)| *f).sum()
+    }
+
+    /// Total completions, fences included.
+    pub fn total_completed(&self) -> usize {
+        self.apps.iter().map(|(_, c, _)| c.len()).sum()
+    }
+
+    fn count(&self, pred: impl Fn(usize, &CompletedRecord) -> bool) -> u64 {
+        self.apps
+            .iter()
+            .flat_map(|(_, completed, _)| completed.iter())
+            .filter(|(svc, rec)| pred(*svc, rec))
+            .count() as u64
+    }
+}
+
+/// Runs the composite deployment: 3 Spanner-RSS shards + 5 Gryff-RSC
+/// replicas, `config.num_apps` composed client nodes whose sessions
+/// alternate between the two stores every `config.ops_per_service`
+/// operations. Deterministic for a fixed `(seed, config)`.
+pub fn run_composed(seed: u64, config: &ComposedRunConfig) -> ComposedOutcome {
+    let spanner_cfg = SpannerConfig::wan(SpannerMode::SpannerRss);
+    let gryff_cfg = GryffConfig::wan(regular_gryff::config::Mode::GryffRsc);
+    // Both topologies use regions 0..=4 of the Gryff WAN matrix; the Spanner
+    // stores' three leaders sit in regions 0/1/2.
+    let net = LatencyMatrix::gryff_wan();
+    let stop_issuing_at = SimTime::from_secs(config.duration_secs);
+    let engine_cfg = EngineConfig {
+        default_service_time: spanner_cfg.shard_service_time,
+        max_time: stop_issuing_at + SimDuration::from_secs(config.drain_secs),
+        truetime_epsilon: spanner_cfg.truetime_epsilon,
+    };
+    let mut engine: Engine<DuoMsg, DuoNode> = Engine::new(engine_cfg, net.clone(), seed);
+
+    // Spanner shards.
+    let mut shard_nodes = Vec::new();
+    let mut replication_delays = Vec::new();
+    for shard in 0..spanner_cfg.num_shards {
+        let delay = spanner_cfg.replication_delay(shard, &net);
+        replication_delays.push(delay);
+        let id = engine.add_node_with(
+            DuoNode::SpannerShard(Embedded::new(ShardNode::new(&spanner_cfg, shard, delay))),
+            spanner_cfg.leader_regions[shard],
+            spanner_cfg.shard_service_time,
+        );
+        shard_nodes.push(id);
+    }
+    // Gryff replicas.
+    let mut replica_nodes = Vec::new();
+    for i in 0..gryff_cfg.num_replicas {
+        let id = engine.add_node_with(
+            DuoNode::GryffReplica(Embedded::new(GryffReplica::new(&gryff_cfg, i))),
+            gryff_cfg.replica_regions[i],
+            gryff_cfg.replica_service_time,
+        );
+        replica_nodes.push(id);
+    }
+    // Composed app nodes: each drives sessions hopping between both stores.
+    let mut app_ids = Vec::new();
+    for i in 0..config.num_apps {
+        let region = i % 3;
+        let s_core = SpannerService::new(regular_spanner::client_config(
+            &spanner_cfg,
+            &net,
+            region,
+            shard_nodes.clone(),
+            replication_delays.clone(),
+        ))
+        .with_service_id(SPANNER_SERVICE);
+        let g_core =
+            GryffService::new(regular_gryff::client_config(&gryff_cfg, replica_nodes.clone()))
+                .with_service_id(GRYFF_SERVICE);
+        let services: Vec<Box<dyn Service<Msg = DuoMsg>>> = vec![
+            Box::new(MappedService::with_tag_namespace(s_core, 0, 2)),
+            Box::new(MappedService::with_tag_namespace(g_core, 1, 2)),
+        ];
+        let workload = RoundRobinWorkload::new(
+            vec![
+                Box::new(UniformWorkload { num_keys: 60, ro_fraction: 0.5, keys_per_txn: 2 })
+                    as Box<dyn SessionWorkload>,
+                Box::new(ConflictWorkload::ycsb(0.5, 0.4, seed.wrapping_add(i as u64)))
+                    as Box<dyn SessionWorkload>,
+            ],
+            config.ops_per_service,
+        );
+        let runner = ComposedRunner::new(
+            services,
+            SessionConfig::closed_loop(2, SimDuration::ZERO)
+                .with_batch(config.batch)
+                .with_workload_seed(seed.wrapping_mul(31).wrapping_add(i as u64)),
+            stop_issuing_at,
+            Box::new(workload) as Box<dyn MultiServiceWorkload>,
+        );
+        let id =
+            engine.add_node_with(DuoNode::App(runner), region, spanner_cfg.client_service_time);
+        app_ids.push(id);
+    }
+
+    engine.run();
+
+    let apps = app_ids
+        .into_iter()
+        .map(|id| match engine.node(id) {
+            DuoNode::App(runner) => (id, runner.completed.clone(), runner.fence_stats().executed),
+            _ => unreachable!("app ids point at composed runners"),
+        })
+        .collect();
+    ComposedOutcome { apps }
+}
+
+/// A certified composed run: the combined history and the accepted witness.
+pub struct CertifiedComposed {
+    /// The combined two-store history.
+    pub history: History,
+    /// The witness accepted by the Regular (RSS) certificate checker.
+    pub witness: Vec<OpId>,
+}
+
+/// Why certification of a composed run failed. Carries the history (and the
+/// witness when one was assembled) so callers can dump a replayable
+/// artifact.
+pub struct ComposedViolation {
+    /// Human-readable description.
+    pub reason: String,
+    /// The combined history.
+    pub history: History,
+    /// The rejected witness (empty when the constraints were cyclic and no
+    /// witness could be assembled).
+    pub witness: Vec<OpId>,
+}
+
+/// Builds the combined history of a composed run and certifies it against
+/// the RSS (Regular) witness model, sharding the certificate check across
+/// `check_threads` threads.
+///
+/// Edge construction per protocol:
+///
+/// * Spanner **read-write** transactions are chained in commit-timestamp
+///   order (writes really are totally ordered; commit wait keeps that order
+///   consistent with real time and the cross-service hops). Read-only
+///   transactions are *not* chained globally — RSS lets a stale snapshot
+///   float later in the serialization, which the cross-service causal edges
+///   exploit — but each is pinned per key between the version it observed
+///   and the next write of that key.
+/// * Gryff ops contribute their per-key carstamp chains.
+/// * Every session lane contributes its process order — including the
+///   cross-service hops the fences make safe.
+pub fn certify_composed(
+    run: &ComposedOutcome,
+    check_threads: usize,
+) -> Result<CertifiedComposed, ComposedViolation> {
+    let mut recorder = HistoryRecorder::new();
+    // Spanner read-write transactions: (ts, finish, op).
+    let mut spanner_rw: Vec<(u64, u64, OpId)> = Vec::new();
+    // Spanner writes per key: (ts, value, op).
+    let mut spanner_writes: HashMap<u64, Vec<(u64, u64, OpId)>> = HashMap::new();
+    // Spanner read-only transactions: (serialization ts, op, [(key, value)]).
+    type SpannerRo = (u64, OpId, Vec<(u64, u64)>);
+    let mut spanner_ro: Vec<SpannerRo> = Vec::new();
+    let mut per_key: HashMap<u64, Vec<(Carstamp, u8, u64, OpId)>> = HashMap::new();
+    for (client, completed, _) in &run.apps {
+        for (svc, rec) in completed {
+            let id = recorder.record(*client as u64, rec);
+            match *svc {
+                0 => {
+                    let ts = rec.witness_ts().unwrap_or_else(|| rec.finish.as_micros());
+                    match (&rec.kind, &rec.result) {
+                        (OpKind::RwTxn { writes, .. }, _) => {
+                            spanner_rw.push((ts, rec.finish.as_micros(), id));
+                            for (k, v) in writes {
+                                spanner_writes.entry(k.0).or_default().push((ts, v.0, id));
+                            }
+                        }
+                        (OpKind::RoTxn { .. }, OpResult::Values(vs)) => {
+                            spanner_ro.push((ts, id, vs.iter().map(|(k, v)| (k.0, v.0)).collect()));
+                        }
+                        _ => {} // fences: process order only
+                    }
+                }
+                _ => {
+                    let (key, rank) = match &rec.kind {
+                        OpKind::Read { key } => (Some(*key), 1),
+                        OpKind::Write { key, .. } | OpKind::Rmw { key, .. } => (Some(*key), 0),
+                        _ => (None, 0),
+                    };
+                    if let (Some(k), WitnessHint::Carstamp { count, writer }) = (key, rec.witness) {
+                        per_key.entry(k.0).or_default().push((
+                            Carstamp { count, writer },
+                            rank,
+                            rec.finish.as_micros(),
+                            id,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    let mut edges: Vec<(OpId, OpId)> = Vec::new();
+    // Spanner write chain.
+    spanner_rw.sort_unstable();
+    for w in spanner_rw.windows(2) {
+        edges.push((w[0].2, w[1].2));
+    }
+    // Spanner read-only placement: after the observed version, before the
+    // next write of each read key.
+    for list in spanner_writes.values_mut() {
+        list.sort_unstable();
+    }
+    for (ts, ro, reads) in &spanner_ro {
+        for (key, value) in reads {
+            let Some(writes) = spanner_writes.get(key) else { continue };
+            if *value != 0 {
+                if let Some(&(_, _, w)) = writes.iter().find(|(_, v, _)| v == value) {
+                    edges.push((w, *ro));
+                }
+            }
+            if let Some(&(_, _, w_next)) = writes.iter().find(|(wts, _, _)| wts > ts) {
+                edges.push((*ro, w_next));
+            }
+        }
+    }
+    // Gryff carstamp chains.
+    for (_, mut items) in per_key {
+        items.sort_unstable();
+        for w in items.windows(2) {
+            edges.push((w[0].3, w[1].3));
+        }
+    }
+    edges.extend(recorder.process_order_edges());
+    let history = recorder.into_history();
+    if let Err(e) = history.validate() {
+        return Err(ComposedViolation {
+            reason: format!("combined history is malformed: {e:?}"),
+            history,
+            witness: Vec::new(),
+        });
+    }
+    let witness = match assemble_witness(&history, &edges, WitnessModel::Regular) {
+        Ok(w) => w,
+        Err(e) => {
+            return Err(ComposedViolation {
+                reason: format!(
+                    "combined constraints are cyclic ({} ops unordered): no RSS serialization",
+                    e.unordered
+                ),
+                history,
+                witness: Vec::new(),
+            });
+        }
+    };
+    let index = HistoryIndex::new(&history);
+    match check_witness_parallel(&history, &index, &witness, WitnessModel::Regular, check_threads) {
+        Ok(()) => Ok(CertifiedComposed { history, witness }),
+        Err(v) => Err(ComposedViolation {
+            reason: format!("combined execution violates RSS: {v:?}"),
+            history,
+            witness,
+        }),
+    }
+}

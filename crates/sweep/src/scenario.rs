@@ -1,0 +1,345 @@
+//! Sweepable scenarios: one seeded, certified simulator run per call.
+//!
+//! Each scenario builds a deterministic simulation from a seed (the engine
+//! seed *and* the per-node workload RNG streams derive from it via
+//! [`SessionConfig::with_workload_seed`]), runs it, assembles the recorded
+//! history and serialization witness, and certifies the history against the
+//! scenario's consistency model with the sharded certificate checker. A
+//! failure yields a replayable [`FailureArtifact`].
+//!
+//! Run sizes are tuned so one seed takes on the order of a hundred
+//! milliseconds: large enough that every history is far past the old 128-op
+//! exact-search ceiling (thousands of operations), small enough that a
+//! 32-seed × 3-scenario sweep finishes in CI minutes on one core.
+
+use std::time::Instant;
+
+use regular_core::checker::assemble::assemble_witness;
+use regular_core::checker::certificate::{check_witness_parallel, WitnessModel};
+use regular_core::history::HistoryIndex;
+use regular_gryff::prelude as gryff;
+use regular_session::{CompletedRecord, SessionConfig, SessionWorkload};
+use regular_sim::net::LatencyMatrix;
+use regular_sim::time::{SimDuration, SimTime};
+use regular_spanner::prelude as spanner;
+
+use crate::artifact::{model_name, FailureArtifact};
+use crate::composed::{certify_composed, run_composed, ComposedRunConfig};
+
+/// A sweepable scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Spanner-RSS over the three-region WAN topology; certified RSS.
+    SpannerRss,
+    /// Gryff-RSC over the five-region WAN topology; certified RSC.
+    GryffRsc,
+    /// The composed Spanner-RSS + Gryff-RSC deployment with libRSS fences;
+    /// the combined history certified RSS.
+    Composed,
+}
+
+impl Scenario {
+    /// Every scenario, in sweep order.
+    pub const ALL: [Scenario; 3] = [Scenario::SpannerRss, Scenario::GryffRsc, Scenario::Composed];
+
+    /// Stable scenario name (used in reports, artifacts, and CLI flags).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::SpannerRss => "spanner-rss",
+            Scenario::GryffRsc => "gryff-rsc",
+            Scenario::Composed => "composed",
+        }
+    }
+
+    /// Parses a scenario name (the inverse of [`Scenario::name`], with a few
+    /// forgiving aliases).
+    pub fn parse(name: &str) -> Option<Scenario> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "spanner-rss" | "spanner" | "rss" => Some(Scenario::SpannerRss),
+            "gryff-rsc" | "gryff" | "rsc" => Some(Scenario::GryffRsc),
+            "composed" | "multi-service" | "duo" => Some(Scenario::Composed),
+            _ => None,
+        }
+    }
+
+    /// The witness model this scenario is certified against.
+    pub fn model(&self) -> WitnessModel {
+        WitnessModel::Regular
+    }
+}
+
+/// Machine-readable outcome of one seeded run.
+#[derive(Debug, Clone)]
+pub struct SeedReport {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// The seed.
+    pub seed: u64,
+    /// True if the history certified.
+    pub certified: bool,
+    /// Violation description when certification failed.
+    pub violation: Option<String>,
+    /// Operations in the certified history.
+    pub history_ops: usize,
+    /// End-to-end operation latency p50 (milliseconds, simulated time).
+    pub p50_ms: f64,
+    /// End-to-end operation latency p99 (milliseconds, simulated time).
+    pub p99_ms: f64,
+    /// Wall-clock milliseconds for the full run (simulate + certify).
+    pub wall_ms: f64,
+    /// Wall-clock milliseconds of the certification step alone.
+    pub cert_ms: f64,
+}
+
+/// A seeded run: the report plus a replayable artifact when it failed.
+pub struct SeedRun {
+    /// The report.
+    pub report: SeedReport,
+    /// Present exactly when `report.certified` is false.
+    pub artifact: Option<FailureArtifact>,
+}
+
+/// Simulated-latency percentiles (p50, p99) in milliseconds over the
+/// non-orphan, non-fence completions.
+fn latency_percentiles<'a>(records: impl Iterator<Item = &'a CompletedRecord>) -> (f64, f64) {
+    let mut micros: Vec<u64> = records
+        .filter(|r| !r.orphan && !r.kind.is_fence())
+        .map(|r| r.latency().as_micros())
+        .collect();
+    if micros.is_empty() {
+        return (0.0, 0.0);
+    }
+    micros.sort_unstable();
+    let at = |q: f64| {
+        let idx = ((micros.len() - 1) as f64 * q).round() as usize;
+        micros[idx] as f64 / 1_000.0
+    };
+    (at(0.50), at(0.99))
+}
+
+/// Runs one seed of `scenario`, certifying the resulting history with the
+/// witness check sharded across `check_threads` threads.
+pub fn run_seed(scenario: Scenario, seed: u64, check_threads: usize) -> SeedRun {
+    let started = Instant::now();
+    let (history, witness, p50_ms, p99_ms, pre_violation) = match scenario {
+        Scenario::SpannerRss => {
+            let result = run_spanner_seed(seed);
+            let (p50, p99) =
+                latency_percentiles(result.completed.iter().flat_map(|(_, recs)| recs.iter()));
+            let (history, witness) = spanner::build_history(&result);
+            (history, witness, p50, p99, None)
+        }
+        Scenario::GryffRsc => {
+            let result = run_gryff_seed(seed);
+            let (p50, p99) =
+                latency_percentiles(result.completed.iter().flat_map(|(_, recs)| recs.iter()));
+            let (history, edges) = gryff::build_history(&result);
+            match assemble_witness(&history, &edges, WitnessModel::Regular) {
+                Ok(witness) => (history, witness, p50, p99, None),
+                Err(e) => {
+                    let reason = format!(
+                        "carstamp/process-order constraints are cyclic ({} ops unordered)",
+                        e.unordered
+                    );
+                    (history, Vec::new(), p50, p99, Some(reason))
+                }
+            }
+        }
+        Scenario::Composed => {
+            let outcome = run_composed(seed, &composed_seed_config());
+            let (p50, p99) = latency_percentiles(
+                outcome.apps.iter().flat_map(|(_, recs, _)| recs.iter().map(|(_, r)| r)),
+            );
+            let cert_started = Instant::now();
+            return match certify_composed(&outcome, check_threads) {
+                Ok(ok) => SeedRun {
+                    report: SeedReport {
+                        scenario: scenario.name(),
+                        seed,
+                        certified: true,
+                        violation: None,
+                        history_ops: ok.history.len(),
+                        p50_ms: p50,
+                        p99_ms: p99,
+                        wall_ms: started.elapsed().as_secs_f64() * 1_000.0,
+                        cert_ms: cert_started.elapsed().as_secs_f64() * 1_000.0,
+                    },
+                    artifact: None,
+                },
+                Err(v) => SeedRun {
+                    report: SeedReport {
+                        scenario: scenario.name(),
+                        seed,
+                        certified: false,
+                        violation: Some(v.reason.clone()),
+                        history_ops: v.history.len(),
+                        p50_ms: p50,
+                        p99_ms: p99,
+                        wall_ms: started.elapsed().as_secs_f64() * 1_000.0,
+                        cert_ms: cert_started.elapsed().as_secs_f64() * 1_000.0,
+                    },
+                    artifact: Some(FailureArtifact {
+                        scenario: scenario.name().to_string(),
+                        seed,
+                        model: scenario.model(),
+                        violation: v.reason,
+                        witness: v.witness,
+                        history: v.history,
+                    }),
+                },
+            };
+        }
+    };
+
+    let cert_started = Instant::now();
+    let verdict = match pre_violation {
+        Some(reason) => Err(reason),
+        None => {
+            let index = HistoryIndex::new(&history);
+            check_witness_parallel(&history, &index, &witness, scenario.model(), check_threads)
+                .map_err(|v| format!("{} violation: {v:?}", model_name(scenario.model())))
+        }
+    };
+    let cert_ms = cert_started.elapsed().as_secs_f64() * 1_000.0;
+    let wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
+    match verdict {
+        Ok(()) => SeedRun {
+            report: SeedReport {
+                scenario: scenario.name(),
+                seed,
+                certified: true,
+                violation: None,
+                history_ops: history.len(),
+                p50_ms,
+                p99_ms,
+                wall_ms,
+                cert_ms,
+            },
+            artifact: None,
+        },
+        Err(reason) => SeedRun {
+            report: SeedReport {
+                scenario: scenario.name(),
+                seed,
+                certified: false,
+                violation: Some(reason.clone()),
+                history_ops: history.len(),
+                p50_ms,
+                p99_ms,
+                wall_ms,
+                cert_ms,
+            },
+            artifact: Some(FailureArtifact {
+                scenario: scenario.name().to_string(),
+                seed,
+                model: scenario.model(),
+                violation: reason,
+                witness,
+                history,
+            }),
+        },
+    }
+}
+
+/// Spanner-RSS sweep configuration: WAN topology, three client nodes with
+/// two closed-loop sessions each, moderately contended uniform workload.
+fn run_spanner_seed(seed: u64) -> spanner::RunResult {
+    let config = spanner::SpannerConfig::wan(spanner::Mode::SpannerRss);
+    let net = LatencyMatrix::spanner_wan();
+    let clients = (0..3)
+        .map(|i| spanner::ClientSpec {
+            region: i % 3,
+            sessions: SessionConfig::closed_loop(4, SimDuration::ZERO)
+                .with_workload_seed(seed.wrapping_mul(1_000_003).wrapping_add(i as u64)),
+            workload: Box::new(spanner::UniformWorkload {
+                num_keys: 250,
+                ro_fraction: 0.5,
+                keys_per_txn: 2,
+            }) as Box<dyn SessionWorkload>,
+        })
+        .collect();
+    spanner::run_cluster(spanner::ClusterSpec {
+        config,
+        net,
+        seed,
+        clients,
+        stop_issuing_at: SimTime::from_secs(45),
+        drain: SimDuration::from_secs(8),
+        measure_from: SimTime::from_secs(1),
+    })
+}
+
+/// Gryff-RSC sweep configuration: five-region WAN, one client per region
+/// with two closed-loop sessions, conflict-heavy YCSB mix.
+fn run_gryff_seed(seed: u64) -> gryff::GryffRunResult {
+    let config = gryff::GryffConfig::wan(gryff::Mode::GryffRsc);
+    let net = LatencyMatrix::gryff_wan();
+    let clients = (0..5)
+        .map(|i| gryff::GryffClientSpec {
+            region: i % 5,
+            sessions: SessionConfig::closed_loop(3, SimDuration::ZERO)
+                .with_workload_seed(seed.wrapping_mul(999_983).wrapping_add(i as u64)),
+            workload: Box::new(gryff::ConflictWorkload::ycsb(
+                0.5,
+                0.25,
+                seed.wrapping_add(i as u64),
+            )) as Box<dyn SessionWorkload>,
+        })
+        .collect();
+    gryff::run_gryff(gryff::GryffClusterSpec {
+        config,
+        net,
+        seed,
+        clients,
+        stop_issuing_at: SimTime::from_secs(45),
+        drain: SimDuration::from_secs(8),
+        measure_from: SimTime::from_secs(1),
+    })
+}
+
+/// Composed sweep configuration (smaller than the integration test's, to
+/// keep per-seed cost down).
+fn composed_seed_config() -> ComposedRunConfig {
+    ComposedRunConfig {
+        num_apps: 3,
+        ops_per_service: 3,
+        batch: 2,
+        duration_secs: 30,
+        drain_secs: 10,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_names_round_trip() {
+        for s in Scenario::ALL {
+            assert_eq!(Scenario::parse(s.name()), Some(s));
+        }
+        assert_eq!(Scenario::parse("SPANNER"), Some(Scenario::SpannerRss));
+        assert_eq!(Scenario::parse("nope"), None);
+    }
+
+    #[test]
+    fn each_scenario_certifies_one_seed() {
+        for scenario in Scenario::ALL {
+            let run = run_seed(scenario, 42, 2);
+            assert!(
+                run.report.certified,
+                "{} seed 42 must certify: {:?}",
+                scenario.name(),
+                run.report.violation
+            );
+            assert!(run.artifact.is_none());
+            assert!(
+                run.report.history_ops > 128,
+                "{} histories exceed the old exact-search frontier ({} ops)",
+                scenario.name(),
+                run.report.history_ops
+            );
+            assert!(run.report.p99_ms >= run.report.p50_ms);
+        }
+    }
+}

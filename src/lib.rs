@@ -20,6 +20,9 @@
 //!   (Section 4).
 //! * [`workloads`] (`regular-workloads`) — Retwis and Zipfian workload
 //!   generators (Section 6).
+//! * [`sweep`] (`regular-sweep`) — parallel conformance sweeps: seeded
+//!   certified runs of every scenario fanned across a work-stealing pool,
+//!   with sharded witness checking and replayable failure artifacts.
 //!
 //! # Quick start: checking histories
 //!
@@ -86,4 +89,5 @@ pub use regular_librss as librss;
 pub use regular_session as session;
 pub use regular_sim as sim;
 pub use regular_spanner as spanner;
+pub use regular_sweep as sweep;
 pub use regular_workloads as workloads;

@@ -3,355 +3,59 @@
 //! API, with `libRSS` inserting a real-time fence at the previous service
 //! every time a session switches stores.
 //!
-//! Each application process (session lane) hops between the two stores.
-//! After the run, the *combined* history — both services, one process space —
-//! is assembled by the shared `HistoryRecorder` and certified against the
-//! RSS (Regular) witness model: the composition of the two independently
-//! correct services is itself RSS, which is precisely the guarantee the
-//! paper's Figure 3 composition rule buys.
+//! The deployment itself lives in `regular_sweep::composed` (the conformance
+//! sweep fans it across seed corpora); these tests pin the end-to-end
+//! guarantees on specific configurations: the combined history — both
+//! services, one process space — certifies against the RSS (Regular) witness
+//! model, which is precisely what the paper's Figure 3 composition rule
+//! buys.
 
-use std::collections::HashMap;
-
-use regular_seq::core::checker::assemble::assemble_witness;
-use regular_seq::core::checker::certificate::{check_witness, WitnessModel};
-use regular_seq::core::op::OpKind;
-use regular_seq::core::types::{OpId, ServiceId};
-use regular_seq::gryff;
-use regular_seq::gryff::prelude::{GryffConfig, GryffService};
-use regular_seq::gryff::replica::GryffReplica;
-use regular_seq::gryff::workload::ConflictWorkload;
-use regular_seq::gryff::Carstamp;
-use regular_seq::gryff::GryffMsg;
-use regular_seq::session::{
-    CompletedRecord, ComposedRunner, HistoryRecorder, MappedService, MultiServiceWorkload,
-    RoundRobinWorkload, Service, SessionConfig, SessionWorkload, WitnessHint,
+use regular_seq::sweep::composed::{
+    certify_composed, run_composed, ComposedRunConfig, GRYFF_SERVICE, SPANNER_SERVICE,
 };
-use regular_seq::sim::compose::Embedded;
-use regular_seq::sim::engine::{Context, Engine, EngineConfig, Node, NodeId};
-use regular_seq::sim::{LatencyMatrix, SimDuration, SimTime};
-use regular_seq::spanner;
-use regular_seq::spanner::prelude::{
-    Mode as SpannerMode, SpannerConfig, SpannerService, UniformWorkload,
-};
-use regular_seq::spanner::shard::ShardNode;
-use regular_seq::spanner::SpannerMsg;
 
-const SPANNER_SERVICE: ServiceId = ServiceId(0);
-const GRYFF_SERVICE: ServiceId = ServiceId(1);
-
-/// The combined wire type of the composite deployment.
-#[derive(Clone)]
-enum DuoMsg {
-    Spanner(SpannerMsg),
-    Gryff(GryffMsg),
-}
-
-impl From<SpannerMsg> for DuoMsg {
-    fn from(m: SpannerMsg) -> Self {
-        DuoMsg::Spanner(m)
-    }
-}
-impl From<GryffMsg> for DuoMsg {
-    fn from(m: GryffMsg) -> Self {
-        DuoMsg::Gryff(m)
-    }
-}
-impl TryFrom<DuoMsg> for SpannerMsg {
-    type Error = ();
-    fn try_from(m: DuoMsg) -> Result<Self, ()> {
-        match m {
-            DuoMsg::Spanner(s) => Ok(s),
-            DuoMsg::Gryff(_) => Err(()),
-        }
-    }
-}
-impl TryFrom<DuoMsg> for GryffMsg {
-    type Error = ();
-    fn try_from(m: DuoMsg) -> Result<Self, ()> {
-        match m {
-            DuoMsg::Gryff(g) => Ok(g),
-            DuoMsg::Spanner(_) => Err(()),
-        }
-    }
-}
-
-/// A node of the composite deployment.
-enum DuoNode {
-    SpannerShard(Embedded<ShardNode, SpannerMsg>),
-    GryffReplica(Embedded<GryffReplica, GryffMsg>),
-    App(ComposedRunner<DuoMsg>),
-}
-
-impl Node<DuoMsg> for DuoNode {
-    fn on_start(&mut self, ctx: &mut Context<DuoMsg>) {
-        match self {
-            DuoNode::SpannerShard(n) => n.on_start(ctx),
-            DuoNode::GryffReplica(n) => n.on_start(ctx),
-            DuoNode::App(n) => n.on_start(ctx),
-        }
-    }
-    fn on_message(&mut self, ctx: &mut Context<DuoMsg>, from: NodeId, msg: DuoMsg) {
-        match self {
-            DuoNode::SpannerShard(n) => n.on_message(ctx, from, msg),
-            DuoNode::GryffReplica(n) => n.on_message(ctx, from, msg),
-            DuoNode::App(n) => n.on_message(ctx, from, msg),
-        }
-    }
-    fn on_timer(&mut self, ctx: &mut Context<DuoMsg>, tag: u64) {
-        match self {
-            DuoNode::SpannerShard(n) => n.on_timer(ctx, tag),
-            DuoNode::GryffReplica(n) => n.on_timer(ctx, tag),
-            DuoNode::App(n) => n.on_timer(ctx, tag),
-        }
-    }
-}
-
-/// One app node's results: node id, completions annotated with the producing
-/// service index, and the number of auto-fences `libRSS` executed.
-type AppResult = (NodeId, Vec<(usize, CompletedRecord)>, u64);
-
-struct DuoRun {
-    apps: Vec<AppResult>,
-}
-
-/// Runs the composite deployment: 3 Spanner-RSS shards + 5 Gryff-RSC
-/// replicas, `num_apps` composed client nodes whose sessions alternate
-/// between the two stores every `ops_per_service` operations.
-fn run_duo(seed: u64, num_apps: usize, ops_per_service: usize, batch: usize) -> DuoRun {
-    let spanner_cfg = SpannerConfig::wan(SpannerMode::SpannerRss);
-    let gryff_cfg = GryffConfig::wan(gryff::config::Mode::GryffRsc);
-    // Both topologies use regions 0..=4 of the Gryff WAN matrix; the Spanner
-    // stores' three leaders sit in regions 0/1/2.
-    let net = LatencyMatrix::gryff_wan();
-    let stop_issuing_at = SimTime::from_secs(20);
-    let engine_cfg = EngineConfig {
-        default_service_time: spanner_cfg.shard_service_time,
-        max_time: stop_issuing_at + SimDuration::from_secs(10),
-        truetime_epsilon: spanner_cfg.truetime_epsilon,
-    };
-    let mut engine: Engine<DuoMsg, DuoNode> = Engine::new(engine_cfg, net.clone(), seed);
-
-    // Spanner shards.
-    let mut shard_nodes = Vec::new();
-    let mut replication_delays = Vec::new();
-    for shard in 0..spanner_cfg.num_shards {
-        let delay = spanner_cfg.replication_delay(shard, &net);
-        replication_delays.push(delay);
-        let id = engine.add_node_with(
-            DuoNode::SpannerShard(Embedded::new(ShardNode::new(&spanner_cfg, shard, delay))),
-            spanner_cfg.leader_regions[shard],
-            spanner_cfg.shard_service_time,
-        );
-        shard_nodes.push(id);
-    }
-    // Gryff replicas.
-    let mut replica_nodes = Vec::new();
-    for i in 0..gryff_cfg.num_replicas {
-        let id = engine.add_node_with(
-            DuoNode::GryffReplica(Embedded::new(GryffReplica::new(&gryff_cfg, i))),
-            gryff_cfg.replica_regions[i],
-            gryff_cfg.replica_service_time,
-        );
-        replica_nodes.push(id);
-    }
-    // Composed app nodes: each drives sessions hopping between both stores.
-    let mut app_ids = Vec::new();
-    for i in 0..num_apps {
-        let region = i % 3;
-        let s_core = SpannerService::new(spanner::client_config(
-            &spanner_cfg,
-            &net,
-            region,
-            shard_nodes.clone(),
-            replication_delays.clone(),
-        ))
-        .with_service_id(SPANNER_SERVICE);
-        let g_core = GryffService::new(gryff::client_config(&gryff_cfg, replica_nodes.clone()))
-            .with_service_id(GRYFF_SERVICE);
-        let services: Vec<Box<dyn Service<Msg = DuoMsg>>> = vec![
-            Box::new(MappedService::with_tag_namespace(s_core, 0, 2)),
-            Box::new(MappedService::with_tag_namespace(g_core, 1, 2)),
-        ];
-        let workload = RoundRobinWorkload::new(
-            vec![
-                Box::new(UniformWorkload { num_keys: 60, ro_fraction: 0.5, keys_per_txn: 2 })
-                    as Box<dyn SessionWorkload>,
-                Box::new(ConflictWorkload::ycsb(0.5, 0.4, i as u64)) as Box<dyn SessionWorkload>,
-            ],
-            ops_per_service,
-        );
-        let runner = ComposedRunner::new(
-            services,
-            SessionConfig::closed_loop(2, SimDuration::ZERO).with_batch(batch),
-            stop_issuing_at,
-            Box::new(workload) as Box<dyn MultiServiceWorkload>,
-        );
-        let id =
-            engine.add_node_with(DuoNode::App(runner), region, spanner_cfg.client_service_time);
-        app_ids.push(id);
-    }
-
-    engine.run();
-
-    let apps = app_ids
-        .into_iter()
-        .map(|id| match engine.node(id) {
-            DuoNode::App(runner) => (id, runner.completed.clone(), runner.fence_stats().executed),
-            _ => unreachable!("app ids point at composed runners"),
-        })
-        .collect();
-    DuoRun { apps }
-}
-
-/// Builds the combined history and certifies it against the RSS (Regular)
-/// witness model.
-///
-/// Edge construction per protocol:
-///
-/// * Spanner **read-write** transactions are chained in commit-timestamp
-///   order (writes really are totally ordered; commit wait keeps that order
-///   consistent with real time and the cross-service hops). Read-only
-///   transactions are *not* chained globally — RSS lets a stale snapshot
-///   float later in the serialization, which the cross-service causal edges
-///   exploit — but each is pinned per key between the version it observed
-///   and the next write of that key.
-/// * Gryff ops contribute their per-key carstamp chains.
-/// * Every session lane contributes its process order — including the
-///   cross-service hops the fences make safe.
-fn certify_combined_rss(run: &DuoRun) {
-    let mut recorder = HistoryRecorder::new();
-    // Spanner read-write transactions: (ts, finish, op).
-    let mut spanner_rw: Vec<(u64, u64, OpId)> = Vec::new();
-    // Spanner writes per key: (ts, value, op).
-    let mut spanner_writes: HashMap<u64, Vec<(u64, u64, OpId)>> = HashMap::new();
-    // Spanner read-only transactions: (serialization ts, op, [(key, value)]).
-    type SpannerRo = (u64, OpId, Vec<(u64, u64)>);
-    let mut spanner_ro: Vec<SpannerRo> = Vec::new();
-    let mut per_key: HashMap<u64, Vec<(Carstamp, u8, u64, OpId)>> = HashMap::new();
-    for (client, completed, _) in &run.apps {
-        for (svc, rec) in completed {
-            let id = recorder.record(*client as u64, rec);
-            match *svc {
-                0 => {
-                    let ts = rec.witness_ts().unwrap_or_else(|| rec.finish.as_micros());
-                    match (&rec.kind, &rec.result) {
-                        (OpKind::RwTxn { writes, .. }, _) => {
-                            spanner_rw.push((ts, rec.finish.as_micros(), id));
-                            for (k, v) in writes {
-                                spanner_writes.entry(k.0).or_default().push((ts, v.0, id));
-                            }
-                        }
-                        (OpKind::RoTxn { .. }, regular_seq::core::op::OpResult::Values(vs)) => {
-                            spanner_ro.push((ts, id, vs.iter().map(|(k, v)| (k.0, v.0)).collect()));
-                        }
-                        _ => {} // fences: process order only
-                    }
-                }
-                _ => {
-                    let (key, rank) = match &rec.kind {
-                        OpKind::Read { key } => (Some(*key), 1),
-                        OpKind::Write { key, .. } | OpKind::Rmw { key, .. } => (Some(*key), 0),
-                        _ => (None, 0),
-                    };
-                    if let (Some(k), WitnessHint::Carstamp { count, writer }) = (key, rec.witness) {
-                        per_key.entry(k.0).or_default().push((
-                            Carstamp { count, writer },
-                            rank,
-                            rec.finish.as_micros(),
-                            id,
-                        ));
-                    }
-                }
-            }
-        }
-    }
-    let mut edges: Vec<(OpId, OpId)> = Vec::new();
-    // Spanner write chain.
-    spanner_rw.sort_unstable();
-    for w in spanner_rw.windows(2) {
-        edges.push((w[0].2, w[1].2));
-    }
-    // Spanner read-only placement: after the observed version, before the
-    // next write of each read key.
-    for list in spanner_writes.values_mut() {
-        list.sort_unstable();
-    }
-    for (ts, ro, reads) in &spanner_ro {
-        for (key, value) in reads {
-            let Some(writes) = spanner_writes.get(key) else { continue };
-            if *value != 0 {
-                if let Some(&(_, _, w)) = writes.iter().find(|(_, v, _)| v == value) {
-                    edges.push((w, *ro));
-                }
-            }
-            if let Some(&(_, _, w_next)) = writes.iter().find(|(wts, _, _)| wts > ts) {
-                edges.push((*ro, w_next));
-            }
-        }
-    }
-    // Gryff carstamp chains.
-    for (_, mut items) in per_key {
-        items.sort_unstable();
-        for w in items.windows(2) {
-            edges.push((w[0].3, w[1].3));
-        }
-    }
-    edges.extend(recorder.process_order_edges());
-    let history = recorder.into_history();
-    history.validate().expect("the combined history is well-formed");
-    assert_eq!(
-        history.services(),
-        vec![SPANNER_SERVICE, GRYFF_SERVICE],
-        "both stores appear in one history"
-    );
-    let witness = assemble_witness(&history, &edges, WitnessModel::Regular)
-        .expect("combined constraints are acyclic (the fences make the composition RSS)");
-    check_witness(&history, &witness, WitnessModel::Regular)
-        .expect("the combined execution satisfies RSS");
+fn config(num_apps: usize, ops_per_service: usize, batch: usize) -> ComposedRunConfig {
+    ComposedRunConfig { num_apps, ops_per_service, batch, duration_secs: 20, drain_secs: 10 }
 }
 
 #[test]
 fn composed_spanner_rss_and_gryff_rsc_satisfy_rss_together() {
-    let run = run_duo(42, 3, 3, 1);
-    let mut spanner_ops = 0u64;
-    let mut gryff_ops = 0u64;
-    let mut fences = 0u64;
-    let mut auto_fences = 0u64;
-    for (_, completed, executed) in &run.apps {
-        auto_fences += executed;
-        for (svc, rec) in completed {
-            if rec.kind.is_fence() {
-                fences += 1;
-            } else if *svc == 0 {
-                spanner_ops += 1;
-            } else {
-                gryff_ops += 1;
-            }
-        }
-    }
+    let run = run_composed(42, &config(3, 3, 1));
+    let spanner_ops = run.spanner_ops();
+    let gryff_ops = run.gryff_ops();
+    let auto_fences = run.auto_fences();
     assert!(spanner_ops > 100, "the Spanner-RSS store served transactions ({spanner_ops})");
     assert!(gryff_ops > 100, "the Gryff-RSC store served operations ({gryff_ops})");
     assert!(auto_fences > 50, "libRSS inserted fences on service switches ({auto_fences})");
-    assert!(fences >= auto_fences, "every planned fence executed as a protocol operation");
-    certify_combined_rss(&run);
+    assert!(run.fences() >= auto_fences, "every planned fence executed as a protocol operation");
+    let certified = certify_composed(&run, 1)
+        .unwrap_or_else(|v| panic!("the combined execution satisfies RSS: {}", v.reason));
+    assert_eq!(
+        certified.history.services(),
+        vec![SPANNER_SERVICE, GRYFF_SERVICE],
+        "both stores appear in one history"
+    );
 }
 
 #[test]
 fn composed_run_with_batched_sessions_satisfies_rss() {
     // Pipelined sessions hop between the stores too: each slot fences
-    // independently, and the combined history still certifies as RSS.
-    let run = run_duo(7, 2, 2, 4);
-    let total: usize = run.apps.iter().map(|(_, c, _)| c.len()).sum();
+    // independently, and the combined history still certifies as RSS —
+    // here with the witness check itself sharded across threads.
+    let run = run_composed(7, &config(2, 2, 4));
+    let total = run.total_completed();
     assert!(total > 400, "batched composed sessions complete real load ({total})");
-    certify_combined_rss(&run);
+    certify_composed(&run, 4)
+        .unwrap_or_else(|v| panic!("batched composed run satisfies RSS: {}", v.reason));
 }
 
 #[test]
 fn composed_runs_are_deterministic() {
-    let a = run_duo(5, 2, 3, 1);
-    let b = run_duo(5, 2, 3, 1);
-    let counts = |r: &DuoRun| r.apps.iter().map(|(_, c, _)| c.len()).collect::<Vec<_>>();
+    let a = run_composed(5, &config(2, 3, 1));
+    let b = run_composed(5, &config(2, 3, 1));
+    let counts = |r: &regular_seq::sweep::composed::ComposedOutcome| {
+        r.apps.iter().map(|(_, c, _)| c.len()).collect::<Vec<_>>()
+    };
     assert_eq!(counts(&a), counts(&b));
-    let fences = |r: &DuoRun| r.apps.iter().map(|(_, _, f)| *f).sum::<u64>();
-    assert_eq!(fences(&a), fences(&b));
+    assert_eq!(a.auto_fences(), b.auto_fences());
 }
