@@ -10,7 +10,9 @@
 //!
 //! ```text
 //! conformance_sweep [--seeds N] [--base-seed S] [--threads T]
-//!                   [--check-threads C] [--scenarios spanner,gryff,composed]
+//!                   [--check-threads C]
+//!                   [--scenarios spanner,gryff,composed,spanner-faults,
+//!                                gryff-faults,composed-faults]
 //!                   [--out BENCH_sweep.json] [--artifact-dir sweep-artifacts]
 //!                   [--scaling 1,4]
 //! conformance_sweep --replay <artifact.json>
@@ -39,7 +41,7 @@ fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
         "usage: conformance_sweep [--seeds N] [--base-seed S] [--threads T] \
-         [--check-threads C] [--scenarios spanner,gryff,composed] [--out PATH] \
+         [--check-threads C] [--scenarios NAME,... (see --scenarios help)] [--out PATH] \
          [--artifact-dir DIR] [--scaling T1,T2,...] | --replay FILE"
     );
     std::process::exit(2);
@@ -81,8 +83,14 @@ fn parse_args() -> Args {
                     opts.scenarios = list
                         .split(',')
                         .map(|s| {
-                            Scenario::parse(s)
-                                .unwrap_or_else(|| usage(&format!("unknown scenario '{s}'")))
+                            Scenario::parse(s).unwrap_or_else(|| {
+                                let valid: Vec<&str> =
+                                    Scenario::ALL.iter().map(|v| v.name()).collect();
+                                usage(&format!(
+                                    "unknown scenario '{s}' (valid: {}, or 'all')",
+                                    valid.join(", ")
+                                ))
+                            })
                         })
                         .collect();
                 }

@@ -18,13 +18,13 @@
 //! single-key transactions are served as plain operations and multi-key
 //! transactions are rejected.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use regular_core::op::{OpKind, OpResult};
 use regular_core::types::{ServiceId, Value};
-use regular_session::{CompletedRecord, LaneId, Service, SessionOp, WitnessHint};
+use regular_session::{service_tag, CompletedRecord, LaneId, Service, SessionOp, WitnessHint};
 use regular_sim::engine::{Context, NodeId};
-use regular_sim::time::SimTime;
+use regular_sim::time::{SimDuration, SimTime};
 
 use crate::carstamp::Carstamp;
 use crate::config::Mode;
@@ -40,6 +40,10 @@ pub struct GryffClientConfig {
     pub replicas: Vec<NodeId>,
     /// Majority quorum size.
     pub quorum: usize,
+    /// Timeout after which a stalled operation's current round is re-sent
+    /// (see [`crate::config::GryffConfig::op_timeout`]). `None` disables the
+    /// retry path.
+    pub op_timeout: Option<SimDuration>,
 }
 
 /// Aggregate client statistics.
@@ -57,6 +61,9 @@ pub struct GryffClientStats {
     pub fences: u64,
     /// Dependencies piggybacked onto later operations (Gryff-RSC).
     pub deps_piggybacked: u64,
+    /// Rounds re-sent after an operation timeout (a crashed replica or a
+    /// lost message; fault runs only).
+    pub timeout_retries: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,7 +82,10 @@ struct ActiveOp {
     request: OpRequest,
     invoke: SimTime,
     phase: OpPhase,
-    replies: usize,
+    /// Replicas that answered the current round. A set, not a counter:
+    /// rounds may be re-sent after a timeout and messages may be duplicated
+    /// by the fault plane, and a quorum must mean *distinct* replicas.
+    replied: HashSet<NodeId>,
     /// Maximum (carstamp, value) observed in the current round.
     max: (Carstamp, Value),
     /// Whether the first-round quorum disagreed.
@@ -84,8 +94,15 @@ struct ActiveOp {
     write_value: Value,
     /// Carstamp chosen for the write.
     chosen: Carstamp,
-    /// Whether a dependency was attached to this operation's first round.
-    carried_dep: bool,
+    /// The dependency attached to *every* send of this operation's first
+    /// round, if any. Tracking the value (not just a flag) keeps the
+    /// quorum-time clearing of the node's pending dependency sound under
+    /// round re-sends: the dependency is only cleared if it is still the
+    /// pending one, i.e. a quorum of replicas demonstrably received it.
+    carried: Option<Dep>,
+    /// The write-back payload of a fence (the pending dependency), kept so a
+    /// timed-out fence round can be re-sent.
+    fence_write: Option<Dep>,
     rounds: u8,
 }
 
@@ -96,6 +113,9 @@ pub struct GryffService {
     ops: HashMap<u64, ActiveOp>,
     next_seq: u64,
     value_counter: u64,
+    /// Operation-timeout timers: tag -> watched sequence number.
+    timers: HashMap<u64, u64>,
+    next_timer: u64,
     /// The pending dependency (Gryff-RSC): the last read observation not yet
     /// known to be at a quorum. Shared by all of this node's sessions, as in
     /// the paper's per-process dependency.
@@ -114,6 +134,8 @@ impl GryffService {
             ops: HashMap::new(),
             next_seq: 0,
             value_counter: 0,
+            timers: HashMap::new(),
+            next_timer: 0,
             dep: None,
             completed: Vec::new(),
             stats: GryffClientStats::default(),
@@ -142,6 +164,78 @@ impl GryffService {
         } else {
             None
         }
+    }
+
+    /// Arms the operation timeout for `seq`, if configured.
+    fn arm_op_timer(&mut self, ctx: &mut Context<GryffMsg>, seq: u64) {
+        if let Some(timeout) = self.cfg.op_timeout {
+            let tag = service_tag(&mut self.next_timer);
+            self.timers.insert(tag, seq);
+            ctx.set_timer(timeout, tag);
+        }
+    }
+
+    /// Re-sends the current round of a stalled operation. Safe because every
+    /// round is idempotent at the replicas under the same operation id
+    /// (reads are point reads, `Write2` applies write-if-newer, rmw
+    /// coordination dedups by client op) and quorum counting dedups by
+    /// replica.
+    fn resend_round(&mut self, ctx: &mut Context<GryffMsg>, seq: u64) {
+        let dep = if self.cfg.mode == Mode::GryffRsc { self.dep } else { None };
+        let Some(active) = self.ops.get_mut(&seq) else { return };
+        // If the pending dependency changed since the original send, the
+        // round's replies no longer all come from replicas that saw one
+        // single dependency — stop claiming the quorum propagated it.
+        if active.carried != dep {
+            active.carried = None;
+        }
+        let active = &*active;
+        self.stats.timeout_retries += 1;
+        let op_ref = OpRef { node: ctx.node_id(), seq };
+        match (active.phase, &active.request) {
+            (OpPhase::ReadRound, OpRequest::Read { key }) => {
+                let key = *key;
+                for &r in &self.cfg.replicas {
+                    ctx.send(r, GryffMsg::Read1 { op: op_ref, key, dep });
+                }
+            }
+            (OpPhase::WriteRound1, OpRequest::Write { key }) => {
+                let key = *key;
+                for &r in &self.cfg.replicas {
+                    ctx.send(r, GryffMsg::Write1 { op: op_ref, key, dep });
+                }
+            }
+            (OpPhase::WriteRound2, OpRequest::Write { key }) => {
+                let (key, value, cs) = (*key, active.write_value, active.chosen);
+                for &r in &self.cfg.replicas {
+                    ctx.send(r, GryffMsg::Write2 { op: op_ref, key, value, cs });
+                }
+            }
+            (OpPhase::ReadWriteBack, OpRequest::Read { key }) => {
+                let (key, (cs, value)) = (*key, active.max);
+                for &r in &self.cfg.replicas {
+                    ctx.send(r, GryffMsg::Write2 { op: op_ref, key, value, cs });
+                }
+            }
+            (OpPhase::RmwWait, OpRequest::Rmw { key }) => {
+                let (key, new_value) = (*key, active.write_value);
+                let coordinator =
+                    self.cfg.replicas[(key.0 % self.cfg.replicas.len() as u64) as usize];
+                ctx.send(coordinator, GryffMsg::Rmw { op: op_ref, key, new_value, dep });
+            }
+            (OpPhase::FenceRound, OpRequest::Fence) => {
+                if let Some(d) = active.fence_write {
+                    for &r in &self.cfg.replicas {
+                        ctx.send(
+                            r,
+                            GryffMsg::Write2 { op: op_ref, key: d.key, value: d.value, cs: d.cs },
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+        self.arm_op_timer(ctx, seq);
     }
 
     /// The carstamp writer id: unique per concurrently writing lane.
@@ -242,18 +336,19 @@ impl Service for GryffService {
             request: request.clone(),
             invoke: ctx.now(),
             phase: OpPhase::ReadRound,
-            replies: 0,
+            replied: HashSet::new(),
             max: (Carstamp::ZERO, Value::NULL),
             disagreement: false,
             write_value: Value::NULL,
             chosen: Carstamp::ZERO,
-            carried_dep: false,
+            carried: None,
+            fence_write: None,
             rounds: 1,
         };
         match request {
             OpRequest::Read { key } => {
                 let dep = self.take_dep_for_piggyback();
-                active.carried_dep = dep.is_some();
+                active.carried = dep;
                 active.phase = OpPhase::ReadRound;
                 for &r in &self.cfg.replicas {
                     ctx.send(r, GryffMsg::Read1 { op: op_ref, key, dep });
@@ -261,7 +356,7 @@ impl Service for GryffService {
             }
             OpRequest::Write { key } => {
                 let dep = self.take_dep_for_piggyback();
-                active.carried_dep = dep.is_some();
+                active.carried = dep;
                 active.write_value = self.fresh_value(ctx);
                 active.phase = OpPhase::WriteRound1;
                 for &r in &self.cfg.replicas {
@@ -270,7 +365,7 @@ impl Service for GryffService {
             }
             OpRequest::Rmw { key } => {
                 let dep = self.take_dep_for_piggyback();
-                active.carried_dep = dep.is_some();
+                active.carried = dep;
                 active.write_value = self.fresh_value(ctx);
                 active.phase = OpPhase::RmwWait;
                 let coordinator =
@@ -287,6 +382,7 @@ impl Service for GryffService {
                         // every future read observes it.
                         active.phase = OpPhase::FenceRound;
                         active.max = (d.cs, d.value);
+                        active.fence_write = Some(d);
                         for &r in &self.cfg.replicas {
                             ctx.send(
                                 r,
@@ -322,18 +418,25 @@ impl Service for GryffService {
             }
         }
         self.ops.insert(seq, active);
+        self.arm_op_timer(ctx, seq);
     }
 
-    fn on_message(&mut self, ctx: &mut Context<GryffMsg>, _from: NodeId, msg: GryffMsg) {
+    fn on_timer(&mut self, ctx: &mut Context<GryffMsg>, tag: u64) {
+        let Some(seq) = self.timers.remove(&tag) else { return };
+        if self.ops.contains_key(&seq) {
+            self.resend_round(ctx, seq);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<GryffMsg>, from: NodeId, msg: GryffMsg) {
         match msg {
             GryffMsg::Read1Reply { op, value, cs } => {
                 let seq = op.seq;
                 let Some(active) = self.ops.get_mut(&seq) else { return };
-                if active.phase != OpPhase::ReadRound {
+                if active.phase != OpPhase::ReadRound || !active.replied.insert(from) {
                     return;
                 }
-                active.replies += 1;
-                if active.replies == 1 {
+                if active.replied.len() == 1 {
                     active.max = (cs, value);
                 } else {
                     if cs != active.max.0 {
@@ -343,18 +446,18 @@ impl Service for GryffService {
                         active.max = (cs, value);
                     }
                 }
-                if active.replies < self.cfg.quorum {
+                if active.replied.len() < self.cfg.quorum {
                     return;
                 }
-                // Quorum reached: the piggybacked dependency (if any) is now at
-                // a quorum and can be cleared.
+                // Quorum reached: the piggybacked dependency (if it is still
+                // the pending one) is now at a quorum and can be cleared.
                 let key = match active.request {
                     OpRequest::Read { key } => key,
                     _ => return,
                 };
                 let (cs, value) = active.max;
                 let disagreement = active.disagreement;
-                if active.carried_dep {
+                if active.carried.is_some() && self.dep == active.carried {
                     self.dep = None;
                 }
                 match self.cfg.mode {
@@ -364,7 +467,7 @@ impl Service for GryffService {
                             // before returning (linearizability).
                             let active = self.ops.get_mut(&seq).expect("operation exists");
                             active.phase = OpPhase::ReadWriteBack;
-                            active.replies = 0;
+                            active.replied.clear();
                             active.rounds = 2;
                             let op_ref = OpRef { node: ctx.node_id(), seq };
                             for &r in &self.cfg.replicas {
@@ -387,48 +490,51 @@ impl Service for GryffService {
             GryffMsg::Write2Reply { op } => {
                 let seq = op.seq;
                 let Some(active) = self.ops.get_mut(&seq) else { return };
+                let in_write2_round = matches!(
+                    active.phase,
+                    OpPhase::ReadWriteBack | OpPhase::WriteRound2 | OpPhase::FenceRound
+                );
+                if !in_write2_round
+                    || !active.replied.insert(from)
+                    || active.replied.len() < self.cfg.quorum
+                {
+                    return;
+                }
                 match active.phase {
                     OpPhase::ReadWriteBack => {
-                        active.replies += 1;
-                        if active.replies >= self.cfg.quorum {
-                            let (cs, value) = active.max;
-                            self.finish_op(ctx, seq, value, cs);
-                        }
+                        let (cs, value) = active.max;
+                        self.finish_op(ctx, seq, value, cs);
                     }
                     OpPhase::WriteRound2 => {
-                        active.replies += 1;
-                        if active.replies >= self.cfg.quorum {
-                            let cs = active.chosen;
-                            self.finish_op(ctx, seq, Value::NULL, cs);
-                        }
+                        let cs = active.chosen;
+                        self.finish_op(ctx, seq, Value::NULL, cs);
                     }
                     OpPhase::FenceRound => {
-                        active.replies += 1;
-                        if active.replies >= self.cfg.quorum {
-                            // The dependency is now at a quorum.
+                        // The written-back dependency is now at a quorum.
+                        if self.dep == active.fence_write {
                             self.dep = None;
-                            let cs = active.max.0;
-                            self.finish_op(ctx, seq, Value::NULL, cs);
                         }
+                        let cs = active.max.0;
+                        self.finish_op(ctx, seq, Value::NULL, cs);
                     }
-                    _ => {}
+                    _ => unreachable!("filtered above"),
                 }
             }
             GryffMsg::Write1Reply { op, cs } => {
                 let seq = op.seq;
                 let Some(active) = self.ops.get_mut(&seq) else { return };
-                if active.phase != OpPhase::WriteRound1 {
+                if active.phase != OpPhase::WriteRound1 || !active.replied.insert(from) {
                     return;
                 }
-                active.replies += 1;
                 if cs > active.max.0 {
                     active.max.0 = cs;
                 }
-                if active.replies < self.cfg.quorum {
+                if active.replied.len() < self.cfg.quorum {
                     return;
                 }
-                // The piggybacked dependency (if any) is now at a quorum.
-                if active.carried_dep {
+                // The piggybacked dependency (if still pending) is now at a
+                // quorum.
+                if active.carried.is_some() && self.dep == active.carried {
                     self.dep = None;
                 }
                 let key = match active.request {
@@ -440,7 +546,7 @@ impl Service for GryffService {
                 let active = self.ops.get_mut(&seq).expect("operation exists");
                 active.chosen = active.max.0.next(writer);
                 active.phase = OpPhase::WriteRound2;
-                active.replies = 0;
+                active.replied.clear();
                 active.rounds = 2;
                 let op_ref = OpRef { node: ctx.node_id(), seq };
                 let (value, cs) = (active.write_value, active.chosen);
@@ -454,9 +560,9 @@ impl Service for GryffService {
                 if active.phase != OpPhase::RmwWait {
                     return;
                 }
-                // The dependency travelled with the rmw and is now at a quorum
-                // (the coordinator's read phase carried it).
-                if active.carried_dep {
+                // The dependency travelled with the rmw and reached a quorum
+                // through the coordinator's read phase.
+                if active.carried.is_some() && self.dep == active.carried {
                     self.dep = None;
                 }
                 self.finish_op(ctx, seq, old_value, cs);

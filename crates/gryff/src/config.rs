@@ -1,5 +1,6 @@
 //! Configuration of a simulated Gryff / Gryff-RSC deployment.
 
+use regular_sim::fault::FaultSchedule;
 use regular_sim::time::SimDuration;
 
 /// Which read protocol the deployment runs.
@@ -26,6 +27,13 @@ pub struct GryffConfig {
     pub replica_service_time: SimDuration,
     /// Per-event CPU cost at clients.
     pub client_service_time: SimDuration,
+    /// Client-side timeout after which a stalled operation's current round
+    /// is re-sent (idempotently, under the same operation id). `None` (the
+    /// default) disables the retry path — correct on a fault-free network.
+    /// Fault schedules that crash replicas or drop messages must set it.
+    pub op_timeout: Option<SimDuration>,
+    /// Scripted faults installed into the engine for this deployment run.
+    pub faults: FaultSchedule,
 }
 
 impl GryffConfig {
@@ -38,6 +46,8 @@ impl GryffConfig {
             replica_regions: vec![0, 1, 2, 3, 4],
             replica_service_time: SimDuration::from_micros(20),
             client_service_time: SimDuration::from_micros(2),
+            op_timeout: None,
+            faults: FaultSchedule::default(),
         }
     }
 
@@ -50,7 +60,17 @@ impl GryffConfig {
             replica_regions: vec![0; 5],
             replica_service_time: SimDuration::from_micros(20),
             client_service_time: SimDuration::from_micros(2),
+            op_timeout: None,
+            faults: FaultSchedule::default(),
         }
+    }
+
+    /// Installs a scripted fault schedule for the deployment run and enables
+    /// the client-side operation timeout faults require.
+    pub fn with_faults(mut self, faults: FaultSchedule, op_timeout: SimDuration) -> Self {
+        self.faults = faults;
+        self.op_timeout = Some(op_timeout);
+        self
     }
 
     /// Size of a majority quorum.

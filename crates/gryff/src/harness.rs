@@ -18,7 +18,7 @@ use regular_session::{
     CompletedRecord, HistoryRecorder, SessionConfig, SessionRunner, SessionWorkload, WitnessHint,
 };
 use regular_sim::engine::{Context, Engine, EngineConfig, Node, NodeId};
-use regular_sim::metrics::LatencyRecorder;
+use regular_sim::metrics::{LatencyRecorder, MessageStats};
 use regular_sim::net::LatencyMatrix;
 use regular_sim::time::{SimDuration, SimTime};
 
@@ -34,7 +34,7 @@ pub type GryffClient = SessionRunner<GryffService>;
 /// A node of the simulated deployment.
 pub enum GryffNode {
     /// A storage replica.
-    Replica(GryffReplica),
+    Replica(Box<GryffReplica>),
     /// A client node.
     Client(Box<GryffClient>),
 }
@@ -56,6 +56,18 @@ impl Node<GryffMsg> for GryffNode {
         match self {
             GryffNode::Replica(r) => r.on_timer(ctx, tag),
             GryffNode::Client(c) => c.on_timer(ctx, tag),
+        }
+    }
+    fn on_crash(&mut self, ctx: &mut Context<GryffMsg>) {
+        match self {
+            GryffNode::Replica(r) => r.on_crash(ctx),
+            GryffNode::Client(c) => c.on_crash(ctx),
+        }
+    }
+    fn on_recover(&mut self, ctx: &mut Context<GryffMsg>) {
+        match self {
+            GryffNode::Replica(r) => r.on_recover(ctx),
+            GryffNode::Client(c) => c.on_recover(ctx),
         }
     }
 }
@@ -110,11 +122,19 @@ pub struct GryffRunResult {
     pub finished_at: SimTime,
     /// Total messages delivered.
     pub messages: u64,
+    /// Full message counters, including the fault plane's drops, duplicates,
+    /// and expirations.
+    pub net_stats: MessageStats,
 }
 
 /// Builds the [`GryffClientConfig`] every client node of a deployment shares.
 pub fn client_config(config: &GryffConfig, replicas: Vec<NodeId>) -> GryffClientConfig {
-    GryffClientConfig { mode: config.mode, replicas, quorum: config.quorum() }
+    GryffClientConfig {
+        mode: config.mode,
+        replicas,
+        quorum: config.quorum(),
+        op_timeout: config.op_timeout,
+    }
 }
 
 /// Builds and runs a deployment.
@@ -132,11 +152,14 @@ pub fn run_gryff(spec: GryffClusterSpec) -> GryffRunResult {
         truetime_epsilon: SimDuration::ZERO,
     };
     let mut engine: Engine<GryffMsg, GryffNode> = Engine::new(engine_cfg, net.clone(), seed);
+    if !config.faults.is_empty() {
+        engine.install_faults(config.faults.clone());
+    }
 
     let mut replica_ids = Vec::new();
     for i in 0..config.num_replicas {
         let id = engine.add_node_with(
-            GryffNode::Replica(GryffReplica::new(&config, i)),
+            GryffNode::Replica(Box::new(GryffReplica::new(&config, i))),
             config.replica_regions[i],
             config.replica_service_time,
         );
@@ -186,6 +209,7 @@ pub fn run_gryff(spec: GryffClusterSpec) -> GryffRunResult {
             stats.rmws += s.rmws;
             stats.fences += s.fences;
             stats.deps_piggybacked += s.deps_piggybacked;
+            stats.timeout_retries += s.timeout_retries;
             completed.push((id, c.completed.clone()));
         }
     }
@@ -209,6 +233,7 @@ pub fn run_gryff(spec: GryffClusterSpec) -> GryffRunResult {
         replica_stats,
         finished_at,
         messages: engine.delivered_messages(),
+        net_stats: engine.message_stats(),
     }
 }
 
@@ -413,6 +438,94 @@ mod tests {
         verify_run(&batched).expect("batched Gryff-RSC must still satisfy RSC");
         let (history, _) = build_history(&batched);
         history.validate().expect("pipelined lanes keep the history well-formed");
+    }
+
+    #[test]
+    fn rsc_survives_replica_crash_and_lossy_links() {
+        use regular_sim::fault::{FaultSchedule, LinkScope};
+        use regular_sim::net::Region;
+
+        // Replica 2 (Ireland) is down for 4 s — it coordinates rmws for
+        // keys = 2 mod 5 — then Japan is partitioned away, then every link
+        // drops/duplicates 2% of messages for a stretch.
+        let faults = FaultSchedule::new()
+            .crash(2, SimTime::from_secs(5), SimTime::from_secs(9))
+            .partition_region(Region(4), SimTime::from_secs(11), SimTime::from_secs(13))
+            .drop_window(LinkScope::All, SimTime::from_secs(14), SimTime::from_secs(18), 0.02)
+            .duplicate_window(LinkScope::All, SimTime::from_secs(14), SimTime::from_secs(18), 0.02);
+        let config =
+            GryffConfig::wan(Mode::GryffRsc).with_faults(faults, SimDuration::from_millis(1_200));
+        let net = LatencyMatrix::gryff_wan();
+        let clients = (0..5)
+            .map(|i| GryffClientSpec {
+                region: i % 5,
+                sessions: SessionConfig::closed_loop(3, SimDuration::ZERO),
+                workload: Box::new(ConflictWorkload {
+                    rmw_ratio: 0.1,
+                    ..ConflictWorkload::ycsb(0.5, 0.4, i as u64)
+                }) as Box<dyn SessionWorkload>,
+            })
+            .collect();
+        let result = run_gryff(GryffClusterSpec {
+            config,
+            net,
+            seed: 31,
+            clients,
+            stop_issuing_at: SimTime::from_secs(24),
+            drain: SimDuration::from_secs(10),
+            measure_from: SimTime::from_secs(1),
+        });
+        let stats = result.net_stats;
+        assert!(
+            stats.dropped > 0 && stats.duplicated > 0,
+            "the fault plane was active ({stats:?})"
+        );
+        assert!(stats.expired > 0, "messages expired at the crashed replica ({stats:?})");
+        assert!(
+            result.client_stats.timeout_retries > 0,
+            "clients re-sent stalled rounds ({:?})",
+            result.client_stats
+        );
+        assert!(result.client_stats.rmws > 20, "rmws kept completing ({:?})", result.client_stats);
+        assert!(all_reads_explainable(&result));
+        verify_run(&result).expect("Gryff-RSC must satisfy RSC through crashes and loss");
+    }
+
+    #[test]
+    fn faulty_gryff_runs_are_deterministic_for_a_seed() {
+        use regular_sim::fault::{FaultSchedule, LinkScope};
+
+        let run = || {
+            let faults = FaultSchedule::new()
+                .crash(1, SimTime::from_secs(3), SimTime::from_secs(6))
+                .drop_window(LinkScope::All, SimTime::from_secs(7), SimTime::from_secs(10), 0.05);
+            let config = GryffConfig::wan(Mode::GryffRsc)
+                .with_faults(faults, SimDuration::from_millis(1_200));
+            let clients = (0..3)
+                .map(|i| GryffClientSpec {
+                    region: i % 5,
+                    sessions: SessionConfig::closed_loop(2, SimDuration::ZERO)
+                        .with_workload_seed(55 + i as u64),
+                    workload: Box::new(ConflictWorkload::ycsb(0.5, 0.25, i as u64))
+                        as Box<dyn SessionWorkload>,
+                })
+                .collect();
+            run_gryff(GryffClusterSpec {
+                config,
+                net: LatencyMatrix::gryff_wan(),
+                seed: 8,
+                clients,
+                stop_issuing_at: SimTime::from_secs(12),
+                drain: SimDuration::from_secs(8),
+                measure_from: SimTime::from_secs(1),
+            })
+        };
+        let a = run();
+        let b = run();
+        let (ha, _) = build_history(&a);
+        let (hb, _) = build_history(&b);
+        assert_eq!(ha, hb, "identical seed + schedule yields a byte-identical history");
+        assert_eq!(a.net_stats, b.net_stats);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! Gryff's EPaxos-based consensus path that preserves per-key atomicity of
 //! rmws (see DESIGN.md).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use regular_core::types::{Key, Value};
 use regular_sim::engine::{Context, NodeId};
@@ -44,7 +44,10 @@ struct RmwCoordination {
     key: Key,
     new_value: Value,
     phase: RmwPhase,
-    replies: usize,
+    /// Replicas that answered the current round — a set, because rounds may
+    /// be re-sent after a crash and messages may be duplicated, and a quorum
+    /// must mean distinct replicas.
+    replied: HashSet<NodeId>,
     max: (Carstamp, Value),
     chosen: Carstamp,
 }
@@ -54,12 +57,24 @@ pub struct GryffReplica {
     index: usize,
     quorum: usize,
     num_replicas: usize,
+    /// Engine node id of replica 0. The replica group occupies the node-id
+    /// range `first_node .. first_node + num_replicas`; standalone
+    /// deployments add replicas first (`first_node = 0`), composed
+    /// deployments place them after other stores' nodes.
+    first_node: NodeId,
     store: HashMap<Key, (Value, Carstamp)>,
-    /// In-flight rmw coordinations, keyed by internal sequence number.
+    /// In-flight rmw coordinations, keyed by internal sequence number. Like
+    /// real Gryff's EPaxos-based rmw path, coordination state is
+    /// consensus-replicated and therefore survives leader crashes; recovery
+    /// re-drives the current round (see `Node::on_recover`).
     rmws: HashMap<u64, RmwCoordination>,
     next_internal: u64,
     /// Per-key queue of rmws waiting their turn (the head is active).
     rmw_queue: HashMap<Key, VecDeque<u64>>,
+    /// The at-most-once table: decided rmws by client operation id, so a
+    /// retried `Rmw` request is answered from the log instead of being
+    /// applied twice.
+    finished_rmws: HashMap<OpRef, (Value, Carstamp)>,
     /// Statistics for the harness.
     pub stats: ReplicaStats,
 }
@@ -71,10 +86,12 @@ impl GryffReplica {
             index,
             quorum: cfg.quorum(),
             num_replicas: cfg.num_replicas,
+            first_node: 0,
             store: HashMap::new(),
             rmws: HashMap::new(),
             next_internal: 0,
             rmw_queue: HashMap::new(),
+            finished_rmws: HashMap::new(),
             stats: ReplicaStats::default(),
         }
     }
@@ -82,6 +99,20 @@ impl GryffReplica {
     /// This replica's index.
     pub fn index(&self) -> usize {
         self.index
+    }
+
+    /// Places the replica group at engine node ids
+    /// `first .. first + num_replicas` (composed deployments add other
+    /// stores' nodes before the replicas, so replica `i` is *not* node `i`).
+    pub fn with_first_node(mut self, first: NodeId) -> Self {
+        self.first_node = first;
+        self
+    }
+
+    /// The engine node ids of the whole replica group, coordination rounds'
+    /// destinations (self included, via loopback).
+    fn peer_nodes(&self) -> std::ops::Range<NodeId> {
+        self.first_node..self.first_node + self.num_replicas
     }
 
     /// Current value and carstamp for a key.
@@ -109,9 +140,7 @@ impl GryffReplica {
         let op = OpRef { node: ctx.node_id(), seq: internal };
         let key = self.rmws[&internal].key;
         // Read phase against all replicas (including ourselves via loopback).
-        // Replica node ids are 0..num_replicas by construction (replicas are
-        // added to the engine first).
-        for p in 0..self.num_replicas {
+        for p in self.peer_nodes() {
             ctx.send(p, GryffMsg::Read1 { op, key, dep: None });
         }
     }
@@ -119,6 +148,7 @@ impl GryffReplica {
     fn handle_rmw_reply_read(
         &mut self,
         ctx: &mut Context<GryffMsg>,
+        from: NodeId,
         internal: u64,
         value: Value,
         cs: Carstamp,
@@ -126,14 +156,13 @@ impl GryffReplica {
         let writer = ctx.node_id() as u64 + 1_000;
         let ready = {
             let Some(coord) = self.rmws.get_mut(&internal) else { return };
-            if coord.phase != RmwPhase::Read {
+            if coord.phase != RmwPhase::Read || !coord.replied.insert(from) {
                 return;
             }
-            coord.replies += 1;
             if (cs, value) > coord.max {
                 coord.max = (cs, value);
             }
-            coord.replies >= self.quorum
+            coord.replied.len() >= self.quorum
         };
         if !ready {
             return;
@@ -142,29 +171,29 @@ impl GryffReplica {
         let (op, key, new_value, chosen) = {
             let coord = self.rmws.get_mut(&internal).expect("coordination exists");
             coord.phase = RmwPhase::Write;
-            coord.replies = 0;
+            coord.replied.clear();
             coord.chosen = coord.max.0.next(writer);
             (OpRef { node: ctx.node_id(), seq: internal }, coord.key, coord.new_value, coord.chosen)
         };
-        for p in 0..self.num_replicas {
+        for p in self.peer_nodes() {
             ctx.send(p, GryffMsg::Write2 { op, key, value: new_value, cs: chosen });
         }
     }
 
-    fn handle_rmw_reply_write(&mut self, ctx: &mut Context<GryffMsg>, internal: u64) {
+    fn handle_rmw_reply_write(&mut self, ctx: &mut Context<GryffMsg>, from: NodeId, internal: u64) {
         let done = {
             let Some(coord) = self.rmws.get_mut(&internal) else { return };
-            if coord.phase != RmwPhase::Write {
+            if coord.phase != RmwPhase::Write || !coord.replied.insert(from) {
                 return;
             }
-            coord.replies += 1;
-            coord.replies >= self.quorum
+            coord.replied.len() >= self.quorum
         };
         if !done {
             return;
         }
         let coord = self.rmws.remove(&internal).expect("coordination exists");
         self.stats.rmws_coordinated += 1;
+        self.finished_rmws.insert(coord.client_op, (coord.max.1, coord.chosen));
         ctx.send(
             coord.client,
             GryffMsg::RmwReply { op: coord.client_op, old_value: coord.max.1, cs: coord.chosen },
@@ -202,6 +231,16 @@ impl regular_sim::engine::Node<GryffMsg> for GryffReplica {
             }
             GryffMsg::Rmw { op, key, new_value, dep } => {
                 self.apply_dep(dep);
+                // At-most-once: a retried (or duplicated) request for a
+                // decided rmw is answered from the log; one already in
+                // flight keeps coordinating.
+                if let Some(&(old_value, cs)) = self.finished_rmws.get(&op) {
+                    ctx.send(from, GryffMsg::RmwReply { op, old_value, cs });
+                    return;
+                }
+                if self.rmws.values().any(|c| c.client_op == op) {
+                    return;
+                }
                 let internal = self.next_internal;
                 self.next_internal += 1;
                 self.rmws.insert(
@@ -212,7 +251,7 @@ impl regular_sim::engine::Node<GryffMsg> for GryffReplica {
                         key,
                         new_value,
                         phase: RmwPhase::Read,
-                        replies: 0,
+                        replied: HashSet::new(),
                         max: (Carstamp::ZERO, Value::NULL),
                         chosen: Carstamp::ZERO,
                     },
@@ -226,16 +265,48 @@ impl regular_sim::engine::Node<GryffMsg> for GryffReplica {
             // Replies to this replica acting as an rmw coordinator.
             GryffMsg::Read1Reply { op, value, cs } => {
                 if op.node == ctx.node_id() {
-                    self.handle_rmw_reply_read(ctx, op.seq, value, cs);
+                    self.handle_rmw_reply_read(ctx, from, op.seq, value, cs);
                 }
             }
             GryffMsg::Write2Reply { op } => {
                 if op.node == ctx.node_id() {
-                    self.handle_rmw_reply_write(ctx, op.seq);
+                    self.handle_rmw_reply_write(ctx, from, op.seq);
                 }
             }
             GryffMsg::Write1Reply { .. } | GryffMsg::RmwReply { .. } => {
                 // Client-bound messages; replicas ignore them.
+            }
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<GryffMsg>) {
+        // The register store is disk-backed and rmw coordination state is
+        // consensus-replicated (as in Gryff's EPaxos rmw path), so nothing
+        // is lost — but replies that arrived while this coordinator was down
+        // expired. Re-drive the current round of every active (head-of-queue)
+        // coordination; rounds are idempotent and reply-counting dedups by
+        // replica, so replicas that already answered simply answer again.
+        let mut keys: Vec<Key> = self.rmw_queue.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let Some(&internal) = self.rmw_queue[&key].front() else { continue };
+            let Some(coord) = self.rmws.get(&internal) else { continue };
+            let op = OpRef { node: ctx.node_id(), seq: internal };
+            match coord.phase {
+                RmwPhase::Read => {
+                    for p in self.peer_nodes() {
+                        ctx.send(p, GryffMsg::Read1 { op, key, dep: None });
+                    }
+                }
+                RmwPhase::Write => {
+                    // The decision (value, carstamp) is durable: re-sending
+                    // the same Write2 is a no-op at replicas that already
+                    // applied it.
+                    let (value, cs) = (coord.new_value, coord.chosen);
+                    for p in self.peer_nodes() {
+                        ctx.send(p, GryffMsg::Write2 { op, key, value, cs });
+                    }
+                }
             }
         }
     }

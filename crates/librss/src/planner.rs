@@ -50,6 +50,21 @@ impl FencePlanner {
         self.last.get(&session).copied()
     }
 
+    /// Exports `session`'s causal position for out-of-band propagation to
+    /// another process (Section 4.2): the dense index of its last service.
+    /// The caller attaches the service *name* and the causal floor when
+    /// building a [`crate::CausalContext`].
+    pub fn export_context(&self, session: u64) -> Option<usize> {
+        self.last_service(session)
+    }
+
+    /// Imports a causal position received from another process: `session`'s
+    /// next transaction fences `last_service` exactly as if the session had
+    /// issued its previous transaction there (Figure 3 across processes).
+    pub fn import_context(&mut self, session: u64, last_service: usize) {
+        self.last.insert(session, last_service);
+    }
+
     /// Forgets a finished session.
     pub fn end_session(&mut self, session: u64) {
         self.last.remove(&session);
@@ -75,6 +90,25 @@ mod tests {
         let s = p.stats();
         assert_eq!(s.executed, 2);
         assert_eq!(s.elided, 2);
+    }
+
+    #[test]
+    fn imported_contexts_force_the_inherited_fence() {
+        let mut sender = FencePlanner::new();
+        sender.on_transaction(1, 0);
+        let exported = sender.export_context(1).expect("sender has a causal past");
+
+        let mut receiver = FencePlanner::new();
+        // The receiving process's session inherits the sender's last service:
+        // its first transaction at a *different* service fences it, even
+        // though this session never used it.
+        receiver.import_context(7, exported);
+        assert_eq!(receiver.on_transaction(7, 1), Some(0));
+        // Same service: nothing to fence.
+        let mut receiver2 = FencePlanner::new();
+        receiver2.import_context(9, exported);
+        assert_eq!(receiver2.on_transaction(9, 0), None);
+        assert_eq!(FencePlanner::new().export_context(5), None);
     }
 
     #[test]

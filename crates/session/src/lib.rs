@@ -42,6 +42,6 @@ pub use op::{
     MultiServiceWorkload, RoundRobinWorkload, ScriptedSessionWorkload, SessionOp, SessionWorkload,
 };
 pub use record::{CompletedRecord, HistoryRecorder, LaneId, WitnessHint};
-pub use runner::{ComposedRunner, SessionRunner, SessionStats};
+pub use runner::{ComposedRunner, HandoffRecord, SessionRunner, SessionStats};
 pub use scheduler::{SessionScheduler, Wake};
 pub use service::{runner_tag, service_tag, MappedService, Service};

@@ -162,6 +162,73 @@ impl HistoryRecorder {
         &self.history
     }
 
+    /// The process assigned to a non-orphan lane, if it has recorded any
+    /// operation.
+    pub fn process_of(&self, client: u64, session: u64, slot: u32) -> Option<ProcessId> {
+        self.process_of.get(&(client, session, slot)).copied()
+    }
+
+    /// Records an out-of-band communication between two lanes (a
+    /// `CausalContext` handoff, Section 4.2) as an external-communication
+    /// edge of the history. Returns `false` (recording nothing) if either
+    /// lane never completed an operation.
+    pub fn record_external_communication(
+        &mut self,
+        from: (u64, u64, u32),
+        sent_us: u64,
+        to: (u64, u64, u32),
+        received_us: u64,
+    ) -> bool {
+        let (Some(from_pid), Some(to_pid)) =
+            (self.process_of(from.0, from.1, from.2), self.process_of(to.0, to.1, to.2))
+        else {
+            return false;
+        };
+        self.history.add_external_communication(
+            from_pid,
+            Timestamp(sent_us),
+            to_pid,
+            Timestamp(received_us),
+        );
+        true
+    }
+
+    /// The id of the lane's last operation that completed at or before
+    /// `at_us` — the exporter side of a causal-handoff constraint edge.
+    pub fn last_completed_before(
+        &self,
+        client: u64,
+        session: u64,
+        slot: u32,
+        at_us: u64,
+    ) -> Option<OpId> {
+        let pid = self.process_of(client, session, slot)?;
+        self.per_process
+            .get(pid.0 as usize - 1)?
+            .iter()
+            .filter(|(_, id)| self.history.op(*id).response.is_some_and(|r| r.0 <= at_us))
+            .max_by_key(|(invoke, _)| *invoke)
+            .map(|(_, id)| *id)
+    }
+
+    /// The id of the lane's first operation invoked at or after `at_us` —
+    /// the importer side of a causal-handoff constraint edge.
+    pub fn first_invoked_after(
+        &self,
+        client: u64,
+        session: u64,
+        slot: u32,
+        at_us: u64,
+    ) -> Option<OpId> {
+        let pid = self.process_of(client, session, slot)?;
+        self.per_process
+            .get(pid.0 as usize - 1)?
+            .iter()
+            .filter(|(invoke, _)| *invoke >= at_us)
+            .min_by_key(|(invoke, _)| *invoke)
+            .map(|(_, id)| *id)
+    }
+
     /// Consecutive-operation edges of every lane process, ordered by
     /// invocation time: the process-order constraints used by edge-based
     /// witness assembly ([`regular_core::checker::assemble::assemble_witness`]).

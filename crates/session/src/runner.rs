@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use regular_core::fence::FenceStats;
-use regular_librss::FencePlanner;
+use regular_librss::{CausalContext, FencePlanner};
 use regular_sim::engine::{Context, Node, NodeId};
 use regular_sim::time::{SimDuration, SimTime};
 
@@ -29,6 +29,26 @@ pub struct SessionStats {
     pub batches: u64,
     /// Non-orphan operations completed.
     pub ops_completed: u64,
+    /// Causal contexts exported for out-of-band handoff (Section 4.2).
+    pub contexts_exported: u64,
+    /// Causal contexts imported from another session's handoff.
+    pub contexts_imported: u64,
+}
+
+/// One out-of-band causal handoff between two lanes (Section 4.2): the
+/// exporter's context was serialized at `exported_at` and imported by the
+/// receiving lane at `imported_at` — a real-time external communication the
+/// recorded history must stay consistent with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HandoffRecord {
+    /// The exporting lane.
+    pub from: LaneId,
+    /// When the context was exported.
+    pub exported_at: SimTime,
+    /// The importing lane.
+    pub to: LaneId,
+    /// When the context was imported (before the lane's next operation).
+    pub imported_at: SimTime,
 }
 
 /// A simulation node driving one [`Service`] with configured sessions.
@@ -189,6 +209,14 @@ pub struct ComposedRunner<M: 'static> {
     outstanding: HashMap<u64, usize>,
     /// Operations waiting for their preceding auto-fence, keyed by lane.
     pending_after_fence: HashMap<LaneId, (usize, SessionOp)>,
+    /// Export a causal context every this many completed batches (see
+    /// [`ComposedRunner::with_context_handoff`]); `None` disables handoffs.
+    handoff_every: Option<u64>,
+    /// An exported context waiting for a *different* session to pick it up.
+    pending_context: Option<(CausalContext, LaneId, SimTime)>,
+    /// Every completed handoff, for external-communication edges in the
+    /// recorded history.
+    pub handoffs: Vec<HandoffRecord>,
     /// All completions from every service, including auto-fences, annotated
     /// with the index of the service that produced them.
     pub completed: Vec<(usize, CompletedRecord)>,
@@ -229,15 +257,66 @@ impl<M: 'static> ComposedRunner<M> {
             next_timer: 0,
             outstanding: HashMap::new(),
             pending_after_fence: HashMap::new(),
+            handoff_every: None,
+            pending_context: None,
+            handoffs: Vec::new(),
             completed: Vec::new(),
             stats: SessionStats::default(),
         }
+    }
+
+    /// Enables periodic cross-process causal handoffs (Section 4.2): every
+    /// `every` completed batches, the completing session exports its
+    /// [`CausalContext`] (as a web server would serialize it into a
+    /// response), and the next *other* session to issue a batch imports it —
+    /// inheriting the exporter's last service (so `libRSS` fences it) and
+    /// causal floor. Each handoff is recorded in
+    /// [`ComposedRunner::handoffs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn with_context_handoff(mut self, every: u64) -> Self {
+        assert!(every > 0, "handoff cadence must be positive");
+        self.handoff_every = Some(every);
+        self
     }
 
     /// Fence statistics from the `libRSS` planner: how many operation starts
     /// required a fence at the previous service.
     pub fn fence_stats(&self) -> FenceStats {
         self.planner.stats()
+    }
+
+    /// Exports `lane`'s causal context for out-of-band propagation to
+    /// another process (Section 4.2): the name of its last service and the
+    /// maximum causal floor any service holds for its session.
+    pub fn export_context(&self, lane: LaneId) -> CausalContext {
+        let last_service = self
+            .planner
+            .export_context(lane.key())
+            .map(|idx| self.services[idx].name().to_string());
+        let min_timestamp =
+            self.services.iter().map(|s| s.session_floor(lane.session)).max().unwrap_or(0);
+        CausalContext { last_service, min_timestamp }
+    }
+
+    /// Imports a causal context into `lane`: its next operation fences the
+    /// sender's last service exactly as if this lane had issued its previous
+    /// operation there, and every service raises the session's causal floor
+    /// to the sender's. Unknown service names only propagate the floor (the
+    /// sender's store is not deployed here; there is nothing to fence).
+    pub fn import_context(&mut self, lane: LaneId, ctx: &CausalContext) {
+        if let Some(name) = ctx.last_service.as_deref() {
+            if let Some(idx) = self.services.iter().position(|s| s.name() == name) {
+                self.planner.import_context(lane.key(), idx);
+            }
+        }
+        if ctx.min_timestamp > 0 {
+            for s in &mut self.services {
+                s.raise_session_floor(lane.session, ctx.min_timestamp);
+            }
+        }
     }
 
     /// The services driven by this runner.
@@ -253,6 +332,23 @@ impl<M: 'static> ComposedRunner<M> {
 
     fn issue_batch(&mut self, ctx: &mut Context<M>, session: u64) {
         let batch = self.scheduler.batch();
+        // A context exported by another session is imported by the next
+        // session to act, before any of its operations start: the classic
+        // web-server handoff, where the response carries the context and the
+        // receiver's first request must respect it.
+        if self.pending_context.as_ref().is_some_and(|(_, from, _)| from.session != session) {
+            let (cctx, from, exported_at) = self.pending_context.take().expect("checked above");
+            for slot in 0..batch {
+                self.import_context(LaneId { session, slot: slot as u32 }, &cctx);
+            }
+            self.stats.contexts_imported += 1;
+            self.handoffs.push(HandoffRecord {
+                from,
+                exported_at,
+                to: LaneId { session, slot: 0 },
+                imported_at: ctx.now(),
+            });
+        }
         self.outstanding.insert(session, batch);
         self.stats.batches += 1;
         for slot in 0..batch {
@@ -313,9 +409,11 @@ impl<M: 'static> ComposedRunner<M> {
                     }
                     if finishes_slot {
                         self.stats.ops_completed += 1;
+                        let mut batch_done = false;
                         if let Some(n) = self.outstanding.get_mut(&lane.session) {
                             *n -= 1;
                             if *n == 0 {
+                                batch_done = true;
                                 self.outstanding.remove(&lane.session);
                                 let timers = self.scheduler.on_batch_complete(
                                     ctx.now(),
@@ -327,6 +425,19 @@ impl<M: 'static> ComposedRunner<M> {
                                 }
                                 if !self.scheduler.is_active(lane.session) {
                                     self.end_session(lane.session);
+                                }
+                            }
+                        }
+                        // Periodic out-of-band handoff: the completing
+                        // session serializes its context; the next other
+                        // session to issue a batch inherits it.
+                        if batch_done {
+                            if let Some(every) = self.handoff_every {
+                                if self.stats.batches.is_multiple_of(every) {
+                                    let from = LaneId { session: lane.session, slot: 0 };
+                                    let exported = self.export_context(from);
+                                    self.pending_context = Some((exported, from, ctx.now()));
+                                    self.stats.contexts_exported += 1;
                                 }
                             }
                         }

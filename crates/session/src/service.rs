@@ -71,6 +71,21 @@ pub trait Service: 'static {
     /// id per arrival; without this hook that state grows without bound.
     fn end_session(&mut self, _session: u64) {}
 
+    /// The session's causal floor at this service — the protocol-specific
+    /// minimum timestamp capturing its causal past (Spanner-RSS's `t_min`).
+    /// Exported into a [`regular_librss::CausalContext`] when the session's
+    /// position is handed to another process (Section 4.2). Services without
+    /// a timestamped floor return 0.
+    fn session_floor(&self, _session: u64) -> u64 {
+        0
+    }
+
+    /// Raises the session's causal floor from an imported
+    /// [`regular_librss::CausalContext`]: every transaction the session
+    /// subsequently issues must observe at least this much of the sender's
+    /// causal past. Services without a timestamped floor ignore it.
+    fn raise_session_floor(&mut self, _session: u64, _floor: u64) {}
+
     /// Takes the operations completed since the last call.
     fn drain_completed(&mut self) -> Vec<CompletedRecord>;
 }
@@ -179,6 +194,14 @@ where
 
     fn end_session(&mut self, session: u64) {
         self.inner.end_session(session);
+    }
+
+    fn session_floor(&self, session: u64) -> u64 {
+        self.inner.session_floor(session)
+    }
+
+    fn raise_session_floor(&mut self, session: u64, floor: u64) {
+        self.inner.raise_session_floor(session, floor);
     }
 
     fn drain_completed(&mut self) -> Vec<CompletedRecord> {

@@ -55,6 +55,16 @@ where
         let inner = &mut self.inner;
         ctx.with_protocol(|c| inner.on_timer(c, tag));
     }
+
+    fn on_crash(&mut self, ctx: &mut Context<M>) {
+        let inner = &mut self.inner;
+        ctx.with_protocol(|c| inner.on_crash(c));
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<M>) {
+        let inner = &mut self.inner;
+        ctx.with_protocol(|c| inner.on_recover(c));
+    }
 }
 
 #[cfg(test)]

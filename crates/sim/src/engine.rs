@@ -8,24 +8,37 @@
 //!
 //! # Time model
 //!
-//! * Message delivery latency is one-way WAN latency between the sender's and
-//!   receiver's regions (plus jitter), sampled from the engine's
-//!   [`LatencyMatrix`], plus any extra delay requested by the sender.
+//! * Message delivery is decided by the engine's [`NetworkModel`]: the
+//!   one-way latency between the sender's and receiver's regions (plus
+//!   jitter and any extra delay requested by the sender), and a per-message
+//!   [`Delivery`] verdict — deliver, delay, drop, or duplicate. The default
+//!   model, [`crate::net::LatencyMatrix`], always delivers.
+//! * A scripted [`FaultSchedule`] (see [`Engine::install_faults`]) overlays
+//!   link partitions, probabilistic drop/duplicate/delay windows, and node
+//!   crash/recover events on top of the model's verdicts. Messages addressed
+//!   to a crashed node expire; its timers are deferred to the recovery
+//!   instant (the durable state machine resumes where it left off), and the
+//!   [`Node::on_crash`] / [`Node::on_recover`] hooks let protocols drop
+//!   volatile state and re-drive stalled work.
 //! * Each node has a *service time*: the CPU cost of handling one event. If a
 //!   message arrives while the node is still busy, its processing is delayed
 //!   until the node frees up. This produces queueing, which is what makes the
 //!   throughput/latency experiments (Figure 6, §7.4) saturate realistically.
 //! * Events scheduled for the same instant are processed in scheduling order,
-//!   which keeps runs bit-for-bit deterministic for a fixed seed.
+//!   which keeps runs bit-for-bit deterministic for a fixed seed — with or
+//!   without faults, since drop/duplicate sampling draws from the same
+//!   seeded RNG stream.
 
 use std::cmp::Ordering;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-use crate::net::{LatencyMatrix, Region};
+use crate::fault::{FaultSchedule, MessageFault};
+use crate::metrics::MessageStats;
+use crate::net::{Delivery, NetworkModel, Region};
 use crate::time::{SimDuration, SimTime};
 use crate::truetime::{TrueTime, TtInterval};
 
@@ -45,6 +58,22 @@ pub trait Node<M>: 'static {
 
     /// Called when a timer previously set with [`Context::set_timer`] fires.
     fn on_timer(&mut self, _ctx: &mut Context<M>, _tag: u64) {}
+
+    /// Called when a scripted [`FaultSchedule`] crash takes this node down.
+    ///
+    /// Implementations drop their *volatile* state here (in-memory queues,
+    /// client-facing read sessions) and keep what the real system would have
+    /// made durable (replicated logs, on-disk stores). Anything sent or
+    /// scheduled from this hook is discarded — a crashing node cannot act.
+    fn on_crash(&mut self, _ctx: &mut Context<M>) {}
+
+    /// Called when a crashed node recovers.
+    ///
+    /// The node resumes from its durable state: timers that would have fired
+    /// while it was down fire right after this hook, and implementations
+    /// re-drive any coordination that stalled while they were away (e.g.
+    /// re-sending the current round of an in-flight agreement).
+    fn on_recover(&mut self, _ctx: &mut Context<M>) {}
 }
 
 /// Engine-wide configuration.
@@ -72,6 +101,8 @@ enum EventKind<M> {
     Start { node: NodeId },
     Message { from: NodeId, to: NodeId, msg: M },
     Timer { node: NodeId, tag: u64 },
+    Crash { node: NodeId, recover_at: Option<SimTime> },
+    Recover { node: NodeId },
 }
 
 struct EventEntry<M> {
@@ -206,43 +237,74 @@ impl<'a, M> Context<'a, M> {
 /// over the protocol's roles so the harness can inspect nodes after the run).
 pub struct Engine<M, N> {
     cfg: EngineConfig,
-    net: LatencyMatrix,
+    net: Box<dyn NetworkModel>,
+    faults: FaultSchedule,
     nodes: Vec<N>,
     regions: Vec<Region>,
     service_times: Vec<SimDuration>,
     truetimes: Vec<TrueTime>,
     busy_until: Vec<SimTime>,
+    crashed: Vec<bool>,
+    crashed_until: Vec<Option<SimTime>>,
     queue: BinaryHeap<Reverse<EventEntry<M>>>,
     now: SimTime,
     seq: u64,
     rng: SmallRng,
     started: bool,
-    delivered_messages: u64,
+    messages: MessageStats,
     processed_events: u64,
     seed: u64,
 }
 
-impl<M: 'static, N: Node<M>> Engine<M, N> {
+impl<M: Clone + 'static, N: Node<M>> Engine<M, N> {
     /// Creates an engine with the given configuration, network model, and
     /// random seed.
-    pub fn new(cfg: EngineConfig, net: LatencyMatrix, seed: u64) -> Self {
+    pub fn new(cfg: EngineConfig, net: impl NetworkModel, seed: u64) -> Self {
         Engine {
             cfg,
-            net,
+            net: Box::new(net),
+            faults: FaultSchedule::default(),
             nodes: Vec::new(),
             regions: Vec::new(),
             service_times: Vec::new(),
             truetimes: Vec::new(),
             busy_until: Vec::new(),
+            crashed: Vec::new(),
+            crashed_until: Vec::new(),
             queue: BinaryHeap::new(),
             now: SimTime::ZERO,
             seq: 0,
             rng: SmallRng::seed_from_u64(seed),
             started: false,
-            delivered_messages: 0,
+            messages: MessageStats::default(),
             processed_events: 0,
             seed,
         }
+    }
+
+    /// Installs a scripted fault schedule: link cuts and message windows
+    /// apply to every message sent from now on; crash/recover events fire at
+    /// their scripted instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation already started, or if two crash windows of
+    /// the same node overlap.
+    pub fn install_faults(&mut self, faults: FaultSchedule) {
+        assert!(!self.started, "install faults before running the simulation");
+        let mut windows: Vec<_> =
+            faults.crashes().iter().map(|c| (c.node, c.at, c.recover_at)).collect();
+        windows.sort_unstable();
+        for pair in windows.windows(2) {
+            let ((node_a, _, recover_a), (node_b, at_b, _)) = (pair[0], pair[1]);
+            if node_a == node_b {
+                assert!(
+                    recover_a.is_some_and(|r| r <= at_b),
+                    "crash windows of node {node_a} overlap"
+                );
+            }
+        }
+        self.faults = faults;
     }
 
     /// Adds a node placed in `region`, returning its [`NodeId`].
@@ -259,6 +321,8 @@ impl<M: 'static, N: Node<M>> Engine<M, N> {
         self.truetimes
             .push(TrueTime::new(self.cfg.truetime_epsilon, self.seed.wrapping_add(id as u64 * 77)));
         self.busy_until.push(SimTime::ZERO);
+        self.crashed.push(false);
+        self.crashed_until.push(None);
         id
     }
 
@@ -293,13 +357,31 @@ impl<M: 'static, N: Node<M>> Engine<M, N> {
     }
 
     /// The network model.
-    pub fn network(&self) -> &LatencyMatrix {
-        &self.net
+    pub fn network(&self) -> &dyn NetworkModel {
+        &*self.net
+    }
+
+    /// The installed fault schedule (empty unless
+    /// [`Engine::install_faults`] was called).
+    pub fn faults(&self) -> &FaultSchedule {
+        &self.faults
+    }
+
+    /// True while `node` is down under a scripted crash window.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed[node]
     }
 
     /// Total messages delivered so far.
     pub fn delivered_messages(&self) -> u64 {
-        self.delivered_messages
+        self.messages.delivered
+    }
+
+    /// Message delivery counters: delivered, dropped (verdicts and cut
+    /// links), duplicated (extra copies injected), and expired (addressed to
+    /// a node that was down at delivery time).
+    pub fn message_stats(&self) -> MessageStats {
+        self.messages
     }
 
     /// Total events (start, message, timer) processed so far.
@@ -321,6 +403,101 @@ impl<M: 'static, N: Node<M>> Engine<M, N> {
         for node in 0..self.nodes.len() {
             self.push_event(SimTime::ZERO, EventKind::Start { node });
         }
+        // Same-time events process in push order, so order the power events
+        // chronologically with recoveries first: when one window's recovery
+        // coincides with the next window's crash, the node must come up
+        // before it goes down again, not end up alive through the second
+        // window.
+        let mut power: Vec<(SimTime, u8, NodeId, Option<SimTime>)> = Vec::new();
+        for crash in self.faults.crashes() {
+            assert!(
+                crash.node < self.nodes.len(),
+                "crash window names unknown node {}",
+                crash.node
+            );
+            power.push((crash.at, 1, crash.node, crash.recover_at));
+            if let Some(at) = crash.recover_at {
+                power.push((at, 0, crash.node, None));
+            }
+        }
+        power.sort_unstable();
+        for (time, kind, node, recover_at) in power {
+            if kind == 0 {
+                self.push_event(time, EventKind::Recover { node });
+            } else {
+                self.push_event(time, EventKind::Crash { node, recover_at });
+            }
+        }
+    }
+
+    /// Applies the fault schedule to the model's verdict for one message.
+    fn fault_verdict(&mut self, from: Region, to: Region, base: Delivery) -> Delivery {
+        if self.faults.link_cut(self.now, from, to) {
+            return Delivery::Drop;
+        }
+        // The first active window whose probability fires decides; sampling
+        // draws from the engine RNG, so lossy runs stay seed-deterministic.
+        let mut fired = None;
+        for w in self.faults.active_windows(self.now, from, to) {
+            if self.rng.gen_bool(w.probability) {
+                fired = Some(w.fault);
+                break;
+            }
+        }
+        match (fired, base) {
+            (None, base) => base,
+            (Some(MessageFault::Drop), _) => Delivery::Drop,
+            (Some(_), Delivery::Drop) => Delivery::Drop,
+            // The fault composes with (never cancels) what the model already
+            // scripted: duplicating a duplicate keeps the model's echo, and
+            // delaying a duplicate delays both copies.
+            (Some(MessageFault::Duplicate), d @ Delivery::Duplicate { .. }) => d,
+            (Some(MessageFault::Duplicate), d) => {
+                let latency = match d {
+                    Delivery::Deliver { latency } => latency,
+                    Delivery::Delay { latency, extra } => latency + extra,
+                    Delivery::Duplicate { .. } | Delivery::Drop => unreachable!("handled above"),
+                };
+                Delivery::Duplicate { latency, echo_after: latency }
+            }
+            (Some(MessageFault::Delay(extra)), Delivery::Duplicate { latency, echo_after }) => {
+                Delivery::Duplicate { latency: latency + extra, echo_after }
+            }
+            (Some(MessageFault::Delay(extra)), d) => {
+                let latency = match d {
+                    Delivery::Deliver { latency } => latency,
+                    Delivery::Delay { latency, extra: e } => latency + e,
+                    Delivery::Duplicate { .. } | Delivery::Drop => unreachable!("handled above"),
+                };
+                Delivery::Delay { latency, extra }
+            }
+        }
+    }
+
+    /// Schedules one sent message according to the network verdict.
+    fn dispatch(&mut self, from: NodeId, to: NodeId, extra: SimDuration, msg: M) {
+        let base = self.net.delivery(self.now, self.regions[from], self.regions[to], &mut self.rng);
+        let verdict = self.fault_verdict(self.regions[from], self.regions[to], base);
+        match verdict {
+            Delivery::Deliver { latency } => {
+                self.push_event(self.now + latency + extra, EventKind::Message { from, to, msg });
+            }
+            Delivery::Delay { latency, extra: fault_extra } => {
+                self.push_event(
+                    self.now + latency + extra + fault_extra,
+                    EventKind::Message { from, to, msg },
+                );
+            }
+            Delivery::Drop => {
+                self.messages.dropped += 1;
+            }
+            Delivery::Duplicate { latency, echo_after } => {
+                self.messages.duplicated += 1;
+                let at = self.now + latency + extra;
+                self.push_event(at, EventKind::Message { from, to, msg: msg.clone() });
+                self.push_event(at + echo_after, EventKind::Message { from, to, msg });
+            }
+        }
     }
 
     /// Runs until the event queue is empty or [`EngineConfig::max_time`] is
@@ -341,7 +518,80 @@ impl<M: 'static, N: Node<M>> Engine<M, N> {
                 EventKind::Start { node } => *node,
                 EventKind::Message { to, .. } => *to,
                 EventKind::Timer { node, .. } => *node,
+                EventKind::Crash { node, .. } => *node,
+                EventKind::Recover { node } => *node,
             };
+            // Crash and recover are external power events: they bypass the
+            // CPU/busy model and the crashed-node filters below.
+            match entry.kind {
+                EventKind::Crash { node, recover_at } => {
+                    self.now = self.now.max(entry.time);
+                    self.processed_events += 1;
+                    self.crashed[node] = true;
+                    self.crashed_until[node] = recover_at;
+                    self.busy_until[node] = self.now;
+                    let mut ctx = Context {
+                        now: self.now,
+                        node_id: node,
+                        rng: &mut self.rng,
+                        truetime: &mut self.truetimes[node],
+                        outbox: Vec::new(),
+                        timers: Vec::new(),
+                    };
+                    self.nodes[node].on_crash(&mut ctx);
+                    // A crashing node cannot act: discard anything the hook
+                    // tried to send or schedule.
+                    continue;
+                }
+                EventKind::Recover { node } => {
+                    self.now = self.now.max(entry.time);
+                    self.processed_events += 1;
+                    self.crashed[node] = false;
+                    self.crashed_until[node] = None;
+                    self.busy_until[node] = self.now;
+                    let mut ctx = Context {
+                        now: self.now,
+                        node_id: node,
+                        rng: &mut self.rng,
+                        truetime: &mut self.truetimes[node],
+                        outbox: Vec::new(),
+                        timers: Vec::new(),
+                    };
+                    self.nodes[node].on_recover(&mut ctx);
+                    let Context { outbox, timers, .. } = ctx;
+                    for (to, extra, msg) in outbox {
+                        self.dispatch(node, to, extra, msg);
+                    }
+                    for (delay, tag) in timers {
+                        self.push_event(self.now + delay, EventKind::Timer { node, tag });
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+            if self.crashed[node_id] {
+                self.now = self.now.max(entry.time);
+                match entry.kind {
+                    EventKind::Message { .. } => {
+                        // Addressed to a node that is down: the message is
+                        // lost (the transport cannot hold it).
+                        self.messages.expired += 1;
+                    }
+                    EventKind::Timer { node, tag } => {
+                        // The durable state machine resumes after recovery:
+                        // defer the timer to the recovery instant (or drop it
+                        // if the node never comes back).
+                        if let Some(recover_at) = self.crashed_until[node] {
+                            self.push_event(recover_at, EventKind::Timer { node, tag });
+                        }
+                    }
+                    EventKind::Start { .. } => {}
+                    EventKind::Crash { .. } | EventKind::Recover { .. } => {
+                        unreachable!("handled above")
+                    }
+                }
+                continue;
+            }
             // Model CPU contention: if the target node is still busy, push the
             // event back to when the node frees up.
             let busy = self.busy_until[node_id];
@@ -367,17 +617,17 @@ impl<M: 'static, N: Node<M>> Engine<M, N> {
             match entry.kind {
                 EventKind::Start { .. } => self.nodes[node_id].on_start(&mut ctx),
                 EventKind::Message { from, msg, .. } => {
-                    self.delivered_messages += 1;
+                    self.messages.delivered += 1;
                     self.nodes[node_id].on_message(&mut ctx, from, msg);
                 }
                 EventKind::Timer { tag, .. } => self.nodes[node_id].on_timer(&mut ctx, tag),
+                EventKind::Crash { .. } | EventKind::Recover { .. } => {
+                    unreachable!("handled above")
+                }
             }
             let Context { outbox, timers, .. } = ctx;
             for (to, extra, msg) in outbox {
-                let latency =
-                    self.net.sample_one_way(self.regions[node_id], self.regions[to], &mut self.rng);
-                let at = self.now + latency + extra;
-                self.push_event(at, EventKind::Message { from: node_id, to, msg });
+                self.dispatch(node_id, to, extra, msg);
             }
             for (delay, tag) in timers {
                 let at = self.now + delay;
@@ -391,6 +641,7 @@ impl<M: 'static, N: Node<M>> Engine<M, N> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::net::LatencyMatrix;
 
     #[derive(Clone, Debug, PartialEq)]
     enum Msg {
@@ -545,6 +796,197 @@ mod tests {
             self.handled += 1;
             self.last_handled_at = ctx.now();
         }
+    }
+
+    /// A node that pings a peer every 100 ms and records replies; used by the
+    /// fault tests.
+    struct Chatter {
+        peer: NodeId,
+        got: u64,
+        crashes: u64,
+        recoveries: u64,
+    }
+
+    impl Node<Msg> for Chatter {
+        fn on_start(&mut self, ctx: &mut Context<Msg>) {
+            ctx.set_timer(SimDuration::from_millis(100), 1);
+        }
+        fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
+            match msg {
+                Msg::Ping(n) => ctx.send(from, Msg::Pong(n)),
+                Msg::Pong(_) => self.got += 1,
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Context<Msg>, _tag: u64) {
+            ctx.send(self.peer, Msg::Ping(1));
+            if ctx.now() < SimTime::from_secs(10) {
+                ctx.set_timer(SimDuration::from_millis(100), 1);
+            }
+        }
+        fn on_crash(&mut self, _ctx: &mut Context<Msg>) {
+            self.crashes += 1;
+        }
+        fn on_recover(&mut self, _ctx: &mut Context<Msg>) {
+            self.recoveries += 1;
+        }
+    }
+
+    fn chatter_engine(seed: u64) -> Engine<Msg, Chatter> {
+        let cfg = EngineConfig {
+            default_service_time: SimDuration::from_micros(10),
+            max_time: SimTime::from_secs(12),
+            truetime_epsilon: SimDuration::ZERO,
+        };
+        // Two regions, 10 ms one-way.
+        let net = LatencyMatrix::from_rtt_ms(&[&[0.2, 20.0], &[20.0, 0.2]], SimDuration::ZERO);
+        let mut engine = Engine::new(cfg, net, seed);
+        engine.add_node(Chatter { peer: 1, got: 0, crashes: 0, recoveries: 0 }, 0);
+        engine.add_node(Chatter { peer: 0, got: 0, crashes: 0, recoveries: 0 }, 1);
+        engine
+    }
+
+    #[test]
+    fn crashed_nodes_expire_messages_and_hooks_fire() {
+        let mut engine = chatter_engine(1);
+        engine.install_faults(FaultSchedule::new().crash(
+            1,
+            SimTime::from_secs(2),
+            SimTime::from_secs(4),
+        ));
+        engine.run();
+        let healthy = {
+            let mut e = chatter_engine(1);
+            e.run();
+            e.node(0).got
+        };
+        assert_eq!(engine.node(1).crashes, 1);
+        assert_eq!(engine.node(1).recoveries, 1);
+        // Pings sent into the 2-second outage expire; the sender hears fewer
+        // pongs than in the healthy run but traffic resumes after recovery.
+        let stats = engine.message_stats();
+        assert!(stats.expired >= 15, "~20 pings expire at the crashed node ({stats:?})");
+        assert!(engine.node(0).got < healthy, "the outage cost replies");
+        assert!(engine.node(0).got > healthy / 2, "traffic resumed after recovery");
+        assert!(!engine.is_crashed(1), "recovered by the end of the run");
+    }
+
+    #[test]
+    fn partition_drops_messages_on_cut_links_only() {
+        let mut engine = chatter_engine(2);
+        engine.install_faults(FaultSchedule::new().partition_region(
+            Region(1),
+            SimTime::from_secs(2),
+            SimTime::from_secs(5),
+        ));
+        engine.run();
+        let stats = engine.message_stats();
+        // Both directions of the cross-region link are cut for 3 s: ~30 pings
+        // from each side are dropped at send time.
+        assert!(stats.dropped >= 40, "cut-link sends are dropped ({stats:?})");
+        assert_eq!(stats.expired, 0, "no node crashed");
+        assert!(engine.node(0).got > 0 && engine.node(1).got > 0, "both sides resume after heal");
+    }
+
+    #[test]
+    fn duplicate_windows_inject_extra_copies() {
+        let mut engine = chatter_engine(3);
+        engine.install_faults(FaultSchedule::new().duplicate_window(
+            crate::fault::LinkScope::All,
+            SimTime::from_secs(1),
+            SimTime::from_secs(9),
+            1.0,
+        ));
+        engine.run();
+        let stats = engine.message_stats();
+        assert!(stats.duplicated > 100, "every in-window message is duplicated ({stats:?})");
+        // Duplicated pongs are counted twice by the receiver: protocols must
+        // tolerate duplicates (the protocol crates dedup by op id).
+        assert!(engine.node(0).got > engine.node(1).got / 2);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_for_a_seed() {
+        let schedule = || {
+            FaultSchedule::new().crash(1, SimTime::from_secs(2), SimTime::from_secs(3)).drop_window(
+                crate::fault::LinkScope::All,
+                SimTime::from_secs(4),
+                SimTime::from_secs(6),
+                0.3,
+            )
+        };
+        let mut a = chatter_engine(9);
+        a.install_faults(schedule());
+        let mut b = chatter_engine(9);
+        b.install_faults(schedule());
+        a.run();
+        b.run();
+        assert_eq!(a.message_stats(), b.message_stats());
+        assert_eq!(a.node(0).got, b.node(0).got);
+        assert_eq!(a.processed_events(), b.processed_events());
+    }
+
+    #[test]
+    fn timers_of_crashed_nodes_defer_to_recovery() {
+        // Node 1 sets a timer for t=2.5 s and is down [2 s, 4 s): the timer
+        // must fire right after recovery, not be lost.
+        struct OneTimer {
+            fired_at: Option<SimTime>,
+        }
+        impl Node<Msg> for OneTimer {
+            fn on_start(&mut self, ctx: &mut Context<Msg>) {
+                ctx.set_timer(SimDuration::from_millis(2_500), 7);
+            }
+            fn on_message(&mut self, _: &mut Context<Msg>, _: NodeId, _: Msg) {}
+            fn on_timer(&mut self, ctx: &mut Context<Msg>, _tag: u64) {
+                self.fired_at = Some(ctx.now());
+            }
+        }
+        let cfg = EngineConfig::default();
+        let net = LatencyMatrix::single_region(SimDuration::from_millis(1));
+        let mut engine: Engine<Msg, OneTimer> = Engine::new(cfg, net, 4);
+        engine.add_node(OneTimer { fired_at: None }, 0);
+        engine.install_faults(FaultSchedule::new().crash(
+            0,
+            SimTime::from_secs(2),
+            SimTime::from_secs(4),
+        ));
+        engine.run();
+        assert_eq!(engine.node(0).fired_at, Some(SimTime::from_secs(4)));
+    }
+
+    #[test]
+    fn back_to_back_crash_windows_keep_the_node_down() {
+        // Two adjacent windows, listed out of chronological order: at the
+        // shared boundary (t = 4 s) the first window's recovery must process
+        // before the second window's crash, leaving the node down through
+        // [2 s, 6 s) with an instantaneous blip at 4 s.
+        let mut engine = chatter_engine(6);
+        engine.install_faults(
+            FaultSchedule::new().crash(1, SimTime::from_secs(4), SimTime::from_secs(6)).crash(
+                1,
+                SimTime::from_secs(2),
+                SimTime::from_secs(4),
+            ),
+        );
+        engine.run_until(SimTime::from_secs(5));
+        assert!(engine.is_crashed(1), "still inside the second window at t = 5 s");
+        engine.run();
+        assert!(!engine.is_crashed(1));
+        assert_eq!(engine.node(1).crashes, 2);
+        assert_eq!(engine.node(1).recoveries, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "crash windows of node 0 overlap")]
+    fn overlapping_crash_windows_are_rejected() {
+        let mut engine = chatter_engine(1);
+        engine.install_faults(
+            FaultSchedule::new().crash(0, SimTime::from_secs(1), SimTime::from_secs(3)).crash(
+                0,
+                SimTime::from_secs(2),
+                SimTime::from_secs(4),
+            ),
+        );
     }
 
     #[test]

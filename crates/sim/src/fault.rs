@@ -1,0 +1,365 @@
+//! Scripted fault plane: deterministic partitions, lossy windows, and node
+//! crashes layered on top of any [`crate::net::NetworkModel`].
+//!
+//! The paper's guarantees (RSS/RSC) are claims about what clients observe
+//! *through* failures; a [`FaultSchedule`] is the script that injects those
+//! failures into a simulation without giving up determinism. All scripted
+//! faults are keyed on simulated time, and all probabilistic ones (drop and
+//! duplicate windows) sample from the engine's seeded RNG, so a fixed
+//! `(engine seed, schedule)` pair always produces the same execution —
+//! including which messages were lost.
+//!
+//! Three fault families:
+//!
+//! * **Link cuts** — a region pair, a whole region, or every link is
+//!   partitioned for a window; messages sent across a cut link are dropped.
+//! * **Message windows** — during a window every message (optionally
+//!   restricted to a link) is dropped, duplicated, or delayed with a given
+//!   probability.
+//! * **Crash windows** — a node crashes at an instant and (optionally)
+//!   recovers later. While crashed, messages addressed to it expire, its
+//!   timers are deferred to the recovery instant, and the engine invokes the
+//!   [`crate::engine::Node::on_crash`] / [`crate::engine::Node::on_recover`]
+//!   hooks so protocols can drop volatile state and re-drive stalled work
+//!   from their durable state.
+//!
+//! The schedule is installed with [`crate::engine::Engine::install_faults`].
+
+use crate::net::Region;
+use crate::time::{SimDuration, SimTime};
+
+/// Which links a scripted network fault applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkScope {
+    /// The (symmetric) link between two regions.
+    Pair(Region, Region),
+    /// Every link with this region at either end — the classic "partition a
+    /// data center away" fault. Intra-region traffic of *other* regions is
+    /// unaffected; the region's own loopback traffic still flows.
+    Region(Region),
+    /// Every link, loopback included.
+    All,
+}
+
+impl LinkScope {
+    /// True if a message from `from` to `to` travels a link in this scope.
+    pub fn covers(&self, from: Region, to: Region) -> bool {
+        match *self {
+            LinkScope::Pair(a, b) => (from == a && to == b) || (from == b && to == a),
+            // A region cut severs its links to OTHER regions only: nodes
+            // co-located with a partitioned service keep talking to it.
+            LinkScope::Region(r) => (from == r || to == r) && from != to,
+            LinkScope::All => true,
+        }
+    }
+}
+
+/// A time window during which a link scope is fully cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkCut {
+    /// The affected links.
+    pub scope: LinkScope,
+    /// Start of the cut (inclusive).
+    pub from: SimTime,
+    /// End of the cut (exclusive): the heal instant.
+    pub until: SimTime,
+}
+
+/// What a probabilistic message window does to a matching message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageFault {
+    /// Drop the message.
+    Drop,
+    /// Deliver the message twice (the copy trails by one base latency).
+    Duplicate,
+    /// Deliver the message late by the given extra delay.
+    Delay(SimDuration),
+}
+
+/// A time window during which messages on a link scope suffer a
+/// [`MessageFault`] with some probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MessageWindow {
+    /// The affected links.
+    pub scope: LinkScope,
+    /// Start of the window (inclusive).
+    pub from: SimTime,
+    /// End of the window (exclusive).
+    pub until: SimTime,
+    /// Per-message probability of the fault, in `[0, 1]`.
+    pub probability: f64,
+    /// The fault applied to sampled messages.
+    pub fault: MessageFault,
+}
+
+/// A scripted node crash: the node goes down at `at` and, if `recover_at` is
+/// set, comes back at that instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// The crashing node.
+    pub node: usize,
+    /// Crash instant.
+    pub at: SimTime,
+    /// Recovery instant; `None` means the node never comes back.
+    pub recover_at: Option<SimTime>,
+}
+
+/// A deterministic script of partitions, lossy windows, and node crashes.
+///
+/// Built with the fluent methods below; installed into an engine with
+/// [`crate::engine::Engine::install_faults`]. An empty (default) schedule
+/// injects nothing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    cuts: Vec<LinkCut>,
+    windows: Vec<MessageWindow>,
+    crashes: Vec<CrashWindow>,
+}
+
+impl FaultSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if the schedule injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.cuts.is_empty() && self.windows.is_empty() && self.crashes.is_empty()
+    }
+
+    fn check_window(from: SimTime, until: SimTime) {
+        assert!(until > from, "fault windows must have positive duration ({from} >= {until})");
+    }
+
+    /// Cuts the link between regions `a` and `b` during `[from, until)`.
+    pub fn cut_link(mut self, a: Region, b: Region, from: SimTime, until: SimTime) -> Self {
+        Self::check_window(from, until);
+        self.cuts.push(LinkCut { scope: LinkScope::Pair(a, b), from, until });
+        self
+    }
+
+    /// Partitions `region` away from every other region during
+    /// `[from, until)` — its inter-region links are cut in both directions;
+    /// traffic inside the region still flows.
+    pub fn partition_region(mut self, region: Region, from: SimTime, until: SimTime) -> Self {
+        Self::check_window(from, until);
+        self.cuts.push(LinkCut { scope: LinkScope::Region(region), from, until });
+        self
+    }
+
+    /// During `[from, until)`, drops each message on `scope` with probability
+    /// `p` (sampled from the engine's seeded RNG).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn drop_window(mut self, scope: LinkScope, from: SimTime, until: SimTime, p: f64) -> Self {
+        Self::check_window(from, until);
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1], got {p}");
+        self.windows.push(MessageWindow {
+            scope,
+            from,
+            until,
+            probability: p,
+            fault: MessageFault::Drop,
+        });
+        self
+    }
+
+    /// During `[from, until)`, duplicates each message on `scope` with
+    /// probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn duplicate_window(
+        mut self,
+        scope: LinkScope,
+        from: SimTime,
+        until: SimTime,
+        p: f64,
+    ) -> Self {
+        Self::check_window(from, until);
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1], got {p}");
+        self.windows.push(MessageWindow {
+            scope,
+            from,
+            until,
+            probability: p,
+            fault: MessageFault::Duplicate,
+        });
+        self
+    }
+
+    /// During `[from, until)`, delays each message on `scope` by `extra` with
+    /// probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn delay_window(
+        mut self,
+        scope: LinkScope,
+        from: SimTime,
+        until: SimTime,
+        p: f64,
+        extra: SimDuration,
+    ) -> Self {
+        Self::check_window(from, until);
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1], got {p}");
+        self.windows.push(MessageWindow {
+            scope,
+            from,
+            until,
+            probability: p,
+            fault: MessageFault::Delay(extra),
+        });
+        self
+    }
+
+    /// Crashes `node` at `at` and recovers it at `recover_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `recover_at <= at`.
+    pub fn crash(mut self, node: usize, at: SimTime, recover_at: SimTime) -> Self {
+        assert!(recover_at > at, "recovery must follow the crash ({at} >= {recover_at})");
+        self.crashes.push(CrashWindow { node, at, recover_at: Some(recover_at) });
+        self
+    }
+
+    /// Crashes `node` at `at` permanently.
+    pub fn crash_forever(mut self, node: usize, at: SimTime) -> Self {
+        self.crashes.push(CrashWindow { node, at, recover_at: None });
+        self
+    }
+
+    /// True if a message sent at `now` from `from` to `to` crosses a cut
+    /// link.
+    pub fn link_cut(&self, now: SimTime, from: Region, to: Region) -> bool {
+        self.cuts.iter().any(|c| now >= c.from && now < c.until && c.scope.covers(from, to))
+    }
+
+    /// The message windows active at `now` on the `from -> to` link, in
+    /// script order.
+    pub fn active_windows(
+        &self,
+        now: SimTime,
+        from: Region,
+        to: Region,
+    ) -> impl Iterator<Item = &MessageWindow> {
+        self.windows
+            .iter()
+            .filter(move |w| now >= w.from && now < w.until && w.scope.covers(from, to))
+    }
+
+    /// The scripted crash windows.
+    pub fn crashes(&self) -> &[CrashWindow] {
+        &self.crashes
+    }
+
+    /// The scripted link cuts.
+    pub fn link_cuts(&self) -> &[LinkCut] {
+        &self.cuts
+    }
+
+    /// The scripted message windows.
+    pub fn message_windows(&self) -> &[MessageWindow] {
+        &self.windows
+    }
+
+    /// A compact human-readable description of the script (for reports and
+    /// examples).
+    pub fn describe(&self) -> String {
+        if self.is_empty() {
+            return "no faults".to_string();
+        }
+        let mut parts = Vec::new();
+        if !self.cuts.is_empty() {
+            parts.push(format!("{} link cut(s)", self.cuts.len()));
+        }
+        if !self.windows.is_empty() {
+            parts.push(format!("{} message window(s)", self.windows.len()));
+        }
+        if !self.crashes.is_empty() {
+            parts.push(format!("{} crash(es)", self.crashes.len()));
+        }
+        parts.join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::regions;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn link_scopes_cover_the_right_links() {
+        let pair = LinkScope::Pair(regions::CALIFORNIA, regions::VIRGINIA);
+        assert!(pair.covers(regions::CALIFORNIA, regions::VIRGINIA));
+        assert!(pair.covers(regions::VIRGINIA, regions::CALIFORNIA));
+        assert!(!pair.covers(regions::CALIFORNIA, regions::IRELAND));
+
+        let region = LinkScope::Region(regions::VIRGINIA);
+        assert!(region.covers(regions::VIRGINIA, regions::IRELAND));
+        assert!(region.covers(regions::CALIFORNIA, regions::VIRGINIA));
+        assert!(!region.covers(regions::CALIFORNIA, regions::IRELAND));
+        assert!(
+            !region.covers(regions::VIRGINIA, regions::VIRGINIA),
+            "intra-region traffic survives a region partition"
+        );
+
+        assert!(LinkScope::All.covers(regions::JAPAN, regions::JAPAN));
+    }
+
+    #[test]
+    fn cuts_apply_only_inside_their_window() {
+        let s = FaultSchedule::new().partition_region(regions::VIRGINIA, t(10), t(20));
+        assert!(!s.link_cut(t(9), regions::CALIFORNIA, regions::VIRGINIA));
+        assert!(s.link_cut(t(10), regions::CALIFORNIA, regions::VIRGINIA));
+        assert!(s.link_cut(t(19), regions::VIRGINIA, regions::IRELAND));
+        assert!(!s.link_cut(t(20), regions::CALIFORNIA, regions::VIRGINIA), "heals at `until`");
+        assert!(!s.link_cut(t(15), regions::CALIFORNIA, regions::IRELAND));
+    }
+
+    #[test]
+    fn windows_filter_by_time_and_scope() {
+        let s = FaultSchedule::new().drop_window(LinkScope::All, t(1), t(2), 0.5).duplicate_window(
+            LinkScope::Pair(regions::CALIFORNIA, regions::IRELAND),
+            t(1),
+            t(3),
+            0.1,
+        );
+        assert_eq!(s.active_windows(t(1), regions::CALIFORNIA, regions::VIRGINIA).count(), 1);
+        assert_eq!(s.active_windows(t(1), regions::CALIFORNIA, regions::IRELAND).count(), 2);
+        assert_eq!(s.active_windows(t(2), regions::CALIFORNIA, regions::IRELAND).count(), 1);
+        assert_eq!(s.active_windows(t(3), regions::CALIFORNIA, regions::IRELAND).count(), 0);
+    }
+
+    #[test]
+    fn schedule_describes_itself() {
+        assert_eq!(FaultSchedule::new().describe(), "no faults");
+        let s = FaultSchedule::new()
+            .cut_link(regions::CALIFORNIA, regions::VIRGINIA, t(1), t(2))
+            .crash(3, t(5), t(6));
+        assert_eq!(s.describe(), "1 link cut(s), 1 crash(es)");
+        assert_eq!(s.crashes().len(), 1);
+        assert_eq!(s.crashes()[0].recover_at, Some(t(6)));
+    }
+
+    #[test]
+    #[should_panic(expected = "recovery must follow the crash")]
+    fn crash_windows_must_be_ordered() {
+        let _ = FaultSchedule::new().crash(0, t(5), t(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in [0, 1]")]
+    fn probabilities_are_validated() {
+        let _ = FaultSchedule::new().drop_window(LinkScope::All, t(0), t(1), 1.5);
+    }
+}

@@ -7,8 +7,12 @@
 //! * a simulated clock with microsecond resolution ([`SimTime`]),
 //! * an event engine ([`engine::Engine`]) driving protocol nodes that exchange
 //!   messages and set timers,
-//! * a wide-area network model ([`net::LatencyMatrix`]) with the round-trip
-//!   times used in the paper (Section 6 and Table 2),
+//! * a pluggable network model ([`net::NetworkModel`]) with per-message
+//!   delivery verdicts; the default [`net::LatencyMatrix`] reproduces the
+//!   round-trip times used in the paper (Section 6 and Table 2),
+//! * a scripted fault plane ([`fault::FaultSchedule`]) — deterministic link
+//!   partitions, drop/duplicate/delay windows, and node crash/recover —
+//!   installed with [`engine::Engine::install_faults`],
 //! * a TrueTime emulation with bounded uncertainty ([`truetime::TrueTime`]), and
 //! * latency/throughput metrics ([`metrics`]) for regenerating the paper's
 //!   figures.
@@ -61,6 +65,7 @@
 
 pub mod compose;
 pub mod engine;
+pub mod fault;
 pub mod metrics;
 pub mod net;
 pub mod time;
@@ -68,7 +73,8 @@ pub mod truetime;
 
 pub use compose::Embedded;
 pub use engine::{Context, Engine, EngineConfig, Node, NodeId};
-pub use metrics::{LatencyRecorder, ThroughputRecorder};
-pub use net::{LatencyMatrix, Region};
+pub use fault::{CrashWindow, FaultSchedule, LinkScope, MessageFault};
+pub use metrics::{LatencyRecorder, MessageStats, ThroughputRecorder};
+pub use net::{Delivery, LatencyMatrix, NetworkModel, Region};
 pub use time::{SimDuration, SimTime};
 pub use truetime::{TrueTime, TtInterval};

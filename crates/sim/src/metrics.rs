@@ -10,6 +10,37 @@ use serde::{Deserialize, Serialize};
 
 use crate::time::{SimDuration, SimTime};
 
+/// Message delivery counters kept by the engine, including the fault plane's
+/// outcomes (see [`crate::fault::FaultSchedule`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageStats {
+    /// Messages delivered to a live node (both copies of a duplicate count).
+    pub delivered: u64,
+    /// Messages dropped by a network verdict, drop window, or cut link.
+    pub dropped: u64,
+    /// Extra message copies injected by duplicate verdicts.
+    pub duplicated: u64,
+    /// Messages that arrived at a node while it was crashed and were lost.
+    pub expired: u64,
+}
+
+impl MessageStats {
+    /// Sums the counters of two recorders (e.g. across simulations).
+    pub fn merged(self, other: MessageStats) -> MessageStats {
+        MessageStats {
+            delivered: self.delivered + other.delivered,
+            dropped: self.dropped + other.dropped,
+            duplicated: self.duplicated + other.duplicated,
+            expired: self.expired + other.expired,
+        }
+    }
+
+    /// Messages lost for any reason (dropped or expired).
+    pub fn lost(&self) -> u64 {
+        self.dropped + self.expired
+    }
+}
+
 /// Collects individual operation latencies and answers percentile queries.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct LatencyRecorder {

@@ -1,4 +1,5 @@
-//! Wide-area network model: regions and round-trip latency matrices.
+//! Wide-area network models: regions, round-trip latency matrices, and the
+//! pluggable [`NetworkModel`] trait the engine delivers messages through.
 //!
 //! The paper's evaluations use two wide-area configurations:
 //!
@@ -11,11 +12,20 @@
 //!
 //! One-way message latency between two regions is half the round-trip time
 //! plus optional random jitter.
+//!
+//! A [`NetworkModel`] decides, per message, both the latency *and* whether
+//! the message is delivered at all (the [`Delivery`] verdict). The default
+//! implementation on [`LatencyMatrix`] is the happy-path WAN: every message
+//! is delivered at the sampled latency. Lossy or adversarial networks
+//! implement the trait themselves, and scripted fault windows (partitions,
+//! drop/duplicate windows, node crashes) are layered on top by the engine
+//! through [`crate::fault::FaultSchedule`].
 
+use rand::rngs::SmallRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
 
 /// A geographic region (data center) hosting simulation nodes.
 ///
@@ -39,6 +49,70 @@ pub mod regions {
     pub const JAPAN: Region = Region(4);
 }
 
+/// The per-message verdict of a [`NetworkModel`]: what happens to one
+/// message handed to the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Deliver after the given one-way latency.
+    Deliver {
+        /// One-way latency (jitter included).
+        latency: SimDuration,
+    },
+    /// Deliver, but late: `extra` is added on top of the base latency
+    /// (congestion, retransmission, a grey link).
+    Delay {
+        /// One-way latency (jitter included).
+        latency: SimDuration,
+        /// Additional delay beyond the base latency.
+        extra: SimDuration,
+    },
+    /// Drop the message silently (the sender learns nothing).
+    Drop,
+    /// Deliver twice: once after `latency`, and an identical copy
+    /// `echo_after` later (retransmission races, routing flaps).
+    Duplicate {
+        /// One-way latency of the first copy.
+        latency: SimDuration,
+        /// Extra delay of the duplicate copy relative to the first.
+        echo_after: SimDuration,
+    },
+}
+
+/// A pluggable network: topology, latency, and per-message delivery policy.
+///
+/// The engine consults the model once per sent message. Implementations must
+/// be deterministic given the RNG (all randomness flows through `rng`), which
+/// keeps every simulated run — including lossy ones — bit-for-bit replayable
+/// from its seed.
+pub trait NetworkModel: 'static {
+    /// Number of regions the model spans.
+    fn num_regions(&self) -> usize;
+
+    /// Samples the base one-way latency between two regions (jitter
+    /// included).
+    fn sample_latency(&self, from: Region, to: Region, rng: &mut SmallRng) -> SimDuration;
+
+    /// The per-message verdict. The default is the happy path: deliver every
+    /// message at the sampled latency.
+    ///
+    /// `now` is the simulated send instant, so time-varying models (fault
+    /// windows, diurnal congestion) can script behavior against the clock.
+    fn delivery(&mut self, now: SimTime, from: Region, to: Region, rng: &mut SmallRng) -> Delivery {
+        let _ = now;
+        Delivery::Deliver { latency: self.sample_latency(from, to, rng) }
+    }
+}
+
+impl NetworkModel for LatencyMatrix {
+    fn num_regions(&self) -> usize {
+        LatencyMatrix::num_regions(self)
+    }
+
+    fn sample_latency(&self, from: Region, to: Region, rng: &mut SmallRng) -> SimDuration {
+        self.sample_one_way(from, to, rng)
+    }
+}
+
 /// A symmetric matrix of round-trip times between regions.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LatencyMatrix {
@@ -56,13 +130,19 @@ impl LatencyMatrix {
     ///
     /// # Panics
     ///
-    /// Panics if the matrix is not square.
+    /// Panics if the matrix is not square or not symmetric.
     pub fn from_rtt_ms(rtt_ms: &[&[f64]], jitter: SimDuration) -> Self {
         let n = rtt_ms.len();
         let mut rtt = vec![vec![SimDuration::ZERO; n]; n];
         for (i, row) in rtt_ms.iter().enumerate() {
             assert_eq!(row.len(), n, "latency matrix must be square");
             for (j, ms) in row.iter().enumerate() {
+                assert!(
+                    *ms == rtt_ms[j][i],
+                    "round-trip times must be symmetric: rtt_ms[{i}][{j}] = {ms} \
+                     but rtt_ms[{j}][{i}] = {}",
+                    rtt_ms[j][i]
+                );
                 rtt[i][j] = SimDuration::from_millis_f64(*ms);
             }
         }
@@ -246,6 +326,35 @@ mod tests {
             Some(SimDuration::from_millis(136))
         );
         assert_eq!(m.kth_closest_rtt(regions::CALIFORNIA, &peers, 2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "round-trip times must be symmetric")]
+    fn asymmetric_matrix_is_rejected() {
+        let _ = LatencyMatrix::from_rtt_ms(
+            &[&[0.2, 62.0, 136.0], &[62.0, 0.2, 68.0], &[136.0, 99.0, 0.2]],
+            SimDuration::ZERO,
+        );
+    }
+
+    #[test]
+    fn latency_matrix_is_the_happy_path_network_model() {
+        let mut m = LatencyMatrix::spanner_wan();
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!(NetworkModel::num_regions(&m), 3);
+        for _ in 0..50 {
+            match m.delivery(
+                SimTime::from_secs(1),
+                regions::CALIFORNIA,
+                regions::VIRGINIA,
+                &mut rng,
+            ) {
+                Delivery::Deliver { latency } => {
+                    assert!(latency >= SimDuration::from_millis(31));
+                }
+                other => panic!("the default model always delivers, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -55,6 +55,11 @@ pub struct ClientConfig {
     pub commit_timeout: SimDuration,
     /// Back-off before retrying an aborted transaction.
     pub retry_backoff: SimDuration,
+    /// Timeout after which a transaction stuck before its commit phase is
+    /// abandoned and re-issued (see
+    /// [`crate::config::SpannerConfig::op_timeout`]). `None` disables the
+    /// retry path.
+    pub op_timeout: Option<SimDuration>,
 }
 
 /// Aggregate client statistics.
@@ -70,6 +75,9 @@ pub struct ClientStats {
     pub aborted_attempts: u64,
     /// Read-only transactions that had to wait for slow replies (Spanner-RSS).
     pub ro_waited_slow: u64,
+    /// Transactions abandoned and re-issued after an operation timeout (a
+    /// crashed shard or a lost message; fault runs only).
+    pub timeout_retries: u64,
 }
 
 #[derive(Debug)]
@@ -97,6 +105,8 @@ struct AbandonedTxn {
     invoke: SimTime,
     attempts: u32,
     writes: Vec<(Key, Value)>,
+    /// The 2PC coordinator, probed for the outcome under fault schedules.
+    coordinator: NodeId,
 }
 
 #[derive(Debug)]
@@ -123,6 +133,8 @@ struct ActiveTxn {
 enum TimerAction {
     RetryTxn { seq: u64 },
     CommitTimeout { seq: u64 },
+    OpTimeout { seq: u64 },
+    ProbeAbandoned { seq: u64 },
     FinishRw { seq: u64, t_commit: Ts },
     FinishFence { seq: u64 },
 }
@@ -238,12 +250,21 @@ impl SpannerService {
             .expect("transactions access at least one shard")
     }
 
-    /// Issues (or re-issues, after an abort) the transaction `seq`.
+    /// Issues (or re-issues, after an abort) the transaction `seq`. A stale
+    /// retry timer may fire for a sequence number the operation timeout has
+    /// already abandoned (and re-issued under a fresh number) — that retry
+    /// must die here, not resurrect the old attempt.
     fn issue(&mut self, ctx: &mut Context<SpannerMsg>, seq: u64) {
         let (request, session) = {
-            let t = &self.txns[&seq];
+            let Some(t) = self.txns.get(&seq) else { return };
             (t.request.clone(), t.lane.session)
         };
+        // Under a fault schedule the request (or every reply) may be lost:
+        // watch the pre-commit phases with a timeout so the lane cannot
+        // stall forever on a crashed shard.
+        if let Some(timeout) = self.cfg.op_timeout {
+            self.set_timer(ctx, timeout, TimerAction::OpTimeout { seq });
+        }
         let txn_id = TxnId { client: ctx.node_id(), seq };
         match &request {
             TxnRequest::ReadWrite { keys } => {
@@ -503,6 +524,45 @@ impl Service for SpannerService {
         let Some(action) = self.timers.remove(&tag) else { return };
         match action {
             TimerAction::RetryTxn { seq } => self.issue(ctx, seq),
+            TimerAction::OpTimeout { seq } => {
+                let Some(txn) = self.txns.get(&seq) else { return };
+                // Only the pre-commit phases are watched here: the commit
+                // phase has its own timeout, and fences always complete
+                // locally. Pre-commit phases have no visible effects, so the
+                // attempt can be abandoned outright and re-issued fresh
+                // (stale replies to the old sequence number are ignored).
+                if !matches!(
+                    txn.phase,
+                    Phase::Execute { .. } | Phase::RoFast { .. } | Phase::RoSlow
+                ) {
+                    return;
+                }
+                self.stats.timeout_retries += 1;
+                let old = self.txns.remove(&seq).expect("transaction exists");
+                let new_seq = self.next_seq;
+                self.next_seq += 1;
+                self.txns.insert(
+                    new_seq,
+                    ActiveTxn {
+                        lane: old.lane,
+                        request: old.request,
+                        invoke: old.invoke,
+                        phase: Phase::Execute { pending: HashSet::new() },
+                        attempts: old.attempts + 1,
+                        writes_by_shard: Vec::new(),
+                        coordinator: 0,
+                        t_ee: 0,
+                        commit_timer: None,
+                        t_read: 0,
+                        t_min_at_start: 0,
+                        versions: HashMap::new(),
+                        skipped: HashMap::new(),
+                        resolved_early: HashSet::new(),
+                        t_snap: 0,
+                    },
+                );
+                self.issue(ctx, new_seq);
+            }
             TimerAction::CommitTimeout { seq } => {
                 let Some(txn) = self.txns.get(&seq) else { return };
                 if !matches!(txn.phase, Phase::Committing) {
@@ -522,8 +582,18 @@ impl Service for SpannerService {
                         invoke: old.invoke,
                         attempts: old.attempts,
                         writes: old.writes_by_shard.iter().flat_map(|(_, w)| w.clone()).collect(),
+                        coordinator,
                     },
                 );
+                // Under a fault schedule the abort/commit reply itself may be
+                // lost, leaving the outcome unknown — and an unknowingly
+                // committed write would be visible yet absent from the
+                // recorded history. Probe the coordinator's durable decision
+                // log until the outcome is learned (2PC cooperative
+                // termination).
+                if let Some(probe_after) = self.cfg.op_timeout {
+                    self.set_timer(ctx, probe_after, TimerAction::ProbeAbandoned { seq });
+                }
                 // Re-issue under a fresh sequence number so stale replies are
                 // not confused with the new attempt.
                 let new_seq = self.next_seq;
@@ -550,6 +620,16 @@ impl Service for SpannerService {
                 );
                 let backoff = self.cfg.retry_backoff;
                 self.set_timer(ctx, backoff, TimerAction::RetryTxn { seq: new_seq });
+            }
+            TimerAction::ProbeAbandoned { seq } => {
+                let Some(orphan) = self.abandoned.get(&seq) else { return };
+                let coordinator = orphan.coordinator;
+                ctx.send(
+                    coordinator,
+                    SpannerMsg::StatusRequest { txn: TxnId { client: ctx.node_id(), seq } },
+                );
+                let probe_after = self.cfg.op_timeout.expect("probing implies op_timeout");
+                self.set_timer(ctx, probe_after, TimerAction::ProbeAbandoned { seq });
             }
             TimerAction::FinishRw { seq, t_commit } => {
                 let Some(txn) = self.txns.get(&seq) else { return };
@@ -605,6 +685,17 @@ impl Service for SpannerService {
         // session per arrival; dropping the entry keeps the map bounded by
         // the number of *live* sessions.
         self.sessions.remove(&session);
+    }
+
+    fn session_floor(&self, session: u64) -> u64 {
+        self.t_min_of(session)
+    }
+
+    fn raise_session_floor(&mut self, session: u64, floor: u64) {
+        // An imported causal context behaves exactly like the session's own
+        // causal past: subsequent read-only transactions must observe every
+        // write at or below the floor (Algorithm 1's t_min).
+        self.raise_t_min(session, floor);
     }
 
     fn on_message(&mut self, ctx: &mut Context<SpannerMsg>, from: NodeId, msg: SpannerMsg) {
@@ -724,9 +815,12 @@ impl Service for SpannerService {
                 let seq = txn.seq;
                 let evaluate = {
                     let Some(t) = self.txns.get_mut(&seq) else { return };
-                    if t.skipped.remove(&resolved).is_none() {
-                        t.resolved_early.insert(resolved);
-                    }
+                    t.skipped.remove(&resolved);
+                    // Remember every resolution (not only early ones): a
+                    // duplicated fast reply arriving after the slow reply
+                    // must not resurrect the skipped transaction, or the
+                    // read-only transaction waits on it forever.
+                    t.resolved_early.insert(resolved);
                     if committed {
                         for (k, ts, v) in values {
                             let _ = t_commit;

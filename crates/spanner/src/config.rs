@@ -1,5 +1,6 @@
 //! Configuration of a simulated Spanner / Spanner-RSS cluster.
 
+use regular_sim::fault::FaultSchedule;
 use regular_sim::net::LatencyMatrix;
 use regular_sim::time::SimDuration;
 
@@ -44,6 +45,16 @@ pub struct SpannerConfig {
     /// the ablation harness to isolate the contribution of the `t_ee`
     /// mechanism.
     pub disable_tee_skip: bool,
+    /// Client-side timeout after which a transaction stuck *before* its
+    /// commit phase (execute round, read-only round) is abandoned and
+    /// re-issued. `None` (the default) disables the retry path — correct on
+    /// a fault-free network, where every round eventually completes. Fault
+    /// schedules that crash shards or drop messages must set it, or lanes
+    /// whose requests were lost stall forever.
+    pub op_timeout: Option<SimDuration>,
+    /// Scripted faults installed into the engine for this cluster run:
+    /// partitions, drop/duplicate windows, shard crashes. Empty by default.
+    pub faults: FaultSchedule,
 }
 
 impl SpannerConfig {
@@ -62,6 +73,8 @@ impl SpannerConfig {
             commit_timeout: SimDuration::from_secs(2),
             retry_backoff: SimDuration::from_millis(5),
             disable_tee_skip: false,
+            op_timeout: None,
+            faults: FaultSchedule::default(),
         }
     }
 
@@ -80,7 +93,17 @@ impl SpannerConfig {
             commit_timeout: SimDuration::from_secs(2),
             retry_backoff: SimDuration::from_millis(1),
             disable_tee_skip: false,
+            op_timeout: None,
+            faults: FaultSchedule::default(),
         }
+    }
+
+    /// Installs a scripted fault schedule for the cluster run and enables
+    /// the client-side operation timeout faults require.
+    pub fn with_faults(mut self, faults: FaultSchedule, op_timeout: SimDuration) -> Self {
+        self.faults = faults;
+        self.op_timeout = Some(op_timeout);
+        self
     }
 
     /// The replication delay a shard leader pays before an entry is durable at

@@ -17,7 +17,7 @@ use regular_session::{
     CompletedRecord, HistoryRecorder, SessionConfig, SessionRunner, SessionWorkload,
 };
 use regular_sim::engine::{Context, Engine, EngineConfig, Node, NodeId};
-use regular_sim::metrics::LatencyRecorder;
+use regular_sim::metrics::{LatencyRecorder, MessageStats};
 use regular_sim::net::LatencyMatrix;
 use regular_sim::time::{SimDuration, SimTime};
 
@@ -54,6 +54,18 @@ impl Node<SpannerMsg> for SpannerNode {
         match self {
             SpannerNode::Shard(s) => s.on_timer(ctx, tag),
             SpannerNode::Client(c) => c.on_timer(ctx, tag),
+        }
+    }
+    fn on_crash(&mut self, ctx: &mut Context<SpannerMsg>) {
+        match self {
+            SpannerNode::Shard(s) => s.on_crash(ctx),
+            SpannerNode::Client(c) => c.on_crash(ctx),
+        }
+    }
+    fn on_recover(&mut self, ctx: &mut Context<SpannerMsg>) {
+        match self {
+            SpannerNode::Shard(s) => s.on_recover(ctx),
+            SpannerNode::Client(c) => c.on_recover(ctx),
         }
     }
 }
@@ -107,6 +119,9 @@ pub struct RunResult {
     pub finished_at: SimTime,
     /// Total messages delivered.
     pub messages: u64,
+    /// Full message counters, including the fault plane's drops, duplicates,
+    /// and expirations.
+    pub net_stats: MessageStats,
 }
 
 /// Builds the [`ClientConfig`] every client node of a cluster shares.
@@ -127,6 +142,7 @@ pub fn client_config(
         truetime_epsilon: config.truetime_epsilon,
         commit_timeout: config.commit_timeout,
         retry_backoff: config.retry_backoff,
+        op_timeout: config.op_timeout,
     }
 }
 
@@ -145,6 +161,9 @@ pub fn run_cluster(spec: ClusterSpec) -> RunResult {
         truetime_epsilon: config.truetime_epsilon,
     };
     let mut engine: Engine<SpannerMsg, SpannerNode> = Engine::new(engine_cfg, net.clone(), seed);
+    if !config.faults.is_empty() {
+        engine.install_faults(config.faults.clone());
+    }
 
     // Shards first (node ids 0..num_shards).
     let mut shard_nodes = Vec::new();
@@ -201,6 +220,7 @@ pub fn run_cluster(spec: ClusterSpec) -> RunResult {
             client_stats.fences += s.fences;
             client_stats.aborted_attempts += s.aborted_attempts;
             client_stats.ro_waited_slow += s.ro_waited_slow;
+            client_stats.timeout_retries += s.timeout_retries;
             completed.push((id, c.completed.clone()));
         }
     }
@@ -223,6 +243,7 @@ pub fn run_cluster(spec: ClusterSpec) -> RunResult {
         shard_stats,
         finished_at,
         messages: engine.delivered_messages(),
+        net_stats: engine.message_stats(),
     }
 }
 
@@ -394,5 +415,98 @@ mod tests {
     fn batched_baseline_is_strictly_serializable() {
         let result = small_cluster_batched(Mode::Spanner, 17, 500, 4);
         verify_run(&result).expect("batched Spanner must stay strictly serializable");
+    }
+
+    #[test]
+    fn rss_survives_shard_crash_partition_and_lossy_links() {
+        use regular_sim::fault::{FaultSchedule, LinkScope};
+        use regular_sim::net::Region;
+
+        // Shard 1 (Virginia) is down for 3 s, Ireland is partitioned away
+        // for 2 s, and all links drop 2% / duplicate 2% of messages for a
+        // stretch — all while clients keep issuing.
+        let faults = FaultSchedule::new()
+            .crash(1, SimTime::from_secs(4), SimTime::from_secs(7))
+            .partition_region(Region(2), SimTime::from_secs(9), SimTime::from_secs(11))
+            .drop_window(LinkScope::All, SimTime::from_secs(12), SimTime::from_secs(16), 0.02)
+            .duplicate_window(LinkScope::All, SimTime::from_secs(12), SimTime::from_secs(16), 0.02);
+        let config = SpannerConfig::wan(Mode::SpannerRss)
+            .with_faults(faults, SimDuration::from_millis(1_500));
+        let net = LatencyMatrix::spanner_wan();
+        let clients = (0..3)
+            .map(|i| ClientSpec {
+                region: i % 3,
+                sessions: SessionConfig::closed_loop(4, SimDuration::ZERO),
+                workload: Box::new(UniformWorkload {
+                    num_keys: 100,
+                    ro_fraction: 0.5,
+                    keys_per_txn: 2,
+                }) as Box<dyn SessionWorkload>,
+            })
+            .collect();
+        let result = run_cluster(ClusterSpec {
+            config,
+            net,
+            seed: 23,
+            clients,
+            stop_issuing_at: SimTime::from_secs(20),
+            drain: SimDuration::from_secs(8),
+            measure_from: SimTime::from_secs(1),
+        });
+        let stats = result.net_stats;
+        assert!(stats.dropped > 0, "the fault plane dropped messages ({stats:?})");
+        assert!(stats.duplicated > 0, "the fault plane duplicated messages ({stats:?})");
+        assert!(stats.expired > 0, "messages expired at the crashed shard ({stats:?})");
+        assert!(
+            result.client_stats.timeout_retries > 0,
+            "clients observed timeouts and retried ({:?})",
+            result.client_stats
+        );
+        assert!(
+            result.client_stats.ro_completed > 50 && result.client_stats.rw_completed > 50,
+            "the cluster kept serving through the faults ({:?})",
+            result.client_stats
+        );
+        verify_run(&result).expect("Spanner-RSS must satisfy RSS through crashes and loss");
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_for_a_seed() {
+        use regular_sim::fault::{FaultSchedule, LinkScope};
+
+        let run = || {
+            let faults = FaultSchedule::new()
+                .crash(0, SimTime::from_secs(3), SimTime::from_secs(5))
+                .drop_window(LinkScope::All, SimTime::from_secs(6), SimTime::from_secs(9), 0.05);
+            let config = SpannerConfig::wan(Mode::SpannerRss)
+                .with_faults(faults, SimDuration::from_millis(1_500));
+            let clients = (0..2)
+                .map(|i| ClientSpec {
+                    region: i % 3,
+                    sessions: SessionConfig::closed_loop(2, SimDuration::ZERO)
+                        .with_workload_seed(77 + i as u64),
+                    workload: Box::new(UniformWorkload {
+                        num_keys: 50,
+                        ro_fraction: 0.5,
+                        keys_per_txn: 2,
+                    }) as Box<dyn SessionWorkload>,
+                })
+                .collect();
+            run_cluster(ClusterSpec {
+                config,
+                net: LatencyMatrix::spanner_wan(),
+                seed: 5,
+                clients,
+                stop_issuing_at: SimTime::from_secs(12),
+                drain: SimDuration::from_secs(6),
+                measure_from: SimTime::from_secs(1),
+            })
+        };
+        let a = run();
+        let b = run();
+        let (ha, _) = build_history(&a);
+        let (hb, _) = build_history(&b);
+        assert_eq!(ha, hb, "identical seed + schedule yields a byte-identical history");
+        assert_eq!(a.net_stats, b.net_stats);
     }
 }

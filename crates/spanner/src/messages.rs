@@ -88,6 +88,15 @@ pub enum SpannerMsg {
         /// Commit timestamp (meaningful when `commit` is true).
         t_commit: Ts,
     },
+    /// Client asks the coordinator for the outcome of a transaction it gave
+    /// up on (2PC cooperative termination, used by fault runs): the
+    /// coordinator answers from its durable decision log with a
+    /// [`SpannerMsg::CommitReply`], tombstoning the transaction as aborted
+    /// if it never heard of it.
+    StatusRequest {
+        /// Transaction whose outcome is unknown to the client.
+        txn: TxnId,
+    },
     /// Coordinator's reply to the client.
     CommitReply {
         /// Transaction.

@@ -23,6 +23,8 @@ struct PreparedTxn {
     writes: Vec<(Key, Value)>,
     t_prepare: Ts,
     t_ee: Ts,
+    /// The coordinator to re-ack after a crash (recovery re-drives 2PC).
+    coordinator: NodeId,
 }
 
 /// A prepare request still waiting for its write locks.
@@ -34,6 +36,10 @@ struct PendingPrepare {
 }
 
 /// Coordinator-side state of a two-phase commit this shard is driving.
+///
+/// In Spanner the coordinator is itself a Paxos group, so this state (like
+/// the decision log) survives leader crashes; recovery re-sends `Prepare` to
+/// the participants still awaited.
 #[derive(Debug, Clone)]
 struct CoordState {
     client: NodeId,
@@ -41,6 +47,10 @@ struct CoordState {
     awaiting: HashSet<NodeId>,
     max_prepare: Ts,
     aborted: bool,
+    /// The prepared writes per participant, kept so a recovered coordinator
+    /// can re-drive the prepare round.
+    writes_by_shard: Vec<(NodeId, Vec<(Key, Value)>)>,
+    t_ee: Ts,
 }
 
 /// A baseline read-only transaction blocked on conflicting prepared
@@ -96,6 +106,9 @@ pub struct ShardNode {
     prepared: HashMap<TxnId, PreparedTxn>,
     pending_prepares: HashMap<TxnId, PendingPrepare>,
     coordinating: HashMap<TxnId, CoordState>,
+    /// Commit/abort decisions this shard coordinated (the durable decision
+    /// log): lets a recovered participant re-learn an outcome it missed.
+    decided: HashMap<TxnId, (bool, Ts)>,
     blocked_ros: Vec<BlockedRo>,
     rss_watchers: Vec<RssWatcher>,
     /// Floor for prepare and commit timestamps chosen at this shard; also
@@ -121,6 +134,7 @@ impl ShardNode {
             prepared: HashMap::new(),
             pending_prepares: HashMap::new(),
             coordinating: HashMap::new(),
+            decided: HashMap::new(),
             blocked_ros: Vec::new(),
             rss_watchers: Vec::new(),
             max_ts: 0,
@@ -170,7 +184,7 @@ impl ShardNode {
         let tt = ctx.truetime_now();
         let t_prepare = (self.max_ts + 1).max(tt.latest.as_micros());
         self.max_ts = t_prepare;
-        self.prepared.insert(txn, PreparedTxn { writes, t_prepare, t_ee });
+        self.prepared.insert(txn, PreparedTxn { writes, t_prepare, t_ee, coordinator });
         self.stats.prepares += 1;
         // The prepare record is durable at a majority after one replication
         // round trip; only then may the participant vote yes.
@@ -189,6 +203,17 @@ impl ShardNode {
         t_ee: Ts,
         coordinator: NodeId,
     ) {
+        // Duplicate Prepare (a recovered coordinator re-driving its round,
+        // or a duplicated message): the prepare record is durable, so
+        // re-ack with the original timestamp instead of preparing twice.
+        if let Some(p) = self.prepared.get(&txn) {
+            let t_prepare = p.t_prepare;
+            ctx.send(coordinator, SpannerMsg::PrepareOk { txn, shard: ctx.node_id(), t_prepare });
+            return;
+        }
+        if self.pending_prepares.contains_key(&txn) {
+            return;
+        }
         let keys: Vec<Key> = writes.iter().map(|(k, _)| *k).collect();
         if self.locks.acquire(txn, &keys) {
             self.finish_prepare(ctx, txn, writes, t_ee, coordinator);
@@ -374,6 +399,11 @@ impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
                 ctx.send(from, SpannerMsg::ExecReadReply { txn, values });
             }
             SpannerMsg::CommitRequest { txn, writes_by_shard, t_ee } => {
+                // A duplicated request must not reset in-flight (or decided)
+                // coordination state.
+                if self.coordinating.contains_key(&txn) || self.decided.contains_key(&txn) {
+                    return;
+                }
                 let participants: Vec<NodeId> = writes_by_shard.iter().map(|(n, _)| *n).collect();
                 self.coordinating.insert(
                     txn,
@@ -383,6 +413,8 @@ impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
                         awaiting: participants.iter().copied().collect(),
                         max_prepare: 0,
                         aborted: false,
+                        writes_by_shard: writes_by_shard.clone(),
+                        t_ee,
                     },
                 );
                 for (node, writes) in writes_by_shard {
@@ -396,7 +428,21 @@ impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
                 self.handle_prepare(ctx, txn, writes, t_ee, coordinator);
             }
             SpannerMsg::PrepareOk { txn, shard, t_prepare } => {
-                let Some(state) = self.coordinating.get_mut(&txn) else { return };
+                let Some(state) = self.coordinating.get_mut(&txn) else {
+                    // A recovered participant re-acking a transaction whose
+                    // outcome was already decided: answer from the durable
+                    // decision log so it can release its prepared state.
+                    if let Some(&(commit, t_commit)) = self.decided.get(&txn) {
+                        ctx.send(shard, SpannerMsg::CommitDecision { txn, commit, t_commit });
+                    }
+                    return;
+                };
+                // Once the vote set is complete the commit timestamp is
+                // chosen and its commit wait is running; a duplicated ack
+                // must not re-run the decision with a fresh timestamp.
+                if state.awaiting.is_empty() {
+                    return;
+                }
                 state.awaiting.remove(&shard);
                 state.max_prepare = state.max_prepare.max(t_prepare);
                 if state.awaiting.is_empty() && !state.aborted {
@@ -428,6 +474,7 @@ impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
                 if let Some(state) = self.coordinating.get_mut(&txn) {
                     if !state.aborted {
                         state.aborted = true;
+                        self.decided.insert(txn, (false, 0));
                         let participants = state.participants.clone();
                         let client = state.client;
                         for p in participants {
@@ -442,10 +489,28 @@ impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
                         );
                     }
                 } else {
-                    // Not the coordinator (or already decided): drop any local
-                    // prepared state.
-                    self.apply_decision(ctx, txn, false, 0);
+                    // Not coordinating this transaction (any more). If the
+                    // durable decision log says it committed, the abort lost
+                    // the race with the decision — a late abort must not
+                    // discard prepared writes the commit still has to apply.
+                    match self.decided.get(&txn) {
+                        Some(&(true, t_commit)) => self.apply_decision(ctx, txn, true, t_commit),
+                        _ => self.apply_decision(ctx, txn, false, 0),
+                    }
                 }
+            }
+            SpannerMsg::StatusRequest { txn } => {
+                // 2PC cooperative termination: answer from the durable
+                // decision log. An unknown transaction is tombstoned as
+                // aborted so a delayed CommitRequest arriving later cannot
+                // resurrect it (the client has already given up).
+                if let Some(&(commit, t_commit)) = self.decided.get(&txn) {
+                    ctx.send(from, SpannerMsg::CommitReply { txn, commit, t_commit });
+                } else if !self.coordinating.contains_key(&txn) {
+                    self.decided.insert(txn, (false, 0));
+                    ctx.send(from, SpannerMsg::CommitReply { txn, commit: false, t_commit: 0 });
+                }
+                // Still coordinating: stay silent; the client probes again.
             }
             SpannerMsg::RoCommit { txn, keys, t_read, t_min } => {
                 self.handle_ro(ctx, from, txn, keys, t_read, t_min);
@@ -465,9 +530,71 @@ impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
             return;
         }
         let t_commit = state.max_prepare;
+        self.decided.insert(txn, (true, t_commit));
         for p in &state.participants {
             ctx.send(*p, SpannerMsg::CommitDecision { txn, commit: true, t_commit });
         }
         ctx.send(state.client, SpannerMsg::CommitReply { txn, commit: true, t_commit });
+    }
+
+    fn on_crash(&mut self, _ctx: &mut Context<SpannerMsg>) {
+        // Durable (Paxos-replicated) state survives: the versioned store,
+        // prepared transactions and their locks, coordinator state, the
+        // decision log, and the safe time. Volatile leader state is lost:
+        //
+        // * prepares still waiting for locks never voted and are forgotten —
+        //   the coordinator (or the client's commit timeout) aborts them;
+        // * blocked read-only transactions and RSS watchers are client-facing
+        //   read sessions — the clients re-issue after their operation
+        //   timeout.
+        let waiting: Vec<TxnId> = self.pending_prepares.drain().map(|(txn, _)| txn).collect();
+        for txn in waiting {
+            // Dropped waiters hold no locks; release removes their queue
+            // entries (grants can only go to other queued waiters, which are
+            // dropped here too).
+            let _ = self.locks.release(txn);
+        }
+        self.blocked_ros.clear();
+        self.rss_watchers.clear();
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<SpannerMsg>) {
+        // Re-drive 2PC from durable state, in deterministic (TxnId) order.
+        //
+        // As coordinator: votes may have been lost while down — re-send
+        // Prepare to every participant still awaited (they re-ack
+        // idempotently with their original timestamps).
+        let mut coordinating: Vec<TxnId> = self
+            .coordinating
+            .iter()
+            .filter(|(_, s)| !s.aborted && !s.awaiting.is_empty())
+            .map(|(txn, _)| *txn)
+            .collect();
+        coordinating.sort_unstable();
+        for txn in coordinating {
+            let state = &self.coordinating[&txn];
+            let resend: Vec<(NodeId, Vec<(Key, Value)>)> = state
+                .writes_by_shard
+                .iter()
+                .filter(|(node, _)| state.awaiting.contains(node))
+                .cloned()
+                .collect();
+            let t_ee = state.t_ee;
+            for (node, writes) in resend {
+                ctx.send(
+                    node,
+                    SpannerMsg::Prepare { txn, writes, t_ee, coordinator: ctx.node_id() },
+                );
+            }
+        }
+        // As participant: the commit/abort decision may have expired at our
+        // door — re-ack every prepared transaction so the coordinator
+        // answers from its decision log (or completes its vote set).
+        let mut prepared: Vec<(TxnId, Ts, NodeId)> =
+            self.prepared.iter().map(|(txn, p)| (*txn, p.t_prepare, p.coordinator)).collect();
+        prepared.sort_unstable();
+        for (txn, t_prepare, coordinator) in prepared {
+            ctx.send(coordinator, SpannerMsg::PrepareOk { txn, shard: ctx.node_id(), t_prepare });
+        }
     }
 }

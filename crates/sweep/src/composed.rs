@@ -24,11 +24,13 @@ use regular_gryff::replica::GryffReplica;
 use regular_gryff::workload::ConflictWorkload;
 use regular_gryff::{Carstamp, GryffMsg};
 use regular_session::{
-    CompletedRecord, ComposedRunner, HistoryRecorder, MappedService, MultiServiceWorkload,
-    RoundRobinWorkload, Service, SessionConfig, SessionWorkload, WitnessHint,
+    CompletedRecord, ComposedRunner, HandoffRecord, HistoryRecorder, MappedService,
+    MultiServiceWorkload, RoundRobinWorkload, Service, SessionConfig, SessionWorkload, WitnessHint,
 };
 use regular_sim::compose::Embedded;
 use regular_sim::engine::{Context, Engine, EngineConfig, Node, NodeId};
+use regular_sim::fault::FaultSchedule;
+use regular_sim::metrics::MessageStats;
 use regular_sim::net::LatencyMatrix;
 use regular_sim::time::{SimDuration, SimTime};
 use regular_spanner::prelude::{
@@ -36,6 +38,7 @@ use regular_spanner::prelude::{
 };
 use regular_spanner::shard::ShardNode;
 use regular_spanner::SpannerMsg;
+use regular_workloads::photo::PhotoSharingWorkload;
 
 /// Service id of the Spanner-RSS store in the combined history.
 pub const SPANNER_SERVICE: ServiceId = ServiceId(0);
@@ -109,18 +112,55 @@ impl Node<DuoMsg> for DuoNode {
             DuoNode::App(n) => n.on_timer(ctx, tag),
         }
     }
+    fn on_crash(&mut self, ctx: &mut Context<DuoMsg>) {
+        match self {
+            DuoNode::SpannerShard(n) => n.on_crash(ctx),
+            DuoNode::GryffReplica(n) => n.on_crash(ctx),
+            DuoNode::App(n) => n.on_crash(ctx),
+        }
+    }
+    fn on_recover(&mut self, ctx: &mut Context<DuoMsg>) {
+        match self {
+            DuoNode::SpannerShard(n) => n.on_recover(ctx),
+            DuoNode::GryffReplica(n) => n.on_recover(ctx),
+            DuoNode::App(n) => n.on_recover(ctx),
+        }
+    }
 }
 
-/// One app node's results: node id, completions annotated with the producing
-/// service index, and the number of auto-fences `libRSS` executed.
-pub type AppResult = (NodeId, Vec<(usize, CompletedRecord)>, u64);
+/// One app node's results.
+pub struct AppResult {
+    /// The app's node id.
+    pub node: NodeId,
+    /// Completions annotated with the producing service index.
+    pub completed: Vec<(usize, CompletedRecord)>,
+    /// Auto-fences `libRSS` executed for this app.
+    pub auto_fences: u64,
+    /// Cross-process causal handoffs this app performed.
+    pub handoffs: Vec<HandoffRecord>,
+    /// Causal contexts imported by this app's sessions.
+    pub contexts_imported: u64,
+}
+
+/// Which application drives the composed deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComposedWorkload {
+    /// Sessions alternate uniform/YCSB operations, hopping stores every
+    /// `ops_per_service` operations.
+    RoundRobin,
+    /// The Section 2 photo-sharing app: uploader and worker lanes hopping
+    /// between the photo store and the request queue on every step
+    /// (`regular_workloads::photo`).
+    PhotoApp,
+}
 
 /// Parameters of a composed run.
 #[derive(Debug, Clone)]
 pub struct ComposedRunConfig {
     /// Number of composed app nodes.
     pub num_apps: usize,
-    /// Operations a session issues at one store before hopping to the next.
+    /// Operations a session issues at one store before hopping to the next
+    /// (round-robin workload only; the photo app hops every step).
     pub ops_per_service: usize,
     /// Session pipelining depth.
     pub batch: usize,
@@ -128,6 +168,18 @@ pub struct ComposedRunConfig {
     pub duration_secs: u64,
     /// Extra simulated seconds to drain in-flight operations.
     pub drain_secs: u64,
+    /// The application driving the stores.
+    pub workload: ComposedWorkload,
+    /// Scripted faults installed into the one shared engine. Node indices:
+    /// Spanner shards are nodes `0..3`, Gryff replicas `3..8`, apps from 8.
+    pub faults: FaultSchedule,
+    /// Client-side operation timeout for both protocol cores; required (and
+    /// only meaningful) when `faults` is non-empty.
+    pub op_timeout: Option<SimDuration>,
+    /// Export/import a cross-process `CausalContext` every this many
+    /// completed batches per app (see
+    /// [`ComposedRunner::with_context_handoff`]); `None` disables handoffs.
+    pub handoff_every: Option<u64>,
 }
 
 impl Default for ComposedRunConfig {
@@ -138,6 +190,10 @@ impl Default for ComposedRunConfig {
             batch: 1,
             duration_secs: 20,
             drain_secs: 10,
+            workload: ComposedWorkload::RoundRobin,
+            faults: FaultSchedule::default(),
+            op_timeout: None,
+            handoff_every: None,
         }
     }
 }
@@ -146,6 +202,8 @@ impl Default for ComposedRunConfig {
 pub struct ComposedOutcome {
     /// Per-app completions.
     pub apps: Vec<AppResult>,
+    /// Engine message counters (drops, duplicates, expirations included).
+    pub net_stats: MessageStats,
 }
 
 impl ComposedOutcome {
@@ -166,18 +224,23 @@ impl ComposedOutcome {
 
     /// Auto-fences the `libRSS` planners executed across all apps.
     pub fn auto_fences(&self) -> u64 {
-        self.apps.iter().map(|(_, _, f)| *f).sum()
+        self.apps.iter().map(|a| a.auto_fences).sum()
     }
 
     /// Total completions, fences included.
     pub fn total_completed(&self) -> usize {
-        self.apps.iter().map(|(_, c, _)| c.len()).sum()
+        self.apps.iter().map(|a| a.completed.len()).sum()
+    }
+
+    /// Cross-process causal handoffs across all apps.
+    pub fn handoffs(&self) -> u64 {
+        self.apps.iter().map(|a| a.handoffs.len() as u64).sum()
     }
 
     fn count(&self, pred: impl Fn(usize, &CompletedRecord) -> bool) -> u64 {
         self.apps
             .iter()
-            .flat_map(|(_, completed, _)| completed.iter())
+            .flat_map(|a| a.completed.iter())
             .filter(|(svc, rec)| pred(*svc, rec))
             .count() as u64
     }
@@ -188,8 +251,15 @@ impl ComposedOutcome {
 /// alternate between the two stores every `config.ops_per_service`
 /// operations. Deterministic for a fixed `(seed, config)`.
 pub fn run_composed(seed: u64, config: &ComposedRunConfig) -> ComposedOutcome {
-    let spanner_cfg = SpannerConfig::wan(SpannerMode::SpannerRss);
-    let gryff_cfg = GryffConfig::wan(regular_gryff::config::Mode::GryffRsc);
+    let mut spanner_cfg = SpannerConfig::wan(SpannerMode::SpannerRss);
+    let mut gryff_cfg = GryffConfig::wan(regular_gryff::config::Mode::GryffRsc);
+    spanner_cfg.op_timeout = config.op_timeout;
+    gryff_cfg.op_timeout = config.op_timeout;
+    assert!(
+        config.faults.is_empty() || config.op_timeout.is_some(),
+        "fault schedules need a client operation timeout, or lanes whose \
+         requests are lost stall forever"
+    );
     // Both topologies use regions 0..=4 of the Gryff WAN matrix; the Spanner
     // stores' three leaders sit in regions 0/1/2.
     let net = LatencyMatrix::gryff_wan();
@@ -200,6 +270,9 @@ pub fn run_composed(seed: u64, config: &ComposedRunConfig) -> ComposedOutcome {
         truetime_epsilon: spanner_cfg.truetime_epsilon,
     };
     let mut engine: Engine<DuoMsg, DuoNode> = Engine::new(engine_cfg, net.clone(), seed);
+    if !config.faults.is_empty() {
+        engine.install_faults(config.faults.clone());
+    }
 
     // Spanner shards.
     let mut shard_nodes = Vec::new();
@@ -214,11 +287,15 @@ pub fn run_composed(seed: u64, config: &ComposedRunConfig) -> ComposedOutcome {
         );
         shard_nodes.push(id);
     }
-    // Gryff replicas.
+    // Gryff replicas, at node ids num_shards..num_shards+num_replicas: each
+    // replica must know the group's node-id base for its rmw coordination
+    // rounds.
+    let replica_base = engine.num_nodes();
     let mut replica_nodes = Vec::new();
     for i in 0..gryff_cfg.num_replicas {
+        let replica = GryffReplica::new(&gryff_cfg, i).with_first_node(replica_base);
         let id = engine.add_node_with(
-            DuoNode::GryffReplica(Embedded::new(GryffReplica::new(&gryff_cfg, i))),
+            DuoNode::GryffReplica(Embedded::new(replica)),
             gryff_cfg.replica_regions[i],
             gryff_cfg.replica_service_time,
         );
@@ -243,23 +320,29 @@ pub fn run_composed(seed: u64, config: &ComposedRunConfig) -> ComposedOutcome {
             Box::new(MappedService::with_tag_namespace(s_core, 0, 2)),
             Box::new(MappedService::with_tag_namespace(g_core, 1, 2)),
         ];
-        let workload = RoundRobinWorkload::new(
-            vec![
-                Box::new(UniformWorkload { num_keys: 60, ro_fraction: 0.5, keys_per_txn: 2 })
-                    as Box<dyn SessionWorkload>,
-                Box::new(ConflictWorkload::ycsb(0.5, 0.4, seed.wrapping_add(i as u64)))
-                    as Box<dyn SessionWorkload>,
-            ],
-            config.ops_per_service,
-        );
-        let runner = ComposedRunner::new(
+        let workload: Box<dyn MultiServiceWorkload> = match config.workload {
+            ComposedWorkload::RoundRobin => Box::new(RoundRobinWorkload::new(
+                vec![
+                    Box::new(UniformWorkload { num_keys: 60, ro_fraction: 0.5, keys_per_txn: 2 })
+                        as Box<dyn SessionWorkload>,
+                    Box::new(ConflictWorkload::ycsb(0.5, 0.4, seed.wrapping_add(i as u64)))
+                        as Box<dyn SessionWorkload>,
+                ],
+                config.ops_per_service,
+            )),
+            ComposedWorkload::PhotoApp => Box::new(PhotoSharingWorkload::default()),
+        };
+        let mut runner = ComposedRunner::new(
             services,
             SessionConfig::closed_loop(2, SimDuration::ZERO)
                 .with_batch(config.batch)
                 .with_workload_seed(seed.wrapping_mul(31).wrapping_add(i as u64)),
             stop_issuing_at,
-            Box::new(workload) as Box<dyn MultiServiceWorkload>,
+            workload,
         );
+        if let Some(every) = config.handoff_every {
+            runner = runner.with_context_handoff(every);
+        }
         let id =
             engine.add_node_with(DuoNode::App(runner), region, spanner_cfg.client_service_time);
         app_ids.push(id);
@@ -270,11 +353,17 @@ pub fn run_composed(seed: u64, config: &ComposedRunConfig) -> ComposedOutcome {
     let apps = app_ids
         .into_iter()
         .map(|id| match engine.node(id) {
-            DuoNode::App(runner) => (id, runner.completed.clone(), runner.fence_stats().executed),
+            DuoNode::App(runner) => AppResult {
+                node: id,
+                completed: runner.completed.clone(),
+                auto_fences: runner.fence_stats().executed,
+                handoffs: runner.handoffs.clone(),
+                contexts_imported: runner.stats.contexts_imported,
+            },
             _ => unreachable!("app ids point at composed runners"),
         })
         .collect();
-    ComposedOutcome { apps }
+    ComposedOutcome { apps, net_stats: engine.message_stats() }
 }
 
 /// A certified composed run: the combined history and the accepted witness.
@@ -327,9 +416,10 @@ pub fn certify_composed(
     type SpannerRo = (u64, OpId, Vec<(u64, u64)>);
     let mut spanner_ro: Vec<SpannerRo> = Vec::new();
     let mut per_key: HashMap<u64, Vec<(Carstamp, u8, u64, OpId)>> = HashMap::new();
-    for (client, completed, _) in &run.apps {
-        for (svc, rec) in completed {
-            let id = recorder.record(*client as u64, rec);
+    for app in &run.apps {
+        let client = app.node;
+        for (svc, rec) in &app.completed {
+            let id = recorder.record(client as u64, rec);
             match *svc {
                 0 => {
                     let ts = rec.witness_ts().unwrap_or_else(|| rec.finish.as_micros());
@@ -396,6 +486,31 @@ pub fn certify_composed(
         }
     }
     edges.extend(recorder.process_order_edges());
+    // Cross-process causal handoffs (Section 4.2): each is an external
+    // communication of the history, and a serialization constraint — every
+    // operation the exporter completed before serializing its context must
+    // precede everything the importer issued after deserializing it. The
+    // imported context's inherited fence is what makes these constraints
+    // satisfiable.
+    for app in &run.apps {
+        let client = app.node as u64;
+        for h in &app.handoffs {
+            let sent = h.exported_at.as_micros();
+            let received = h.imported_at.as_micros();
+            recorder.record_external_communication(
+                (client, h.from.session, h.from.slot),
+                sent,
+                (client, h.to.session, h.to.slot),
+                received,
+            );
+            if let (Some(before), Some(after)) = (
+                recorder.last_completed_before(client, h.from.session, h.from.slot, sent),
+                recorder.first_invoked_after(client, h.to.session, h.to.slot, received),
+            ) {
+                edges.push((before, after));
+            }
+        }
+    }
     let history = recorder.into_history();
     if let Err(e) = history.validate() {
         return Err(ComposedViolation {

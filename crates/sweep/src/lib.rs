@@ -9,17 +9,22 @@
 //! * [`pool`] — a work-stealing thread pool (vendored `parking_lot` +
 //!   `std::thread::scope`) fanning coarse jobs across cores.
 //! * [`scenario`] — seeded, certified runs of Spanner-RSS, Gryff-RSC, and
-//!   the composed two-store deployment; witness checks sharded via
+//!   the composed two-store deployment — each also swept under a
+//!   seed-driven fault script (crashes, partitions, drop/duplicate windows
+//!   fired during libRSS service switches); witness checks sharded via
 //!   `regular_core::checker::certificate::check_witness_parallel`.
 //! * [`composed`] — the multi-service deployment (extracted from the
-//!   `multi_service` integration test) as a reusable scenario.
+//!   `multi_service` integration test) as a reusable scenario: round-robin
+//!   or photo-sharing-app workloads, scripted faults, and cross-process
+//!   `CausalContext` handoffs.
 //! * [`report`] — sweep orchestration and the `BENCH_sweep.json` schema.
 //! * [`artifact`] — replayable failing-history dumps for CI upload.
 //! * [`json`] — the minimal JSON tree backing all of the above (the vendored
 //!   `serde` is a derive-only stub).
 //!
 //! The `conformance_sweep` binary in `regular-bench` is the CLI front end;
-//! CI runs it over ≥32 seeds per scenario on every push.
+//! CI runs it over ≥32 seeds per scenario (fault scenarios included) on
+//! every push.
 
 pub mod artifact;
 pub mod composed;

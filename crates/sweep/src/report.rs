@@ -140,6 +140,9 @@ pub fn sweep_to_json(result: &SweepResult, opts: &SweepOptions, scaling: &[(usiz
                         "history_ops_min",
                         Json::u64(rs.iter().map(|r| r.history_ops as u64).min().unwrap_or(0)),
                     ),
+                    ("messages_dropped_total", Json::u64(rs.iter().map(|r| r.dropped).sum())),
+                    ("messages_duplicated_total", Json::u64(rs.iter().map(|r| r.duplicated).sum())),
+                    ("messages_expired_total", Json::u64(rs.iter().map(|r| r.expired).sum())),
                     ("latency_p50_ms_mean", Json::f64(round2(mean(rs.iter().map(|r| r.p50_ms))))),
                     ("latency_p99_ms_mean", Json::f64(round2(mean(rs.iter().map(|r| r.p99_ms))))),
                     ("run_wall_ms_mean", Json::f64(round2(mean(rs.iter().map(|r| r.wall_ms))))),

@@ -19,12 +19,13 @@ use regular_core::checker::certificate::{check_witness_parallel, WitnessModel};
 use regular_core::history::HistoryIndex;
 use regular_gryff::prelude as gryff;
 use regular_session::{CompletedRecord, SessionConfig, SessionWorkload};
-use regular_sim::net::LatencyMatrix;
+use regular_sim::fault::{FaultSchedule, LinkScope};
+use regular_sim::net::{LatencyMatrix, Region};
 use regular_sim::time::{SimDuration, SimTime};
 use regular_spanner::prelude as spanner;
 
 use crate::artifact::{model_name, FailureArtifact};
-use crate::composed::{certify_composed, run_composed, ComposedRunConfig};
+use crate::composed::{certify_composed, run_composed, ComposedRunConfig, ComposedWorkload};
 
 /// A sweepable scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,11 +37,30 @@ pub enum Scenario {
     /// The composed Spanner-RSS + Gryff-RSC deployment with libRSS fences;
     /// the combined history certified RSS.
     Composed,
+    /// Spanner-RSS under a seed-driven fault script: a shard-leader crash,
+    /// a region partition, and lossy/duplicating windows; still certified
+    /// RSS.
+    SpannerFaults,
+    /// Gryff-RSC under a seed-driven fault script: a replica crash (losing
+    /// an rmw coordinator), a region partition, and lossy windows; still
+    /// certified RSC.
+    GryffFaults,
+    /// The composed deployment driven by the photo-sharing app with
+    /// cross-process causal handoffs, under faults fired *during* service
+    /// switches; the combined history still certified RSS.
+    ComposedFaults,
 }
 
 impl Scenario {
     /// Every scenario, in sweep order.
-    pub const ALL: [Scenario; 3] = [Scenario::SpannerRss, Scenario::GryffRsc, Scenario::Composed];
+    pub const ALL: [Scenario; 6] = [
+        Scenario::SpannerRss,
+        Scenario::GryffRsc,
+        Scenario::Composed,
+        Scenario::SpannerFaults,
+        Scenario::GryffFaults,
+        Scenario::ComposedFaults,
+    ];
 
     /// Stable scenario name (used in reports, artifacts, and CLI flags).
     pub fn name(&self) -> &'static str {
@@ -48,6 +68,9 @@ impl Scenario {
             Scenario::SpannerRss => "spanner-rss",
             Scenario::GryffRsc => "gryff-rsc",
             Scenario::Composed => "composed",
+            Scenario::SpannerFaults => "spanner-faults",
+            Scenario::GryffFaults => "gryff-faults",
+            Scenario::ComposedFaults => "composed-faults",
         }
     }
 
@@ -58,6 +81,9 @@ impl Scenario {
             "spanner-rss" | "spanner" | "rss" => Some(Scenario::SpannerRss),
             "gryff-rsc" | "gryff" | "rsc" => Some(Scenario::GryffRsc),
             "composed" | "multi-service" | "duo" => Some(Scenario::Composed),
+            "spanner-faults" => Some(Scenario::SpannerFaults),
+            "gryff-faults" => Some(Scenario::GryffFaults),
+            "composed-faults" | "faults" | "chaos" => Some(Scenario::ComposedFaults),
             _ => None,
         }
     }
@@ -89,6 +115,12 @@ pub struct SeedReport {
     pub wall_ms: f64,
     /// Wall-clock milliseconds of the certification step alone.
     pub cert_ms: f64,
+    /// Messages dropped by the fault plane (verdicts, windows, cut links).
+    pub dropped: u64,
+    /// Extra message copies injected by duplicate windows.
+    pub duplicated: u64,
+    /// Messages that expired at a crashed node.
+    pub expired: u64,
 }
 
 /// A seeded run: the report plus a replayable artifact when it failed.
@@ -117,76 +149,150 @@ fn latency_percentiles<'a>(records: impl Iterator<Item = &'a CompletedRecord>) -
     (at(0.50), at(0.99))
 }
 
+/// The client-side operation timeout every fault scenario runs with.
+const FAULT_OP_TIMEOUT: SimDuration = SimDuration::from_millis(1_500);
+
+/// Per-message probability of the lossy windows in every fault scenario.
+const FAULT_LOSS_P: f64 = 0.02;
+
+/// The shared fault-script shape of every fault scenario: crash each listed
+/// victim for its `[from, until)` window, partition one region, and run a
+/// drop + duplicate window — all overlapping live client load.
+fn fault_script(
+    crashes: &[(usize, u64, u64)],
+    cut_region: Region,
+    cut: (u64, u64),
+    lossy: (u64, u64),
+) -> FaultSchedule {
+    let mut schedule = FaultSchedule::new();
+    for &(node, at, recover_at) in crashes {
+        schedule = schedule.crash(node, SimTime::from_secs(at), SimTime::from_secs(recover_at));
+    }
+    schedule
+        .partition_region(cut_region, SimTime::from_secs(cut.0), SimTime::from_secs(cut.1))
+        .drop_window(
+            LinkScope::All,
+            SimTime::from_secs(lossy.0),
+            SimTime::from_secs(lossy.1),
+            FAULT_LOSS_P,
+        )
+        .duplicate_window(
+            LinkScope::All,
+            SimTime::from_secs(lossy.0),
+            SimTime::from_secs(lossy.1),
+            FAULT_LOSS_P,
+        )
+}
+
+/// The seed-driven fault script of the `spanner-faults` scenario: the victim
+/// shard and partitioned region rotate with the seed.
+fn spanner_fault_schedule(seed: u64) -> FaultSchedule {
+    let victim_shard = (seed % 3) as usize;
+    let cut_region = Region(((seed + 1) % 3) as usize);
+    fault_script(&[(victim_shard, 8, 12)], cut_region, (18, 21), (25, 32))
+}
+
+/// The seed-driven fault script of the `gryff-faults` scenario: the crashed
+/// replica rotates with the seed (it coordinates rmws for keys equal to its
+/// index mod 5).
+fn gryff_fault_schedule(seed: u64) -> FaultSchedule {
+    let victim_replica = (seed % 5) as usize;
+    let cut_region = Region(((seed + 2) % 5) as usize);
+    fault_script(&[(victim_replica, 8, 12)], cut_region, (18, 21), (25, 32))
+}
+
+/// The `composed-faults` fault script. The photo app switches services on
+/// *every* step, so each window fires during live libRSS service switches:
+/// a Spanner shard crash (nodes 0..3), a Gryff replica crash (nodes 3..8),
+/// a region partition, and lossy/duplicating windows.
+fn composed_fault_schedule(seed: u64) -> FaultSchedule {
+    let victim_shard = (seed % 3) as usize;
+    let victim_replica = 3 + ((seed % 5) as usize);
+    let cut_region = Region(((seed + 1) % 5) as usize);
+    fault_script(&[(victim_shard, 5, 8), (victim_replica, 11, 14)], cut_region, (16, 18), (20, 25))
+}
+
 /// Runs one seed of `scenario`, certifying the resulting history with the
 /// witness check sharded across `check_threads` threads.
 pub fn run_seed(scenario: Scenario, seed: u64, check_threads: usize) -> SeedRun {
     let started = Instant::now();
-    let (history, witness, p50_ms, p99_ms, pre_violation) = match scenario {
-        Scenario::SpannerRss => {
-            let result = run_spanner_seed(seed);
+    let (history, witness, p50_ms, p99_ms, net, pre_violation) = match scenario {
+        Scenario::SpannerRss | Scenario::SpannerFaults => {
+            let faults = match scenario {
+                Scenario::SpannerFaults => Some(spanner_fault_schedule(seed)),
+                _ => None,
+            };
+            let result = run_spanner_seed(seed, faults);
             let (p50, p99) =
                 latency_percentiles(result.completed.iter().flat_map(|(_, recs)| recs.iter()));
             let (history, witness) = spanner::build_history(&result);
-            (history, witness, p50, p99, None)
+            (history, witness, p50, p99, result.net_stats, None)
         }
-        Scenario::GryffRsc => {
-            let result = run_gryff_seed(seed);
+        Scenario::GryffRsc | Scenario::GryffFaults => {
+            let faults = match scenario {
+                Scenario::GryffFaults => Some(gryff_fault_schedule(seed)),
+                _ => None,
+            };
+            let result = run_gryff_seed(seed, faults);
             let (p50, p99) =
                 latency_percentiles(result.completed.iter().flat_map(|(_, recs)| recs.iter()));
+            let net = result.net_stats;
             let (history, edges) = gryff::build_history(&result);
             match assemble_witness(&history, &edges, WitnessModel::Regular) {
-                Ok(witness) => (history, witness, p50, p99, None),
+                Ok(witness) => (history, witness, p50, p99, net, None),
                 Err(e) => {
                     let reason = format!(
                         "carstamp/process-order constraints are cyclic ({} ops unordered)",
                         e.unordered
                     );
-                    (history, Vec::new(), p50, p99, Some(reason))
+                    (history, Vec::new(), p50, p99, net, Some(reason))
                 }
             }
         }
-        Scenario::Composed => {
-            let outcome = run_composed(seed, &composed_seed_config());
+        Scenario::Composed | Scenario::ComposedFaults => {
+            let config = match scenario {
+                Scenario::ComposedFaults => composed_faults_seed_config(seed),
+                _ => composed_seed_config(),
+            };
+            let outcome = run_composed(seed, &config);
             let (p50, p99) = latency_percentiles(
-                outcome.apps.iter().flat_map(|(_, recs, _)| recs.iter().map(|(_, r)| r)),
+                outcome.apps.iter().flat_map(|a| a.completed.iter().map(|(_, r)| r)),
             );
+            let net = outcome.net_stats;
             let cert_started = Instant::now();
-            return match certify_composed(&outcome, check_threads) {
-                Ok(ok) => SeedRun {
-                    report: SeedReport {
-                        scenario: scenario.name(),
-                        seed,
-                        certified: true,
-                        violation: None,
-                        history_ops: ok.history.len(),
-                        p50_ms: p50,
-                        p99_ms: p99,
-                        wall_ms: started.elapsed().as_secs_f64() * 1_000.0,
-                        cert_ms: cert_started.elapsed().as_secs_f64() * 1_000.0,
-                    },
-                    artifact: None,
+            let (certified, violation, history_ops, artifact) =
+                match certify_composed(&outcome, check_threads) {
+                    Ok(ok) => (true, None, ok.history.len(), None),
+                    Err(v) => (
+                        false,
+                        Some(v.reason.clone()),
+                        v.history.len(),
+                        Some(FailureArtifact {
+                            scenario: scenario.name().to_string(),
+                            seed,
+                            model: scenario.model(),
+                            violation: v.reason,
+                            witness: v.witness,
+                            history: v.history,
+                        }),
+                    ),
+                };
+            return SeedRun {
+                report: SeedReport {
+                    scenario: scenario.name(),
+                    seed,
+                    certified,
+                    violation,
+                    history_ops,
+                    p50_ms: p50,
+                    p99_ms: p99,
+                    wall_ms: started.elapsed().as_secs_f64() * 1_000.0,
+                    cert_ms: cert_started.elapsed().as_secs_f64() * 1_000.0,
+                    dropped: net.dropped,
+                    duplicated: net.duplicated,
+                    expired: net.expired,
                 },
-                Err(v) => SeedRun {
-                    report: SeedReport {
-                        scenario: scenario.name(),
-                        seed,
-                        certified: false,
-                        violation: Some(v.reason.clone()),
-                        history_ops: v.history.len(),
-                        p50_ms: p50,
-                        p99_ms: p99,
-                        wall_ms: started.elapsed().as_secs_f64() * 1_000.0,
-                        cert_ms: cert_started.elapsed().as_secs_f64() * 1_000.0,
-                    },
-                    artifact: Some(FailureArtifact {
-                        scenario: scenario.name().to_string(),
-                        seed,
-                        model: scenario.model(),
-                        violation: v.reason,
-                        witness: v.witness,
-                        history: v.history,
-                    }),
-                },
+                artifact,
             };
         }
     };
@@ -202,33 +308,24 @@ pub fn run_seed(scenario: Scenario, seed: u64, check_threads: usize) -> SeedRun 
     };
     let cert_ms = cert_started.elapsed().as_secs_f64() * 1_000.0;
     let wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
+    let report = |certified: bool, violation: Option<String>| SeedReport {
+        scenario: scenario.name(),
+        seed,
+        certified,
+        violation,
+        history_ops: history.len(),
+        p50_ms,
+        p99_ms,
+        wall_ms,
+        cert_ms,
+        dropped: net.dropped,
+        duplicated: net.duplicated,
+        expired: net.expired,
+    };
     match verdict {
-        Ok(()) => SeedRun {
-            report: SeedReport {
-                scenario: scenario.name(),
-                seed,
-                certified: true,
-                violation: None,
-                history_ops: history.len(),
-                p50_ms,
-                p99_ms,
-                wall_ms,
-                cert_ms,
-            },
-            artifact: None,
-        },
+        Ok(()) => SeedRun { report: report(true, None), artifact: None },
         Err(reason) => SeedRun {
-            report: SeedReport {
-                scenario: scenario.name(),
-                seed,
-                certified: false,
-                violation: Some(reason.clone()),
-                history_ops: history.len(),
-                p50_ms,
-                p99_ms,
-                wall_ms,
-                cert_ms,
-            },
+            report: report(false, Some(reason.clone())),
             artifact: Some(FailureArtifact {
                 scenario: scenario.name().to_string(),
                 seed,
@@ -243,8 +340,12 @@ pub fn run_seed(scenario: Scenario, seed: u64, check_threads: usize) -> SeedRun 
 
 /// Spanner-RSS sweep configuration: WAN topology, three client nodes with
 /// two closed-loop sessions each, moderately contended uniform workload.
-fn run_spanner_seed(seed: u64) -> spanner::RunResult {
-    let config = spanner::SpannerConfig::wan(spanner::Mode::SpannerRss);
+/// With a fault schedule, clients run with the standard operation timeout.
+fn run_spanner_seed(seed: u64, faults: Option<FaultSchedule>) -> spanner::RunResult {
+    let mut config = spanner::SpannerConfig::wan(spanner::Mode::SpannerRss);
+    if let Some(faults) = faults {
+        config = config.with_faults(faults, FAULT_OP_TIMEOUT);
+    }
     let net = LatencyMatrix::spanner_wan();
     let clients = (0..3)
         .map(|i| spanner::ClientSpec {
@@ -270,9 +371,13 @@ fn run_spanner_seed(seed: u64) -> spanner::RunResult {
 }
 
 /// Gryff-RSC sweep configuration: five-region WAN, one client per region
-/// with two closed-loop sessions, conflict-heavy YCSB mix.
-fn run_gryff_seed(seed: u64) -> gryff::GryffRunResult {
-    let config = gryff::GryffConfig::wan(gryff::Mode::GryffRsc);
+/// with two closed-loop sessions, conflict-heavy YCSB mix. With a fault
+/// schedule, clients run with the standard operation timeout.
+fn run_gryff_seed(seed: u64, faults: Option<FaultSchedule>) -> gryff::GryffRunResult {
+    let mut config = gryff::GryffConfig::wan(gryff::Mode::GryffRsc);
+    if let Some(faults) = faults {
+        config = config.with_faults(faults, FAULT_OP_TIMEOUT);
+    }
     let net = LatencyMatrix::gryff_wan();
     let clients = (0..5)
         .map(|i| gryff::GryffClientSpec {
@@ -306,6 +411,24 @@ fn composed_seed_config() -> ComposedRunConfig {
         batch: 2,
         duration_secs: 30,
         drain_secs: 10,
+        ..ComposedRunConfig::default()
+    }
+}
+
+/// Composed-faults sweep configuration: the photo-sharing app (every step a
+/// fenced service switch), periodic cross-process causal handoffs, and the
+/// seed-driven fault script of [`composed_fault_schedule`].
+fn composed_faults_seed_config(seed: u64) -> ComposedRunConfig {
+    ComposedRunConfig {
+        num_apps: 3,
+        ops_per_service: 1,
+        batch: 2,
+        duration_secs: 30,
+        drain_secs: 12,
+        workload: ComposedWorkload::PhotoApp,
+        faults: composed_fault_schedule(seed),
+        op_timeout: Some(FAULT_OP_TIMEOUT),
+        handoff_every: Some(8),
     }
 }
 
@@ -319,6 +442,7 @@ mod tests {
             assert_eq!(Scenario::parse(s.name()), Some(s));
         }
         assert_eq!(Scenario::parse("SPANNER"), Some(Scenario::SpannerRss));
+        assert_eq!(Scenario::parse("chaos"), Some(Scenario::ComposedFaults));
         assert_eq!(Scenario::parse("nope"), None);
     }
 
@@ -340,6 +464,22 @@ mod tests {
                 run.report.history_ops
             );
             assert!(run.report.p99_ms >= run.report.p50_ms);
+            let faulty = matches!(
+                scenario,
+                Scenario::SpannerFaults | Scenario::GryffFaults | Scenario::ComposedFaults
+            );
+            if faulty {
+                assert!(
+                    run.report.dropped > 0 && run.report.duplicated > 0 && run.report.expired > 0,
+                    "{} fault plane was active: {:?}/{:?}/{:?}",
+                    scenario.name(),
+                    run.report.dropped,
+                    run.report.duplicated,
+                    run.report.expired
+                );
+            } else {
+                assert_eq!(run.report.dropped, 0, "{} is fault-free", scenario.name());
+            }
         }
     }
 }

@@ -5,13 +5,19 @@
 //! * [`retwis`] — the Retwis transaction mix (5 % add-user, 15 %
 //!   follow/unfollow, 30 % post-tweet, 50 % load-timeline) used for the
 //!   Spanner experiments.
+//! * [`photo`] — the Section 2 photo-sharing application as a live
+//!   [`regular_session::MultiServiceWorkload`] over the composed two-store
+//!   deployment (uploaders and workers hopping between the KV and messaging
+//!   services on every step).
 //! * The YCSB-style read/write workload with a configurable conflict rate used
 //!   by the Gryff experiments lives with the Gryff client
 //!   (`regular_gryff::workload::ConflictWorkload`) because its key-partitioning
 //!   scheme is specific to that harness.
 
+pub mod photo;
 pub mod retwis;
 pub mod zipf;
 
+pub use photo::{PhotoAppLayout, PhotoSharingWorkload};
 pub use retwis::{GeneratedTxn, Retwis, RetwisKind};
 pub use zipf::Zipf;

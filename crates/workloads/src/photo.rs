@@ -1,0 +1,202 @@
+//! The photo-sharing application of Section 2 as a *live* workload over the
+//! composed two-store deployment (ROADMAP's Table 1 scenario).
+//!
+//! The paper's running example composes two services: a key-value store
+//! holding photos and album metadata (served by Spanner-RSS in the composed
+//! deployment) and a messaging service carrying photo-processing requests
+//! (served by Gryff-RSC). Two user roles drive it:
+//!
+//! * **Uploaders** (Alice): write a photo and update the album index at the
+//!   KV store in one read-write transaction, then hop to the messaging store
+//!   to publish a processing request — a service switch `libRSS` fences.
+//! * **Workers** (Bob): claim a request at the messaging store with a
+//!   read-modify-write, then hop to the KV store and read the album plus a
+//!   photo in one read-only transaction — the fenced switch back is what
+//!   invariant I2 ("a worker never dequeues a request and misses the photo
+//!   it names") rests on. Session operations carry service-assigned values,
+//!   so the claimed slot cannot *name* a photo; the worker reads a random
+//!   photo instead, and I2 is enforced wholesale by certifying the combined
+//!   history (queue rmw chains + fenced process order) as RSS rather than
+//!   by tracing one request's dataflow.
+//!
+//! Each lane is one user and alternates its role steps in program order, so
+//! every lane switches services on every step — the worst case for the
+//! composition machinery and the exact pattern the fault sweeps stress.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use regular_core::types::Key;
+use regular_session::{LaneId, MultiServiceWorkload, SessionOp};
+
+/// Key layout of the photo app over the two stores.
+///
+/// KV-store keys (service [`PhotoSharingWorkload::KV_SERVICE`]): the album
+/// index lives at [`PhotoAppLayout::album`]; photo `i` lives at
+/// `photo_base + i`. Messaging-store keys (service
+/// [`PhotoSharingWorkload::MSG_SERVICE`]): request slot `i` lives at
+/// `queue_base + i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhotoAppLayout {
+    /// The album-index key at the KV store.
+    pub album: Key,
+    /// First photo key; photos occupy `photo_base .. photo_base + photos`.
+    pub photo_base: u64,
+    /// Number of distinct photos.
+    pub photos: u64,
+    /// First request-slot key at the messaging store.
+    pub queue_base: u64,
+    /// Number of request slots.
+    pub queue_slots: u64,
+}
+
+impl Default for PhotoAppLayout {
+    fn default() -> Self {
+        PhotoAppLayout { album: Key(0), photo_base: 100, photos: 40, queue_base: 0, queue_slots: 8 }
+    }
+}
+
+/// Where each lane is in its role script.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// Uploader: add a photo + album update (KV), then publish the request
+    /// (messaging).
+    UploadPhoto,
+    PublishRequest,
+    /// Worker: claim a request (messaging), then read album + photo (KV).
+    ClaimRequest,
+    ReadAlbum {
+        photo: u64,
+    },
+}
+
+/// The photo-sharing app as a [`MultiServiceWorkload`] over a composed
+/// two-service deployment: service 0 is the KV store, service 1 the
+/// messaging store.
+pub struct PhotoSharingWorkload {
+    layout: PhotoAppLayout,
+    /// Per-lane script position (lanes alternate uploader/worker roles by
+    /// parity, so both roles run concurrently on every node).
+    cursors: HashMap<LaneId, Step>,
+}
+
+impl PhotoSharingWorkload {
+    /// Index of the KV (photo/album) service in the composed deployment.
+    pub const KV_SERVICE: usize = 0;
+    /// Index of the messaging (request queue) service.
+    pub const MSG_SERVICE: usize = 1;
+
+    /// Creates the workload over the given key layout.
+    pub fn new(layout: PhotoAppLayout) -> Self {
+        PhotoSharingWorkload { layout, cursors: HashMap::new() }
+    }
+
+    fn photo_key(&self, photo: u64) -> Key {
+        Key(self.layout.photo_base + photo)
+    }
+
+    fn queue_key(&self, rng: &mut SmallRng) -> Key {
+        Key(self.layout.queue_base + rng.gen_range(0..self.layout.queue_slots))
+    }
+}
+
+impl Default for PhotoSharingWorkload {
+    fn default() -> Self {
+        Self::new(PhotoAppLayout::default())
+    }
+}
+
+impl MultiServiceWorkload for PhotoSharingWorkload {
+    fn next_targeted_op(&mut self, rng: &mut SmallRng, lane: LaneId) -> (usize, SessionOp) {
+        // Uploader lanes have even (session + slot), worker lanes odd.
+        let first = if (lane.session + u64::from(lane.slot)).is_multiple_of(2) {
+            Step::UploadPhoto
+        } else {
+            Step::ClaimRequest
+        };
+        let step = *self.cursors.entry(lane).or_insert(first);
+        let photo = rng.gen_range(0..self.layout.photos);
+        let (next, target, op) = match step {
+            Step::UploadPhoto => (
+                Step::PublishRequest,
+                Self::KV_SERVICE,
+                // One transaction writes the photo data and the album index —
+                // invariant I1 (the album never references missing data)
+                // holds by atomicity.
+                SessionOp::RwTxn { keys: vec![self.photo_key(photo), self.layout.album] },
+            ),
+            Step::PublishRequest => (
+                Step::UploadPhoto,
+                Self::MSG_SERVICE,
+                // Publishing the processing request is a plain write of a
+                // request slot; the preceding fenced service switch is what
+                // orders it after the photo upload.
+                SessionOp::Write { key: self.queue_key(rng) },
+            ),
+            Step::ClaimRequest => (
+                Step::ReadAlbum { photo },
+                Self::MSG_SERVICE,
+                // Claiming a request is an atomic read-modify-write of a
+                // request slot (two workers must not both claim it).
+                SessionOp::Rmw { key: self.queue_key(rng) },
+            ),
+            Step::ReadAlbum { photo: p } => (
+                Step::ClaimRequest,
+                Self::KV_SERVICE,
+                // The worker reads the album index and a photo in one
+                // read-only transaction after the fenced switch back. The
+                // photo was drawn at claim time (requests cannot carry ids;
+                // see the module docs): the I2 guarantee is certified over
+                // the whole history, not traced per request.
+                SessionOp::RoTxn { keys: vec![self.layout.album, self.photo_key(p)] },
+            ),
+        };
+        self.cursors.insert(lane, next);
+        (target, op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lanes_alternate_stores_on_every_step() {
+        let mut w = PhotoSharingWorkload::default();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let uploader = LaneId { session: 0, slot: 0 };
+        let worker = LaneId { session: 1, slot: 0 };
+        let u: Vec<usize> = (0..6).map(|_| w.next_targeted_op(&mut rng, uploader).0).collect();
+        let k: Vec<usize> = (0..6).map(|_| w.next_targeted_op(&mut rng, worker).0).collect();
+        assert_eq!(u, vec![0, 1, 0, 1, 0, 1], "uploaders hop KV -> messaging");
+        assert_eq!(k, vec![1, 0, 1, 0, 1, 0], "workers hop messaging -> KV");
+    }
+
+    #[test]
+    fn uploads_are_atomic_and_reads_cover_album_and_photo() {
+        let mut w = PhotoSharingWorkload::default();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let lane = LaneId { session: 0, slot: 0 };
+        let (svc, op) = w.next_targeted_op(&mut rng, lane);
+        assert_eq!(svc, PhotoSharingWorkload::KV_SERVICE);
+        match op {
+            SessionOp::RwTxn { keys } => {
+                assert_eq!(keys.len(), 2);
+                assert!(keys.contains(&PhotoAppLayout::default().album));
+            }
+            other => panic!("uploads are read-write transactions, got {other:?}"),
+        }
+        let worker = LaneId { session: 1, slot: 0 };
+        let (svc, op) = w.next_targeted_op(&mut rng, worker);
+        assert_eq!(svc, PhotoSharingWorkload::MSG_SERVICE);
+        assert!(matches!(op, SessionOp::Rmw { .. }), "claims are read-modify-writes");
+        let (svc, op) = w.next_targeted_op(&mut rng, worker);
+        assert_eq!(svc, PhotoSharingWorkload::KV_SERVICE);
+        match op {
+            SessionOp::RoTxn { keys } => assert_eq!(keys.len(), 2),
+            other => panic!("album checks are read-only transactions, got {other:?}"),
+        }
+    }
+}

@@ -15,7 +15,14 @@ use regular_seq::sweep::composed::{
 };
 
 fn config(num_apps: usize, ops_per_service: usize, batch: usize) -> ComposedRunConfig {
-    ComposedRunConfig { num_apps, ops_per_service, batch, duration_secs: 20, drain_secs: 10 }
+    ComposedRunConfig {
+        num_apps,
+        ops_per_service,
+        batch,
+        duration_secs: 20,
+        drain_secs: 10,
+        ..ComposedRunConfig::default()
+    }
 }
 
 #[test]
@@ -50,11 +57,35 @@ fn composed_run_with_batched_sessions_satisfies_rss() {
 }
 
 #[test]
+fn photo_sharing_app_over_the_composed_deployment_satisfies_rss() {
+    // The ROADMAP's Table 1 scenario as a live workload: uploader lanes
+    // write photo + album at the Spanner-RSS store then publish a request
+    // at the Gryff-RSC queue; worker lanes claim requests and read the
+    // album — every step a fenced service switch.
+    use regular_seq::sweep::composed::ComposedWorkload;
+    let cfg = ComposedRunConfig {
+        workload: ComposedWorkload::PhotoApp,
+        ops_per_service: 1,
+        ..config(3, 1, 2)
+    };
+    let run = run_composed(11, &cfg);
+    assert!(run.spanner_ops() > 100, "uploads and album reads completed ({})", run.spanner_ops());
+    assert!(run.gryff_ops() > 100, "requests published and claimed ({})", run.gryff_ops());
+    assert!(
+        run.auto_fences() as f64 > 0.8 * (run.spanner_ops() + run.gryff_ops()) as f64 / 2.0,
+        "nearly every step switches services ({} fences)",
+        run.auto_fences()
+    );
+    certify_composed(&run, 1)
+        .unwrap_or_else(|v| panic!("the photo app satisfies RSS: {}", v.reason));
+}
+
+#[test]
 fn composed_runs_are_deterministic() {
     let a = run_composed(5, &config(2, 3, 1));
     let b = run_composed(5, &config(2, 3, 1));
     let counts = |r: &regular_seq::sweep::composed::ComposedOutcome| {
-        r.apps.iter().map(|(_, c, _)| c.len()).collect::<Vec<_>>()
+        r.apps.iter().map(|a| a.completed.len()).collect::<Vec<_>>()
     };
     assert_eq!(counts(&a), counts(&b));
     assert_eq!(a.auto_fences(), b.auto_fences());
