@@ -1,25 +1,40 @@
-//! CI throughput-regression gate over the session baselines.
+//! CI regression gates over the session baselines and the engine hot path.
 //!
-//! Compares a freshly generated `BENCH_baseline.json` (from
-//! `session_baseline`) against the checked-in reference
+//! **Session baselines.** Compares a freshly generated `BENCH_baseline.json`
+//! (from `session_baseline`) against the checked-in reference
 //! `ci/bench_baseline_reference.json` and fails (exit 1) when any non-WAN
 //! configuration's throughput regressed by more than the threshold
 //! (default 25%). WAN configurations are warn-only — their tail-latency
 //! coupling makes small workload shifts look dramatic — and so are
 //! *improvements* beyond the threshold, which print a reminder to refresh
-//! the reference.
+//! the reference. Throughput here is simulated txn/s, deterministic for a
+//! fixed seed, so a trip of this gate means the protocol's behaviour
+//! changed, not that the runner was slow.
 //!
-//! Throughput here is simulated txn/s, deterministic for a fixed seed, so a
-//! trip of this gate means the protocol's behaviour changed, not that the
-//! runner was slow.
+//! **Engine hot path.** With `--engine` (a `BENCH_engine.json` from
+//! `sim_profile`) and `--engine-reference`
+//! (`ci/engine_hotpath_reference.json`), additionally gates the indexed
+//! queue's speedup over the reference heap: a profile whose speedup fell
+//! more than the threshold below the reference speedup fails. The *ratio*
+//! is gated rather than raw wall-clock because both sides of the ratio run
+//! on the same host in the same process — it transfers across machines the
+//! way absolute milliseconds do not. Simulated observables (message count,
+//! ops) are compared exactly and warn on drift, which means the committed
+//! reference needs refreshing after an intentional behaviour change.
 //!
 //! Usage:
 //!
 //! ```text
 //! bench_gate [--current BENCH_baseline.json] \
 //!            [--reference ci/bench_baseline_reference.json] \
+//!            [--engine BENCH_engine.json] \
+//!            [--engine-reference ci/engine_hotpath_reference.json] \
+//!            [--engine-only] \
 //!            [--threshold 0.25]
 //! ```
+//!
+//! `--engine-only` (for jobs that only profiled the engine) skips the
+//! session-baseline comparison; `--engine` is then required.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -60,9 +75,94 @@ fn load_entries(path: &PathBuf) -> Result<Vec<Entry>, String> {
         .collect()
 }
 
+struct EngineProfile {
+    name: String,
+    messages: u64,
+    sim_ops: u64,
+    speedup: f64,
+}
+
+fn load_engine_profiles(path: &PathBuf) -> Result<Vec<EngineProfile>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let json = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let schema = json.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != "regular-seq/engine-hotpath/v1" {
+        return Err(format!("{}: unexpected schema '{schema}'", path.display()));
+    }
+    json.get("profiles")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{}: missing profiles", path.display()))?
+        .iter()
+        .map(|p| {
+            Ok(EngineProfile {
+                name: p
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("profile missing name")?
+                    .to_string(),
+                messages: p.get("messages").and_then(Json::as_u64).ok_or("missing messages")?,
+                sim_ops: p.get("sim_ops").and_then(Json::as_u64).ok_or("missing sim_ops")?,
+                speedup: p.get("speedup").and_then(Json::as_f64).ok_or("missing speedup")?,
+            })
+        })
+        .collect()
+}
+
+/// Gates the engine-hotpath speedups; returns true when something failed.
+fn gate_engine(current: &PathBuf, reference: &PathBuf, threshold: f64) -> Result<bool, String> {
+    let current_profiles = load_engine_profiles(current)?;
+    let reference_profiles = load_engine_profiles(reference)?;
+    println!(
+        "== engine hot-path gate: {} vs {} (threshold {:.0}%) ==",
+        current.display(),
+        reference.display(),
+        threshold * 100.0
+    );
+    let mut failed = false;
+    for r in &reference_profiles {
+        let Some(c) = current_profiles.iter().find(|c| c.name == r.name) else {
+            eprintln!("FAIL  {}: missing from current engine profile", r.name);
+            failed = true;
+            continue;
+        };
+        let floor = r.speedup * (1.0 - threshold);
+        let label = format!(
+            "{:<24} ref {:>5.2}x  now {:>5.2}x  (floor {:>5.2}x)",
+            r.name, r.speedup, c.speedup, floor
+        );
+        if c.speedup < floor {
+            eprintln!("FAIL  {label}");
+            failed = true;
+        } else {
+            println!("ok    {label}");
+        }
+        if (c.messages, c.sim_ops) != (r.messages, r.sim_ops) {
+            println!(
+                "WARN  {}: simulated observables drifted from the reference \
+                 (messages {} -> {}, ops {} -> {}): behaviour changed, refresh \
+                 ci/engine_hotpath_reference.json",
+                r.name, r.messages, c.messages, r.sim_ops, c.sim_ops
+            );
+        }
+    }
+    for c in &current_profiles {
+        if !reference_profiles.iter().any(|r| r.name == c.name) {
+            println!(
+                "WARN  {}: not in the reference (add it to ci/engine_hotpath_reference.json \
+                 or its speedup is never gated)",
+                c.name
+            );
+        }
+    }
+    Ok(failed)
+}
+
 fn main() -> ExitCode {
     let mut current = PathBuf::from("BENCH_baseline.json");
     let mut reference = PathBuf::from("ci/bench_baseline_reference.json");
+    let mut engine: Option<PathBuf> = None;
+    let mut engine_reference = PathBuf::from("ci/engine_hotpath_reference.json");
+    let mut engine_only = false;
     let mut threshold = 0.25f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -70,12 +170,38 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--current" => current = PathBuf::from(value()),
             "--reference" => reference = PathBuf::from(value()),
+            "--engine" => engine = Some(PathBuf::from(value())),
+            "--engine-reference" => engine_reference = PathBuf::from(value()),
+            "--engine-only" => engine_only = true,
             "--threshold" => threshold = value().parse().expect("bad --threshold"),
             other => {
                 eprintln!("unknown argument '{other}'");
                 return ExitCode::from(2);
             }
         }
+    }
+    if engine_only && engine.is_none() {
+        eprintln!("bench_gate: --engine-only requires --engine");
+        return ExitCode::from(2);
+    }
+
+    let mut engine_failed = false;
+    if let Some(engine) = &engine {
+        match gate_engine(engine, &engine_reference, threshold) {
+            Ok(failed) => engine_failed = failed,
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if engine_only {
+        if engine_failed {
+            eprintln!("bench gate FAILED: engine hot-path speedup regressed beyond the threshold");
+            return ExitCode::FAILURE;
+        }
+        println!("bench gate passed (engine only)");
+        return ExitCode::SUCCESS;
     }
 
     let (current_entries, reference_entries) =
@@ -134,8 +260,13 @@ fn main() -> ExitCode {
             );
         }
     }
-    if failed {
-        eprintln!("bench gate FAILED: throughput regressed beyond the threshold");
+    if failed || engine_failed {
+        if failed {
+            eprintln!("bench gate FAILED: throughput regressed beyond the threshold");
+        }
+        if engine_failed {
+            eprintln!("bench gate FAILED: engine hot-path speedup regressed beyond the threshold");
+        }
         return ExitCode::FAILURE;
     }
     println!("bench gate passed");

@@ -1,0 +1,165 @@
+//! Wall-clock profile of the discrete-event engine hot path.
+//!
+//! Runs the fixed `engine_hotpath` protocol configurations (a 10-simulated-
+//! second saturated single-DC Spanner-RSS run and a pipelined Gryff-RSC WAN
+//! run) on both event-queue implementations — the indexed arena/time-wheel
+//! queue and the retained reference heap — and reports the wall-clock of
+//! each plus the speedup.
+//! Because the two queues pop in identical order, the executions are
+//! event-for-event the same; the bin asserts that (processed event counts
+//! and simulated throughput must match exactly) before reporting.
+//!
+//! With `--out` the numbers land in `BENCH_engine.json`
+//! (schema `regular-seq/engine-hotpath/v1`), which `bench_gate --engine`
+//! compares against the checked-in `ci/engine_hotpath_reference.json`: the
+//! *speedup ratio* is gated, not the raw wall-clock, so the gate is
+//! meaningful on any host.
+//!
+//! Usage:
+//!
+//! ```text
+//! sim_profile [--seconds 10] [--seed 1] [--iters 3] [--out BENCH_engine.json]
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use regular_bench::runs::{engine_profile_gryff, engine_profile_spanner};
+use regular_sim::queue::QueueKind;
+use regular_sweep::{write_json, Json};
+
+struct Profile {
+    name: &'static str,
+    events: u64,
+    sim_ops: u64,
+    indexed_wall_ms: f64,
+    heap_wall_ms: f64,
+}
+
+impl Profile {
+    fn speedup(&self) -> f64 {
+        if self.indexed_wall_ms > 0.0 {
+            self.heap_wall_ms / self.indexed_wall_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Times `run` over `iters` iterations and returns the median wall-clock in
+/// milliseconds plus the last run's `(events, ops)` observables.
+fn time_runs(iters: usize, mut run: impl FnMut() -> (u64, u64)) -> (f64, u64, u64) {
+    let mut walls = Vec::with_capacity(iters);
+    let mut observed = (0, 0);
+    for _ in 0..iters {
+        let started = Instant::now();
+        observed = run();
+        walls.push(started.elapsed().as_secs_f64() * 1_000.0);
+    }
+    walls.sort_by(|a, b| a.partial_cmp(b).expect("wall clocks are finite"));
+    (walls[walls.len() / 2], observed.0, observed.1)
+}
+
+fn profile(name: &'static str, iters: usize, run: impl Fn(QueueKind) -> (u64, u64)) -> Profile {
+    let (indexed_wall_ms, events_indexed, ops_indexed) =
+        time_runs(iters, || run(QueueKind::Indexed));
+    let (heap_wall_ms, events_heap, ops_heap) = time_runs(iters, || run(QueueKind::ReferenceHeap));
+    assert_eq!(
+        (events_indexed, ops_indexed),
+        (events_heap, ops_heap),
+        "{name}: the two queue kinds must replay the identical execution"
+    );
+    Profile { name, events: events_indexed, sim_ops: ops_indexed, indexed_wall_ms, heap_wall_ms }
+}
+
+fn main() {
+    let mut seconds = 10u64;
+    let mut seed = 1u64;
+    let mut iters = 3usize;
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().expect("flag needs a value");
+        match arg.as_str() {
+            "--seconds" => seconds = value().parse().expect("bad --seconds"),
+            "--seed" => seed = value().parse().expect("bad --seed"),
+            "--iters" => iters = value().parse::<usize>().expect("bad --iters").max(1),
+            "--out" => out = Some(PathBuf::from(value())),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!(
+        "== engine hot-path profile: {seconds} simulated seconds, seed {seed}, \
+         median of {iters} iteration(s) =="
+    );
+    let profiles = vec![
+        profile("spanner_rss_saturated", iters, |queue| {
+            let result = engine_profile_spanner(seconds, seed, queue);
+            let ops = result.client_stats.rw_completed + result.client_stats.ro_completed;
+            (result.messages, ops)
+        }),
+        profile("gryff_rsc_wan", iters, |queue| {
+            let result = engine_profile_gryff(seconds, seed, queue);
+            let ops = result.client_stats.reads + result.client_stats.writes;
+            (result.messages, ops)
+        }),
+    ];
+
+    println!(
+        "{:<18} {:>12} {:>10} {:>14} {:>14} {:>9}",
+        "profile", "messages", "sim ops", "indexed (ms)", "heap (ms)", "speedup"
+    );
+    for p in &profiles {
+        println!(
+            "{:<18} {:>12} {:>10} {:>14.1} {:>14.1} {:>8.2}x",
+            p.name,
+            p.events,
+            p.sim_ops,
+            p.indexed_wall_ms,
+            p.heap_wall_ms,
+            p.speedup()
+        );
+    }
+
+    if let Some(path) = out {
+        let json = Json::obj(vec![
+            ("schema", Json::str("regular-seq/engine-hotpath/v1")),
+            ("seconds", Json::u64(seconds)),
+            ("seed", Json::u64(seed)),
+            ("iters", Json::u64(iters as u64)),
+            (
+                "profiles",
+                Json::Arr(
+                    profiles
+                        .iter()
+                        .map(|p| {
+                            Json::obj(vec![
+                                ("name", Json::str(p.name)),
+                                ("messages", Json::u64(p.events)),
+                                ("sim_ops", Json::u64(p.sim_ops)),
+                                ("indexed_wall_ms", Json::f64(round2(p.indexed_wall_ms))),
+                                ("heap_wall_ms", Json::f64(round2(p.heap_wall_ms))),
+                                ("speedup", Json::f64(round2(p.speedup()))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        match write_json(&path, &json) {
+            Ok(()) => println!("engine profile written to {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}

@@ -219,6 +219,73 @@ pub fn run_gryff_ycsb_batched(
     })
 }
 
+/// The fixed Spanner-RSS configuration of the `engine_hotpath` profile — the
+/// "10 s Spanner run" of the ROADMAP's engine-hot-path item: the throughput
+/// experiment's single-DC eight-shard cluster (§6.2) under saturating load
+/// (4 client nodes × 32 sessions × batch 8 = 1024 lanes), where the
+/// simulator pushes millions of messages through the event queue and the
+/// shards' busy-deferral churn makes event storage dominate wall-clock.
+/// `queue` selects the event-queue implementation so the bench and
+/// `sim_profile` can A/B the indexed queue against the retained reference
+/// heap on an otherwise identical execution.
+pub fn engine_profile_spanner(
+    seconds: u64,
+    seed: u64,
+    queue: regular_sim::queue::QueueKind,
+) -> spanner::RunResult {
+    let mut config = spanner::SpannerConfig::single_dc(spanner::Mode::SpannerRss, 8);
+    config.queue_kind = queue;
+    let clients = (0..4)
+        .map(|_| spanner::ClientSpec {
+            region: 0,
+            sessions: SessionConfig::closed_loop(32, SimDuration::ZERO).with_batch(8),
+            workload: Box::new(spanner::UniformWorkload {
+                num_keys: 1_000_000,
+                ro_fraction: 0.5,
+                keys_per_txn: 3,
+            }) as Box<dyn SessionWorkload>,
+        })
+        .collect();
+    spanner::run_cluster(spanner::ClusterSpec {
+        config,
+        net: LatencyMatrix::single_dc(),
+        seed,
+        clients,
+        stop_issuing_at: SimTime::from_secs(seconds),
+        drain: SimDuration::from_secs(5),
+        measure_from: SimTime::from_secs(1),
+    })
+}
+
+/// The Gryff-RSC counterpart of [`engine_profile_spanner`]: five-region WAN,
+/// batch-8 pipelined sessions (the message-heavy configuration — every op is
+/// two quorum rounds across the WAN).
+pub fn engine_profile_gryff(
+    seconds: u64,
+    seed: u64,
+    queue: regular_sim::queue::QueueKind,
+) -> gryff::GryffRunResult {
+    let mut config = gryff::GryffConfig::wan(gryff::Mode::GryffRsc);
+    config.queue_kind = queue;
+    let clients = (0..5)
+        .map(|region| gryff::GryffClientSpec {
+            region,
+            sessions: SessionConfig::closed_loop(2, SimDuration::ZERO).with_batch(8),
+            workload: Box::new(gryff::ConflictWorkload::ycsb(0.5, 0.10, region as u64))
+                as Box<dyn SessionWorkload>,
+        })
+        .collect();
+    gryff::run_gryff(gryff::GryffClusterSpec {
+        config,
+        net: LatencyMatrix::gryff_wan(),
+        seed,
+        clients,
+        stop_issuing_at: SimTime::from_secs(seconds),
+        drain: SimDuration::from_secs(5),
+        measure_from: SimTime::from_secs(1),
+    })
+}
+
 /// Formats a latency value in milliseconds with two decimals.
 pub fn fmt_ms(d: Option<SimDuration>) -> String {
     match d {

@@ -1,0 +1,200 @@
+//! Dense, interned key-value storage for protocol hot paths.
+//!
+//! The protocol crates' per-op state (multi-version chains, lock owners,
+//! register values, rmw queues) is keyed by [`Key`], whose values come from
+//! a workload's bounded key space but are not themselves dense. A
+//! [`DenseKeyMap`] interns each key once — the same arena treatment
+//! [`crate::history::HistoryIndex`] applies to histories — and stores values
+//! in a dense `Vec` indexed by the interned id, so steady-state access is
+//! one cheap [`crate::hashing::FxHasher`] probe plus a vector index, and
+//! iteration walks a contiguous slice in first-insertion order (making it
+//! deterministic across runs and hosts, unlike `std` hash-map iteration).
+//!
+//! Removal clears the slot but keeps the interned id: workloads revisit
+//! their keys constantly, so slots are recycled by the next insert of the
+//! same key rather than by a free list.
+
+use crate::hashing::FxHashMap;
+use crate::types::Key;
+
+/// An interned-key map: `Key -> V` with dense storage and deterministic,
+/// first-insertion-order iteration.
+#[derive(Debug, Clone)]
+pub struct DenseKeyMap<V> {
+    /// Key -> dense slot id, assigned once per distinct key.
+    index: FxHashMap<Key, u32>,
+    /// Slot id -> key (for iteration).
+    keys: Vec<Key>,
+    /// Slot id -> value; `None` marks a removed entry.
+    values: Vec<Option<V>>,
+    /// Number of occupied slots.
+    occupied: usize,
+}
+
+impl<V> Default for DenseKeyMap<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> DenseKeyMap<V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        DenseKeyMap {
+            index: FxHashMap::default(),
+            keys: Vec::new(),
+            values: Vec::new(),
+            occupied: 0,
+        }
+    }
+
+    /// Number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.occupied
+    }
+
+    /// True if no entries are occupied.
+    pub fn is_empty(&self) -> bool {
+        self.occupied == 0
+    }
+
+    /// Interns `key`, returning its dense slot id.
+    fn slot_of(&mut self, key: Key) -> usize {
+        match self.index.get(&key) {
+            Some(&slot) => slot as usize,
+            None => {
+                let slot = u32::try_from(self.keys.len()).expect("key space exceeds u32 slots");
+                self.index.insert(key, slot);
+                self.keys.push(key);
+                self.values.push(None);
+                slot as usize
+            }
+        }
+    }
+
+    /// The value stored under `key`, if any.
+    pub fn get(&self, key: Key) -> Option<&V> {
+        self.index.get(&key).and_then(|&slot| self.values[slot as usize].as_ref())
+    }
+
+    /// Mutable access to the value stored under `key`, if any.
+    pub fn get_mut(&mut self, key: Key) -> Option<&mut V> {
+        match self.index.get(&key) {
+            Some(&slot) => self.values[slot as usize].as_mut(),
+            None => None,
+        }
+    }
+
+    /// True if `key` has an occupied entry.
+    pub fn contains_key(&self, key: Key) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts `value` under `key`, returning the previous value if the key
+    /// was occupied.
+    pub fn insert(&mut self, key: Key, value: V) -> Option<V> {
+        let slot = self.slot_of(key);
+        let prev = self.values[slot].replace(value);
+        if prev.is_none() {
+            self.occupied += 1;
+        }
+        prev
+    }
+
+    /// Removes and returns the value under `key` (the interned slot is kept
+    /// for reuse).
+    pub fn remove(&mut self, key: Key) -> Option<V> {
+        let slot = *self.index.get(&key)?;
+        let prev = self.values[slot as usize].take();
+        if prev.is_some() {
+            self.occupied -= 1;
+        }
+        prev
+    }
+
+    /// Returns a mutable reference to the value under `key`, inserting
+    /// `default()` first if the entry is vacant.
+    pub fn get_or_insert_with(&mut self, key: Key, default: impl FnOnce() -> V) -> &mut V {
+        let slot = self.slot_of(key);
+        let value = &mut self.values[slot];
+        if value.is_none() {
+            *value = Some(default());
+            self.occupied += 1;
+        }
+        value.as_mut().expect("just filled")
+    }
+
+    /// Iterates occupied entries in first-insertion order of their keys.
+    pub fn iter(&self) -> impl Iterator<Item = (Key, &V)> {
+        self.keys.iter().zip(self.values.iter()).filter_map(|(k, v)| v.as_ref().map(|v| (*k, v)))
+    }
+
+    /// Iterates occupied values in first-insertion order of their keys.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.values.iter().filter_map(|v| v.as_ref())
+    }
+
+    /// Keeps only the entries for which `pred` returns true.
+    pub fn retain(&mut self, mut pred: impl FnMut(Key, &V) -> bool) {
+        for (key, value) in self.keys.iter().zip(self.values.iter_mut()) {
+            if matches!(value, Some(v) if !pred(*key, v)) {
+                *value = None;
+                self.occupied -= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m: DenseKeyMap<u64> = DenseKeyMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(Key(10), 1), None);
+        assert_eq!(m.insert(Key(999_999), 2), None);
+        assert_eq!(m.insert(Key(10), 3), Some(1));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(Key(10)), Some(&3));
+        assert!(m.contains_key(Key(999_999)));
+        assert_eq!(m.remove(Key(10)), Some(3));
+        assert_eq!(m.remove(Key(10)), None);
+        assert_eq!(m.get(Key(10)), None);
+        assert_eq!(m.len(), 1);
+        // The interned slot is reused on re-insert.
+        assert_eq!(m.insert(Key(10), 4), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_first_insertion_order() {
+        let mut m: DenseKeyMap<u64> = DenseKeyMap::new();
+        for k in [7u64, 3, 99, 3, 12] {
+            m.insert(Key(k), k * 10);
+        }
+        let keys: Vec<u64> = m.iter().map(|(k, _)| k.0).collect();
+        assert_eq!(keys, vec![7, 3, 99, 12]);
+        m.remove(Key(3));
+        let keys: Vec<u64> = m.iter().map(|(k, _)| k.0).collect();
+        assert_eq!(keys, vec![7, 99, 12]);
+        // Reinserting a removed key keeps its original slot position.
+        m.insert(Key(3), 1);
+        let keys: Vec<u64> = m.iter().map(|(k, _)| k.0).collect();
+        assert_eq!(keys, vec![7, 3, 99, 12]);
+    }
+
+    #[test]
+    fn get_or_insert_with_and_retain() {
+        let mut m: DenseKeyMap<Vec<u64>> = DenseKeyMap::new();
+        m.get_or_insert_with(Key(1), Vec::new).push(5);
+        m.get_or_insert_with(Key(1), Vec::new).push(6);
+        m.get_or_insert_with(Key(2), Vec::new).push(7);
+        assert_eq!(m.get(Key(1)), Some(&vec![5, 6]));
+        m.retain(|_, v| v.len() > 1);
+        assert_eq!(m.len(), 1);
+        assert!(m.get(Key(2)).is_none());
+        assert_eq!(m.values().count(), 1);
+    }
+}

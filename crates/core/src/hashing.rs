@@ -69,6 +69,16 @@ impl Hasher for FxHasher {
 /// `BuildHasher` for [`FxHasher`]-backed maps and sets.
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
+/// A `HashMap` seeded with [`FxHasher`]: faster probes than SipHash on the
+/// small fixed-width keys the protocol crates use (transaction and operation
+/// ids), and — unlike `std`'s per-instance random state — an iteration order
+/// that is a pure function of the insert/remove sequence, so simulations
+/// replay identically across processes and hosts.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` seeded with [`FxHasher`]; see [`FxHashMap`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
 /// The search memo table: `(placed-set, state fingerprint)` keys hashed with
 /// [`FxHasher`]. `K` is the scheduled-set representation: `u128` on the
 /// ≤128-op fast path, [`crate::opset::OpSet`] beyond it.

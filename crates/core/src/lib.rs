@@ -47,6 +47,7 @@
 //! ```
 
 pub mod checker;
+pub mod densemap;
 pub mod fence;
 pub mod hashing;
 pub mod history;
@@ -63,6 +64,7 @@ pub use checker::certificate::{
 };
 pub use checker::models::{check, satisfies, CheckOutcome, Model};
 pub use checker::proximal::{check_proximal, ProximalModel};
+pub use densemap::DenseKeyMap;
 pub use fence::FencedService;
 pub use history::{History, HistoryBuilder, HistoryIndex, MessageEdge, OpRecord};
 pub use op::{OpKind, OpResult};

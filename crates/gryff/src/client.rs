@@ -282,7 +282,11 @@ impl GryffService {
         let witness = match kind {
             // Fences carry no per-key ordering metadata.
             OpKind::Fence => WitnessHint::None,
-            _ => WitnessHint::Carstamp { count: carstamp.count, writer: carstamp.writer },
+            _ => WitnessHint::Carstamp {
+                count: carstamp.count,
+                writer: carstamp.writer,
+                rmwc: carstamp.rmwc,
+            },
         };
         self.completed.push(CompletedRecord {
             service: self.service,
@@ -605,10 +609,10 @@ mod tests {
             attempts: 1,
             rounds: 1,
             orphan: false,
-            witness: WitnessHint::Carstamp { count: 1, writer: 2 },
+            witness: WitnessHint::Carstamp { count: 1, writer: 2, rmwc: 0 },
         };
         assert_eq!(rec.rounds, 1);
         assert_eq!(rec.latency(), SimDuration::from_millis(72));
-        assert!(matches!(rec.witness, WitnessHint::Carstamp { count: 1, writer: 2 }));
+        assert!(matches!(rec.witness, WitnessHint::Carstamp { count: 1, writer: 2, rmwc: 0 }));
     }
 }

@@ -1,6 +1,7 @@
 //! Configuration of a simulated Gryff / Gryff-RSC deployment.
 
 use regular_sim::fault::FaultSchedule;
+use regular_sim::queue::QueueKind;
 use regular_sim::time::SimDuration;
 
 /// Which read protocol the deployment runs.
@@ -34,6 +35,10 @@ pub struct GryffConfig {
     pub op_timeout: Option<SimDuration>,
     /// Scripted faults installed into the engine for this deployment run.
     pub faults: FaultSchedule,
+    /// Event-queue implementation the engine runs on. The default indexed
+    /// queue and the reference heap replay identical histories; the knob
+    /// exists for differential tests and the `engine_hotpath` benchmarks.
+    pub queue_kind: QueueKind,
 }
 
 impl GryffConfig {
@@ -48,6 +53,7 @@ impl GryffConfig {
             client_service_time: SimDuration::from_micros(2),
             op_timeout: None,
             faults: FaultSchedule::default(),
+            queue_kind: QueueKind::Indexed,
         }
     }
 
@@ -62,6 +68,7 @@ impl GryffConfig {
             client_service_time: SimDuration::from_micros(2),
             op_timeout: None,
             faults: FaultSchedule::default(),
+            queue_kind: QueueKind::Indexed,
         }
     }
 

@@ -150,6 +150,7 @@ pub fn run_gryff(spec: GryffClusterSpec) -> GryffRunResult {
         default_service_time: config.replica_service_time,
         max_time: stop_issuing_at + drain,
         truetime_epsilon: SimDuration::ZERO,
+        queue: config.queue_kind,
     };
     let mut engine: Engine<GryffMsg, GryffNode> = Engine::new(engine_cfg, net.clone(), seed);
     if !config.faults.is_empty() {
@@ -253,9 +254,9 @@ pub fn record_with_carstamp_chains(
             OpKind::Write { key, .. } | OpKind::Rmw { key, .. } => (Some(*key), 0),
             _ => (None, 0),
         };
-        if let (Some(k), WitnessHint::Carstamp { count, writer }) = (key, op.witness) {
+        if let (Some(k), WitnessHint::Carstamp { count, writer, rmwc }) = (key, op.witness) {
             per_key.entry(k.0).or_default().push((
-                Carstamp { count, writer },
+                Carstamp { count, writer, rmwc },
                 rank,
                 op.finish.as_micros(),
                 id,

@@ -125,7 +125,11 @@ mod tests {
         let m = GryffMsg::Read1 {
             op: OpRef { node: 3, seq: 1 },
             key: Key(4),
-            dep: Some(Dep { key: Key(4), value: Value(9), cs: Carstamp { count: 2, writer: 1 } }),
+            dep: Some(Dep {
+                key: Key(4),
+                value: Value(9),
+                cs: Carstamp { count: 2, writer: 1, rmwc: 0 },
+            }),
         };
         match m.clone() {
             GryffMsg::Read1 { dep: Some(d), .. } => assert_eq!(d.value, Value(9)),

@@ -9,7 +9,10 @@
 //! Gryff's EPaxos-based consensus path that preserves per-key atomicity of
 //! rmws (see DESIGN.md).
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
+
+use regular_core::densemap::DenseKeyMap;
+use regular_core::hashing::{FxHashMap, FxHashSet};
 
 use regular_core::types::{Key, Value};
 use regular_sim::engine::{Context, NodeId};
@@ -47,7 +50,7 @@ struct RmwCoordination {
     /// Replicas that answered the current round — a set, because rounds may
     /// be re-sent after a crash and messages may be duplicated, and a quorum
     /// must mean distinct replicas.
-    replied: HashSet<NodeId>,
+    replied: FxHashSet<NodeId>,
     max: (Carstamp, Value),
     chosen: Carstamp,
 }
@@ -62,19 +65,19 @@ pub struct GryffReplica {
     /// deployments add replicas first (`first_node = 0`), composed
     /// deployments place them after other stores' nodes.
     first_node: NodeId,
-    store: HashMap<Key, (Value, Carstamp)>,
+    store: DenseKeyMap<(Value, Carstamp)>,
     /// In-flight rmw coordinations, keyed by internal sequence number. Like
     /// real Gryff's EPaxos-based rmw path, coordination state is
     /// consensus-replicated and therefore survives leader crashes; recovery
     /// re-drives the current round (see `Node::on_recover`).
-    rmws: HashMap<u64, RmwCoordination>,
+    rmws: FxHashMap<u64, RmwCoordination>,
     next_internal: u64,
     /// Per-key queue of rmws waiting their turn (the head is active).
-    rmw_queue: HashMap<Key, VecDeque<u64>>,
+    rmw_queue: DenseKeyMap<VecDeque<u64>>,
     /// The at-most-once table: decided rmws by client operation id, so a
     /// retried `Rmw` request is answered from the log instead of being
     /// applied twice.
-    finished_rmws: HashMap<OpRef, (Value, Carstamp)>,
+    finished_rmws: FxHashMap<OpRef, (Value, Carstamp)>,
     /// Statistics for the harness.
     pub stats: ReplicaStats,
 }
@@ -87,11 +90,11 @@ impl GryffReplica {
             quorum: cfg.quorum(),
             num_replicas: cfg.num_replicas,
             first_node: 0,
-            store: HashMap::new(),
-            rmws: HashMap::new(),
+            store: DenseKeyMap::new(),
+            rmws: FxHashMap::default(),
             next_internal: 0,
-            rmw_queue: HashMap::new(),
-            finished_rmws: HashMap::new(),
+            rmw_queue: DenseKeyMap::new(),
+            finished_rmws: FxHashMap::default(),
             stats: ReplicaStats::default(),
         }
     }
@@ -117,7 +120,7 @@ impl GryffReplica {
 
     /// Current value and carstamp for a key.
     pub fn get(&self, key: Key) -> (Value, Carstamp) {
-        self.store.get(&key).copied().unwrap_or((Value::NULL, Carstamp::ZERO))
+        self.store.get(key).copied().unwrap_or((Value::NULL, Carstamp::ZERO))
     }
 
     fn apply(&mut self, key: Key, value: Value, cs: Carstamp) {
@@ -135,7 +138,7 @@ impl GryffReplica {
     }
 
     fn start_next_rmw(&mut self, ctx: &mut Context<GryffMsg>, key: Key) {
-        let Some(queue) = self.rmw_queue.get(&key) else { return };
+        let Some(queue) = self.rmw_queue.get(key) else { return };
         let Some(&internal) = queue.front() else { return };
         let op = OpRef { node: ctx.node_id(), seq: internal };
         let key = self.rmws[&internal].key;
@@ -153,7 +156,6 @@ impl GryffReplica {
         value: Value,
         cs: Carstamp,
     ) {
-        let writer = ctx.node_id() as u64 + 1_000;
         let ready = {
             let Some(coord) = self.rmws.get_mut(&internal) else { return };
             if coord.phase != RmwPhase::Read || !coord.replied.insert(from) {
@@ -172,7 +174,10 @@ impl GryffReplica {
             let coord = self.rmws.get_mut(&internal).expect("coordination exists");
             coord.phase = RmwPhase::Write;
             coord.replied.clear();
-            coord.chosen = coord.max.0.next(writer);
+            // The rmw extends the base value it observed: only `rmwc`
+            // advances, so a racing base write (count + 1) still orders
+            // above this rmw — see `Carstamp::next_rmw`.
+            coord.chosen = coord.max.0.next_rmw();
             (OpRef { node: ctx.node_id(), seq: internal }, coord.key, coord.new_value, coord.chosen)
         };
         for p in self.peer_nodes() {
@@ -199,10 +204,10 @@ impl GryffReplica {
             GryffMsg::RmwReply { op: coord.client_op, old_value: coord.max.1, cs: coord.chosen },
         );
         // Start the next queued rmw for this key, if any.
-        if let Some(queue) = self.rmw_queue.get_mut(&coord.key) {
+        if let Some(queue) = self.rmw_queue.get_mut(coord.key) {
             queue.pop_front();
             if queue.is_empty() {
-                self.rmw_queue.remove(&coord.key);
+                self.rmw_queue.remove(coord.key);
             } else {
                 self.start_next_rmw(ctx, coord.key);
             }
@@ -251,12 +256,12 @@ impl regular_sim::engine::Node<GryffMsg> for GryffReplica {
                         key,
                         new_value,
                         phase: RmwPhase::Read,
-                        replied: HashSet::new(),
+                        replied: FxHashSet::default(),
                         max: (Carstamp::ZERO, Value::NULL),
                         chosen: Carstamp::ZERO,
                     },
                 );
-                let queue = self.rmw_queue.entry(key).or_default();
+                let queue = self.rmw_queue.get_or_insert_with(key, VecDeque::new);
                 queue.push_back(internal);
                 if queue.len() == 1 {
                     self.start_next_rmw(ctx, key);
@@ -286,10 +291,12 @@ impl regular_sim::engine::Node<GryffMsg> for GryffReplica {
         // expired. Re-drive the current round of every active (head-of-queue)
         // coordination; rounds are idempotent and reply-counting dedups by
         // replica, so replicas that already answered simply answer again.
-        let mut keys: Vec<Key> = self.rmw_queue.keys().copied().collect();
+        let mut keys: Vec<Key> = self.rmw_queue.iter().map(|(k, _)| k).collect();
         keys.sort_unstable();
         for key in keys {
-            let Some(&internal) = self.rmw_queue[&key].front() else { continue };
+            let Some(&internal) = self.rmw_queue.get(key).and_then(|q| q.front()) else {
+                continue;
+            };
             let Some(coord) = self.rmws.get(&internal) else { continue };
             let op = OpRef { node: ctx.node_id(), seq: internal };
             match coord.phase {
@@ -322,10 +329,10 @@ mod tests {
         let cfg = GryffConfig::wan(Mode::Gryff);
         let mut r = GryffReplica::new(&cfg, 0);
         assert_eq!(r.get(Key(1)), (Value::NULL, Carstamp::ZERO));
-        r.apply(Key(1), Value(10), Carstamp { count: 2, writer: 1 });
-        r.apply(Key(1), Value(20), Carstamp { count: 1, writer: 9 });
+        r.apply(Key(1), Value(10), Carstamp { count: 2, writer: 1, rmwc: 0 });
+        r.apply(Key(1), Value(20), Carstamp { count: 1, writer: 9, rmwc: 0 });
         assert_eq!(r.get(Key(1)).0, Value(10), "older carstamp must not overwrite newer");
-        r.apply(Key(1), Value(30), Carstamp { count: 3, writer: 0 });
+        r.apply(Key(1), Value(30), Carstamp { count: 3, writer: 0, rmwc: 0 });
         assert_eq!(r.get(Key(1)).0, Value(30));
     }
 

@@ -50,10 +50,12 @@ pub enum WitnessHint {
     },
     /// A per-key carstamp (Gryff): totally ordered within a key only.
     Carstamp {
-        /// Carstamp counter.
+        /// Carstamp counter (advanced by base writes).
         count: u64,
         /// Writer id breaking counter ties.
         writer: u64,
+        /// Read-modify-write counter extending the base value.
+        rmwc: u64,
     },
 }
 

@@ -28,10 +28,19 @@
 //!   which keeps runs bit-for-bit deterministic for a fixed seed — with or
 //!   without faults, since drop/duplicate sampling draws from the same
 //!   seeded RNG stream.
-
-use std::cmp::Ordering;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//!
+//! # Event storage
+//!
+//! Events live in an arena-backed indexed queue ([`crate::queue`]): payloads
+//! are written into a slab once at dispatch and moved out once at delivery,
+//! with a calendar time wheel ordering the near future and a heap fallback
+//! for far timers. Message delivery is zero-clone — the only path that
+//! clones a message is a `Delivery::Duplicate` verdict, which copies the
+//! payload in-arena for the echo. Per-turn outbox/timer buffers are engine
+//! scratch, reused across turns. The seed engine's heap-of-whole-entries
+//! queue survives as [`crate::queue::QueueKind::ReferenceHeap`]; both kinds
+//! pop in identical `(time, seq)` order, so they replay identical histories
+//! (differentially tested in `tests/queue_determinism.rs`).
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -39,6 +48,7 @@ use rand::{Rng, SeedableRng};
 use crate::fault::{FaultSchedule, MessageFault};
 use crate::metrics::MessageStats;
 use crate::net::{Delivery, NetworkModel, Region};
+use crate::queue::{QueueKind, SimQueue};
 use crate::time::{SimDuration, SimTime};
 use crate::truetime::{TrueTime, TtInterval};
 
@@ -85,6 +95,11 @@ pub struct EngineConfig {
     pub max_time: SimTime,
     /// TrueTime uncertainty bound ε for all nodes.
     pub truetime_epsilon: SimDuration,
+    /// Event-queue implementation (see [`QueueKind`]): the indexed
+    /// arena/time-wheel queue by default, or the retained reference heap for
+    /// differential tests and benchmarks. Both pop in identical order, so
+    /// this knob never changes a simulation's history — only its wall-clock.
+    pub queue: QueueKind,
 }
 
 impl Default for EngineConfig {
@@ -93,10 +108,12 @@ impl Default for EngineConfig {
             default_service_time: SimDuration::from_micros(10),
             max_time: SimTime::from_secs(3_600),
             truetime_epsilon: SimDuration::ZERO,
+            queue: QueueKind::Indexed,
         }
     }
 }
 
+#[derive(Clone)]
 enum EventKind<M> {
     Start { node: NodeId },
     Message { from: NodeId, to: NodeId, msg: M },
@@ -105,39 +122,20 @@ enum EventKind<M> {
     Recover { node: NodeId },
 }
 
-struct EventEntry<M> {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind<M>,
-}
-
-impl<M> PartialEq for EventEntry<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<M> Eq for EventEntry<M> {}
-impl<M> PartialOrd for EventEntry<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for EventEntry<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
 /// The node-facing handle into the simulation.
+///
+/// The outbox/timer buffers are engine-owned scratch vectors, reused across
+/// turns (the engine drains them after every handler) instead of allocating
+/// per event.
 pub struct Context<'a, M> {
     now: SimTime,
     node_id: NodeId,
     rng: &'a mut SmallRng,
     truetime: &'a mut TrueTime,
     /// Messages to send: (destination, extra delay, message).
-    outbox: Vec<(NodeId, SimDuration, M)>,
+    outbox: &'a mut Vec<(NodeId, SimDuration, M)>,
     /// Timers to set: (delay, tag).
-    timers: Vec<(SimDuration, u64)>,
+    timers: &'a mut Vec<(SimDuration, u64)>,
 }
 
 impl<'a, M> Context<'a, M> {
@@ -211,16 +209,18 @@ impl<'a, M> Context<'a, M> {
     where
         P: Into<M>,
     {
+        let mut outbox: Vec<(NodeId, SimDuration, P)> = Vec::new();
+        let mut timers: Vec<(SimDuration, u64)> = Vec::new();
         let mut inner: Context<'_, P> = Context {
             now: self.now,
             node_id: self.node_id,
             rng: &mut *self.rng,
             truetime: &mut *self.truetime,
-            outbox: Vec::new(),
-            timers: Vec::new(),
+            outbox: &mut outbox,
+            timers: &mut timers,
         };
         let r = f(&mut inner);
-        let Context { outbox, timers, .. } = inner;
+        let _ = inner;
         for (to, extra, msg) in outbox {
             self.outbox.push((to, extra, msg.into()));
         }
@@ -246,20 +246,24 @@ pub struct Engine<M, N> {
     busy_until: Vec<SimTime>,
     crashed: Vec<bool>,
     crashed_until: Vec<Option<SimTime>>,
-    queue: BinaryHeap<Reverse<EventEntry<M>>>,
+    queue: SimQueue<EventKind<M>>,
     now: SimTime,
-    seq: u64,
     rng: SmallRng,
     started: bool,
     messages: MessageStats,
     processed_events: u64,
     seed: u64,
+    /// Scratch buffers lent to [`Context`]s and drained after every handler,
+    /// so a turn costs no allocation once they reach steady-state capacity.
+    outbox_scratch: Vec<(NodeId, SimDuration, M)>,
+    timers_scratch: Vec<(SimDuration, u64)>,
 }
 
 impl<M: Clone + 'static, N: Node<M>> Engine<M, N> {
     /// Creates an engine with the given configuration, network model, and
     /// random seed.
     pub fn new(cfg: EngineConfig, net: impl NetworkModel, seed: u64) -> Self {
+        let queue = SimQueue::new(cfg.queue);
         Engine {
             cfg,
             net: Box::new(net),
@@ -271,14 +275,15 @@ impl<M: Clone + 'static, N: Node<M>> Engine<M, N> {
             busy_until: Vec::new(),
             crashed: Vec::new(),
             crashed_until: Vec::new(),
-            queue: BinaryHeap::new(),
+            queue,
             now: SimTime::ZERO,
-            seq: 0,
             rng: SmallRng::seed_from_u64(seed),
             started: false,
             messages: MessageStats::default(),
             processed_events: 0,
             seed,
+            outbox_scratch: Vec::new(),
+            timers_scratch: Vec::new(),
         }
     }
 
@@ -389,10 +394,26 @@ impl<M: Clone + 'static, N: Node<M>> Engine<M, N> {
         self.processed_events
     }
 
+    /// Allocates `kind` into the event arena and schedules it at `time`.
+    /// The payload moves into the queue exactly once (see
+    /// [`SimQueue::alloc`]'s `#[must_use]` id for why there is no
+    /// by-reference variant to clone from).
     fn push_event(&mut self, time: SimTime, kind: EventKind<M>) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(EventEntry { time, seq, kind }));
+        let (node, power) = Self::route(&kind);
+        let id = self.queue.alloc(kind);
+        self.queue.schedule(time, id, node, power);
+    }
+
+    /// The routing header of an event: destination node, and whether it is
+    /// a power (crash/recover) event that bypasses the CPU/busy model.
+    fn route(kind: &EventKind<M>) -> (NodeId, bool) {
+        match kind {
+            EventKind::Start { node } => (*node, false),
+            EventKind::Message { to, .. } => (*to, false),
+            EventKind::Timer { node, .. } => (*node, false),
+            EventKind::Crash { node, .. } => (*node, true),
+            EventKind::Recover { node } => (*node, true),
+        }
     }
 
     fn schedule_start_events(&mut self) {
@@ -494,8 +515,12 @@ impl<M: Clone + 'static, N: Node<M>> Engine<M, N> {
             Delivery::Duplicate { latency, echo_after } => {
                 self.messages.duplicated += 1;
                 let at = self.now + latency + extra;
-                self.push_event(at, EventKind::Message { from, to, msg: msg.clone() });
-                self.push_event(at + echo_after, EventKind::Message { from, to, msg });
+                // The only cloning path in delivery: the echo copy is cloned
+                // in-arena; the original is moved, never copied.
+                let first = self.queue.alloc(EventKind::Message { from, to, msg });
+                let echo = self.queue.alloc_duplicate(first);
+                self.queue.schedule(at, first, to, false);
+                self.queue.schedule(at + echo_after, echo, to, false);
             }
         }
     }
@@ -506,72 +531,133 @@ impl<M: Clone + 'static, N: Node<M>> Engine<M, N> {
         self.run_until(self.cfg.max_time)
     }
 
+    /// True when per-turn buffers are reused across turns. The reference
+    /// engine allocates fresh ones per handler, exactly like the seed
+    /// engine, so the `engine_hotpath` A/B measures the full before/after
+    /// (queue layout *and* allocation discipline) in one binary.
+    fn reuse_scratch(&self) -> bool {
+        self.queue.kind() == QueueKind::Indexed
+    }
+
+    /// The outbox/timer buffers for one turn: the engine's scratch (empty,
+    /// capacity warm) under the indexed queue, fresh allocations under the
+    /// reference engine.
+    #[allow(clippy::type_complexity)]
+    fn take_turn_buffers(&mut self) -> (Vec<(NodeId, SimDuration, M)>, Vec<(SimDuration, u64)>) {
+        if self.reuse_scratch() {
+            (std::mem::take(&mut self.outbox_scratch), std::mem::take(&mut self.timers_scratch))
+        } else {
+            (Vec::new(), Vec::new())
+        }
+    }
+
+    /// Hands (emptied) turn buffers back to the engine for reuse; the
+    /// reference engine drops them, exactly like the seed engine did.
+    fn return_turn_buffers(
+        &mut self,
+        outbox: Vec<(NodeId, SimDuration, M)>,
+        timers: Vec<(SimDuration, u64)>,
+    ) {
+        debug_assert!(outbox.is_empty() && timers.is_empty());
+        if self.reuse_scratch() {
+            self.outbox_scratch = outbox;
+            self.timers_scratch = timers;
+        }
+    }
+
+    /// Drains the turn buffers into dispatched messages and scheduled timers
+    /// for `node`, then hands the buffers — emptied, capacity intact — back
+    /// to the engine for the next turn.
+    fn flush_turn(
+        &mut self,
+        node: NodeId,
+        mut outbox: Vec<(NodeId, SimDuration, M)>,
+        mut timers: Vec<(SimDuration, u64)>,
+    ) {
+        for (to, extra, msg) in outbox.drain(..) {
+            self.dispatch(node, to, extra, msg);
+        }
+        for (delay, tag) in timers.drain(..) {
+            self.push_event(self.now + delay, EventKind::Timer { node, tag });
+        }
+        self.return_turn_buffers(outbox, timers);
+    }
+
     /// Runs until the event queue is empty or the given deadline is reached.
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
         self.schedule_start_events();
-        while let Some(Reverse(entry)) = self.queue.peek() {
-            if entry.time > deadline {
+        while let Some((head_time, head_node, head_power)) = self.queue.peek_head() {
+            if head_time > deadline {
                 break;
             }
-            let Reverse(entry) = self.queue.pop().expect("peeked entry must exist");
-            let node_id = match &entry.kind {
-                EventKind::Start { node } => *node,
-                EventKind::Message { to, .. } => *to,
-                EventKind::Timer { node, .. } => *node,
-                EventKind::Crash { node, .. } => *node,
-                EventKind::Recover { node } => *node,
-            };
+            // Model CPU contention from the routing header alone: if the
+            // target node is still busy, defer the head to when it frees up
+            // without ever touching the payload. (Power events bypass the
+            // busy model, and events for crashed nodes are handled below.)
+            if !head_power && !self.crashed[head_node] {
+                let busy = self.busy_until[head_node];
+                if busy > head_time {
+                    self.queue.defer_head(busy);
+                    // Advance time to the event we deferred from, keeping
+                    // `now` monotone for observers.
+                    self.now = self.now.max(head_time);
+                    continue;
+                }
+            }
+            let (time, kind) = self.queue.pop().expect("peeked entry must exist");
+            let node_id = head_node;
             // Crash and recover are external power events: they bypass the
             // CPU/busy model and the crashed-node filters below.
-            match entry.kind {
+            match kind {
                 EventKind::Crash { node, recover_at } => {
-                    self.now = self.now.max(entry.time);
+                    self.now = self.now.max(time);
                     self.processed_events += 1;
                     self.crashed[node] = true;
                     self.crashed_until[node] = recover_at;
                     self.busy_until[node] = self.now;
+                    let (mut outbox, mut timers) = self.take_turn_buffers();
                     let mut ctx = Context {
                         now: self.now,
                         node_id: node,
                         rng: &mut self.rng,
                         truetime: &mut self.truetimes[node],
-                        outbox: Vec::new(),
-                        timers: Vec::new(),
+                        outbox: &mut outbox,
+                        timers: &mut timers,
                     };
                     self.nodes[node].on_crash(&mut ctx);
+                    let _ = ctx;
                     // A crashing node cannot act: discard anything the hook
                     // tried to send or schedule.
+                    outbox.clear();
+                    timers.clear();
+                    self.return_turn_buffers(outbox, timers);
                     continue;
                 }
                 EventKind::Recover { node } => {
-                    self.now = self.now.max(entry.time);
+                    self.now = self.now.max(time);
                     self.processed_events += 1;
                     self.crashed[node] = false;
                     self.crashed_until[node] = None;
                     self.busy_until[node] = self.now;
+                    let (mut outbox, mut timers) = self.take_turn_buffers();
                     let mut ctx = Context {
                         now: self.now,
                         node_id: node,
                         rng: &mut self.rng,
                         truetime: &mut self.truetimes[node],
-                        outbox: Vec::new(),
-                        timers: Vec::new(),
+                        outbox: &mut outbox,
+                        timers: &mut timers,
                     };
                     self.nodes[node].on_recover(&mut ctx);
-                    let Context { outbox, timers, .. } = ctx;
-                    for (to, extra, msg) in outbox {
-                        self.dispatch(node, to, extra, msg);
-                    }
-                    for (delay, tag) in timers {
-                        self.push_event(self.now + delay, EventKind::Timer { node, tag });
-                    }
+                    let _ = ctx;
+                    self.flush_turn(node, outbox, timers);
                     continue;
                 }
                 _ => {}
             }
             if self.crashed[node_id] {
-                self.now = self.now.max(entry.time);
-                match entry.kind {
+                self.now = self.now.max(time);
+                match kind {
                     EventKind::Message { .. } => {
                         // Addressed to a node that is down: the message is
                         // lost (the transport cannot hold it).
@@ -592,29 +678,20 @@ impl<M: Clone + 'static, N: Node<M>> Engine<M, N> {
                 }
                 continue;
             }
-            // Model CPU contention: if the target node is still busy, push the
-            // event back to when the node frees up.
-            let busy = self.busy_until[node_id];
-            if busy > entry.time {
-                self.push_event(busy, entry.kind);
-                // Advance time to the event we deferred from, keeping `now`
-                // monotone for observers.
-                self.now = self.now.max(entry.time);
-                continue;
-            }
-            self.now = self.now.max(entry.time);
+            self.now = self.now.max(time);
             self.busy_until[node_id] = self.now + self.service_times[node_id];
             self.processed_events += 1;
 
+            let (mut outbox, mut timers) = self.take_turn_buffers();
             let mut ctx = Context {
                 now: self.now,
                 node_id,
                 rng: &mut self.rng,
                 truetime: &mut self.truetimes[node_id],
-                outbox: Vec::new(),
-                timers: Vec::new(),
+                outbox: &mut outbox,
+                timers: &mut timers,
             };
-            match entry.kind {
+            match kind {
                 EventKind::Start { .. } => self.nodes[node_id].on_start(&mut ctx),
                 EventKind::Message { from, msg, .. } => {
                     self.messages.delivered += 1;
@@ -625,14 +702,8 @@ impl<M: Clone + 'static, N: Node<M>> Engine<M, N> {
                     unreachable!("handled above")
                 }
             }
-            let Context { outbox, timers, .. } = ctx;
-            for (to, extra, msg) in outbox {
-                self.dispatch(node_id, to, extra, msg);
-            }
-            for (delay, tag) in timers {
-                let at = self.now + delay;
-                self.push_event(at, EventKind::Timer { node: node_id, tag });
-            }
+            let _ = ctx;
+            self.flush_turn(node_id, outbox, timers);
         }
         self.now
     }
@@ -706,6 +777,7 @@ mod tests {
             default_service_time: SimDuration::from_micros(10),
             max_time: SimTime::from_secs(10),
             truetime_epsilon: SimDuration::from_millis(5),
+            ..EngineConfig::default()
         };
         let net = LatencyMatrix::spanner_wan();
         let mut engine = Engine::new(cfg, net, seed);
@@ -803,6 +875,7 @@ mod tests {
     struct Chatter {
         peer: NodeId,
         got: u64,
+        pings_heard: u64,
         crashes: u64,
         recoveries: u64,
     }
@@ -813,7 +886,10 @@ mod tests {
         }
         fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
             match msg {
-                Msg::Ping(n) => ctx.send(from, Msg::Pong(n)),
+                Msg::Ping(n) => {
+                    self.pings_heard += 1;
+                    ctx.send(from, Msg::Pong(n));
+                }
                 Msg::Pong(_) => self.got += 1,
             }
         }
@@ -836,12 +912,13 @@ mod tests {
             default_service_time: SimDuration::from_micros(10),
             max_time: SimTime::from_secs(12),
             truetime_epsilon: SimDuration::ZERO,
+            ..EngineConfig::default()
         };
         // Two regions, 10 ms one-way.
         let net = LatencyMatrix::from_rtt_ms(&[&[0.2, 20.0], &[20.0, 0.2]], SimDuration::ZERO);
         let mut engine = Engine::new(cfg, net, seed);
-        engine.add_node(Chatter { peer: 1, got: 0, crashes: 0, recoveries: 0 }, 0);
-        engine.add_node(Chatter { peer: 0, got: 0, crashes: 0, recoveries: 0 }, 1);
+        engine.add_node(Chatter { peer: 1, got: 0, pings_heard: 0, crashes: 0, recoveries: 0 }, 0);
+        engine.add_node(Chatter { peer: 0, got: 0, pings_heard: 0, crashes: 0, recoveries: 0 }, 1);
         engine
     }
 
@@ -885,6 +962,34 @@ mod tests {
         assert!(stats.dropped >= 40, "cut-link sends are dropped ({stats:?})");
         assert_eq!(stats.expired, 0, "no node crashed");
         assert!(engine.node(0).got > 0 && engine.node(1).got > 0, "both sides resume after heal");
+    }
+
+    #[test]
+    fn oneway_cut_drops_only_one_direction() {
+        // Cut region 0 -> region 1 for most of the run. Node 0's pings (and
+        // its pongs answering node 1) vanish at the send, so node 1 hears
+        // nothing; node 1's pings still cross 1 -> 0 and node 0 keeps
+        // hearing them. That inbound asymmetry is the one-way signature —
+        // a symmetric Pair cut would starve both inboxes equally.
+        let mut engine = chatter_engine(8);
+        engine.install_faults(FaultSchedule::new().cut_link_oneway(
+            Region(0),
+            Region(1),
+            SimTime::from_secs(1),
+            SimTime::from_secs(9),
+        ));
+        engine.run();
+        let stats = engine.message_stats();
+        assert!(stats.dropped >= 100, "all 0->1 sends were dropped ({stats:?})");
+        assert_eq!(stats.expired, 0, "no node crashed");
+        let (zero, one) = (engine.node(0), engine.node(1));
+        assert!(
+            zero.pings_heard >= one.pings_heard + 60,
+            "node 0 keeps receiving on the healthy direction ({} vs {})",
+            zero.pings_heard,
+            one.pings_heard
+        );
+        assert!(one.pings_heard < 25, "node 1's inbound link is cut ({})", one.pings_heard);
     }
 
     #[test]
@@ -995,6 +1100,7 @@ mod tests {
             default_service_time: SimDuration::from_micros(100),
             max_time: SimTime::from_secs(10),
             truetime_epsilon: SimDuration::ZERO,
+            ..EngineConfig::default()
         };
         let net = LatencyMatrix::single_region(SimDuration::from_micros(50));
         let mut engine: Engine<Msg, BusyNode> = Engine::new(cfg, net, 5);

@@ -33,6 +33,10 @@ use crate::time::{SimDuration, SimTime};
 pub enum LinkScope {
     /// The (symmetric) link between two regions.
     Pair(Region, Region),
+    /// Only messages travelling from the first region to the second — an
+    /// asymmetric (grey) failure: requests flow, replies vanish, or vice
+    /// versa. The reverse direction is unaffected.
+    OneWay(Region, Region),
     /// Every link with this region at either end — the classic "partition a
     /// data center away" fault. Intra-region traffic of *other* regions is
     /// unaffected; the region's own loopback traffic still flows.
@@ -46,6 +50,7 @@ impl LinkScope {
     pub fn covers(&self, from: Region, to: Region) -> bool {
         match *self {
             LinkScope::Pair(a, b) => (from == a && to == b) || (from == b && to == a),
+            LinkScope::OneWay(a, b) => from == a && to == b,
             // A region cut severs its links to OTHER regions only: nodes
             // co-located with a partitioned service keep talking to it.
             LinkScope::Region(r) => (from == r || to == r) && from != to,
@@ -135,6 +140,16 @@ impl FaultSchedule {
     pub fn cut_link(mut self, a: Region, b: Region, from: SimTime, until: SimTime) -> Self {
         Self::check_window(from, until);
         self.cuts.push(LinkCut { scope: LinkScope::Pair(a, b), from, until });
+        self
+    }
+
+    /// Cuts only the `a -> b` direction of a link during `[from, until)`:
+    /// messages from `a` to `b` are dropped while `b -> a` traffic flows —
+    /// the asymmetric (one-way) link failure of grey networks, where a
+    /// request keeps arriving but its reply keeps vanishing.
+    pub fn cut_link_oneway(mut self, a: Region, b: Region, from: SimTime, until: SimTime) -> Self {
+        Self::check_window(from, until);
+        self.cuts.push(LinkCut { scope: LinkScope::OneWay(a, b), from, until });
         self
     }
 
@@ -314,6 +329,28 @@ mod tests {
         );
 
         assert!(LinkScope::All.covers(regions::JAPAN, regions::JAPAN));
+
+        let oneway = LinkScope::OneWay(regions::CALIFORNIA, regions::VIRGINIA);
+        assert!(oneway.covers(regions::CALIFORNIA, regions::VIRGINIA));
+        assert!(
+            !oneway.covers(regions::VIRGINIA, regions::CALIFORNIA),
+            "the reverse direction of a one-way cut keeps flowing"
+        );
+        assert!(!oneway.covers(regions::CALIFORNIA, regions::IRELAND));
+    }
+
+    #[test]
+    fn oneway_cuts_are_asymmetric_in_time_and_direction() {
+        let s = FaultSchedule::new().cut_link_oneway(
+            regions::CALIFORNIA,
+            regions::VIRGINIA,
+            t(10),
+            t(20),
+        );
+        assert!(s.link_cut(t(10), regions::CALIFORNIA, regions::VIRGINIA));
+        assert!(!s.link_cut(t(10), regions::VIRGINIA, regions::CALIFORNIA));
+        assert!(!s.link_cut(t(20), regions::CALIFORNIA, regions::VIRGINIA), "heals at `until`");
+        assert_eq!(s.link_cuts().len(), 1);
     }
 
     #[test]

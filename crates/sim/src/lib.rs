@@ -68,6 +68,7 @@ pub mod engine;
 pub mod fault;
 pub mod metrics;
 pub mod net;
+pub mod queue;
 pub mod time;
 pub mod truetime;
 
@@ -76,5 +77,6 @@ pub use engine::{Context, Engine, EngineConfig, Node, NodeId};
 pub use fault::{CrashWindow, FaultSchedule, LinkScope, MessageFault};
 pub use metrics::{LatencyRecorder, MessageStats, ThroughputRecorder};
 pub use net::{Delivery, LatencyMatrix, NetworkModel, Region};
+pub use queue::{QueueKind, SimQueue};
 pub use time::{SimDuration, SimTime};
 pub use truetime::{TrueTime, TtInterval};

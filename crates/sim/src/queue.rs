@@ -1,0 +1,617 @@
+//! Arena-backed indexed event queues for the discrete-event engine.
+//!
+//! The engine's hot loop is push/pop on a priority queue keyed by
+//! `(time, seq)`. The seed implementation was a `BinaryHeap` of whole
+//! event entries, which memcpy'd every payload (protocol messages carry
+//! `Vec`s of writes) `O(log n)` times per sift. This module rebuilds the
+//! queue the way PR 1 rebuilt the checker — on dense indices:
+//!
+//! * **Arena** ([`EventId`]): payloads are written into a slab slot exactly
+//!   once, at [`SimQueue::alloc`], and moved out exactly once, at
+//!   [`SimQueue::pop`]. Nothing is cloned in between; the only cloning API
+//!   is [`SimQueue::alloc_duplicate`], which the engine uses for the one
+//!   path that semantically *is* a copy (`Delivery::Duplicate`).
+//! * **Calendar time wheel**: near-future events (the common case — message
+//!   latencies and service times are micro- to milliseconds) land in one of
+//!   [`NUM_BUCKETS`] buckets of [`BUCKET_WIDTH_US`] µs; each bucket holds
+//!   compact 24-byte `(time, seq, slot)` refs, scanned linearly on pop
+//!   (buckets hold a handful of events in practice).
+//! * **Heap fallback for far timers**: events beyond the wheel's span
+//!   (commit timeouts, crash windows seconds away) overflow into a small
+//!   binary heap of refs and are folded back into the wheel as its horizon
+//!   advances past them.
+//!
+//! Pops are in strict global `(time, seq)` order — the exact order the seed
+//! heap produced — so a fixed seed replays to a byte-identical history on
+//! either implementation. That equivalence is pinned by the differential
+//! tests below and in `tests/queue_determinism.rs`, against
+//! [`QueueKind::ReferenceHeap`], a retained reference implementation that
+//! reproduces the seed engine's heap-of-whole-entries layout (and its cost
+//! profile, which is what `benches/engine_hotpath.rs` measures against).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Which event-queue implementation an engine runs on.
+///
+/// Selected through `EngineConfig::queue`; harness configs surface it so
+/// differential tests and the `engine_hotpath` bench can A/B full protocol
+/// runs. Both implementations pop in identical `(time, seq)` order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueKind {
+    /// The arena + calendar-wheel queue (the default).
+    #[default]
+    Indexed,
+    /// The seed engine's `BinaryHeap`-of-whole-entries layout, retained as
+    /// the reference for differential tests and benchmarks.
+    ReferenceHeap,
+}
+
+/// Handle to an event payload parked in the queue's arena.
+///
+/// Returned by [`SimQueue::alloc`]; the payload does nothing until the id is
+/// [`SimQueue::schedule`]d. The type is `#[must_use]` so a call site cannot
+/// silently allocate (or clone) a payload and drop the handle — the mistake
+/// that used to reintroduce per-message clones.
+#[must_use = "an allocated event does nothing until it is scheduled"]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventId(u32);
+
+/// Bucket width of the calendar wheel, in microseconds (64 µs — the scale
+/// of service times and single-DC latencies, so dense workloads spread over
+/// many buckets instead of piling into one).
+const BUCKET_SHIFT: u32 = 6;
+/// Bucket width of the calendar wheel, in microseconds.
+pub const BUCKET_WIDTH_US: u64 = 1 << BUCKET_SHIFT;
+/// Number of wheel buckets; the wheel spans `NUM_BUCKETS * BUCKET_WIDTH_US`
+/// µs (~0.26 s) of near future — past every WAN latency and commit wait —
+/// beyond which events overflow to the heap.
+pub const NUM_BUCKETS: usize = 4_096;
+/// Words of the bucket-occupancy bitmap.
+const OCCUPANCY_WORDS: usize = NUM_BUCKETS / 64;
+
+/// A compact reference to an arena slot, ordered by `(time, seq)`.
+///
+/// `target` packs the event's destination node and the power-event flag
+/// (bit 31), so the engine can route busy-deferral decisions from the ref
+/// alone — [`SimQueue::defer_head`] never touches the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EventRef {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
+    target: u32,
+}
+
+/// Bit 31 of a packed target: set for power (crash/recover) events, which
+/// bypass the CPU/busy model.
+const POWER_BIT: u32 = 1 << 31;
+
+fn pack_target(node: usize, power: bool) -> u32 {
+    let node = u32::try_from(node).expect("node id fits u31");
+    assert!(node & POWER_BIT == 0, "node id fits u31");
+    node | if power { POWER_BIT } else { 0 }
+}
+
+/// The arena + calendar-wheel queue.
+///
+/// Buckets are small binary heaps of 24-byte [`EventRef`]s: radix
+/// bucketing does the coarse (64 µs) ordering, the per-bucket heap the fine
+/// ordering, so even pathological buckets (a saturated node deferring
+/// hundreds of events to the same busy instant) cost `O(log k)` per
+/// operation — and nothing ever moves a payload.
+struct IndexedQueue<T> {
+    /// Slab of payloads; `None` slots are free.
+    slots: Vec<Option<T>>,
+    /// Free slot ids, reused LIFO.
+    free: Vec<u32>,
+    /// The wheel: bucket `abs % NUM_BUCKETS` holds refs whose absolute
+    /// bucket index is in `[min_abs, min_abs + NUM_BUCKETS)`.
+    wheel: Vec<BinaryHeap<Reverse<EventRef>>>,
+    /// One bit per bucket: set iff the bucket is non-empty. Lets the cursor
+    /// leap over empty stretches with `trailing_zeros` instead of walking
+    /// them bucket by bucket.
+    occupancy: [u64; OCCUPANCY_WORDS],
+    /// Absolute bucket index of the wheel cursor (earliest live bucket).
+    min_abs: u64,
+    /// Events beyond the wheel horizon, by `(time, seq)`.
+    overflow: BinaryHeap<Reverse<EventRef>>,
+    /// Scheduled refs currently in the wheel (not the overflow).
+    wheel_len: usize,
+    /// Total scheduled refs.
+    len: usize,
+}
+
+impl<T> IndexedQueue<T> {
+    fn new() -> Self {
+        IndexedQueue {
+            slots: Vec::new(),
+            free: Vec::new(),
+            wheel: (0..NUM_BUCKETS).map(|_| BinaryHeap::new()).collect(),
+            occupancy: [0; OCCUPANCY_WORDS],
+            min_abs: 0,
+            overflow: BinaryHeap::new(),
+            wheel_len: 0,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn mark_occupied(&mut self, bucket: usize) {
+        self.occupancy[bucket / 64] |= 1 << (bucket % 64);
+    }
+
+    #[inline]
+    fn mark_empty(&mut self, bucket: usize) {
+        self.occupancy[bucket / 64] &= !(1 << (bucket % 64));
+    }
+
+    /// The first occupied bucket at or after `bucket(min_abs)`, in circular
+    /// order, as an offset from the cursor (`None` if the wheel is empty).
+    fn next_occupied_offset(&self) -> Option<u64> {
+        if self.wheel_len == 0 {
+            return None;
+        }
+        let start = (self.min_abs % NUM_BUCKETS as u64) as usize;
+        let (start_word, start_bit) = (start / 64, start % 64);
+        // First word: mask off bits before the cursor.
+        let masked = self.occupancy[start_word] & (!0u64 << start_bit);
+        if masked != 0 {
+            return Some(masked.trailing_zeros() as u64 - start_bit as u64);
+        }
+        // Subsequent words, wrapping circularly; the final step re-reads the
+        // first word, whose pre-cursor bits are buckets almost a full
+        // rotation ahead (still in-span).
+        for step in 1..=OCCUPANCY_WORDS {
+            let word = self.occupancy[(start_word + step) % OCCUPANCY_WORDS];
+            if word != 0 {
+                let bit = word.trailing_zeros() as u64;
+                return Some(step as u64 * 64 - start_bit as u64 + bit);
+            }
+        }
+        unreachable!("wheel_len > 0 but no occupied bucket found")
+    }
+
+    fn alloc(&mut self, payload: T) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(payload);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("event arena exceeds u32 slots");
+                self.slots.push(Some(payload));
+                slot
+            }
+        }
+    }
+
+    /// Absolute wheel bucket of an instant.
+    fn abs_bucket(time: SimTime) -> u64 {
+        time.as_micros() >> BUCKET_SHIFT
+    }
+
+    fn schedule(&mut self, entry: EventRef) {
+        let abs = Self::abs_bucket(entry.time);
+        if abs >= self.min_abs + NUM_BUCKETS as u64 {
+            self.overflow.push(Reverse(entry));
+        } else {
+            // An entry at or before the cursor's bucket (the engine only
+            // schedules at or after `now`) joins the cursor bucket; pops
+            // compare full `(time, seq)` keys, so ordering is unaffected.
+            let abs = abs.max(self.min_abs);
+            let bucket = (abs % NUM_BUCKETS as u64) as usize;
+            self.wheel[bucket].push(Reverse(entry));
+            self.mark_occupied(bucket);
+            self.wheel_len += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Folds overflow events that now fall inside the wheel horizon back
+    /// into their buckets.
+    fn drain_overflow(&mut self) {
+        let horizon = self.min_abs + NUM_BUCKETS as u64;
+        while let Some(&Reverse(entry)) = self.overflow.peek() {
+            if Self::abs_bucket(entry.time) >= horizon {
+                break;
+            }
+            let entry = self.overflow.pop().expect("peeked entry exists").0;
+            let bucket = (Self::abs_bucket(entry.time) % NUM_BUCKETS as u64) as usize;
+            self.wheel[bucket].push(Reverse(entry));
+            self.mark_occupied(bucket);
+            self.wheel_len += 1;
+        }
+    }
+
+    /// Locates the bucket holding the minimum `(time, seq)` ref, advancing
+    /// the cursor past empty buckets (and leaping straight to the overflow's
+    /// first bucket when the wheel is empty). Returns `None` on an empty
+    /// queue.
+    fn min_bucket(&mut self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.wheel_len == 0 {
+            // Everything lives past the horizon: leap the wheel to the
+            // earliest overflow event's bucket.
+            let &Reverse(first) = self.overflow.peek().expect("len > 0");
+            self.min_abs = Self::abs_bucket(first.time);
+            self.drain_overflow();
+        }
+        // Leap the cursor to the first occupied bucket, then restore the
+        // overflow invariant for the advanced horizon (folded events always
+        // land at or after the new cursor, so one leap settles it).
+        let offset = self.next_occupied_offset().expect("wheel_len > 0");
+        if offset > 0 {
+            self.min_abs += offset;
+            self.drain_overflow();
+        }
+        Some((self.min_abs % NUM_BUCKETS as u64) as usize)
+    }
+
+    fn peek_head(&mut self) -> Option<EventRef> {
+        let bucket = self.min_bucket()?;
+        self.wheel[bucket].peek().map(|&Reverse(e)| e)
+    }
+
+    /// Removes and returns the head ref, leaving its payload slot in place.
+    fn pop_head_ref(&mut self) -> Option<EventRef> {
+        let bucket = self.min_bucket()?;
+        let Reverse(entry) = self.wheel[bucket].pop().expect("min bucket is non-empty");
+        if self.wheel[bucket].is_empty() {
+            self.mark_empty(bucket);
+        }
+        self.wheel_len -= 1;
+        self.len -= 1;
+        Some(entry)
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, T)> {
+        let entry = self.pop_head_ref()?;
+        let payload = self.slots[entry.slot as usize].take().expect("scheduled slot is occupied");
+        self.free.push(entry.slot);
+        Some((entry.time, payload))
+    }
+}
+
+/// The seed engine's queue layout, retained as the differential-testing and
+/// benchmarking reference: a binary heap whose entries carry the whole
+/// payload (so every sift moves it).
+struct HeapEntry<T> {
+    time: SimTime,
+    seq: u64,
+    target: u32,
+    payload: T,
+}
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for HeapEntry<T> {}
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Reference queue: payloads allocated into a small pending list, moved into
+/// the heap at schedule time (reproducing the seed engine's cost profile).
+struct HeapQueue<T> {
+    pending: Vec<(u32, T)>,
+    next_pending: u32,
+    heap: BinaryHeap<Reverse<HeapEntry<T>>>,
+}
+
+impl<T> HeapQueue<T> {
+    fn new() -> Self {
+        HeapQueue { pending: Vec::new(), next_pending: 0, heap: BinaryHeap::new() }
+    }
+
+    fn alloc(&mut self, payload: T) -> u32 {
+        let id = self.next_pending;
+        self.next_pending = self.next_pending.wrapping_add(1);
+        self.pending.push((id, payload));
+        id
+    }
+
+    fn take_pending(&mut self, id: u32) -> T {
+        let pos = self
+            .pending
+            .iter()
+            .position(|(p, _)| *p == id)
+            .expect("event id was allocated and not yet scheduled");
+        self.pending.swap_remove(pos).1
+    }
+}
+
+/// The engine-facing event queue: one arena-id API over both implementations.
+///
+/// The lifecycle of every event is `alloc` (payload moves into the queue
+/// exactly once) then `schedule` (the event gets its tie-breaking sequence
+/// number, in call order) then `pop` (payload moves out). Sequence numbers
+/// are assigned at `schedule` time, so for an identical sequence of calls
+/// both [`QueueKind`]s pop in the identical global `(time, seq)` order.
+pub struct SimQueue<T> {
+    inner: QueueImpl<T>,
+    /// Tie-breaking sequence counter, assigned at `schedule` time. It lives
+    /// here (not per implementation) so both kinds share the exact
+    /// assignment discipline.
+    seq: u64,
+}
+
+// One queue exists per engine, so the variants' inline-size difference (the
+// wheel's occupancy bitmap lives inline) costs nothing per event.
+#[allow(clippy::large_enum_variant)]
+enum QueueImpl<T> {
+    Indexed(IndexedQueue<T>),
+    Heap(HeapQueue<T>),
+}
+
+impl<T> SimQueue<T> {
+    /// Creates an empty queue of the given kind.
+    pub fn new(kind: QueueKind) -> Self {
+        let inner = match kind {
+            QueueKind::Indexed => QueueImpl::Indexed(IndexedQueue::new()),
+            QueueKind::ReferenceHeap => QueueImpl::Heap(HeapQueue::new()),
+        };
+        SimQueue { inner, seq: 0 }
+    }
+
+    /// The kind this queue was created with.
+    pub fn kind(&self) -> QueueKind {
+        match &self.inner {
+            QueueImpl::Indexed(_) => QueueKind::Indexed,
+            QueueImpl::Heap(_) => QueueKind::ReferenceHeap,
+        }
+    }
+
+    /// Parks `payload` in the arena and returns its handle. The payload is
+    /// inert until [`SimQueue::schedule`] is called with the handle.
+    pub fn alloc(&mut self, payload: T) -> EventId {
+        match &mut self.inner {
+            QueueImpl::Indexed(q) => EventId(q.alloc(payload)),
+            QueueImpl::Heap(q) => EventId(q.alloc(payload)),
+        }
+    }
+
+    /// Clones the (allocated but not yet scheduled) payload behind `of` into
+    /// a fresh arena slot — the only cloning path in the queue, used by the
+    /// engine exclusively for `Delivery::Duplicate`.
+    pub fn alloc_duplicate(&mut self, of: EventId) -> EventId
+    where
+        T: Clone,
+    {
+        match &mut self.inner {
+            QueueImpl::Indexed(q) => {
+                let copy =
+                    q.slots[of.0 as usize].clone().expect("duplicated event must be allocated");
+                EventId(q.alloc(copy))
+            }
+            QueueImpl::Heap(q) => {
+                let copy = q
+                    .pending
+                    .iter()
+                    .find(|(p, _)| *p == of.0)
+                    .map(|(_, payload)| payload.clone())
+                    .expect("duplicated event must be pending");
+                EventId(q.alloc(copy))
+            }
+        }
+    }
+
+    /// Schedules an allocated event at `time`, assigning it the next
+    /// tie-breaking sequence number (same-instant events pop in schedule
+    /// order). `node` is the destination node and `power` marks
+    /// crash/recover events; both ride on the queue ref so the engine can
+    /// answer "who is this for?" — and defer it — without reading the
+    /// payload.
+    pub fn schedule(&mut self, time: SimTime, id: EventId, node: usize, power: bool) {
+        let seq = self.seq;
+        self.seq += 1;
+        let target = pack_target(node, power);
+        match &mut self.inner {
+            QueueImpl::Indexed(q) => q.schedule(EventRef { time, seq, slot: id.0, target }),
+            QueueImpl::Heap(q) => {
+                let payload = q.take_pending(id.0);
+                q.heap.push(Reverse(HeapEntry { time, seq, target, payload }));
+            }
+        }
+    }
+
+    /// Number of scheduled (not yet popped) events.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            QueueImpl::Indexed(q) => q.len,
+            QueueImpl::Heap(q) => q.heap.len(),
+        }
+    }
+
+    /// True if no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The instant of the earliest scheduled event, without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.peek_head().map(|(time, _, _)| time)
+    }
+
+    /// The `(time, node, power)` routing header of the earliest scheduled
+    /// event, without removing it.
+    pub fn peek_head(&mut self) -> Option<(SimTime, usize, bool)> {
+        let (time, target) = match &mut self.inner {
+            QueueImpl::Indexed(q) => q.peek_head().map(|e| (e.time, e.target))?,
+            QueueImpl::Heap(q) => q.heap.peek().map(|Reverse(e)| (e.time, e.target))?,
+        };
+        Some((time, (target & !POWER_BIT) as usize, target & POWER_BIT != 0))
+    }
+
+    /// Reschedules the earliest event at `new_time` with a fresh sequence
+    /// number — the busy-deferral path. The indexed queue moves only the
+    /// 24-byte ref; the reference heap pops and re-pushes the whole entry,
+    /// which is exactly what the seed engine's deferral did.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is empty.
+    pub fn defer_head(&mut self, new_time: SimTime) {
+        let seq = self.seq;
+        self.seq += 1;
+        match &mut self.inner {
+            QueueImpl::Indexed(q) => {
+                let entry = q.pop_head_ref().expect("defer_head on an empty queue");
+                q.schedule(EventRef { time: new_time, seq, ..entry });
+            }
+            QueueImpl::Heap(q) => {
+                let Reverse(entry) = q.heap.pop().expect("defer_head on an empty queue");
+                q.heap.push(Reverse(HeapEntry { time: new_time, seq, ..entry }));
+            }
+        }
+    }
+
+    /// Removes and returns the earliest scheduled event.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        match &mut self.inner {
+            QueueImpl::Indexed(q) => q.pop(),
+            QueueImpl::Heap(q) => q.heap.pop().map(|Reverse(e)| (e.time, e.payload)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn push(q: &mut SimQueue<u64>, time_us: u64, payload: u64) {
+        let id = q.alloc(payload);
+        q.schedule(SimTime::from_micros(time_us), id, 0, false);
+    }
+
+    fn drain(q: &mut SimQueue<u64>) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some((t, p)) = q.pop() {
+            out.push((t.as_micros(), p));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_order_with_schedule_order_ties() {
+        for kind in [QueueKind::Indexed, QueueKind::ReferenceHeap] {
+            let mut q = SimQueue::new(kind);
+            push(&mut q, 50, 1);
+            push(&mut q, 10, 2);
+            push(&mut q, 10, 3); // same instant: must pop after payload 2
+            push(&mut q, 7, 4);
+            assert_eq!(q.peek_time(), Some(SimTime::from_micros(7)));
+            assert_eq!(drain(&mut q), vec![(7, 4), (10, 2), (10, 3), (50, 1)], "{kind:?}");
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn far_timers_overflow_and_fold_back() {
+        let mut q = SimQueue::new(QueueKind::Indexed);
+        // Beyond the wheel span from t=0.
+        let far = NUM_BUCKETS as u64 * BUCKET_WIDTH_US * 3 + 17;
+        push(&mut q, far, 1);
+        push(&mut q, 5, 2);
+        assert_eq!(q.pop(), Some((SimTime::from_micros(5), 2)));
+        // The wheel is empty now; the pop must leap to the overflow event.
+        assert_eq!(q.pop(), Some((SimTime::from_micros(far), 1)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_preserves_global_order() {
+        let mut q = SimQueue::new(QueueKind::Indexed);
+        push(&mut q, 100, 1);
+        push(&mut q, 200, 2);
+        assert_eq!(q.pop(), Some((SimTime::from_micros(100), 1)));
+        // Push earlier than the remaining event but later than the last pop.
+        push(&mut q, 150, 3);
+        push(&mut q, 150, 4);
+        assert_eq!(q.pop(), Some((SimTime::from_micros(150), 3)));
+        push(&mut q, 150, 5); // same bucket as the cursor, after a pop
+        assert_eq!(drain(&mut q), vec![(150, 4), (150, 5), (200, 2)]);
+    }
+
+    #[test]
+    fn duplicate_allocates_a_clone() {
+        for kind in [QueueKind::Indexed, QueueKind::ReferenceHeap] {
+            let mut q: SimQueue<u64> = SimQueue::new(kind);
+            let a = q.alloc(9);
+            let b = q.alloc_duplicate(a);
+            q.schedule(SimTime::from_micros(1), a, 0, false);
+            q.schedule(SimTime::from_micros(2), b, 0, false);
+            assert_eq!(drain(&mut q), vec![(1, 9), (2, 9)], "{kind:?}");
+        }
+    }
+
+    /// The pin for byte-identical replay: any interleaving of pushes and
+    /// pops produces the same pop sequence on both implementations,
+    /// including same-instant tie-breaks and wheel/overflow boundaries.
+    #[test]
+    fn randomized_differential_wheel_vs_reference_heap() {
+        for trial in 0..50u64 {
+            let mut rng = SmallRng::seed_from_u64(trial);
+            let mut wheel = SimQueue::new(QueueKind::Indexed);
+            let mut heap = SimQueue::new(QueueKind::ReferenceHeap);
+            let mut now = 0u64;
+            let mut next_payload = 0u64;
+            let mut popped_wheel = Vec::new();
+            let mut popped_heap = Vec::new();
+            for _ in 0..400 {
+                if rng.gen_bool(0.6) || wheel.is_empty() {
+                    // Schedules are at or after the latest pop, like the
+                    // engine's. Mix of near (same bucket), mid (in-span), and
+                    // far (overflow) horizons, with deliberate exact ties.
+                    let delta = match rng.gen_range(0..10u32) {
+                        0..=3 => rng.gen_range(0..BUCKET_WIDTH_US),
+                        4..=7 => rng.gen_range(0..NUM_BUCKETS as u64 * BUCKET_WIDTH_US),
+                        8 => 0,
+                        _ => rng.gen_range(0..4 * NUM_BUCKETS as u64 * BUCKET_WIDTH_US),
+                    };
+                    let t = SimTime::from_micros(now + delta);
+                    let p = next_payload;
+                    next_payload += 1;
+                    let id = wheel.alloc(p);
+                    wheel.schedule(t, id, 0, false);
+                    let id = heap.alloc(p);
+                    heap.schedule(t, id, 0, false);
+                } else {
+                    let (tw, pw) = wheel.pop().expect("non-empty");
+                    let (th, ph) = heap.pop().expect("same length");
+                    assert_eq!((tw, pw), (th, ph), "trial {trial} diverged");
+                    now = tw.as_micros();
+                    popped_wheel.push((tw, pw));
+                    popped_heap.push((th, ph));
+                }
+                assert_eq!(wheel.len(), heap.len());
+                assert_eq!(wheel.peek_time(), heap.peek_time(), "trial {trial} peek diverged");
+            }
+            while let Some(entry) = wheel.pop() {
+                popped_wheel.push(entry);
+                popped_heap.push(heap.pop().expect("same length"));
+            }
+            assert!(heap.pop().is_none());
+            assert_eq!(popped_wheel, popped_heap, "trial {trial}");
+            // And the pop sequence is globally sorted by time.
+            for w in popped_wheel.windows(2) {
+                assert!(w[0].0 <= w[1].0);
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! The indexed event queue replays the reference heap's executions exactly.
+//!
+//! The engine promises that `QueueKind` never changes a simulation — only
+//! its wall-clock. These tests pin that promise at the engine level: the
+//! same seeded simulation run on [`QueueKind::Indexed`] and
+//! [`QueueKind::ReferenceHeap`] must process the same events in the same
+//! order (same-timestamp tie-breaks included), deliver the same messages,
+//! fire the same timers at the same instants, and count the same
+//! drops/duplicates/expirations — under an empty schedule and under
+//! proptest-generated random [`FaultSchedule`]s. The protocol-level
+//! byte-identical-history pin lives in `tests/indexed_engine_equivalence.rs`
+//! at the workspace root.
+
+use proptest::prelude::*;
+use regular_sim::engine::{Context, Engine, EngineConfig, Node, NodeId};
+use regular_sim::fault::{FaultSchedule, LinkScope};
+use regular_sim::net::{LatencyMatrix, Region};
+use regular_sim::queue::QueueKind;
+use regular_sim::time::{SimDuration, SimTime};
+
+/// A chatty node that exercises every engine path the queue orders: paced
+/// timers, request/reply messages, same-instant bursts (three sends per
+/// tick), a saturating service time, and crash/recover hooks.
+#[derive(Clone, Debug, PartialEq)]
+enum Msg {
+    Ping(u64),
+    Pong(u64),
+}
+
+#[derive(Default)]
+struct Chatty {
+    peers: Vec<NodeId>,
+    /// Trace of (now, from, payload) for every delivery, the equality pin.
+    trace: Vec<(SimTime, NodeId, u64)>,
+    timer_trace: Vec<(SimTime, u64)>,
+    crashes: u64,
+    recoveries: u64,
+    sent: u64,
+}
+
+impl Node<Msg> for Chatty {
+    fn on_start(&mut self, ctx: &mut Context<Msg>) {
+        ctx.set_timer(SimDuration::from_millis(50), 1);
+    }
+    fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Ping(n) => {
+                self.trace.push((ctx.now(), from, n));
+                ctx.send(from, Msg::Pong(n));
+            }
+            Msg::Pong(n) => {
+                self.trace.push((ctx.now(), from, n | 1 << 32));
+            }
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<Msg>, tag: u64) {
+        self.timer_trace.push((ctx.now(), tag));
+        // A same-instant burst to every peer: exercises tie-breaking.
+        for &p in &self.peers.clone() {
+            self.sent += 1;
+            ctx.send(p, Msg::Ping(self.sent));
+        }
+        if ctx.now() < SimTime::from_secs(8) {
+            ctx.set_timer(SimDuration::from_millis(50), 1);
+        }
+    }
+    fn on_crash(&mut self, _ctx: &mut Context<Msg>) {
+        self.crashes += 1;
+    }
+    fn on_recover(&mut self, ctx: &mut Context<Msg>) {
+        self.recoveries += 1;
+        ctx.set_timer(SimDuration::from_millis(10), 2);
+    }
+}
+
+fn build(seed: u64, kind: QueueKind, faults: &FaultSchedule) -> Engine<Msg, Chatty> {
+    let cfg = EngineConfig {
+        // Short service time but a dense send pattern: nodes saturate and
+        // the busy-deferral path gets exercised heavily.
+        default_service_time: SimDuration::from_micros(200),
+        max_time: SimTime::from_secs(10),
+        truetime_epsilon: SimDuration::from_millis(3),
+        queue: kind,
+    };
+    let net = LatencyMatrix::from_rtt_ms(
+        &[&[0.2, 10.0, 30.0], &[10.0, 0.2, 24.0], &[30.0, 24.0, 0.2]],
+        SimDuration::from_micros(150),
+    );
+    let mut engine = Engine::new(cfg, net, seed);
+    for region in 0..3 {
+        engine.add_node(Chatty::default(), region);
+    }
+    let peers: Vec<NodeId> = (0..3).collect();
+    for id in 0..3 {
+        let mut p = peers.clone();
+        p.retain(|&x| x != id);
+        engine.node_mut(id).peers = p;
+    }
+    if !faults.is_empty() {
+        engine.install_faults(faults.clone());
+    }
+    engine
+}
+
+fn assert_equivalent(seed: u64, faults: &FaultSchedule) {
+    let mut indexed = build(seed, QueueKind::Indexed, faults);
+    let mut heap = build(seed, QueueKind::ReferenceHeap, faults);
+    indexed.run();
+    heap.run();
+    assert_eq!(
+        indexed.processed_events(),
+        heap.processed_events(),
+        "seed {seed}: processed-event counts diverged"
+    );
+    assert_eq!(indexed.message_stats(), heap.message_stats(), "seed {seed}: stats diverged");
+    assert_eq!(indexed.now(), heap.now(), "seed {seed}: final clocks diverged");
+    for id in 0..3 {
+        let (a, b) = (indexed.node(id), heap.node(id));
+        assert_eq!(a.trace, b.trace, "seed {seed}: node {id} delivery traces diverged");
+        assert_eq!(a.timer_trace, b.timer_trace, "seed {seed}: node {id} timer traces diverged");
+        assert_eq!((a.crashes, a.recoveries), (b.crashes, b.recoveries), "seed {seed}: hooks");
+    }
+}
+
+#[test]
+fn fault_free_runs_are_identical_across_queue_kinds() {
+    for seed in 0..8 {
+        assert_equivalent(seed, &FaultSchedule::new());
+    }
+}
+
+#[test]
+fn scripted_fault_runs_are_identical_across_queue_kinds() {
+    let faults = FaultSchedule::new()
+        .crash(1, SimTime::from_secs(2), SimTime::from_secs(3))
+        .partition_region(Region(2), SimTime::from_secs(4), SimTime::from_secs(5))
+        .cut_link_oneway(Region(0), Region(1), SimTime::from_millis(5_500), SimTime::from_secs(6))
+        .drop_window(LinkScope::All, SimTime::from_secs(6), SimTime::from_secs(7), 0.1)
+        .duplicate_window(LinkScope::All, SimTime::from_secs(6), SimTime::from_secs(7), 0.1)
+        .delay_window(
+            LinkScope::All,
+            SimTime::from_secs(7),
+            SimTime::from_secs(8),
+            0.2,
+            SimDuration::from_millis(9),
+        );
+    for seed in [3, 17, 992] {
+        assert_equivalent(seed, &faults);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The two queue kinds replay identically under *random* fault
+    /// schedules: random crash windows (sometimes permanent), drop /
+    /// duplicate / delay windows with random scopes and probabilities, and
+    /// one-way cuts — the satellite's pinned property.
+    #[test]
+    fn random_fault_schedules_replay_identically(
+        seed in 0u64..10_000,
+        crash_node in 0usize..3,
+        crash_at_ms in 500u64..4_000,
+        crash_len_ms in 100u64..2_000,
+        permanent_bit in 0u64..2,
+        cut_from in 0usize..3,
+        cut_to in 0usize..3,
+        cut_at_ms in 500u64..6_000,
+        drop_permille in 0u64..300,
+        dup_permille in 0u64..300,
+        delay_ms in 1u64..20,
+    ) {
+        let permanent = permanent_bit == 1;
+        let mut faults = if permanent {
+            FaultSchedule::new().crash_forever(crash_node, SimTime::from_millis(crash_at_ms))
+        } else {
+            FaultSchedule::new().crash(
+                crash_node,
+                SimTime::from_millis(crash_at_ms),
+                SimTime::from_millis(crash_at_ms + crash_len_ms),
+            )
+        };
+        if cut_from != cut_to {
+            faults = faults.cut_link_oneway(
+                Region(cut_from),
+                Region(cut_to),
+                SimTime::from_millis(cut_at_ms),
+                SimTime::from_millis(cut_at_ms + 800),
+            );
+        }
+        faults = faults
+            .drop_window(
+                LinkScope::All,
+                SimTime::from_secs(5),
+                SimTime::from_secs(7),
+                drop_permille as f64 / 1_000.0,
+            )
+            .duplicate_window(
+                LinkScope::Region(Region(1)),
+                SimTime::from_secs(5),
+                SimTime::from_secs(7),
+                dup_permille as f64 / 1_000.0,
+            )
+            .delay_window(
+                LinkScope::Pair(Region(0), Region(2)),
+                SimTime::from_secs(7),
+                SimTime::from_secs(8),
+                0.5,
+                SimDuration::from_millis(delay_ms),
+            );
+        assert_equivalent(seed, &faults);
+    }
+}

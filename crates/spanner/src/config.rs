@@ -2,6 +2,7 @@
 
 use regular_sim::fault::FaultSchedule;
 use regular_sim::net::LatencyMatrix;
+use regular_sim::queue::QueueKind;
 use regular_sim::time::SimDuration;
 
 /// Which read-only transaction protocol the cluster runs.
@@ -55,6 +56,10 @@ pub struct SpannerConfig {
     /// Scripted faults installed into the engine for this cluster run:
     /// partitions, drop/duplicate windows, shard crashes. Empty by default.
     pub faults: FaultSchedule,
+    /// Event-queue implementation the engine runs on. The default indexed
+    /// queue and the reference heap replay identical histories; the knob
+    /// exists for differential tests and the `engine_hotpath` benchmarks.
+    pub queue_kind: QueueKind,
 }
 
 impl SpannerConfig {
@@ -75,6 +80,7 @@ impl SpannerConfig {
             disable_tee_skip: false,
             op_timeout: None,
             faults: FaultSchedule::default(),
+            queue_kind: QueueKind::Indexed,
         }
     }
 
@@ -95,6 +101,7 @@ impl SpannerConfig {
             disable_tee_skip: false,
             op_timeout: None,
             faults: FaultSchedule::default(),
+            queue_kind: QueueKind::Indexed,
         }
     }
 

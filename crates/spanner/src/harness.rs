@@ -159,6 +159,7 @@ pub fn run_cluster(spec: ClusterSpec) -> RunResult {
         default_service_time: config.shard_service_time,
         max_time: stop_issuing_at + drain,
         truetime_epsilon: config.truetime_epsilon,
+        queue: config.queue_kind,
     };
     let mut engine: Engine<SpannerMsg, SpannerNode> = Engine::new(engine_cfg, net.clone(), seed);
     if !config.faults.is_empty() {

@@ -9,8 +9,7 @@
 //! the transaction (see DESIGN.md for the discussion of this simplification
 //! relative to Spanner's wound-wait).
 
-use std::collections::HashMap;
-
+use regular_core::hashing::FxHashMap;
 use regular_core::types::Key;
 
 use crate::messages::TxnId;
@@ -23,9 +22,15 @@ struct Waiter {
 }
 
 /// The lock table of one shard.
+///
+/// Owners live in an [`FxHashMap`] (cheap fixed-width probes, iteration a
+/// pure function of the insert/remove sequence) rather than a dense
+/// interned map: the map only ever holds *currently locked* keys, so
+/// `release`'s retain stays O(held locks) instead of growing with every key
+/// the shard has ever seen.
 #[derive(Debug, Clone, Default)]
 pub struct LockTable {
-    owners: HashMap<Key, TxnId>,
+    owners: FxHashMap<Key, TxnId>,
     queue: Vec<Waiter>,
 }
 

@@ -6,7 +6,7 @@
 //! the nearest replica), and the Paxos safe time is advanced eagerly as the
 //! leader-lease optimization in the paper permits.
 
-use std::collections::{HashMap, HashSet};
+use regular_core::hashing::{FxHashMap, FxHashSet};
 
 use regular_core::types::{Key, Value};
 use regular_sim::engine::{Context, NodeId};
@@ -44,7 +44,7 @@ struct PendingPrepare {
 struct CoordState {
     client: NodeId,
     participants: Vec<NodeId>,
-    awaiting: HashSet<NodeId>,
+    awaiting: FxHashSet<NodeId>,
     max_prepare: Ts,
     aborted: bool,
     /// The prepared writes per participant, kept so a recovered coordinator
@@ -62,7 +62,7 @@ struct BlockedRo {
     txn: TxnId,
     keys: Vec<Key>,
     t_read: Ts,
-    blockers: HashSet<TxnId>,
+    blockers: FxHashSet<TxnId>,
 }
 
 /// A Spanner-RSS read-only transaction for which this shard still owes slow
@@ -72,7 +72,7 @@ struct RssWatcher {
     client: NodeId,
     txn: TxnId,
     keys: Vec<Key>,
-    pending: HashSet<TxnId>,
+    pending: FxHashSet<TxnId>,
 }
 
 /// Counters exposed for the evaluation harness.
@@ -103,19 +103,19 @@ pub struct ShardNode {
     replication_delay: SimDuration,
     store: MvccStore,
     locks: LockTable,
-    prepared: HashMap<TxnId, PreparedTxn>,
-    pending_prepares: HashMap<TxnId, PendingPrepare>,
-    coordinating: HashMap<TxnId, CoordState>,
+    prepared: FxHashMap<TxnId, PreparedTxn>,
+    pending_prepares: FxHashMap<TxnId, PendingPrepare>,
+    coordinating: FxHashMap<TxnId, CoordState>,
     /// Commit/abort decisions this shard coordinated (the durable decision
     /// log): lets a recovered participant re-learn an outcome it missed.
-    decided: HashMap<TxnId, (bool, Ts)>,
+    decided: FxHashMap<TxnId, (bool, Ts)>,
     blocked_ros: Vec<BlockedRo>,
     rss_watchers: Vec<RssWatcher>,
     /// Floor for prepare and commit timestamps chosen at this shard; also
     /// plays the role of the Paxos safe time.
     max_ts: Ts,
     /// Commit-wait timers: tag -> transaction.
-    timers: HashMap<u64, TxnId>,
+    timers: FxHashMap<u64, TxnId>,
     next_timer: u64,
     /// Statistics for the harness.
     pub stats: ShardStats,
@@ -131,14 +131,14 @@ impl ShardNode {
             replication_delay,
             store: MvccStore::new(),
             locks: LockTable::new(),
-            prepared: HashMap::new(),
-            pending_prepares: HashMap::new(),
-            coordinating: HashMap::new(),
-            decided: HashMap::new(),
+            prepared: FxHashMap::default(),
+            pending_prepares: FxHashMap::default(),
+            coordinating: FxHashMap::default(),
+            decided: FxHashMap::default(),
             blocked_ros: Vec::new(),
             rss_watchers: Vec::new(),
             max_ts: 0,
-            timers: HashMap::new(),
+            timers: FxHashMap::default(),
             next_timer: 0,
             stats: ShardStats::default(),
         }
@@ -363,7 +363,7 @@ impl ShardNode {
         // t_read; this is what lets the reply remain valid at t_read.
         self.max_ts = self.max_ts.max(t_read);
         let conflicting = self.conflicting_prepared(&keys, t_read);
-        let blockers: HashSet<TxnId> = match self.mode {
+        let blockers: FxHashSet<TxnId> = match self.mode {
             // Baseline: block on every conflicting prepared transaction.
             Mode::Spanner => conflicting.iter().map(|(id, _, _)| *id).collect(),
             // Spanner-RSS: block only on the must-observe set B

@@ -5,9 +5,13 @@
 //! read timestamp. Versions per key stay sorted by commit timestamp, which is
 //! guaranteed by the locking protocol (conflicting transactions serialize, and
 //! prepare/commit timestamps are monotone per key).
+//!
+//! Version chains live in a [`DenseKeyMap`]: each key is interned once and
+//! its chain lands in a dense slot, so the simulator's hottest storage path
+//! (one read per key per read-only round) is an FxHash probe plus a vector
+//! index instead of a SipHash `HashMap` walk.
 
-use std::collections::HashMap;
-
+use regular_core::densemap::DenseKeyMap;
 use regular_core::types::{Key, Value};
 
 use crate::messages::Ts;
@@ -15,7 +19,7 @@ use crate::messages::Ts;
 /// A multi-version store mapping keys to version chains.
 #[derive(Debug, Clone, Default)]
 pub struct MvccStore {
-    versions: HashMap<Key, Vec<(Ts, Value)>>,
+    versions: DenseKeyMap<Vec<(Ts, Value)>>,
 }
 
 impl MvccStore {
@@ -26,7 +30,7 @@ impl MvccStore {
 
     /// Installs a committed version of `key` at timestamp `ts`.
     pub fn apply(&mut self, key: Key, ts: Ts, value: Value) {
-        let chain = self.versions.entry(key).or_default();
+        let chain = self.versions.get_or_insert_with(key, Vec::new);
         chain.push((ts, value));
         // Keep the chain sorted; out-of-order installs are possible when
         // non-conflicting transactions commit with out-of-order timestamps.
@@ -41,7 +45,7 @@ impl MvccStore {
     /// version's commit timestamp and value (timestamp 0 and null when no
     /// version qualifies).
     pub fn read_at(&self, key: Key, ts: Ts) -> (Ts, Value) {
-        match self.versions.get(&key) {
+        match self.versions.get(key) {
             None => (0, Value::NULL),
             Some(chain) => {
                 chain.iter().rev().find(|(t, _)| *t <= ts).copied().unwrap_or((0, Value::NULL))
@@ -51,7 +55,7 @@ impl MvccStore {
 
     /// The latest committed timestamp for `key` (0 if none).
     pub fn latest_ts(&self, key: Key) -> Ts {
-        self.versions.get(&key).and_then(|c| c.last()).map(|(t, _)| *t).unwrap_or(0)
+        self.versions.get(key).and_then(|c| c.last()).map(|(t, _)| *t).unwrap_or(0)
     }
 
     /// Total number of stored versions (for diagnostics).

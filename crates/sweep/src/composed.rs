@@ -32,6 +32,7 @@ use regular_sim::engine::{Context, Engine, EngineConfig, Node, NodeId};
 use regular_sim::fault::FaultSchedule;
 use regular_sim::metrics::MessageStats;
 use regular_sim::net::LatencyMatrix;
+use regular_sim::queue::QueueKind;
 use regular_sim::time::{SimDuration, SimTime};
 use regular_spanner::prelude::{
     Mode as SpannerMode, SpannerConfig, SpannerService, UniformWorkload,
@@ -180,6 +181,9 @@ pub struct ComposedRunConfig {
     /// completed batches per app (see
     /// [`ComposedRunner::with_context_handoff`]); `None` disables handoffs.
     pub handoff_every: Option<u64>,
+    /// Event-queue implementation the shared engine runs on (differential
+    /// tests run the same seed on both kinds and compare histories).
+    pub queue_kind: QueueKind,
 }
 
 impl Default for ComposedRunConfig {
@@ -194,6 +198,7 @@ impl Default for ComposedRunConfig {
             faults: FaultSchedule::default(),
             op_timeout: None,
             handoff_every: None,
+            queue_kind: QueueKind::Indexed,
         }
     }
 }
@@ -268,6 +273,7 @@ pub fn run_composed(seed: u64, config: &ComposedRunConfig) -> ComposedOutcome {
         default_service_time: spanner_cfg.shard_service_time,
         max_time: stop_issuing_at + SimDuration::from_secs(config.drain_secs),
         truetime_epsilon: spanner_cfg.truetime_epsilon,
+        queue: config.queue_kind,
     };
     let mut engine: Engine<DuoMsg, DuoNode> = Engine::new(engine_cfg, net.clone(), seed);
     if !config.faults.is_empty() {
@@ -442,9 +448,11 @@ pub fn certify_composed(
                         OpKind::Write { key, .. } | OpKind::Rmw { key, .. } => (Some(*key), 0),
                         _ => (None, 0),
                     };
-                    if let (Some(k), WitnessHint::Carstamp { count, writer }) = (key, rec.witness) {
+                    if let (Some(k), WitnessHint::Carstamp { count, writer, rmwc }) =
+                        (key, rec.witness)
+                    {
                         per_key.entry(k.0).or_default().push((
-                            Carstamp { count, writer },
+                            Carstamp { count, writer, rmwc },
                             rank,
                             rec.finish.as_micros(),
                             id,

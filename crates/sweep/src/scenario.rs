@@ -49,17 +49,27 @@ pub enum Scenario {
     /// cross-process causal handoffs, under faults fired *during* service
     /// switches; the combined history still certified RSS.
     ComposedFaults,
+    /// Spanner-RSS under asymmetric (one-way) link cuts: requests keep
+    /// arriving while replies vanish, then the reverse direction fails —
+    /// the grey-network failure mode; still certified RSS.
+    SpannerOneWay,
+    /// Spanner-RSS with short shard crashes timed to land inside commit-wait
+    /// windows: prepared transactions lose their coordinator exactly between
+    /// timestamp choice and decision release; still certified RSS.
+    SpannerCommitCrash,
 }
 
 impl Scenario {
     /// Every scenario, in sweep order.
-    pub const ALL: [Scenario; 6] = [
+    pub const ALL: [Scenario; 8] = [
         Scenario::SpannerRss,
         Scenario::GryffRsc,
         Scenario::Composed,
         Scenario::SpannerFaults,
         Scenario::GryffFaults,
         Scenario::ComposedFaults,
+        Scenario::SpannerOneWay,
+        Scenario::SpannerCommitCrash,
     ];
 
     /// Stable scenario name (used in reports, artifacts, and CLI flags).
@@ -71,6 +81,8 @@ impl Scenario {
             Scenario::SpannerFaults => "spanner-faults",
             Scenario::GryffFaults => "gryff-faults",
             Scenario::ComposedFaults => "composed-faults",
+            Scenario::SpannerOneWay => "spanner-oneway",
+            Scenario::SpannerCommitCrash => "spanner-commit-crash",
         }
     }
 
@@ -84,6 +96,8 @@ impl Scenario {
             "spanner-faults" => Some(Scenario::SpannerFaults),
             "gryff-faults" => Some(Scenario::GryffFaults),
             "composed-faults" | "faults" | "chaos" => Some(Scenario::ComposedFaults),
+            "spanner-oneway" | "oneway" | "grey" => Some(Scenario::SpannerOneWay),
+            "spanner-commit-crash" | "commit-crash" => Some(Scenario::SpannerCommitCrash),
             _ => None,
         }
     }
@@ -201,6 +215,45 @@ fn gryff_fault_schedule(seed: u64) -> FaultSchedule {
     fault_script(&[(victim_replica, 8, 12)], cut_region, (18, 21), (25, 32))
 }
 
+/// The seed-driven script of the `spanner-oneway` scenario: two asymmetric
+/// one-way cuts (first `a -> b`, later the reverse) plus a short two-way
+/// lossy window, the victim pair rotating with the seed. One-way cuts are
+/// the nastiest RSS stressor short of a crash: the receiver keeps serving
+/// (and advancing its safe time) while every reply it sends evaporates, so
+/// clients time out and retry transactions the shard already executed.
+fn spanner_oneway_schedule(seed: u64) -> FaultSchedule {
+    let a = Region((seed % 3) as usize);
+    let b = Region(((seed + 1) % 3) as usize);
+    FaultSchedule::new()
+        .cut_link_oneway(a, b, SimTime::from_secs(8), SimTime::from_secs(12))
+        .cut_link_oneway(b, a, SimTime::from_secs(18), SimTime::from_secs(21))
+        .drop_window(LinkScope::All, SimTime::from_secs(25), SimTime::from_secs(29), FAULT_LOSS_P)
+        .duplicate_window(
+            LinkScope::All,
+            SimTime::from_secs(25),
+            SimTime::from_secs(29),
+            FAULT_LOSS_P,
+        )
+}
+
+/// The seed-driven script of the `spanner-commit-crash` scenario: three
+/// short (400 ms) crashes of the victim shard. Under continuous load every
+/// window lands on transactions that are mid commit-wait at that shard —
+/// the coordinator has chosen `t_commit` and is waiting out TrueTime
+/// uncertainty when it dies — so recovery must re-drive 2PC from the
+/// decision log and deferred timers without ever releasing an outcome
+/// early.
+fn spanner_commit_crash_schedule(seed: u64) -> FaultSchedule {
+    let victim = (seed % 3) as usize;
+    let mut schedule = FaultSchedule::new();
+    for start_s in [9u64, 19, 29] {
+        let at = SimTime::from_millis(start_s * 1_000 + (seed % 7) * 50);
+        let recover = SimTime::from_millis(start_s * 1_000 + (seed % 7) * 50 + 400);
+        schedule = schedule.crash(victim, at, recover);
+    }
+    schedule
+}
+
 /// The `composed-faults` fault script. The photo app switches services on
 /// *every* step, so each window fires during live libRSS service switches:
 /// a Spanner shard crash (nodes 0..3), a Gryff replica crash (nodes 3..8),
@@ -217,9 +270,14 @@ fn composed_fault_schedule(seed: u64) -> FaultSchedule {
 pub fn run_seed(scenario: Scenario, seed: u64, check_threads: usize) -> SeedRun {
     let started = Instant::now();
     let (history, witness, p50_ms, p99_ms, net, pre_violation) = match scenario {
-        Scenario::SpannerRss | Scenario::SpannerFaults => {
+        Scenario::SpannerRss
+        | Scenario::SpannerFaults
+        | Scenario::SpannerOneWay
+        | Scenario::SpannerCommitCrash => {
             let faults = match scenario {
                 Scenario::SpannerFaults => Some(spanner_fault_schedule(seed)),
+                Scenario::SpannerOneWay => Some(spanner_oneway_schedule(seed)),
+                Scenario::SpannerCommitCrash => Some(spanner_commit_crash_schedule(seed)),
                 _ => None,
             };
             let result = run_spanner_seed(seed, faults);
@@ -429,6 +487,7 @@ fn composed_faults_seed_config(seed: u64) -> ComposedRunConfig {
         faults: composed_fault_schedule(seed),
         op_timeout: Some(FAULT_OP_TIMEOUT),
         handoff_every: Some(8),
+        ..ComposedRunConfig::default()
     }
 }
 
@@ -464,21 +523,41 @@ mod tests {
                 run.report.history_ops
             );
             assert!(run.report.p99_ms >= run.report.p50_ms);
-            let faulty = matches!(
-                scenario,
-                Scenario::SpannerFaults | Scenario::GryffFaults | Scenario::ComposedFaults
-            );
-            if faulty {
-                assert!(
-                    run.report.dropped > 0 && run.report.duplicated > 0 && run.report.expired > 0,
-                    "{} fault plane was active: {:?}/{:?}/{:?}",
-                    scenario.name(),
-                    run.report.dropped,
-                    run.report.duplicated,
-                    run.report.expired
-                );
-            } else {
-                assert_eq!(run.report.dropped, 0, "{} is fault-free", scenario.name());
+            match scenario {
+                Scenario::SpannerFaults | Scenario::GryffFaults | Scenario::ComposedFaults => {
+                    assert!(
+                        run.report.dropped > 0
+                            && run.report.duplicated > 0
+                            && run.report.expired > 0,
+                        "{} fault plane was active: {:?}/{:?}/{:?}",
+                        scenario.name(),
+                        run.report.dropped,
+                        run.report.duplicated,
+                        run.report.expired
+                    );
+                }
+                Scenario::SpannerOneWay => {
+                    assert!(
+                        run.report.dropped > 0 && run.report.duplicated > 0,
+                        "{} one-way cuts and the lossy window fired: {:?}/{:?}",
+                        scenario.name(),
+                        run.report.dropped,
+                        run.report.duplicated
+                    );
+                    assert_eq!(run.report.expired, 0, "no node crashes in the one-way scenario");
+                }
+                Scenario::SpannerCommitCrash => {
+                    assert!(
+                        run.report.expired > 0,
+                        "{} messages expired at the crashed shard: {:?}",
+                        scenario.name(),
+                        run.report.expired
+                    );
+                    assert_eq!(run.report.dropped, 0, "commit-crash cuts no links");
+                }
+                _ => {
+                    assert_eq!(run.report.dropped, 0, "{} is fault-free", scenario.name());
+                }
             }
         }
     }

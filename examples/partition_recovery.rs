@@ -31,6 +31,7 @@ fn main() {
         faults,
         op_timeout: Some(SimDuration::from_millis(1_500)),
         handoff_every: Some(8),
+        ..ComposedRunConfig::default()
     };
 
     println!("Composed Spanner-RSS + Gryff-RSC deployment, photo-sharing app");

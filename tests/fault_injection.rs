@@ -37,6 +37,7 @@ fn chaotic_config(drop_p: f64) -> ComposedRunConfig {
             ),
         op_timeout: Some(SimDuration::from_millis(1_200)),
         handoff_every: Some(6),
+        ..ComposedRunConfig::default()
     }
 }
 
@@ -139,6 +140,7 @@ proptest! {
                 ),
             op_timeout: Some(SimDuration::from_millis(1_200)),
             handoff_every: Some(5),
+            ..ComposedRunConfig::default()
         };
         let a = history_bytes(&config, seed);
         let b = history_bytes(&config, seed);
