@@ -22,6 +22,14 @@
 //! ops) are compared exactly and warn on drift, which means the committed
 //! reference needs refreshing after an intentional behaviour change.
 //!
+//! **Checker scale.** With `--checker` (a `BENCH_checker_scale.json` from
+//! `checker_scale`) and `--checker-reference`
+//! (`ci/checker_scale_reference.json`), additionally gates the decomposed
+//! and streaming certification speedups over the full batch check — again a
+//! same-host ratio, so it transfers across machines. Entries without a
+//! speedup (the baselines) are compared on observables only; `ops` and
+//! `components` drift warns that the reference needs refreshing.
+//!
 //! Usage:
 //!
 //! ```text
@@ -30,11 +38,15 @@
 //!            [--engine BENCH_engine.json] \
 //!            [--engine-reference ci/engine_hotpath_reference.json] \
 //!            [--engine-only] \
+//!            [--checker BENCH_checker_scale.json] \
+//!            [--checker-reference ci/checker_scale_reference.json] \
+//!            [--checker-only] \
 //!            [--threshold 0.25]
 //! ```
 //!
 //! `--engine-only` (for jobs that only profiled the engine) skips the
-//! session-baseline comparison; `--engine` is then required.
+//! session-baseline comparison; `--engine` is then required. `--checker-only`
+//! does the same for jobs that only profiled the checker.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -108,6 +120,96 @@ fn load_engine_profiles(path: &PathBuf) -> Result<Vec<EngineProfile>, String> {
         .collect()
 }
 
+struct CheckerEntry {
+    name: String,
+    ops: u64,
+    components: u64,
+    speedup: Option<f64>,
+}
+
+fn load_checker_entries(path: &PathBuf) -> Result<Vec<CheckerEntry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let json = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let schema = json.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != "regular-seq/checker-scale/v1" {
+        return Err(format!("{}: unexpected schema '{schema}'", path.display()));
+    }
+    json.get("entries")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{}: missing entries", path.display()))?
+        .iter()
+        .map(|e| {
+            Ok(CheckerEntry {
+                name: e.get("name").and_then(Json::as_str).ok_or("entry missing name")?.to_string(),
+                ops: e.get("ops").and_then(Json::as_u64).ok_or("entry missing ops")?,
+                components: e
+                    .get("components")
+                    .and_then(Json::as_u64)
+                    .ok_or("entry missing components")?,
+                speedup: e.get("speedup").and_then(Json::as_f64),
+            })
+        })
+        .collect()
+}
+
+/// Gates the checker-scale certification speedups; returns true when
+/// something failed.
+fn gate_checker(current: &PathBuf, reference: &PathBuf, threshold: f64) -> Result<bool, String> {
+    let current_entries = load_checker_entries(current)?;
+    let reference_entries = load_checker_entries(reference)?;
+    println!(
+        "== checker scale gate: {} vs {} (threshold {:.0}%) ==",
+        current.display(),
+        reference.display(),
+        threshold * 100.0
+    );
+    let mut failed = false;
+    for r in &reference_entries {
+        let Some(c) = current_entries.iter().find(|c| c.name == r.name) else {
+            eprintln!("FAIL  {}: missing from current checker profile", r.name);
+            failed = true;
+            continue;
+        };
+        match (r.speedup, c.speedup) {
+            (Some(ref_speedup), Some(cur_speedup)) => {
+                let floor = ref_speedup * (1.0 - threshold);
+                let label = format!(
+                    "{:<26} ref {:>5.2}x  now {:>5.2}x  (floor {:>5.2}x)",
+                    r.name, ref_speedup, cur_speedup, floor
+                );
+                if cur_speedup < floor {
+                    eprintln!("FAIL  {label}");
+                    failed = true;
+                } else {
+                    println!("ok    {label}");
+                }
+            }
+            (Some(_), None) => {
+                eprintln!("FAIL  {}: reference gates a speedup the current profile lacks", r.name);
+                failed = true;
+            }
+            (None, _) => println!("ok    {:<26} (baseline row, not gated)", r.name),
+        }
+        if (c.ops, c.components) != (r.ops, r.components) {
+            println!(
+                "WARN  {}: observables drifted from the reference (ops {} -> {}, \
+                 components {} -> {}): refresh ci/checker_scale_reference.json",
+                r.name, r.ops, c.ops, r.components, c.components
+            );
+        }
+    }
+    for c in &current_entries {
+        if !reference_entries.iter().any(|r| r.name == c.name) {
+            println!(
+                "WARN  {}: not in the reference (add it to ci/checker_scale_reference.json \
+                 or its speedup is never gated)",
+                c.name
+            );
+        }
+    }
+    Ok(failed)
+}
+
 /// Gates the engine-hotpath speedups; returns true when something failed.
 fn gate_engine(current: &PathBuf, reference: &PathBuf, threshold: f64) -> Result<bool, String> {
     let current_profiles = load_engine_profiles(current)?;
@@ -163,6 +265,9 @@ fn main() -> ExitCode {
     let mut engine: Option<PathBuf> = None;
     let mut engine_reference = PathBuf::from("ci/engine_hotpath_reference.json");
     let mut engine_only = false;
+    let mut checker: Option<PathBuf> = None;
+    let mut checker_reference = PathBuf::from("ci/checker_scale_reference.json");
+    let mut checker_only = false;
     let mut threshold = 0.25f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -173,6 +278,9 @@ fn main() -> ExitCode {
             "--engine" => engine = Some(PathBuf::from(value())),
             "--engine-reference" => engine_reference = PathBuf::from(value()),
             "--engine-only" => engine_only = true,
+            "--checker" => checker = Some(PathBuf::from(value())),
+            "--checker-reference" => checker_reference = PathBuf::from(value()),
+            "--checker-only" => checker_only = true,
             "--threshold" => threshold = value().parse().expect("bad --threshold"),
             other => {
                 eprintln!("unknown argument '{other}'");
@@ -182,6 +290,10 @@ fn main() -> ExitCode {
     }
     if engine_only && engine.is_none() {
         eprintln!("bench_gate: --engine-only requires --engine");
+        return ExitCode::from(2);
+    }
+    if checker_only && checker.is_none() {
+        eprintln!("bench_gate: --checker-only requires --checker");
         return ExitCode::from(2);
     }
 
@@ -195,12 +307,30 @@ fn main() -> ExitCode {
             }
         }
     }
-    if engine_only {
+    let mut checker_failed = false;
+    if let Some(checker) = &checker {
+        match gate_checker(checker, &checker_reference, threshold) {
+            Ok(failed) => checker_failed = failed,
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if engine_only || checker_only {
         if engine_failed {
             eprintln!("bench gate FAILED: engine hot-path speedup regressed beyond the threshold");
+        }
+        if checker_failed {
+            eprintln!(
+                "bench gate FAILED: checker-scale certification speedup regressed beyond \
+                 the threshold"
+            );
+        }
+        if engine_failed || checker_failed {
             return ExitCode::FAILURE;
         }
-        println!("bench gate passed (engine only)");
+        println!("bench gate passed (profile gates only)");
         return ExitCode::SUCCESS;
     }
 
@@ -260,12 +390,18 @@ fn main() -> ExitCode {
             );
         }
     }
-    if failed || engine_failed {
+    if failed || engine_failed || checker_failed {
         if failed {
             eprintln!("bench gate FAILED: throughput regressed beyond the threshold");
         }
         if engine_failed {
             eprintln!("bench gate FAILED: engine hot-path speedup regressed beyond the threshold");
+        }
+        if checker_failed {
+            eprintln!(
+                "bench gate FAILED: checker-scale certification speedup regressed beyond \
+                 the threshold"
+            );
         }
         return ExitCode::FAILURE;
     }

@@ -13,6 +13,7 @@
 //!                   [--check-threads C]
 //!                   [--scenarios spanner,gryff,composed,spanner-faults,
 //!                                gryff-faults,composed-faults]
+//!                   [--ops N] [--stream]
 //!                   [--out BENCH_sweep.json] [--artifact-dir sweep-artifacts]
 //!                   [--scaling 1,4]
 //! conformance_sweep --replay <artifact.json>
@@ -20,8 +21,11 @@
 //!
 //! `--scaling T1,T2,…` re-runs the whole sweep once per thread count and
 //! records the wall-clock of each in the report's `scaling` section (the
-//! `scaling_speedup` field is `wall(T1) / wall(Tlast)`). Exit status is
-//! non-zero when any seed fails certification — the CI gate.
+//! `scaling_speedup` field is `wall(T1) / wall(Tlast)`). `--ops N` scales
+//! each scenario's simulated duration toward roughly `N` operations per run;
+//! `--stream` certifies through the windowed streaming checker instead of
+//! the batch parallel checker. Exit status is non-zero when any seed fails
+//! certification — the CI gate.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -41,8 +45,8 @@ fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
         "usage: conformance_sweep [--seeds N] [--base-seed S] [--threads T] \
-         [--check-threads C] [--scenarios NAME,... (see --scenarios help)] [--out PATH] \
-         [--artifact-dir DIR] [--scaling T1,T2,...] | --replay FILE"
+         [--check-threads C] [--scenarios NAME,... (see --scenarios help)] [--ops N] \
+         [--stream] [--out PATH] [--artifact-dir DIR] [--scaling T1,T2,...] | --replay FILE"
     );
     std::process::exit(2);
 }
@@ -95,6 +99,16 @@ fn parse_args() -> Args {
                         .collect();
                 }
             }
+            "--ops" => {
+                let raw = value("--ops");
+                match raw.trim().parse::<u64>() {
+                    Ok(n) if (100..=1_000_000).contains(&n) => opts.ops = Some(n),
+                    _ => usage(&format!(
+                        "bad --ops '{raw}' (valid: a target operation count in 100..=1000000)"
+                    )),
+                }
+            }
+            "--stream" => opts.stream = true,
             "--out" => out = PathBuf::from(value("--out")),
             "--artifact-dir" => opts.artifact_dir = PathBuf::from(value("--artifact-dir")),
             "--scaling" => {
@@ -129,6 +143,31 @@ fn replay_artifact(path: &std::path::Path) -> ExitCode {
         artifact.model,
     );
     println!("recorded violation: {}", artifact.violation);
+    // Large histories replay through the windowed streaming checker so the
+    // checking state stays bounded by the reorder window; the verdict is
+    // equivalent to the batch check.
+    const STREAM_REPLAY_MIN_OPS: usize = 10_000;
+    if artifact.history.len() >= STREAM_REPLAY_MIN_OPS {
+        println!("replaying via the streaming checker ({} ops)", artifact.history.len());
+        return match regular_sweep::certify_streaming(
+            &artifact.history,
+            &artifact.witness,
+            artifact.model,
+        ) {
+            Ok(stats) => {
+                println!(
+                    "replay verdict: CERTIFIED — the recorded witness now passes \
+                     (peak window {}, {} components)",
+                    stats.peak_window, stats.components
+                );
+                ExitCode::SUCCESS
+            }
+            Err(v) => {
+                println!("replay verdict: VIOLATION REPRODUCED — {v:?}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match artifact.replay() {
         Ok(()) => {
             println!("replay verdict: CERTIFIED — the recorded witness now passes");
@@ -155,6 +194,12 @@ fn main() -> ExitCode {
         opts.threads,
         opts.check_threads,
     );
+    if let Some(ops) = opts.ops {
+        println!("   ops target: ~{ops} per run (scenario durations scaled)");
+    }
+    if opts.stream {
+        println!("   certification: windowed streaming checker");
+    }
 
     // Thread-scaling measurement: one full sweep per requested thread count
     // (identical seeds, so identical work), recording each wall clock. The

@@ -15,16 +15,30 @@
 //! * [`proximal`]: checkers for the neighbouring consistency models discussed
 //!   in Appendix A (CRDB, strong snapshot isolation, OSC(U), VV-regularity,
 //!   real-time causal, and the Shao et al. multi-writer regularity family).
+//! * [`saturate`](mod@saturate) + [`decompose`] + [`window`]: the certification cascade for
+//!   large histories — a polynomial saturation prefilter deriving forced
+//!   order edges (cycle ⇒ counterexample without search), communication-
+//!   component decomposition so independent components certify separately,
+//!   and a streaming checker that certifies windows of a still-growing run
+//!   with memory bounded by window size.
 
 pub mod assemble;
 pub mod certificate;
+pub mod decompose;
 pub mod models;
 pub mod proximal;
+pub mod saturate;
 pub mod search;
+pub mod window;
 
 pub use assemble::{assemble_witness, AssembleError};
 pub use certificate::{check_witness, check_witness_parallel, WitnessModel, WitnessViolation};
+pub use decompose::{
+    check_witness_decomposed, find_sequence_decomposed, ComponentSplit, CrossEdges,
+};
 pub use models::{check, CheckOutcome, Model};
+pub use saturate::{find_sequence_saturated, saturate, Saturation};
 pub use search::{
     find_sequence, find_sequence_reference, find_sequence_with, ConstraintGraph, Constraints,
 };
+pub use window::{StreamingChecker, WindowBuffer};

@@ -12,7 +12,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::checker::search::{find_sequence_with, Constraints, SearchError};
+use crate::checker::search::{Constraints, SearchError};
 use crate::history::{History, HistoryIndex};
 use crate::order::CausalOrder;
 use crate::types::OpId;
@@ -155,6 +155,12 @@ pub fn constraints_for_with(history: &History, index: &HistoryIndex, model: Mode
 
 /// Checks whether `history` satisfies `model`.
 ///
+/// Runs the full certification cascade: the saturation prefilter derives
+/// forced order edges (a cycle refutes without search), communication
+/// components are searched independently and their witnesses merged, and only
+/// then does the exponential search run — per component, over the saturated
+/// constraint set.
+///
 /// # Errors
 ///
 /// The `Result` is kept for signature stability; the exact search no longer
@@ -165,7 +171,15 @@ pub fn check(history: &History, model: Model) -> Result<CheckOutcome, SearchErro
     let constraints = constraints_for_with(history, &index, model);
     let required = index.complete_ids();
     let optional = index.pending_mutations();
-    match find_sequence_with(&index, required, optional, &constraints)? {
+    let cross = crate::checker::decompose::CrossEdges::for_model(model);
+    match crate::checker::decompose::find_sequence_decomposed(
+        history,
+        &index,
+        required,
+        optional,
+        &constraints,
+        cross,
+    )? {
         Some(witness) => Ok(CheckOutcome::satisfied(witness)),
         None => Ok(CheckOutcome::violated()),
     }

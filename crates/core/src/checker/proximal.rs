@@ -35,7 +35,9 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use crate::checker::search::{find_sequence_with, Constraints, SearchError};
+use crate::checker::decompose::{find_sequence_decomposed, CrossEdges};
+use crate::checker::saturate::find_sequence_saturated;
+use crate::checker::search::{Constraints, SearchError};
 use crate::history::{History, HistoryIndex};
 use crate::order::{real_time_precedes, CausalOrder};
 use crate::types::{Key, OpId, Value};
@@ -92,9 +94,20 @@ impl ProximalModel {
 pub fn check_proximal(history: &History, model: ProximalModel) -> Result<bool, SearchError> {
     let index = HistoryIndex::new(history);
     match model {
-        ProximalModel::Crdb => check_total_order(&index, crdb_constraints(&index)),
-        ProximalModel::OscU => check_total_order(&index, osc_u_constraints(&index)),
-        ProximalModel::VvRegularity => check_total_order(&index, vv_constraints(&index)),
+        // CRDB's real-time edges require a shared key, so they never cross
+        // communication components.
+        ProximalModel::Crdb => {
+            check_total_order(history, &index, crdb_constraints(&index), CrossEdges::None)
+        }
+        ProximalModel::OscU => check_total_order(
+            history,
+            &index,
+            osc_u_constraints(&index),
+            CrossEdges::CompleteToWrite,
+        ),
+        ProximalModel::VvRegularity => {
+            check_total_order(history, &index, vv_constraints(&index), CrossEdges::WriteToAll)
+        }
         ProximalModel::RealTimeCausal => check_real_time_causal(history, &index),
         ProximalModel::StrongSnapshotIsolation => Ok(check_strong_si(history)),
         ProximalModel::MwrWeak => Ok(check_mwr(history, MwrVariant::Weak)),
@@ -104,10 +117,15 @@ pub fn check_proximal(history: &History, model: ProximalModel) -> Result<bool, S
     }
 }
 
-fn check_total_order(index: &HistoryIndex, constraints: Constraints) -> Result<bool, SearchError> {
+fn check_total_order(
+    history: &History,
+    index: &HistoryIndex,
+    constraints: Constraints,
+    cross: CrossEdges,
+) -> Result<bool, SearchError> {
     let required = index.complete_ids();
     let optional = index.pending_mutations();
-    Ok(find_sequence_with(index, required, optional, &constraints)?.is_some())
+    Ok(find_sequence_decomposed(history, index, required, optional, &constraints, cross)?.is_some())
 }
 
 /// CRDB: process order + real-time order between operations sharing a key.
@@ -204,7 +222,7 @@ fn check_real_time_causal(history: &History, index: &HistoryIndex) -> Result<boo
             }
         }
         let constraints = Constraints::from_edges(edges);
-        if find_sequence_with(index, &included, pending, &constraints)?.is_none() {
+        if find_sequence_saturated(index, &included, pending, &constraints)?.is_none() {
             return Ok(false);
         }
     }

@@ -689,7 +689,7 @@ impl HistoryIndex {
 
 /// True if `result`'s shape is the one a sequential replay of `kind` would
 /// produce (replay checks compare per key only when this holds).
-fn result_shape_matches(kind: &OpKind, result: &OpResult) -> bool {
+pub(crate) fn result_shape_matches(kind: &OpKind, result: &OpResult) -> bool {
     match kind {
         OpKind::Write { .. } | OpKind::Enqueue { .. } | OpKind::Fence => true,
         OpKind::Read { .. } | OpKind::Rmw { .. } | OpKind::Dequeue { .. } => {

@@ -62,8 +62,13 @@ pub mod types;
 pub use checker::certificate::{
     check_witness, check_witness_parallel, WitnessModel, WitnessViolation,
 };
+pub use checker::decompose::{
+    check_witness_decomposed, find_sequence_decomposed, ComponentSplit, CrossEdges,
+};
 pub use checker::models::{check, satisfies, CheckOutcome, Model};
 pub use checker::proximal::{check_proximal, ProximalModel};
+pub use checker::saturate::{find_sequence_saturated, saturate, Saturation};
+pub use checker::window::{StreamingChecker, WindowBuffer};
 pub use densemap::DenseKeyMap;
 pub use fence::FencedService;
 pub use history::{History, HistoryBuilder, HistoryIndex, MessageEdge, OpRecord};

@@ -141,6 +141,21 @@ impl OpSet {
         }
     }
 
+    /// ORs `other` into `self`, returning true if any bit changed. The
+    /// word-parallel union underlying the saturation closure rows
+    /// ([`crate::checker::saturate`](mod@crate::checker::saturate)); both sets
+    /// must share one universe.
+    pub fn union_with(&mut self, other: &OpSet) -> bool {
+        debug_assert_eq!(self.num_words(), other.num_words(), "universe mismatch in union");
+        let mut changed = false;
+        for (w, &o) in self.words_mut().iter_mut().zip(other.words()) {
+            let merged = *w | o;
+            changed |= merged != *w;
+            *w = merged;
+        }
+        changed
+    }
+
     /// Number of elements.
     #[inline]
     pub fn count(&self) -> usize {

@@ -352,7 +352,7 @@ pub fn check_sequence(history: &History, order: &[OpId]) -> Result<(), SpecViola
 
 /// Result comparison: results must be identical, except that acknowledgement
 /// payloads are ignored for mutating operations that return no data.
-fn results_compatible(kind: &OpKind, expected: &OpResult, actual: &OpResult) -> bool {
+pub(crate) fn results_compatible(kind: &OpKind, expected: &OpResult, actual: &OpResult) -> bool {
     match kind {
         OpKind::Write { .. } | OpKind::Enqueue { .. } | OpKind::Fence => true,
         _ => expected == actual,

@@ -5,12 +5,17 @@
 use proptest::prelude::*;
 use regular_core::checker::assemble::assemble_witness;
 use regular_core::checker::certificate::{check_witness, check_witness_parallel, WitnessModel};
+use regular_core::checker::decompose::{
+    check_witness_decomposed, find_sequence_decomposed, CrossEdges,
+};
 use regular_core::checker::models::{check, constraints_for, Model};
+use regular_core::checker::saturate::find_sequence_saturated;
 use regular_core::checker::search::{find_sequence, find_sequence_reference};
+use regular_core::checker::window::StreamingChecker;
 use regular_core::history::History;
 use regular_core::history::HistoryIndex;
 use regular_core::op::{OpKind, OpResult};
-use regular_core::order::{reads_from_edges, CausalOrder};
+use regular_core::order::{message_edges, reads_from_edges, CausalOrder};
 use regular_core::spec::{check_sequence, SpecState};
 use regular_core::types::{Key, ProcessId, ServiceId, Timestamp, Value};
 
@@ -111,6 +116,64 @@ fn build_history_with_pending(ops: &[GenOp]) -> History {
                 op.response.expect("build_history records complete ops"),
                 op.result.clone().expect("build_history records results"),
             );
+        }
+    }
+    history
+}
+
+/// Builds `groups` disjoint copies of the generated history — distinct
+/// processes, keys, and write values per group, but overlapping real-time
+/// intervals — so the component decomposition actually splits the work and
+/// the cross-component real-time sweep has pairs to look at.
+fn build_grouped_history(ops: &[GenOp], groups: usize) -> History {
+    let mut history = History::new();
+    for g in 0..groups as u64 {
+        let value_of = |i: usize| Value(1_000 + g * 10_000 + i as u64);
+        let key_of = |k: u8| Key((k % 3) as u64 + 1 + g * 3);
+        let writes: Vec<(Key, Value)> = ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| op.is_write)
+            .map(|(i, op)| (key_of(op.key), value_of(i)))
+            .collect();
+        let mut now = 0u64;
+        let mut free_at = [0u64; 4];
+        for (i, op) in ops.iter().enumerate() {
+            let pslot = (op.process % 3) as usize + 1;
+            let process = ProcessId(g as u32 * 3 + pslot as u32);
+            let key = key_of(op.key);
+            now += 7;
+            let invoke = now.max(free_at[pslot] + 1);
+            let response = invoke + 3 + (op.duration as u64 % 3) * 15;
+            free_at[pslot] = response;
+            if op.is_write {
+                history.add_complete(
+                    process,
+                    ServiceId::KV,
+                    OpKind::Write { key, value: value_of(i) },
+                    Timestamp(invoke),
+                    Timestamp(response),
+                    OpResult::Ack,
+                );
+            } else {
+                let candidates: Vec<Value> =
+                    writes.iter().filter(|(k, _)| *k == key).map(|(_, v)| *v).collect();
+                let value = if candidates.is_empty()
+                    || (op.pick as usize).is_multiple_of(candidates.len() + 1)
+                {
+                    Value::NULL
+                } else {
+                    candidates[(op.pick as usize) % candidates.len()]
+                };
+                history.add_complete(
+                    process,
+                    ServiceId::KV,
+                    OpKind::Read { key },
+                    Timestamp(invoke),
+                    Timestamp(response),
+                    OpResult::Value(value),
+                );
+            }
         }
     }
     history
@@ -314,6 +377,156 @@ proptest! {
                     model,
                     &sequential,
                     &parallel
+                );
+            }
+        }
+    }
+
+    /// The certification cascade — saturation prefilter alone, and saturation
+    /// + component decomposition — reaches exactly the same satisfiability
+    /// verdict as the naive reference search under every model, on histories
+    /// whose disjoint groups force the decomposed path to actually split.
+    /// Any witness the cascade produces passes the spec replay and the
+    /// model's constraint edges.
+    #[test]
+    fn certification_cascade_agrees_with_reference_search(
+        ops in gen_ops(7),
+        groups in 1usize..3,
+    ) {
+        let h = build_grouped_history(&ops, groups);
+        let index = HistoryIndex::new(&h);
+        let required = h.complete_ids();
+        let optional = h.pending_mutations();
+        for model in [
+            Model::StrictSerializability,
+            Model::Linearizability,
+            Model::RegularSequentialSerializability,
+            Model::RegularSequentialConsistency,
+            Model::ProcessOrderedSerializability,
+            Model::SequentialConsistency,
+        ] {
+            let constraints = constraints_for(&h, model);
+            let reference =
+                find_sequence_reference(&h, &required, &optional, &constraints).unwrap();
+            let saturated =
+                find_sequence_saturated(&index, &required, &optional, &constraints).unwrap();
+            let cascaded = find_sequence_decomposed(
+                &h,
+                &index,
+                &required,
+                &optional,
+                &constraints,
+                CrossEdges::for_model(model),
+            )
+            .unwrap();
+            prop_assert_eq!(
+                saturated.is_some(),
+                reference.is_some(),
+                "{} verdicts diverge: saturated={:?} reference={:?}",
+                model.name(),
+                &saturated,
+                &reference
+            );
+            prop_assert_eq!(
+                cascaded.is_some(),
+                reference.is_some(),
+                "{} verdicts diverge: decomposed={:?} reference={:?}",
+                model.name(),
+                &cascaded,
+                &reference
+            );
+            for witness in [&saturated, &cascaded].into_iter().flatten() {
+                prop_assert!(check_sequence(&h, witness).is_ok());
+                let pos = |id| witness.iter().position(|x| *x == id);
+                for (a, b) in constraints.edges() {
+                    if let (Some(pa), Some(pb)) = (pos(*a), pos(*b)) {
+                        prop_assert!(pa < pb, "constraint {a} -> {b} violated under {}", model.name());
+                    }
+                }
+            }
+        }
+    }
+
+    /// The windowed streaming checker — fed the witness one operation at a
+    /// time, with the same message edges and per-process predecessor pairs
+    /// the batch checker walks — reaches exactly the batch checker's verdict
+    /// under every witness model, on valid and deliberately perturbed
+    /// witnesses alike.
+    #[test]
+    fn streaming_checker_agrees_with_batch(ops in gen_ops(40), flip in any::<bool>()) {
+        let h = build_history(&ops);
+        let mut witness = h.complete_ids();
+        if flip && witness.len() >= 2 {
+            let n = witness.len();
+            witness.swap(0, n - 1);
+        }
+        let edges = message_edges(&h);
+        let complete = h.complete_ids();
+        let mut prev = vec![None; h.len()];
+        for p in h.processes() {
+            let mut last = None;
+            for id in h.ops_of_process(p) {
+                prev[id.index()] = last;
+                last = Some(id);
+            }
+        }
+        for model in [WitnessModel::RealTime, WitnessModel::Regular, WitnessModel::ProcessOrder] {
+            let batch = check_witness(&h, &witness, model);
+            let mut checker = StreamingChecker::with_message_edges(model, &edges);
+            let mut streamed = Ok(());
+            for &id in &witness {
+                if let Err(v) = checker.push(h.op(id), prev[id.index()]) {
+                    streamed = Err(v);
+                    break;
+                }
+            }
+            let streamed = streamed.and_then(|()| checker.finish(&complete));
+            prop_assert_eq!(
+                batch.is_ok(),
+                streamed.is_ok(),
+                "verdicts diverge ({} ops, {:?}): batch={:?} streamed={:?}",
+                h.len(),
+                model,
+                &batch,
+                &streamed
+            );
+        }
+    }
+
+    /// Component-decomposed witness checking is equivalent to the sequential
+    /// checker — identical accept/reject verdicts at every thread count and
+    /// witness model, on multi-group histories where the decomposition
+    /// genuinely splits (and the cross-component write-write sweep carries
+    /// the global constraint).
+    #[test]
+    fn decomposed_witness_check_agrees_with_sequential(
+        ops in gen_ops(40),
+        groups in 1usize..4,
+        flip in any::<bool>(),
+    ) {
+        let h = build_grouped_history(&ops, groups);
+        // A plausibly-valid candidate: global invocation order interleaves
+        // the groups; the flip perturbation usually trips a constraint.
+        let mut witness = h.complete_ids();
+        witness.sort_by_key(|&id| (h.op(id).invoke.as_micros(), id));
+        if flip && witness.len() >= 2 {
+            let n = witness.len();
+            witness.swap(0, n - 1);
+        }
+        for model in [WitnessModel::RealTime, WitnessModel::Regular, WitnessModel::ProcessOrder] {
+            let sequential = check_witness(&h, &witness, model);
+            for threads in [1usize, 3] {
+                let decomposed = check_witness_decomposed(&h, &witness, model, threads);
+                prop_assert_eq!(
+                    sequential.is_ok(),
+                    decomposed.is_ok(),
+                    "verdicts diverge ({} ops, {} groups, {} threads, {:?}): seq={:?} dec={:?}",
+                    h.len(),
+                    groups,
+                    threads,
+                    model,
+                    &sequential,
+                    &decomposed
                 );
             }
         }

@@ -17,6 +17,9 @@
 //!   `multi_service` integration test) as a reusable scenario: round-robin
 //!   or photo-sharing-app workloads, scripted faults, and cross-process
 //!   `CausalContext` handoffs.
+//! * [`stream`] — streaming certification: witnesses fed in completion
+//!   order through `regular_core`'s windowed checker, plus the synthetic
+//!   histories used by the scale benchmarks.
 //! * [`report`] — sweep orchestration and the `BENCH_sweep.json` schema.
 //! * [`artifact`] — replayable failing-history dumps for CI upload.
 //! * [`json`] — the minimal JSON tree backing all of the above (the vendored
@@ -32,9 +35,11 @@ pub mod json;
 pub mod pool;
 pub mod report;
 pub mod scenario;
+pub mod stream;
 
 pub use artifact::FailureArtifact;
 pub use json::Json;
 pub use pool::{PoolStats, WorkStealingPool};
 pub use report::{run_sweep, sweep_to_json, write_json, SweepOptions, SweepResult};
-pub use scenario::{run_seed, Scenario, SeedReport, SeedRun};
+pub use scenario::{run_seed, run_seed_with, Scenario, SeedReport, SeedRun};
+pub use stream::{certify_streaming, synthetic_history, StreamStats};

@@ -10,7 +10,7 @@ use std::path::{Path, PathBuf};
 
 use crate::json::Json;
 use crate::pool::{PoolStats, WorkStealingPool};
-use crate::scenario::{run_seed, Scenario, SeedReport, SeedRun};
+use crate::scenario::{run_seed_with, Scenario, SeedReport, SeedRun};
 
 /// What to sweep.
 #[derive(Debug, Clone)]
@@ -28,6 +28,14 @@ pub struct SweepOptions {
     pub check_threads: usize,
     /// Directory failing runs are dumped into.
     pub artifact_dir: PathBuf,
+    /// Target operations per run: scales each scenario's simulated duration
+    /// toward roughly this many history operations. `None` keeps the
+    /// scenario defaults.
+    pub ops: Option<u64>,
+    /// Certify through the windowed streaming checker instead of the batch
+    /// parallel checker (verdict-equivalent; reports the reorder buffer's
+    /// peak depth).
+    pub stream: bool,
 }
 
 impl Default for SweepOptions {
@@ -39,6 +47,8 @@ impl Default for SweepOptions {
             threads: 1,
             check_threads: 1,
             artifact_dir: PathBuf::from("sweep-artifacts"),
+            ops: None,
+            stream: false,
         }
     }
 }
@@ -77,7 +87,7 @@ pub fn run_sweep(opts: &SweepOptions) -> SweepResult {
     let (runs, pool_stats): (Vec<SeedRun>, PoolStats) = pool.run(jobs, |i| {
         let scenario = scenarios[i % scenarios.len()];
         let seed = opts.base_seed + (i / scenarios.len()) as u64;
-        run_seed(scenario, seed, opts.check_threads)
+        run_seed_with(scenario, seed, opts.check_threads, opts.ops, opts.stream)
     });
     let mut reports = Vec::with_capacity(runs.len());
     let mut artifact_paths = Vec::new();
@@ -147,6 +157,22 @@ pub fn sweep_to_json(result: &SweepResult, opts: &SweepOptions, scaling: &[(usiz
                     ("latency_p99_ms_mean", Json::f64(round2(mean(rs.iter().map(|r| r.p99_ms))))),
                     ("run_wall_ms_mean", Json::f64(round2(mean(rs.iter().map(|r| r.wall_ms))))),
                     ("certify_wall_ms_mean", Json::f64(round2(mean(rs.iter().map(|r| r.cert_ms))))),
+                    (
+                        "certify_ops_per_sec_mean",
+                        Json::f64(round2(mean(
+                            rs.iter()
+                                .filter(|r| r.cert_ms > 0.0)
+                                .map(|r| r.history_ops as f64 / (r.cert_ms / 1_000.0)),
+                        ))),
+                    ),
+                    (
+                        "components_max",
+                        Json::u64(rs.iter().map(|r| r.components as u64).max().unwrap_or(0)),
+                    ),
+                    (
+                        "peak_window_max",
+                        Json::u64(rs.iter().map(|r| r.peak_window as u64).max().unwrap_or(0)),
+                    ),
                 ]),
             )
         })
@@ -177,6 +203,8 @@ pub fn sweep_to_json(result: &SweepResult, opts: &SweepOptions, scaling: &[(usiz
         // push; a 1-core dev container cannot show parallel speedup).
         ("host_threads", Json::u64(host_threads)),
         ("check_threads", Json::u64(opts.check_threads as u64)),
+        ("ops_target", opts.ops.map(Json::u64).unwrap_or(Json::Null)),
+        ("stream", Json::Bool(opts.stream)),
         ("total_runs", Json::u64(result.reports.len() as u64)),
         ("total_failures", Json::u64(result.failures() as u64)),
         ("wall_clock_ms", Json::f64(round2(result.wall_ms))),
@@ -229,6 +257,8 @@ mod tests {
             threads: 2,
             check_threads: 1,
             artifact_dir: std::env::temp_dir().join("regular-sweep-report-test"),
+            ops: None,
+            stream: false,
         };
         let result = run_sweep(&opts);
         assert_eq!(result.reports.len(), 2);
@@ -243,5 +273,7 @@ mod tests {
         let spanner = parsed.get("scenarios").unwrap().get("spanner-rss").unwrap();
         assert_eq!(spanner.get("certified").and_then(Json::as_u64), Some(1));
         assert!(spanner.get("history_ops_min").and_then(Json::as_u64).unwrap() > 128);
+        assert!(spanner.get("components_max").and_then(Json::as_u64).unwrap() >= 1);
+        assert!(spanner.get("certify_ops_per_sec_mean").and_then(Json::as_f64).unwrap() > 0.0);
     }
 }

@@ -1,0 +1,214 @@
+//! Streaming certification: feed a run's witness through the windowed
+//! [`StreamingChecker`] in arrival (completion-time) order.
+//!
+//! The batch certifier ([`regular_core::check_witness_parallel`]) holds the
+//! whole history and witness in memory and makes several passes. The
+//! streaming path instead replays the run as it would unfold at a live
+//! certifier: records arrive as they *complete* (response time, invoke time
+//! for pending ops), a [`WindowBuffer`] reorders them into witness order,
+//! and contiguous windows are handed to a checker thread over a channel.
+//! Memory above the history itself is bounded by the deepest window — the
+//! largest set of completed-but-not-yet-releasable records — which for
+//! protocol runs tracks the concurrency of the run, not its length.
+
+use std::sync::mpsc;
+
+use regular_core::{
+    order::message_edges, ComponentSplit, History, HistoryBuilder, OpId, StreamingChecker,
+    WindowBuffer, WitnessModel, WitnessViolation,
+};
+
+/// What the streaming pass observed while certifying a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Operations pushed through the checker.
+    pub ops: usize,
+    /// Contiguous windows released by the reorder buffer.
+    pub windows: usize,
+    /// High-water mark of the reorder buffer: the largest number of
+    /// arrived-but-unreleasable records held at once.
+    pub peak_window: usize,
+    /// Connected components of the history (shared keys, processes,
+    /// messages), as found by [`ComponentSplit`].
+    pub components: usize,
+}
+
+/// Certifies `witness` for `history` under `model` by streaming records in
+/// arrival order through a [`StreamingChecker`] on a dedicated thread.
+///
+/// The verdict is equivalent to [`regular_core::check_witness`]: `Ok` exactly
+/// when the batch checker accepts, `Err` exactly when it rejects (the
+/// specific violating pair reported for an ordering violation may differ,
+/// as with the parallel batch checker).
+pub fn certify_streaming(
+    history: &History,
+    witness: &[OpId],
+    model: WitnessModel,
+) -> Result<StreamStats, WitnessViolation> {
+    let n = history.len();
+
+    // Witness membership, mirrored from the batch checker's validation.
+    let mut pos_of: Vec<u32> = vec![u32::MAX; n];
+    for (pos, &id) in witness.iter().enumerate() {
+        if id.index() >= n {
+            return Err(WitnessViolation::UnknownOp(id));
+        }
+        if pos_of[id.index()] != u32::MAX {
+            return Err(WitnessViolation::DuplicateOp(id));
+        }
+        pos_of[id.index()] = pos as u32;
+    }
+
+    // Process-order predecessor of every op, so the checker can enforce
+    // process order incrementally.
+    let mut prev: Vec<Option<OpId>> = vec![None; n];
+    for p in history.processes() {
+        let mut last: Option<OpId> = None;
+        for id in history.ops_of_process(p) {
+            prev[id.index()] = last;
+            last = Some(id);
+        }
+    }
+
+    // Arrival order: a record becomes available once it completes (or, for
+    // pending ops, once it is invoked). Ties release in witness order.
+    let mut arrivals: Vec<(u64, u32, OpId)> = witness
+        .iter()
+        .map(|&id| {
+            let op = history.op(id);
+            let at = op.response.unwrap_or(op.invoke).as_micros();
+            (at, pos_of[id.index()], id)
+        })
+        .collect();
+    arrivals.sort_unstable_by_key(|&(at, pos, _)| (at, pos));
+
+    let edges = message_edges(history);
+    let complete = history.complete_ids();
+    let components = ComponentSplit::split(history).len();
+
+    let mut buffer: WindowBuffer<OpId> = WindowBuffer::new();
+    let mut windows = 0usize;
+    let (tx, rx) = mpsc::channel::<Vec<OpId>>();
+
+    let verdict = std::thread::scope(|scope| {
+        let prev = &prev;
+        let complete = &complete;
+        let edges = &edges;
+        let worker = scope.spawn(move || -> Result<usize, WitnessViolation> {
+            let mut checker = StreamingChecker::with_message_edges(model, edges);
+            while let Ok(batch) = rx.recv() {
+                for id in batch {
+                    checker.push(history.op(id), prev[id.index()])?;
+                }
+            }
+            let pushed = checker.ops_pushed();
+            checker.finish(complete)?;
+            Ok(pushed)
+        });
+
+        for (_, pos, id) in arrivals {
+            buffer.push(pos, id);
+            let batch = buffer.pop_ready();
+            if !batch.is_empty() {
+                windows += 1;
+                if tx.send(batch).is_err() {
+                    // The checker hit a violation and hung up; stop feeding.
+                    break;
+                }
+            }
+        }
+        drop(tx);
+        worker.join().expect("streaming checker thread panicked")
+    });
+
+    let ops = verdict?;
+    Ok(StreamStats { ops, windows, peak_window: buffer.peak_buffered(), components })
+}
+
+/// A synthetic key-value history of `ops` non-overlapping operations spread
+/// over `groups` disjoint process/key groups, with its (identity) witness.
+///
+/// Each group alternates rounds of writes and reads over its own eight keys;
+/// every read observes the latest write to its key, every written value is
+/// globally unique, and operations never overlap in real time. The identity
+/// witness is therefore valid under every [`WitnessModel`], and the history
+/// decomposes into exactly `groups` components. Used by the scale benchmarks
+/// and the `large_history_certify` example to get arbitrarily long histories
+/// with known structure.
+pub fn synthetic_history(ops: usize, groups: usize) -> (History, Vec<OpId>) {
+    assert!(groups >= 1, "synthetic_history needs at least one group");
+    const KEYS_PER_GROUP: u64 = 8;
+    let mut builder = HistoryBuilder::new();
+    let mut last_value: Vec<u64> = vec![0; groups * KEYS_PER_GROUP as usize];
+    let mut witness = Vec::with_capacity(ops);
+    for t in 0..ops {
+        let g = t % groups;
+        let round = t / groups;
+        let slot = (round / 2) as u64 % KEYS_PER_GROUP;
+        let key = 1 + g as u64 * KEYS_PER_GROUP + slot;
+        let invoke = t as u64 * 10;
+        let response = invoke + 5;
+        let id = if round.is_multiple_of(2) {
+            let value = t as u64 + 1;
+            last_value[g * KEYS_PER_GROUP as usize + slot as usize] = value;
+            builder.write(1 + g as u32 * 2, key, value, invoke, response)
+        } else {
+            let value = last_value[g * KEYS_PER_GROUP as usize + slot as usize];
+            builder.read(2 + g as u32 * 2, key, value, invoke, response)
+        };
+        witness.push(id);
+    }
+    (builder.build(), witness)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regular_core::check_witness;
+
+    #[test]
+    fn synthetic_history_streams_clean_under_every_model() {
+        let (history, witness) = synthetic_history(2_000, 4);
+        for model in [WitnessModel::ProcessOrder, WitnessModel::Regular, WitnessModel::RealTime] {
+            assert!(check_witness(&history, &witness, model).is_ok());
+            let stats = certify_streaming(&history, &witness, model)
+                .unwrap_or_else(|v| panic!("streaming rejected under {model:?}: {v:?}"));
+            assert_eq!(stats.ops, 2_000);
+            assert_eq!(stats.components, 4);
+            assert!(stats.windows >= 1);
+            assert!(stats.peak_window >= 1);
+        }
+    }
+
+    #[test]
+    fn streaming_agrees_with_batch_on_a_corrupted_witness() {
+        let (history, mut witness) = synthetic_history(400, 2);
+        // Move a read before the write it observes: the replay produces a
+        // different value than recorded, so every model rejects.
+        witness.swap(0, 2);
+        for model in [WitnessModel::ProcessOrder, WitnessModel::Regular, WitnessModel::RealTime] {
+            let batch = check_witness(&history, &witness, model);
+            let streamed = certify_streaming(&history, &witness, model);
+            assert_eq!(batch.is_ok(), streamed.is_ok(), "disagreement under {model:?}");
+            assert!(streamed.is_err(), "corrupted witness accepted under {model:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_validates_witness_membership() {
+        let (history, mut witness) = synthetic_history(64, 1);
+        let dup = witness[0];
+        witness[1] = dup;
+        assert!(matches!(
+            certify_streaming(&history, &witness, WitnessModel::Regular),
+            Err(WitnessViolation::DuplicateOp(d)) if d == dup
+        ));
+
+        let (history, mut witness) = synthetic_history(64, 1);
+        let dropped = witness.pop().unwrap();
+        assert!(matches!(
+            certify_streaming(&history, &witness, WitnessModel::Regular),
+            Err(WitnessViolation::MissingCompleteOp(d)) if d == dropped
+        ));
+    }
+}
