@@ -30,6 +30,13 @@
 //! speedup (the baselines) are compared on observables only; `ops` and
 //! `components` drift warns that the reference needs refreshing.
 //!
+//! **Live plane.** With `--live` (a `BENCH_live.json` from `live_bench`)
+//! and `--live-reference` (`ci/live_reference.json`), additionally checks
+//! the live execution plane. Wall-clock throughput is genuinely
+//! host-dependent (real threads, real sleeps), so all performance drift is
+//! **warn-only**; the only failing condition is a live run that stopped
+//! *certifying* — that is a correctness regression, not a slow host.
+//!
 //! Usage:
 //!
 //! ```text
@@ -41,12 +48,16 @@
 //!            [--checker BENCH_checker_scale.json] \
 //!            [--checker-reference ci/checker_scale_reference.json] \
 //!            [--checker-only] \
+//!            [--live BENCH_live.json] \
+//!            [--live-reference ci/live_reference.json] \
+//!            [--live-only] \
 //!            [--threshold 0.25]
 //! ```
 //!
 //! `--engine-only` (for jobs that only profiled the engine) skips the
 //! session-baseline comparison; `--engine` is then required. `--checker-only`
-//! does the same for jobs that only profiled the checker.
+//! and `--live-only` do the same for jobs that only profiled the checker or
+//! the live plane.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -150,6 +161,84 @@ fn load_checker_entries(path: &PathBuf) -> Result<Vec<CheckerEntry>, String> {
             })
         })
         .collect()
+}
+
+struct LiveEntry {
+    name: String,
+    certified: bool,
+    wall_ops_per_sec: f64,
+}
+
+fn load_live_entries(path: &PathBuf) -> Result<Vec<LiveEntry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let json = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let schema = json.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != "regular-seq/live-bench/v1" {
+        return Err(format!("{}: unexpected schema '{schema}'", path.display()));
+    }
+    json.get("entries")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{}: missing entries", path.display()))?
+        .iter()
+        .map(|e| {
+            Ok(LiveEntry {
+                name: e.get("name").and_then(Json::as_str).ok_or("entry missing name")?.to_string(),
+                certified: e
+                    .get("certified")
+                    .and_then(Json::as_bool)
+                    .ok_or("entry missing certified")?,
+                wall_ops_per_sec: e
+                    .get("wall_ops_per_sec")
+                    .and_then(Json::as_f64)
+                    .ok_or("entry missing wall_ops_per_sec")?,
+            })
+        })
+        .collect()
+}
+
+/// Checks the live-plane profile; returns true when something failed. Only
+/// a certification regression fails — wall-clock drift is warn-only because
+/// live throughput depends on the host's cores and scheduler.
+fn gate_live(current: &PathBuf, reference: &PathBuf, threshold: f64) -> Result<bool, String> {
+    let current_entries = load_live_entries(current)?;
+    let reference_entries = load_live_entries(reference)?;
+    println!(
+        "== live plane gate: {} vs {} (throughput warn-only, threshold {:.0}%) ==",
+        current.display(),
+        reference.display(),
+        threshold * 100.0
+    );
+    let mut failed = false;
+    for c in &current_entries {
+        if !c.certified {
+            eprintln!("FAIL  {}: live run no longer certifies", c.name);
+            failed = true;
+        }
+    }
+    for r in &reference_entries {
+        let Some(c) = current_entries.iter().find(|c| c.name == r.name) else {
+            println!("WARN  {}: missing from current live profile", r.name);
+            continue;
+        };
+        let delta = if r.wall_ops_per_sec > 0.0 {
+            (c.wall_ops_per_sec - r.wall_ops_per_sec) / r.wall_ops_per_sec
+        } else {
+            0.0
+        };
+        let label = format!(
+            "{:<20} ref {:>8.0} op/s wall  now {:>8.0} op/s wall  {:>+7.1}%",
+            r.name,
+            r.wall_ops_per_sec,
+            c.wall_ops_per_sec,
+            delta * 100.0
+        );
+        if delta.abs() > threshold {
+            println!("WARN  {label}  (wall-clock numbers are host-dependent)");
+        } else {
+            println!("ok    {label}");
+        }
+    }
+    Ok(failed)
 }
 
 /// Gates the checker-scale certification speedups; returns true when
@@ -268,6 +357,9 @@ fn main() -> ExitCode {
     let mut checker: Option<PathBuf> = None;
     let mut checker_reference = PathBuf::from("ci/checker_scale_reference.json");
     let mut checker_only = false;
+    let mut live: Option<PathBuf> = None;
+    let mut live_reference = PathBuf::from("ci/live_reference.json");
+    let mut live_only = false;
     let mut threshold = 0.25f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -281,6 +373,9 @@ fn main() -> ExitCode {
             "--checker" => checker = Some(PathBuf::from(value())),
             "--checker-reference" => checker_reference = PathBuf::from(value()),
             "--checker-only" => checker_only = true,
+            "--live" => live = Some(PathBuf::from(value())),
+            "--live-reference" => live_reference = PathBuf::from(value()),
+            "--live-only" => live_only = true,
             "--threshold" => threshold = value().parse().expect("bad --threshold"),
             other => {
                 eprintln!("unknown argument '{other}'");
@@ -294,6 +389,10 @@ fn main() -> ExitCode {
     }
     if checker_only && checker.is_none() {
         eprintln!("bench_gate: --checker-only requires --checker");
+        return ExitCode::from(2);
+    }
+    if live_only && live.is_none() {
+        eprintln!("bench_gate: --live-only requires --live");
         return ExitCode::from(2);
     }
 
@@ -317,7 +416,17 @@ fn main() -> ExitCode {
             }
         }
     }
-    if engine_only || checker_only {
+    let mut live_failed = false;
+    if let Some(live) = &live {
+        match gate_live(live, &live_reference, threshold) {
+            Ok(failed) => live_failed = failed,
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if engine_only || checker_only || live_only {
         if engine_failed {
             eprintln!("bench gate FAILED: engine hot-path speedup regressed beyond the threshold");
         }
@@ -327,7 +436,10 @@ fn main() -> ExitCode {
                  the threshold"
             );
         }
-        if engine_failed || checker_failed {
+        if live_failed {
+            eprintln!("bench gate FAILED: a live-plane run no longer certifies");
+        }
+        if engine_failed || checker_failed || live_failed {
             return ExitCode::FAILURE;
         }
         println!("bench gate passed (profile gates only)");
@@ -390,7 +502,7 @@ fn main() -> ExitCode {
             );
         }
     }
-    if failed || engine_failed || checker_failed {
+    if failed || engine_failed || checker_failed || live_failed {
         if failed {
             eprintln!("bench gate FAILED: throughput regressed beyond the threshold");
         }
@@ -402,6 +514,9 @@ fn main() -> ExitCode {
                 "bench gate FAILED: checker-scale certification speedup regressed beyond \
                  the threshold"
             );
+        }
+        if live_failed {
+            eprintln!("bench gate FAILED: a live-plane run no longer certifies");
         }
         return ExitCode::FAILURE;
     }

@@ -26,6 +26,12 @@
 //! `--stream` certifies through the windowed streaming checker instead of
 //! the batch parallel checker. Exit status is non-zero when any seed fails
 //! certification — the CI gate.
+//!
+//! `--scenarios live` sweeps the live execution plane instead
+//! (`live-spanner-rss,live-gryff-rsc,live-composed,live-spanner-faults`):
+//! every node an OS thread on scaled wall-clock time, certified online
+//! through the streaming checker. Live runs occupy real cores, so pair
+//! them with a small `--threads`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -83,15 +89,20 @@ fn parse_args() -> Args {
                 let list = value("--scenarios");
                 if list.trim().eq_ignore_ascii_case("all") {
                     opts.scenarios = Scenario::ALL.to_vec();
+                } else if list.trim().eq_ignore_ascii_case("live") {
+                    opts.scenarios = Scenario::LIVE.to_vec();
                 } else {
                     opts.scenarios = list
                         .split(',')
                         .map(|s| {
                             Scenario::parse(s).unwrap_or_else(|| {
-                                let valid: Vec<&str> =
-                                    Scenario::ALL.iter().map(|v| v.name()).collect();
+                                let valid: Vec<&str> = Scenario::ALL
+                                    .iter()
+                                    .chain(Scenario::LIVE.iter())
+                                    .map(|v| v.name())
+                                    .collect();
                                 usage(&format!(
-                                    "unknown scenario '{s}' (valid: {}, or 'all')",
+                                    "unknown scenario '{s}' (valid: {}, or 'all'/'live')",
                                     valid.join(", ")
                                 ))
                             })
@@ -143,6 +154,12 @@ fn replay_artifact(path: &std::path::Path) -> ExitCode {
         artifact.model,
     );
     println!("recorded violation: {}", artifact.violation);
+    if !artifact.deliveries.is_empty() {
+        println!(
+            "live delivery schedule: {} recorded deliveries (wall-clock run)",
+            artifact.deliveries.len()
+        );
+    }
     // Large histories replay through the windowed streaming checker so the
     // checking state stays bounded by the reorder window; the verdict is
     // equivalent to the batch check.

@@ -1,0 +1,267 @@
+//! Live-plane benchmark: wall-clock throughput and latency percentiles of
+//! the protocol crates running on real OS threads, certified online.
+//!
+//! Two deployments run on the `regular-live` execution plane:
+//!
+//! * `live-spanner-rss`: a 3-shard Spanner-RSS cluster with 8 client nodes
+//!   (12 OS threads including the router) driven long enough to complete
+//!   well over 30k operations, streaming-certified RSS — the acceptance
+//!   configuration of the live plane.
+//! * `live-gryff-rsc`: the five-region Gryff-RSC deployment,
+//!   streaming-certified RSC.
+//!
+//! Latency percentiles are reported in *simulated* milliseconds (they are
+//! comparable across time scales and to the simulator's numbers); throughput
+//! is reported both per simulated second and per wall-clock second. The
+//! report is written to `BENCH_live.json`
+//! (schema `regular-seq/live-bench/v1`); `bench_gate --live` compares it
+//! warn-only against `ci/live_reference.json` — wall-clock numbers are
+//! host-dependent — and fails only when a run stops certifying.
+//!
+//! Usage:
+//!
+//! ```text
+//! live_bench [--out BENCH_live.json] [--seed S] [--scale N] [--quick]
+//! ```
+//!
+//! `--scale` sets simulated microseconds per wall microsecond (default 60).
+//! `--quick` shrinks the runs for smoke jobs (a few seconds total, no 30k-op
+//! guarantee).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use regular_core::checker::assemble::assemble_witness;
+use regular_core::checker::certificate::WitnessModel;
+use regular_gryff::prelude as gryff;
+use regular_live::{run_cluster_live, run_gryff_live, GryffLiveSpec, SpannerLiveSpec};
+use regular_session::{SessionConfig, SessionWorkload};
+use regular_sim::{LatencyMatrix, LatencyRecorder, SimDuration, SimTime};
+use regular_spanner::prelude as spanner;
+use regular_sweep::{certify_streaming, Json};
+
+struct LiveEntry {
+    name: &'static str,
+    threads: usize,
+    history_ops: usize,
+    certified: bool,
+    violation: Option<String>,
+    sim_ops_per_sec: f64,
+    wall_ops_per_sec: f64,
+    wall_ms: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    peak_window: usize,
+}
+
+fn ms(d: Option<SimDuration>) -> f64 {
+    d.map(|d| d.as_micros() as f64 / 1_000.0).unwrap_or(0.0)
+}
+
+fn spanner_entry(seed: u64, scale: u64, stop_secs: u64) -> LiveEntry {
+    let num_clients = 8;
+    let clients = (0..num_clients)
+        .map(|i| spanner::ClientSpec {
+            region: i % 3,
+            sessions: SessionConfig::closed_loop(4, SimDuration::ZERO)
+                .with_workload_seed(seed.wrapping_mul(1_000_003).wrapping_add(i as u64)),
+            workload: Box::new(spanner::UniformWorkload {
+                num_keys: 500,
+                ro_fraction: 0.5,
+                keys_per_txn: 2,
+            }) as Box<dyn SessionWorkload>,
+        })
+        .collect();
+    let config = spanner::SpannerConfig::wan(spanner::Mode::SpannerRss);
+    let num_shards = config.num_shards;
+    let result = run_cluster_live(SpannerLiveSpec {
+        config,
+        net: LatencyMatrix::spanner_wan(),
+        seed,
+        clients,
+        stop_issuing_at: SimTime::from_secs(stop_secs),
+        drain: SimDuration::from_secs(8),
+        measure_from: SimTime::from_secs(1),
+        time_scale: scale,
+        record_deliveries: false,
+    });
+    let (history, witness) = spanner::build_history_from(&result.completed);
+    let (certified, violation, peak_window) =
+        match certify_streaming(&history, &witness, WitnessModel::Regular) {
+            Ok(stats) => (true, None, stats.peak_window),
+            Err(v) => (false, Some(format!("RSS violation (streaming): {v:?}")), 0),
+        };
+    let mut all = LatencyRecorder::new();
+    all.merge(&result.rw_latencies);
+    all.merge(&result.ro_latencies);
+    LiveEntry {
+        name: "live-spanner-rss",
+        // Node threads plus the router (the main thread only collects).
+        threads: num_shards + num_clients + 1,
+        history_ops: history.len(),
+        certified,
+        violation,
+        sim_ops_per_sec: result.throughput,
+        wall_ops_per_sec: result.wall_throughput,
+        wall_ms: result.wall.as_secs_f64() * 1_000.0,
+        p50_ms: ms(all.percentile(50.0)),
+        p99_ms: ms(all.percentile(99.0)),
+        peak_window,
+    }
+}
+
+fn gryff_entry(seed: u64, scale: u64, stop_secs: u64) -> LiveEntry {
+    let num_clients = 5;
+    let clients = (0..num_clients)
+        .map(|i| gryff::GryffClientSpec {
+            region: i % 5,
+            sessions: SessionConfig::closed_loop(3, SimDuration::ZERO)
+                .with_workload_seed(seed.wrapping_mul(999_983).wrapping_add(i as u64)),
+            workload: Box::new(gryff::ConflictWorkload::ycsb(
+                0.5,
+                0.25,
+                seed.wrapping_add(i as u64),
+            )) as Box<dyn SessionWorkload>,
+        })
+        .collect();
+    let config = gryff::GryffConfig::wan(gryff::Mode::GryffRsc);
+    let num_replicas = config.num_replicas;
+    let result = run_gryff_live(GryffLiveSpec {
+        config,
+        net: LatencyMatrix::gryff_wan(),
+        seed,
+        clients,
+        stop_issuing_at: SimTime::from_secs(stop_secs),
+        drain: SimDuration::from_secs(8),
+        measure_from: SimTime::from_secs(1),
+        time_scale: scale,
+        record_deliveries: false,
+    });
+    let (history, edges) = gryff::build_history_from(&result.completed);
+    let (certified, violation, peak_window) =
+        match assemble_witness(&history, &edges, WitnessModel::Regular) {
+            Ok(witness) => match certify_streaming(&history, &witness, WitnessModel::Regular) {
+                Ok(stats) => (true, None, stats.peak_window),
+                Err(v) => (false, Some(format!("RSC violation (streaming): {v:?}")), 0),
+            },
+            Err(e) => (
+                false,
+                Some(format!(
+                    "carstamp/process-order constraints are cyclic ({} ops unordered)",
+                    e.unordered
+                )),
+                0,
+            ),
+        };
+    let mut all = LatencyRecorder::new();
+    all.merge(&result.read_latencies);
+    all.merge(&result.write_latencies);
+    all.merge(&result.rmw_latencies);
+    LiveEntry {
+        name: "live-gryff-rsc",
+        threads: num_replicas + num_clients + 1,
+        history_ops: history.len(),
+        certified,
+        violation,
+        sim_ops_per_sec: result.throughput,
+        wall_ops_per_sec: result.wall_throughput,
+        wall_ms: result.wall.as_secs_f64() * 1_000.0,
+        p50_ms: ms(all.percentile(50.0)),
+        p99_ms: ms(all.percentile(99.0)),
+        peak_window,
+    }
+}
+
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+fn main() -> ExitCode {
+    let mut out = PathBuf::from("BENCH_live.json");
+    let mut seed = 1u64;
+    let mut scale = 60u64;
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().expect("flag needs a value");
+        match arg.as_str() {
+            "--out" => out = PathBuf::from(value()),
+            "--seed" => seed = value().parse().expect("bad --seed"),
+            "--scale" => scale = value().parse().expect("bad --scale"),
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown argument '{other}' (usage: live_bench [--out PATH] [--seed S] [--scale N] [--quick])");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let (spanner_secs, gryff_secs) = if quick { (25, 25) } else { (240, 120) };
+
+    println!("== live bench: scale {scale}x, seed {seed}{} ==", if quick { ", quick" } else { "" });
+    let entries =
+        vec![spanner_entry(seed, scale, spanner_secs), gryff_entry(seed, scale, gryff_secs)];
+    let mut failed = false;
+    for e in &entries {
+        println!(
+            "{}  {} threads, {} ops in {:.0} ms wall: {:.0} op/s wall ({:.0} op/sim-s), \
+             p50 {:.1} ms p99 {:.1} ms (simulated), peak window {} — {}",
+            e.name,
+            e.threads,
+            e.history_ops,
+            e.wall_ms,
+            e.wall_ops_per_sec,
+            e.sim_ops_per_sec,
+            e.p50_ms,
+            e.p99_ms,
+            e.peak_window,
+            if e.certified { "CERTIFIED" } else { "VIOLATION" },
+        );
+        if let Some(v) = &e.violation {
+            eprintln!("   {v}");
+            failed = true;
+        }
+    }
+
+    let json = Json::obj(vec![
+        ("schema", Json::str("regular-seq/live-bench/v1")),
+        ("seed", Json::u64(seed)),
+        ("time_scale", Json::u64(scale)),
+        ("quick", Json::Bool(quick)),
+        (
+            "entries",
+            Json::Arr(
+                entries
+                    .iter()
+                    .map(|e| {
+                        Json::obj(vec![
+                            ("name", Json::str(e.name)),
+                            ("threads", Json::u64(e.threads as u64)),
+                            ("history_ops", Json::u64(e.history_ops as u64)),
+                            ("certified", Json::Bool(e.certified)),
+                            (
+                                "violation",
+                                e.violation.as_deref().map(Json::str).unwrap_or(Json::Null),
+                            ),
+                            ("sim_ops_per_sec", Json::f64(round2(e.sim_ops_per_sec))),
+                            ("wall_ops_per_sec", Json::f64(round2(e.wall_ops_per_sec))),
+                            ("wall_ms", Json::f64(round2(e.wall_ms))),
+                            ("latency_p50_ms", Json::f64(round2(e.p50_ms))),
+                            ("latency_p99_ms", Json::f64(round2(e.p99_ms))),
+                            ("peak_window", Json::u64(e.peak_window as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    if let Err(e) = regular_sweep::write_json(&out, &json) {
+        eprintln!("failed to write {}: {e}", out.display());
+        return ExitCode::from(2);
+    }
+    println!("report written to {}", out.display());
+    if failed {
+        eprintln!("live bench FAILED: a live run did not certify");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

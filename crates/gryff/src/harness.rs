@@ -267,10 +267,18 @@ pub fn record_with_carstamp_chains(
 
 /// Builds the history and the per-key/process-order constraint edges of a run.
 pub fn build_history(result: &GryffRunResult) -> (History, Vec<(OpId, OpId)>) {
+    build_history_from(&result.completed)
+}
+
+/// [`build_history`] from bare per-client completion lists, for harnesses
+/// (e.g. the live execution plane) that do not assemble a [`GryffRunResult`].
+pub fn build_history_from(
+    completed: &[(NodeId, Vec<CompletedRecord>)],
+) -> (History, Vec<(OpId, OpId)>) {
     let mut recorder = HistoryRecorder::new();
     let mut per_key: std::collections::HashMap<u64, Vec<(Carstamp, u8, u64, OpId)>> =
         std::collections::HashMap::new();
-    for (client, ops) in &result.completed {
+    for (client, ops) in completed {
         record_with_carstamp_chains(&mut recorder, *client as u64, ops, &mut per_key);
     }
     let mut edges = Vec::new();

@@ -52,9 +52,9 @@ pub mod prelude {
     pub use crate::client::{GryffClientConfig, GryffClientStats, GryffService};
     pub use crate::config::{GryffConfig, Mode};
     pub use crate::harness::{
-        all_reads_explainable, build_history, client_config, read_value_summary,
-        record_with_carstamp_chains, run_gryff, verify_run, GryffClient, GryffClientSpec,
-        GryffClusterSpec, GryffNode, GryffRunResult,
+        all_reads_explainable, build_history, build_history_from, client_config,
+        read_value_summary, record_with_carstamp_chains, run_gryff, verify_run, GryffClient,
+        GryffClientSpec, GryffClusterSpec, GryffNode, GryffRunResult,
     };
     pub use crate::messages::{Dep, GryffMsg, OpRef};
     pub use crate::workload::{ConflictWorkload, OpRequest};

@@ -148,6 +148,41 @@ impl GryffReplica {
         }
     }
 
+    /// Re-sends the current round of coordination `internal` if it is the
+    /// head of its key queue (a queued coordination starts when the head
+    /// finishes, so only the head has a round in flight). Rounds are
+    /// idempotent and reply-counting dedups by replica, so replicas that
+    /// already answered simply answer again.
+    ///
+    /// Called when a client retries an in-flight `Rmw` — without this, a
+    /// round whose replies were lost (a partition or drop window) stalls
+    /// forever: nothing on the coordinator re-drives it, and the retried
+    /// request used to be swallowed by the at-most-once dedup. The client's
+    /// operation timeout is the retry clock.
+    fn redrive_rmw(&mut self, ctx: &mut Context<GryffMsg>, internal: u64) {
+        let Some(coord) = self.rmws.get(&internal) else { return };
+        let key = coord.key;
+        if self.rmw_queue.get(key).and_then(|q| q.front()) != Some(&internal) {
+            return;
+        }
+        let op = OpRef { node: ctx.node_id(), seq: internal };
+        match coord.phase {
+            RmwPhase::Read => {
+                for p in self.peer_nodes() {
+                    ctx.send(p, GryffMsg::Read1 { op, key, dep: None });
+                }
+            }
+            RmwPhase::Write => {
+                // The decision (value, carstamp) is durable: re-sending the
+                // same Write2 is a no-op at replicas that already applied it.
+                let (value, cs) = (coord.new_value, coord.chosen);
+                for p in self.peer_nodes() {
+                    ctx.send(p, GryffMsg::Write2 { op, key, value, cs });
+                }
+            }
+        }
+    }
+
     fn handle_rmw_reply_read(
         &mut self,
         ctx: &mut Context<GryffMsg>,
@@ -243,7 +278,13 @@ impl regular_sim::engine::Node<GryffMsg> for GryffReplica {
                     ctx.send(from, GryffMsg::RmwReply { op, old_value, cs });
                     return;
                 }
-                if self.rmws.values().any(|c| c.client_op == op) {
+                if let Some(internal) =
+                    self.rmws.iter().find(|(_, c)| c.client_op == op).map(|(&i, _)| i)
+                {
+                    // Already coordinating: the retry means the client timed
+                    // out, so the round's replies were probably lost —
+                    // re-drive it instead of dropping the request.
+                    self.redrive_rmw(ctx, internal);
                     return;
                 }
                 let internal = self.next_internal;
@@ -291,30 +332,14 @@ impl regular_sim::engine::Node<GryffMsg> for GryffReplica {
         // expired. Re-drive the current round of every active (head-of-queue)
         // coordination; rounds are idempotent and reply-counting dedups by
         // replica, so replicas that already answered simply answer again.
-        let mut keys: Vec<Key> = self.rmw_queue.iter().map(|(k, _)| k).collect();
-        keys.sort_unstable();
-        for key in keys {
-            let Some(&internal) = self.rmw_queue.get(key).and_then(|q| q.front()) else {
-                continue;
-            };
-            let Some(coord) = self.rmws.get(&internal) else { continue };
-            let op = OpRef { node: ctx.node_id(), seq: internal };
-            match coord.phase {
-                RmwPhase::Read => {
-                    for p in self.peer_nodes() {
-                        ctx.send(p, GryffMsg::Read1 { op, key, dep: None });
-                    }
-                }
-                RmwPhase::Write => {
-                    // The decision (value, carstamp) is durable: re-sending
-                    // the same Write2 is a no-op at replicas that already
-                    // applied it.
-                    let (value, cs) = (coord.new_value, coord.chosen);
-                    for p in self.peer_nodes() {
-                        ctx.send(p, GryffMsg::Write2 { op, key, value, cs });
-                    }
-                }
-            }
+        let mut heads: Vec<(Key, u64)> = self
+            .rmw_queue
+            .iter()
+            .filter_map(|(k, q)| q.front().map(|&internal| (k, internal)))
+            .collect();
+        heads.sort_unstable();
+        for (_, internal) in heads {
+            self.redrive_rmw(ctx, internal);
         }
     }
 }

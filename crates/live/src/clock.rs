@@ -1,0 +1,88 @@
+//! The wall-to-simulated time mapping shared by every live thread.
+//!
+//! The live plane keeps the protocol code's notion of time — [`SimTime`]
+//! microseconds — and defines it as *scaled wall time*: `sim_us = wall_us ×
+//! scale`, anchored at an epoch captured when the run starts. A scale of 1
+//! runs in real time; a scale of 30 compresses a 30-simulated-second fault
+//! script into one wall-clock second. Because every thread reads the same
+//! monotonic clock, the mapping is globally consistent without any
+//! coordination, and TrueTime's `[now-ε, now+ε]` bounds hold exactly as they
+//! do in the simulator.
+
+use std::time::{Duration, Instant};
+
+use regular_sim::{SimDuration, SimTime};
+
+/// A shared, copyable handle mapping the monotonic wall clock to simulated
+/// time.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveClock {
+    epoch: Instant,
+    scale: u64,
+}
+
+impl LiveClock {
+    /// Starts the clock now, at simulated time zero, with the given
+    /// compression factor (simulated microseconds per wall microsecond;
+    /// clamped to at least 1).
+    pub fn start(scale: u64) -> Self {
+        LiveClock { epoch: Instant::now(), scale: scale.max(1) }
+    }
+
+    /// The compression factor.
+    pub fn scale(&self) -> u64 {
+        self.scale
+    }
+
+    /// The current simulated time.
+    pub fn sim_now(&self) -> SimTime {
+        let wall_us = self.epoch.elapsed().as_micros() as u64;
+        SimTime(wall_us.saturating_mul(self.scale))
+    }
+
+    /// The wall-clock duration from now until simulated instant `t`
+    /// (zero if `t` is already past).
+    ///
+    /// Rounded *up*, so sleeping this long never wakes before `t`: waking
+    /// early would fire timers ahead of their simulated deadline, which the
+    /// discrete-event engine can never do (commit-wait correctness depends
+    /// on it). Waking late is always safe — the caller re-reads
+    /// [`LiveClock::sim_now`] and fires only what is due.
+    pub fn wall_until(&self, t: SimTime) -> Duration {
+        let now = self.sim_now();
+        if t <= now {
+            return Duration::ZERO;
+        }
+        let sim_us = t.0 - now.0;
+        Duration::from_micros(sim_us.div_ceil(self.scale))
+    }
+
+    /// Converts a simulated duration to its wall-clock equivalent (rounded
+    /// up).
+    pub fn to_wall(&self, d: SimDuration) -> Duration {
+        Duration::from_micros(d.as_micros().div_ceil(self.scale))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_scaled() {
+        let c = LiveClock::start(1000);
+        std::thread::sleep(Duration::from_millis(2));
+        let t = c.sim_now();
+        // 2ms wall at scale 1000 is at least 2 simulated seconds.
+        assert!(t >= SimTime::from_secs(2), "sim clock too slow: {:?}", t);
+    }
+
+    #[test]
+    fn wall_until_rounds_up_and_saturates() {
+        let c = LiveClock::start(10);
+        assert_eq!(c.wall_until(SimTime(0)), Duration::ZERO);
+        let target = c.sim_now() + SimDuration::from_micros(25);
+        // 25 sim-us at scale 10 needs at least 2 wall-us and at most 3.
+        assert!(c.wall_until(target) <= Duration::from_micros(3));
+    }
+}

@@ -1,0 +1,281 @@
+//! The live transport: a router thread that applies network and fault
+//! verdicts to every message and delivers into per-node mailboxes.
+//!
+//! This is the wall-clock counterpart of the discrete-event engine's
+//! `dispatch`: the base verdict comes from the same [`NetworkModel`], the
+//! fault overlay from the same [`FaultSchedule::verdict`] composition, and
+//! scripted crash windows become `Crash`/`Recover` control events pushed
+//! through the victim's mailbox. Delivery times are *simulated* instants
+//! (see [`LiveClock`]); the router sleeps until the earliest pending
+//! delivery is due on the wall clock, so messages arrive in simulated-time
+//! order with real concurrency between nodes.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use regular_sim::fault::FaultSchedule;
+use regular_sim::net::{Delivery, NetworkModel, Region};
+use regular_sim::{MessageStats, NodeId, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::clock::LiveClock;
+
+/// An event delivered into a node thread's mailbox.
+pub enum LiveEvent<M> {
+    /// Run `on_start` (sent once, before any delivery).
+    Start,
+    /// A message delivery.
+    Msg {
+        /// Sending node.
+        from: NodeId,
+        /// The message.
+        msg: M,
+    },
+    /// A scripted crash: the node discards its state per `on_crash` and
+    /// ignores deliveries until `Recover`.
+    Crash,
+    /// Recovery from a scripted crash.
+    Recover,
+    /// End of run; the node thread exits.
+    Stop,
+}
+
+/// A message handed to the router by a node thread.
+pub struct Outgoing<M> {
+    /// Sending node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Extra delay on top of network latency (`Context::send_after`).
+    pub extra: SimDuration,
+    /// The message.
+    pub msg: M,
+}
+
+/// One delivery the router performed, in delivery order.
+///
+/// The recorded log makes a live run's nondeterministic interleaving
+/// inspectable after the fact: it is attached to failure artifacts so a
+/// violation found on the live plane ships with the exact delivery
+/// sequence that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeliveryRecord {
+    /// Delivery sequence number (0-based, global).
+    pub seq: u64,
+    /// Simulated delivery instant (microseconds).
+    pub at_us: u64,
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+}
+
+/// What the router accumulated over the run.
+pub struct RouterReport {
+    /// Message counters. `delivered` counts mailbox pushes; the executor
+    /// subtracts the receivers' expired counts to match engine semantics.
+    pub stats: MessageStats,
+    /// The delivery log (empty unless recording was enabled).
+    pub deliveries: Vec<DeliveryRecord>,
+}
+
+/// A scheduled router action: a future delivery or a scripted power event.
+enum PendingKind<M> {
+    Msg { from: NodeId, to: NodeId, msg: M },
+    Crash { node: NodeId },
+    Recover { node: NodeId },
+}
+
+struct Pending<M> {
+    at: SimTime,
+    /// Tie-break class: recoveries before crashes before messages at the
+    /// same instant, mirroring the engine's power-event ordering.
+    class: u8,
+    seq: u64,
+    kind: PendingKind<M>,
+}
+
+impl<M> Pending<M> {
+    fn key(&self) -> (SimTime, u8, u64) {
+        (self.at, self.class, self.seq)
+    }
+}
+
+impl<M> PartialEq for Pending<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<M> Eq for Pending<M> {}
+impl<M> PartialOrd for Pending<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Pending<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+const CLASS_RECOVER: u8 = 0;
+const CLASS_CRASH: u8 = 1;
+const CLASS_MSG: u8 = 2;
+
+/// Mixed into the run seed for the router's RNG stream so it does not
+/// collide with any node's stream.
+const ROUTER_SALT: u64 = 0xF0E1_D2C3_B4A5_9687;
+
+/// The router loop. Runs on its own thread until `stop` is raised or every
+/// node-side sender is gone.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_router<M: Clone + Send + 'static>(
+    clock: LiveClock,
+    mut net: Box<dyn NetworkModel>,
+    faults: FaultSchedule,
+    regions: Vec<Region>,
+    mailboxes: Vec<Sender<LiveEvent<M>>>,
+    rx: Receiver<Outgoing<M>>,
+    seed: u64,
+    record_deliveries: bool,
+    stop: Arc<AtomicBool>,
+) -> RouterReport {
+    let mut rng = SmallRng::seed_from_u64(seed ^ ROUTER_SALT);
+    let mut heap: BinaryHeap<Reverse<Pending<M>>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut stats = MessageStats::default();
+    let mut deliveries = Vec::new();
+
+    // Scripted power events are known up front; seed the schedule with them.
+    for w in faults.crashes() {
+        heap.push(Reverse(Pending {
+            at: w.at,
+            class: CLASS_CRASH,
+            seq,
+            kind: PendingKind::Crash { node: w.node },
+        }));
+        seq += 1;
+        if let Some(r) = w.recover_at {
+            heap.push(Reverse(Pending {
+                at: r,
+                class: CLASS_RECOVER,
+                seq,
+                kind: PendingKind::Recover { node: w.node },
+            }));
+            seq += 1;
+        }
+    }
+
+    let mut disconnected = false;
+    loop {
+        // Deliver everything that is due.
+        let now = clock.sim_now();
+        while heap.peek().is_some_and(|Reverse(p)| p.at <= now) {
+            let Reverse(p) = heap.pop().unwrap();
+            match p.kind {
+                PendingKind::Msg { from, to, msg } => {
+                    if mailboxes[to].send(LiveEvent::Msg { from, msg }).is_ok() {
+                        if record_deliveries {
+                            deliveries.push(DeliveryRecord {
+                                seq: deliveries.len() as u64,
+                                at_us: p.at.0,
+                                from,
+                                to,
+                            });
+                        }
+                        stats.delivered += 1;
+                    }
+                }
+                PendingKind::Crash { node } => {
+                    let _ = mailboxes[node].send(LiveEvent::Crash);
+                }
+                PendingKind::Recover { node } => {
+                    let _ = mailboxes[node].send(LiveEvent::Recover);
+                }
+            }
+        }
+        if stop.load(Ordering::Relaxed) || (disconnected && heap.is_empty()) {
+            break;
+        }
+
+        // Sleep until the next pending event is due, but wake periodically
+        // to notice the stop flag even when the schedule holds only
+        // far-future events.
+        let cap = Duration::from_millis(20);
+        let wait = match heap.peek() {
+            Some(Reverse(p)) => clock.wall_until(p.at).min(cap),
+            None => cap,
+        };
+        if disconnected {
+            std::thread::sleep(wait);
+            continue;
+        }
+        match rx.recv_timeout(wait) {
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => disconnected = true,
+            Ok(out) => {
+                // Drain the channel: verdicts are cheap, and batching keeps
+                // the heap hot while senders are bursty.
+                let mut next = Some(out);
+                while let Some(o) = next {
+                    let now = clock.sim_now();
+                    let from_r = regions[o.from];
+                    let to_r = regions[o.to];
+                    let base = net.delivery(now, from_r, to_r, &mut rng);
+                    let verdict = faults.verdict(now, from_r, to_r, &mut rng, base);
+                    match verdict {
+                        Delivery::Deliver { latency } => {
+                            heap.push(Reverse(Pending {
+                                at: now + latency + o.extra,
+                                class: CLASS_MSG,
+                                seq,
+                                kind: PendingKind::Msg { from: o.from, to: o.to, msg: o.msg },
+                            }));
+                            seq += 1;
+                        }
+                        Delivery::Delay { latency, extra } => {
+                            heap.push(Reverse(Pending {
+                                at: now + latency + o.extra + extra,
+                                class: CLASS_MSG,
+                                seq,
+                                kind: PendingKind::Msg { from: o.from, to: o.to, msg: o.msg },
+                            }));
+                            seq += 1;
+                        }
+                        Delivery::Drop => stats.dropped += 1,
+                        Delivery::Duplicate { latency, echo_after } => {
+                            let at = now + latency + o.extra;
+                            heap.push(Reverse(Pending {
+                                at,
+                                class: CLASS_MSG,
+                                seq,
+                                kind: PendingKind::Msg {
+                                    from: o.from,
+                                    to: o.to,
+                                    msg: o.msg.clone(),
+                                },
+                            }));
+                            seq += 1;
+                            heap.push(Reverse(Pending {
+                                at: at + echo_after,
+                                class: CLASS_MSG,
+                                seq,
+                                kind: PendingKind::Msg { from: o.from, to: o.to, msg: o.msg },
+                            }));
+                            seq += 1;
+                            stats.duplicated += 1;
+                        }
+                    }
+                    next = rx.try_recv().ok();
+                }
+            }
+        }
+    }
+    RouterReport { stats, deliveries }
+}

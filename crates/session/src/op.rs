@@ -57,7 +57,7 @@ impl SessionOp {
 }
 
 /// A source of operations for sessions driving a single service.
-pub trait SessionWorkload: 'static {
+pub trait SessionWorkload: Send + 'static {
     /// Produces the next operation.
     fn next_op(&mut self, rng: &mut SmallRng) -> SessionOp;
 }
@@ -69,7 +69,7 @@ pub trait SessionWorkload: 'static {
 /// patterns: each lane is its own application process, and the service-switch
 /// sequence (which drives `libRSS` fencing) must be a property of the
 /// process, not of the node-wide interleaving.
-pub trait MultiServiceWorkload: 'static {
+pub trait MultiServiceWorkload: Send + 'static {
     /// Produces the next operation for `lane` and the service it targets.
     fn next_targeted_op(&mut self, rng: &mut SmallRng, lane: LaneId) -> (usize, SessionOp);
 }

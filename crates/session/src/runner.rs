@@ -324,6 +324,36 @@ impl<M: 'static> ComposedRunner<M> {
         &self.services
     }
 
+    /// Multi-line summary of in-flight runner and service state, for
+    /// diagnosing stuck lanes under fault schedules.
+    pub fn debug_inflight(&self) -> String {
+        let mut outstanding: Vec<String> =
+            self.outstanding.iter().map(|(s, n)| format!("{s}:{n}")).collect();
+        outstanding.sort();
+        let mut parked: Vec<String> = self
+            .pending_after_fence
+            .iter()
+            .map(|(lane, (target, op))| {
+                format!("{}/{} -> svc {} {:?}", lane.session, lane.slot, target, op)
+            })
+            .collect();
+        parked.sort();
+        let mut out = format!(
+            "runner: outstanding=[{}] parked_after_fence=[{}] pending_context={} timers={}",
+            outstanding.join(", "),
+            parked.join("; "),
+            self.pending_context.is_some(),
+            self.timers.len()
+        );
+        for (idx, s) in self.services.iter().enumerate() {
+            let line = s.debug_inflight();
+            if !line.is_empty() {
+                out.push_str(&format!("\n  svc {idx} ({}): {line}", s.name()));
+            }
+        }
+        out
+    }
+
     fn arm(&mut self, ctx: &mut Context<M>, delay: SimDuration, wake: Wake) {
         let tag = runner_tag(&mut self.next_timer);
         self.timers.insert(tag, wake);

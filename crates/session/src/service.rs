@@ -41,7 +41,7 @@ pub fn service_tag(counter: &mut u64) -> u64 {
 ///   submitted operation (retries are internal),
 /// * only allocate timer tags with [`service_tag`],
 /// * tolerate `drain_completed` being called at any point.
-pub trait Service: 'static {
+pub trait Service: Send + 'static {
     /// The protocol's wire message type.
     type Msg: 'static;
 
@@ -88,6 +88,13 @@ pub trait Service: 'static {
 
     /// Takes the operations completed since the last call.
     fn drain_completed(&mut self) -> Vec<CompletedRecord>;
+
+    /// One-line summary of in-flight protocol state, for diagnosing stuck
+    /// runs (lanes that stop completing under fault schedules). Purely
+    /// informational; the default reports nothing.
+    fn debug_inflight(&self) -> String {
+        String::new()
+    }
 }
 
 /// Lifts a `Service` with message type `P` into a combined-message simulation
@@ -206,6 +213,10 @@ where
 
     fn drain_completed(&mut self) -> Vec<CompletedRecord> {
         self.inner.drain_completed()
+    }
+
+    fn debug_inflight(&self) -> String {
+        self.inner.debug_inflight()
     }
 }
 

@@ -43,9 +43,9 @@
 //! (differentially tested in `tests/queue_determinism.rs`).
 
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
-use crate::fault::{FaultSchedule, MessageFault};
+use crate::fault::FaultSchedule;
 use crate::metrics::MessageStats;
 use crate::net::{Delivery, NetworkModel, Region};
 use crate::queue::{QueueKind, SimQueue};
@@ -138,7 +138,41 @@ pub struct Context<'a, M> {
     timers: &'a mut Vec<(SimDuration, u64)>,
 }
 
+/// The borrowed state an execution engine lends a [`Context`] for one
+/// handler invocation.
+///
+/// [`Node`] implementations only ever see a `Context`, so any engine that
+/// can produce these parts can drive them: the discrete-event [`Engine`]
+/// assembles contexts from its own arrays, and the live (threaded) execution
+/// plane assembles them from per-thread state with `now` mapped from the
+/// wall clock. This is what makes a protocol node engine-agnostic.
+pub struct ContextParts<'a, M> {
+    /// The current (simulated or wall-mapped) time.
+    pub now: SimTime,
+    /// The node being invoked.
+    pub node_id: NodeId,
+    /// The node's deterministic RNG stream.
+    pub rng: &'a mut SmallRng,
+    /// The node's TrueTime clock.
+    pub truetime: &'a mut TrueTime,
+    /// Receives messages the handler sends: (destination, extra delay, msg).
+    pub outbox: &'a mut Vec<(NodeId, SimDuration, M)>,
+    /// Receives timers the handler sets: (delay, tag).
+    pub timers: &'a mut Vec<(SimDuration, u64)>,
+}
+
 impl<'a, M> Context<'a, M> {
+    /// Assembles a context from engine-owned parts (see [`ContextParts`]).
+    pub fn from_parts(parts: ContextParts<'a, M>) -> Self {
+        Context {
+            now: parts.now,
+            node_id: parts.node_id,
+            rng: parts.rng,
+            truetime: parts.truetime,
+            outbox: parts.outbox,
+            timers: parts.timers,
+        }
+    }
     /// The current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -451,54 +485,16 @@ impl<M: Clone + 'static, N: Node<M>> Engine<M, N> {
         }
     }
 
-    /// Applies the fault schedule to the model's verdict for one message.
-    fn fault_verdict(&mut self, from: Region, to: Region, base: Delivery) -> Delivery {
-        if self.faults.link_cut(self.now, from, to) {
-            return Delivery::Drop;
-        }
-        // The first active window whose probability fires decides; sampling
-        // draws from the engine RNG, so lossy runs stay seed-deterministic.
-        let mut fired = None;
-        for w in self.faults.active_windows(self.now, from, to) {
-            if self.rng.gen_bool(w.probability) {
-                fired = Some(w.fault);
-                break;
-            }
-        }
-        match (fired, base) {
-            (None, base) => base,
-            (Some(MessageFault::Drop), _) => Delivery::Drop,
-            (Some(_), Delivery::Drop) => Delivery::Drop,
-            // The fault composes with (never cancels) what the model already
-            // scripted: duplicating a duplicate keeps the model's echo, and
-            // delaying a duplicate delays both copies.
-            (Some(MessageFault::Duplicate), d @ Delivery::Duplicate { .. }) => d,
-            (Some(MessageFault::Duplicate), d) => {
-                let latency = match d {
-                    Delivery::Deliver { latency } => latency,
-                    Delivery::Delay { latency, extra } => latency + extra,
-                    Delivery::Duplicate { .. } | Delivery::Drop => unreachable!("handled above"),
-                };
-                Delivery::Duplicate { latency, echo_after: latency }
-            }
-            (Some(MessageFault::Delay(extra)), Delivery::Duplicate { latency, echo_after }) => {
-                Delivery::Duplicate { latency: latency + extra, echo_after }
-            }
-            (Some(MessageFault::Delay(extra)), d) => {
-                let latency = match d {
-                    Delivery::Deliver { latency } => latency,
-                    Delivery::Delay { latency, extra: e } => latency + e,
-                    Delivery::Duplicate { .. } | Delivery::Drop => unreachable!("handled above"),
-                };
-                Delivery::Delay { latency, extra }
-            }
-        }
-    }
-
     /// Schedules one sent message according to the network verdict.
     fn dispatch(&mut self, from: NodeId, to: NodeId, extra: SimDuration, msg: M) {
         let base = self.net.delivery(self.now, self.regions[from], self.regions[to], &mut self.rng);
-        let verdict = self.fault_verdict(self.regions[from], self.regions[to], base);
+        let verdict = self.faults.verdict(
+            self.now,
+            self.regions[from],
+            self.regions[to],
+            &mut self.rng,
+            base,
+        );
         match verdict {
             Delivery::Deliver { latency } => {
                 self.push_event(self.now + latency + extra, EventKind::Message { from, to, msg });

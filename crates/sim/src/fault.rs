@@ -25,7 +25,10 @@
 //!
 //! The schedule is installed with [`crate::engine::Engine::install_faults`].
 
-use crate::net::Region;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::net::{Delivery, Region};
 use crate::time::{SimDuration, SimTime};
 
 /// Which links a scripted network fault applies to.
@@ -300,6 +303,62 @@ impl FaultSchedule {
             parts.push(format!("{} crash(es)", self.crashes.len()));
         }
         parts.join(", ")
+    }
+
+    /// Applies this schedule to a network model's base verdict for one
+    /// message sent at `now` on the `from -> to` link.
+    ///
+    /// This is the single definition of how scripted faults compose with
+    /// what the model already decided, shared by every execution engine
+    /// (the discrete-event simulator and the live threaded plane): a cut
+    /// link drops unconditionally; otherwise the first active window whose
+    /// probability fires overlays its fault on the base verdict — a fault
+    /// composes with (never cancels) a scripted duplicate or delay.
+    /// Sampling draws from the caller's RNG, so a seeded engine stays
+    /// deterministic.
+    pub fn verdict(
+        &self,
+        now: SimTime,
+        from: Region,
+        to: Region,
+        rng: &mut SmallRng,
+        base: Delivery,
+    ) -> Delivery {
+        if self.link_cut(now, from, to) {
+            return Delivery::Drop;
+        }
+        let mut fired = None;
+        for w in self.active_windows(now, from, to) {
+            if rng.gen_bool(w.probability) {
+                fired = Some(w.fault);
+                break;
+            }
+        }
+        match (fired, base) {
+            (None, base) => base,
+            (Some(MessageFault::Drop), _) => Delivery::Drop,
+            (Some(_), Delivery::Drop) => Delivery::Drop,
+            (Some(MessageFault::Duplicate), d @ Delivery::Duplicate { .. }) => d,
+            (Some(MessageFault::Duplicate), d) => {
+                let latency = match d {
+                    Delivery::Deliver { latency } => latency,
+                    Delivery::Delay { latency, extra } => latency + extra,
+                    Delivery::Duplicate { .. } | Delivery::Drop => unreachable!("handled above"),
+                };
+                Delivery::Duplicate { latency, echo_after: latency }
+            }
+            (Some(MessageFault::Delay(extra)), Delivery::Duplicate { latency, echo_after }) => {
+                Delivery::Duplicate { latency: latency + extra, echo_after }
+            }
+            (Some(MessageFault::Delay(extra)), d) => {
+                let latency = match d {
+                    Delivery::Deliver { latency } => latency,
+                    Delivery::Delay { latency, extra: e } => latency + e,
+                    Delivery::Duplicate { .. } | Delivery::Drop => unreachable!("handled above"),
+                };
+                Delivery::Delay { latency, extra }
+            }
+        }
     }
 }
 

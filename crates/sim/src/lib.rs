@@ -73,7 +73,7 @@ pub mod time;
 pub mod truetime;
 
 pub use compose::Embedded;
-pub use engine::{Context, Engine, EngineConfig, Node, NodeId};
+pub use engine::{Context, ContextParts, Engine, EngineConfig, Node, NodeId};
 pub use fault::{CrashWindow, FaultSchedule, LinkScope, MessageFault};
 pub use metrics::{LatencyRecorder, MessageStats, ThroughputRecorder};
 pub use net::{Delivery, LatencyMatrix, NetworkModel, Region};

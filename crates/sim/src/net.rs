@@ -84,7 +84,7 @@ pub enum Delivery {
 /// be deterministic given the RNG (all randomness flows through `rng`), which
 /// keeps every simulated run — including lossy ones — bit-for-bit replayable
 /// from its seed.
-pub trait NetworkModel: 'static {
+pub trait NetworkModel: Send + 'static {
     /// Number of regions the model spans.
     fn num_regions(&self) -> usize;
 

@@ -23,6 +23,8 @@
 
 use std::collections::{HashMap, HashSet};
 
+use rand::Rng;
+
 use regular_core::op::{OpKind, OpResult};
 use regular_core::types::{Key, ServiceId, Value};
 use regular_session::{service_tag, CompletedRecord, LaneId, Service, SessionOp, WitnessHint};
@@ -157,6 +159,24 @@ pub struct SpannerService {
 }
 
 impl SpannerService {
+    /// One-line summary of in-flight client state, for diagnosing stuck
+    /// lanes: active transactions with their phase and attempt count, plus
+    /// abandoned commits still being probed.
+    pub fn debug_inflight(&self) -> String {
+        let active: Vec<String> = self
+            .txns
+            .iter()
+            .map(|(seq, t)| {
+                format!(
+                    "seq {seq} lane {}/{} phase {:?} attempts {} invoke {:?}",
+                    t.lane.session, t.lane.slot, t.phase, t.attempts, t.invoke
+                )
+            })
+            .collect();
+        let abandoned: Vec<u64> = self.abandoned.keys().copied().collect();
+        format!("active: {active:?} abandoned: {abandoned:?} timers: {}", self.timers.len())
+    }
+
     /// Creates a client protocol core with the given configuration.
     pub fn new(cfg: ClientConfig) -> Self {
         SpannerService {
@@ -191,6 +211,21 @@ impl SpannerService {
         self.timers.insert(tag, action);
         ctx.set_timer(delay, tag);
         tag
+    }
+
+    /// Retry delay after an aborted attempt: randomized exponential backoff.
+    ///
+    /// A fixed backoff livelocks conflicting transactions. Two lanes whose
+    /// write sets overlap in opposite lock order deadlock in prepare, both
+    /// hit the same commit timeout, abort, and — with identical backoff and
+    /// (for co-located lanes) identical latencies — re-issue in lockstep and
+    /// deadlock again, forever. Jitter drawn from the engine RNG breaks the
+    /// symmetry while keeping runs seed-deterministic.
+    fn retry_delay(&self, ctx: &mut Context<SpannerMsg>, attempts: u32) -> SimDuration {
+        let base = self.cfg.retry_backoff.as_micros().max(1);
+        // Window doubles per attempt, capped at 64x base.
+        let window = base << attempts.saturating_sub(1).min(6);
+        SimDuration::from_micros(base + ctx.rng().gen_range(0..window))
     }
 
     fn shard_of(&self, key: Key) -> usize {
@@ -443,6 +478,10 @@ impl Service for SpannerService {
         self.service
     }
 
+    fn debug_inflight(&self) -> String {
+        SpannerService::debug_inflight(self)
+    }
+
     fn name(&self) -> &str {
         match self.cfg.mode {
             Mode::Spanner => "spanner",
@@ -618,7 +657,7 @@ impl Service for SpannerService {
                         t_snap: 0,
                     },
                 );
-                let backoff = self.cfg.retry_backoff;
+                let backoff = self.retry_delay(ctx, old.attempts + 1);
                 self.set_timer(ctx, backoff, TimerAction::RetryTxn { seq: new_seq });
             }
             TimerAction::ProbeAbandoned { seq } => {
@@ -763,8 +802,9 @@ impl Service for SpannerService {
                     let t = self.txns.get_mut(&seq).expect("transaction exists");
                     t.attempts += 1;
                     t.phase = Phase::Execute { pending: HashSet::new() };
+                    let attempts = t.attempts;
                     self.stats.aborted_attempts += 1;
-                    let backoff = self.cfg.retry_backoff;
+                    let backoff = self.retry_delay(ctx, attempts);
                     self.set_timer(ctx, backoff, TimerAction::RetryTxn { seq });
                 }
             }

@@ -281,9 +281,15 @@ pub fn record_with_witness_keys(
 /// (via the shared [`HistoryRecorder`]); the witness orders transactions by
 /// their protocol timestamp.
 pub fn build_history(result: &RunResult) -> (History, Vec<OpId>) {
+    build_history_from(&result.completed)
+}
+
+/// [`build_history`] from bare per-client completion lists, for harnesses
+/// (e.g. the live execution plane) that do not assemble a [`RunResult`].
+pub fn build_history_from(completed: &[(NodeId, Vec<CompletedRecord>)]) -> (History, Vec<OpId>) {
     let mut recorder = HistoryRecorder::new();
     let mut witness_keys: Vec<(u64, u8, u64, OpId)> = Vec::new();
-    for (client, txns) in &result.completed {
+    for (client, txns) in completed {
         witness_keys.extend(record_with_witness_keys(&mut recorder, *client as u64, txns));
     }
     witness_keys.sort_unstable();

@@ -46,7 +46,6 @@ struct CoordState {
     participants: Vec<NodeId>,
     awaiting: FxHashSet<NodeId>,
     max_prepare: Ts,
-    aborted: bool,
     /// The prepared writes per participant, kept so a recovered coordinator
     /// can re-drive the prepare round.
     writes_by_shard: Vec<(NodeId, Vec<(Key, Value)>)>,
@@ -116,6 +115,23 @@ pub struct ShardNode {
     max_ts: Ts,
     /// Commit-wait timers: tag -> transaction.
     timers: FxHashMap<u64, TxnId>,
+    /// Decision-probe timers (tag -> transaction): a prepared participant
+    /// that has not learned its outcome re-acks `PrepareOk` so the
+    /// coordinator re-answers from the decision log (2PC cooperative
+    /// termination). Without it, one dropped `CommitDecision` leaves the
+    /// participant's write locks held forever and every later transaction
+    /// touching those keys livelocks.
+    probe_timers: FxHashMap<u64, TxnId>,
+    /// Prepare re-drive timers (tag -> transaction): a coordinator whose
+    /// vote set is still incomplete re-sends `Prepare` to the awaited
+    /// participants, exactly as crash recovery does. Without it, one
+    /// dropped `Prepare` leaves the round open forever — and the
+    /// cooperative-termination `StatusRequest` stays silent while a round
+    /// is open, so the client's probe loop never terminates either.
+    redrive_timers: FxHashMap<u64, TxnId>,
+    /// Interval between decision probes for prepared-but-undecided
+    /// transactions and prepare re-drives for open coordinator rounds.
+    decision_probe: SimDuration,
     next_timer: u64,
     /// Statistics for the harness.
     pub stats: ShardStats,
@@ -139,6 +155,9 @@ impl ShardNode {
             rss_watchers: Vec::new(),
             max_ts: 0,
             timers: FxHashMap::default(),
+            probe_timers: FxHashMap::default(),
+            redrive_timers: FxHashMap::default(),
+            decision_probe: cfg.commit_timeout,
             next_timer: 0,
             stats: ShardStats::default(),
         }
@@ -152,6 +171,28 @@ impl ShardNode {
     /// Read access to the multi-version store (for tests and harnesses).
     pub fn store(&self) -> &MvccStore {
         &self.store
+    }
+
+    /// One-line summary of in-flight 2PC state, for diagnosing stuck runs:
+    /// prepared-but-undecided transactions (their write locks are held),
+    /// prepares queued on locks, open coordinator rounds, and parked
+    /// read-only work.
+    pub fn debug_inflight(&self) -> String {
+        let undriven: Vec<_> = self
+            .coordinating
+            .iter()
+            .filter(|(_, s)| !s.awaiting.is_empty())
+            .map(|(t, s)| (*t, s.awaiting.len()))
+            .collect();
+        format!(
+            "shard {}: prepared={:?} pending={:?} coordinating(awaiting)={:?} blocked_ros={} watchers={}",
+            self.shard_index,
+            self.prepared.keys().collect::<Vec<_>>(),
+            self.pending_prepares.keys().collect::<Vec<_>>(),
+            undriven,
+            self.blocked_ros.len(),
+            self.rss_watchers.len(),
+        )
     }
 
     fn read_values(&self, keys: &[Key], t_read: Ts) -> Vec<(Key, Ts, Value)> {
@@ -193,6 +234,28 @@ impl ShardNode {
             self.replication_delay,
             SpannerMsg::PrepareOk { txn, shard: ctx.node_id(), t_prepare },
         );
+        self.arm_decision_probe(ctx, txn);
+    }
+
+    /// Arms the cooperative-termination probe for a prepared transaction:
+    /// while the outcome is unknown, periodically re-ack `PrepareOk` so the
+    /// coordinator (or its decision log) re-sends the decision this shard
+    /// may have missed.
+    fn arm_decision_probe(&mut self, ctx: &mut Context<SpannerMsg>, txn: TxnId) {
+        let tag = self.next_timer;
+        self.next_timer += 1;
+        self.probe_timers.insert(tag, txn);
+        ctx.set_timer(self.decision_probe, tag);
+    }
+
+    /// Arms the prepare re-drive for a coordinator round still awaiting
+    /// votes; the timer keeps re-arming until the vote set completes or the
+    /// round is aborted.
+    fn arm_prepare_redrive(&mut self, ctx: &mut Context<SpannerMsg>, txn: TxnId) {
+        let tag = self.next_timer;
+        self.next_timer += 1;
+        self.redrive_timers.insert(tag, txn);
+        ctx.set_timer(self.decision_probe, tag);
     }
 
     fn handle_prepare(
@@ -412,7 +475,6 @@ impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
                         participants: participants.clone(),
                         awaiting: participants.iter().copied().collect(),
                         max_prepare: 0,
-                        aborted: false,
                         writes_by_shard: writes_by_shard.clone(),
                         t_ee,
                     },
@@ -423,6 +485,7 @@ impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
                         SpannerMsg::Prepare { txn, writes, t_ee, coordinator: ctx.node_id() },
                     );
                 }
+                self.arm_prepare_redrive(ctx, txn);
             }
             SpannerMsg::Prepare { txn, writes, t_ee, coordinator } => {
                 self.handle_prepare(ctx, txn, writes, t_ee, coordinator);
@@ -445,7 +508,7 @@ impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
                 }
                 state.awaiting.remove(&shard);
                 state.max_prepare = state.max_prepare.max(t_prepare);
-                if state.awaiting.is_empty() && !state.aborted {
+                if state.awaiting.is_empty() {
                     let tt = ctx.truetime_now();
                     let t_commit =
                         state.max_prepare.max(self.max_ts + 1).max(tt.latest.as_micros());
@@ -471,31 +534,34 @@ impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
                 // Client-bound messages; a shard never receives them.
             }
             SpannerMsg::AbortRequest { txn } => {
-                if let Some(state) = self.coordinating.get_mut(&txn) {
-                    if !state.aborted {
-                        state.aborted = true;
-                        self.decided.insert(txn, (false, 0));
-                        let participants = state.participants.clone();
-                        let client = state.client;
-                        for p in participants {
-                            ctx.send(
-                                p,
-                                SpannerMsg::CommitDecision { txn, commit: false, t_commit: 0 },
-                            );
-                        }
-                        ctx.send(
-                            client,
-                            SpannerMsg::CommitReply { txn, commit: false, t_commit: 0 },
-                        );
+                if let Some(state) = self.coordinating.remove(&txn) {
+                    // Record the abort in the durable decision log and drop
+                    // the coordinator state: later re-acks from probing
+                    // participants are answered from the log (the old
+                    // tombstoned-in-place entry silently swallowed them,
+                    // leaving participant locks held forever).
+                    self.decided.insert(txn, (false, 0));
+                    for p in state.participants {
+                        ctx.send(p, SpannerMsg::CommitDecision { txn, commit: false, t_commit: 0 });
                     }
+                    ctx.send(
+                        state.client,
+                        SpannerMsg::CommitReply { txn, commit: false, t_commit: 0 },
+                    );
                 } else {
                     // Not coordinating this transaction (any more). If the
                     // durable decision log says it committed, the abort lost
                     // the race with the decision — a late abort must not
                     // discard prepared writes the commit still has to apply.
+                    // Otherwise tombstone the abort (as StatusRequest does)
+                    // so a delayed CommitRequest cannot resurrect a
+                    // transaction its client already gave up on.
                     match self.decided.get(&txn) {
                         Some(&(true, t_commit)) => self.apply_decision(ctx, txn, true, t_commit),
-                        _ => self.apply_decision(ctx, txn, false, 0),
+                        _ => {
+                            self.decided.insert(txn, (false, 0));
+                            self.apply_decision(ctx, txn, false, 0);
+                        }
                     }
                 }
             }
@@ -524,11 +590,46 @@ impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<SpannerMsg>, tag: u64) {
-        let Some(txn) = self.timers.remove(&tag) else { return };
-        let Some(state) = self.coordinating.remove(&txn) else { return };
-        if state.aborted {
+        if let Some(txn) = self.probe_timers.remove(&tag) {
+            // Decision probe: if the transaction is still prepared with no
+            // outcome, re-ack the coordinator (idempotent — it re-answers
+            // from the decision log once decided) and keep probing.
+            if let Some(p) = self.prepared.get(&txn) {
+                let (coordinator, t_prepare) = (p.coordinator, p.t_prepare);
+                ctx.send(
+                    coordinator,
+                    SpannerMsg::PrepareOk { txn, shard: ctx.node_id(), t_prepare },
+                );
+                self.arm_decision_probe(ctx, txn);
+            }
             return;
         }
+        if let Some(txn) = self.redrive_timers.remove(&tag) {
+            // Prepare re-drive: if this coordinator round is still missing
+            // votes, re-send Prepare to the awaited participants (they
+            // re-ack idempotently) and keep the timer armed.
+            if let Some(state) = self.coordinating.get(&txn) {
+                if !state.awaiting.is_empty() {
+                    let resend: Vec<(NodeId, Vec<(Key, Value)>)> = state
+                        .writes_by_shard
+                        .iter()
+                        .filter(|(node, _)| state.awaiting.contains(node))
+                        .cloned()
+                        .collect();
+                    let t_ee = state.t_ee;
+                    for (node, writes) in resend {
+                        ctx.send(
+                            node,
+                            SpannerMsg::Prepare { txn, writes, t_ee, coordinator: ctx.node_id() },
+                        );
+                    }
+                    self.arm_prepare_redrive(ctx, txn);
+                }
+            }
+            return;
+        }
+        let Some(txn) = self.timers.remove(&tag) else { return };
+        let Some(state) = self.coordinating.remove(&txn) else { return };
         let t_commit = state.max_prepare;
         self.decided.insert(txn, (true, t_commit));
         for p in &state.participants {
@@ -567,7 +668,7 @@ impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
         let mut coordinating: Vec<TxnId> = self
             .coordinating
             .iter()
-            .filter(|(_, s)| !s.aborted && !s.awaiting.is_empty())
+            .filter(|(_, s)| !s.awaiting.is_empty())
             .map(|(txn, _)| *txn)
             .collect();
         coordinating.sort_unstable();

@@ -14,6 +14,7 @@ use regular_core::checker::certificate::{check_witness, WitnessModel, WitnessVio
 use regular_core::history::History;
 use regular_core::op::{OpKind, OpResult};
 use regular_core::types::{Key, OpId, ProcessId, ServiceId, Timestamp, Value};
+use regular_live::DeliveryRecord;
 
 use crate::json::Json;
 
@@ -32,6 +33,11 @@ pub struct FailureArtifact {
     pub witness: Vec<OpId>,
     /// The full recorded history.
     pub history: History,
+    /// The live transport's delivery log, when the failing run came from the
+    /// live plane with recording enabled (live runs are not re-simulable
+    /// from the seed alone; this is the schedule evidence). Empty for
+    /// simulator runs.
+    pub deliveries: Vec<DeliveryRecord>,
 }
 
 impl FailureArtifact {
@@ -40,9 +46,11 @@ impl FailureArtifact {
         check_witness(&self.history, &self.witness, self.model)
     }
 
-    /// Serializes the artifact.
+    /// Serializes the artifact. The delivery log is only emitted when
+    /// non-empty, so simulator artifacts are byte-identical to the pre-live
+    /// schema.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut pairs = vec![
             ("kind", Json::str("conformance-failure-artifact")),
             ("scenario", Json::str(&self.scenario)),
             ("seed", Json::u64(self.seed)),
@@ -50,7 +58,19 @@ impl FailureArtifact {
             ("violation", Json::str(&self.violation)),
             ("witness", Json::Arr(self.witness.iter().map(|id| Json::u64(id.0 as u64)).collect())),
             ("history", history_to_json(&self.history)),
-        ])
+        ];
+        if !self.deliveries.is_empty() {
+            let rec = |d: &DeliveryRecord| {
+                Json::Arr(vec![
+                    Json::u64(d.seq),
+                    Json::u64(d.at_us),
+                    Json::u64(d.from as u64),
+                    Json::u64(d.to as u64),
+                ])
+            };
+            pairs.push(("deliveries", Json::Arr(self.deliveries.iter().map(rec).collect())));
+        }
+        Json::obj(pairs)
     }
 
     /// Deserializes an artifact produced by [`FailureArtifact::to_json`].
@@ -68,7 +88,24 @@ impl FailureArtifact {
             .map(|v| v.as_u64().map(|n| OpId(n as u32)).ok_or("witness entries are op ids"))
             .collect::<Result<Vec<_>, _>>()?;
         let history = history_from_json(field("history")?)?;
-        Ok(FailureArtifact { scenario, seed, model, violation, witness, history })
+        let deliveries = match json.get("deliveries") {
+            None => Vec::new(),
+            Some(list) => list
+                .as_arr()
+                .ok_or("deliveries must be an array")?
+                .iter()
+                .map(|d| {
+                    let d = d.as_arr().filter(|d| d.len() == 4).ok_or("delivery record shape")?;
+                    Ok(DeliveryRecord {
+                        seq: d[0].as_u64().ok_or("delivery field")?,
+                        at_us: d[1].as_u64().ok_or("delivery field")?,
+                        from: d[2].as_u64().ok_or("delivery field")? as usize,
+                        to: d[3].as_u64().ok_or("delivery field")? as usize,
+                    })
+                })
+                .collect::<Result<Vec<_>, &str>>()?,
+        };
+        Ok(FailureArtifact { scenario, seed, model, violation, witness, history, deliveries })
     }
 
     /// Writes the artifact to `dir/<scenario>-seed<seed>.json`, creating the
@@ -355,6 +392,10 @@ mod tests {
             violation: "none (valid witness)".to_string(),
             witness,
             history: h,
+            deliveries: vec![
+                DeliveryRecord { seq: 0, at_us: 11, from: 1, to: 2 },
+                DeliveryRecord { seq: 1, at_us: 30, from: 2, to: 0 },
+            ],
         };
         assert_eq!(artifact.replay(), Ok(()));
         let round =
@@ -362,6 +403,7 @@ mod tests {
                 .expect("artifact parses");
         assert_eq!(round.seed, 42);
         assert_eq!(round.model, WitnessModel::Regular);
+        assert_eq!(round.deliveries, artifact.deliveries, "delivery log round-trips");
         assert_eq!(round.replay(), Ok(()));
         // An actually-invalid witness replays to the same rejection.
         let mut bad = round.clone();
@@ -383,6 +425,7 @@ mod tests {
             violation: "demo".to_string(),
             witness,
             history: h,
+            deliveries: Vec::new(),
         };
         let dir = std::env::temp_dir().join("regular-sweep-artifact-test");
         let path = artifact.save(&dir).expect("artifact saves");

@@ -13,6 +13,7 @@
 //! code (one implementation, certified both places).
 
 use std::collections::HashMap;
+use std::time::Duration;
 
 use regular_core::checker::assemble::assemble_witness;
 use regular_core::checker::certificate::{check_witness_parallel, WitnessModel};
@@ -23,6 +24,7 @@ use regular_gryff::prelude::{GryffConfig, GryffService};
 use regular_gryff::replica::GryffReplica;
 use regular_gryff::workload::ConflictWorkload;
 use regular_gryff::{Carstamp, GryffMsg};
+use regular_live::{run_live, DeliveryRecord, LiveConfig, LiveNode, LiveOutcome};
 use regular_session::{
     CompletedRecord, ComposedRunner, HandoffRecord, HistoryRecorder, MappedService,
     MultiServiceWorkload, RoundRobinWorkload, Service, SessionConfig, SessionWorkload, WitnessHint,
@@ -89,6 +91,14 @@ enum DuoNode {
     SpannerShard(Embedded<ShardNode, SpannerMsg>),
     GryffReplica(Embedded<GryffReplica, GryffMsg>),
     App(ComposedRunner<DuoMsg>),
+}
+
+impl LiveNode<DuoMsg> for DuoNode {
+    fn drain_completions(&mut self, out: &mut Vec<(usize, CompletedRecord)>) {
+        if let DuoNode::App(runner) = self {
+            out.append(&mut runner.completed);
+        }
+    }
 }
 
 impl Node<DuoMsg> for DuoNode {
@@ -356,6 +366,16 @@ pub fn run_composed(seed: u64, config: &ComposedRunConfig) -> ComposedOutcome {
 
     engine.run();
 
+    if std::env::var_os("COMPOSED_DEBUG").is_some() {
+        for id in 0..engine.num_nodes() {
+            match engine.node(id) {
+                DuoNode::SpannerShard(s) => eprintln!("node {id} {}", s.inner.debug_inflight()),
+                DuoNode::GryffReplica(_) => {}
+                DuoNode::App(runner) => eprintln!("app {id} {}", runner.debug_inflight()),
+            }
+        }
+    }
+
     let apps = app_ids
         .into_iter()
         .map(|id| match engine.node(id) {
@@ -370,6 +390,144 @@ pub fn run_composed(seed: u64, config: &ComposedRunConfig) -> ComposedOutcome {
         })
         .collect();
     ComposedOutcome { apps, net_stats: engine.message_stats() }
+}
+
+/// The outcome of a live composed run: the per-app results in the exact
+/// shape [`run_composed`] produces (so [`certify_composed`] is shared
+/// between planes), plus the wall-clock metrics and the transport's
+/// delivery log only the live plane has.
+pub struct ComposedLiveRun {
+    /// Per-app completions and message counters.
+    pub outcome: ComposedOutcome,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Non-fence completions per wall-clock second.
+    pub wall_throughput: f64,
+    /// Simulated time when the run stopped.
+    pub finished_at: SimTime,
+    /// The transport's delivery log (empty unless recording was enabled).
+    pub deliveries: Vec<DeliveryRecord>,
+}
+
+/// [`run_composed`] on the live execution plane: the same node graph of
+/// 3 shards, 5 replicas, and the app runners, but every node is an OS thread
+/// and time is the scaled wall clock. `config.queue_kind` is ignored — there is no event queue to
+/// choose. Live runs are *not* bit-deterministic for a seed; pass
+/// `record_deliveries` to preserve the schedule evidence for artifacts.
+pub fn run_composed_live(
+    seed: u64,
+    config: &ComposedRunConfig,
+    time_scale: u64,
+    record_deliveries: bool,
+) -> ComposedLiveRun {
+    let mut spanner_cfg = SpannerConfig::wan(SpannerMode::SpannerRss);
+    let mut gryff_cfg = GryffConfig::wan(regular_gryff::config::Mode::GryffRsc);
+    spanner_cfg.op_timeout = config.op_timeout;
+    gryff_cfg.op_timeout = config.op_timeout;
+    assert!(
+        config.faults.is_empty() || config.op_timeout.is_some(),
+        "fault schedules need a client operation timeout, or lanes whose \
+         requests are lost stall forever"
+    );
+    let net = LatencyMatrix::gryff_wan();
+    let stop_issuing_at = SimTime::from_secs(config.duration_secs);
+
+    // Same node-id layout as `run_composed`: shards, then replicas, then
+    // apps, so fault scripts written against one plane hit the same victims
+    // on the other.
+    let mut nodes: Vec<(DuoNode, usize)> = Vec::new();
+    let mut shard_nodes = Vec::new();
+    let mut replication_delays = Vec::new();
+    for shard in 0..spanner_cfg.num_shards {
+        let delay = spanner_cfg.replication_delay(shard, &net);
+        replication_delays.push(delay);
+        shard_nodes.push(nodes.len());
+        nodes.push((
+            DuoNode::SpannerShard(Embedded::new(ShardNode::new(&spanner_cfg, shard, delay))),
+            spanner_cfg.leader_regions[shard],
+        ));
+    }
+    let replica_base = nodes.len();
+    let mut replica_nodes = Vec::new();
+    for i in 0..gryff_cfg.num_replicas {
+        let replica = GryffReplica::new(&gryff_cfg, i).with_first_node(replica_base);
+        replica_nodes.push(nodes.len());
+        nodes.push((DuoNode::GryffReplica(Embedded::new(replica)), gryff_cfg.replica_regions[i]));
+    }
+    let app_base = nodes.len();
+    for i in 0..config.num_apps {
+        let region = i % 3;
+        let s_core = SpannerService::new(regular_spanner::client_config(
+            &spanner_cfg,
+            &net,
+            region,
+            shard_nodes.clone(),
+            replication_delays.clone(),
+        ))
+        .with_service_id(SPANNER_SERVICE);
+        let g_core =
+            GryffService::new(regular_gryff::client_config(&gryff_cfg, replica_nodes.clone()))
+                .with_service_id(GRYFF_SERVICE);
+        let services: Vec<Box<dyn Service<Msg = DuoMsg>>> = vec![
+            Box::new(MappedService::with_tag_namespace(s_core, 0, 2)),
+            Box::new(MappedService::with_tag_namespace(g_core, 1, 2)),
+        ];
+        let workload: Box<dyn MultiServiceWorkload> = match config.workload {
+            ComposedWorkload::RoundRobin => Box::new(RoundRobinWorkload::new(
+                vec![
+                    Box::new(UniformWorkload { num_keys: 60, ro_fraction: 0.5, keys_per_txn: 2 })
+                        as Box<dyn SessionWorkload>,
+                    Box::new(ConflictWorkload::ycsb(0.5, 0.4, seed.wrapping_add(i as u64)))
+                        as Box<dyn SessionWorkload>,
+                ],
+                config.ops_per_service,
+            )),
+            ComposedWorkload::PhotoApp => Box::new(PhotoSharingWorkload::default()),
+        };
+        let mut runner = ComposedRunner::new(
+            services,
+            SessionConfig::closed_loop(2, SimDuration::ZERO)
+                .with_batch(config.batch)
+                .with_workload_seed(seed.wrapping_mul(31).wrapping_add(i as u64)),
+            stop_issuing_at,
+            workload,
+        );
+        if let Some(every) = config.handoff_every {
+            runner = runner.with_context_handoff(every);
+        }
+        nodes.push((DuoNode::App(runner), region));
+    }
+
+    let live_cfg = LiveConfig {
+        seed,
+        faults: config.faults.clone(),
+        truetime_epsilon: spanner_cfg.truetime_epsilon,
+        time_scale,
+        stop_at: stop_issuing_at + SimDuration::from_secs(config.drain_secs),
+        record_deliveries,
+    };
+    let outcome: LiveOutcome<DuoNode> = run_live(live_cfg, Box::new(net), nodes);
+    let LiveOutcome { nodes, mut completed, net_stats, deliveries, finished_at, wall } = outcome;
+
+    let mut apps = Vec::new();
+    for (id, node) in nodes.into_iter().enumerate().skip(app_base) {
+        let DuoNode::App(runner) = node else {
+            unreachable!("nodes from app_base on are composed runners")
+        };
+        let auto_fences = runner.fence_stats().executed;
+        apps.push(AppResult {
+            node: id,
+            completed: std::mem::take(&mut completed[id]),
+            auto_fences,
+            handoffs: runner.handoffs,
+            contexts_imported: runner.stats.contexts_imported,
+        });
+    }
+    let outcome = ComposedOutcome { apps, net_stats };
+    let measured = outcome.spanner_ops() + outcome.gryff_ops();
+    let wall_secs = wall.as_secs_f64();
+    let wall_throughput = if wall_secs > 0.0 { measured as f64 / wall_secs } else { 0.0 };
+    ComposedLiveRun { outcome, wall, wall_throughput, finished_at, deliveries }
 }
 
 /// A certified composed run: the combined history and the accepted witness.

@@ -41,5 +41,5 @@ pub use artifact::FailureArtifact;
 pub use json::Json;
 pub use pool::{PoolStats, WorkStealingPool};
 pub use report::{run_sweep, sweep_to_json, write_json, SweepOptions, SweepResult};
-pub use scenario::{run_seed, run_seed_with, Scenario, SeedReport, SeedRun};
+pub use scenario::{run_seed, run_seed_with, Scenario, SeedReport, SeedRun, LIVE_TIME_SCALE};
 pub use stream::{certify_streaming, synthetic_history, StreamStats};

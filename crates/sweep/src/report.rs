@@ -166,6 +166,10 @@ pub fn sweep_to_json(result: &SweepResult, opts: &SweepOptions, scaling: &[(usiz
                         ))),
                     ),
                     (
+                        "wall_ops_per_sec_mean",
+                        Json::f64(round2(mean(rs.iter().map(|r| r.wall_ops_per_sec)))),
+                    ),
+                    (
                         "components_max",
                         Json::u64(rs.iter().map(|r| r.components as u64).max().unwrap_or(0)),
                     ),

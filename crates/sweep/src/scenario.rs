@@ -19,6 +19,9 @@ use regular_core::checker::certificate::{check_witness_parallel, WitnessModel};
 use regular_core::history::HistoryIndex;
 use regular_core::ComponentSplit;
 use regular_gryff::prelude as gryff;
+use regular_live::{
+    run_cluster_live, run_gryff_live, DeliveryRecord, GryffLiveSpec, SpannerLiveSpec,
+};
 use regular_session::{CompletedRecord, SessionConfig, SessionWorkload};
 use regular_sim::fault::{FaultSchedule, LinkScope};
 use regular_sim::net::{LatencyMatrix, Region};
@@ -26,7 +29,9 @@ use regular_sim::time::{SimDuration, SimTime};
 use regular_spanner::prelude as spanner;
 
 use crate::artifact::{model_name, FailureArtifact};
-use crate::composed::{certify_composed, run_composed, ComposedRunConfig, ComposedWorkload};
+use crate::composed::{
+    certify_composed, run_composed, run_composed_live, ComposedRunConfig, ComposedWorkload,
+};
 use crate::stream::certify_streaming;
 
 /// A sweepable scenario.
@@ -59,6 +64,20 @@ pub enum Scenario {
     /// windows: prepared transactions lose their coordinator exactly between
     /// timestamp choice and decision release; still certified RSS.
     SpannerCommitCrash,
+    /// Spanner-RSS on the live execution plane (`regular-live`): every node
+    /// an OS thread, time the scaled wall clock, completions certified RSS
+    /// through the streaming checker. Not bit-deterministic; the transport's
+    /// delivery log rides along in failure artifacts.
+    LiveSpannerRss,
+    /// Gryff-RSC on the live execution plane; certified RSC.
+    LiveGryffRsc,
+    /// The composed two-store deployment with libRSS fences on the live
+    /// execution plane; the combined history certified RSS.
+    LiveComposed,
+    /// Spanner-RSS on the live execution plane under the same seed-driven
+    /// fault script as `spanner-faults`, the crash/partition windows
+    /// reinterpreted on scaled wall-clock time; still certified RSS.
+    LiveSpannerFaults,
 }
 
 impl Scenario {
@@ -74,6 +93,27 @@ impl Scenario {
         Scenario::SpannerCommitCrash,
     ];
 
+    /// The live-plane scenarios (not part of [`Scenario::ALL`]: live runs
+    /// use real threads and scaled wall-clock time, so they are slower per
+    /// seed and not bit-deterministic — sweeps opt into them explicitly).
+    pub const LIVE: [Scenario; 4] = [
+        Scenario::LiveSpannerRss,
+        Scenario::LiveGryffRsc,
+        Scenario::LiveComposed,
+        Scenario::LiveSpannerFaults,
+    ];
+
+    /// True for scenarios that run on the live execution plane.
+    pub fn is_live(&self) -> bool {
+        matches!(
+            self,
+            Scenario::LiveSpannerRss
+                | Scenario::LiveGryffRsc
+                | Scenario::LiveComposed
+                | Scenario::LiveSpannerFaults
+        )
+    }
+
     /// Stable scenario name (used in reports, artifacts, and CLI flags).
     pub fn name(&self) -> &'static str {
         match self {
@@ -85,6 +125,10 @@ impl Scenario {
             Scenario::ComposedFaults => "composed-faults",
             Scenario::SpannerOneWay => "spanner-oneway",
             Scenario::SpannerCommitCrash => "spanner-commit-crash",
+            Scenario::LiveSpannerRss => "live-spanner-rss",
+            Scenario::LiveGryffRsc => "live-gryff-rsc",
+            Scenario::LiveComposed => "live-composed",
+            Scenario::LiveSpannerFaults => "live-spanner-faults",
         }
     }
 
@@ -100,6 +144,10 @@ impl Scenario {
             "composed-faults" | "faults" | "chaos" => Some(Scenario::ComposedFaults),
             "spanner-oneway" | "oneway" | "grey" => Some(Scenario::SpannerOneWay),
             "spanner-commit-crash" | "commit-crash" => Some(Scenario::SpannerCommitCrash),
+            "live-spanner-rss" | "live-spanner" => Some(Scenario::LiveSpannerRss),
+            "live-gryff-rsc" | "live-gryff" => Some(Scenario::LiveGryffRsc),
+            "live-composed" => Some(Scenario::LiveComposed),
+            "live-spanner-faults" | "live-faults" => Some(Scenario::LiveSpannerFaults),
             _ => None,
         }
     }
@@ -142,6 +190,10 @@ pub struct SeedReport {
     pub components: usize,
     /// High-water mark of the streaming reorder buffer; 0 on batch runs.
     pub peak_window: usize,
+    /// Measured completions per wall-clock second on the live execution
+    /// plane; 0 for simulator runs (their wall clock measures the host, not
+    /// the system under test).
+    pub wall_ops_per_sec: f64,
 }
 
 /// A seeded run: the report plus a replayable artifact when it failed.
@@ -280,25 +332,30 @@ fn ops_per_sim_sec(scenario: Scenario) -> f64 {
         Scenario::SpannerRss => 57.0,
         Scenario::GryffRsc => 102.0,
         Scenario::Composed => 62.0,
-        Scenario::SpannerFaults => 22.0,
+        Scenario::SpannerFaults => 48.0,
         Scenario::GryffFaults => 97.0,
-        Scenario::ComposedFaults => 24.0,
-        Scenario::SpannerOneWay => 25.0,
+        Scenario::ComposedFaults => 30.0,
+        Scenario::SpannerOneWay => 48.0,
         Scenario::SpannerCommitCrash => 54.0,
+        // The live plane runs the same configurations, so simulated-time op
+        // rates carry over from the sim counterparts.
+        Scenario::LiveSpannerRss => 57.0,
+        Scenario::LiveGryffRsc => 102.0,
+        Scenario::LiveComposed => 62.0,
+        Scenario::LiveSpannerFaults => 48.0,
     }
 }
+
+/// Simulated microseconds per wall microsecond for the live sweep
+/// scenarios: 40x compresses a 53-simulated-second Spanner run into ~1.3
+/// wall seconds while keeping even the shortest WAN latency (a few hundred
+/// simulated microseconds) well above the scheduler's wake-up jitter.
+pub const LIVE_TIME_SCALE: u64 = 40;
 
 /// The simulated seconds to issue load for: the scenario default, or the
 /// duration expected to produce roughly `ops` operations when a target is
 /// set. Clamped so fault scripts (which fire at fixed seconds) still get a
 /// sane run, and so a typo cannot request a week of simulated time.
-///
-/// Best-effort: the Spanner-side fault scenarios (`spanner-faults`,
-/// `spanner-oneway`, `composed-faults`) plateau near their default op counts
-/// regardless of duration, because their client lanes quench during the
-/// fault windows and never resume issuing — a pre-existing simulator
-/// liveness limitation (tracked in ROADMAP), not a certification failure;
-/// the runs still certify.
 fn scaled_stop_secs(scenario: Scenario, ops: Option<u64>, default_secs: u64) -> u64 {
     match ops {
         None => default_secs,
@@ -327,6 +384,13 @@ pub fn run_seed_with(
     stream: bool,
 ) -> SeedRun {
     let started = Instant::now();
+    // Live scenarios always certify through the streaming checker:
+    // completions arrive in completion order (there is no global event queue
+    // to replay), and the acceptance bar for the plane is *online*
+    // certification.
+    let stream = stream || scenario.is_live();
+    let mut wall_ops_per_sec = 0.0;
+    let mut deliveries: Vec<DeliveryRecord> = Vec::new();
     let (history, witness, p50_ms, p99_ms, net, pre_violation) = match scenario {
         Scenario::SpannerRss
         | Scenario::SpannerFaults
@@ -343,6 +407,38 @@ pub fn run_seed_with(
                 latency_percentiles(result.completed.iter().flat_map(|(_, recs)| recs.iter()));
             let (history, witness) = spanner::build_history(&result);
             (history, witness, p50, p99, result.net_stats, None)
+        }
+        Scenario::LiveSpannerRss | Scenario::LiveSpannerFaults => {
+            let faults = match scenario {
+                Scenario::LiveSpannerFaults => Some(spanner_fault_schedule(seed)),
+                _ => None,
+            };
+            let result = run_spanner_live_seed(seed, faults, scaled_stop_secs(scenario, ops, 45));
+            wall_ops_per_sec = result.wall_throughput;
+            deliveries = result.deliveries;
+            let (p50, p99) =
+                latency_percentiles(result.completed.iter().flat_map(|(_, recs)| recs.iter()));
+            let (history, witness) = spanner::build_history_from(&result.completed);
+            (history, witness, p50, p99, result.net_stats, None)
+        }
+        Scenario::LiveGryffRsc => {
+            let result = run_gryff_live_seed(seed, scaled_stop_secs(scenario, ops, 45));
+            wall_ops_per_sec = result.wall_throughput;
+            deliveries = result.deliveries;
+            let (p50, p99) =
+                latency_percentiles(result.completed.iter().flat_map(|(_, recs)| recs.iter()));
+            let net = result.net_stats;
+            let (history, edges) = gryff::build_history_from(&result.completed);
+            match assemble_witness(&history, &edges, WitnessModel::Regular) {
+                Ok(witness) => (history, witness, p50, p99, net, None),
+                Err(e) => {
+                    let reason = format!(
+                        "carstamp/process-order constraints are cyclic ({} ops unordered)",
+                        e.unordered
+                    );
+                    (history, Vec::new(), p50, p99, net, Some(reason))
+                }
+            }
         }
         Scenario::GryffRsc | Scenario::GryffFaults => {
             let faults = match scenario {
@@ -365,13 +461,20 @@ pub fn run_seed_with(
                 }
             }
         }
-        Scenario::Composed | Scenario::ComposedFaults => {
+        Scenario::Composed | Scenario::ComposedFaults | Scenario::LiveComposed => {
             let duration_secs = scaled_stop_secs(scenario, ops, 30);
             let config = match scenario {
                 Scenario::ComposedFaults => composed_faults_seed_config(seed, duration_secs),
                 _ => composed_seed_config(duration_secs),
             };
-            let outcome = run_composed(seed, &config);
+            let outcome = if scenario.is_live() {
+                let live = run_composed_live(seed, &config, LIVE_TIME_SCALE, true);
+                wall_ops_per_sec = live.wall_throughput;
+                deliveries = live.deliveries;
+                live.outcome
+            } else {
+                run_composed(seed, &config)
+            };
             let (p50, p99) = latency_percentiles(
                 outcome.apps.iter().flat_map(|a| a.completed.iter().map(|(_, r)| r)),
             );
@@ -396,6 +499,7 @@ pub fn run_seed_with(
                                     violation: reason,
                                     witness: ok.witness,
                                     history: ok.history,
+                                    deliveries,
                                 }),
                             ),
                         }
@@ -413,6 +517,7 @@ pub fn run_seed_with(
                             violation: v.reason,
                             witness: v.witness,
                             history: v.history,
+                            deliveries,
                         }),
                     ),
                 };
@@ -432,6 +537,7 @@ pub fn run_seed_with(
                     expired: net.expired,
                     components,
                     peak_window,
+                    wall_ops_per_sec,
                 },
                 artifact,
             };
@@ -467,6 +573,7 @@ pub fn run_seed_with(
         expired: net.expired,
         components,
         peak_window,
+        wall_ops_per_sec,
     };
     match verdict {
         Ok(peak_window) => SeedRun { report: report(true, None, peak_window), artifact: None },
@@ -479,6 +586,7 @@ pub fn run_seed_with(
                 violation: reason,
                 witness,
                 history,
+                deliveries,
             }),
         },
     }
@@ -573,6 +681,74 @@ fn run_gryff_seed(
     })
 }
 
+/// The sweep configuration of [`run_spanner_seed`], deployed on the live
+/// execution plane (same topology, workload, and per-client workload seeds;
+/// real threads and the scaled wall clock instead of the event queue).
+fn run_spanner_live_seed(
+    seed: u64,
+    faults: Option<FaultSchedule>,
+    stop_secs: u64,
+) -> regular_live::SpannerLiveResult {
+    let mut config = spanner::SpannerConfig::wan(spanner::Mode::SpannerRss);
+    if let Some(faults) = faults {
+        config = config.with_faults(faults, FAULT_OP_TIMEOUT);
+    }
+    let net = LatencyMatrix::spanner_wan();
+    let clients = (0..3)
+        .map(|i| spanner::ClientSpec {
+            region: i % 3,
+            sessions: SessionConfig::closed_loop(4, SimDuration::ZERO)
+                .with_workload_seed(seed.wrapping_mul(1_000_003).wrapping_add(i as u64)),
+            workload: Box::new(spanner::UniformWorkload {
+                num_keys: 250,
+                ro_fraction: 0.5,
+                keys_per_txn: 2,
+            }) as Box<dyn SessionWorkload>,
+        })
+        .collect();
+    run_cluster_live(SpannerLiveSpec {
+        config,
+        net,
+        seed,
+        clients,
+        stop_issuing_at: SimTime::from_secs(stop_secs),
+        drain: SimDuration::from_secs(8),
+        measure_from: SimTime::from_secs(1),
+        time_scale: LIVE_TIME_SCALE,
+        record_deliveries: true,
+    })
+}
+
+/// The sweep configuration of [`run_gryff_seed`] on the live execution
+/// plane.
+fn run_gryff_live_seed(seed: u64, stop_secs: u64) -> regular_live::GryffLiveResult {
+    let config = gryff::GryffConfig::wan(gryff::Mode::GryffRsc);
+    let net = LatencyMatrix::gryff_wan();
+    let clients = (0..5)
+        .map(|i| gryff::GryffClientSpec {
+            region: i % 5,
+            sessions: SessionConfig::closed_loop(3, SimDuration::ZERO)
+                .with_workload_seed(seed.wrapping_mul(999_983).wrapping_add(i as u64)),
+            workload: Box::new(gryff::ConflictWorkload::ycsb(
+                0.5,
+                0.25,
+                seed.wrapping_add(i as u64),
+            )) as Box<dyn SessionWorkload>,
+        })
+        .collect();
+    run_gryff_live(GryffLiveSpec {
+        config,
+        net,
+        seed,
+        clients,
+        stop_issuing_at: SimTime::from_secs(stop_secs),
+        drain: SimDuration::from_secs(8),
+        measure_from: SimTime::from_secs(1),
+        time_scale: LIVE_TIME_SCALE,
+        record_deliveries: true,
+    })
+}
+
 /// Composed sweep configuration (smaller than the integration test's, to
 /// keep per-seed cost down).
 fn composed_seed_config(duration_secs: u64) -> ComposedRunConfig {
@@ -610,12 +786,14 @@ mod tests {
 
     #[test]
     fn scenario_names_round_trip() {
-        for s in Scenario::ALL {
+        for s in Scenario::ALL.into_iter().chain(Scenario::LIVE) {
             assert_eq!(Scenario::parse(s.name()), Some(s));
         }
         assert_eq!(Scenario::parse("SPANNER"), Some(Scenario::SpannerRss));
         assert_eq!(Scenario::parse("chaos"), Some(Scenario::ComposedFaults));
         assert_eq!(Scenario::parse("nope"), None);
+        assert!(Scenario::LIVE.iter().all(Scenario::is_live));
+        assert!(!Scenario::ALL.iter().any(Scenario::is_live));
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   runners with automatic `libRSS` fencing.
 //! * [`spanner`] (`regular-spanner`) — Spanner and Spanner-RSS (Section 5).
 //! * [`gryff`] (`regular-gryff`) — Gryff and Gryff-RSC (Section 7).
+//! * [`live`] (`regular-live`) — the live execution plane: the same protocol
+//!   crates on real OS threads and a scaled wall clock instead of the event
+//!   queue, with completions streamed into online certification.
 //! * [`librss`] (`regular-librss`) — the libRSS composition meta-library
 //!   (Section 4).
 //! * [`workloads`] (`regular-workloads`) — Retwis and Zipfian workload
@@ -86,6 +89,7 @@
 pub use regular_core as core;
 pub use regular_gryff as gryff;
 pub use regular_librss as librss;
+pub use regular_live as live;
 pub use regular_session as session;
 pub use regular_sim as sim;
 pub use regular_spanner as spanner;

@@ -76,6 +76,7 @@ fn a_fault_run_artifact_replays_without_resimulating() {
         violation: "synthetic: witness corrupted for the replay test".to_string(),
         witness,
         history: certified.history,
+        deliveries: Vec::new(),
     };
     let verdict = artifact.replay();
     assert!(verdict.is_err(), "the corrupted witness must be rejected");
