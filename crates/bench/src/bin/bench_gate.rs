@@ -30,6 +30,15 @@
 //! speedup (the baselines) are compared on observables only; `ops` and
 //! `components` drift warns that the reference needs refreshing.
 //!
+//! **Durable storage.** With `--storage` (a `BENCH_storage.json` from
+//! `storage_profile`) and `--storage-reference`
+//! (`ci/storage_reference.json`), additionally gates the IO axis of the
+//! write-ahead log. The group-commit sync schedule runs on a simulated
+//! clock, so `records`/`syncs` (and hence the mean batch per fsync) are
+//! deterministic on both backends and gated as ratios; a failed recovery
+//! verification always fails the gate; wall-clock append throughput is
+//! warn-only.
+//!
 //! **Live plane.** With `--live` (a `BENCH_live.json` from `live_bench`)
 //! and `--live-reference` (`ci/live_reference.json`), additionally checks
 //! the live execution plane. Wall-clock throughput is genuinely
@@ -51,13 +60,16 @@
 //!            [--live BENCH_live.json] \
 //!            [--live-reference ci/live_reference.json] \
 //!            [--live-only] \
+//!            [--storage BENCH_storage.json] \
+//!            [--storage-reference ci/storage_reference.json] \
+//!            [--storage-only] \
 //!            [--threshold 0.25]
 //! ```
 //!
 //! `--engine-only` (for jobs that only profiled the engine) skips the
-//! session-baseline comparison; `--engine` is then required. `--checker-only`
-//! and `--live-only` do the same for jobs that only profiled the checker or
-//! the live plane.
+//! session-baseline comparison; `--engine` is then required. `--checker-only`,
+//! `--live-only`, and `--storage-only` do the same for jobs that only
+//! profiled the checker, the live plane, or the storage layer.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -194,6 +206,120 @@ fn load_live_entries(path: &PathBuf) -> Result<Vec<LiveEntry>, String> {
             })
         })
         .collect()
+}
+
+struct StorageEntry {
+    name: String,
+    records: u64,
+    syncs: u64,
+    batch_mean: f64,
+    append_ops_per_sec: f64,
+    recovery_verified: bool,
+}
+
+fn load_storage_entries(path: &PathBuf) -> Result<Vec<StorageEntry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let json = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let schema = json.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != "regular-seq/storage-profile/v1" {
+        return Err(format!("{}: unexpected schema '{schema}'", path.display()));
+    }
+    json.get("entries")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{}: missing entries", path.display()))?
+        .iter()
+        .map(|e| {
+            Ok(StorageEntry {
+                name: e.get("name").and_then(Json::as_str).ok_or("entry missing name")?.to_string(),
+                records: e.get("records").and_then(Json::as_u64).ok_or("entry missing records")?,
+                syncs: e.get("syncs").and_then(Json::as_u64).ok_or("entry missing syncs")?,
+                batch_mean: e
+                    .get("batch_mean")
+                    .and_then(Json::as_f64)
+                    .ok_or("entry missing batch_mean")?,
+                append_ops_per_sec: e
+                    .get("append_ops_per_sec")
+                    .and_then(Json::as_f64)
+                    .ok_or("entry missing append_ops_per_sec")?,
+                recovery_verified: e
+                    .get("recovery_verified")
+                    .and_then(Json::as_bool)
+                    .ok_or("entry missing recovery_verified")?,
+            })
+        })
+        .collect()
+}
+
+/// Gates the storage IO profile; returns true when something failed. The
+/// group-commit batch ratio is deterministic (simulated-clock sync schedule)
+/// and gated; recovery verification always gates; append wall throughput is
+/// warn-only.
+fn gate_storage(current: &PathBuf, reference: &PathBuf, threshold: f64) -> Result<bool, String> {
+    let current_entries = load_storage_entries(current)?;
+    let reference_entries = load_storage_entries(reference)?;
+    println!(
+        "== storage IO gate: {} vs {} (threshold {:.0}%) ==",
+        current.display(),
+        reference.display(),
+        threshold * 100.0
+    );
+    let mut failed = false;
+    for c in &current_entries {
+        if !c.recovery_verified {
+            eprintln!("FAIL  {}: WAL recovery verification failed", c.name);
+            failed = true;
+        }
+    }
+    for r in &reference_entries {
+        let Some(c) = current_entries.iter().find(|c| c.name == r.name) else {
+            eprintln!("FAIL  {}: missing from current storage profile", r.name);
+            failed = true;
+            continue;
+        };
+        let floor = r.batch_mean * (1.0 - threshold);
+        let label = format!(
+            "{:<12} ref batch {:>6.1}  now {:>6.1}  (floor {:>6.1})",
+            r.name, r.batch_mean, c.batch_mean, floor
+        );
+        if c.batch_mean < floor {
+            eprintln!("FAIL  {label}  (group commit stopped batching)");
+            failed = true;
+        } else {
+            println!("ok    {label}");
+        }
+        if (c.records, c.syncs) != (r.records, r.syncs) {
+            println!(
+                "WARN  {}: deterministic observables drifted (records {} -> {}, \
+                 syncs {} -> {}): refresh ci/storage_reference.json",
+                r.name, r.records, c.records, r.syncs, c.syncs
+            );
+        }
+        let delta = if r.append_ops_per_sec > 0.0 {
+            (c.append_ops_per_sec - r.append_ops_per_sec) / r.append_ops_per_sec
+        } else {
+            0.0
+        };
+        if delta.abs() > threshold {
+            println!(
+                "WARN  {}: append throughput {:.0}/s vs ref {:.0}/s ({:+.1}%) \
+                 (wall-clock, host-dependent)",
+                r.name,
+                c.append_ops_per_sec,
+                r.append_ops_per_sec,
+                delta * 100.0
+            );
+        }
+    }
+    for c in &current_entries {
+        if !reference_entries.iter().any(|r| r.name == c.name) {
+            println!(
+                "WARN  {}: not in the reference (add it to ci/storage_reference.json \
+                 or it is never gated)",
+                c.name
+            );
+        }
+    }
+    Ok(failed)
 }
 
 /// Checks the live-plane profile; returns true when something failed. Only
@@ -360,6 +486,9 @@ fn main() -> ExitCode {
     let mut live: Option<PathBuf> = None;
     let mut live_reference = PathBuf::from("ci/live_reference.json");
     let mut live_only = false;
+    let mut storage: Option<PathBuf> = None;
+    let mut storage_reference = PathBuf::from("ci/storage_reference.json");
+    let mut storage_only = false;
     let mut threshold = 0.25f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -376,6 +505,9 @@ fn main() -> ExitCode {
             "--live" => live = Some(PathBuf::from(value())),
             "--live-reference" => live_reference = PathBuf::from(value()),
             "--live-only" => live_only = true,
+            "--storage" => storage = Some(PathBuf::from(value())),
+            "--storage-reference" => storage_reference = PathBuf::from(value()),
+            "--storage-only" => storage_only = true,
             "--threshold" => threshold = value().parse().expect("bad --threshold"),
             other => {
                 eprintln!("unknown argument '{other}'");
@@ -393,6 +525,10 @@ fn main() -> ExitCode {
     }
     if live_only && live.is_none() {
         eprintln!("bench_gate: --live-only requires --live");
+        return ExitCode::from(2);
+    }
+    if storage_only && storage.is_none() {
+        eprintln!("bench_gate: --storage-only requires --storage");
         return ExitCode::from(2);
     }
 
@@ -426,7 +562,17 @@ fn main() -> ExitCode {
             }
         }
     }
-    if engine_only || checker_only || live_only {
+    let mut storage_failed = false;
+    if let Some(storage) = &storage {
+        match gate_storage(storage, &storage_reference, threshold) {
+            Ok(failed) => storage_failed = failed,
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if engine_only || checker_only || live_only || storage_only {
         if engine_failed {
             eprintln!("bench gate FAILED: engine hot-path speedup regressed beyond the threshold");
         }
@@ -439,7 +585,10 @@ fn main() -> ExitCode {
         if live_failed {
             eprintln!("bench gate FAILED: a live-plane run no longer certifies");
         }
-        if engine_failed || checker_failed || live_failed {
+        if storage_failed {
+            eprintln!("bench gate FAILED: the storage IO profile regressed");
+        }
+        if engine_failed || checker_failed || live_failed || storage_failed {
             return ExitCode::FAILURE;
         }
         println!("bench gate passed (profile gates only)");
@@ -502,7 +651,7 @@ fn main() -> ExitCode {
             );
         }
     }
-    if failed || engine_failed || checker_failed || live_failed {
+    if failed || engine_failed || checker_failed || live_failed || storage_failed {
         if failed {
             eprintln!("bench gate FAILED: throughput regressed beyond the threshold");
         }
@@ -517,6 +666,9 @@ fn main() -> ExitCode {
         }
         if live_failed {
             eprintln!("bench gate FAILED: a live-plane run no longer certifies");
+        }
+        if storage_failed {
+            eprintln!("bench gate FAILED: the storage IO profile regressed");
         }
         return ExitCode::FAILURE;
     }

@@ -12,7 +12,9 @@
 //! conformance_sweep [--seeds N] [--base-seed S] [--threads T]
 //!                   [--check-threads C]
 //!                   [--scenarios spanner,gryff,composed,spanner-faults,
-//!                                gryff-faults,composed-faults]
+//!                                gryff-faults,composed-faults,
+//!                                spanner-faults-durable,gryff-faults-durable,
+//!                                composed-faults-durable]
 //!                   [--ops N] [--stream]
 //!                   [--out BENCH_sweep.json] [--artifact-dir sweep-artifacts]
 //!                   [--scaling 1,4]
@@ -154,6 +156,7 @@ fn replay_artifact(path: &std::path::Path) -> ExitCode {
         artifact.model,
     );
     println!("recorded violation: {}", artifact.violation);
+    println!("storage mode: {}", artifact.durability.as_deref().unwrap_or("in-memory"));
     if !artifact.deliveries.is_empty() {
         println!(
             "live delivery schedule: {} recorded deliveries (wall-clock run)",

@@ -3,6 +3,7 @@
 use regular_sim::fault::FaultSchedule;
 use regular_sim::queue::QueueKind;
 use regular_sim::time::SimDuration;
+use regular_storage::Durability;
 
 /// Which read protocol the deployment runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +40,12 @@ pub struct GryffConfig {
     /// queue and the reference heap replay identical histories; the knob
     /// exists for differential tests and the `engine_hotpath` benchmarks.
     pub queue_kind: QueueKind,
+    /// Storage backing for replicas. `InMemory` (the default) keeps the
+    /// pre-existing volatile behaviour — healthy-run histories are
+    /// byte-identical to builds without the storage layer. `Wal` puts every
+    /// durable state transition through a write-ahead log with group commit
+    /// and rebuilds crashed replicas from the log alone.
+    pub durability: Durability,
 }
 
 impl GryffConfig {
@@ -54,6 +61,7 @@ impl GryffConfig {
             op_timeout: None,
             faults: FaultSchedule::default(),
             queue_kind: QueueKind::Indexed,
+            durability: Durability::InMemory,
         }
     }
 
@@ -69,6 +77,7 @@ impl GryffConfig {
             op_timeout: None,
             faults: FaultSchedule::default(),
             queue_kind: QueueKind::Indexed,
+            durability: Durability::InMemory,
         }
     }
 
@@ -77,6 +86,12 @@ impl GryffConfig {
     pub fn with_faults(mut self, faults: FaultSchedule, op_timeout: SimDuration) -> Self {
         self.faults = faults;
         self.op_timeout = Some(op_timeout);
+        self
+    }
+
+    /// Selects the storage backing for replicas.
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
         self
     }
 

@@ -13,7 +13,7 @@ use regular_core::checker::assemble::assemble_witness;
 use regular_core::checker::certificate::{check_witness, WitnessModel, WitnessViolation};
 use regular_core::history::History;
 use regular_core::op::OpKind;
-use regular_core::types::{OpId, Value};
+use regular_core::types::{Key, OpId, Value};
 use regular_session::{
     CompletedRecord, HistoryRecorder, SessionConfig, SessionRunner, SessionWorkload, WitnessHint,
 };
@@ -21,6 +21,7 @@ use regular_sim::engine::{Context, Engine, EngineConfig, Node, NodeId};
 use regular_sim::metrics::{LatencyRecorder, MessageStats};
 use regular_sim::net::LatencyMatrix;
 use regular_sim::time::{SimDuration, SimTime};
+use regular_storage::StorageSummary;
 
 use crate::carstamp::Carstamp;
 use crate::client::{GryffClientConfig, GryffClientStats, GryffService};
@@ -125,6 +126,12 @@ pub struct GryffRunResult {
     /// Full message counters, including the fault plane's drops, duplicates,
     /// and expirations.
     pub net_stats: MessageStats,
+    /// Aggregated write-ahead-log counters across every replica (all zeroes
+    /// under `Durability::InMemory`).
+    pub storage: StorageSummary,
+    /// Final register contents per replica, sorted by key: the differential
+    /// anchor for durability tests.
+    pub replica_registers: Vec<Vec<(Key, Value, Carstamp)>>,
 }
 
 /// Builds the [`GryffClientConfig`] every client node of a deployment shares.
@@ -215,9 +222,13 @@ pub fn run_gryff(spec: GryffClusterSpec) -> GryffRunResult {
         }
     }
     let mut replica_stats = Vec::new();
+    let mut storage = StorageSummary::default();
+    let mut replica_registers = Vec::new();
     for &id in &replica_ids {
         if let GryffNode::Replica(r) = engine.node(id) {
             replica_stats.push(r.stats);
+            storage.add_wal(&r.wal_stats());
+            replica_registers.push(r.registers());
         }
     }
     let window = stop_issuing_at.since(measure_from).as_micros();
@@ -235,6 +246,8 @@ pub fn run_gryff(spec: GryffClusterSpec) -> GryffRunResult {
         finished_at,
         messages: engine.delivered_messages(),
         net_stats: engine.message_stats(),
+        storage,
+        replica_registers,
     }
 }
 

@@ -41,6 +41,7 @@
 pub mod carstamp;
 pub mod client;
 pub mod config;
+pub mod durable;
 pub mod harness;
 pub mod messages;
 pub mod replica;

@@ -16,9 +16,13 @@ use regular_core::hashing::{FxHashMap, FxHashSet};
 
 use regular_core::types::{Key, Value};
 use regular_sim::engine::{Context, NodeId};
+use regular_sim::time::SimDuration;
+use regular_storage::wal::{RecoveredLog, Wal, WalStats};
+use regular_storage::Durability;
 
 use crate::carstamp::Carstamp;
 use crate::config::GryffConfig;
+use crate::durable::{GryffRecord, GryffSnapshot, SnapRmw};
 use crate::messages::{Dep, GryffMsg, OpRef};
 
 /// Counters exposed for the evaluation harness.
@@ -80,12 +84,32 @@ pub struct GryffReplica {
     finished_rmws: FxHashMap<OpRef, (Value, Carstamp)>,
     /// Statistics for the harness.
     pub stats: ReplicaStats,
+    /// The write-ahead log under `Durability::Wal`; `None` keeps the
+    /// pre-existing in-memory behaviour on every path.
+    wal: Option<Wal>,
+    /// Outbound messages held back until the records they depend on are
+    /// synced (group commit): an ack must never reveal state the log could
+    /// still lose.
+    wal_pending: Vec<(NodeId, GryffMsg)>,
+    /// Armed group-commit flush timer, if any.
+    flush_timer: Option<u64>,
+    /// Timer-tag allocator. Replicas only use timers for the group-commit
+    /// flush, but tags must stay monotone across crashes (deferred engine
+    /// timers fire post-recovery with their old tags).
+    next_timer: u64,
 }
 
 impl GryffReplica {
     /// Creates a replica with the given index.
     pub fn new(cfg: &GryffConfig, index: usize) -> Self {
-        GryffReplica {
+        let (wal, recovered) = match &cfg.durability {
+            Durability::InMemory => (None, None),
+            Durability::Wal(opts) => {
+                let (wal, log) = Wal::open(opts, &format!("gryff-replica-{index}"));
+                (Some(wal), Some(log))
+            }
+        };
+        let mut replica = GryffReplica {
             index,
             quorum: cfg.quorum(),
             num_replicas: cfg.num_replicas,
@@ -96,6 +120,202 @@ impl GryffReplica {
             rmw_queue: DenseKeyMap::new(),
             finished_rmws: FxHashMap::default(),
             stats: ReplicaStats::default(),
+            wal,
+            wal_pending: Vec::new(),
+            flush_timer: None,
+            next_timer: 0,
+        };
+        // A pre-existing log (a live-plane process restart) replays into the
+        // initial state; fresh simulation runs start from an empty device.
+        if let Some(log) = recovered {
+            replica.apply_replay(log);
+        }
+        replica
+    }
+
+    /// WAL counters for this replica (zeroes under `Durability::InMemory`).
+    pub fn wal_stats(&self) -> WalStats {
+        self.wal.as_ref().map(|w| w.stats()).unwrap_or_default()
+    }
+
+    /// Whether this replica runs on a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Every register this replica holds, sorted by key — the differential
+    /// anchor for durability tests.
+    pub fn registers(&self) -> Vec<(Key, Value, Carstamp)> {
+        let mut regs: Vec<(Key, Value, Carstamp)> =
+            self.store.iter().map(|(k, &(v, cs))| (k, v, cs)).collect();
+        regs.sort_unstable_by_key(|(k, _, _)| k.0);
+        regs
+    }
+
+    /// Appends a durable state transition to the WAL (no-op when in-memory).
+    fn log(&mut self, ctx: &Context<GryffMsg>, rec: &GryffRecord) {
+        if let Some(wal) = self.wal.as_mut() {
+            wal.append(&rec.encode(), ctx.now().as_micros());
+        }
+    }
+
+    /// Sends `msg` to `to`, holding it back while the WAL has unsynced
+    /// records. FIFO order with earlier held messages is preserved.
+    fn send_d(&mut self, ctx: &mut Context<GryffMsg>, to: NodeId, msg: GryffMsg) {
+        let gated =
+            self.wal.as_ref().is_some_and(|w| w.wants_sync()) || !self.wal_pending.is_empty();
+        if gated {
+            self.wal_pending.push((to, msg));
+        } else {
+            ctx.send(to, msg);
+        }
+    }
+
+    fn release_pending(&mut self, ctx: &mut Context<GryffMsg>) {
+        for (to, msg) in std::mem::take(&mut self.wal_pending) {
+            ctx.send(to, msg);
+        }
+    }
+
+    /// Group-commit bookkeeping at the end of every handler turn: write a
+    /// due checkpoint, sync immediately (window 0 or expired) or arm the
+    /// flush timer, and release held messages once nothing is unsynced.
+    fn turn_end(&mut self, ctx: &mut Context<GryffMsg>) {
+        if self.wal.is_none() {
+            debug_assert!(self.wal_pending.is_empty());
+            return;
+        }
+        if self.wal.as_ref().unwrap().checkpoint_due() {
+            let snapshot = self.encode_snapshot();
+            self.wal.as_mut().unwrap().checkpoint(&snapshot);
+        }
+        let now = ctx.now().as_micros();
+        let wal = self.wal.as_mut().unwrap();
+        if wal.wants_sync() {
+            let deadline = wal.deadline_us().expect("dirty log has a deadline");
+            if wal.group_commit_us() == 0 || deadline <= now {
+                wal.sync();
+            } else if self.flush_timer.is_none() {
+                let tag = self.next_timer;
+                self.next_timer += 1;
+                self.flush_timer = Some(tag);
+                ctx.set_timer(SimDuration::from_micros(deadline - now), tag);
+            }
+        }
+        if !self.wal.as_ref().unwrap().wants_sync() {
+            self.release_pending(ctx);
+        }
+    }
+
+    /// Serializes the durable state for a checkpoint, deterministically.
+    fn encode_snapshot(&self) -> Vec<u8> {
+        let store = self.registers();
+        let mut rmws: Vec<SnapRmw> = self
+            .rmws
+            .iter()
+            .map(|(&internal, c)| SnapRmw {
+                internal,
+                client: c.client,
+                client_op: c.client_op,
+                key: c.key,
+                new_value: c.new_value,
+                phase: match c.phase {
+                    RmwPhase::Read => 0,
+                    RmwPhase::Write => 1,
+                },
+                max_value: c.max.1,
+                max_cs: c.max.0,
+                chosen: c.chosen,
+            })
+            .collect();
+        rmws.sort_unstable_by_key(|r| r.internal);
+        let mut finished: Vec<(OpRef, Value, Carstamp)> =
+            self.finished_rmws.iter().map(|(&op, &(v, cs))| (op, v, cs)).collect();
+        finished.sort_unstable_by_key(|(op, _, _)| (op.node, op.seq));
+        GryffSnapshot { store, rmws, next_internal: self.next_internal, finished }.encode()
+    }
+
+    /// Rebuilds durable state from a recovered snapshot + log tail. The
+    /// `replied` sets stay empty; the recovery hook re-drives head-of-queue
+    /// rounds to re-collect their quorums.
+    fn apply_replay(&mut self, log: RecoveredLog) {
+        if let Some(snap) = log.snapshot.as_deref().and_then(GryffSnapshot::decode) {
+            for (key, value, cs) in snap.store {
+                self.apply_raw(key, value, cs);
+            }
+            self.next_internal = self.next_internal.max(snap.next_internal);
+            let mut rmws = snap.rmws;
+            rmws.sort_unstable_by_key(|r| r.internal);
+            for r in rmws {
+                self.rmws.insert(
+                    r.internal,
+                    RmwCoordination {
+                        client: r.client,
+                        client_op: r.client_op,
+                        key: r.key,
+                        new_value: r.new_value,
+                        phase: if r.phase == 0 { RmwPhase::Read } else { RmwPhase::Write },
+                        replied: FxHashSet::default(),
+                        max: (r.max_cs, r.max_value),
+                        chosen: r.chosen,
+                    },
+                );
+                // Queue order is arrival order, which is internal-id order.
+                self.rmw_queue.get_or_insert_with(r.key, VecDeque::new).push_back(r.internal);
+            }
+            for (op, value, cs) in snap.finished {
+                self.finished_rmws.insert(op, (value, cs));
+            }
+        }
+        for bytes in &log.records {
+            let Some(rec) = GryffRecord::decode(bytes) else {
+                debug_assert!(false, "crc-valid record failed to decode");
+                continue;
+            };
+            self.replay_record(rec);
+        }
+    }
+
+    fn replay_record(&mut self, rec: GryffRecord) {
+        match rec {
+            GryffRecord::Apply { key, value, cs } => {
+                self.apply_raw(key, value, cs);
+            }
+            GryffRecord::RmwBegin { internal, client, client_op, key, new_value } => {
+                self.next_internal = self.next_internal.max(internal + 1);
+                self.rmws.insert(
+                    internal,
+                    RmwCoordination {
+                        client,
+                        client_op,
+                        key,
+                        new_value,
+                        phase: RmwPhase::Read,
+                        replied: FxHashSet::default(),
+                        max: (Carstamp::ZERO, Value::NULL),
+                        chosen: Carstamp::ZERO,
+                    },
+                );
+                self.rmw_queue.get_or_insert_with(key, VecDeque::new).push_back(internal);
+            }
+            GryffRecord::RmwChosen { internal, old_value, cs } => {
+                if let Some(coord) = self.rmws.get_mut(&internal) {
+                    coord.phase = RmwPhase::Write;
+                    coord.replied.clear();
+                    coord.max.1 = old_value;
+                    coord.chosen = cs;
+                }
+            }
+            GryffRecord::RmwFinish { internal, client_op, key, old_value, cs } => {
+                self.rmws.remove(&internal);
+                self.finished_rmws.insert(client_op, (old_value, cs));
+                if let Some(queue) = self.rmw_queue.get_mut(key) {
+                    queue.retain(|&i| i != internal);
+                    if queue.is_empty() {
+                        self.rmw_queue.remove(key);
+                    }
+                }
+            }
         }
     }
 
@@ -123,16 +343,28 @@ impl GryffReplica {
         self.store.get(key).copied().unwrap_or((Value::NULL, Carstamp::ZERO))
     }
 
-    fn apply(&mut self, key: Key, value: Value, cs: Carstamp) {
+    /// Installs `(value, cs)` under the write-if-newer rule, without logging
+    /// (replay path — the record already exists).
+    fn apply_raw(&mut self, key: Key, value: Value, cs: Carstamp) {
         let current = self.get(key).1;
         if cs > current {
             self.store.insert(key, (value, cs));
         }
     }
 
-    fn apply_dep(&mut self, dep: Option<Dep>) {
+    /// Installs `(value, cs)` under the write-if-newer rule, logging the
+    /// register transition when it actually advances.
+    fn apply(&mut self, ctx: &Context<GryffMsg>, key: Key, value: Value, cs: Carstamp) {
+        let current = self.get(key).1;
+        if cs > current {
+            self.store.insert(key, (value, cs));
+            self.log(ctx, &GryffRecord::Apply { key, value, cs });
+        }
+    }
+
+    fn apply_dep(&mut self, ctx: &Context<GryffMsg>, dep: Option<Dep>) {
         if let Some(d) = dep {
-            self.apply(d.key, d.value, d.cs);
+            self.apply(ctx, d.key, d.value, d.cs);
             self.stats.deps_applied += 1;
         }
     }
@@ -144,7 +376,7 @@ impl GryffReplica {
         let key = self.rmws[&internal].key;
         // Read phase against all replicas (including ourselves via loopback).
         for p in self.peer_nodes() {
-            ctx.send(p, GryffMsg::Read1 { op, key, dep: None });
+            self.send_d(ctx, p, GryffMsg::Read1 { op, key, dep: None });
         }
     }
 
@@ -169,7 +401,7 @@ impl GryffReplica {
         match coord.phase {
             RmwPhase::Read => {
                 for p in self.peer_nodes() {
-                    ctx.send(p, GryffMsg::Read1 { op, key, dep: None });
+                    self.send_d(ctx, p, GryffMsg::Read1 { op, key, dep: None });
                 }
             }
             RmwPhase::Write => {
@@ -177,7 +409,7 @@ impl GryffReplica {
                 // same Write2 is a no-op at replicas that already applied it.
                 let (value, cs) = (coord.new_value, coord.chosen);
                 for p in self.peer_nodes() {
-                    ctx.send(p, GryffMsg::Write2 { op, key, value, cs });
+                    self.send_d(ctx, p, GryffMsg::Write2 { op, key, value, cs });
                 }
             }
         }
@@ -205,7 +437,7 @@ impl GryffReplica {
             return;
         }
         // Move to the write phase: install the new value at max + 1.
-        let (op, key, new_value, chosen) = {
+        let (op, key, new_value, chosen, old_value) = {
             let coord = self.rmws.get_mut(&internal).expect("coordination exists");
             coord.phase = RmwPhase::Write;
             coord.replied.clear();
@@ -213,10 +445,20 @@ impl GryffReplica {
             // advances, so a racing base write (count + 1) still orders
             // above this rmw — see `Carstamp::next_rmw`.
             coord.chosen = coord.max.0.next_rmw();
-            (OpRef { node: ctx.node_id(), seq: internal }, coord.key, coord.new_value, coord.chosen)
+            (
+                OpRef { node: ctx.node_id(), seq: internal },
+                coord.key,
+                coord.new_value,
+                coord.chosen,
+                coord.max.1,
+            )
         };
+        // The chosen carstamp must be durable before any Write2 leaves:
+        // recovery must resume this exact decision, not re-run the read
+        // phase and install the rmw a second time at a new position.
+        self.log(ctx, &GryffRecord::RmwChosen { internal, old_value, cs: chosen });
         for p in self.peer_nodes() {
-            ctx.send(p, GryffMsg::Write2 { op, key, value: new_value, cs: chosen });
+            self.send_d(ctx, p, GryffMsg::Write2 { op, key, value: new_value, cs: chosen });
         }
     }
 
@@ -234,7 +476,18 @@ impl GryffReplica {
         let coord = self.rmws.remove(&internal).expect("coordination exists");
         self.stats.rmws_coordinated += 1;
         self.finished_rmws.insert(coord.client_op, (coord.max.1, coord.chosen));
-        ctx.send(
+        self.log(
+            ctx,
+            &GryffRecord::RmwFinish {
+                internal,
+                client_op: coord.client_op,
+                key: coord.key,
+                old_value: coord.max.1,
+                cs: coord.chosen,
+            },
+        );
+        self.send_d(
+            ctx,
             coord.client,
             GryffMsg::RmwReply { op: coord.client_op, old_value: coord.max.1, cs: coord.chosen },
         );
@@ -250,32 +503,32 @@ impl GryffReplica {
     }
 }
 
-impl regular_sim::engine::Node<GryffMsg> for GryffReplica {
-    fn on_message(&mut self, ctx: &mut Context<GryffMsg>, from: NodeId, msg: GryffMsg) {
+impl GryffReplica {
+    fn dispatch_message(&mut self, ctx: &mut Context<GryffMsg>, from: NodeId, msg: GryffMsg) {
         match msg {
             GryffMsg::Read1 { op, key, dep } => {
-                self.apply_dep(dep);
+                self.apply_dep(ctx, dep);
                 self.stats.reads_served += 1;
                 let (value, cs) = self.get(key);
-                ctx.send(from, GryffMsg::Read1Reply { op, value, cs });
+                self.send_d(ctx, from, GryffMsg::Read1Reply { op, value, cs });
             }
             GryffMsg::Write1 { op, key, dep } => {
-                self.apply_dep(dep);
+                self.apply_dep(ctx, dep);
                 let (_, cs) = self.get(key);
-                ctx.send(from, GryffMsg::Write1Reply { op, cs });
+                self.send_d(ctx, from, GryffMsg::Write1Reply { op, cs });
             }
             GryffMsg::Write2 { op, key, value, cs } => {
-                self.apply(key, value, cs);
+                self.apply(ctx, key, value, cs);
                 self.stats.writes_applied += 1;
-                ctx.send(from, GryffMsg::Write2Reply { op });
+                self.send_d(ctx, from, GryffMsg::Write2Reply { op });
             }
             GryffMsg::Rmw { op, key, new_value, dep } => {
-                self.apply_dep(dep);
+                self.apply_dep(ctx, dep);
                 // At-most-once: a retried (or duplicated) request for a
                 // decided rmw is answered from the log; one already in
                 // flight keeps coordinating.
                 if let Some(&(old_value, cs)) = self.finished_rmws.get(&op) {
-                    ctx.send(from, GryffMsg::RmwReply { op, old_value, cs });
+                    self.send_d(ctx, from, GryffMsg::RmwReply { op, old_value, cs });
                     return;
                 }
                 if let Some(internal) =
@@ -302,6 +555,16 @@ impl regular_sim::engine::Node<GryffMsg> for GryffReplica {
                         chosen: Carstamp::ZERO,
                     },
                 );
+                self.log(
+                    ctx,
+                    &GryffRecord::RmwBegin {
+                        internal,
+                        client: from,
+                        client_op: op,
+                        key,
+                        new_value,
+                    },
+                );
                 let queue = self.rmw_queue.get_or_insert_with(key, VecDeque::new);
                 queue.push_back(internal);
                 if queue.len() == 1 {
@@ -324,12 +587,61 @@ impl regular_sim::engine::Node<GryffMsg> for GryffReplica {
             }
         }
     }
+}
+
+impl regular_sim::engine::Node<GryffMsg> for GryffReplica {
+    fn on_message(&mut self, ctx: &mut Context<GryffMsg>, from: NodeId, msg: GryffMsg) {
+        self.dispatch_message(ctx, from, msg);
+        self.turn_end(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<GryffMsg>, tag: u64) {
+        if self.flush_timer == Some(tag) {
+            // Group-commit window expired: sync the log and release every
+            // message the gate held back.
+            self.flush_timer = None;
+            if let Some(wal) = self.wal.as_mut() {
+                if wal.wants_sync() {
+                    wal.sync();
+                }
+            }
+            self.release_pending(ctx);
+        }
+        // Any other tag is a stale flush timer deferred across a crash.
+    }
+
+    fn on_crash(&mut self, _ctx: &mut Context<GryffMsg>) {
+        let Some(wal) = self.wal.as_mut() else {
+            // In-memory mode models the paper's assumptions directly: the
+            // register store is disk-backed and rmw coordination state is
+            // consensus-replicated (as in Gryff's EPaxos rmw path), so a
+            // crash loses nothing.
+            return;
+        };
+        // Machine-wipe semantics: the crash destroys everything volatile,
+        // and the device applies its own crash semantics to unsynced bytes.
+        // Recovery rebuilds exclusively from what the log can prove.
+        wal.on_crash();
+        self.wal_pending.clear();
+        self.flush_timer = None;
+        self.store = DenseKeyMap::new();
+        self.rmws.clear();
+        self.next_internal = 0;
+        self.rmw_queue = DenseKeyMap::new();
+        self.finished_rmws.clear();
+        // `next_timer` is deliberately NOT reset (deferred engine timers
+        // keep their old tags); stats are harness counters and stay.
+    }
 
     fn on_recover(&mut self, ctx: &mut Context<GryffMsg>) {
-        // The register store is disk-backed and rmw coordination state is
-        // consensus-replicated (as in Gryff's EPaxos rmw path), so nothing
-        // is lost — but replies that arrived while this coordinator was down
-        // expired. Re-drive the current round of every active (head-of-queue)
+        if self.wal.is_some() {
+            // Rebuild durable state from the device: last checkpoint
+            // snapshot plus the log tail that survived the crash.
+            let log = self.wal.as_mut().unwrap().recover();
+            self.apply_replay(log);
+        }
+        // Replies that arrived while this coordinator was down expired.
+        // Re-drive the current round of every active (head-of-queue)
         // coordination; rounds are idempotent and reply-counting dedups by
         // replica, so replicas that already answered simply answer again.
         let mut heads: Vec<(Key, u64)> = self
@@ -341,6 +653,7 @@ impl regular_sim::engine::Node<GryffMsg> for GryffReplica {
         for (_, internal) in heads {
             self.redrive_rmw(ctx, internal);
         }
+        self.turn_end(ctx);
     }
 }
 
@@ -354,10 +667,10 @@ mod tests {
         let cfg = GryffConfig::wan(Mode::Gryff);
         let mut r = GryffReplica::new(&cfg, 0);
         assert_eq!(r.get(Key(1)), (Value::NULL, Carstamp::ZERO));
-        r.apply(Key(1), Value(10), Carstamp { count: 2, writer: 1, rmwc: 0 });
-        r.apply(Key(1), Value(20), Carstamp { count: 1, writer: 9, rmwc: 0 });
+        r.apply_raw(Key(1), Value(10), Carstamp { count: 2, writer: 1, rmwc: 0 });
+        r.apply_raw(Key(1), Value(20), Carstamp { count: 1, writer: 9, rmwc: 0 });
         assert_eq!(r.get(Key(1)).0, Value(10), "older carstamp must not overwrite newer");
-        r.apply(Key(1), Value(30), Carstamp { count: 3, writer: 0, rmwc: 0 });
+        r.apply_raw(Key(1), Value(30), Carstamp { count: 3, writer: 0, rmwc: 0 });
         assert_eq!(r.get(Key(1)).0, Value(30));
     }
 

@@ -4,6 +4,7 @@ use regular_sim::fault::FaultSchedule;
 use regular_sim::net::LatencyMatrix;
 use regular_sim::queue::QueueKind;
 use regular_sim::time::SimDuration;
+use regular_storage::Durability;
 
 /// Which read-only transaction protocol the cluster runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +61,12 @@ pub struct SpannerConfig {
     /// queue and the reference heap replay identical histories; the knob
     /// exists for differential tests and the `engine_hotpath` benchmarks.
     pub queue_kind: QueueKind,
+    /// Storage backing for shard leaders. `InMemory` (the default) keeps the
+    /// pre-existing volatile behaviour — healthy-run histories are
+    /// byte-identical to builds without the storage layer. `Wal` puts every
+    /// durable state transition through a write-ahead log with group commit
+    /// and rebuilds crashed shards from the log alone.
+    pub durability: Durability,
 }
 
 impl SpannerConfig {
@@ -81,6 +88,7 @@ impl SpannerConfig {
             op_timeout: None,
             faults: FaultSchedule::default(),
             queue_kind: QueueKind::Indexed,
+            durability: Durability::InMemory,
         }
     }
 
@@ -102,6 +110,7 @@ impl SpannerConfig {
             op_timeout: None,
             faults: FaultSchedule::default(),
             queue_kind: QueueKind::Indexed,
+            durability: Durability::InMemory,
         }
     }
 
@@ -110,6 +119,12 @@ impl SpannerConfig {
     pub fn with_faults(mut self, faults: FaultSchedule, op_timeout: SimDuration) -> Self {
         self.faults = faults;
         self.op_timeout = Some(op_timeout);
+        self
+    }
+
+    /// Selects the storage backing for shard leaders.
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
         self
     }
 

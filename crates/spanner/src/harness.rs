@@ -12,7 +12,7 @@
 
 use regular_core::checker::certificate::{check_witness, WitnessModel, WitnessViolation};
 use regular_core::history::History;
-use regular_core::types::OpId;
+use regular_core::types::{Key, OpId, Value};
 use regular_session::{
     CompletedRecord, HistoryRecorder, SessionConfig, SessionRunner, SessionWorkload,
 };
@@ -20,10 +20,11 @@ use regular_sim::engine::{Context, Engine, EngineConfig, Node, NodeId};
 use regular_sim::metrics::{LatencyRecorder, MessageStats};
 use regular_sim::net::LatencyMatrix;
 use regular_sim::time::{SimDuration, SimTime};
+use regular_storage::StorageSummary;
 
 use crate::client::{ClientConfig, ClientStats, SpannerService};
 use crate::config::{Mode, SpannerConfig};
-use crate::messages::SpannerMsg;
+use crate::messages::{SpannerMsg, Ts};
 use crate::shard::{ShardNode, ShardStats};
 
 /// A client node: the protocol-agnostic session runner over the Spanner core.
@@ -122,6 +123,13 @@ pub struct RunResult {
     /// Full message counters, including the fault plane's drops, duplicates,
     /// and expirations.
     pub net_stats: MessageStats,
+    /// Aggregated write-ahead-log counters across every shard (all zeroes
+    /// under `Durability::InMemory`).
+    pub storage: StorageSummary,
+    /// Final committed store contents per shard, sorted by (key, timestamp):
+    /// the differential anchor for durability tests (recovered store must
+    /// equal an in-memory reference, offline WAL replay must equal this).
+    pub shard_stores: Vec<Vec<(Key, Ts, Value)>>,
 }
 
 /// Builds the [`ClientConfig`] every client node of a cluster shares.
@@ -226,9 +234,15 @@ pub fn run_cluster(spec: ClusterSpec) -> RunResult {
         }
     }
     let mut shard_stats = Vec::new();
+    let mut storage = StorageSummary::default();
+    let mut shard_stores = Vec::new();
     for &id in &shard_nodes {
         if let SpannerNode::Shard(s) = engine.node(id) {
             shard_stats.push(s.stats);
+            storage.add_wal(&s.wal_stats());
+            let mut dump = s.store().dump();
+            dump.sort_unstable_by_key(|(k, ts, _)| (k.0, *ts));
+            shard_stores.push(dump);
         }
     }
     let window = stop_issuing_at.since(measure_from).as_micros();
@@ -245,6 +259,8 @@ pub fn run_cluster(spec: ClusterSpec) -> RunResult {
         finished_at,
         messages: engine.delivered_messages(),
         net_stats: engine.message_stats(),
+        storage,
+        shard_stores,
     }
 }
 

@@ -46,6 +46,7 @@
 
 pub mod client;
 pub mod config;
+pub mod durable;
 pub mod harness;
 pub mod locks;
 pub mod messages;

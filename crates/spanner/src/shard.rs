@@ -11,8 +11,11 @@ use regular_core::hashing::{FxHashMap, FxHashSet};
 use regular_core::types::{Key, Value};
 use regular_sim::engine::{Context, NodeId};
 use regular_sim::time::SimDuration;
+use regular_storage::wal::{RecoveredLog, Wal, WalStats};
+use regular_storage::Durability;
 
 use crate::config::{Mode, SpannerConfig};
+use crate::durable::{ShardRecord, ShardSnapshot, SnapCoord, SnapPrepared};
 use crate::locks::LockTable;
 use crate::messages::{PreparedInfo, SpannerMsg, Ts, TxnId};
 use crate::storage::MvccStore;
@@ -50,6 +53,11 @@ struct CoordState {
     /// can re-drive the prepare round.
     writes_by_shard: Vec<(NodeId, Vec<(Key, Value)>)>,
     t_ee: Ts,
+    /// When the vote set is complete: the simulated time at which the
+    /// commit-wait timer releases the decision. Durable (checkpointed and
+    /// WAL-logged via `CoordTs`) so a recovered coordinator re-arms the
+    /// release instead of holding a complete round forever.
+    commit_fire_at_us: Option<u64>,
 }
 
 /// A baseline read-only transaction blocked on conflicting prepared
@@ -135,12 +143,28 @@ pub struct ShardNode {
     next_timer: u64,
     /// Statistics for the harness.
     pub stats: ShardStats,
+    /// The write-ahead log under `Durability::Wal`; `None` keeps the
+    /// pre-existing in-memory behaviour on every path.
+    wal: Option<Wal>,
+    /// Outbound messages held back until the records they depend on are
+    /// synced (group commit): releasing an ack before its record is durable
+    /// would let a torn tail contradict something the world already saw.
+    wal_pending: Vec<(NodeId, SimDuration, SpannerMsg)>,
+    /// Armed group-commit flush timer, if any.
+    flush_timer: Option<u64>,
 }
 
 impl ShardNode {
     /// Creates a shard leader for `shard_index` under the given configuration.
     pub fn new(cfg: &SpannerConfig, shard_index: usize, replication_delay: SimDuration) -> Self {
-        ShardNode {
+        let (wal, recovered) = match &cfg.durability {
+            Durability::InMemory => (None, None),
+            Durability::Wal(opts) => {
+                let (wal, log) = Wal::open(opts, &format!("spanner-shard-{shard_index}"));
+                (Some(wal), Some(log))
+            }
+        };
+        let mut node = ShardNode {
             mode: cfg.mode,
             disable_tee_skip: cfg.disable_tee_skip,
             shard_index,
@@ -160,6 +184,240 @@ impl ShardNode {
             decision_probe: cfg.commit_timeout,
             next_timer: 0,
             stats: ShardStats::default(),
+            wal,
+            wal_pending: Vec::new(),
+            flush_timer: None,
+        };
+        // A pre-existing log (a live-plane process restart) replays into the
+        // initial state; fresh simulation runs start from an empty device.
+        if let Some(log) = recovered {
+            node.apply_replay(log);
+        }
+        node
+    }
+
+    /// WAL counters for this shard (zeroes under `Durability::InMemory`).
+    pub fn wal_stats(&self) -> WalStats {
+        self.wal.as_ref().map(|w| w.stats()).unwrap_or_default()
+    }
+
+    /// Whether this shard runs on a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Appends a durable state transition to the WAL (no-op when in-memory).
+    fn log(&mut self, ctx: &Context<SpannerMsg>, rec: &ShardRecord) {
+        if let Some(wal) = self.wal.as_mut() {
+            wal.append(&rec.encode(), ctx.now().as_micros());
+        }
+    }
+
+    /// Sends `msg` to `to` (after `extra` delay), holding it back while the
+    /// WAL has unsynced records: a message must never reveal state the log
+    /// could still lose. FIFO order with earlier held messages is preserved.
+    fn send_d(
+        &mut self,
+        ctx: &mut Context<SpannerMsg>,
+        to: NodeId,
+        extra: SimDuration,
+        msg: SpannerMsg,
+    ) {
+        let gated =
+            self.wal.as_ref().is_some_and(|w| w.wants_sync()) || !self.wal_pending.is_empty();
+        if gated {
+            self.wal_pending.push((to, extra, msg));
+        } else if extra == SimDuration::ZERO {
+            ctx.send(to, msg);
+        } else {
+            ctx.send_after(to, extra, msg);
+        }
+    }
+
+    fn release_pending(&mut self, ctx: &mut Context<SpannerMsg>) {
+        for (to, extra, msg) in std::mem::take(&mut self.wal_pending) {
+            if extra == SimDuration::ZERO {
+                ctx.send(to, msg);
+            } else {
+                ctx.send_after(to, extra, msg);
+            }
+        }
+    }
+
+    /// Group-commit bookkeeping at the end of every handler turn: write a
+    /// due checkpoint, sync immediately (window 0 or expired) or arm the
+    /// flush timer, and release held messages once nothing is unsynced.
+    fn turn_end(&mut self, ctx: &mut Context<SpannerMsg>) {
+        if self.wal.is_none() {
+            debug_assert!(self.wal_pending.is_empty());
+            return;
+        }
+        if self.wal.as_ref().unwrap().checkpoint_due() {
+            let snapshot = self.encode_snapshot();
+            self.wal.as_mut().unwrap().checkpoint(&snapshot);
+        }
+        let now = ctx.now().as_micros();
+        let wal = self.wal.as_mut().unwrap();
+        if wal.wants_sync() {
+            let deadline = wal.deadline_us().expect("dirty log has a deadline");
+            if wal.group_commit_us() == 0 || deadline <= now {
+                wal.sync();
+            } else if self.flush_timer.is_none() {
+                let tag = self.next_timer;
+                self.next_timer += 1;
+                self.flush_timer = Some(tag);
+                ctx.set_timer(SimDuration::from_micros(deadline - now), tag);
+            }
+        }
+        if !self.wal.as_ref().unwrap().wants_sync() {
+            self.release_pending(ctx);
+        }
+    }
+
+    /// Serializes the durable state for a checkpoint, deterministically.
+    fn encode_snapshot(&self) -> Vec<u8> {
+        let mut versions = self.store.dump();
+        versions.sort_unstable_by_key(|(k, ts, _)| (k.0, *ts));
+        let mut prepared: Vec<SnapPrepared> = self
+            .prepared
+            .iter()
+            .map(|(txn, p)| SnapPrepared {
+                txn: *txn,
+                writes: p.writes.clone(),
+                t_prepare: p.t_prepare,
+                t_ee: p.t_ee,
+                coordinator: p.coordinator,
+            })
+            .collect();
+        prepared.sort_unstable_by_key(|p| p.txn);
+        let mut coordinating: Vec<SnapCoord> = self
+            .coordinating
+            .iter()
+            .map(|(txn, s)| {
+                let mut awaiting: Vec<NodeId> = s.awaiting.iter().copied().collect();
+                awaiting.sort_unstable();
+                SnapCoord {
+                    txn: *txn,
+                    client: s.client,
+                    t_ee: s.t_ee,
+                    max_prepare: s.max_prepare,
+                    commit_fire_at_us: s.commit_fire_at_us,
+                    writes_by_shard: s.writes_by_shard.clone(),
+                    awaiting,
+                }
+            })
+            .collect();
+        coordinating.sort_unstable_by_key(|c| c.txn);
+        let mut decided: Vec<(TxnId, bool, Ts)> =
+            self.decided.iter().map(|(txn, &(c, t))| (*txn, c, t)).collect();
+        decided.sort_unstable_by_key(|d| d.0);
+        ShardSnapshot { max_ts: self.max_ts, versions, prepared, coordinating, decided }.encode()
+    }
+
+    /// Rebuilds durable state from a recovered snapshot + log tail. Volatile
+    /// state (pending prepares, parked reads, timers) stays empty; the
+    /// recovery hook re-arms what protocol liveness needs.
+    fn apply_replay(&mut self, log: RecoveredLog) {
+        if let Some(snap) = log.snapshot.as_deref().and_then(ShardSnapshot::decode) {
+            self.max_ts = self.max_ts.max(snap.max_ts);
+            for (key, ts, value) in snap.versions {
+                self.store.apply(key, ts, value);
+            }
+            for p in snap.prepared {
+                let keys: Vec<Key> = p.writes.iter().map(|(k, _)| *k).collect();
+                let granted = self.locks.acquire(p.txn, &keys);
+                debug_assert!(granted, "prepared transactions hold disjoint locks");
+                self.prepared.insert(
+                    p.txn,
+                    PreparedTxn {
+                        writes: p.writes,
+                        t_prepare: p.t_prepare,
+                        t_ee: p.t_ee,
+                        coordinator: p.coordinator,
+                    },
+                );
+            }
+            for c in snap.coordinating {
+                let participants: Vec<NodeId> = c.writes_by_shard.iter().map(|(n, _)| *n).collect();
+                self.coordinating.insert(
+                    c.txn,
+                    CoordState {
+                        client: c.client,
+                        participants,
+                        awaiting: c.awaiting.into_iter().collect(),
+                        max_prepare: c.max_prepare,
+                        writes_by_shard: c.writes_by_shard,
+                        t_ee: c.t_ee,
+                        commit_fire_at_us: c.commit_fire_at_us,
+                    },
+                );
+            }
+            for (txn, commit, t_commit) in snap.decided {
+                self.decided.insert(txn, (commit, t_commit));
+            }
+        }
+        for bytes in &log.records {
+            let Some(rec) = ShardRecord::decode(bytes) else {
+                debug_assert!(false, "crc-valid record failed to decode");
+                continue;
+            };
+            self.replay_record(rec);
+        }
+    }
+
+    fn replay_record(&mut self, rec: ShardRecord) {
+        match rec {
+            ShardRecord::Prepare { txn, t_prepare, t_ee, coordinator, writes } => {
+                let keys: Vec<Key> = writes.iter().map(|(k, _)| *k).collect();
+                let granted = self.locks.acquire(txn, &keys);
+                debug_assert!(granted, "replayed prepares hold disjoint locks");
+                self.max_ts = self.max_ts.max(t_prepare);
+                self.prepared.insert(txn, PreparedTxn { writes, t_prepare, t_ee, coordinator });
+            }
+            ShardRecord::Decision { txn, commit, t_commit } => {
+                self.decided.insert(txn, (commit, t_commit));
+                self.coordinating.remove(&txn);
+                if let Some(p) = self.prepared.remove(&txn) {
+                    if commit {
+                        for (k, v) in &p.writes {
+                            self.store.apply(*k, t_commit, *v);
+                        }
+                        self.max_ts = self.max_ts.max(t_commit);
+                    }
+                    let _ = self.locks.release(txn);
+                }
+            }
+            ShardRecord::CoordBegin { txn, client, t_ee, writes_by_shard } => {
+                let participants: Vec<NodeId> = writes_by_shard.iter().map(|(n, _)| *n).collect();
+                self.coordinating.insert(
+                    txn,
+                    CoordState {
+                        client,
+                        participants: participants.clone(),
+                        awaiting: participants.into_iter().collect(),
+                        max_prepare: 0,
+                        writes_by_shard,
+                        t_ee,
+                        commit_fire_at_us: None,
+                    },
+                );
+            }
+            ShardRecord::CoordVote { txn, shard, t_prepare } => {
+                if let Some(state) = self.coordinating.get_mut(&txn) {
+                    state.awaiting.remove(&shard);
+                    state.max_prepare = state.max_prepare.max(t_prepare);
+                }
+            }
+            ShardRecord::CoordTs { txn, t_commit, fire_at_us } => {
+                self.max_ts = self.max_ts.max(t_commit);
+                if let Some(state) = self.coordinating.get_mut(&txn) {
+                    state.max_prepare = t_commit;
+                    state.commit_fire_at_us = Some(fire_at_us);
+                }
+            }
+            ShardRecord::SafeTime { ts } => {
+                self.max_ts = self.max_ts.max(ts);
+            }
         }
     }
 
@@ -225,11 +483,14 @@ impl ShardNode {
         let tt = ctx.truetime_now();
         let t_prepare = (self.max_ts + 1).max(tt.latest.as_micros());
         self.max_ts = t_prepare;
-        self.prepared.insert(txn, PreparedTxn { writes, t_prepare, t_ee, coordinator });
+        self.prepared
+            .insert(txn, PreparedTxn { writes: writes.clone(), t_prepare, t_ee, coordinator });
         self.stats.prepares += 1;
+        self.log(ctx, &ShardRecord::Prepare { txn, t_prepare, t_ee, coordinator, writes });
         // The prepare record is durable at a majority after one replication
         // round trip; only then may the participant vote yes.
-        ctx.send_after(
+        self.send_d(
+            ctx,
             coordinator,
             self.replication_delay,
             SpannerMsg::PrepareOk { txn, shard: ctx.node_id(), t_prepare },
@@ -271,7 +532,8 @@ impl ShardNode {
         // re-ack with the original timestamp instead of preparing twice.
         if let Some(p) = self.prepared.get(&txn) {
             let t_prepare = p.t_prepare;
-            ctx.send(coordinator, SpannerMsg::PrepareOk { txn, shard: ctx.node_id(), t_prepare });
+            let reply = SpannerMsg::PrepareOk { txn, shard: ctx.node_id(), t_prepare };
+            self.send_d(ctx, coordinator, SimDuration::ZERO, reply);
             return;
         }
         if self.pending_prepares.contains_key(&txn) {
@@ -297,6 +559,11 @@ impl ShardNode {
     ) {
         let prepared = self.prepared.remove(&txn);
         let pending = self.pending_prepares.remove(&txn);
+        // The participant-side durable transition: a prepared transaction
+        // learned its outcome (its buffered writes install or evaporate).
+        if prepared.is_some() {
+            self.log(ctx, &ShardRecord::Decision { txn, commit, t_commit });
+        }
         let written: Vec<(Key, Value)> = match (&prepared, commit) {
             (Some(p), true) => {
                 for (k, v) in &p.writes {
@@ -332,8 +599,10 @@ impl ShardNode {
             let b = self.blocked_ros.remove(i);
             self.answer_ro(ctx, b.client, b.txn, &b.keys, b.t_read);
         }
-        // Send slow replies for RSS watchers.
+        // Send slow replies for RSS watchers (collected first: sends go
+        // through the WAL gate, which needs `&mut self`).
         let mut done = Vec::new();
+        let mut slow_replies = Vec::new();
         for (i, w) in self.rss_watchers.iter_mut().enumerate() {
             if w.pending.remove(&txn) {
                 let values = if commit {
@@ -352,7 +621,7 @@ impl ShardNode {
                     Vec::new()
                 };
                 self.stats.ro_slow_replies += 1;
-                ctx.send(
+                slow_replies.push((
                     w.client,
                     SpannerMsg::RoSlowReply {
                         txn: w.txn,
@@ -362,11 +631,14 @@ impl ShardNode {
                         t_commit,
                         values,
                     },
-                );
+                ));
                 if w.pending.is_empty() {
                     done.push(i);
                 }
             }
+        }
+        for (client, reply) in slow_replies {
+            self.send_d(ctx, client, SimDuration::ZERO, reply);
         }
         for i in done.into_iter().rev() {
             self.rss_watchers.remove(i);
@@ -388,7 +660,8 @@ impl ShardNode {
         let values = self.read_values(keys, t_read);
         match self.mode {
             Mode::Spanner => {
-                ctx.send(client, SpannerMsg::RoReply { txn, shard: ctx.node_id(), values });
+                let reply = SpannerMsg::RoReply { txn, shard: ctx.node_id(), values };
+                self.send_d(ctx, client, SimDuration::ZERO, reply);
             }
             Mode::SpannerRss => {
                 let skipped: Vec<PreparedInfo> = self
@@ -405,10 +678,8 @@ impl ShardNode {
                         pending: skipped.iter().map(|p| p.txn).collect(),
                     });
                 }
-                ctx.send(
-                    client,
-                    SpannerMsg::RoFastReply { txn, shard: ctx.node_id(), skipped, values },
-                );
+                let reply = SpannerMsg::RoFastReply { txn, shard: ctx.node_id(), skipped, values };
+                self.send_d(ctx, client, SimDuration::ZERO, reply);
             }
         }
     }
@@ -423,7 +694,12 @@ impl ShardNode {
         t_min: Ts,
     ) {
         // Advance the safe time so every later prepare gets a timestamp above
-        // t_read; this is what lets the reply remain valid at t_read.
+        // t_read; this is what lets the reply remain valid at t_read. The
+        // advance is durable: a recovered leader must not hand out a prepare
+        // timestamp below a snapshot it already served.
+        if t_read > self.max_ts {
+            self.log(ctx, &ShardRecord::SafeTime { ts: t_read });
+        }
         self.max_ts = self.max_ts.max(t_read);
         let conflicting = self.conflicting_prepared(&keys, t_read);
         let blockers: FxHashSet<TxnId> = match self.mode {
@@ -448,8 +724,8 @@ impl ShardNode {
     }
 }
 
-impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
-    fn on_message(&mut self, ctx: &mut Context<SpannerMsg>, from: NodeId, msg: SpannerMsg) {
+impl ShardNode {
+    fn dispatch_message(&mut self, ctx: &mut Context<SpannerMsg>, from: NodeId, msg: SpannerMsg) {
         match msg {
             SpannerMsg::ExecRead { txn, keys } => {
                 let values = keys
@@ -459,7 +735,12 @@ impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
                         (*k, v)
                     })
                     .collect();
-                ctx.send(from, SpannerMsg::ExecReadReply { txn, values });
+                self.send_d(
+                    ctx,
+                    from,
+                    SimDuration::ZERO,
+                    SpannerMsg::ExecReadReply { txn, values },
+                );
             }
             SpannerMsg::CommitRequest { txn, writes_by_shard, t_ee } => {
                 // A duplicated request must not reset in-flight (or decided)
@@ -477,12 +758,27 @@ impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
                         max_prepare: 0,
                         writes_by_shard: writes_by_shard.clone(),
                         t_ee,
+                        commit_fire_at_us: None,
                     },
                 );
+                // The coordinator state is Paxos-replicated in Spanner; here
+                // the round is opened in the log before any Prepare leaves.
+                self.log(
+                    ctx,
+                    &ShardRecord::CoordBegin {
+                        txn,
+                        client: from,
+                        t_ee,
+                        writes_by_shard: writes_by_shard.clone(),
+                    },
+                );
+                let coordinator = ctx.node_id();
                 for (node, writes) in writes_by_shard {
-                    ctx.send(
+                    self.send_d(
+                        ctx,
                         node,
-                        SpannerMsg::Prepare { txn, writes, t_ee, coordinator: ctx.node_id() },
+                        SimDuration::ZERO,
+                        SpannerMsg::Prepare { txn, writes, t_ee, coordinator },
                     );
                 }
                 self.arm_prepare_redrive(ctx, txn);
@@ -496,7 +792,12 @@ impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
                     // outcome was already decided: answer from the durable
                     // decision log so it can release its prepared state.
                     if let Some(&(commit, t_commit)) = self.decided.get(&txn) {
-                        ctx.send(shard, SpannerMsg::CommitDecision { txn, commit, t_commit });
+                        self.send_d(
+                            ctx,
+                            shard,
+                            SimDuration::ZERO,
+                            SpannerMsg::CommitDecision { txn, commit, t_commit },
+                        );
                     }
                     return;
                 };
@@ -508,10 +809,12 @@ impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
                 }
                 state.awaiting.remove(&shard);
                 state.max_prepare = state.max_prepare.max(t_prepare);
-                if state.awaiting.is_empty() {
+                let complete = state.awaiting.is_empty();
+                let max_prepare = state.max_prepare;
+                self.log(ctx, &ShardRecord::CoordVote { txn, shard, t_prepare });
+                if complete {
                     let tt = ctx.truetime_now();
-                    let t_commit =
-                        state.max_prepare.max(self.max_ts + 1).max(tt.latest.as_micros());
+                    let t_commit = max_prepare.max(self.max_ts + 1).max(tt.latest.as_micros());
                     self.max_ts = self.max_ts.max(t_commit);
                     // The commit record must be replicated, then commit wait
                     // must elapse before the outcome is released.
@@ -519,11 +822,19 @@ impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
                         .since(tt.earliest)
                         + SimDuration::from_micros(1);
                     let delay = self.replication_delay + commit_wait;
+                    let fire_at = ctx.now().as_micros() + delay.as_micros();
+                    // The chosen timestamp and its release time are durable:
+                    // a recovered coordinator must re-arm the commit-wait
+                    // release, or a complete round would hang forever (the
+                    // participants' re-acks bounce off the duplicate guard).
+                    self.log(ctx, &ShardRecord::CoordTs { txn, t_commit, fire_at_us: fire_at });
+                    let state = self.coordinating.get_mut(&txn).expect("round still open");
+                    // Stash the commit timestamp in max_prepare for the timer.
+                    state.max_prepare = t_commit;
+                    state.commit_fire_at_us = Some(fire_at);
                     let tag = self.next_timer;
                     self.next_timer += 1;
                     self.timers.insert(tag, txn);
-                    // Stash the commit timestamp in max_prepare for the timer.
-                    state.max_prepare = t_commit;
                     ctx.set_timer(delay, tag);
                 }
             }
@@ -541,11 +852,19 @@ impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
                     // tombstoned-in-place entry silently swallowed them,
                     // leaving participant locks held forever).
                     self.decided.insert(txn, (false, 0));
+                    self.log(ctx, &ShardRecord::Decision { txn, commit: false, t_commit: 0 });
                     for p in state.participants {
-                        ctx.send(p, SpannerMsg::CommitDecision { txn, commit: false, t_commit: 0 });
+                        self.send_d(
+                            ctx,
+                            p,
+                            SimDuration::ZERO,
+                            SpannerMsg::CommitDecision { txn, commit: false, t_commit: 0 },
+                        );
                     }
-                    ctx.send(
+                    self.send_d(
+                        ctx,
                         state.client,
+                        SimDuration::ZERO,
                         SpannerMsg::CommitReply { txn, commit: false, t_commit: 0 },
                     );
                 } else {
@@ -560,6 +879,10 @@ impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
                         Some(&(true, t_commit)) => self.apply_decision(ctx, txn, true, t_commit),
                         _ => {
                             self.decided.insert(txn, (false, 0));
+                            self.log(
+                                ctx,
+                                &ShardRecord::Decision { txn, commit: false, t_commit: 0 },
+                            );
                             self.apply_decision(ctx, txn, false, 0);
                         }
                     }
@@ -571,10 +894,21 @@ impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
                 // aborted so a delayed CommitRequest arriving later cannot
                 // resurrect it (the client has already given up).
                 if let Some(&(commit, t_commit)) = self.decided.get(&txn) {
-                    ctx.send(from, SpannerMsg::CommitReply { txn, commit, t_commit });
+                    self.send_d(
+                        ctx,
+                        from,
+                        SimDuration::ZERO,
+                        SpannerMsg::CommitReply { txn, commit, t_commit },
+                    );
                 } else if !self.coordinating.contains_key(&txn) {
                     self.decided.insert(txn, (false, 0));
-                    ctx.send(from, SpannerMsg::CommitReply { txn, commit: false, t_commit: 0 });
+                    self.log(ctx, &ShardRecord::Decision { txn, commit: false, t_commit: 0 });
+                    self.send_d(
+                        ctx,
+                        from,
+                        SimDuration::ZERO,
+                        SpannerMsg::CommitReply { txn, commit: false, t_commit: 0 },
+                    );
                 }
                 // Still coordinating: stay silent; the client probes again.
             }
@@ -589,17 +923,15 @@ impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<SpannerMsg>, tag: u64) {
+    fn dispatch_timer(&mut self, ctx: &mut Context<SpannerMsg>, tag: u64) {
         if let Some(txn) = self.probe_timers.remove(&tag) {
             // Decision probe: if the transaction is still prepared with no
             // outcome, re-ack the coordinator (idempotent — it re-answers
             // from the decision log once decided) and keep probing.
             if let Some(p) = self.prepared.get(&txn) {
                 let (coordinator, t_prepare) = (p.coordinator, p.t_prepare);
-                ctx.send(
-                    coordinator,
-                    SpannerMsg::PrepareOk { txn, shard: ctx.node_id(), t_prepare },
-                );
+                let reply = SpannerMsg::PrepareOk { txn, shard: ctx.node_id(), t_prepare };
+                self.send_d(ctx, coordinator, SimDuration::ZERO, reply);
                 self.arm_decision_probe(ctx, txn);
             }
             return;
@@ -617,10 +949,13 @@ impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
                         .cloned()
                         .collect();
                     let t_ee = state.t_ee;
+                    let coordinator = ctx.node_id();
                     for (node, writes) in resend {
-                        ctx.send(
+                        self.send_d(
+                            ctx,
                             node,
-                            SpannerMsg::Prepare { txn, writes, t_ee, coordinator: ctx.node_id() },
+                            SimDuration::ZERO,
+                            SpannerMsg::Prepare { txn, writes, t_ee, coordinator },
                         );
                     }
                     self.arm_prepare_redrive(ctx, txn);
@@ -632,13 +967,77 @@ impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
         let Some(state) = self.coordinating.remove(&txn) else { return };
         let t_commit = state.max_prepare;
         self.decided.insert(txn, (true, t_commit));
+        // The coordinator-side commit point: commit wait elapsed, the
+        // decision enters the durable decision log and is released.
+        self.log(ctx, &ShardRecord::Decision { txn, commit: true, t_commit });
         for p in &state.participants {
-            ctx.send(*p, SpannerMsg::CommitDecision { txn, commit: true, t_commit });
+            self.send_d(
+                ctx,
+                *p,
+                SimDuration::ZERO,
+                SpannerMsg::CommitDecision { txn, commit: true, t_commit },
+            );
         }
-        ctx.send(state.client, SpannerMsg::CommitReply { txn, commit: true, t_commit });
+        self.send_d(
+            ctx,
+            state.client,
+            SimDuration::ZERO,
+            SpannerMsg::CommitReply { txn, commit: true, t_commit },
+        );
+    }
+}
+
+impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
+    fn on_message(&mut self, ctx: &mut Context<SpannerMsg>, from: NodeId, msg: SpannerMsg) {
+        self.dispatch_message(ctx, from, msg);
+        self.turn_end(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<SpannerMsg>, tag: u64) {
+        if self.flush_timer == Some(tag) {
+            // Group-commit window expired: sync the log and release every
+            // message the gate held back.
+            self.flush_timer = None;
+            if let Some(wal) = self.wal.as_mut() {
+                if wal.wants_sync() {
+                    wal.sync();
+                }
+            }
+            self.release_pending(ctx);
+            return;
+        }
+        self.dispatch_timer(ctx, tag);
+        self.turn_end(ctx);
     }
 
     fn on_crash(&mut self, _ctx: &mut Context<SpannerMsg>) {
+        if let Some(wal) = self.wal.as_mut() {
+            // Machine-wipe semantics: the crash destroys everything volatile,
+            // and the device applies its own crash semantics to unsynced
+            // bytes (truncation, possibly a torn tail). Recovery rebuilds
+            // exclusively from what the log can prove.
+            wal.on_crash();
+            self.wal_pending.clear();
+            self.flush_timer = None;
+            self.store = MvccStore::new();
+            self.locks = LockTable::new();
+            self.prepared.clear();
+            self.pending_prepares.clear();
+            self.coordinating.clear();
+            self.decided.clear();
+            self.blocked_ros.clear();
+            self.rss_watchers.clear();
+            self.max_ts = 0;
+            self.timers.clear();
+            self.probe_timers.clear();
+            self.redrive_timers.clear();
+            // `next_timer` is deliberately NOT reset: engine timers armed
+            // before the crash are deferred and still fire with their old
+            // tags after recovery; a reused tag would collide with a timer
+            // armed fresh during recovery. Stats stay — they are harness
+            // counters, not protocol state.
+            return;
+        }
         // Durable (Paxos-replicated) state survives: the versioned store,
         // prepared transactions and their locks, coordinator state, the
         // decision log, and the safe time. Volatile leader state is lost:
@@ -660,6 +1059,36 @@ impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
     }
 
     fn on_recover(&mut self, ctx: &mut Context<SpannerMsg>) {
+        if self.wal.is_some() {
+            // Rebuild durable state from the device: last checkpoint snapshot
+            // plus the log tail that survived the crash.
+            let log = self.wal.as_mut().unwrap().recover();
+            self.apply_replay(log);
+            // Volatile timers died with the machine; re-arm what liveness
+            // needs, in deterministic (TxnId) order.
+            let mut prepared_txns: Vec<TxnId> = self.prepared.keys().copied().collect();
+            prepared_txns.sort_unstable();
+            for txn in prepared_txns {
+                self.arm_decision_probe(ctx, txn);
+            }
+            let now = ctx.now().as_micros();
+            let mut coord: Vec<TxnId> = self.coordinating.keys().copied().collect();
+            coord.sort_unstable();
+            for txn in coord {
+                let state = &self.coordinating[&txn];
+                if !state.awaiting.is_empty() {
+                    self.arm_prepare_redrive(ctx, txn);
+                } else if let Some(fire_at) = state.commit_fire_at_us {
+                    // A complete round mid-commit-wait: re-arm the release
+                    // (participant re-acks bounce off the duplicate guard,
+                    // so nothing else would ever finish this round).
+                    let tag = self.next_timer;
+                    self.next_timer += 1;
+                    self.timers.insert(tag, txn);
+                    ctx.set_timer(SimDuration::from_micros(fire_at.saturating_sub(now)), tag);
+                }
+            }
+        }
         // Re-drive 2PC from durable state, in deterministic (TxnId) order.
         //
         // As coordinator: votes may have been lost while down — re-send
@@ -681,10 +1110,13 @@ impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
                 .cloned()
                 .collect();
             let t_ee = state.t_ee;
+            let coordinator = ctx.node_id();
             for (node, writes) in resend {
-                ctx.send(
+                self.send_d(
+                    ctx,
                     node,
-                    SpannerMsg::Prepare { txn, writes, t_ee, coordinator: ctx.node_id() },
+                    SimDuration::ZERO,
+                    SpannerMsg::Prepare { txn, writes, t_ee, coordinator },
                 );
             }
         }
@@ -695,7 +1127,9 @@ impl regular_sim::engine::Node<SpannerMsg> for ShardNode {
             self.prepared.iter().map(|(txn, p)| (*txn, p.t_prepare, p.coordinator)).collect();
         prepared.sort_unstable();
         for (txn, t_prepare, coordinator) in prepared {
-            ctx.send(coordinator, SpannerMsg::PrepareOk { txn, shard: ctx.node_id(), t_prepare });
+            let reply = SpannerMsg::PrepareOk { txn, shard: ctx.node_id(), t_prepare };
+            self.send_d(ctx, coordinator, SimDuration::ZERO, reply);
         }
+        self.turn_end(ctx);
     }
 }

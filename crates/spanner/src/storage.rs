@@ -62,6 +62,15 @@ impl MvccStore {
     pub fn version_count(&self) -> usize {
         self.versions.values().map(|c| c.len()).sum()
     }
+
+    /// Every stored version, for checkpoint snapshots and differential
+    /// tests. Unordered; callers sort as needed.
+    pub fn dump(&self) -> Vec<(Key, Ts, Value)> {
+        self.versions
+            .iter()
+            .flat_map(|(k, chain)| chain.iter().map(move |(ts, v)| (k, *ts, *v)))
+            .collect()
+    }
 }
 
 #[cfg(test)]

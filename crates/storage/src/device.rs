@@ -1,0 +1,494 @@
+//! Storage devices.
+//!
+//! A device holds two things for one node: a set of append-only log
+//! *segments* and a random-access *page file*. [`MemDisk`] is the
+//! deterministic in-process device the simulation plane uses; [`DirDisk`]
+//! backs the live plane with real files and real fsyncs. [`NodeDisk`] is the
+//! enum the WAL drives, so protocol code never sees which one it got.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use crate::pool::PAGE_SIZE;
+
+/// In-process device with explicit synced/unsynced boundaries.
+///
+/// Cloning yields another handle to the same device (the registry hands these
+/// out), so a test can keep a handle across a run and inspect — or
+/// offline-replay — the log the node left behind.
+#[derive(Clone, Default)]
+pub struct MemDisk {
+    inner: Arc<Mutex<MemDiskInner>>,
+}
+
+#[derive(Default)]
+struct MemDiskInner {
+    segments: BTreeMap<u64, MemSegment>,
+    /// Page file as last written (may be ahead of `durable_pages`).
+    pages: Vec<u8>,
+    /// Page file as of the last `sync_pages`. Page writes are assumed atomic
+    /// at page granularity; an unsynced page write is lost wholesale on crash.
+    durable_pages: Vec<u8>,
+    crashes: u64,
+}
+
+#[derive(Default)]
+struct MemSegment {
+    data: Vec<u8>,
+    synced: usize,
+}
+
+/// xorshift64* — tiny deterministic generator for torn-tail injection.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+impl MemDisk {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn segment_ids(&self) -> Vec<u64> {
+        self.inner.lock().unwrap().segments.keys().copied().collect()
+    }
+
+    pub fn segment_len(&self, id: u64) -> u64 {
+        self.inner.lock().unwrap().segments.get(&id).map_or(0, |s| s.data.len() as u64)
+    }
+
+    pub fn read_segment(&self, id: u64) -> Vec<u8> {
+        self.inner.lock().unwrap().segments.get(&id).map_or_else(Vec::new, |s| s.data.clone())
+    }
+
+    pub fn create_segment(&self, id: u64) {
+        self.inner.lock().unwrap().segments.entry(id).or_default();
+    }
+
+    pub fn append_segment(&self, id: u64, bytes: &[u8]) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.segments.entry(id).or_default().data.extend_from_slice(bytes);
+    }
+
+    pub fn sync_segment(&self, id: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(seg) = inner.segments.get_mut(&id) {
+            seg.synced = seg.data.len();
+        }
+    }
+
+    pub fn truncate_segment(&self, id: u64, len: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(seg) = inner.segments.get_mut(&id) {
+            seg.data.truncate(len as usize);
+            seg.synced = seg.synced.min(seg.data.len());
+        }
+    }
+
+    pub fn delete_segment(&self, id: u64) {
+        self.inner.lock().unwrap().segments.remove(&id);
+    }
+
+    /// Mark everything currently on the device as synced (recovery does this
+    /// after trimming torn tails: whatever survived the crash is durable).
+    pub fn mark_all_synced(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        for seg in inner.segments.values_mut() {
+            seg.synced = seg.data.len();
+        }
+        let pages = inner.pages.clone();
+        inner.durable_pages = pages;
+    }
+
+    pub fn read_page(&self, page: u64, buf: &mut [u8]) {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        let inner = self.inner.lock().unwrap();
+        let off = page as usize * PAGE_SIZE;
+        buf.fill(0);
+        if off < inner.pages.len() {
+            let end = (off + PAGE_SIZE).min(inner.pages.len());
+            buf[..end - off].copy_from_slice(&inner.pages[off..end]);
+        }
+    }
+
+    pub fn write_page(&self, page: u64, buf: &[u8]) {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        let mut inner = self.inner.lock().unwrap();
+        let off = page as usize * PAGE_SIZE;
+        if inner.pages.len() < off + PAGE_SIZE {
+            inner.pages.resize(off + PAGE_SIZE, 0);
+        }
+        inner.pages[off..off + PAGE_SIZE].copy_from_slice(buf);
+    }
+
+    pub fn sync_pages(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        let pages = inner.pages.clone();
+        inner.durable_pages = pages;
+    }
+
+    /// Apply crash semantics: unsynced page writes vanish; every segment is
+    /// truncated to its synced prefix — except that, when `torn_seed` is set,
+    /// the *last* segment keeps a seeded pseudo-random prefix of its unsynced
+    /// tail, possibly with the final surviving byte corrupted. That models a
+    /// partial write caught mid-flight and is what the recovery scan's
+    /// checksum discipline exists for.
+    pub fn crash(&self, torn_seed: Option<u64>) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.crashes += 1;
+        let crashes = inner.crashes;
+        let pages = inner.durable_pages.clone();
+        inner.pages = pages;
+        let last = inner.segments.keys().next_back().copied();
+        for (&id, seg) in inner.segments.iter_mut() {
+            let tail: Vec<u8> = seg.data[seg.synced..].to_vec();
+            seg.data.truncate(seg.synced);
+            if Some(id) == last && !tail.is_empty() {
+                if let Some(seed) = torn_seed {
+                    let r = mix(seed ^ crashes.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    let keep = (r as usize) % (tail.len() + 1);
+                    let mut kept = tail[..keep].to_vec();
+                    if keep > 0 && (r >> 33) & 3 == 0 {
+                        // One in four torn tails ends in a flipped bit.
+                        let bit = ((r >> 35) % 8) as u8;
+                        kept[keep - 1] ^= 1 << bit;
+                    }
+                    seg.data.extend_from_slice(&kept);
+                }
+            }
+        }
+    }
+
+    /// Total synced log bytes across segments (test observability).
+    pub fn synced_bytes(&self) -> u64 {
+        self.inner.lock().unwrap().segments.values().map(|s| s.synced as u64).sum()
+    }
+
+    pub fn crashes(&self) -> u64 {
+        self.inner.lock().unwrap().crashes
+    }
+}
+
+/// Filesystem-backed device: `wal-NNNNNN.seg` files plus `pages.db` in one
+/// directory per node. Syncs are real `fdatasync`s. `crash()` is a no-op —
+/// the live plane cannot un-write the OS page cache; crash *semantics* are
+/// exercised deterministically on [`MemDisk`].
+pub struct DirDisk {
+    dir: PathBuf,
+    handles: BTreeMap<u64, File>,
+    pages: Option<File>,
+}
+
+impl DirDisk {
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(DirDisk { dir, handles: BTreeMap::new(), pages: None })
+    }
+
+    fn segment_path(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("wal-{id:06}.seg"))
+    }
+
+    fn segment_file(&mut self, id: u64) -> &mut File {
+        let path = self.segment_path(id);
+        self.handles.entry(id).or_insert_with(|| {
+            OpenOptions::new()
+                .read(true)
+                .append(true)
+                .create(true)
+                .open(&path)
+                .unwrap_or_else(|e| panic!("open {}: {e}", path.display()))
+        })
+    }
+
+    fn pages_file(&mut self) -> &mut File {
+        let path = self.dir.join("pages.db");
+        self.pages.get_or_insert_with(|| {
+            OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                // An existing page file survives reopen: it IS the durable
+                // state recovery reads.
+                .truncate(false)
+                .open(&path)
+                .unwrap_or_else(|e| panic!("open {}: {e}", path.display()))
+        })
+    }
+
+    pub fn segment_ids(&self) -> Vec<u64> {
+        let mut ids = Vec::new();
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if let Some(num) = name.strip_prefix("wal-").and_then(|n| n.strip_suffix(".seg")) {
+                    if let Ok(id) = num.parse() {
+                        ids.push(id);
+                    }
+                }
+            }
+        }
+        ids.sort_unstable();
+        ids
+    }
+
+    pub fn segment_len(&self, id: u64) -> u64 {
+        fs::metadata(self.segment_path(id)).map_or(0, |m| m.len())
+    }
+
+    pub fn read_segment(&mut self, id: u64) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let file = self.segment_file(id);
+        file.seek(SeekFrom::Start(0)).expect("seek segment");
+        file.read_to_end(&mut buf).expect("read segment");
+        buf
+    }
+
+    pub fn create_segment(&mut self, id: u64) {
+        let _ = self.segment_file(id);
+    }
+
+    pub fn append_segment(&mut self, id: u64, bytes: &[u8]) {
+        let file = self.segment_file(id);
+        file.seek(SeekFrom::End(0)).expect("seek segment end");
+        file.write_all(bytes).expect("append segment");
+    }
+
+    pub fn sync_segment(&mut self, id: u64) {
+        self.segment_file(id).sync_data().expect("fsync segment");
+    }
+
+    pub fn truncate_segment(&mut self, id: u64, len: u64) {
+        self.segment_file(id).set_len(len).expect("truncate segment");
+    }
+
+    pub fn delete_segment(&mut self, id: u64) {
+        self.handles.remove(&id);
+        let _ = fs::remove_file(self.segment_path(id));
+    }
+
+    pub fn read_page(&mut self, page: u64, buf: &mut [u8]) {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        buf.fill(0);
+        let file = self.pages_file();
+        let len = file.metadata().map_or(0, |m| m.len());
+        let off = page * PAGE_SIZE as u64;
+        if off < len {
+            file.seek(SeekFrom::Start(off)).expect("seek page");
+            let want = ((len - off) as usize).min(PAGE_SIZE);
+            file.read_exact(&mut buf[..want]).expect("read page");
+        }
+    }
+
+    pub fn write_page(&mut self, page: u64, buf: &[u8]) {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        let off = page * PAGE_SIZE as u64;
+        let file = self.pages_file();
+        file.seek(SeekFrom::Start(off)).expect("seek page");
+        file.write_all(buf).expect("write page");
+    }
+
+    pub fn sync_pages(&mut self) {
+        self.pages_file().sync_data().expect("fsync pages");
+    }
+}
+
+/// The device handle a [`crate::wal::Wal`] drives.
+pub enum NodeDisk {
+    Mem(MemDisk),
+    Dir(DirDisk),
+}
+
+impl NodeDisk {
+    pub fn segment_ids(&self) -> Vec<u64> {
+        match self {
+            NodeDisk::Mem(d) => d.segment_ids(),
+            NodeDisk::Dir(d) => d.segment_ids(),
+        }
+    }
+
+    pub fn segment_len(&self, id: u64) -> u64 {
+        match self {
+            NodeDisk::Mem(d) => d.segment_len(id),
+            NodeDisk::Dir(d) => d.segment_len(id),
+        }
+    }
+
+    pub fn read_segment(&mut self, id: u64) -> Vec<u8> {
+        match self {
+            NodeDisk::Mem(d) => d.read_segment(id),
+            NodeDisk::Dir(d) => d.read_segment(id),
+        }
+    }
+
+    pub fn create_segment(&mut self, id: u64) {
+        match self {
+            NodeDisk::Mem(d) => d.create_segment(id),
+            NodeDisk::Dir(d) => d.create_segment(id),
+        }
+    }
+
+    pub fn append_segment(&mut self, id: u64, bytes: &[u8]) {
+        match self {
+            NodeDisk::Mem(d) => d.append_segment(id, bytes),
+            NodeDisk::Dir(d) => d.append_segment(id, bytes),
+        }
+    }
+
+    pub fn sync_segment(&mut self, id: u64) {
+        match self {
+            NodeDisk::Mem(d) => d.sync_segment(id),
+            NodeDisk::Dir(d) => d.sync_segment(id),
+        }
+    }
+
+    pub fn truncate_segment(&mut self, id: u64, len: u64) {
+        match self {
+            NodeDisk::Mem(d) => d.truncate_segment(id, len),
+            NodeDisk::Dir(d) => d.truncate_segment(id, len),
+        }
+    }
+
+    pub fn delete_segment(&mut self, id: u64) {
+        match self {
+            NodeDisk::Mem(d) => d.delete_segment(id),
+            NodeDisk::Dir(d) => d.delete_segment(id),
+        }
+    }
+
+    pub fn read_page(&mut self, page: u64, buf: &mut [u8]) {
+        match self {
+            NodeDisk::Mem(d) => d.read_page(page, buf),
+            NodeDisk::Dir(d) => d.read_page(page, buf),
+        }
+    }
+
+    pub fn write_page(&mut self, page: u64, buf: &[u8]) {
+        match self {
+            NodeDisk::Mem(d) => d.write_page(page, buf),
+            NodeDisk::Dir(d) => d.write_page(page, buf),
+        }
+    }
+
+    pub fn sync_pages(&mut self) {
+        match self {
+            NodeDisk::Mem(d) => d.sync_pages(),
+            NodeDisk::Dir(d) => d.sync_pages(),
+        }
+    }
+
+    /// Crash semantics (torn tails, lost unsynced pages) apply to the memory
+    /// device; the live plane keeps its files as the OS left them.
+    pub fn crash(&mut self, torn_seed: Option<u64>) {
+        if let NodeDisk::Mem(d) = self {
+            d.crash(torn_seed);
+        }
+    }
+
+    /// Mark current contents durable (post-recovery baseline).
+    pub fn mark_all_synced(&mut self) {
+        if let NodeDisk::Mem(d) = self {
+            d.mark_all_synced();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_disk_crash_truncates_to_synced_prefix() {
+        let disk = MemDisk::new();
+        disk.create_segment(0);
+        disk.append_segment(0, b"durable");
+        disk.sync_segment(0);
+        disk.append_segment(0, b"-volatile");
+        disk.crash(None);
+        assert_eq!(disk.read_segment(0), b"durable");
+        // A second handle sees the same state.
+        let other = disk.clone();
+        assert_eq!(other.read_segment(0), b"durable");
+    }
+
+    #[test]
+    fn mem_disk_torn_tail_is_deterministic_and_bounded() {
+        let run = |seed| {
+            let disk = MemDisk::new();
+            disk.create_segment(0);
+            disk.append_segment(0, b"durable");
+            disk.sync_segment(0);
+            disk.append_segment(0, b"0123456789");
+            disk.crash(Some(seed));
+            disk.read_segment(0)
+        };
+        for seed in 0..64 {
+            let a = run(seed);
+            let b = run(seed);
+            assert_eq!(a, b, "torn tail must be seed-deterministic");
+            assert!(a.len() >= b"durable".len() && a.len() <= b"durable".len() + 10);
+            assert_eq!(&a[..7], b"durable", "synced prefix must survive intact");
+        }
+        // Across seeds the surviving tail actually varies.
+        let lens: std::collections::BTreeSet<usize> = (0..64).map(|s| run(s).len()).collect();
+        assert!(lens.len() > 3, "expected varied torn-tail lengths, got {lens:?}");
+    }
+
+    #[test]
+    fn mem_disk_pages_lose_unsynced_writes_on_crash() {
+        let disk = MemDisk::new();
+        let page_a = [0xAAu8; PAGE_SIZE];
+        let page_b = [0xBBu8; PAGE_SIZE];
+        disk.write_page(0, &page_a);
+        disk.sync_pages();
+        disk.write_page(0, &page_b);
+        disk.write_page(1, &page_b);
+        disk.crash(None);
+        let mut buf = [0u8; PAGE_SIZE];
+        disk.read_page(0, &mut buf);
+        assert_eq!(buf, page_a);
+        disk.read_page(1, &mut buf);
+        assert_eq!(buf, [0u8; PAGE_SIZE]);
+    }
+
+    #[test]
+    fn dir_disk_round_trips_segments_and_pages() {
+        let dir = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/tmp"))
+            .join(format!("storage-device-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let mut disk = DirDisk::open(&dir).unwrap();
+            disk.append_segment(0, b"hello ");
+            disk.append_segment(0, b"world");
+            disk.sync_segment(0);
+            disk.append_segment(3, b"later");
+            let mut page = [0u8; PAGE_SIZE];
+            page[..4].copy_from_slice(b"page");
+            disk.write_page(2, &page);
+            disk.sync_pages();
+        }
+        {
+            let mut disk = DirDisk::open(&dir).unwrap();
+            assert_eq!(disk.segment_ids(), vec![0, 3]);
+            assert_eq!(disk.read_segment(0), b"hello world");
+            assert_eq!(disk.read_segment(3), b"later");
+            let mut buf = [0u8; PAGE_SIZE];
+            disk.read_page(2, &mut buf);
+            assert_eq!(&buf[..4], b"page");
+            disk.read_page(7, &mut buf);
+            assert_eq!(buf, [0u8; PAGE_SIZE], "unwritten pages read as zeroes");
+            disk.truncate_segment(0, 5);
+            assert_eq!(disk.read_segment(0), b"hello");
+            disk.delete_segment(3);
+            assert_eq!(disk.segment_ids(), vec![0]);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

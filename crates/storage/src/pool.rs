@@ -1,0 +1,249 @@
+//! A small buffer pool over a device's page file.
+//!
+//! Classic mechanics, sized for checkpoint snapshots rather than OLTP: a
+//! fixed set of frames, a page table, pin counts, dirty bits, and LRU
+//! eviction with write-back. All checkpoint page IO goes through here so the
+//! WAL only touches the device at frame granularity.
+
+use std::collections::HashMap;
+
+use crate::device::NodeDisk;
+
+/// Page size in bytes. Page writes are assumed atomic at this granularity
+/// (the standard WAL assumption); torn *pages* are out of scope — the meta
+/// pages are crc-guarded and ping-ponged instead.
+pub const PAGE_SIZE: usize = 4096;
+
+struct Frame {
+    page: u64,
+    data: Box<[u8]>,
+    dirty: bool,
+    pins: u32,
+    last_used: u64,
+}
+
+/// Pool counters (observability for tests and the storage bench).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    /// Dirty frames written back to the device at eviction time.
+    pub writebacks: u64,
+}
+
+pub struct BufferPool {
+    capacity: usize,
+    frames: Vec<Frame>,
+    table: HashMap<u64, usize>,
+    tick: u64,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        BufferPool {
+            capacity,
+            frames: Vec::new(),
+            table: HashMap::new(),
+            tick: 0,
+            stats: PoolStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn touch(&mut self, frame: usize) {
+        self.tick += 1;
+        self.frames[frame].last_used = self.tick;
+    }
+
+    /// Pin `page` into a frame, loading it from the device on a miss
+    /// (evicting the least-recently-used unpinned frame if the pool is full,
+    /// writing it back first when dirty). Returns the frame id; the caller
+    /// must [`Self::unpin`] it.
+    pub fn pin(&mut self, disk: &mut NodeDisk, page: u64) -> usize {
+        if let Some(&frame) = self.table.get(&page) {
+            self.stats.hits += 1;
+            self.frames[frame].pins += 1;
+            self.touch(frame);
+            return frame;
+        }
+        self.stats.misses += 1;
+        let frame = if self.frames.len() < self.capacity {
+            self.frames.push(Frame {
+                page,
+                data: vec![0u8; PAGE_SIZE].into_boxed_slice(),
+                dirty: false,
+                pins: 0,
+                last_used: 0,
+            });
+            self.frames.len() - 1
+        } else {
+            let victim = self
+                .frames
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.pins == 0)
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(i, _)| i)
+                .expect("buffer pool exhausted: every frame is pinned");
+            self.stats.evictions += 1;
+            let old = &mut self.frames[victim];
+            if old.dirty {
+                self.stats.writebacks += 1;
+                disk.write_page(old.page, &old.data);
+                old.dirty = false;
+            }
+            self.table.remove(&old.page);
+            old.page = page;
+            victim
+        };
+        disk.read_page(page, &mut self.frames[frame].data);
+        self.table.insert(page, frame);
+        self.frames[frame].pins = 1;
+        self.touch(frame);
+        frame
+    }
+
+    pub fn unpin(&mut self, frame: usize) {
+        let f = &mut self.frames[frame];
+        debug_assert!(f.pins > 0, "unpin without a pin");
+        f.pins = f.pins.saturating_sub(1);
+    }
+
+    pub fn data(&self, frame: usize) -> &[u8] {
+        &self.frames[frame].data
+    }
+
+    /// Mutable view of a pinned frame; marks it dirty.
+    pub fn data_mut(&mut self, frame: usize) -> &mut [u8] {
+        let f = &mut self.frames[frame];
+        f.dirty = true;
+        &mut f.data
+    }
+
+    /// Convenience read: pin, copy out, unpin.
+    pub fn read(&mut self, disk: &mut NodeDisk, page: u64, buf: &mut [u8]) {
+        let frame = self.pin(disk, page);
+        buf.copy_from_slice(&self.frames[frame].data[..buf.len()]);
+        self.unpin(frame);
+    }
+
+    /// Convenience write: pin, overwrite, mark dirty, unpin. `buf` may be
+    /// shorter than a page; the remainder is zero-filled.
+    pub fn write(&mut self, disk: &mut NodeDisk, page: u64, buf: &[u8]) {
+        debug_assert!(buf.len() <= PAGE_SIZE);
+        let frame = self.pin(disk, page);
+        let data = self.data_mut(frame);
+        data[..buf.len()].copy_from_slice(buf);
+        data[buf.len()..].fill(0);
+        self.unpin(frame);
+    }
+
+    /// Write every dirty frame back and fsync the page file.
+    pub fn flush(&mut self, disk: &mut NodeDisk) {
+        let mut wrote = false;
+        for f in self.frames.iter_mut() {
+            if f.dirty {
+                disk.write_page(f.page, &f.data);
+                f.dirty = false;
+                self.stats.writebacks += 1;
+                wrote = true;
+            }
+        }
+        if wrote {
+            disk.sync_pages();
+        }
+    }
+
+    /// Drop every frame without writing back — the cached view is stale
+    /// (crash semantics rolled the device back under us).
+    pub fn clear(&mut self) {
+        self.frames.clear();
+        self.table.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MemDisk;
+
+    fn disk() -> NodeDisk {
+        NodeDisk::Mem(MemDisk::new())
+    }
+
+    fn page_of(byte: u8) -> Vec<u8> {
+        vec![byte; PAGE_SIZE]
+    }
+
+    #[test]
+    fn hit_miss_and_lru_eviction() {
+        let mut disk = disk();
+        let mut pool = BufferPool::new(2);
+        pool.write(&mut disk, 0, &page_of(0xA0));
+        pool.write(&mut disk, 1, &page_of(0xA1));
+        assert_eq!(pool.stats().misses, 2);
+        // Touch page 0 so page 1 becomes the LRU victim.
+        let mut buf = page_of(0);
+        pool.read(&mut disk, 0, &mut buf);
+        assert_eq!(pool.stats().hits, 1);
+        pool.write(&mut disk, 2, &page_of(0xA2));
+        assert_eq!(pool.stats().evictions, 1);
+        assert_eq!(pool.stats().writebacks, 1, "evicting dirty page 1 writes it back");
+        // Page 1 must have reached the device even though we never flushed.
+        pool.flush(&mut disk);
+        let mut fresh = BufferPool::new(2);
+        fresh.read(&mut disk, 1, &mut buf);
+        assert_eq!(buf, page_of(0xA1));
+    }
+
+    #[test]
+    fn pinned_frames_are_not_evicted() {
+        let mut disk = disk();
+        let mut pool = BufferPool::new(2);
+        let pinned = pool.pin(&mut disk, 0);
+        pool.data_mut(pinned)[0] = 42;
+        pool.write(&mut disk, 1, &page_of(1));
+        // Only frame 1 is evictable: loading page 2 must evict page 1, not 0.
+        pool.write(&mut disk, 2, &page_of(2));
+        assert_eq!(pool.data(pinned)[0], 42, "pinned frame survived");
+        pool.unpin(pinned);
+        pool.flush(&mut disk);
+        let mut buf = page_of(0);
+        pool.read(&mut disk, 0, &mut buf);
+        assert_eq!(buf[0], 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "every frame is pinned")]
+    fn exhausted_pool_panics() {
+        let mut disk = disk();
+        let mut pool = BufferPool::new(1);
+        let _a = pool.pin(&mut disk, 0);
+        let _b = pool.pin(&mut disk, 1);
+    }
+
+    #[test]
+    fn clear_discards_stale_cache() {
+        let mut disk = disk();
+        let mut pool = BufferPool::new(4);
+        pool.write(&mut disk, 0, &page_of(9));
+        pool.clear();
+        let mut buf = page_of(0);
+        pool.read(&mut disk, 0, &mut buf);
+        assert_eq!(buf, page_of(0), "unflushed write vanished with the cache");
+    }
+}

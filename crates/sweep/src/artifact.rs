@@ -38,6 +38,10 @@ pub struct FailureArtifact {
     /// from the seed alone; this is the schedule evidence). Empty for
     /// simulator runs.
     pub deliveries: Vec<DeliveryRecord>,
+    /// Storage mode of the failing run (`"wal"` for the durable scenarios).
+    /// `None` means in-memory and is omitted from the JSON, so artifacts
+    /// from volatile runs are byte-identical to the pre-storage schema.
+    pub durability: Option<String>,
 }
 
 impl FailureArtifact {
@@ -59,6 +63,9 @@ impl FailureArtifact {
             ("witness", Json::Arr(self.witness.iter().map(|id| Json::u64(id.0 as u64)).collect())),
             ("history", history_to_json(&self.history)),
         ];
+        if let Some(durability) = &self.durability {
+            pairs.push(("durability", Json::str(durability)));
+        }
         if !self.deliveries.is_empty() {
             let rec = |d: &DeliveryRecord| {
                 Json::Arr(vec![
@@ -105,7 +112,17 @@ impl FailureArtifact {
                 })
                 .collect::<Result<Vec<_>, &str>>()?,
         };
-        Ok(FailureArtifact { scenario, seed, model, violation, witness, history, deliveries })
+        let durability = json.get("durability").and_then(Json::as_str).map(str::to_string);
+        Ok(FailureArtifact {
+            scenario,
+            seed,
+            model,
+            violation,
+            witness,
+            history,
+            deliveries,
+            durability,
+        })
     }
 
     /// Writes the artifact to `dir/<scenario>-seed<seed>.json`, creating the
@@ -396,6 +413,7 @@ mod tests {
                 DeliveryRecord { seq: 0, at_us: 11, from: 1, to: 2 },
                 DeliveryRecord { seq: 1, at_us: 30, from: 2, to: 0 },
             ],
+            durability: Some("wal".to_string()),
         };
         assert_eq!(artifact.replay(), Ok(()));
         let round =
@@ -404,6 +422,7 @@ mod tests {
         assert_eq!(round.seed, 42);
         assert_eq!(round.model, WitnessModel::Regular);
         assert_eq!(round.deliveries, artifact.deliveries, "delivery log round-trips");
+        assert_eq!(round.durability.as_deref(), Some("wal"), "durability tag round-trips");
         assert_eq!(round.replay(), Ok(()));
         // An actually-invalid witness replays to the same rejection.
         let mut bad = round.clone();
@@ -426,12 +445,18 @@ mod tests {
             witness,
             history: h,
             deliveries: Vec::new(),
+            durability: None,
         };
+        assert!(
+            !artifact.to_json().to_pretty().contains("durability"),
+            "in-memory artifacts omit the durability field for schema byte-compatibility"
+        );
         let dir = std::env::temp_dir().join("regular-sweep-artifact-test");
         let path = artifact.save(&dir).expect("artifact saves");
         let loaded = FailureArtifact::load(&path).expect("artifact loads");
         assert_eq!(loaded.scenario, "io-test");
         assert_eq!(loaded.history, artifact.history);
+        assert_eq!(loaded.durability, None);
         let _ = std::fs::remove_file(path);
     }
 }

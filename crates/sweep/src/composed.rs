@@ -41,6 +41,7 @@ use regular_spanner::prelude::{
 };
 use regular_spanner::shard::ShardNode;
 use regular_spanner::SpannerMsg;
+use regular_storage::{Durability, StorageSummary};
 use regular_workloads::photo::PhotoSharingWorkload;
 
 /// Service id of the Spanner-RSS store in the combined history.
@@ -194,6 +195,10 @@ pub struct ComposedRunConfig {
     /// Event-queue implementation the shared engine runs on (differential
     /// tests run the same seed on both kinds and compare histories).
     pub queue_kind: QueueKind,
+    /// Storage backing for both stores' nodes (`InMemory` keeps the
+    /// pre-existing volatile behaviour; `Wal` routes shard and replica state
+    /// through per-node write-ahead logs and recovers crashes from them).
+    pub durability: Durability,
 }
 
 impl Default for ComposedRunConfig {
@@ -209,6 +214,7 @@ impl Default for ComposedRunConfig {
             op_timeout: None,
             handoff_every: None,
             queue_kind: QueueKind::Indexed,
+            durability: Durability::InMemory,
         }
     }
 }
@@ -219,6 +225,9 @@ pub struct ComposedOutcome {
     pub apps: Vec<AppResult>,
     /// Engine message counters (drops, duplicates, expirations included).
     pub net_stats: MessageStats,
+    /// Aggregated WAL counters across every shard and replica (all zeroes
+    /// under `Durability::InMemory`).
+    pub storage: StorageSummary,
 }
 
 impl ComposedOutcome {
@@ -270,6 +279,8 @@ pub fn run_composed(seed: u64, config: &ComposedRunConfig) -> ComposedOutcome {
     let mut gryff_cfg = GryffConfig::wan(regular_gryff::config::Mode::GryffRsc);
     spanner_cfg.op_timeout = config.op_timeout;
     gryff_cfg.op_timeout = config.op_timeout;
+    spanner_cfg.durability = config.durability.clone();
+    gryff_cfg.durability = config.durability.clone();
     assert!(
         config.faults.is_empty() || config.op_timeout.is_some(),
         "fault schedules need a client operation timeout, or lanes whose \
@@ -389,7 +400,15 @@ pub fn run_composed(seed: u64, config: &ComposedRunConfig) -> ComposedOutcome {
             _ => unreachable!("app ids point at composed runners"),
         })
         .collect();
-    ComposedOutcome { apps, net_stats: engine.message_stats() }
+    let mut storage = StorageSummary::default();
+    for id in shard_nodes.iter().chain(replica_nodes.iter()) {
+        match engine.node(*id) {
+            DuoNode::SpannerShard(s) => storage.add_wal(&s.inner.wal_stats()),
+            DuoNode::GryffReplica(r) => storage.add_wal(&r.inner.wal_stats()),
+            DuoNode::App(_) => unreachable!("store ids point at protocol nodes"),
+        }
+    }
+    ComposedOutcome { apps, net_stats: engine.message_stats(), storage }
 }
 
 /// The outcome of a live composed run: the per-app results in the exact
@@ -424,6 +443,8 @@ pub fn run_composed_live(
     let mut gryff_cfg = GryffConfig::wan(regular_gryff::config::Mode::GryffRsc);
     spanner_cfg.op_timeout = config.op_timeout;
     gryff_cfg.op_timeout = config.op_timeout;
+    spanner_cfg.durability = config.durability.clone();
+    gryff_cfg.durability = config.durability.clone();
     assert!(
         config.faults.is_empty() || config.op_timeout.is_some(),
         "fault schedules need a client operation timeout, or lanes whose \
@@ -510,20 +531,25 @@ pub fn run_composed_live(
     let LiveOutcome { nodes, mut completed, net_stats, deliveries, finished_at, wall } = outcome;
 
     let mut apps = Vec::new();
-    for (id, node) in nodes.into_iter().enumerate().skip(app_base) {
-        let DuoNode::App(runner) = node else {
-            unreachable!("nodes from app_base on are composed runners")
-        };
-        let auto_fences = runner.fence_stats().executed;
-        apps.push(AppResult {
-            node: id,
-            completed: std::mem::take(&mut completed[id]),
-            auto_fences,
-            handoffs: runner.handoffs,
-            contexts_imported: runner.stats.contexts_imported,
-        });
+    let mut storage = StorageSummary::default();
+    for (id, node) in nodes.into_iter().enumerate() {
+        match node {
+            DuoNode::SpannerShard(s) => storage.add_wal(&s.inner.wal_stats()),
+            DuoNode::GryffReplica(r) => storage.add_wal(&r.inner.wal_stats()),
+            DuoNode::App(runner) => {
+                debug_assert!(id >= app_base, "nodes from app_base on are composed runners");
+                let auto_fences = runner.fence_stats().executed;
+                apps.push(AppResult {
+                    node: id,
+                    completed: std::mem::take(&mut completed[id]),
+                    auto_fences,
+                    handoffs: runner.handoffs,
+                    contexts_imported: runner.stats.contexts_imported,
+                });
+            }
+        }
     }
-    let outcome = ComposedOutcome { apps, net_stats };
+    let outcome = ComposedOutcome { apps, net_stats, storage };
     let measured = outcome.spanner_ops() + outcome.gryff_ops();
     let wall_secs = wall.as_secs_f64();
     let wall_throughput = if wall_secs > 0.0 { measured as f64 / wall_secs } else { 0.0 };

@@ -177,6 +177,13 @@ pub fn sweep_to_json(result: &SweepResult, opts: &SweepOptions, scaling: &[(usiz
                         "peak_window_max",
                         Json::u64(rs.iter().map(|r| r.peak_window as u64).max().unwrap_or(0)),
                     ),
+                    ("wal_records_total", Json::u64(rs.iter().map(|r| r.storage.records).sum())),
+                    ("wal_syncs_total", Json::u64(rs.iter().map(|r| r.storage.syncs).sum())),
+                    (
+                        "wal_recoveries_total",
+                        Json::u64(rs.iter().map(|r| r.storage.recoveries).sum()),
+                    ),
+                    ("wal_replayed_total", Json::u64(rs.iter().map(|r| r.storage.replayed).sum())),
                 ]),
             )
         })

@@ -27,6 +27,7 @@ use regular_sim::fault::{FaultSchedule, LinkScope};
 use regular_sim::net::{LatencyMatrix, Region};
 use regular_sim::time::{SimDuration, SimTime};
 use regular_spanner::prelude as spanner;
+use regular_storage::{Durability, StorageRegistry, StorageSummary, WalOptions};
 
 use crate::artifact::{model_name, FailureArtifact};
 use crate::composed::{
@@ -64,6 +65,17 @@ pub enum Scenario {
     /// windows: prepared transactions lose their coordinator exactly between
     /// timestamp choice and decision release; still certified RSS.
     SpannerCommitCrash,
+    /// The `spanner-faults` script with every shard running on a write-ahead
+    /// log (`Durability::Wal`): crashes wipe all volatile state, recovery
+    /// replays snapshot + log tail (seeded torn tails included), group
+    /// commit batches fsyncs — and the history still certifies RSS.
+    SpannerFaultsDurable,
+    /// The `gryff-faults` script with every replica on a write-ahead log;
+    /// still certified RSC.
+    GryffFaultsDurable,
+    /// The `composed-faults` script with both stores' nodes on write-ahead
+    /// logs; the combined history still certified RSS.
+    ComposedFaultsDurable,
     /// Spanner-RSS on the live execution plane (`regular-live`): every node
     /// an OS thread, time the scaled wall clock, completions certified RSS
     /// through the streaming checker. Not bit-deterministic; the transport's
@@ -82,7 +94,7 @@ pub enum Scenario {
 
 impl Scenario {
     /// Every scenario, in sweep order.
-    pub const ALL: [Scenario; 8] = [
+    pub const ALL: [Scenario; 11] = [
         Scenario::SpannerRss,
         Scenario::GryffRsc,
         Scenario::Composed,
@@ -91,6 +103,9 @@ impl Scenario {
         Scenario::ComposedFaults,
         Scenario::SpannerOneWay,
         Scenario::SpannerCommitCrash,
+        Scenario::SpannerFaultsDurable,
+        Scenario::GryffFaultsDurable,
+        Scenario::ComposedFaultsDurable,
     ];
 
     /// The live-plane scenarios (not part of [`Scenario::ALL`]: live runs
@@ -125,6 +140,9 @@ impl Scenario {
             Scenario::ComposedFaults => "composed-faults",
             Scenario::SpannerOneWay => "spanner-oneway",
             Scenario::SpannerCommitCrash => "spanner-commit-crash",
+            Scenario::SpannerFaultsDurable => "spanner-faults-durable",
+            Scenario::GryffFaultsDurable => "gryff-faults-durable",
+            Scenario::ComposedFaultsDurable => "composed-faults-durable",
             Scenario::LiveSpannerRss => "live-spanner-rss",
             Scenario::LiveGryffRsc => "live-gryff-rsc",
             Scenario::LiveComposed => "live-composed",
@@ -144,6 +162,11 @@ impl Scenario {
             "composed-faults" | "faults" | "chaos" => Some(Scenario::ComposedFaults),
             "spanner-oneway" | "oneway" | "grey" => Some(Scenario::SpannerOneWay),
             "spanner-commit-crash" | "commit-crash" => Some(Scenario::SpannerCommitCrash),
+            "spanner-faults-durable" | "spanner-durable" => Some(Scenario::SpannerFaultsDurable),
+            "gryff-faults-durable" | "gryff-durable" => Some(Scenario::GryffFaultsDurable),
+            "composed-faults-durable" | "composed-durable" | "durable" => {
+                Some(Scenario::ComposedFaultsDurable)
+            }
             "live-spanner-rss" | "live-spanner" => Some(Scenario::LiveSpannerRss),
             "live-gryff-rsc" | "live-gryff" => Some(Scenario::LiveGryffRsc),
             "live-composed" => Some(Scenario::LiveComposed),
@@ -156,6 +179,41 @@ impl Scenario {
     pub fn model(&self) -> WitnessModel {
         WitnessModel::Regular
     }
+
+    /// True for the `*-durable` variants, which run every protocol node on a
+    /// write-ahead log ([`Durability::Wal`]) instead of volatile state.
+    pub fn is_durable(&self) -> bool {
+        matches!(
+            self,
+            Scenario::SpannerFaultsDurable
+                | Scenario::GryffFaultsDurable
+                | Scenario::ComposedFaultsDurable
+        )
+    }
+
+    /// The storage backing this scenario runs its protocol nodes on.
+    fn durability(&self, seed: u64) -> Durability {
+        if self.is_durable() {
+            durable_wal(seed)
+        } else {
+            Durability::InMemory
+        }
+    }
+}
+
+/// The WAL configuration of the durable fault scenarios: deterministic
+/// in-process devices, a group-commit window wide enough that fsyncs batch
+/// under load, segments and checkpoints small enough that recovery exercises
+/// snapshot-plus-log-tail replay within one sweep run, and torn tails seeded
+/// from the sweep seed so partial-write recovery differs across the corpus.
+fn durable_wal(seed: u64) -> Durability {
+    Durability::Wal(
+        WalOptions::mem(StorageRegistry::new())
+            .with_group_commit_us(200)
+            .with_segment_bytes(16 * 1024)
+            .with_checkpoint_every(256)
+            .with_torn_tail_seed(seed),
+    )
 }
 
 /// Machine-readable outcome of one seeded run.
@@ -194,6 +252,9 @@ pub struct SeedReport {
     /// plane; 0 for simulator runs (their wall clock measures the host, not
     /// the system under test).
     pub wall_ops_per_sec: f64,
+    /// Aggregated write-ahead-log counters across every protocol node (all
+    /// zeroes outside the `*-durable` scenarios).
+    pub storage: StorageSummary,
 }
 
 /// A seeded run: the report plus a replayable artifact when it failed.
@@ -337,6 +398,11 @@ fn ops_per_sim_sec(scenario: Scenario) -> f64 {
         Scenario::ComposedFaults => 30.0,
         Scenario::SpannerOneWay => 48.0,
         Scenario::SpannerCommitCrash => 54.0,
+        // The WAL's group-commit window adds sub-millisecond latency, so the
+        // durable variants track their volatile counterparts.
+        Scenario::SpannerFaultsDurable => 48.0,
+        Scenario::GryffFaultsDurable => 97.0,
+        Scenario::ComposedFaultsDurable => 30.0,
         // The live plane runs the same configurations, so simulated-time op
         // rates carry over from the sim counterparts.
         Scenario::LiveSpannerRss => 57.0,
@@ -391,18 +457,28 @@ pub fn run_seed_with(
     let stream = stream || scenario.is_live();
     let mut wall_ops_per_sec = 0.0;
     let mut deliveries: Vec<DeliveryRecord> = Vec::new();
+    let mut storage = StorageSummary::default();
     let (history, witness, p50_ms, p99_ms, net, pre_violation) = match scenario {
         Scenario::SpannerRss
         | Scenario::SpannerFaults
         | Scenario::SpannerOneWay
-        | Scenario::SpannerCommitCrash => {
+        | Scenario::SpannerCommitCrash
+        | Scenario::SpannerFaultsDurable => {
             let faults = match scenario {
-                Scenario::SpannerFaults => Some(spanner_fault_schedule(seed)),
+                Scenario::SpannerFaults | Scenario::SpannerFaultsDurable => {
+                    Some(spanner_fault_schedule(seed))
+                }
                 Scenario::SpannerOneWay => Some(spanner_oneway_schedule(seed)),
                 Scenario::SpannerCommitCrash => Some(spanner_commit_crash_schedule(seed)),
                 _ => None,
             };
-            let result = run_spanner_seed(seed, faults, scaled_stop_secs(scenario, ops, 45));
+            let result = run_spanner_seed(
+                seed,
+                faults,
+                scenario.durability(seed),
+                scaled_stop_secs(scenario, ops, 45),
+            );
+            storage = result.storage;
             let (p50, p99) =
                 latency_percentiles(result.completed.iter().flat_map(|(_, recs)| recs.iter()));
             let (history, witness) = spanner::build_history(&result);
@@ -440,12 +516,20 @@ pub fn run_seed_with(
                 }
             }
         }
-        Scenario::GryffRsc | Scenario::GryffFaults => {
+        Scenario::GryffRsc | Scenario::GryffFaults | Scenario::GryffFaultsDurable => {
             let faults = match scenario {
-                Scenario::GryffFaults => Some(gryff_fault_schedule(seed)),
+                Scenario::GryffFaults | Scenario::GryffFaultsDurable => {
+                    Some(gryff_fault_schedule(seed))
+                }
                 _ => None,
             };
-            let result = run_gryff_seed(seed, faults, scaled_stop_secs(scenario, ops, 45));
+            let result = run_gryff_seed(
+                seed,
+                faults,
+                scenario.durability(seed),
+                scaled_stop_secs(scenario, ops, 45),
+            );
+            storage = result.storage;
             let (p50, p99) =
                 latency_percentiles(result.completed.iter().flat_map(|(_, recs)| recs.iter()));
             let net = result.net_stats;
@@ -461,12 +545,18 @@ pub fn run_seed_with(
                 }
             }
         }
-        Scenario::Composed | Scenario::ComposedFaults | Scenario::LiveComposed => {
+        Scenario::Composed
+        | Scenario::ComposedFaults
+        | Scenario::ComposedFaultsDurable
+        | Scenario::LiveComposed => {
             let duration_secs = scaled_stop_secs(scenario, ops, 30);
-            let config = match scenario {
-                Scenario::ComposedFaults => composed_faults_seed_config(seed, duration_secs),
+            let mut config = match scenario {
+                Scenario::ComposedFaults | Scenario::ComposedFaultsDurable => {
+                    composed_faults_seed_config(seed, duration_secs)
+                }
                 _ => composed_seed_config(duration_secs),
             };
+            config.durability = scenario.durability(seed);
             let outcome = if scenario.is_live() {
                 let live = run_composed_live(seed, &config, LIVE_TIME_SCALE, true);
                 wall_ops_per_sec = live.wall_throughput;
@@ -479,6 +569,7 @@ pub fn run_seed_with(
                 outcome.apps.iter().flat_map(|a| a.completed.iter().map(|(_, r)| r)),
             );
             let net = outcome.net_stats;
+            storage = outcome.storage;
             let cert_started = Instant::now();
             let (certified, violation, history_ops, components, peak_window, artifact) =
                 match certify_composed(&outcome, check_threads) {
@@ -500,6 +591,7 @@ pub fn run_seed_with(
                                     witness: ok.witness,
                                     history: ok.history,
                                     deliveries,
+                                    durability: durability_tag(scenario),
                                 }),
                             ),
                         }
@@ -518,6 +610,7 @@ pub fn run_seed_with(
                             witness: v.witness,
                             history: v.history,
                             deliveries,
+                            durability: durability_tag(scenario),
                         }),
                     ),
                 };
@@ -538,6 +631,7 @@ pub fn run_seed_with(
                     components,
                     peak_window,
                     wall_ops_per_sec,
+                    storage,
                 },
                 artifact,
             };
@@ -574,6 +668,7 @@ pub fn run_seed_with(
         components,
         peak_window,
         wall_ops_per_sec,
+        storage,
     };
     match verdict {
         Ok(peak_window) => SeedRun { report: report(true, None, peak_window), artifact: None },
@@ -587,9 +682,17 @@ pub fn run_seed_with(
                 witness,
                 history,
                 deliveries,
+                durability: durability_tag(scenario),
             }),
         },
     }
+}
+
+/// The durability tag a failure artifact carries: `Some("wal")` for the
+/// durable scenarios, `None` (omitted from the JSON, keeping pre-storage
+/// artifacts byte-identical) otherwise.
+fn durability_tag(scenario: Scenario) -> Option<String> {
+    scenario.is_durable().then(|| "wal".to_string())
 }
 
 /// The streaming leg of certification: when `stream` is set, runs the
@@ -615,9 +718,11 @@ fn stream_verdict(
 fn run_spanner_seed(
     seed: u64,
     faults: Option<FaultSchedule>,
+    durability: Durability,
     stop_secs: u64,
 ) -> spanner::RunResult {
-    let mut config = spanner::SpannerConfig::wan(spanner::Mode::SpannerRss);
+    let mut config =
+        spanner::SpannerConfig::wan(spanner::Mode::SpannerRss).with_durability(durability);
     if let Some(faults) = faults {
         config = config.with_faults(faults, FAULT_OP_TIMEOUT);
     }
@@ -651,9 +756,10 @@ fn run_spanner_seed(
 fn run_gryff_seed(
     seed: u64,
     faults: Option<FaultSchedule>,
+    durability: Durability,
     stop_secs: u64,
 ) -> gryff::GryffRunResult {
-    let mut config = gryff::GryffConfig::wan(gryff::Mode::GryffRsc);
+    let mut config = gryff::GryffConfig::wan(gryff::Mode::GryffRsc).with_durability(durability);
     if let Some(faults) = faults {
         config = config.with_faults(faults, FAULT_OP_TIMEOUT);
     }
@@ -846,6 +952,38 @@ mod tests {
                         run.report.dropped,
                         run.report.duplicated,
                         run.report.expired
+                    );
+                    assert!(
+                        run.report.storage.is_empty(),
+                        "{} runs volatile; no WAL traffic",
+                        scenario.name()
+                    );
+                }
+                Scenario::SpannerFaultsDurable
+                | Scenario::GryffFaultsDurable
+                | Scenario::ComposedFaultsDurable => {
+                    assert!(
+                        run.report.dropped > 0 && run.report.expired > 0,
+                        "{} fault plane was active: {:?}/{:?}",
+                        scenario.name(),
+                        run.report.dropped,
+                        run.report.expired
+                    );
+                    let s = run.report.storage;
+                    assert!(s.records > 0 && s.bytes > 0, "{} logged mutations", scenario.name());
+                    assert!(
+                        s.syncs > 0 && s.syncs < s.records,
+                        "{} group commit batched records per fsync ({} records, {} syncs)",
+                        scenario.name(),
+                        s.records,
+                        s.syncs
+                    );
+                    assert!(
+                        s.recoveries > 0 && s.replayed > 0,
+                        "{} crash recovery replayed from the WAL ({} recoveries, {} replayed)",
+                        scenario.name(),
+                        s.recoveries,
+                        s.replayed
                     );
                 }
                 Scenario::SpannerOneWay => {

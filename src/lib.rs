@@ -2,7 +2,11 @@
 //! Regular Sequential Consistency"* (SOSP 2021).
 //!
 //! This facade crate re-exports the workspace members so examples, integration
-//! tests, and downstream users can depend on a single crate:
+//! tests, and downstream users can depend on a single crate. For the map of
+//! the whole stack — crate layering, the two execution planes, the durable
+//! storage layer, the certification cascade, and the seed flow — see
+//! [`ARCHITECTURE.md`](https://github.com/paper-repro/regular-seq/blob/main/ARCHITECTURE.md)
+//! at the repository root. The members:
 //!
 //! * [`core`] (`regular-core`) — the consistency models themselves: histories,
 //!   causal/real-time orders, checkers for RSS, RSC, and their neighbours, the
@@ -19,6 +23,12 @@
 //! * [`live`] (`regular-live`) — the live execution plane: the same protocol
 //!   crates on real OS threads and a scaled wall clock instead of the event
 //!   queue, with completions streamed into online certification.
+//! * [`storage`] (`regular-storage`) — the durable storage stack under the
+//!   protocol nodes: write-ahead log with group commit, page-based buffer
+//!   pool and checkpoints, and crash recovery that replays from the log —
+//!   on a deterministic in-process device in the simulator and real files
+//!   on the live plane, behind the `Durability` knob both protocol configs
+//!   carry.
 //! * [`librss`] (`regular-librss`) — the libRSS composition meta-library
 //!   (Section 4).
 //! * [`workloads`] (`regular-workloads`) — Retwis and Zipfian workload
@@ -93,5 +103,6 @@ pub use regular_live as live;
 pub use regular_session as session;
 pub use regular_sim as sim;
 pub use regular_spanner as spanner;
+pub use regular_storage as storage;
 pub use regular_sweep as sweep;
 pub use regular_workloads as workloads;

@@ -77,6 +77,7 @@ fn a_fault_run_artifact_replays_without_resimulating() {
         witness,
         history: certified.history,
         deliveries: Vec::new(),
+        durability: None,
     };
     let verdict = artifact.replay();
     assert!(verdict.is_err(), "the corrupted witness must be rejected");

@@ -99,6 +99,7 @@ fn composed_history(seed: u64, kind: QueueKind) -> String {
         op_timeout: Some(SimDuration::from_millis(1_200)),
         handoff_every: Some(6),
         queue_kind: kind,
+        ..ComposedRunConfig::default()
     };
     let outcome = run_composed(seed, &config);
     let mut recorder = HistoryRecorder::new();

@@ -5,7 +5,10 @@
 //! available, but no code path serializes anything yet (there are no
 //! `T: Serialize` bounds anywhere). The derives therefore expand to nothing;
 //! swapping in the real crate via `[workspace.dependencies]` requires no
-//! source change.
+//! source change. Binary encodings that must actually work today — the
+//! write-ahead-log record formats and the failure-artifact JSON — are
+//! hand-rolled instead (`regular_storage::codec`, `regular_sweep::json`)
+//! precisely because this stub is derive-only.
 
 use proc_macro::TokenStream;
 
