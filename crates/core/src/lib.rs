@@ -8,6 +8,11 @@
 //! invariant-equivalence to strict serializability and linearizability, and
 //! the photo-sharing application used throughout the paper to compare models.
 //!
+//! A map of the whole workspace — every crate, the two execution planes
+//! (deterministic simulation and live threads), the three-stage certification
+//! cascade, and how a sweep seed becomes a certified verdict — lives in
+//! `ARCHITECTURE.md` at the repository root.
+//!
 //! # Layout
 //!
 //! * [`types`], [`op`], [`history`] — the execution model: processes issue

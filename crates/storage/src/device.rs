@@ -195,16 +195,30 @@ impl DirDisk {
         self.dir.join(format!("wal-{id:06}.seg"))
     }
 
+    /// Fsync the directory itself so segment create/delete survive an OS
+    /// crash — `sync_data` on a file does not persist its directory entry.
+    fn sync_dir(&self) {
+        let dir = File::open(&self.dir)
+            .unwrap_or_else(|e| panic!("open dir {}: {e}", self.dir.display()));
+        dir.sync_all().unwrap_or_else(|e| panic!("fsync dir {}: {e}", self.dir.display()));
+    }
+
     fn segment_file(&mut self, id: u64) -> &mut File {
         let path = self.segment_path(id);
-        self.handles.entry(id).or_insert_with(|| {
-            OpenOptions::new()
+        if !self.handles.contains_key(&id) {
+            let existed = path.exists();
+            let file = OpenOptions::new()
                 .read(true)
                 .append(true)
                 .create(true)
                 .open(&path)
-                .unwrap_or_else(|e| panic!("open {}: {e}", path.display()))
-        })
+                .unwrap_or_else(|e| panic!("open {}: {e}", path.display()));
+            if !existed {
+                self.sync_dir();
+            }
+            self.handles.insert(id, file);
+        }
+        self.handles.get_mut(&id).unwrap()
     }
 
     fn pages_file(&mut self) -> &mut File {
@@ -266,12 +280,18 @@ impl DirDisk {
     }
 
     pub fn truncate_segment(&mut self, id: u64, len: u64) {
-        self.segment_file(id).set_len(len).expect("truncate segment");
+        // Repair truncation must itself be durable: without the fsync an OS
+        // crash after recovery could resurrect the truncated torn bytes.
+        let file = self.segment_file(id);
+        file.set_len(len).expect("truncate segment");
+        file.sync_data().expect("fsync truncated segment");
     }
 
     pub fn delete_segment(&mut self, id: u64) {
         self.handles.remove(&id);
-        let _ = fs::remove_file(self.segment_path(id));
+        if fs::remove_file(self.segment_path(id)).is_ok() {
+            self.sync_dir();
+        }
     }
 
     pub fn read_page(&mut self, page: u64, buf: &mut [u8]) {

@@ -4,6 +4,8 @@
 //! in-memory structures in the simulator; this crate gives them a real
 //! persistence layer so `Node::on_crash`/`on_recover` exercise an actual
 //! recovery path instead of replaying from state that never left RAM.
+//! (`ARCHITECTURE.md` at the repository root shows where this crate sits in
+//! the workspace.)
 //!
 //! The stack, bottom to top:
 //!

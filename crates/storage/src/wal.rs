@@ -24,8 +24,11 @@
 //! The scan loads the best meta page, restores the snapshot it points at,
 //! then replays frames from the recorded log position. It stops — without
 //! panicking — at the first incomplete or checksum-failing frame, truncates
-//! the torn bytes, and discards any later segments (data appended after a
-//! lost record is unreachable by construction).
+//! the torn bytes, and discards any later segments. Data appended after a
+//! lost record is unreachable by construction *because* [`Wal::append`]
+//! syncs before rotating segments: unsynced frames exist only in the final
+//! segment, so a crash can tear the log's tail but never its middle, and the
+//! replayed records are always an exact prefix of what was appended.
 
 use crate::codec::crc32;
 use crate::device::{DirDisk, NodeDisk};
@@ -148,6 +151,15 @@ impl Wal {
         assert!(payload.len() as u64 <= MAX_RECORD as u64, "record too large");
         let frame_len = FRAME_HEADER + payload.len();
         if self.cur_len > 0 && self.cur_len + frame_len as u64 > self.segment_bytes {
+            // Sync before rotating so unsynced data only ever lives in the
+            // final segment. Rotating with dirty frames behind would let a
+            // crash truncate the *middle* of the log (the non-final segment
+            // loses its unsynced tail at a clean frame boundary) while later
+            // frames survive in the next segment's torn tail — and the
+            // recovery scan would replay them, violating the prefix
+            // invariant. An early fsync is always safe; it just shrinks the
+            // group-commit batch at segment boundaries.
+            self.sync();
             self.cur_segment += 1;
             self.cur_len = 0;
             self.disk.create_segment(self.cur_segment);
@@ -488,23 +500,65 @@ mod tests {
 
     #[test]
     fn torn_tails_recover_a_prefix_for_every_seed() {
+        // Both large segments (no rotation) and 64-byte segments (the
+        // unsynced run spans a rotation) must recover an exact prefix.
+        for segment_bytes in [64 * 1024, 64] {
+            for seed in 0..128 {
+                let registry = StorageRegistry::new();
+                let opts =
+                    mem_opts(&registry).with_torn_tail_seed(seed).with_segment_bytes(segment_bytes);
+                let (mut wal, _) = Wal::open(&opts, "node");
+                for i in 0..5 {
+                    wal.append(&record(i), 0);
+                }
+                wal.sync();
+                for i in 5..12 {
+                    wal.append(&record(i), 0);
+                }
+                wal.on_crash();
+                let log = wal.recover();
+                assert!(
+                    log.records.len() >= 5,
+                    "synced records must survive (seed {seed}, seg {segment_bytes})"
+                );
+                assert!(log.records.len() <= 12);
+                for (i, rec) in log.records.iter().enumerate() {
+                    assert_eq!(
+                        rec,
+                        &record(i as u64),
+                        "recovered prefix must be intact (seed {seed}, seg {segment_bytes})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unsynced_rotation_crash_never_replays_past_a_lost_record() {
+        // Regression: with 64-byte segments an unsynced run of appends spans
+        // a segment rotation. Before append() synced at rotation, a crash
+        // truncated the non-final segment to its frame-aligned synced prefix
+        // — ending the scan cleanly — and then replayed parseable frames
+        // from the next segment's torn tail (e.g. seed 24 recovered records
+        // [0,1,2,8], silently dropping 3..=7). Recovery must always hand
+        // back an exact, gap-free prefix of the append order.
         for seed in 0..128 {
             let registry = StorageRegistry::new();
-            let opts = mem_opts(&registry).with_torn_tail_seed(seed);
+            let opts = mem_opts(&registry).with_segment_bytes(64).with_torn_tail_seed(seed);
             let (mut wal, _) = Wal::open(&opts, "node");
-            for i in 0..5 {
+            for i in 0..3 {
                 wal.append(&record(i), 0);
             }
             wal.sync();
-            for i in 5..12 {
+            for i in 3..9 {
                 wal.append(&record(i), 0);
             }
             wal.on_crash();
             let log = wal.recover();
-            assert!(log.records.len() >= 5, "synced records must survive (seed {seed})");
-            assert!(log.records.len() <= 12);
+            assert!(log.records.len() >= 3, "synced records must survive (seed {seed})");
+            assert!(log.records.len() <= 9);
             for (i, rec) in log.records.iter().enumerate() {
-                assert_eq!(rec, &record(i as u64), "recovered prefix must be intact (seed {seed})");
+                assert_eq!(rec, &record(i as u64), "gap-free prefix required (seed {seed})");
             }
         }
     }
