@@ -163,6 +163,15 @@ fn replay_artifact(path: &std::path::Path) -> ExitCode {
             artifact.deliveries.len()
         );
     }
+    if let Some(coverage) = &artifact.coverage {
+        println!("coverage signature: {}", coverage.describe());
+    }
+    if artifact.schedule.is_some() {
+        println!(
+            "recorded hunt schedule: present (re-simulate the trigger with the \
+             regular-hunt crate; this replay checks the evidence only)"
+        );
+    }
     // Large histories replay through the windowed streaming checker so the
     // checking state stays bounded by the reorder window; the verdict is
     // equivalent to the batch check.

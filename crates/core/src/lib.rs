@@ -32,6 +32,8 @@
 //!   anomaly detectors A1–A3 (Table 1).
 //! * [`fence`] — the real-time fence abstraction for composing RSS/RSC
 //!   services (Section 4.1).
+//! * [`coverage`] — behaviour-coverage signatures shared by the simulator,
+//!   failure artifacts, and the coverage-guided hunter (`regular-hunt`).
 //!
 //! # Example: checking a history
 //!
@@ -52,6 +54,7 @@
 //! ```
 
 pub mod checker;
+pub mod coverage;
 pub mod densemap;
 pub mod fence;
 pub mod hashing;
@@ -74,6 +77,7 @@ pub use checker::models::{check, satisfies, CheckOutcome, Model};
 pub use checker::proximal::{check_proximal, ProximalModel};
 pub use checker::saturate::{find_sequence_saturated, saturate, Saturation};
 pub use checker::window::{StreamingChecker, WindowBuffer};
+pub use coverage::{CoverageBuilder, CoverageMap, CoverageSignature};
 pub use densemap::DenseKeyMap;
 pub use fence::FencedService;
 pub use history::{History, HistoryBuilder, HistoryIndex, MessageEdge, OpRecord};

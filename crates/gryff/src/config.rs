@@ -16,6 +16,37 @@ pub enum Mode {
     GryffRsc,
 }
 
+/// The bug zoo: known historical bugs of this codebase kept reintroducible
+/// as hunting targets for the coverage-guided explorer (`regular-hunt`).
+///
+/// Each knob re-enables one real, previously-fixed bug. The knobs always
+/// exist (so configs serialize and build identically everywhere), but their
+/// *effects* are compiled only under `#[cfg(any(test, feature = "bug-zoo"))]`
+/// — a release build ignores them entirely.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BugZoo {
+    /// The PR 5 carstamp regression: the RMW coordinator chooses its write
+    /// carstamp with a fresh `(count+1, MAX_WRITER, 0)` instead of extending
+    /// the observed base below the next write with `next_rmw()`. An RMW that
+    /// races a concurrent base write at the same count then *always* wins the
+    /// writer-id tie-break, making the committed base write unobservable —
+    /// a violation the witness checker catches whenever the race actually
+    /// happens in an execution.
+    pub two_component_carstamps: bool,
+}
+
+impl BugZoo {
+    /// No mutants enabled.
+    pub fn none() -> Self {
+        BugZoo::default()
+    }
+
+    /// True if any mutant is enabled.
+    pub fn any(&self) -> bool {
+        self.two_component_carstamps
+    }
+}
+
 /// Static configuration of a deployment.
 #[derive(Debug, Clone)]
 pub struct GryffConfig {
@@ -46,6 +77,10 @@ pub struct GryffConfig {
     /// durable state transition through a write-ahead log with group commit
     /// and rebuilds crashed replicas from the log alone.
     pub durability: Durability,
+    /// Reintroducible historical bugs for the guided hunter. The field is
+    /// always present; the mutant code paths only exist under
+    /// `#[cfg(any(test, feature = "bug-zoo"))]`.
+    pub bug_zoo: BugZoo,
 }
 
 impl GryffConfig {
@@ -62,6 +97,7 @@ impl GryffConfig {
             faults: FaultSchedule::default(),
             queue_kind: QueueKind::Indexed,
             durability: Durability::InMemory,
+            bug_zoo: BugZoo::none(),
         }
     }
 
@@ -78,6 +114,7 @@ impl GryffConfig {
             faults: FaultSchedule::default(),
             queue_kind: QueueKind::Indexed,
             durability: Durability::InMemory,
+            bug_zoo: BugZoo::none(),
         }
     }
 
@@ -92,6 +129,14 @@ impl GryffConfig {
     /// Selects the storage backing for replicas.
     pub fn with_durability(mut self, durability: Durability) -> Self {
         self.durability = durability;
+        self
+    }
+
+    /// Enables bug-zoo mutants. Only effective in builds that compile the
+    /// mutants in (`cfg(test)` or the `bug-zoo` feature); elsewhere the
+    /// knobs are inert.
+    pub fn with_bug_zoo(mut self, bug_zoo: BugZoo) -> Self {
+        self.bug_zoo = bug_zoo;
         self
     }
 

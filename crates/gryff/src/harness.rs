@@ -11,6 +11,7 @@
 
 use regular_core::checker::assemble::assemble_witness;
 use regular_core::checker::certificate::{check_witness, WitnessModel, WitnessViolation};
+use regular_core::coverage::{domain, CoverageBuilder, CoverageSignature};
 use regular_core::history::History;
 use regular_core::op::OpKind;
 use regular_core::types::{Key, OpId, Value};
@@ -69,6 +70,12 @@ impl Node<GryffMsg> for GryffNode {
         match self {
             GryffNode::Replica(r) => r.on_recover(ctx),
             GryffNode::Client(c) => c.on_recover(ctx),
+        }
+    }
+    fn phase_tag(&self) -> u16 {
+        match self {
+            GryffNode::Replica(r) => r.phase_tag(),
+            GryffNode::Client(c) => c.service.phase_tag(),
         }
     }
 }
@@ -132,6 +139,10 @@ pub struct GryffRunResult {
     /// Final register contents per replica, sorted by key: the differential
     /// anchor for durability tests.
     pub replica_registers: Vec<Vec<(Key, Value, Carstamp)>>,
+    /// Behaviour-coverage signature of the run. `None` unless the run was
+    /// started through [`run_gryff_with_coverage`] — plain runs skip the
+    /// instrumentation entirely.
+    pub coverage: Option<CoverageSignature>,
 }
 
 /// Builds the [`GryffClientConfig`] every client node of a deployment shares.
@@ -150,6 +161,20 @@ pub fn client_config(config: &GryffConfig, replicas: Vec<NodeId>) -> GryffClient
 ///
 /// Panics if the configuration is invalid.
 pub fn run_gryff(spec: GryffClusterSpec) -> GryffRunResult {
+    run_gryff_inner(spec, false)
+}
+
+/// [`run_gryff`] with behaviour-coverage instrumentation: the engine records
+/// `(message class, receiver phase tag)` pairs at every delivery, and the
+/// result's `coverage` field carries the run's [`CoverageSignature`] —
+/// message-phase pairs, expired classes, bucketed fault-plane pressure,
+/// recovery activity, and storage (WAL) behaviour. This is the signal the
+/// coverage-guided hunter (`regular-hunt`) ranks schedules by.
+pub fn run_gryff_with_coverage(spec: GryffClusterSpec) -> GryffRunResult {
+    run_gryff_inner(spec, true)
+}
+
+fn run_gryff_inner(spec: GryffClusterSpec, record_coverage: bool) -> GryffRunResult {
     let GryffClusterSpec { config, net, seed, clients, stop_issuing_at, drain, measure_from } =
         spec;
     config.validate().expect("invalid Gryff configuration");
@@ -162,6 +187,9 @@ pub fn run_gryff(spec: GryffClusterSpec) -> GryffRunResult {
     let mut engine: Engine<GryffMsg, GryffNode> = Engine::new(engine_cfg, net.clone(), seed);
     if !config.faults.is_empty() {
         engine.install_faults(config.faults.clone());
+    }
+    if record_coverage {
+        engine.install_coverage(|m: &GryffMsg| m.class());
     }
 
     let mut replica_ids = Vec::new();
@@ -234,6 +262,26 @@ pub fn run_gryff(spec: GryffClusterSpec) -> GryffRunResult {
     let window = stop_issuing_at.since(measure_from).as_micros();
     let throughput =
         if window == 0 { 0.0 } else { window_count as f64 * 1_000_000.0 / window as f64 };
+    let coverage = record_coverage.then(|| {
+        let mut b = CoverageBuilder::new();
+        for (class, phase) in engine.coverage_pairs() {
+            if phase == 0xFFFF {
+                b.hit(domain::EXPIRED_CLASS, class);
+            } else {
+                b.hit(domain::MESSAGE_PHASE, (class << 8) | (phase & 0xff));
+            }
+        }
+        let net = engine.message_stats();
+        b.hit_bucketed(domain::NET_PRESSURE, 0, net.dropped);
+        b.hit_bucketed(domain::NET_PRESSURE, 1, net.duplicated);
+        b.hit_bucketed(domain::NET_PRESSURE, 2, net.expired);
+        b.hit_bucketed(domain::RECOVERY, 0, stats.timeout_retries);
+        b.hit_bucketed(domain::RECOVERY, 1, replica_stats.iter().map(|r| r.rmws_coordinated).sum());
+        b.hit_bucketed(domain::STORAGE, 0, storage.recoveries);
+        b.hit_bucketed(domain::STORAGE, 1, storage.replayed);
+        b.hit_bucketed(domain::STORAGE, 2, storage.torn_bytes);
+        b.build()
+    });
     GryffRunResult {
         mode: config.mode,
         read_latencies: read,
@@ -248,6 +296,7 @@ pub fn run_gryff(spec: GryffClusterSpec) -> GryffRunResult {
         net_stats: engine.message_stats(),
         storage,
         replica_registers,
+        coverage,
     }
 }
 

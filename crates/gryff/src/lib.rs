@@ -51,11 +51,12 @@ pub mod workload;
 pub mod prelude {
     pub use crate::carstamp::Carstamp;
     pub use crate::client::{GryffClientConfig, GryffClientStats, GryffService};
-    pub use crate::config::{GryffConfig, Mode};
+    pub use crate::config::{BugZoo, GryffConfig, Mode};
     pub use crate::harness::{
         all_reads_explainable, build_history, build_history_from, client_config,
-        read_value_summary, record_with_carstamp_chains, run_gryff, verify_run, GryffClient,
-        GryffClientSpec, GryffClusterSpec, GryffNode, GryffRunResult,
+        read_value_summary, record_with_carstamp_chains, run_gryff, run_gryff_with_coverage,
+        verify_run, GryffClient, GryffClientSpec, GryffClusterSpec, GryffNode, GryffRunResult,
+        GryffVerificationError,
     };
     pub use crate::messages::{Dep, GryffMsg, OpRef};
     pub use crate::workload::{ConflictWorkload, OpRequest};

@@ -107,6 +107,24 @@ pub enum GryffMsg {
     },
 }
 
+impl GryffMsg {
+    /// A stable small integer naming the message type, used as the message
+    /// class of behaviour-coverage features
+    /// (see `regular_sim::engine::Engine::install_coverage`).
+    pub fn class(&self) -> u16 {
+        match self {
+            GryffMsg::Read1 { .. } => 0,
+            GryffMsg::Read1Reply { .. } => 1,
+            GryffMsg::Write1 { .. } => 2,
+            GryffMsg::Write1Reply { .. } => 3,
+            GryffMsg::Write2 { .. } => 4,
+            GryffMsg::Write2Reply { .. } => 5,
+            GryffMsg::Rmw { .. } => 6,
+            GryffMsg::RmwReply { .. } => 7,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -97,6 +97,10 @@ pub struct GryffReplica {
     /// flush, but tags must stay monotone across crashes (deferred engine
     /// timers fire post-recovery with their old tags).
     next_timer: u64,
+    /// Bug-zoo mutant knobs (see `crate::config::BugZoo`); only compiled-in
+    /// builds read them.
+    #[cfg(any(test, feature = "bug-zoo"))]
+    bug_zoo: crate::config::BugZoo,
 }
 
 impl GryffReplica {
@@ -124,6 +128,8 @@ impl GryffReplica {
             wal_pending: Vec::new(),
             flush_timer: None,
             next_timer: 0,
+            #[cfg(any(test, feature = "bug-zoo"))]
+            bug_zoo: cfg.bug_zoo,
         };
         // A pre-existing log (a live-plane process restart) replays into the
         // initial state; fresh simulation runs start from an empty device.
@@ -150,6 +156,30 @@ impl GryffReplica {
             self.store.iter().map(|(k, &(v, cs))| (k, v, cs)).collect();
         regs.sort_unstable_by_key(|(k, _, _)| k.0);
         regs
+    }
+
+    /// The replica's behaviour-coverage phase tag (see
+    /// `regular_sim::engine::Node::phase_tag`): bit 0 — rmw coordinations in
+    /// flight; bit 1 — an rmw already in its write phase; bit 2 — outbound
+    /// messages gated on a WAL sync; bit 3 — a group-commit flush timer
+    /// armed. A message delivered while a bit is set is a different
+    /// behaviour than the same message on an idle replica — exactly the
+    /// distinctions the carstamp and recovery races live in.
+    pub fn phase_tag(&self) -> u16 {
+        let mut tag = 0;
+        if !self.rmws.is_empty() {
+            tag |= 1;
+        }
+        if self.rmws.values().any(|c| c.phase == RmwPhase::Write) {
+            tag |= 1 << 1;
+        }
+        if !self.wal_pending.is_empty() {
+            tag |= 1 << 2;
+        }
+        if self.flush_timer.is_some() {
+            tag |= 1 << 3;
+        }
+        tag
     }
 
     /// Appends a durable state transition to the WAL (no-op when in-memory).
@@ -445,6 +475,14 @@ impl GryffReplica {
             // advances, so a racing base write (count + 1) still orders
             // above this rmw — see `Carstamp::next_rmw`.
             coord.chosen = coord.max.0.next_rmw();
+            // Bug-zoo mutant: the PR 5 regression chose a fresh two-component
+            // carstamp instead, at count+1 with the maximal writer id — so
+            // the rmw always wins the tie-break against a racing base write
+            // at the same count, and that write becomes unobservable.
+            #[cfg(any(test, feature = "bug-zoo"))]
+            if self.bug_zoo.two_component_carstamps {
+                coord.chosen = coord.max.0.next(u64::MAX);
+            }
             (
                 OpRef { node: ctx.node_id(), seq: internal },
                 coord.key,

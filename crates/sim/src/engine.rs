@@ -42,6 +42,8 @@
 //! pop in identical `(time, seq)` order, so they replay identical histories
 //! (differentially tested in `tests/queue_determinism.rs`).
 
+use std::collections::BTreeSet;
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -84,6 +86,17 @@ pub trait Node<M>: 'static {
     /// re-drive any coordination that stalled while they were away (e.g.
     /// re-sending the current round of an in-flight agreement).
     fn on_recover(&mut self, _ctx: &mut Context<M>) {}
+
+    /// A small tag naming the node's current protocol phase, sampled at each
+    /// message delivery when coverage instrumentation is installed (see
+    /// [`Engine::install_coverage`]). The engine records the pair
+    /// `(message class, receiver phase tag)` as a behaviour-coverage
+    /// feature; protocols encode "what am I in the middle of" here (e.g.
+    /// bits for in-flight RMW coordinations, pending WAL writes, queued
+    /// re-drives). The default — a constant — collapses all phases into one.
+    fn phase_tag(&self) -> u16 {
+        0
+    }
 }
 
 /// Engine-wide configuration.
@@ -265,6 +278,10 @@ impl<'a, M> Context<'a, M> {
     }
 }
 
+/// Classifier turning a protocol message into a coverage class (see
+/// [`Engine::install_coverage`]).
+type CoverageClassify<M> = Box<dyn Fn(&M) -> u16>;
+
 /// The discrete-event engine.
 ///
 /// `M` is the protocol's message type; `N` is the node type (typically an enum
@@ -286,6 +303,9 @@ pub struct Engine<M, N> {
     started: bool,
     messages: MessageStats,
     processed_events: u64,
+    dispatch_seq: u64,
+    coverage_classify: Option<CoverageClassify<M>>,
+    coverage_hits: BTreeSet<(u16, u16)>,
     seed: u64,
     /// Scratch buffers lent to [`Context`]s and drained after every handler,
     /// so a turn costs no allocation once they reach steady-state capacity.
@@ -315,6 +335,9 @@ impl<M: Clone + 'static, N: Node<M>> Engine<M, N> {
             started: false,
             messages: MessageStats::default(),
             processed_events: 0,
+            dispatch_seq: 0,
+            coverage_classify: None,
+            coverage_hits: BTreeSet::new(),
             seed,
             outbox_scratch: Vec::new(),
             timers_scratch: Vec::new(),
@@ -428,6 +451,31 @@ impl<M: Clone + 'static, N: Node<M>> Engine<M, N> {
         self.processed_events
     }
 
+    /// Total messages dispatched so far — the sequence space
+    /// [`FaultSchedule::nudge_message`] indexes into. After a run this is the
+    /// exclusive upper bound on meaningful nudge sequence numbers.
+    pub fn dispatched_messages(&self) -> u64 {
+        self.dispatch_seq
+    }
+
+    /// Installs behaviour-coverage instrumentation: `classify` maps each
+    /// message to a small class (typically its enum discriminant), and the
+    /// engine records the pair `(class, receiver phase tag)` at every
+    /// delivery — plus `(class, 0xFFFF)` for messages that expire at a
+    /// crashed receiver. The distinct pairs a run produced are read back with
+    /// [`Engine::coverage_pairs`]. Without this call the engine records
+    /// nothing and delivery stays zero-overhead.
+    pub fn install_coverage(&mut self, classify: impl Fn(&M) -> u16 + 'static) {
+        self.coverage_classify = Some(Box::new(classify));
+    }
+
+    /// The distinct `(message class, receiver phase tag)` pairs observed so
+    /// far, in sorted order. Empty unless [`Engine::install_coverage`] was
+    /// called.
+    pub fn coverage_pairs(&self) -> impl Iterator<Item = (u16, u16)> + '_ {
+        self.coverage_hits.iter().copied()
+    }
+
     /// Allocates `kind` into the event arena and schedules it at `time`.
     /// The payload moves into the queue exactly once (see
     /// [`SimQueue::alloc`]'s `#[must_use]` id for why there is no
@@ -487,6 +535,15 @@ impl<M: Clone + 'static, N: Node<M>> Engine<M, N> {
 
     /// Schedules one sent message according to the network verdict.
     fn dispatch(&mut self, from: NodeId, to: NodeId, extra: SimDuration, msg: M) {
+        // A scripted nudge stretches this dispatch's delivery by a fixed
+        // extra delay, keyed on the global dispatch counter. It composes
+        // with (never overrides) the network/fault verdict: a dropped
+        // message stays dropped, a duplicate's both copies shift.
+        let extra = match self.faults.nudge_for(self.dispatch_seq) {
+            Some(nudge) => extra + nudge,
+            None => extra,
+        };
+        self.dispatch_seq += 1;
         let base = self.net.delivery(self.now, self.regions[from], self.regions[to], &mut self.rng);
         let verdict = self.faults.verdict(
             self.now,
@@ -654,10 +711,13 @@ impl<M: Clone + 'static, N: Node<M>> Engine<M, N> {
             if self.crashed[node_id] {
                 self.now = self.now.max(time);
                 match kind {
-                    EventKind::Message { .. } => {
+                    EventKind::Message { msg, .. } => {
                         // Addressed to a node that is down: the message is
                         // lost (the transport cannot hold it).
                         self.messages.expired += 1;
+                        if let Some(classify) = &self.coverage_classify {
+                            self.coverage_hits.insert((classify(&msg), 0xFFFF));
+                        }
                     }
                     EventKind::Timer { node, tag } => {
                         // The durable state machine resumes after recovery:
@@ -691,6 +751,10 @@ impl<M: Clone + 'static, N: Node<M>> Engine<M, N> {
                 EventKind::Start { .. } => self.nodes[node_id].on_start(&mut ctx),
                 EventKind::Message { from, msg, .. } => {
                     self.messages.delivered += 1;
+                    if let Some(classify) = &self.coverage_classify {
+                        self.coverage_hits
+                            .insert((classify(&msg), self.nodes[node_id].phase_tag()));
+                    }
                     self.nodes[node_id].on_message(&mut ctx, from, msg);
                 }
                 EventKind::Timer { tag, .. } => self.nodes[node_id].on_timer(&mut ctx, tag),

@@ -122,6 +122,7 @@ pub struct FaultSchedule {
     cuts: Vec<LinkCut>,
     windows: Vec<MessageWindow>,
     crashes: Vec<CrashWindow>,
+    nudges: Vec<(u64, SimDuration)>,
 }
 
 impl FaultSchedule {
@@ -132,7 +133,10 @@ impl FaultSchedule {
 
     /// True if the schedule injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.cuts.is_empty() && self.windows.is_empty() && self.crashes.is_empty()
+        self.cuts.is_empty()
+            && self.windows.is_empty()
+            && self.crashes.is_empty()
+            && self.nudges.is_empty()
     }
 
     fn check_window(from: SimTime, until: SimTime) {
@@ -252,6 +256,34 @@ impl FaultSchedule {
         self
     }
 
+    /// Delays the `seq`-th dispatched message (the engine's global dispatch
+    /// counter, starting at 0) by `extra` on top of whatever the network
+    /// model and fault windows decide.
+    ///
+    /// This makes the *delivery order itself* an input: an explorer that
+    /// recorded a run can re-run it with targeted per-message nudges,
+    /// permuting deliveries without violating causality — a nudge can only
+    /// delay a send that already happened, never deliver a message before it
+    /// was sent. Nudging a sequence number the run never reaches is a no-op,
+    /// and a nudged message that the fault plane drops stays dropped.
+    pub fn nudge_message(mut self, seq: u64, extra: SimDuration) -> Self {
+        match self.nudges.binary_search_by_key(&seq, |(s, _)| *s) {
+            Ok(at) => self.nudges[at].1 = extra,
+            Err(at) => self.nudges.insert(at, (seq, extra)),
+        }
+        self
+    }
+
+    /// The scripted per-dispatch delivery nudges, sorted by sequence number.
+    pub fn message_nudges(&self) -> &[(u64, SimDuration)] {
+        &self.nudges
+    }
+
+    /// The extra delay scripted for dispatch number `seq`, if any.
+    pub fn nudge_for(&self, seq: u64) -> Option<SimDuration> {
+        self.nudges.binary_search_by_key(&seq, |(s, _)| *s).ok().map(|at| self.nudges[at].1)
+    }
+
     /// True if a message sent at `now` from `from` to `to` crosses a cut
     /// link.
     pub fn link_cut(&self, now: SimTime, from: Region, to: Region) -> bool {
@@ -301,6 +333,9 @@ impl FaultSchedule {
         }
         if !self.crashes.is_empty() {
             parts.push(format!("{} crash(es)", self.crashes.len()));
+        }
+        if !self.nudges.is_empty() {
+            parts.push(format!("{} delivery nudge(s)", self.nudges.len()));
         }
         parts.join(", ")
     }
@@ -445,6 +480,23 @@ mod tests {
         assert_eq!(s.describe(), "1 link cut(s), 1 crash(es)");
         assert_eq!(s.crashes().len(), 1);
         assert_eq!(s.crashes()[0].recover_at, Some(t(6)));
+    }
+
+    #[test]
+    fn nudges_sort_replace_and_count_as_faults() {
+        let s = FaultSchedule::new()
+            .nudge_message(7, SimDuration::from_millis(5))
+            .nudge_message(3, SimDuration::from_millis(1))
+            .nudge_message(7, SimDuration::from_millis(9));
+        assert_eq!(
+            s.message_nudges(),
+            &[(3, SimDuration::from_millis(1)), (7, SimDuration::from_millis(9)),]
+        );
+        assert_eq!(s.nudge_for(3), Some(SimDuration::from_millis(1)));
+        assert_eq!(s.nudge_for(7), Some(SimDuration::from_millis(9)), "re-nudging replaces");
+        assert_eq!(s.nudge_for(4), None);
+        assert!(!s.is_empty(), "a nudge-only schedule still counts as faults");
+        assert!(s.describe().contains("2 delivery nudge(s)"), "{}", s.describe());
     }
 
     #[test]

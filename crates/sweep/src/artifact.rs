@@ -11,6 +11,7 @@
 use std::path::{Path, PathBuf};
 
 use regular_core::checker::certificate::{check_witness, WitnessModel, WitnessViolation};
+use regular_core::coverage::CoverageSignature;
 use regular_core::history::History;
 use regular_core::op::{OpKind, OpResult};
 use regular_core::types::{Key, OpId, ProcessId, ServiceId, Timestamp, Value};
@@ -42,6 +43,16 @@ pub struct FailureArtifact {
     /// `None` means in-memory and is omitted from the JSON, so artifacts
     /// from volatile runs are byte-identical to the pre-storage schema.
     pub durability: Option<String>,
+    /// The exact input that produced this failure, when the artifact came
+    /// from the coverage-guided hunter (`regular-hunt`): the serialized
+    /// hunt input (seed, scripted sessions, fault events, delivery nudges).
+    /// Kept opaque here — the hunter owns the encoding; the sweep only
+    /// round-trips it. `None` is omitted from the JSON, so sweep artifacts
+    /// are byte-identical to the pre-hunt schema.
+    pub schedule: Option<Json>,
+    /// Behaviour-coverage signature of the failing run, when recorded.
+    /// `None` is omitted from the JSON.
+    pub coverage: Option<CoverageSignature>,
 }
 
 impl FailureArtifact {
@@ -76,6 +87,15 @@ impl FailureArtifact {
                 ])
             };
             pairs.push(("deliveries", Json::Arr(self.deliveries.iter().map(rec).collect())));
+        }
+        if let Some(schedule) = &self.schedule {
+            pairs.push(("schedule", schedule.clone()));
+        }
+        if let Some(coverage) = &self.coverage {
+            pairs.push((
+                "coverage",
+                Json::Arr(coverage.features().iter().map(|&f| Json::u64(f as u64)).collect()),
+            ));
         }
         Json::obj(pairs)
     }
@@ -113,6 +133,17 @@ impl FailureArtifact {
                 .collect::<Result<Vec<_>, &str>>()?,
         };
         let durability = json.get("durability").and_then(Json::as_str).map(str::to_string);
+        let schedule = json.get("schedule").cloned();
+        let coverage = match json.get("coverage") {
+            None => None,
+            Some(list) => Some(CoverageSignature::from_features(
+                list.as_arr()
+                    .ok_or("coverage must be an array")?
+                    .iter()
+                    .map(|f| f.as_u64().map(|n| n as u32).ok_or("coverage entries are integers"))
+                    .collect::<Result<Vec<_>, _>>()?,
+            )),
+        };
         Ok(FailureArtifact {
             scenario,
             seed,
@@ -122,6 +153,8 @@ impl FailureArtifact {
             history,
             deliveries,
             durability,
+            schedule,
+            coverage,
         })
     }
 
@@ -414,6 +447,8 @@ mod tests {
                 DeliveryRecord { seq: 1, at_us: 30, from: 2, to: 0 },
             ],
             durability: Some("wal".to_string()),
+            schedule: None,
+            coverage: None,
         };
         assert_eq!(artifact.replay(), Ok(()));
         let round =
@@ -446,11 +481,16 @@ mod tests {
             history: h,
             deliveries: Vec::new(),
             durability: None,
+            schedule: None,
+            coverage: None,
         };
-        assert!(
-            !artifact.to_json().to_pretty().contains("durability"),
-            "in-memory artifacts omit the durability field for schema byte-compatibility"
-        );
+        let pretty = artifact.to_json().to_pretty();
+        for absent in ["durability", "schedule", "coverage"] {
+            assert!(
+                !pretty.contains(absent),
+                "artifacts omit the '{absent}' field when unset for schema byte-compatibility"
+            );
+        }
         let dir = std::env::temp_dir().join("regular-sweep-artifact-test");
         let path = artifact.save(&dir).expect("artifact saves");
         let loaded = FailureArtifact::load(&path).expect("artifact loads");

@@ -592,6 +592,8 @@ pub fn run_seed_with(
                                     history: ok.history,
                                     deliveries,
                                     durability: durability_tag(scenario),
+                                    schedule: None,
+                                    coverage: None,
                                 }),
                             ),
                         }
@@ -611,6 +613,8 @@ pub fn run_seed_with(
                             history: v.history,
                             deliveries,
                             durability: durability_tag(scenario),
+                            schedule: None,
+                            coverage: None,
                         }),
                     ),
                 };
@@ -683,6 +687,8 @@ pub fn run_seed_with(
                 history,
                 deliveries,
                 durability: durability_tag(scenario),
+                schedule: None,
+                coverage: None,
             }),
         },
     }

@@ -36,6 +36,11 @@
 //! * [`sweep`] (`regular-sweep`) — parallel conformance sweeps: seeded
 //!   certified runs of every scenario fanned across a work-stealing pool,
 //!   with sharded witness checking and replayable failure artifacts.
+//! * [`hunt`] (`regular-hunt`) — coverage-guided schedule search: treats the
+//!   whole `(seed, workload, fault schedule, delivery order)` tuple as a
+//!   mutable input, scores executions by behaviour-coverage signatures
+//!   recorded inside the simulator, and delta-debugs any certification
+//!   failure down to a minimal replayable artifact.
 //!
 //! # Quick start: checking histories
 //!
@@ -98,6 +103,7 @@
 
 pub use regular_core as core;
 pub use regular_gryff as gryff;
+pub use regular_hunt as hunt;
 pub use regular_librss as librss;
 pub use regular_live as live;
 pub use regular_session as session;

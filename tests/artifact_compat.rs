@@ -1,0 +1,95 @@
+//! Failure-artifact schema compatibility: the hunter's new optional
+//! `schedule` and `coverage` fields must never perturb artifacts that do not
+//! use them. Artifacts written without the new fields serialize
+//! byte-identically to the pre-hunt schema (so existing tooling diffs
+//! clean), and pre-hunt artifact files parse unchanged with the new fields
+//! reading as absent.
+
+use proptest::prelude::*;
+use regular_seq::core::checker::certificate::WitnessModel;
+use regular_seq::core::coverage::CoverageSignature;
+use regular_seq::core::history::HistoryBuilder;
+use regular_seq::core::types::OpId;
+use regular_seq::sweep::artifact::FailureArtifact;
+use regular_seq::sweep::Json;
+
+/// Builds a small but varied artifact: `n` write/read pairs over `keys`
+/// keys, optionally carrying the new hunter fields.
+fn build_artifact(seed: u64, n: u64, keys: u64, with_hunt_fields: bool) -> FailureArtifact {
+    let mut b = HistoryBuilder::new();
+    let mut witness: Vec<OpId> = Vec::new();
+    for i in 0..n {
+        let key = i % keys;
+        let at = i * 40;
+        witness.push(b.write(1 + (i % 3) as u32, key, i + 1, at, at + 10));
+        witness.push(b.read(1 + ((i + 1) % 3) as u32, key, i + 1, at + 20, at + 30));
+    }
+    FailureArtifact {
+        scenario: "compat-test".to_string(),
+        seed,
+        model: WitnessModel::Regular,
+        violation: "none (valid witness)".to_string(),
+        witness,
+        history: b.build(),
+        deliveries: Vec::new(),
+        durability: None,
+        schedule: with_hunt_fields
+            .then(|| Json::obj(vec![("kind", Json::str("hunt-input")), ("seed", Json::u64(seed))])),
+        coverage: with_hunt_fields
+            .then(|| CoverageSignature::from_features(vec![0x0001_0000 | (seed as u32 & 0xff)])),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Artifacts that do not use the hunter fields are byte-identical to the
+    /// pre-hunt schema: the serialized text never mentions the new keys, and
+    /// a serialize→parse→serialize cycle is a fixed point.
+    #[test]
+    fn plain_artifacts_stay_byte_identical(seed in 0u64..1_000, n in 1u64..12, keys in 1u64..4) {
+        let artifact = build_artifact(seed, n, keys, false);
+        let text = artifact.to_json().to_pretty();
+        prop_assert!(!text.contains("schedule"), "unset schedule must be omitted");
+        prop_assert!(!text.contains("coverage"), "unset coverage must be omitted");
+
+        let parsed = FailureArtifact::from_json(&Json::parse(&text).unwrap()).unwrap();
+        prop_assert!(parsed.schedule.is_none());
+        prop_assert!(parsed.coverage.is_none());
+        prop_assert_eq!(
+            parsed.to_json().to_pretty(),
+            text,
+            "serialize→parse→serialize must be a fixed point"
+        );
+    }
+
+    /// Artifacts that do carry the hunter fields round-trip them exactly and
+    /// leave everything else intact.
+    #[test]
+    fn hunt_fields_round_trip_exactly(seed in 0u64..1_000, n in 1u64..12, keys in 1u64..4) {
+        let artifact = build_artifact(seed, n, keys, true);
+        let text = artifact.to_json().to_pretty();
+        let parsed = FailureArtifact::from_json(&Json::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(&parsed.schedule, &artifact.schedule, "schedule round-trips");
+        prop_assert_eq!(&parsed.coverage, &artifact.coverage, "coverage round-trips");
+        prop_assert_eq!(&parsed.history, &artifact.history);
+        prop_assert_eq!(&parsed.witness, &artifact.witness);
+        prop_assert_eq!(parsed.replay(), artifact.replay(), "the replay verdict is unchanged");
+    }
+
+    /// A pre-hunt artifact file — the exact JSON an older build would have
+    /// written — parses under the new schema with the new fields absent, and
+    /// replays to the same verdict.
+    #[test]
+    fn old_artifact_files_still_parse(seed in 0u64..1_000, n in 1u64..12, keys in 1u64..4) {
+        // An older build's output is byte-identical to a new build's output
+        // with the fields unset (established above), so synthesize it that
+        // way and treat the text as the on-disk legacy file.
+        let legacy_text = build_artifact(seed, n, keys, false).to_json().to_pretty();
+        let parsed = FailureArtifact::from_json(&Json::parse(&legacy_text).unwrap())
+            .expect("legacy artifacts parse under the new schema");
+        prop_assert!(parsed.schedule.is_none());
+        prop_assert!(parsed.coverage.is_none());
+        prop_assert_eq!(parsed.replay(), Ok(()), "legacy artifacts still replay");
+    }
+}

@@ -78,6 +78,8 @@ fn a_fault_run_artifact_replays_without_resimulating() {
         history: certified.history,
         deliveries: Vec::new(),
         durability: None,
+        schedule: None,
+        coverage: None,
     };
     let verdict = artifact.replay();
     assert!(verdict.is_err(), "the corrupted witness must be rejected");
