@@ -32,8 +32,11 @@
 //! `--scenarios live` sweeps the live execution plane instead
 //! (`live-spanner-rss,live-gryff-rsc,live-composed,live-spanner-faults`):
 //! every node an OS thread on scaled wall-clock time, certified online
-//! through the streaming checker. Live runs occupy real cores, so pair
-//! them with a small `--threads`.
+//! through the streaming checker. The sweep scenarios run over the
+//! in-process mpsc transport; the live plane itself also carries nodes
+//! over Unix-domain sockets and TCP, up to fully separate OS processes —
+//! `live_bench --net` exercises those backends (see `OPERATIONS.md`).
+//! Live runs occupy real cores, so pair them with a small `--threads`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;

@@ -1,0 +1,64 @@
+//! End-to-end multi-process smoke test: `live_bench --net --processes 2`
+//! actually forks worker OS processes, runs the Spanner-RSS cluster over a
+//! Unix-domain socket, streaming-certifies the result, and writes a
+//! well-formed `BENCH_net.json`. This drives the same binary CI's
+//! socket-smoke job uses, via `CARGO_BIN_EXE`.
+
+use std::process::Command;
+
+use regular_sweep::Json;
+
+#[test]
+fn live_bench_net_mode_runs_two_worker_processes_over_uds() {
+    let out = std::env::temp_dir().join(format!("bench_net_test_{}.json", std::process::id()));
+    let status = Command::new(env!("CARGO_BIN_EXE_live_bench"))
+        .args(["--net", "--quick", "--processes", "2", "--seed", "5", "--out"])
+        .arg(&out)
+        .status()
+        .expect("run live_bench");
+    assert!(status.success(), "live_bench --net --processes 2 failed: {status}");
+
+    let report = std::fs::read_to_string(&out).expect("read BENCH_net.json");
+    let _ = std::fs::remove_file(&out);
+    let json = Json::parse(&report).expect("report must be valid JSON");
+    assert_eq!(
+        json.get("schema").and_then(|s| s.as_str()),
+        Some("regular-seq/live-net/v1"),
+        "wrong or missing schema"
+    );
+
+    // The transport comparison covered all three backends, every run
+    // certified, and the socket runs moved real frames.
+    let transports = match json.get("transports") {
+        Some(Json::Arr(entries)) => entries,
+        other => panic!("missing transports array: {other:?}"),
+    };
+    let names: Vec<&str> =
+        transports.iter().filter_map(|e| e.get("transport").and_then(|t| t.as_str())).collect();
+    assert_eq!(names, ["mpsc", "uds", "tcp"], "transport comparison incomplete");
+    for e in transports {
+        assert_eq!(
+            e.get("certified"),
+            Some(&Json::Bool(true)),
+            "a transport run failed to certify: {e:?}"
+        );
+        let frames = e.get("frames_tx").and_then(|f| f.as_f64()).unwrap_or(-1.0);
+        match e.get("transport").and_then(|t| t.as_str()) {
+            Some("mpsc") => assert_eq!(frames, 0.0, "mpsc moves no wire frames"),
+            _ => assert!(frames > 0.0, "socket run moved no frames: {e:?}"),
+        }
+    }
+
+    // The multi-process section ran (3 = hub + 2 workers) and certified.
+    let multiproc = json.get("multiproc").expect("missing multiproc section");
+    assert_eq!(multiproc.get("processes").and_then(|p| p.as_f64()), Some(3.0));
+    assert_eq!(multiproc.get("certified"), Some(&Json::Bool(true)), "multiproc did not certify");
+    assert!(
+        multiproc.get("history_ops").and_then(|o| o.as_f64()).unwrap_or(0.0) > 100.0,
+        "multiproc run barely progressed"
+    );
+    assert!(
+        multiproc.get("frames_tx").and_then(|f| f.as_f64()).unwrap_or(0.0) > 0.0,
+        "multiproc run moved no frames"
+    );
+}

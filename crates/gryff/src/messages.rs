@@ -30,7 +30,7 @@ pub struct Dep {
 
 /// Messages exchanged between clients and replicas (and among replicas for
 /// read-modify-writes).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum GryffMsg {
     /// Read phase of a client read.
     Read1 {

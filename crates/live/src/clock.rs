@@ -9,7 +9,7 @@
 //! coordination, and TrueTime's `[now-ε, now+ε]` bounds hold exactly as they
 //! do in the simulator.
 
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use regular_sim::{SimDuration, SimTime};
 
@@ -18,6 +18,9 @@ use regular_sim::{SimDuration, SimTime};
 #[derive(Debug, Clone, Copy)]
 pub struct LiveClock {
     epoch: Instant,
+    /// The epoch on the shareable wall clock, for cross-process agreement
+    /// (see [`LiveClock::from_unix_anchor`]).
+    unix_anchor_nanos: u64,
     scale: u64,
 }
 
@@ -26,7 +29,33 @@ impl LiveClock {
     /// compression factor (simulated microseconds per wall microsecond;
     /// clamped to at least 1).
     pub fn start(scale: u64) -> Self {
-        LiveClock { epoch: Instant::now(), scale: scale.max(1) }
+        let unix_anchor_nanos =
+            SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_nanos() as u64).unwrap_or(0);
+        LiveClock { epoch: Instant::now(), unix_anchor_nanos, scale: scale.max(1) }
+    }
+
+    /// Simulated time zero as nanoseconds since the UNIX epoch — the anchor
+    /// a multi-process hub ships to its workers in the `Welcome` frame.
+    ///
+    /// `Instant` is process-private, but `CLOCK_REALTIME` is shared by every
+    /// process on the machine, so shipping the `SystemTime` of the epoch
+    /// lets each worker reconstruct the same simulated timeline. Skew over a
+    /// run of wall-clock seconds on one host is far below the network
+    /// latencies the router injects.
+    pub fn unix_anchor_nanos(&self) -> u64 {
+        self.unix_anchor_nanos
+    }
+
+    /// Reconstructs a clock from a hub-provided anchor (see
+    /// [`LiveClock::unix_anchor_nanos`]). An anchor in the future (clock
+    /// skew) clamps to "now": simulated time starts at zero rather than
+    /// going negative.
+    pub fn from_unix_anchor(anchor_nanos: u64, scale: u64) -> Self {
+        let now_nanos =
+            SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_nanos() as u64).unwrap_or(0);
+        let elapsed = Duration::from_nanos(now_nanos.saturating_sub(anchor_nanos));
+        let epoch = Instant::now().checked_sub(elapsed).unwrap_or_else(Instant::now);
+        LiveClock { epoch, unix_anchor_nanos: anchor_nanos, scale: scale.max(1) }
     }
 
     /// The compression factor.
@@ -75,6 +104,21 @@ mod tests {
         let t = c.sim_now();
         // 2ms wall at scale 1000 is at least 2 simulated seconds.
         assert!(t >= SimTime::from_secs(2), "sim clock too slow: {:?}", t);
+    }
+
+    #[test]
+    fn anchored_clocks_agree_across_reconstructions() {
+        let hub = LiveClock::start(50);
+        std::thread::sleep(Duration::from_millis(2));
+        let worker = LiveClock::from_unix_anchor(hub.unix_anchor_nanos(), hub.scale());
+        let (a, b) = (hub.sim_now(), worker.sim_now());
+        let skew = a.0.abs_diff(b.0);
+        // Same process, same wall clock: the reconstruction should land
+        // within a couple of simulated milliseconds (50x a few dozen µs).
+        assert!(skew < 5_000, "reconstructed clock skew {skew}µs");
+        // A future anchor clamps to sim-time zero instead of underflowing.
+        let future = LiveClock::from_unix_anchor(u64::MAX, 10);
+        assert!(future.sim_now() < SimTime::from_secs(1));
     }
 
     #[test]

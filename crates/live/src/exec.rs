@@ -30,7 +30,11 @@ use regular_sim::net::{NetworkModel, Region};
 use regular_sim::{MessageStats, NodeId, SimDuration, SimTime, TrueTime};
 
 use crate::clock::LiveClock;
-use crate::transport::{run_router, DeliveryRecord, LiveEvent, Outgoing, RouterReport};
+use crate::net::{run_hub_conns, run_worker_conn, SocketStream, WireStats};
+use crate::transport::{
+    run_router, DeliveryRecord, LiveEvent, Mailbox, Outgoing, RouterReport, TransportKind,
+};
+use crate::wire::Wire;
 
 /// A node that can run on the live plane.
 ///
@@ -79,6 +83,8 @@ pub struct LiveOutcome<N> {
     pub finished_at: SimTime,
     /// Wall-clock duration of the run.
     pub wall: Duration,
+    /// Socket traffic counters (all zeros on the mpsc transport).
+    pub wire: WireStats,
 }
 
 /// What a node handler is being invoked for.
@@ -90,14 +96,14 @@ enum Invoke<M> {
     Recover,
 }
 
-struct NodeResult<N> {
-    node: N,
-    expired: u64,
+pub(crate) struct NodeResult<N> {
+    pub(crate) node: N,
+    pub(crate) expired: u64,
 }
 
 /// The per-node thread loop.
 #[allow(clippy::too_many_arguments)]
-fn run_node<M, N>(
+pub(crate) fn run_node<M, N>(
     mut node: N,
     id: NodeId,
     clock: LiveClock,
@@ -267,12 +273,13 @@ where
     let router = {
         let faults = cfg.faults.clone();
         let regions = regions.clone();
-        let mailboxes = mailboxes.clone();
+        let router_boxes: Vec<Arc<dyn Mailbox<M>>> =
+            mailboxes.iter().map(|tx| Arc::new(tx.clone()) as Arc<dyn Mailbox<M>>).collect();
         let stop = Arc::clone(&router_stop);
         let seed = cfg.seed;
         let record = cfg.record_deliveries;
         std::thread::spawn(move || {
-            run_router(clock, net, faults, regions, mailboxes, net_rx, seed, record, stop)
+            run_router(clock, net, faults, regions, router_boxes, net_rx, seed, record, stop)
         })
     };
 
@@ -340,5 +347,65 @@ where
         deliveries,
         finished_at,
         wall: start_wall.elapsed(),
+        wire: WireStats::default(),
+    }
+}
+
+/// [`run_live`] behind a chosen [`TransportKind`].
+///
+/// `Mpsc` is exactly `run_live`. The socket kinds run the same cluster with
+/// every message crossing a real kernel socket: the node threads live in one
+/// worker group connected to the router over an in-process socket pair
+/// (`UnixStream::pair` or loopback TCP), exercising the full wire path —
+/// encode, frame, syscall, decode — of a multi-process deployment while
+/// still returning the final node states. For genuinely separate OS
+/// processes, see [`crate::net::run_hub_multiproc`] /
+/// [`crate::net::run_worker_multiproc`].
+///
+/// The extra `M: Wire` bound is what a socket demands: messages must
+/// serialize.
+///
+/// # Panics
+///
+/// Panics if socket setup fails (an in-process pair failing means the host
+/// is out of descriptors) or a node/router thread panics.
+pub fn run_live_transport<M, N>(
+    cfg: LiveConfig,
+    net: Box<dyn NetworkModel>,
+    nodes: Vec<(N, usize)>,
+    transport: TransportKind,
+) -> LiveOutcome<N>
+where
+    M: Wire + Clone + Send + 'static,
+    N: LiveNode<M> + 'static,
+{
+    if matches!(transport, TransportKind::Mpsc) {
+        return run_live(cfg, net, nodes);
+    }
+    let (hub_end, worker_end) =
+        SocketStream::pair(transport).expect("live transport socket pair");
+    let regions: Vec<Region> = nodes.iter().map(|&(_, r)| Region(r)).collect();
+    let with_ids: Vec<(NodeId, N)> =
+        nodes.into_iter().enumerate().map(|(id, (n, _))| (id, n)).collect();
+    let (seed, epsilon) = (cfg.seed, cfg.truetime_epsilon);
+    let worker = std::thread::spawn(move || {
+        run_worker_conn::<M, N>(worker_end, 0, with_ids, seed, epsilon)
+    });
+    let hub =
+        run_hub_conns::<M>(&cfg, net, regions, vec![hub_end]).expect("live transport hub failed");
+    let w = worker
+        .join()
+        .expect("live transport worker panicked")
+        .expect("live transport worker failed");
+    let mut nodes_by_id = w.nodes;
+    nodes_by_id.sort_by_key(|&(id, _)| id);
+    LiveOutcome {
+        nodes: nodes_by_id.into_iter().map(|(_, n)| n).collect(),
+        completed: hub.completed,
+        net_stats: hub.net_stats,
+        deliveries: hub.deliveries,
+        finished_at: hub.finished_at,
+        wall: hub.wall,
+        wire: hub.wire,
     }
 }

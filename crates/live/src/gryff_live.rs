@@ -9,11 +9,12 @@ use std::time::Duration;
 use regular_core::OpKind;
 use regular_gryff::prelude::*;
 use regular_gryff::replica::{GryffReplica, ReplicaStats};
-use regular_session::{CompletedRecord, SessionRunner};
+use regular_session::{CompletedRecord, SessionRunner, SessionStats};
 use regular_sim::{LatencyMatrix, LatencyRecorder, MessageStats, NodeId, SimDuration, SimTime};
 
-use crate::exec::{run_live, LiveConfig, LiveNode, LiveOutcome};
-use crate::transport::DeliveryRecord;
+use crate::exec::{run_live_transport, LiveConfig, LiveNode, LiveOutcome};
+use crate::net::WireStats;
+use crate::transport::{DeliveryRecord, TransportKind};
 
 impl LiveNode<GryffMsg> for GryffNode {
     fn drain_completions(&mut self, out: &mut Vec<(usize, CompletedRecord)>) {
@@ -44,6 +45,9 @@ pub struct GryffLiveSpec {
     pub time_scale: u64,
     /// Record the transport's delivery log.
     pub record_deliveries: bool,
+    /// Which transport carries the messages (mpsc, UDS, or TCP; see
+    /// [`TransportKind`]).
+    pub transport: TransportKind,
 }
 
 /// The outcome of a live deployment run.
@@ -74,6 +78,39 @@ pub struct GryffLiveResult {
     pub net_stats: MessageStats,
     /// The transport's delivery log (empty unless recording was enabled).
     pub deliveries: Vec<DeliveryRecord>,
+    /// Socket traffic counters (all zeros on the mpsc transport).
+    pub wire: WireStats,
+    /// Aggregated session-scheduler statistics across all clients
+    /// (arrivals/shed matter for open-loop runs).
+    pub session_stats: SessionStats,
+}
+
+/// Builds the live deployment's node list — replicas first (ids
+/// `0..num_replicas`), then clients — deterministically from the spec
+/// parts, for the same reason as
+/// [`build_spanner_nodes`](crate::spanner_live::build_spanner_nodes):
+/// multi-process workers rebuild it identically and host a partition.
+pub fn build_gryff_nodes(
+    config: &GryffConfig,
+    clients: Vec<GryffClientSpec>,
+    stop_issuing_at: SimTime,
+) -> Vec<(GryffNode, usize)> {
+    let mut nodes: Vec<(GryffNode, usize)> = Vec::new();
+    let mut replica_ids = Vec::new();
+    for i in 0..config.num_replicas {
+        replica_ids.push(nodes.len());
+        nodes.push((
+            GryffNode::Replica(Box::new(GryffReplica::new(config, i))),
+            config.replica_regions[i],
+        ));
+    }
+    for c in clients {
+        let cfg = client_config(config, replica_ids.clone());
+        let runner =
+            SessionRunner::new(GryffService::new(cfg), c.sessions, stop_issuing_at, c.workload);
+        nodes.push((GryffNode::Client(Box::new(runner)), c.region));
+    }
+    nodes
 }
 
 /// Builds and runs a deployment on the live plane.
@@ -92,26 +129,13 @@ pub fn run_gryff_live(spec: GryffLiveSpec) -> GryffLiveResult {
         measure_from,
         time_scale,
         record_deliveries,
+        transport,
     } = spec;
     config.validate().expect("invalid Gryff configuration");
 
-    let mut nodes: Vec<(GryffNode, usize)> = Vec::new();
-    let mut replica_ids = Vec::new();
-    for i in 0..config.num_replicas {
-        replica_ids.push(nodes.len());
-        nodes.push((
-            GryffNode::Replica(Box::new(GryffReplica::new(&config, i))),
-            config.replica_regions[i],
-        ));
-    }
-    let mut client_ids = Vec::new();
-    for c in clients {
-        let cfg = client_config(&config, replica_ids.clone());
-        let runner =
-            SessionRunner::new(GryffService::new(cfg), c.sessions, stop_issuing_at, c.workload);
-        client_ids.push(nodes.len());
-        nodes.push((GryffNode::Client(Box::new(runner)), c.region));
-    }
+    let nodes = build_gryff_nodes(&config, clients, stop_issuing_at);
+    let replica_count = config.num_replicas;
+    let client_ids: Vec<NodeId> = (replica_count..nodes.len()).collect();
 
     let live_cfg = LiveConfig {
         seed,
@@ -121,8 +145,9 @@ pub fn run_gryff_live(spec: GryffLiveSpec) -> GryffLiveResult {
         stop_at: stop_issuing_at + drain,
         record_deliveries,
     };
-    let outcome: LiveOutcome<GryffNode> = run_live(live_cfg, Box::new(net), nodes);
-    let LiveOutcome { nodes, completed, net_stats, deliveries, finished_at, wall } = outcome;
+    let outcome: LiveOutcome<GryffNode> =
+        run_live_transport(live_cfg, Box::new(net), nodes, transport);
+    let LiveOutcome { nodes, completed, net_stats, deliveries, finished_at, wall, wire } = outcome;
 
     let mut read = LatencyRecorder::new();
     let mut write = LatencyRecorder::new();
@@ -131,7 +156,7 @@ pub fn run_gryff_live(spec: GryffLiveSpec) -> GryffLiveResult {
     let mut per_client = Vec::new();
     let mut window_count = 0u64;
     let mut measured = 0u64;
-    for (&id, recs) in client_ids.iter().zip(&completed[replica_ids.len()..]) {
+    for (&id, recs) in client_ids.iter().zip(&completed[replica_count..]) {
         let recs: Vec<CompletedRecord> = recs.iter().map(|(_, r)| r.clone()).collect();
         for op in &recs {
             if op.finish >= measure_from {
@@ -151,6 +176,7 @@ pub fn run_gryff_live(spec: GryffLiveSpec) -> GryffLiveResult {
         per_client.push((id, recs));
     }
     let mut replica_stats = Vec::new();
+    let mut session_stats = SessionStats::default();
     for node in nodes {
         match node {
             GryffNode::Replica(r) => replica_stats.push(r.stats),
@@ -163,6 +189,7 @@ pub fn run_gryff_live(spec: GryffLiveSpec) -> GryffLiveResult {
                 client_stats.fences += s.fences;
                 client_stats.deps_piggybacked += s.deps_piggybacked;
                 client_stats.timeout_retries += s.timeout_retries;
+                session_stats.merge(&c.stats);
             }
         }
     }
@@ -187,5 +214,7 @@ pub fn run_gryff_live(spec: GryffLiveSpec) -> GryffLiveResult {
         finished_at,
         net_stats,
         deliveries,
+        wire,
+        session_stats,
     }
 }

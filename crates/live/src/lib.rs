@@ -25,20 +25,35 @@
 //! caller, which can feed them to the streaming certifier online. Live runs
 //! are *not* bit-deterministic (thread interleaving is real); the transport
 //! records its delivery order so a failing run leaves replayable evidence.
+//!
+//! Messages travel over a chosen [`transport::TransportKind`]: in-process
+//! mpsc channels, Unix-domain sockets, or TCP. The socket backends
+//! ([`net`], framed by [`wire`]) carry the same router semantics across
+//! process boundaries, so nodes can run as separate OS processes — see
+//! `OPERATIONS.md` at the repository root for running such clusters.
 
 pub mod clock;
 pub mod exec;
 pub mod gryff_live;
+pub mod net;
 pub mod spanner_live;
 pub mod transport;
+pub mod wire;
 
 pub mod prelude {
     //! Everything a live harness needs.
     pub use crate::clock::LiveClock;
-    pub use crate::exec::{run_live, LiveConfig, LiveNode, LiveOutcome};
-    pub use crate::gryff_live::{run_gryff_live, GryffLiveResult, GryffLiveSpec};
-    pub use crate::spanner_live::{run_cluster_live, SpannerLiveResult, SpannerLiveSpec};
-    pub use crate::transport::{DeliveryRecord, LiveEvent, Outgoing};
+    pub use crate::exec::{run_live, run_live_transport, LiveConfig, LiveNode, LiveOutcome};
+    pub use crate::gryff_live::{build_gryff_nodes, run_gryff_live, GryffLiveResult, GryffLiveSpec};
+    pub use crate::net::{
+        run_hub_multiproc, run_worker_multiproc, ListenAddr, Listener, MultiprocOutcome,
+        SocketStream, WireStats,
+    };
+    pub use crate::spanner_live::{
+        build_spanner_nodes, run_cluster_live, SpannerLiveResult, SpannerLiveSpec,
+    };
+    pub use crate::transport::{DeliveryRecord, LiveEvent, Mailbox, Outgoing, TransportKind};
+    pub use crate::wire::Wire;
 }
 
 pub use prelude::*;

@@ -8,13 +8,14 @@
 
 use std::time::Duration;
 
-use regular_session::{CompletedRecord, SessionRunner};
+use regular_session::{CompletedRecord, SessionRunner, SessionStats};
 use regular_sim::{LatencyMatrix, LatencyRecorder, MessageStats, NodeId, SimDuration, SimTime};
 use regular_spanner::prelude::*;
 use regular_spanner::shard::ShardStats;
 
-use crate::exec::{run_live, LiveConfig, LiveNode, LiveOutcome};
-use crate::transport::DeliveryRecord;
+use crate::exec::{run_live_transport, LiveConfig, LiveNode, LiveOutcome};
+use crate::net::WireStats;
+use crate::transport::{DeliveryRecord, TransportKind};
 
 impl LiveNode<SpannerMsg> for SpannerNode {
     fn drain_completions(&mut self, out: &mut Vec<(usize, CompletedRecord)>) {
@@ -46,6 +47,9 @@ pub struct SpannerLiveSpec {
     pub time_scale: u64,
     /// Record the transport's delivery log.
     pub record_deliveries: bool,
+    /// Which transport carries the messages (mpsc, UDS, or TCP; see
+    /// [`TransportKind`]).
+    pub transport: TransportKind,
 }
 
 /// The outcome of a live cluster run.
@@ -75,6 +79,45 @@ pub struct SpannerLiveResult {
     pub net_stats: MessageStats,
     /// The transport's delivery log (empty unless recording was enabled).
     pub deliveries: Vec<DeliveryRecord>,
+    /// Socket traffic counters (all zeros on the mpsc transport).
+    pub wire: WireStats,
+    /// Aggregated session-scheduler statistics across all clients
+    /// (arrivals/shed matter for open-loop runs).
+    pub session_stats: SessionStats,
+}
+
+/// Builds the live cluster's node list — shards first (ids
+/// `0..num_shards`), then clients — deterministically from the spec parts.
+///
+/// Public because multi-process workers need it: every process rebuilds the
+/// identical list from the shared scenario spec so node ids line up, then
+/// hosts only its own partition (see [`crate::net::run_worker_multiproc`]).
+pub fn build_spanner_nodes(
+    config: &SpannerConfig,
+    net: &LatencyMatrix,
+    clients: Vec<ClientSpec>,
+    stop_issuing_at: SimTime,
+) -> Vec<(SpannerNode, usize)> {
+    let mut nodes: Vec<(SpannerNode, usize)> = Vec::new();
+    let mut shard_nodes = Vec::new();
+    let mut replication_delays = Vec::new();
+    for shard in 0..config.num_shards {
+        let delay = config.replication_delay(shard, net);
+        replication_delays.push(delay);
+        shard_nodes.push(nodes.len());
+        nodes.push((
+            SpannerNode::Shard(Box::new(ShardNode::new(config, shard, delay))),
+            config.leader_regions[shard],
+        ));
+    }
+    for c in clients {
+        let cfg =
+            client_config(config, net, c.region, shard_nodes.clone(), replication_delays.clone());
+        let runner =
+            SessionRunner::new(SpannerService::new(cfg), c.sessions, stop_issuing_at, c.workload);
+        nodes.push((SpannerNode::Client(Box::new(runner)), c.region));
+    }
+    nodes
 }
 
 /// Builds and runs a cluster on the live plane.
@@ -94,32 +137,15 @@ pub fn run_cluster_live(spec: SpannerLiveSpec) -> SpannerLiveResult {
         measure_from,
         time_scale,
         record_deliveries,
+        transport,
     } = spec;
     config.validate().expect("invalid Spanner configuration");
 
     // Shards first (node ids 0..num_shards), exactly like the simulator
     // harness, so NodeIds line up across planes.
-    let mut nodes: Vec<(SpannerNode, usize)> = Vec::new();
-    let mut shard_nodes = Vec::new();
-    let mut replication_delays = Vec::new();
-    for shard in 0..config.num_shards {
-        let delay = config.replication_delay(shard, &net);
-        replication_delays.push(delay);
-        shard_nodes.push(nodes.len());
-        nodes.push((
-            SpannerNode::Shard(Box::new(ShardNode::new(&config, shard, delay))),
-            config.leader_regions[shard],
-        ));
-    }
-    let mut client_ids = Vec::new();
-    for c in clients {
-        let cfg =
-            client_config(&config, &net, c.region, shard_nodes.clone(), replication_delays.clone());
-        let runner =
-            SessionRunner::new(SpannerService::new(cfg), c.sessions, stop_issuing_at, c.workload);
-        client_ids.push(nodes.len());
-        nodes.push((SpannerNode::Client(Box::new(runner)), c.region));
-    }
+    let nodes = build_spanner_nodes(&config, &net, clients, stop_issuing_at);
+    let shard_count = config.num_shards;
+    let client_ids: Vec<NodeId> = (shard_count..nodes.len()).collect();
 
     let live_cfg = LiveConfig {
         seed,
@@ -129,8 +155,9 @@ pub fn run_cluster_live(spec: SpannerLiveSpec) -> SpannerLiveResult {
         stop_at: stop_issuing_at + drain,
         record_deliveries,
     };
-    let outcome: LiveOutcome<SpannerNode> = run_live(live_cfg, Box::new(net), nodes);
-    let LiveOutcome { nodes, completed, net_stats, deliveries, finished_at, wall } = outcome;
+    let outcome: LiveOutcome<SpannerNode> =
+        run_live_transport(live_cfg, Box::new(net), nodes, transport);
+    let LiveOutcome { nodes, completed, net_stats, deliveries, finished_at, wall, wire } = outcome;
 
     let mut rw = LatencyRecorder::new();
     let mut ro = LatencyRecorder::new();
@@ -138,7 +165,7 @@ pub fn run_cluster_live(spec: SpannerLiveSpec) -> SpannerLiveResult {
     let mut per_client = Vec::new();
     let mut window_count = 0u64;
     let mut measured = 0u64;
-    for (&id, recs) in client_ids.iter().zip(&completed[shard_nodes.len()..]) {
+    for (&id, recs) in client_ids.iter().zip(&completed[shard_count..]) {
         let recs: Vec<CompletedRecord> = recs.iter().map(|(_, r)| r.clone()).collect();
         for txn in &recs {
             if txn.finish >= measure_from && !txn.orphan && !txn.kind.is_fence() {
@@ -157,6 +184,7 @@ pub fn run_cluster_live(spec: SpannerLiveSpec) -> SpannerLiveResult {
         per_client.push((id, recs));
     }
     let mut shard_stats = Vec::new();
+    let mut session_stats = SessionStats::default();
     for (i, node) in nodes.into_iter().enumerate() {
         match node {
             SpannerNode::Shard(s) => shard_stats.push(s.stats),
@@ -168,7 +196,8 @@ pub fn run_cluster_live(spec: SpannerLiveSpec) -> SpannerLiveResult {
                 client_stats.aborted_attempts += s.aborted_attempts;
                 client_stats.ro_waited_slow += s.ro_waited_slow;
                 client_stats.timeout_retries += s.timeout_retries;
-                debug_assert!(i >= shard_nodes.len());
+                session_stats.merge(&c.stats);
+                debug_assert!(i >= shard_count);
             }
         }
     }
@@ -192,5 +221,7 @@ pub fn run_cluster_live(spec: SpannerLiveSpec) -> SpannerLiveResult {
         finished_at,
         net_stats,
         deliveries,
+        wire,
+        session_stats,
     }
 }

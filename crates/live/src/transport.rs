@@ -26,6 +26,67 @@ use serde::{Deserialize, Serialize};
 
 use crate::clock::LiveClock;
 
+/// Which transport carries messages between the nodes and the router.
+///
+/// The router logic is identical for all three — same [`NetworkModel`]
+/// latency, same [`FaultSchedule`] verdicts on the scaled wall clock, same
+/// [`DeliveryRecord`] log. What changes is the path a message takes to and
+/// from it: an in-process channel, or a kernel socket carrying
+/// length-prefixed CRC-framed bytes (see [`crate::wire`]), which is also
+/// what lets nodes live in separate OS processes ([`crate::net`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// In-process mpsc channels (PR 7's original plane). Zero
+    /// serialization; nodes must share the router's address space.
+    #[default]
+    Mpsc,
+    /// Unix-domain stream sockets: kernel-mediated, process-capable, no IP
+    /// stack.
+    Uds,
+    /// TCP over loopback (or any address, for operator-driven multi-host
+    /// clusters).
+    Tcp,
+}
+
+impl TransportKind {
+    /// Stable lowercase name (CLI and report vocabulary).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TransportKind::Mpsc => "mpsc",
+            TransportKind::Uds => "uds",
+            TransportKind::Tcp => "tcp",
+        }
+    }
+
+    /// Parses a [`TransportKind::name`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "mpsc" => Some(TransportKind::Mpsc),
+            "uds" | "unix" => Some(TransportKind::Uds),
+            "tcp" => Some(TransportKind::Tcp),
+            _ => None,
+        }
+    }
+}
+
+/// Where the router delivers a node's events: a local channel, or a socket
+/// peer that encodes them onto a connection (implemented by
+/// [`crate::net::RemotePeer`]).
+///
+/// `deliver` returns `false` only when the destination is gone (channel or
+/// connection closed) — mirroring `Sender::send`'s error, which the router
+/// uses to skip counting the delivery.
+pub trait Mailbox<M>: Send + Sync {
+    /// Delivers one event; `false` if the destination has disconnected.
+    fn deliver(&self, ev: LiveEvent<M>) -> bool;
+}
+
+impl<M: Send> Mailbox<M> for Sender<LiveEvent<M>> {
+    fn deliver(&self, ev: LiveEvent<M>) -> bool {
+        self.send(ev).is_ok()
+    }
+}
+
 /// An event delivered into a node thread's mailbox.
 pub enum LiveEvent<M> {
     /// Run `on_start` (sent once, before any delivery).
@@ -140,7 +201,7 @@ pub(crate) fn run_router<M: Clone + Send + 'static>(
     mut net: Box<dyn NetworkModel>,
     faults: FaultSchedule,
     regions: Vec<Region>,
-    mailboxes: Vec<Sender<LiveEvent<M>>>,
+    mailboxes: Vec<Arc<dyn Mailbox<M>>>,
     rx: Receiver<Outgoing<M>>,
     seed: u64,
     record_deliveries: bool,
@@ -180,7 +241,7 @@ pub(crate) fn run_router<M: Clone + Send + 'static>(
             let Reverse(p) = heap.pop().unwrap();
             match p.kind {
                 PendingKind::Msg { from, to, msg } => {
-                    if mailboxes[to].send(LiveEvent::Msg { from, msg }).is_ok() {
+                    if mailboxes[to].deliver(LiveEvent::Msg { from, msg }) {
                         if record_deliveries {
                             deliveries.push(DeliveryRecord {
                                 seq: deliveries.len() as u64,
@@ -193,10 +254,10 @@ pub(crate) fn run_router<M: Clone + Send + 'static>(
                     }
                 }
                 PendingKind::Crash { node } => {
-                    let _ = mailboxes[node].send(LiveEvent::Crash);
+                    let _ = mailboxes[node].deliver(LiveEvent::Crash);
                 }
                 PendingKind::Recover { node } => {
-                    let _ = mailboxes[node].send(LiveEvent::Recover);
+                    let _ = mailboxes[node].deliver(LiveEvent::Recover);
                 }
             }
         }

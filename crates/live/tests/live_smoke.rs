@@ -41,6 +41,7 @@ fn spanner_spec(seed: u64, scale: u64) -> SpannerLiveSpec {
         measure_from: SimTime::from_secs(1),
         time_scale: scale,
         record_deliveries: true,
+        transport: TransportKind::Mpsc,
     }
 }
 
@@ -87,6 +88,7 @@ fn live_gryff_makes_progress_under_crash() {
         measure_from: SimTime::ZERO,
         time_scale: 40,
         record_deliveries: false,
+        transport: TransportKind::Mpsc,
     });
     let total: usize = r.completed.iter().map(|(_, v)| v.len()).sum();
     assert!(total > 50, "live gryff barely progressed: {} completions", total);

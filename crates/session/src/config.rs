@@ -24,6 +24,19 @@ pub enum SessionDriver {
         /// Think time between a session's batches.
         think_time: SimDuration,
     },
+    /// A pure open-loop generator: Poisson arrivals at `arrival_rate` per
+    /// second, each issuing exactly one batch then departing. Offered load
+    /// is therefore independent of response time — the model that exposes a
+    /// system's saturation knee, which closed-loop drivers self-throttle
+    /// past. `max_in_flight` bounds the in-flight population: arrivals
+    /// beyond it are shed (and counted), keeping an over-saturated run from
+    /// queueing without bound.
+    OpenLoop {
+        /// Session arrival rate (sessions per second) at this node.
+        arrival_rate: f64,
+        /// Arrivals beyond this many concurrently active sessions are shed.
+        max_in_flight: usize,
+    },
 }
 
 /// Static configuration of the sessions a client node drives.
@@ -57,6 +70,20 @@ impl SessionConfig {
     pub fn partly_open(arrival_rate: f64, stay_probability: f64, think_time: SimDuration) -> Self {
         SessionConfig {
             driver: SessionDriver::PartlyOpen { arrival_rate, stay_probability, think_time },
+            batch: 1,
+            workload_seed: None,
+        }
+    }
+
+    /// An open-loop configuration with batch 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_in_flight` is zero (every arrival would be shed).
+    pub fn open_loop(arrival_rate: f64, max_in_flight: usize) -> Self {
+        assert!(max_in_flight >= 1, "max_in_flight must be at least 1");
+        SessionConfig {
+            driver: SessionDriver::OpenLoop { arrival_rate, max_in_flight },
             batch: 1,
             workload_seed: None,
         }

@@ -33,6 +33,25 @@ pub struct SessionStats {
     pub contexts_exported: u64,
     /// Causal contexts imported from another session's handoff.
     pub contexts_imported: u64,
+    /// Sessions that arrived (partly-open and open-loop drivers), shed ones
+    /// included — the *offered* load.
+    pub arrivals: u64,
+    /// Open-loop arrivals shed over the in-flight cap (see
+    /// [`crate::SessionDriver::OpenLoop`]). Nonzero means the run was past
+    /// the saturation knee.
+    pub shed: u64,
+}
+
+impl SessionStats {
+    /// Accumulates another runner's counters (for cluster-wide aggregation).
+    pub fn merge(&mut self, other: &SessionStats) {
+        self.batches += other.batches;
+        self.ops_completed += other.ops_completed;
+        self.contexts_exported += other.contexts_exported;
+        self.contexts_imported += other.contexts_imported;
+        self.arrivals += other.arrivals;
+        self.shed += other.shed;
+    }
 }
 
 /// One out-of-band causal handoff between two lanes (Section 4.2): the
@@ -164,6 +183,8 @@ impl<S: Service> Node<S::Msg> for SessionRunner<S> {
         } else {
             let Some(wake) = self.timers.remove(&tag) else { return };
             let (issue, timers) = self.scheduler.on_wake(ctx.now(), ctx.rng(), wake);
+            self.stats.arrivals = self.scheduler.arrivals();
+            self.stats.shed = self.scheduler.shed();
             for (delay, next) in timers {
                 self.arm(ctx, delay, next);
             }
@@ -512,6 +533,8 @@ impl<M: Clone + 'static> Node<M> for ComposedRunner<M> {
         } else {
             let Some(wake) = self.timers.remove(&tag) else { return };
             let (issue, timers) = self.scheduler.on_wake(ctx.now(), ctx.rng(), wake);
+            self.stats.arrivals = self.scheduler.arrivals();
+            self.stats.shed = self.scheduler.shed();
             for (delay, next) in timers {
                 self.arm(ctx, delay, next);
             }

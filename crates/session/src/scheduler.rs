@@ -32,13 +32,35 @@ pub struct SessionScheduler {
     stop_issuing_at: SimTime,
     active: HashSet<u64>,
     next_session: u64,
+    arrivals: u64,
+    shed: u64,
 }
 
 impl SessionScheduler {
     /// Creates a scheduler that stops issuing new batches at
     /// `stop_issuing_at` (in-flight operations drain normally).
     pub fn new(cfg: SessionConfig, stop_issuing_at: SimTime) -> Self {
-        SessionScheduler { cfg, stop_issuing_at, active: HashSet::new(), next_session: 0 }
+        SessionScheduler {
+            cfg,
+            stop_issuing_at,
+            active: HashSet::new(),
+            next_session: 0,
+            arrivals: 0,
+            shed: 0,
+        }
+    }
+
+    /// Sessions that arrived via `Wake::Arrival` (partly-open and
+    /// open-loop), shed ones included — the *offered* load.
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Open-loop arrivals shed because `max_in_flight` sessions were already
+    /// active. `shed > 0` is the load generator saying the system is past
+    /// its knee at this arrival rate.
+    pub fn shed(&self) -> u64 {
+        self.shed
     }
 
     /// The configured pipelining depth.
@@ -75,7 +97,8 @@ impl SessionScheduler {
                     (jitter, Wake::Issue { session: id })
                 })
                 .collect(),
-            SessionDriver::PartlyOpen { arrival_rate, .. } => {
+            SessionDriver::PartlyOpen { arrival_rate, .. }
+            | SessionDriver::OpenLoop { arrival_rate, .. } => {
                 if arrival_rate > 0.0 {
                     vec![(exponential_delay(rng, arrival_rate), Wake::Arrival)]
                 } else {
@@ -106,12 +129,25 @@ impl SessionScheduler {
                 if now >= self.stop_issuing_at {
                     return (Vec::new(), Vec::new());
                 }
+                self.arrivals += 1;
+                // Open-loop arrivals keep coming regardless of what happens
+                // to this one — that independence is the whole model — but an
+                // arrival over the in-flight cap is shed, not queued.
+                if let SessionDriver::OpenLoop { arrival_rate, max_in_flight } = self.cfg.driver {
+                    let timers = vec![(exponential_delay(rng, arrival_rate), Wake::Arrival)];
+                    if self.active.len() >= max_in_flight {
+                        self.shed += 1;
+                        return (Vec::new(), timers);
+                    }
+                    let id = self.spawn_session();
+                    return (vec![id], timers);
+                }
                 let id = self.spawn_session();
                 let timers = match self.cfg.driver {
                     SessionDriver::PartlyOpen { arrival_rate, .. } => {
                         vec![(exponential_delay(rng, arrival_rate), Wake::Arrival)]
                     }
-                    SessionDriver::ClosedLoop { .. } => Vec::new(),
+                    SessionDriver::ClosedLoop { .. } | SessionDriver::OpenLoop { .. } => Vec::new(),
                 };
                 (vec![id], timers)
             }
@@ -140,6 +176,11 @@ impl SessionScheduler {
                     self.active.remove(&session);
                     Vec::new()
                 }
+            }
+            // Open-loop sessions issue exactly one batch, then depart.
+            SessionDriver::OpenLoop { .. } => {
+                self.active.remove(&session);
+                Vec::new()
             }
         }
     }
@@ -210,6 +251,52 @@ mod tests {
         let next = s.on_batch_complete(SimTime::from_millis(6), &mut r, issue[0]);
         assert!(next.is_empty());
         assert_eq!(s.active_sessions(), 0);
+    }
+
+    #[test]
+    fn open_loop_sessions_issue_once_and_depart() {
+        let mut s = SessionScheduler::new(
+            SessionConfig::open_loop(100.0, 8),
+            SimTime::from_secs(10),
+        );
+        let mut r = rng();
+        let timers = s.on_start(&mut r);
+        assert_eq!(timers.len(), 1);
+        let (issue, more) = s.on_wake(SimTime::from_millis(5), &mut r, Wake::Arrival);
+        assert_eq!(issue.len(), 1);
+        assert_eq!(more.len(), 1, "the next arrival is always scheduled");
+        assert_eq!(s.arrivals(), 1);
+        // One batch, then gone — no think timer, no re-issue.
+        let next = s.on_batch_complete(SimTime::from_millis(6), &mut r, issue[0]);
+        assert!(next.is_empty());
+        assert_eq!(s.active_sessions(), 0);
+        assert_eq!(s.shed(), 0);
+    }
+
+    #[test]
+    fn open_loop_sheds_arrivals_over_the_cap() {
+        let mut s = SessionScheduler::new(
+            SessionConfig::open_loop(100.0, 2),
+            SimTime::from_secs(10),
+        );
+        let mut r = rng();
+        let _ = s.on_start(&mut r);
+        let now = SimTime::from_millis(1);
+        let (a, _) = s.on_wake(now, &mut r, Wake::Arrival);
+        let (b, _) = s.on_wake(now, &mut r, Wake::Arrival);
+        assert_eq!(a.len() + b.len(), 2);
+        assert_eq!(s.active_sessions(), 2);
+        // Third arrival while two are in flight: shed, but the arrival
+        // process keeps going.
+        let (c, more) = s.on_wake(now, &mut r, Wake::Arrival);
+        assert!(c.is_empty());
+        assert_eq!(more.len(), 1);
+        assert_eq!(s.shed(), 1);
+        assert_eq!(s.arrivals(), 3);
+        // A completion frees a slot; the next arrival is admitted again.
+        let _ = s.on_batch_complete(now, &mut r, a.first().copied().unwrap_or(b[0]));
+        let (d, _) = s.on_wake(now, &mut r, Wake::Arrival);
+        assert_eq!(d.len(), 1);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub struct PreparedInfo {
 }
 
 /// Messages exchanged between clients and shard leaders.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SpannerMsg {
     // ----- Read-write transactions: execute phase -----
     /// Client reads the current values of `keys` at a shard (execute phase).

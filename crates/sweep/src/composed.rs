@@ -24,7 +24,10 @@ use regular_gryff::prelude::{GryffConfig, GryffService};
 use regular_gryff::replica::GryffReplica;
 use regular_gryff::workload::ConflictWorkload;
 use regular_gryff::{Carstamp, GryffMsg};
-use regular_live::{run_live, DeliveryRecord, LiveConfig, LiveNode, LiveOutcome};
+use regular_live::wire::{Dec, Enc, Wire};
+use regular_live::{
+    run_live_transport, DeliveryRecord, LiveConfig, LiveNode, LiveOutcome, TransportKind, WireStats,
+};
 use regular_session::{
     CompletedRecord, ComposedRunner, HandoffRecord, HistoryRecorder, MappedService,
     MultiServiceWorkload, RoundRobinWorkload, Service, SessionConfig, SessionWorkload, WitnessHint,
@@ -84,6 +87,31 @@ impl TryFrom<DuoMsg> for GryffMsg {
             DuoMsg::Gryff(g) => Ok(g),
             DuoMsg::Spanner(_) => Err(()),
         }
+    }
+}
+
+// One tag byte selecting the protocol, then that protocol's own wire
+// encoding — which makes the composed deployment socket-capable (see
+// `regular_live::wire`).
+impl Wire for DuoMsg {
+    fn encode(&self, e: &mut Enc) {
+        match self {
+            DuoMsg::Spanner(m) => {
+                e.u8(0);
+                m.encode(e);
+            }
+            DuoMsg::Gryff(m) => {
+                e.u8(1);
+                m.encode(e);
+            }
+        }
+    }
+    fn decode(d: &mut Dec<'_>) -> Option<Self> {
+        Some(match d.u8()? {
+            0 => DuoMsg::Spanner(Wire::decode(d)?),
+            1 => DuoMsg::Gryff(Wire::decode(d)?),
+            _ => return None,
+        })
     }
 }
 
@@ -199,6 +227,9 @@ pub struct ComposedRunConfig {
     /// pre-existing volatile behaviour; `Wal` routes shard and replica state
     /// through per-node write-ahead logs and recovers crashes from them).
     pub durability: Durability,
+    /// Transport carrying messages on the live plane (ignored by the
+    /// discrete-event engine, which has no transport to choose).
+    pub transport: TransportKind,
 }
 
 impl Default for ComposedRunConfig {
@@ -215,6 +246,7 @@ impl Default for ComposedRunConfig {
             handoff_every: None,
             queue_kind: QueueKind::Indexed,
             durability: Durability::InMemory,
+            transport: TransportKind::Mpsc,
         }
     }
 }
@@ -426,6 +458,8 @@ pub struct ComposedLiveRun {
     pub finished_at: SimTime,
     /// The transport's delivery log (empty unless recording was enabled).
     pub deliveries: Vec<DeliveryRecord>,
+    /// Socket traffic counters (all zeros on the mpsc transport).
+    pub wire: WireStats,
 }
 
 /// [`run_composed`] on the live execution plane: the same node graph of
@@ -527,8 +561,10 @@ pub fn run_composed_live(
         stop_at: stop_issuing_at + SimDuration::from_secs(config.drain_secs),
         record_deliveries,
     };
-    let outcome: LiveOutcome<DuoNode> = run_live(live_cfg, Box::new(net), nodes);
-    let LiveOutcome { nodes, mut completed, net_stats, deliveries, finished_at, wall } = outcome;
+    let outcome: LiveOutcome<DuoNode> =
+        run_live_transport(live_cfg, Box::new(net), nodes, config.transport);
+    let LiveOutcome { nodes, mut completed, net_stats, deliveries, finished_at, wall, wire } =
+        outcome;
 
     let mut apps = Vec::new();
     let mut storage = StorageSummary::default();
@@ -553,7 +589,7 @@ pub fn run_composed_live(
     let measured = outcome.spanner_ops() + outcome.gryff_ops();
     let wall_secs = wall.as_secs_f64();
     let wall_throughput = if wall_secs > 0.0 { measured as f64 / wall_secs } else { 0.0 };
-    ComposedLiveRun { outcome, wall, wall_throughput, finished_at, deliveries }
+    ComposedLiveRun { outcome, wall, wall_throughput, finished_at, deliveries, wire }
 }
 
 /// A certified composed run: the combined history and the accepted witness.

@@ -78,8 +78,11 @@ pub enum Scenario {
     ComposedFaultsDurable,
     /// Spanner-RSS on the live execution plane (`regular-live`): every node
     /// an OS thread, time the scaled wall clock, completions certified RSS
-    /// through the streaming checker. Not bit-deterministic; the transport's
-    /// delivery log rides along in failure artifacts.
+    /// through the streaming checker. The sweep runs it over the in-process
+    /// mpsc transport; the plane's socket backends (UDS/TCP, including
+    /// multi-process deployments) are exercised by `live_bench --net`.
+    /// Not bit-deterministic; the transport's delivery log rides along in
+    /// failure artifacts.
     LiveSpannerRss,
     /// Gryff-RSC on the live execution plane; certified RSC.
     LiveGryffRsc,
@@ -828,6 +831,7 @@ fn run_spanner_live_seed(
         measure_from: SimTime::from_secs(1),
         time_scale: LIVE_TIME_SCALE,
         record_deliveries: true,
+        transport: regular_live::TransportKind::Mpsc,
     })
 }
 
@@ -858,6 +862,7 @@ fn run_gryff_live_seed(seed: u64, stop_secs: u64) -> regular_live::GryffLiveResu
         measure_from: SimTime::from_secs(1),
         time_scale: LIVE_TIME_SCALE,
         record_deliveries: true,
+        transport: regular_live::TransportKind::Mpsc,
     })
 }
 

@@ -22,7 +22,11 @@
 //! * [`gryff`] (`regular-gryff`) — Gryff and Gryff-RSC (Section 7).
 //! * [`live`] (`regular-live`) — the live execution plane: the same protocol
 //!   crates on real OS threads and a scaled wall clock instead of the event
-//!   queue, with completions streamed into online certification.
+//!   queue, with completions streamed into online certification. Messages
+//!   travel over a pluggable transport — in-process channels, Unix-domain
+//!   sockets, or TCP up to nodes in separate OS processes; see
+//!   [`OPERATIONS.md`](https://github.com/paper-repro/regular-seq/blob/main/OPERATIONS.md)
+//!   for the operator's guide to launching and reading live clusters.
 //! * [`storage`] (`regular-storage`) — the durable storage stack under the
 //!   protocol nodes: write-ahead log with group commit, page-based buffer
 //!   pool and checkpoints, and crash recovery that replays from the log —

@@ -12,7 +12,7 @@
 //!   still certifies.
 
 use regular_seq::core::checker::certificate::WitnessModel;
-use regular_seq::live::{run_cluster_live, SpannerLiveSpec};
+use regular_seq::live::{run_cluster_live, SpannerLiveSpec, TransportKind};
 use regular_seq::session::{SessionConfig, SessionWorkload};
 use regular_seq::sim::{LatencyMatrix, SimDuration, SimTime};
 use regular_seq::spanner::prelude::*;
@@ -76,6 +76,7 @@ fn live_plane_matches_simulator_on_a_zero_latency_cluster() {
         measure_from,
         time_scale: 20,
         record_deliveries: true,
+        transport: TransportKind::Mpsc,
     });
     let (live_history, live_witness) = build_history_from(&live.completed);
     certify_streaming(&live_history, &live_witness, WitnessModel::Regular)
@@ -122,6 +123,7 @@ fn live_spanner_stress_run_certifies_rss_online() {
         measure_from: SimTime::from_secs(1),
         time_scale: 40,
         record_deliveries: false,
+        transport: TransportKind::Mpsc,
     });
 
     let threads = num_shards + num_clients + 1;

@@ -1,0 +1,97 @@
+//! Socket-transport integration tests: the same live deployment carried
+//! over an in-process mpsc channel, a Unix-domain socket, and TCP loopback
+//! must be *behaviourally* identical — certified under the same model, with
+//! progress of the same order — because the transport only moves bytes; the
+//! router's latency, fault, and delivery-record machinery is shared.
+
+use regular_seq::core::checker::certificate::WitnessModel;
+use regular_seq::live::{run_cluster_live, SpannerLiveSpec, TransportKind};
+use regular_seq::session::{SessionConfig, SessionWorkload};
+use regular_seq::sim::{LatencyMatrix, SimDuration, SimTime};
+use regular_seq::spanner::prelude::*;
+use regular_seq::sweep::certify_streaming;
+
+fn clients(num_clients: usize, seed: u64) -> Vec<ClientSpec> {
+    (0..num_clients)
+        .map(|i| ClientSpec {
+            region: i % 3,
+            sessions: SessionConfig::closed_loop(2, SimDuration::ZERO)
+                .with_workload_seed(seed.wrapping_mul(1_000_003).wrapping_add(i as u64)),
+            workload: Box::new(UniformWorkload { num_keys: 200, ro_fraction: 0.5, keys_per_txn: 2 })
+                as Box<dyn SessionWorkload>,
+        })
+        .collect()
+}
+
+fn run(seed: u64, transport: TransportKind) -> (usize, bool) {
+    let result = run_cluster_live(SpannerLiveSpec {
+        config: SpannerConfig::wan(Mode::SpannerRss),
+        net: LatencyMatrix::spanner_wan(),
+        seed,
+        clients: clients(4, seed),
+        stop_issuing_at: SimTime::from_secs(15),
+        drain: SimDuration::from_secs(5),
+        measure_from: SimTime::from_secs(1),
+        time_scale: 40,
+        record_deliveries: true,
+        transport,
+    });
+    assert!(
+        !result.deliveries.is_empty(),
+        "{} run must record its delivery schedule",
+        transport.name()
+    );
+    if transport != TransportKind::Mpsc {
+        assert!(
+            result.wire.frames_tx > 0 && result.wire.frames_rx > 0,
+            "{} run must count wire frames, got {:?}",
+            transport.name(),
+            result.wire
+        );
+        assert!(
+            result.wire.bytes_tx > result.wire.frames_tx * 8,
+            "byte counters must include payloads, not just headers"
+        );
+    } else {
+        assert_eq!(result.wire.frames_tx, 0, "mpsc moves no wire frames");
+    }
+    let (history, witness) = build_history_from(&result.completed);
+    let certified = certify_streaming(&history, &witness, WitnessModel::Regular).is_ok();
+    (history.len(), certified)
+}
+
+/// The same seeded Spanner-RSS deployment over mpsc and over a Unix-domain
+/// socket: both certify RSS online and complete a comparable number of
+/// operations. (Socket runs are not bit-identical — real scheduling and
+/// wire latency shift timestamps — so the comparison is behavioural, like
+/// the live-vs-simulator differential.)
+#[test]
+fn uds_transport_certifies_like_mpsc() {
+    let seed = 13;
+    let (mpsc_ops, mpsc_ok) = run(seed, TransportKind::Mpsc);
+    let (uds_ops, uds_ok) = run(seed, TransportKind::Uds);
+    assert!(mpsc_ok, "mpsc run must certify RSS");
+    assert!(uds_ok, "uds run must certify RSS");
+    assert!(mpsc_ops >= 50, "mpsc baseline too small to compare ({mpsc_ops} ops)");
+    let ratio = uds_ops as f64 / mpsc_ops as f64;
+    assert!(
+        (0.2..=5.0).contains(&ratio),
+        "uds progress diverges from mpsc: {uds_ops} uds vs {mpsc_ops} mpsc ops"
+    );
+}
+
+/// TCP loopback, same bar: certified RSS and comparable progress.
+#[test]
+fn tcp_transport_certifies_like_mpsc() {
+    let seed = 17;
+    let (mpsc_ops, mpsc_ok) = run(seed, TransportKind::Mpsc);
+    let (tcp_ops, tcp_ok) = run(seed, TransportKind::Tcp);
+    assert!(mpsc_ok, "mpsc run must certify RSS");
+    assert!(tcp_ok, "tcp run must certify RSS");
+    assert!(mpsc_ops >= 50, "mpsc baseline too small to compare ({mpsc_ops} ops)");
+    let ratio = tcp_ops as f64 / mpsc_ops as f64;
+    assert!(
+        (0.2..=5.0).contains(&ratio),
+        "tcp progress diverges from mpsc: {tcp_ops} tcp vs {mpsc_ops} mpsc ops"
+    );
+}
